@@ -1,0 +1,373 @@
+//! SUMRDF (Stefanoni, Motik & Kostylev, WWW 2018) — summary-based
+//! estimation: "represent the RDF graph in a more compact manner and use the
+//! created graph summaries for cardinality estimation ... relying on the
+//! possible world semantics" (paper §II, §VIII).
+//!
+//! This implementation keeps the statistical core of SUMRDF:
+//!
+//! 1. **Summarization** — nodes are merged into buckets by their structural
+//!    signature (the set of incident predicates, in both directions), capped
+//!    at a target bucket count; summary edges carry the number of original
+//!    edges between bucket pairs per predicate.
+//! 2. **Estimation** — the expected number of query matches over the uniform
+//!    possible-world distribution consistent with the summary:
+//!    `E[card] = Σ_σ Π_t w_t(σ) / (|Bₛ|·|Bₒ|) · Π_{var v} |B_σ(v)|`,
+//!    where σ ranges over assignments of query node terms to buckets.
+//!    The assignment sum is evaluated with the same free-variable factoring
+//!    as the exact matcher, so large star queries stay polynomial.
+
+use lmkg::CardinalityEstimator;
+use lmkg_store::fxhash::FxHashMap;
+use lmkg_store::{KnowledgeGraph, NodeTerm, Query};
+use std::hash::{Hash, Hasher};
+
+/// SUMRDF configuration.
+#[derive(Debug, Clone)]
+pub struct SumRdfConfig {
+    /// Maximum number of node buckets in the summary.
+    pub target_buckets: usize,
+}
+
+impl Default for SumRdfConfig {
+    fn default() -> Self {
+        Self { target_buckets: 64 }
+    }
+}
+
+/// A summary edge `(source bucket, predicate, target bucket) → edge count`.
+type SummaryEdge = (u32, u32, f64);
+
+/// The SUMRDF estimator.
+pub struct SumRdf {
+    bucket_of: Vec<u32>,
+    bucket_sizes: Vec<f64>,
+    /// Per predicate id: summary edges.
+    edges_by_pred: Vec<Vec<SummaryEdge>>,
+}
+
+impl SumRdf {
+    /// Builds the summary.
+    pub fn build(graph: &KnowledgeGraph, cfg: SumRdfConfig) -> Self {
+        let n = graph.num_nodes();
+        let buckets = cfg.target_buckets.max(1);
+        let mut bucket_of = vec![0u32; n];
+        for v in graph.node_ids() {
+            // Structural signature: incident predicate sets in both roles.
+            let mut h = lmkg_store::fxhash::FxHasher::default();
+            let mut outp: Vec<u32> = graph.out_edges(v).iter().map(|&(p, _)| p.0).collect();
+            outp.dedup();
+            let mut inp: Vec<u32> = graph.in_edges(v).iter().map(|&(p, _)| p.0).collect();
+            inp.sort_unstable();
+            inp.dedup();
+            outp.hash(&mut h);
+            0xB0B_u32.hash(&mut h);
+            inp.hash(&mut h);
+            bucket_of[v.index()] = (h.finish() % buckets as u64) as u32;
+        }
+
+        let mut bucket_sizes = vec![0.0f64; buckets];
+        for v in graph.node_ids() {
+            bucket_sizes[bucket_of[v.index()] as usize] += 1.0;
+        }
+
+        let mut edges_by_pred: Vec<FxHashMap<(u32, u32), f64>> =
+            (0..graph.num_preds()).map(|_| FxHashMap::default()).collect();
+        for t in graph.triples() {
+            let b1 = bucket_of[t.s.index()];
+            let b2 = bucket_of[t.o.index()];
+            *edges_by_pred[t.p.index()].entry((b1, b2)).or_insert(0.0) += 1.0;
+        }
+        let edges_by_pred = edges_by_pred
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<SummaryEdge> = m.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+                v.sort_by_key(|&(a, b, _)| (a, b));
+                v
+            })
+            .collect();
+
+        Self { bucket_of, bucket_sizes, edges_by_pred }
+    }
+
+    /// Number of buckets actually used.
+    pub fn num_buckets(&self) -> usize {
+        self.bucket_sizes.iter().filter(|&&s| s > 0.0).count()
+    }
+
+    /// Expected match count under possible-world semantics.
+    pub fn estimate_query(&self, query: &Query) -> f64 {
+        // Slot assignment: distinct node terms → slots (bound slots carry a
+        // fixed bucket and no size factor).
+        let mut slots: Vec<NodeTerm> = Vec::new();
+        let slot_of = |term: NodeTerm, slots: &mut Vec<NodeTerm>| match slots.iter().position(|&t| t == term) {
+            Some(i) => i,
+            None => {
+                slots.push(term);
+                slots.len() - 1
+            }
+        };
+        let triples: Vec<(usize, usize, Option<u32>)> = query
+            .triples
+            .iter()
+            .map(|t| {
+                let s = slot_of(t.s, &mut slots);
+                let o = slot_of(t.o, &mut slots);
+                (s, o, t.p.bound().map(|p| p.0))
+            })
+            .collect();
+
+        let mut assignment: Vec<Option<u32>> = slots
+            .iter()
+            .map(|term| term.bound().map(|n| self.bucket_of[n.index()]))
+            .collect();
+        let is_var: Vec<bool> = slots.iter().map(|t| !t.is_bound()).collect();
+
+        let mut remaining: Vec<usize> = (0..triples.len()).collect();
+        self.sum_assignments(&triples, &is_var, &mut remaining, &mut assignment)
+    }
+
+    /// Recursive sum over bucket assignments with free-variable factoring.
+    fn sum_assignments(
+        &self,
+        triples: &[(usize, usize, Option<u32>)],
+        is_var: &[bool],
+        remaining: &mut Vec<usize>,
+        assignment: &mut Vec<Option<u32>>,
+    ) -> f64 {
+        let Some(pos) = self.pick_most_constrained(triples, remaining, assignment) else {
+            return 1.0;
+        };
+        let idx = remaining.swap_remove(pos);
+        let (s_slot, o_slot, pred) = triples[idx];
+
+        // A slot is local if no other remaining triple touches it.
+        let local = |slot: usize| {
+            !remaining
+                .iter()
+                .any(|&j| triples[j].0 == slot || triples[j].1 == slot)
+        };
+        let s_free = assignment[s_slot].is_none();
+        let o_free = assignment[o_slot].is_none();
+        let factorable = (!s_free || local(s_slot)) && (!o_free || local(o_slot)) && (s_slot != o_slot || !s_free);
+
+        let mut total = 0.0f64;
+        if factorable {
+            let mut factor = 0.0f64;
+            self.for_each_edge(pred, |b1, b2, w| {
+                if assignment[s_slot].is_some_and(|b| b != b1) || assignment[o_slot].is_some_and(|b| b != b2) {
+                    return;
+                }
+                let mut contribution = w / (self.bucket_sizes[b1 as usize] * self.bucket_sizes[b2 as usize]).max(1.0);
+                if s_free && is_var[s_slot] {
+                    contribution *= self.bucket_sizes[b1 as usize];
+                }
+                if o_free && is_var[o_slot] && o_slot != s_slot {
+                    contribution *= self.bucket_sizes[b2 as usize];
+                }
+                factor += contribution;
+            });
+            if factor > 0.0 {
+                total = factor * self.sum_assignments(triples, is_var, remaining, assignment);
+            }
+        } else {
+            let mut contributions: Vec<(u32, u32, f64)> = Vec::new();
+            self.for_each_edge(pred, |b1, b2, w| {
+                if assignment[s_slot].is_some_and(|b| b != b1) || assignment[o_slot].is_some_and(|b| b != b2) {
+                    return;
+                }
+                if s_slot == o_slot && b1 != b2 {
+                    return;
+                }
+                contributions.push((b1, b2, w));
+            });
+            for (b1, b2, w) in contributions {
+                let mut contribution = w / (self.bucket_sizes[b1 as usize] * self.bucket_sizes[b2 as usize]).max(1.0);
+                let undo_s = if s_free {
+                    assignment[s_slot] = Some(b1);
+                    if is_var[s_slot] {
+                        contribution *= self.bucket_sizes[b1 as usize];
+                    }
+                    true
+                } else {
+                    false
+                };
+                let undo_o = if assignment[o_slot].is_none() {
+                    assignment[o_slot] = Some(b2);
+                    if is_var[o_slot] {
+                        contribution *= self.bucket_sizes[b2 as usize];
+                    }
+                    true
+                } else {
+                    false
+                };
+                total += contribution * self.sum_assignments(triples, is_var, remaining, assignment);
+                if undo_o {
+                    assignment[o_slot] = None;
+                }
+                if undo_s {
+                    assignment[s_slot] = None;
+                }
+            }
+        }
+
+        remaining.push(idx);
+        let last = remaining.len() - 1;
+        remaining.swap(pos.min(last), last);
+        total
+    }
+
+    fn pick_most_constrained(
+        &self,
+        triples: &[(usize, usize, Option<u32>)],
+        remaining: &[usize],
+        assignment: &[Option<u32>],
+    ) -> Option<usize> {
+        remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &idx)| {
+                let (s, o, p) = triples[idx];
+                let mut score = 0;
+                if assignment[s].is_some() {
+                    score += 2;
+                }
+                if assignment[o].is_some() {
+                    score += 2;
+                }
+                if p.is_some() {
+                    score += 1;
+                }
+                score
+            })
+            .map(|(pos, _)| pos)
+    }
+
+    fn for_each_edge(&self, pred: Option<u32>, mut f: impl FnMut(u32, u32, f64)) {
+        match pred {
+            Some(p) => {
+                for &(a, b, w) in &self.edges_by_pred[p as usize] {
+                    f(a, b, w);
+                }
+            }
+            None => {
+                for edges in &self.edges_by_pred {
+                    for &(a, b, w) in edges {
+                        f(a, b, w);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl CardinalityEstimator for SumRdf {
+    fn name(&self) -> &str {
+        "sumrdf"
+    }
+
+    fn estimate(&mut self, query: &Query) -> f64 {
+        self.estimate_query(query).max(1.0)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let edges: usize = self.edges_by_pred.iter().map(|v| v.len() * std::mem::size_of::<SummaryEdge>()).sum();
+        self.bucket_of.len() * 4 + self.bucket_sizes.len() * 8 + edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg_store::{counter, GraphBuilder, NodeId, PredId, PredTerm, TriplePattern, VarId};
+
+    fn v(i: u16) -> NodeTerm {
+        NodeTerm::Var(VarId(i))
+    }
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..20 {
+            b.add(&format!("s{i}"), "p", &format!("o{}", i % 4));
+        }
+        for j in 0..4 {
+            b.add(&format!("o{j}"), "q", "z");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn summary_is_much_smaller_than_graph() {
+        let g = graph();
+        let s = SumRdf::build(&g, SumRdfConfig { target_buckets: 8 });
+        assert!(s.num_buckets() <= 8);
+        assert!(s.memory_bytes() < g.heap_bytes());
+    }
+
+    #[test]
+    fn single_pattern_estimate_is_exact() {
+        // Summed over buckets, per-predicate weights are exact for a single
+        // unbound pattern.
+        let g = graph();
+        let s = SumRdf::build(&g, SumRdfConfig::default());
+        let p = PredTerm::Bound(PredId(g.preds().get("p").unwrap()));
+        let q = Query::new(vec![TriplePattern::new(v(0), p, v(1))]);
+        assert!((s.estimate_query(&q) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chain_estimate_close_on_homogeneous_graph() {
+        let g = graph();
+        let s = SumRdf::build(&g, SumRdfConfig::default());
+        let p = PredTerm::Bound(PredId(g.preds().get("p").unwrap()));
+        let qp = PredTerm::Bound(PredId(g.preds().get("q").unwrap()));
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), p, v(1)),
+            TriplePattern::new(v(1), qp, v(2)),
+        ]);
+        let exact = counter::cardinality(&g, &q) as f64; // 20
+        let est = s.estimate_query(&q);
+        let qerr = (est / exact).max(exact / est);
+        assert!(qerr < 2.0, "estimate {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn bound_object_estimate() {
+        let g = graph();
+        let s = SumRdf::build(&g, SumRdfConfig::default());
+        let p = PredTerm::Bound(PredId(g.preds().get("p").unwrap()));
+        let o0 = NodeId(g.nodes().get("o0").unwrap());
+        let q = Query::new(vec![TriplePattern::new(v(0), p, NodeTerm::Bound(o0))]);
+        let exact = counter::cardinality(&g, &q) as f64; // 5
+        let est = s.estimate_query(&q);
+        // Bucket-level uniformity may smear within the bucket but must stay
+        // within the bucket-size factor.
+        assert!(est > 0.0 && est <= 21.0, "estimate {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn large_star_is_tractable() {
+        let g = graph();
+        let s = SumRdf::build(&g, SumRdfConfig::default());
+        let p = PredTerm::Bound(PredId(g.preds().get("p").unwrap()));
+        // 8-way star — must complete fast thanks to factoring.
+        let q = Query::new((0..8).map(|i| TriplePattern::new(v(0), p, v(1 + i as u16))).collect());
+        let est = s.estimate_query(&q);
+        let exact = counter::cardinality(&g, &q) as f64;
+        assert!(est.is_finite());
+        let qerr = (est / exact).max(exact / est);
+        assert!(qerr < 4.0, "estimate {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn zero_for_impossible_pattern() {
+        let g = graph();
+        let mut s = SumRdf::build(&g, SumRdfConfig::default());
+        let qp = PredTerm::Bound(PredId(g.preds().get("q").unwrap()));
+        // z q ?x — z has no outgoing q edge.
+        let z = NodeId(g.nodes().get("z").unwrap());
+        let q = Query::new(vec![TriplePattern::new(NodeTerm::Bound(z), qp, v(0))]);
+        // Depending on bucketing z may share a bucket with o*, allowing a
+        // small non-zero expectation, but the floor keeps it sane.
+        assert!(s.estimate(&q) >= 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Criterion microbenchmarks of per-query estimation latency — the
+//! statistically rigorous counterpart of the Fig. 11 tables. One benchmark
+//! group per estimator, measured on star-2 and chain-3 queries over the
+//! CI-scale LUBM-like dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmkg::supervised::{LmkgS, LmkgSConfig, QueryEncoder};
+use lmkg::unsupervised::{LmkgU, LmkgUConfig};
+use lmkg::CardinalityEstimator;
+use lmkg_baselines::{CharacteristicSets, SumRdf, SumRdfConfig, WanderJoin, WanderJoinConfig};
+use lmkg_data::workload::{self, WorkloadConfig};
+use lmkg_data::{Dataset, LabeledQuery, Scale};
+use lmkg_encoder::SgEncoder;
+use lmkg_store::{counter, KnowledgeGraph, QueryShape};
+use std::hint::black_box;
+
+fn fixtures() -> (KnowledgeGraph, Vec<LabeledQuery>, Vec<LabeledQuery>) {
+    let g = Dataset::LubmLike.generate(Scale::Ci, 7);
+    let mut star_cfg = WorkloadConfig::test_default(QueryShape::Star, 2, 3);
+    star_cfg.count = 50;
+    let stars = workload::generate(&g, &star_cfg);
+    let mut chain_cfg = WorkloadConfig::test_default(QueryShape::Chain, 3, 3);
+    chain_cfg.count = 50;
+    let chains = workload::generate(&g, &chain_cfg);
+    (g, stars, chains)
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let (g, stars, chains) = fixtures();
+
+    // Exact counting oracle (reference point).
+    let mut group = c.benchmark_group("estimation_latency");
+    for (label, queries) in [("star2", &stars), ("chain3", &chains)] {
+        group.bench_with_input(BenchmarkId::new("exact", label), queries, |b, qs| {
+            b.iter(|| {
+                for lq in qs.iter().take(10) {
+                    black_box(counter::cardinality(&g, &lq.query));
+                }
+            })
+        });
+    }
+
+    // CSET.
+    let mut cset = CharacteristicSets::build(&g);
+    for (label, queries) in [("star2", &stars), ("chain3", &chains)] {
+        group.bench_with_input(BenchmarkId::new("cset", label), queries, |b, qs| {
+            b.iter(|| {
+                for lq in qs.iter().take(10) {
+                    black_box(cset.estimate(&lq.query));
+                }
+            })
+        });
+    }
+
+    // SUMRDF.
+    let mut sumrdf = SumRdf::build(&g, SumRdfConfig::default());
+    for (label, queries) in [("star2", &stars), ("chain3", &chains)] {
+        group.bench_with_input(BenchmarkId::new("sumrdf", label), queries, |b, qs| {
+            b.iter(|| {
+                for lq in qs.iter().take(10) {
+                    black_box(sumrdf.estimate(&lq.query));
+                }
+            })
+        });
+    }
+
+    // WanderJoin (30 runs × 50 walks, the G-CARE protocol).
+    let mut wj = WanderJoin::new(&g, WanderJoinConfig { runs: 30, walks_per_run: 50, seed: 1 });
+    for (label, queries) in [("star2", &stars), ("chain3", &chains)] {
+        group.bench_with_input(BenchmarkId::new("wj", label), queries, |b, qs| {
+            b.iter(|| {
+                for lq in qs.iter().take(5) {
+                    black_box(wj.estimate(&lq.query));
+                }
+            })
+        });
+    }
+
+    // LMKG-S (trained briefly; latency depends only on architecture).
+    let train = workload::generate(&g, &WorkloadConfig::train_default(QueryShape::Star, 2, 200, 5));
+    let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
+    let mut lmkg_s = LmkgS::new(enc, LmkgSConfig { hidden: vec![128, 128], epochs: 3, ..Default::default() });
+    lmkg_s.train(&train);
+    group.bench_with_input(BenchmarkId::new("lmkg-s", "star2"), &stars, |b, qs| {
+        b.iter(|| {
+            for lq in qs.iter().take(10) {
+                black_box(lmkg_s.estimate(&lq.query));
+            }
+        })
+    });
+
+    // LMKG-U (one epoch; latency depends on particles × positions).
+    let mut lmkg_u = LmkgU::new(
+        &g,
+        QueryShape::Star,
+        2,
+        LmkgUConfig {
+            hidden: 48,
+            blocks: 1,
+            embed_dim: 16,
+            epochs: 1,
+            train_samples: 500,
+            particles: 128,
+            ..Default::default()
+        },
+    )
+    .expect("domain fits");
+    lmkg_u.train(&g);
+    group.bench_with_input(BenchmarkId::new("lmkg-u", "star2"), &stars, |b, qs| {
+        b.iter(|| {
+            for lq in qs.iter().take(2) {
+                black_box(lmkg_u.estimate(&lq.query));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_estimators
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion microbenchmarks of the substrates: store lookups, exact
+//! counting, encodings, and neural-network kernels. These bound the
+//! throughput of everything the experiment harness does.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmkg_data::{Dataset, Scale};
+use lmkg_encoder::{EncodingKind, PatternBoundEncoder, SgEncoder, TermCodec};
+use lmkg_nn::layers::{Dense, Layer, Relu, Sequential};
+use lmkg_nn::tensor::Matrix;
+use lmkg_store::{counter, NodeId, NodeTerm, PredId, PredTerm, Query, QueryShape, TriplePattern, VarId};
+use std::hint::black_box;
+
+fn bench_store(c: &mut Criterion) {
+    let g = Dataset::LubmLike.generate(Scale::Ci, 7);
+    let mut group = c.benchmark_group("store");
+
+    group.bench_function("count_single_sp", |b| {
+        b.iter(|| {
+            for i in 0..100u32 {
+                let s = NodeId(i % g.num_nodes() as u32);
+                let p = PredId(i % g.num_preds() as u32);
+                black_box(g.count_single(Some(s), Some(p), None));
+            }
+        })
+    });
+
+    let star = Query::new(vec![
+        TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(0)), NodeTerm::Var(VarId(1))),
+        TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(5)), NodeTerm::Var(VarId(2))),
+    ]);
+    group.bench_function("exact_star2", |b| b.iter(|| black_box(counter::cardinality(&g, &star))));
+
+    let chain = Query::new(vec![
+        TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(5)), NodeTerm::Var(VarId(1))),
+        TriplePattern::new(NodeTerm::Var(VarId(1)), PredTerm::Bound(PredId(0)), NodeTerm::Var(VarId(2))),
+    ]);
+    group.bench_function("exact_chain2", |b| b.iter(|| black_box(counter::cardinality(&g, &chain))));
+
+    group.bench_function("walk_counts_k3", |b| b.iter(|| black_box(counter::walk_counts(&g, 3))));
+    group.finish();
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let g = Dataset::LubmLike.generate(Scale::Ci, 7);
+    let star = Query::new(vec![
+        TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(0)), NodeTerm::Bound(NodeId(3))),
+        TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(5)), NodeTerm::Var(VarId(1))),
+    ]);
+    let sg = SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2);
+    let codec = TermCodec::new(EncodingKind::Binary, g.num_nodes(), g.num_preds());
+    let pb = PatternBoundEncoder::new(codec, QueryShape::Star, 2);
+
+    let mut group = c.benchmark_group("encoders");
+    let mut sg_buf = vec![0.0f32; sg.width()];
+    group.bench_function("sg_encode", |b| b.iter(|| sg.encode(black_box(&star), &mut sg_buf).unwrap()));
+    let mut pb_buf = vec![0.0f32; pb.width()];
+    group.bench_function("pattern_bound_encode", |b| b.iter(|| pb.encode(black_box(&star), &mut pb_buf).unwrap()));
+    group.finish();
+}
+
+fn bench_nn(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = Sequential::new();
+    model.push(Dense::new_he(&mut rng, 256, 256));
+    model.push(Relu::new());
+    model.push(Dense::new_he(&mut rng, 256, 256));
+    model.push(Relu::new());
+    model.push(Dense::new_xavier(&mut rng, 256, 1));
+    let x = Matrix::from_fn(64, 256, |r, c| ((r * 31 + c) % 7) as f32 / 7.0);
+
+    let mut group = c.benchmark_group("nn");
+    group.bench_function("mlp_forward_64x256", |b| b.iter(|| black_box(model.forward(&x, false))));
+    group.bench_function("mlp_train_step_64x256", |b| {
+        b.iter(|| {
+            let y = model.forward(&x, true);
+            let grad = y.map(|v| v * 2.0 / 64.0);
+            model.backward(&grad);
+            model.zero_grads();
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_store, bench_encoders, bench_nn
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation (paper §VII-A / §VIII-C): random-walk vs exact-uniform training
+//! sampling for LMKG-U. The paper names "the quality of the samples" as the
+//! main cause of inaccurate LMKG-U estimation and leaves "a more optimal
+//! sampling approach" to future work — the uniform tuple-space sampler is
+//! that approach, implementable exactly on our substrate.
+
+use lmkg::unsupervised::{LmkgU, LmkgUConfig};
+use lmkg::QErrorStats;
+use lmkg_bench::{report, BenchConfig};
+use lmkg_data::workload::{self, WorkloadConfig};
+use lmkg_data::{Dataset, SamplingStrategy};
+use lmkg_store::QueryShape;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("LMKG ablation — RW vs uniform training sampling for LMKG-U (scale {:?})", cfg.scale);
+
+    let mut rows = Vec::new();
+    for d in [Dataset::SwdfLike, Dataset::LubmLike] {
+        let g = d.generate(cfg.scale, cfg.seed);
+        let mut wl = WorkloadConfig::test_default(QueryShape::Star, 2, cfg.seed + 3);
+        wl.count = cfg.queries_per_cell;
+        let queries = workload::generate(&g, &wl);
+
+        for strategy in [SamplingStrategy::RandomWalk, SamplingStrategy::Uniform] {
+            let mut model = LmkgU::new(
+                &g,
+                QueryShape::Star,
+                2,
+                LmkgUConfig {
+                    hidden: cfg.u_hidden,
+                    blocks: 1,
+                    embed_dim: 32,
+                    epochs: cfg.u_epochs,
+                    train_samples: cfg.u_samples,
+                    particles: cfg.particles,
+                    strategy,
+                    seed: cfg.seed,
+                    ..Default::default()
+                },
+            )
+            .expect("domain fits at bench scale");
+            model.train(&g);
+            let pairs: Vec<(f64, u64)> = queries
+                .iter()
+                .filter_map(|lq| model.estimate_query(&lq.query).ok().map(|e| (e, lq.cardinality)))
+                .collect();
+            let stats = QErrorStats::from_pairs(pairs).expect("non-empty");
+            rows.push(vec![
+                d.name().to_string(),
+                format!("{strategy:?}"),
+                report::fmt(stats.mean),
+                report::fmt(stats.median),
+                report::fmt(stats.p95),
+                report::fmt(stats.max),
+            ]);
+        }
+    }
+    report::print_table(
+        "LMKG-U training-sampling ablation (star size 2)",
+        &["dataset", "strategy", "mean q-err", "median", "p95", "max"],
+        &rows,
+    );
+    println!("\nreading: RW training matches the (RW-generated) evaluation workload's\nterm distribution and tends to win on mean/median; exact-uniform sampling\ncovers the whole tuple space and tends to cut the worst case (max q-error).\nThe paper's §VII-A/§VIII-C discussion of sample quality is exactly this\ntension.");
+}

@@ -1,0 +1,47 @@
+//! Fig. 10: average q-error per query type (star vs chain, pooled over
+//! sizes) on all three datasets. LMKG-U is dropped for YAGO-like as in the
+//! paper.
+//!
+//! Expected shape: LMKG-S and LMKG-U best on both types; WJ and MSCN-1k
+//! competitive; LMKG-U slightly weaker on the type with more distinct term
+//! values.
+
+use lmkg_bench::{competitors, report, workloads, BenchConfig};
+use lmkg_data::Dataset;
+use lmkg_store::QueryShape;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("LMKG Fig. 10 — avg q-error vs query type (scale {:?})", cfg.scale);
+
+    for d in Dataset::ALL {
+        let g = d.generate(cfg.scale, cfg.seed);
+        let include_u = d != Dataset::YagoLike;
+        eprintln!("[{}] training estimators (LMKG-U: {include_u})…", d.name());
+        let mut ests = competitors::build_all(&g, &cfg, include_u);
+        let cells = workloads::test_cells(&g, &cfg);
+
+        let mut rows = Vec::new();
+        for shape in [QueryShape::Star, QueryShape::Chain] {
+            let queries: Vec<lmkg_data::LabeledQuery> = cells
+                .iter()
+                .filter(|c| c.shape == shape)
+                .flat_map(|c| c.queries.iter().cloned())
+                .collect();
+            if queries.is_empty() {
+                continue;
+            }
+            let mut row = vec![shape.to_string()];
+            for est in ests.iter_mut() {
+                let stats = report::accuracy(est.as_mut(), &queries);
+                row.push(report::fmt(stats.mean));
+            }
+            rows.push(row);
+        }
+        let headers: Vec<String> = std::iter::once("type".to_string())
+            .chain(ests.iter().map(|e| e.name().to_string()))
+            .collect();
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        report::print_table(&format!("Fig. 10 — {} (avg q-error)", d.name()), &headers_ref, &rows);
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig. 11: estimation time (ms per query) by query size and by query type,
+//! on SWDF-like and LUBM-like. For sampling approaches the time covers the
+//! full 30-run estimate, matching the paper's measurement ("we measure the
+//! time of generating 30 samples since G-CARE needs 30 samples for producing
+//! an accurate final estimate").
+//!
+//! Expected shape: CSET fastest, LMKG-S next, sampling approaches grow with
+//! query size, LMKG-U in the same range as the samplers.
+
+use lmkg_bench::{competitors, report, workloads, BenchConfig};
+use lmkg_data::Dataset;
+use lmkg_store::QueryShape;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("LMKG Fig. 11 — estimation time in ms (scale {:?})", cfg.scale);
+
+    for d in [Dataset::SwdfLike, Dataset::LubmLike] {
+        let g = d.generate(cfg.scale, cfg.seed);
+        eprintln!("[{}] training estimators…", d.name());
+        let mut ests = competitors::build_all(&g, &cfg, true);
+        let cells = workloads::test_cells(&g, &cfg);
+
+        // (a) by query size.
+        let mut rows = Vec::new();
+        for &size in &cfg.sizes {
+            let queries: Vec<lmkg_data::LabeledQuery> = cells
+                .iter()
+                .filter(|c| c.size == size)
+                .flat_map(|c| c.queries.iter().cloned())
+                .collect();
+            if queries.is_empty() {
+                continue;
+            }
+            let mut row = vec![size.to_string()];
+            for est in ests.iter_mut() {
+                let (_, ms) = report::measure(est.as_mut(), &queries);
+                row.push(format!("{ms:.3}"));
+            }
+            rows.push(row);
+        }
+        let headers: Vec<String> = std::iter::once("size".to_string())
+            .chain(ests.iter().map(|e| e.name().to_string()))
+            .collect();
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        report::print_table(&format!("Fig. 11 — {} by query size (ms/query)", d.name()), &headers_ref, &rows);
+
+        // (b) by query type.
+        let mut rows = Vec::new();
+        for shape in [QueryShape::Star, QueryShape::Chain] {
+            let queries: Vec<lmkg_data::LabeledQuery> = cells
+                .iter()
+                .filter(|c| c.shape == shape)
+                .flat_map(|c| c.queries.iter().cloned())
+                .collect();
+            let mut row = vec![shape.to_string()];
+            for est in ests.iter_mut() {
+                let (_, ms) = report::measure(est.as_mut(), &queries);
+                row.push(format!("{ms:.3}"));
+            }
+            rows.push(row);
+        }
+        report::print_table(&format!("Fig. 11 — {} by query type (ms/query)", d.name()), &headers_ref, &rows);
+    }
+}

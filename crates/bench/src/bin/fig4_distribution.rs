@@ -1,0 +1,48 @@
+//! Fig. 4: query-cardinality distribution per dataset (averaged over query
+//! sizes). The paper's takeaway: "the vast amount of queries have a small
+//! cardinality" with a heavy outlier tail.
+
+use lmkg_bench::{report, BenchConfig};
+use lmkg_data::workload::{self, WorkloadConfig};
+use lmkg_data::Dataset;
+use lmkg_store::{LogHistogram, QueryShape};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("LMKG Fig. 4 — query cardinality distribution (scale {:?})", cfg.scale);
+
+    for d in Dataset::ALL {
+        let g = d.generate(cfg.scale, cfg.seed);
+        let mut hist = LogHistogram::new(5);
+        // The paper plots the *natural* (unbalanced) distribution of query
+        // cardinalities, averaged over the different query sizes and shapes.
+        for shape in [QueryShape::Star, QueryShape::Chain] {
+            for &size in &cfg.sizes {
+                let mut wl = WorkloadConfig::test_default(shape, size, cfg.seed ^ ((size as u64) << 21));
+                wl.count = cfg.queries_per_cell;
+                for lq in workload::generate(&g, &wl) {
+                    hist.add(lq.cardinality);
+                }
+            }
+        }
+        let total = hist.total().max(1);
+        let rows: Vec<Vec<String>> = hist
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(b, &c)| {
+                vec![
+                    hist.label(b),
+                    c.to_string(),
+                    format!("{:.1}%", 100.0 * c as f64 / total as f64),
+                    "#".repeat((60 * c / total) as usize),
+                ]
+            })
+            .collect();
+        report::print_table(
+            &format!("Fig. 4 — {} ({} queries)", d.name(), total),
+            &["bucket", "queries", "share", "histogram"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Fig. 5: impact of outliers on LMKG-S (star queries).
+//!
+//! "even if we remove the top-10 outliers from the query data, we achieve a
+//! higher accuracy of the model. This trend continues when a larger fraction
+//! of the outliers is removed." We additionally ablate the §VIII-C
+//! improvement: an outlier buffer list storing the top cardinalities.
+
+use lmkg::supervised::{LmkgS, LmkgSConfig, QueryEncoder};
+use lmkg::QErrorStats;
+use lmkg_bench::{report, BenchConfig};
+use lmkg_data::workload::{self, WorkloadConfig};
+use lmkg_data::Dataset;
+use lmkg_encoder::SgEncoder;
+use lmkg_store::QueryShape;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("LMKG Fig. 5 — impact of outliers on LMKG-S (star queries, scale {:?})", cfg.scale);
+
+    let g = Dataset::LubmLike.generate(cfg.scale, cfg.seed);
+    let size = 2usize;
+    let wl = WorkloadConfig::train_default(QueryShape::Star, size, cfg.train_queries.max(600), cfg.seed);
+    let mut data = workload::generate(&g, &wl);
+    data.sort_by(|a, b| b.cardinality.cmp(&a.cardinality)); // outliers first
+
+    let eval = |data: &[lmkg_data::LabeledQuery], buffer: usize, seed: u64| -> QErrorStats {
+        let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), size));
+        let mut model = LmkgS::new(
+            enc,
+            LmkgSConfig {
+                hidden: vec![cfg.s_hidden],
+                epochs: cfg.s_epochs,
+                outlier_buffer: buffer,
+                seed,
+                ..Default::default()
+            },
+        );
+        model.train(data);
+        let pairs: Vec<(f64, u64)> = data
+            .iter()
+            .map(|lq| (model.predict(&lq.query).unwrap_or(1.0), lq.cardinality))
+            .collect();
+        QErrorStats::from_pairs(pairs).expect("non-empty")
+    };
+
+    let mut rows = Vec::new();
+    for removed in [0usize, 10, 25, 50] {
+        let kept = &data[removed.min(data.len())..];
+        let stats = eval(kept, 0, cfg.seed);
+        rows.push(vec![
+            format!("top-{removed} removed"),
+            report::fmt(stats.mean),
+            report::fmt(stats.median),
+            report::fmt(stats.max),
+        ]);
+    }
+    // §VIII-C improvement: keep all data, store outliers on the side.
+    let buffered = eval(&data, 25, cfg.seed);
+    rows.push(vec![
+        "outlier buffer (25)".into(),
+        report::fmt(buffered.mean),
+        report::fmt(buffered.median),
+        report::fmt(buffered.max),
+    ]);
+
+    report::print_table(
+        "Fig. 5 — LMKG-S accuracy vs outlier handling (in-sample, star size 2)",
+        &["configuration", "mean q-err", "median", "max"],
+        &rows,
+    );
+    println!("\nexpected shape: accuracy improves monotonically as more outliers are\nremoved; the buffer-list variant recovers accuracy without dropping data.");
+}

@@ -1,0 +1,44 @@
+//! Fig. 8: average q-error as the number of joins (query size) grows, for
+//! all nine estimators, on SWDF-like and LUBM-like.
+//!
+//! Expected shape: the baselines degrade with more joins; LMKG-S stays flat;
+//! LMKG-U degrades only slightly.
+
+use lmkg_bench::{competitors, report, workloads, BenchConfig};
+use lmkg_data::Dataset;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("LMKG Fig. 8 — avg q-error vs query size (scale {:?})", cfg.scale);
+
+    for d in [Dataset::SwdfLike, Dataset::LubmLike] {
+        let g = d.generate(cfg.scale, cfg.seed);
+        eprintln!("[{}] training estimators…", d.name());
+        let mut ests = competitors::build_all(&g, &cfg, true);
+        let cells = workloads::test_cells(&g, &cfg);
+
+        let mut rows = Vec::new();
+        for &size in &cfg.sizes {
+            let queries: Vec<lmkg_data::LabeledQuery> = cells
+                .iter()
+                .filter(|c| c.size == size)
+                .flat_map(|c| c.queries.iter().cloned())
+                .collect();
+            if queries.is_empty() {
+                continue;
+            }
+            let mut row = vec![size.to_string()];
+            for est in ests.iter_mut() {
+                let stats = report::accuracy(est.as_mut(), &queries);
+                row.push(report::fmt(stats.mean));
+            }
+            rows.push(row);
+        }
+
+        let headers: Vec<String> = std::iter::once("size".to_string())
+            .chain(ests.iter().map(|e| e.name().to_string()))
+            .collect();
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        report::print_table(&format!("Fig. 8 — {} (avg q-error)", d.name()), &headers_ref, &rows);
+    }
+}

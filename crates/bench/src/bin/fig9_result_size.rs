@@ -1,0 +1,56 @@
+//! Fig. 9: average q-error per query *result size* bucket (powers of 5) on
+//! all three datasets. LMKG-U is dropped for YAGO-like, exactly as in the
+//! paper ("we remove LMKG-U for the comparison with YAGO", §VIII).
+//!
+//! Expected shape: LMKG-S wins the small buckets but is hurt by outliers in
+//! the large ones; LMKG-U is the most stable overall; CSET/WJ catch up on
+//! large result sizes.
+
+use lmkg::metrics::{result_size_bucket, GroupedQErrors};
+use lmkg_bench::{competitors, report, workloads, BenchConfig};
+use lmkg_data::Dataset;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("LMKG Fig. 9 — avg q-error vs query result size (scale {:?})", cfg.scale);
+
+    for d in Dataset::ALL {
+        let g = d.generate(cfg.scale, cfg.seed);
+        let include_u = d != Dataset::YagoLike;
+        eprintln!("[{}] training estimators (LMKG-U: {include_u})…", d.name());
+        let mut ests = competitors::build_all(&g, &cfg, include_u);
+        let cells = workloads::test_cells(&g, &cfg);
+
+        // One GroupedQErrors per estimator.
+        let mut grouped: Vec<GroupedQErrors> = ests.iter().map(|_| GroupedQErrors::new()).collect();
+        for cell in &cells {
+            for lq in &cell.queries {
+                let bucket = result_size_bucket(lq.cardinality, 5);
+                for (est, acc) in ests.iter_mut().zip(grouped.iter_mut()) {
+                    acc.record(bucket, est.estimate(&lq.query), lq.cardinality);
+                }
+            }
+        }
+
+        let buckets: Vec<usize> = grouped[0].stats().iter().map(|(b, _)| *b).collect();
+        let mut rows = Vec::new();
+        for &b in &buckets {
+            let mut row = vec![format!("[5^{b}, 5^{})", b + 1)];
+            for acc in &grouped {
+                let v = acc
+                    .stats()
+                    .iter()
+                    .find(|(bb, _)| *bb == b)
+                    .map(|(_, s)| report::fmt(s.mean))
+                    .unwrap_or_else(|| "-".into());
+                row.push(v);
+            }
+            rows.push(row);
+        }
+        let headers: Vec<String> = std::iter::once("result size".to_string())
+            .chain(ests.iter().map(|e| e.name().to_string()))
+            .collect();
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        report::print_table(&format!("Fig. 9 — {} (avg q-error)", d.name()), &headers_ref, &rows);
+    }
+}

@@ -1,0 +1,61 @@
+//! Runs the complete experiment suite (Table I, Figs. 4–11, Table II) by
+//! invoking each experiment binary in sequence, teeing output to
+//! `results/<name>.txt`. Use `LMKG_SCALE`/`LMKG_SEED`/`LMKG_QUERIES` to
+//! control the configuration.
+
+use std::fs;
+use std::io::Write;
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 11] = [
+    "table1_datasets",
+    "fig4_distribution",
+    "fig5_outliers",
+    "fig6_epochs",
+    "fig7_grouping",
+    "fig8_query_size",
+    "fig9_result_size",
+    "fig10_query_type",
+    "fig11_time",
+    "table2_memory",
+    "ablation_sampling",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let bin_dir = exe.parent().expect("bin dir").to_path_buf();
+    let results = std::path::Path::new("results");
+    fs::create_dir_all(results).expect("create results dir");
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("=== running {name} ===");
+        let started = std::time::Instant::now();
+        let output = Command::new(bin_dir.join(name))
+            .envs(std::env::vars())
+            .output();
+        match output {
+            Ok(out) => {
+                let path = results.join(format!("{name}.txt"));
+                let mut f = fs::File::create(&path).expect("create result file");
+                f.write_all(&out.stdout).expect("write results");
+                print!("{}", String::from_utf8_lossy(&out.stdout));
+                if !out.status.success() {
+                    eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+                    failures.push(name);
+                }
+                println!("--- {name} finished in {:.1}s → {} ---\n", started.elapsed().as_secs_f64(), path.display());
+            }
+            Err(e) => {
+                eprintln!("failed to launch {name}: {e}");
+                failures.push(name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("all {} experiments completed; outputs in results/", EXPERIMENTS.len());
+    } else {
+        eprintln!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Construction and training of the full estimator line-up of §VIII:
+//! impr, jsub, sumrdf, wj, cset, mscn-0, mscn-1k, LMKG-U, LMKG-S —
+//! in the paper's legend order.
+
+use crate::BenchConfig;
+use lmkg::supervised::{LmkgS, LmkgSConfig, QueryEncoder};
+use lmkg::unsupervised::{LmkgU, LmkgUConfig};
+use lmkg::CardinalityEstimator;
+use lmkg_baselines::{
+    CharacteristicSets, Impr, ImprConfig, Jsub, JsubConfig, Mscn, MscnConfig, SumRdf, SumRdfConfig, WanderJoin,
+    WanderJoinConfig,
+};
+use lmkg_data::workload::{self, WorkloadConfig};
+use lmkg_data::LabeledQuery;
+use lmkg_encoder::SgEncoder;
+use lmkg_store::{KnowledgeGraph, Query, QueryShape};
+
+/// Training workloads per (shape, size) — shared by LMKG-S and MSCN
+/// ("always train on the same queries as LMKG-S", §VIII).
+pub struct TrainPools {
+    /// (shape, size) → labeled queries.
+    pub pools: Vec<((QueryShape, usize), Vec<LabeledQuery>)>,
+}
+
+impl TrainPools {
+    /// Generates the pools for the configured sizes.
+    pub fn generate(graph: &KnowledgeGraph, cfg: &BenchConfig) -> Self {
+        let mut pools = Vec::new();
+        for &shape in &[QueryShape::Star, QueryShape::Chain] {
+            for &k in &cfg.sizes {
+                let wl = WorkloadConfig::train_default(shape, k, cfg.train_queries, cfg.seed ^ ((k as u64) << 13));
+                pools.push(((shape, k), workload::generate(graph, &wl)));
+            }
+        }
+        Self { pools }
+    }
+
+    /// All training queries flattened (for MSCN and combined LMKG-S models).
+    pub fn all(&self) -> Vec<LabeledQuery> {
+        self.pools.iter().flat_map(|(_, v)| v.iter().cloned()).collect()
+    }
+
+    /// Queries of one size (both shapes).
+    pub fn by_size(&self, k: usize) -> Vec<LabeledQuery> {
+        self.pools
+            .iter()
+            .filter(|((_, size), _)| *size == k)
+            .flat_map(|(_, v)| v.iter().cloned())
+            .collect()
+    }
+}
+
+/// LMKG-S in the paper's main configuration: SG-Encoding + query-size
+/// grouping (§VIII-B). Routes a query to the smallest-capacity model that
+/// fits it.
+pub struct SizeRoutedLmkgS {
+    models: Vec<(usize, LmkgS)>,
+}
+
+impl SizeRoutedLmkgS {
+    /// Trains one model per size from the shared pools.
+    pub fn train(graph: &KnowledgeGraph, cfg: &BenchConfig, pools: &TrainPools) -> Self {
+        let mut models = Vec::new();
+        for &k in &cfg.sizes {
+            let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(graph.num_nodes(), graph.num_preds(), k));
+            let mut model = LmkgS::new(
+                enc,
+                LmkgSConfig {
+                    hidden: vec![cfg.s_hidden, cfg.s_hidden],
+                    epochs: cfg.s_epochs,
+                    seed: cfg.seed ^ k as u64,
+                    ..Default::default()
+                },
+            );
+            model.train(&pools.by_size(k));
+            models.push((k, model));
+        }
+        Self { models }
+    }
+
+    fn route(&mut self, size: usize) -> Option<&mut LmkgS> {
+        self.models
+            .iter_mut()
+            .filter(|(k, _)| *k >= size)
+            .min_by_key(|(k, _)| *k)
+            .map(|(_, m)| m)
+    }
+}
+
+impl CardinalityEstimator for SizeRoutedLmkgS {
+    fn name(&self) -> &str {
+        "LMKG-S"
+    }
+
+    fn estimate(&mut self, query: &Query) -> f64 {
+        match self.route(query.size()) {
+            Some(model) => model.predict(query).unwrap_or(1.0),
+            None => 1.0,
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.models.iter().map(|(_, m)| m.memory_bytes()).sum()
+    }
+}
+
+/// LMKG-U in the paper's configuration: pattern-bound encoding with
+/// embeddings, one model per (type, size) (§VIII-B).
+pub struct TypeSizeRoutedLmkgU {
+    models: Vec<((QueryShape, usize), LmkgU)>,
+}
+
+impl TypeSizeRoutedLmkgU {
+    /// Trains the per-(type, size) models. Returns `None` when the node
+    /// domain exceeds the guard (the YAGO case, where the paper drops
+    /// LMKG-U entirely).
+    pub fn train(graph: &KnowledgeGraph, cfg: &BenchConfig) -> Option<Self> {
+        let mut models = Vec::new();
+        for &shape in &[QueryShape::Star, QueryShape::Chain] {
+            for &k in &cfg.sizes {
+                let u_cfg = LmkgUConfig {
+                    hidden: cfg.u_hidden,
+                    blocks: 1,
+                    embed_dim: 32,
+                    epochs: cfg.u_epochs,
+                    train_samples: cfg.u_samples,
+                    particles: cfg.particles,
+                    seed: cfg.seed ^ ((k as u64) << 3) ^ matches!(shape, QueryShape::Chain) as u64,
+                    ..Default::default()
+                };
+                match LmkgU::new(graph, shape, k, u_cfg) {
+                    Ok(mut model) => {
+                        model.train(graph);
+                        models.push(((shape, k), model));
+                    }
+                    Err(_) => return None,
+                }
+            }
+        }
+        Some(Self { models })
+    }
+}
+
+impl CardinalityEstimator for TypeSizeRoutedLmkgU {
+    fn name(&self) -> &str {
+        "LMKG-U"
+    }
+
+    fn estimate(&mut self, query: &Query) -> f64 {
+        let shape = query.shape();
+        let size = query.size();
+        // `Single` queries route to either family of size-1 models.
+        for ((s, k), model) in &mut self.models {
+            let shape_ok = *s == shape || (shape == QueryShape::Single && *k == 1);
+            if shape_ok && *k == size {
+                return model.estimate_query(query).unwrap_or(1.0);
+            }
+        }
+        1.0
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.models.iter().map(|(_, m)| m.memory_bytes()).sum()
+    }
+}
+
+/// The full estimator line-up over one graph, in the paper's legend order.
+/// `include_lmkg_u = false` reproduces the paper's YAGO setting.
+pub fn build_all<'g>(
+    graph: &'g KnowledgeGraph,
+    cfg: &BenchConfig,
+    include_lmkg_u: bool,
+) -> Vec<Box<dyn CardinalityEstimator + 'g>> {
+    let pools = TrainPools::generate(graph, cfg);
+    let mut out: Vec<Box<dyn CardinalityEstimator + 'g>> = Vec::new();
+
+    out.push(Box::new(Impr::new(
+        graph,
+        ImprConfig { runs: 30, samples_per_run: 20, burn_in: 12, seed: cfg.seed },
+    )));
+    out.push(Box::new(Jsub::new(graph, JsubConfig { runs: 30, walks_per_run: 50, seed: cfg.seed })));
+    out.push(Box::new(SumRdf::build(graph, SumRdfConfig::default())));
+    out.push(Box::new(WanderJoin::new(
+        graph,
+        WanderJoinConfig { runs: 30, walks_per_run: 50, seed: cfg.seed },
+    )));
+    out.push(Box::new(CharacteristicSets::build(graph)));
+
+    let all_train = pools.all();
+    for samples in [0usize, 1000] {
+        let mut mscn = Mscn::new(
+            graph,
+            MscnConfig {
+                samples,
+                hidden: cfg.s_hidden.min(128),
+                epochs: cfg.s_epochs,
+                seed: cfg.seed,
+                ..Default::default()
+            },
+        );
+        mscn.train(&all_train);
+        out.push(Box::new(mscn));
+    }
+
+    if include_lmkg_u {
+        if let Some(u) = TypeSizeRoutedLmkgU::train(graph, cfg) {
+            out.push(Box::new(u));
+        }
+    }
+    out.push(Box::new(SizeRoutedLmkgS::train(graph, cfg, &pools)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg_data::{Dataset, Scale};
+
+    #[test]
+    fn build_all_produces_the_lineup() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let mut cfg = BenchConfig::ci(1);
+        cfg.sizes = vec![2];
+        cfg.train_queries = 120;
+        cfg.s_epochs = 3;
+        cfg.u_epochs = 1;
+        cfg.u_samples = 500;
+        let ests = build_all(&g, &cfg, true);
+        let names: Vec<&str> = ests.iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["impr", "jsub", "sumrdf", "wj", "cset", "mscn-0", "mscn-1k", "LMKG-U", "LMKG-S"]);
+    }
+
+    #[test]
+    fn size_routing_picks_smallest_fit() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let mut cfg = BenchConfig::ci(1);
+        cfg.sizes = vec![2, 3];
+        cfg.train_queries = 120;
+        cfg.s_epochs = 2;
+        let pools = TrainPools::generate(&g, &cfg);
+        let mut s = SizeRoutedLmkgS::train(&g, &cfg, &pools);
+        assert!(s.route(2).is_some());
+        assert!(s.route(3).is_some());
+        assert!(s.route(4).is_none());
+    }
+
+    #[test]
+    fn train_pools_cover_all_cells() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let mut cfg = BenchConfig::ci(1);
+        cfg.sizes = vec![2, 3];
+        cfg.train_queries = 50;
+        let pools = TrainPools::generate(&g, &cfg);
+        assert_eq!(pools.pools.len(), 4); // 2 shapes × 2 sizes
+        assert!(pools.by_size(2).len() > pools.by_size(2).len() / 2);
+        assert!(!pools.all().is_empty());
+    }
+}

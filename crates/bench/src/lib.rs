@@ -1,0 +1,134 @@
+//! # lmkg-bench
+//!
+//! The experiment harness regenerating every table and figure of the LMKG
+//! paper's evaluation (§VIII). Each binary prints one table/figure; `run_all`
+//! executes the whole suite and writes the measurements EXPERIMENTS.md
+//! records.
+//!
+//! Scale is controlled by the `LMKG_SCALE` environment variable:
+//! `ci` (tiny, seconds per figure), `bench` (default — small but meaningful),
+//! `default` (≈2% of paper sizes), `paper` (full sizes, hours on a laptop).
+//! `LMKG_SEED` overrides the master seed, `LMKG_QUERIES` the per-cell
+//! workload size.
+
+#![warn(missing_docs)]
+
+pub mod competitors;
+pub mod report;
+pub mod workloads;
+
+use lmkg_data::Scale;
+
+/// Harness-wide configuration derived from the environment.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Dataset scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Query sizes (paper: 2, 3, 5, 8).
+    pub sizes: Vec<usize>,
+    /// Test queries per (dataset, shape, size) cell (paper: 600).
+    pub queries_per_cell: usize,
+    /// Training queries per (shape, size) for the supervised models.
+    pub train_queries: usize,
+    /// LMKG-S epochs (paper: 200).
+    pub s_epochs: usize,
+    /// LMKG-U epochs (paper: 5).
+    pub u_epochs: usize,
+    /// LMKG-U training tuples.
+    pub u_samples: usize,
+    /// LMKG-U sampling particles at estimation time.
+    pub particles: usize,
+    /// Hidden width for LMKG-S (paper: 512; scaled down with the data).
+    pub s_hidden: usize,
+    /// Hidden width for LMKG-U.
+    pub u_hidden: usize,
+}
+
+impl BenchConfig {
+    /// Reads `LMKG_SCALE` / `LMKG_SEED` / `LMKG_QUERIES` from the environment.
+    pub fn from_env() -> Self {
+        let scale_name = std::env::var("LMKG_SCALE").unwrap_or_else(|_| "bench".into());
+        let seed = std::env::var("LMKG_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42u64);
+        let mut cfg = match scale_name.as_str() {
+            "ci" => Self::ci(seed),
+            "default" => Self::default_scale(seed),
+            "paper" => Self::paper(seed),
+            _ => Self::bench(seed),
+        };
+        if let Some(q) = std::env::var("LMKG_QUERIES").ok().and_then(|s| s.parse().ok()) {
+            cfg.queries_per_cell = q;
+        }
+        cfg
+    }
+
+    /// Tiny smoke-test configuration.
+    pub fn ci(seed: u64) -> Self {
+        Self {
+            scale: Scale::Ci,
+            seed,
+            sizes: vec![2, 3],
+            queries_per_cell: 60,
+            train_queries: 300,
+            s_epochs: 30,
+            u_epochs: 5,
+            u_samples: 2500,
+            particles: 128,
+            s_hidden: 64,
+            u_hidden: 32,
+        }
+    }
+
+    /// The default experiment configuration for a 2-core laptop: full query
+    /// size range, statistically useful workloads, minutes per figure.
+    pub fn bench(seed: u64) -> Self {
+        Self {
+            scale: Scale::Ci,
+            seed,
+            sizes: vec![2, 3, 5, 8],
+            queries_per_cell: 200,
+            train_queries: 800,
+            s_epochs: 60,
+            u_epochs: 8,
+            u_samples: 6000,
+            particles: 192,
+            s_hidden: 128,
+            u_hidden: 48,
+        }
+    }
+
+    /// ≈2% of the paper's dataset sizes.
+    pub fn default_scale(seed: u64) -> Self {
+        Self {
+            scale: Scale::Default,
+            seed,
+            sizes: vec![2, 3, 5, 8],
+            queries_per_cell: 600,
+            train_queries: 2000,
+            s_epochs: 120,
+            u_epochs: 5,
+            u_samples: 20_000,
+            particles: 256,
+            s_hidden: 256,
+            u_hidden: 64,
+        }
+    }
+
+    /// The paper's stated sizes (slow!).
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            scale: Scale::Paper,
+            seed,
+            sizes: vec![2, 3, 5, 8],
+            queries_per_cell: 600,
+            train_queries: 4000,
+            s_epochs: 200,
+            u_epochs: 5,
+            u_samples: 100_000,
+            particles: 512,
+            s_hidden: 512,
+            u_hidden: 128,
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Table formatting and measurement helpers for the experiment binaries.
+
+use lmkg::metrics::QErrorStats;
+use lmkg::CardinalityEstimator;
+use lmkg_data::LabeledQuery;
+use std::time::Instant;
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("| {} |", joined.join(" | "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a float compactly (2 significant decimals, scientific for huge).
+pub fn fmt(v: f64) -> String {
+    if !v.is_finite() {
+        "inf".into()
+    } else if v >= 100_000.0 {
+        format!("{v:.1e}")
+    } else if v >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Runs an estimator over a workload; returns accuracy stats and the mean
+/// per-query estimation latency in milliseconds.
+pub fn measure(est: &mut dyn CardinalityEstimator, queries: &[LabeledQuery]) -> (QErrorStats, f64) {
+    let mut pairs = Vec::with_capacity(queries.len());
+    let start = Instant::now();
+    for lq in queries {
+        pairs.push((est.estimate(&lq.query), lq.cardinality));
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let stats = QErrorStats::from_pairs(pairs).expect("non-empty workload");
+    (stats, elapsed_ms / queries.len().max(1) as f64)
+}
+
+/// Accuracy only (no timing).
+pub fn accuracy(est: &mut dyn CardinalityEstimator, queries: &[LabeledQuery]) -> QErrorStats {
+    measure(est, queries).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg::ExactEstimator;
+    use lmkg_data::workload::{self, WorkloadConfig};
+    use lmkg_data::{Dataset, Scale};
+    use lmkg_store::QueryShape;
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(1.234), "1.23");
+        assert_eq!(fmt(123.4), "123");
+        assert_eq!(fmt(f64::INFINITY), "inf");
+        assert!(fmt(1.0e7).contains('e'));
+    }
+
+    #[test]
+    fn measure_exact_estimator() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let mut cfg = WorkloadConfig::test_default(QueryShape::Star, 2, 3);
+        cfg.count = 20;
+        let queries = workload::generate(&g, &cfg);
+        let mut exact = ExactEstimator::new(&g);
+        let (stats, ms) = measure(&mut exact, &queries);
+        assert_eq!(stats.mean, 1.0);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            "test",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! The estimator interface shared by LMKG models and all baselines.
+
+use lmkg_store::{counter, KnowledgeGraph, Query};
+
+/// A cardinality estimator.
+///
+/// `estimate` takes `&mut self` because both the learned models (forward
+/// passes through layer caches) and the sampling baselines (RNG state)
+/// mutate internal state during estimation.
+pub trait CardinalityEstimator {
+    /// Human-readable estimator name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Estimates the cardinality of `query`. Estimates are floored at 1.0 —
+    /// every query in our workloads has at least one match, and a floor
+    /// keeps q-errors finite for all estimators (G-CARE does the same).
+    fn estimate(&mut self, query: &Query) -> f64;
+
+    /// Approximate memory footprint of the estimator state in bytes
+    /// (model parameters or summary size — Table II).
+    fn memory_bytes(&self) -> usize;
+}
+
+/// The exact counter wrapped as an estimator (sanity baseline: q-error 1).
+pub struct ExactEstimator<'g> {
+    graph: &'g KnowledgeGraph,
+}
+
+impl<'g> ExactEstimator<'g> {
+    /// Wraps a graph reference.
+    pub fn new(graph: &'g KnowledgeGraph) -> Self {
+        Self { graph }
+    }
+}
+
+impl CardinalityEstimator for ExactEstimator<'_> {
+    fn name(&self) -> &str {
+        "exact"
+    }
+
+    fn estimate(&mut self, query: &Query) -> f64 {
+        (counter::cardinality(self.graph, query) as f64).max(1.0)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.graph.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::q_error;
+    use lmkg_store::{GraphBuilder, NodeTerm, PredTerm, TriplePattern, VarId};
+
+    #[test]
+    fn exact_estimator_has_q_error_one() {
+        let mut b = GraphBuilder::new();
+        b.add("a", "p", "b");
+        b.add("a", "p", "c");
+        let g = b.build();
+        let q = Query::new(vec![TriplePattern::new(
+            NodeTerm::Var(VarId(0)),
+            PredTerm::Bound(lmkg_store::PredId(0)),
+            NodeTerm::Var(VarId(1)),
+        )]);
+        let mut est = ExactEstimator::new(&g);
+        assert_eq!(est.name(), "exact");
+        assert_eq!(q_error(est.estimate(&q), 2), 1.0);
+        assert!(est.memory_bytes() > 0);
+    }
+}

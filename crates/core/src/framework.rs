@@ -1,0 +1,503 @@
+//! The LMKG framework (paper §IV, Fig. 1): the creation phase trains a set
+//! of grouped models; the execution phase routes queries to models,
+//! decomposing queries no model covers and combining sub-estimates.
+
+use crate::decompose;
+use crate::estimator::CardinalityEstimator;
+use crate::summary::GraphSummary;
+use crate::supervised::{LmkgS, LmkgSConfig, QueryEncoder};
+use crate::unsupervised::{LmkgU, LmkgUConfig, LmkgUError};
+use lmkg_data::workload::{self, WorkloadConfig};
+use lmkg_encoder::SgEncoder;
+use lmkg_store::{KnowledgeGraph, Query, QueryShape};
+
+/// Which learned model family the framework instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelType {
+    /// LMKG-S (deep neural network).
+    Supervised,
+    /// LMKG-U (autoregressive model). Always grouped per (type, size) —
+    /// the paper's configuration for LMKG-U (§VIII-B).
+    Unsupervised,
+}
+
+/// Model grouping strategies (paper §VII-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grouping {
+    /// One model for every type and size.
+    Single,
+    /// One model per query type (star, chain), covering all sizes.
+    ByType,
+    /// One model per query size, covering all types.
+    BySize,
+    /// One model per (type, size) pair.
+    Specialized,
+}
+
+/// Framework configuration (the paper's "Model Choice" inputs: number of
+/// models, model type, encoding type — Fig. 1).
+#[derive(Debug, Clone)]
+pub struct LmkgConfig {
+    /// Model family.
+    pub model_type: ModelType,
+    /// Grouping strategy (applies to LMKG-S; LMKG-U is always specialized).
+    pub grouping: Grouping,
+    /// Query shapes to support.
+    pub shapes: Vec<QueryShape>,
+    /// Query sizes to support (paper: 2, 3, 5, 8).
+    pub sizes: Vec<usize>,
+    /// Training-query budget **per model**, split evenly across the
+    /// (shape, size) cells the model covers. Equal budgets make the grouping
+    /// strategies directly comparable (the paper's "defined budget", §IV):
+    /// a specialized model concentrates its budget on one cell, the single
+    /// model spreads it over every cell — which is exactly why "a single
+    /// model ... may lead to larger errors" (§VII-B).
+    pub queries_per_size: usize,
+    /// LMKG-S hyperparameters.
+    pub s_config: LmkgSConfig,
+    /// LMKG-U hyperparameters.
+    pub u_config: LmkgUConfig,
+    /// Seed for training-workload generation.
+    pub workload_seed: u64,
+}
+
+impl LmkgConfig {
+    /// A compact default: supervised, size-grouped, SG-encoded — the
+    /// configuration the paper uses for its main comparison (§VIII-B).
+    pub fn supervised_default() -> Self {
+        Self {
+            model_type: ModelType::Supervised,
+            grouping: Grouping::BySize,
+            shapes: vec![QueryShape::Star, QueryShape::Chain],
+            sizes: vec![2, 3],
+            queries_per_size: 1000,
+            s_config: LmkgSConfig::default(),
+            u_config: LmkgUConfig::default(),
+            workload_seed: 7,
+        }
+    }
+
+    /// Unsupervised counterpart (pattern-bound, type+size grouping).
+    pub fn unsupervised_default() -> Self {
+        Self {
+            model_type: ModelType::Unsupervised,
+            ..Self::supervised_default()
+        }
+    }
+}
+
+/// Which queries a model answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelKey {
+    /// `None` = any shape (single model with SG-Encoding).
+    pub shape: Option<QueryShape>,
+    /// Smallest query size covered.
+    pub min_size: usize,
+    /// Largest query size covered.
+    pub max_size: usize,
+}
+
+impl ModelKey {
+    fn matches(&self, shape: QueryShape, size: usize, exact_size_only: bool) -> bool {
+        let shape_ok = match self.shape {
+            None => matches!(shape, QueryShape::Star | QueryShape::Chain | QueryShape::Single),
+            Some(s) => s == shape || (shape == QueryShape::Single && self.min_size <= 1),
+        };
+        let size_ok = if exact_size_only {
+            size == self.max_size
+        } else {
+            size >= self.min_size.min(1) && size <= self.max_size
+        };
+        shape_ok && size_ok
+    }
+}
+
+enum ModelEntry {
+    S(LmkgS),
+    U(LmkgU),
+}
+
+/// The LMKG framework: a compound of grouped learned models plus the
+/// statistics block used for decomposition fallbacks.
+pub struct Lmkg {
+    entries: Vec<(ModelKey, ModelEntry)>,
+    summary: GraphSummary,
+    max_covered_size: usize,
+}
+
+impl Lmkg {
+    /// Creation phase: decides the model set from the grouping, generates
+    /// training data, and trains every model (Fig. 1, top).
+    pub fn build(graph: &KnowledgeGraph, cfg: &LmkgConfig) -> Self {
+        assert!(!cfg.shapes.is_empty() && !cfg.sizes.is_empty());
+        let summary = GraphSummary::build(graph);
+        let max_size = *cfg.sizes.iter().max().expect("non-empty sizes");
+        let mut entries = Vec::new();
+
+        match cfg.model_type {
+            ModelType::Supervised => {
+                let keys: Vec<ModelKey> = match cfg.grouping {
+                    Grouping::Single => vec![ModelKey { shape: None, min_size: 1, max_size }],
+                    Grouping::ByType => cfg
+                        .shapes
+                        .iter()
+                        .map(|&s| ModelKey { shape: Some(s), min_size: 1, max_size })
+                        .collect(),
+                    Grouping::BySize => cfg
+                        .sizes
+                        .iter()
+                        .map(|&k| ModelKey { shape: None, min_size: k, max_size: k })
+                        .collect(),
+                    Grouping::Specialized => cfg
+                        .shapes
+                        .iter()
+                        .flat_map(|&s| cfg.sizes.iter().map(move |&k| ModelKey { shape: Some(s), min_size: k, max_size: k }))
+                        .collect(),
+                };
+                for key in keys {
+                    let model = train_supervised(graph, cfg, key);
+                    entries.push((key, ModelEntry::S(model)));
+                }
+            }
+            ModelType::Unsupervised => {
+                // LMKG-U: always one model per (type, size) — §VIII-B.
+                for &shape in &cfg.shapes {
+                    for &k in &cfg.sizes {
+                        match LmkgU::new(graph, shape, k, cfg.u_config.clone()) {
+                            Ok(mut model) => {
+                                model.train(graph);
+                                let key = ModelKey { shape: Some(shape), min_size: k, max_size: k };
+                                entries.push((key, ModelEntry::U(model)));
+                            }
+                            Err(LmkgUError::DomainTooLarge { .. }) => {
+                                // The YAGO case: skip, decomposition/summary
+                                // fallback will answer (§VIII drops LMKG-U
+                                // for YAGO entirely).
+                            }
+                            Err(e) => panic!("LMKG-U construction failed: {e}"),
+                        }
+                    }
+                }
+            }
+        }
+
+        Self { entries, summary, max_covered_size: max_size }
+    }
+
+    /// Number of trained models.
+    pub fn model_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether some model directly covers `(shape, size)` — the coverage
+    /// predicate the workload monitor (§IV) uses to decide when a new model
+    /// should be created.
+    pub fn covers(&self, shape: QueryShape, size: usize) -> bool {
+        self.entries.iter().any(|(key, entry)| {
+            let exact = matches!(entry, ModelEntry::U(_));
+            key.matches(shape, size, exact)
+        })
+    }
+
+    /// The statistics block (exposed for diagnostics).
+    pub fn summary(&self) -> &GraphSummary {
+        &self.summary
+    }
+
+    /// Execution phase (Fig. 1, bottom): route to a model when one covers
+    /// the query's type and size, otherwise decompose and combine.
+    pub fn estimate_query(&mut self, query: &Query) -> f64 {
+        if let Some(est) = self.try_direct(query) {
+            return est;
+        }
+        // Query Decomposition step.
+        let parts = decompose::decompose(query, self.max_covered_size.max(1));
+        if parts.len() == 1 {
+            // Decomposition could not simplify (e.g. an unsupported variable
+            // pattern at a covered size): statistics fallback.
+            return self.summary.estimate_query_independent(query);
+        }
+        let mut product = 1.0f64;
+        for part in &parts {
+            let est = match self.try_direct(part) {
+                Some(e) => e,
+                None => self.summary.estimate_query_independent(part),
+            };
+            product *= est.max(1e-12);
+        }
+        // Join-uniformity correction over variables shared between parts.
+        for (_, occurrences) in decompose::shared_variables(&parts) {
+            product /= (self.summary.num_nodes().max(1) as f64).powi(occurrences as i32 - 1);
+        }
+        product.max(1.0)
+    }
+
+    /// Attempts to answer with a single model.
+    fn try_direct(&mut self, query: &Query) -> Option<f64> {
+        let shape = query.shape();
+        let size = query.size();
+        for (key, entry) in &mut self.entries {
+            match entry {
+                ModelEntry::S(model) => {
+                    if key.matches(shape, size, false) {
+                        if let Ok(est) = model.predict(query) {
+                            return Some(est);
+                        }
+                    }
+                }
+                ModelEntry::U(model) => {
+                    if key.matches(shape, size, true) {
+                        if let Ok(est) = model.estimate_query(query) {
+                            return Some(est);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Total memory of all models plus the summary (Table II). Named
+    /// distinctly from `CardinalityEstimator::memory_bytes` because parameter
+    /// walking needs `&mut self`, and Rust's autoref order would otherwise
+    /// silently pick the trait method.
+    pub fn total_memory_bytes(&mut self) -> usize {
+        let models: usize = self
+            .entries
+            .iter_mut()
+            .map(|(_, e)| match e {
+                ModelEntry::S(m) => m.memory_bytes(),
+                ModelEntry::U(m) => m.memory_bytes(),
+            })
+            .sum();
+        models + self.summary.memory_bytes()
+    }
+}
+
+impl CardinalityEstimator for Lmkg {
+    fn name(&self) -> &str {
+        "LMKG"
+    }
+
+    fn estimate(&mut self, query: &Query) -> f64 {
+        self.estimate_query(query).max(1.0)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Trait takes &self; parameter counts need &mut. Report summary-only
+        // here; callers needing exact totals use `Lmkg::memory_bytes`.
+        self.summary.memory_bytes()
+    }
+}
+
+/// Trains one LMKG-S model for a key.
+///
+/// All groupings use the SG-Encoding (the paper's main LMKG-S configuration,
+/// §VIII-B) so that grouping comparisons vary only the grouping — Fig. 7's
+/// "same configuration" requirement. The topology-specific pattern-bound
+/// encoding remains available through [`LmkgS::new`] directly.
+fn train_supervised(graph: &KnowledgeGraph, cfg: &LmkgConfig, key: ModelKey) -> LmkgS {
+    let encoder =
+        QueryEncoder::Sg(SgEncoder::capacity_for_size(graph.num_nodes(), graph.num_preds(), key.max_size));
+    let mut model = LmkgS::new(encoder, cfg.s_config.clone());
+
+    // Training data: the per-model budget is split evenly across every
+    // (shape, size) cell the key covers.
+    let shapes: Vec<QueryShape> = match key.shape {
+        Some(s) => vec![s],
+        None => cfg.shapes.clone(),
+    };
+    let sizes: Vec<usize> = cfg.sizes.iter().copied().filter(|&k| k >= key.min_size && k <= key.max_size).collect();
+    let cells = (shapes.len() * sizes.len()).max(1);
+    let per_cell = (cfg.queries_per_size / cells).max(1);
+    let mut data = Vec::new();
+    for &shape in &shapes {
+        for &k in &sizes {
+            let wl = WorkloadConfig::train_default(shape, k, per_cell, cfg.workload_seed ^ ((k as u64) << 8));
+            data.extend(workload::generate(graph, &wl));
+        }
+    }
+    model.train(&data);
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::QErrorStats;
+    use lmkg_data::{Dataset, Scale};
+    use lmkg_store::{NodeTerm, PredId, PredTerm, TriplePattern, VarId};
+
+    fn quick_s_config() -> LmkgSConfig {
+        LmkgSConfig { hidden: vec![64], epochs: 40, dropout: 0.0, ..Default::default() }
+    }
+
+    fn quick_u_config() -> LmkgUConfig {
+        LmkgUConfig {
+            hidden: 32,
+            blocks: 1,
+            embed_dim: 8,
+            epochs: 8,
+            train_samples: 2000,
+            particles: 128,
+            ..Default::default()
+        }
+    }
+
+    fn quick_cfg(model_type: ModelType, grouping: Grouping) -> LmkgConfig {
+        LmkgConfig {
+            model_type,
+            grouping,
+            shapes: vec![QueryShape::Star, QueryShape::Chain],
+            sizes: vec![2],
+            queries_per_size: 300,
+            s_config: quick_s_config(),
+            u_config: quick_u_config(),
+            workload_seed: 3,
+        }
+    }
+
+    #[test]
+    fn supervised_specialized_builds_four_models() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let mut cfg = quick_cfg(ModelType::Supervised, Grouping::Specialized);
+        cfg.sizes = vec![2, 3];
+        let lmkg = Lmkg::build(&g, &cfg);
+        assert_eq!(lmkg.model_count(), 4); // 2 shapes × 2 sizes
+    }
+
+    #[test]
+    fn grouping_controls_model_count() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let mut cfg = quick_cfg(ModelType::Supervised, Grouping::Single);
+        cfg.sizes = vec![2, 3];
+        assert_eq!(Lmkg::build(&g, &cfg).model_count(), 1);
+        cfg.grouping = Grouping::ByType;
+        assert_eq!(Lmkg::build(&g, &cfg).model_count(), 2);
+        cfg.grouping = Grouping::BySize;
+        assert_eq!(Lmkg::build(&g, &cfg).model_count(), 2);
+    }
+
+    #[test]
+    fn estimates_covered_queries_reasonably() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize);
+        let mut lmkg = Lmkg::build(&g, &cfg);
+        let wl = WorkloadConfig::test_default(QueryShape::Star, 2, 99);
+        let test = workload::generate(&g, &wl);
+        let pairs: Vec<(f64, u64)> = test
+            .iter()
+            .take(100)
+            .map(|lq| (lmkg.estimate_query(&lq.query), lq.cardinality))
+            .collect();
+        let stats = QErrorStats::from_pairs(pairs).unwrap();
+        assert!(stats.median < 8.0, "median q-error {}", stats.median);
+    }
+
+    #[test]
+    fn uncovered_size_is_decomposed() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize); // only size 2
+        let mut lmkg = Lmkg::build(&g, &cfg);
+        // Star of size 4 → decomposed into two size-2 stars.
+        let q = Query::new(
+            (0..4)
+                .map(|i| {
+                    TriplePattern::new(
+                        NodeTerm::Var(VarId(0)),
+                        PredTerm::Bound(PredId(i % g.num_preds() as u32)),
+                        NodeTerm::Var(VarId(1 + i as u16)),
+                    )
+                })
+                .collect(),
+        );
+        let est = lmkg.estimate_query(&q);
+        assert!(est.is_finite() && est >= 1.0);
+    }
+
+    #[test]
+    fn composite_query_is_decomposed() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize);
+        let mut lmkg = Lmkg::build(&g, &cfg);
+        // star(2) at ?0 + chain edge from ?1: shape Other.
+        let q = Query::new(vec![
+            TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(0)), NodeTerm::Var(VarId(1))),
+            TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(1)), NodeTerm::Var(VarId(2))),
+            TriplePattern::new(NodeTerm::Var(VarId(1)), PredTerm::Bound(PredId(2)), NodeTerm::Var(VarId(3))),
+        ]);
+        assert_eq!(q.shape(), QueryShape::Other);
+        let est = lmkg.estimate_query(&q);
+        assert!(est.is_finite() && est >= 1.0);
+    }
+
+    #[test]
+    fn unsupervised_framework_routes_by_exact_size() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let cfg = quick_cfg(ModelType::Unsupervised, Grouping::Specialized);
+        let mut lmkg = Lmkg::build(&g, &cfg);
+        assert_eq!(lmkg.model_count(), 2); // star-2, chain-2
+        let wl = WorkloadConfig::test_default(QueryShape::Star, 2, 5);
+        let test = workload::generate(&g, &wl);
+        let est = lmkg.estimate_query(&test[0].query);
+        assert!(est.is_finite() && est >= 1.0);
+    }
+
+    #[test]
+    fn unsupervised_domain_guard_skips_models() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let mut cfg = quick_cfg(ModelType::Unsupervised, Grouping::Specialized);
+        cfg.u_config.max_node_domain = 2; // force the YAGO path
+        let mut lmkg = Lmkg::build(&g, &cfg);
+        assert_eq!(lmkg.model_count(), 0);
+        // Still answers via the statistics fallback.
+        let wl = WorkloadConfig::test_default(QueryShape::Star, 2, 5);
+        let test = workload::generate(&g, &wl);
+        assert!(lmkg.estimate_query(&test[0].query) >= 1.0);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize);
+        let mut lmkg = Lmkg::build(&g, &cfg);
+        let mb = lmkg.total_memory_bytes();
+        assert!(mb > 1000, "memory {mb}, models {}", lmkg.model_count());
+    }
+
+    #[test]
+    fn covers_reflects_trained_models() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize); // size 2 only
+        let lmkg = Lmkg::build(&g, &cfg);
+        assert!(lmkg.covers(QueryShape::Star, 2));
+        assert!(lmkg.covers(QueryShape::Chain, 2));
+        assert!(!lmkg.covers(QueryShape::Star, 8));
+    }
+
+    #[test]
+    fn monitor_integration_detects_uncovered_workload() {
+        use crate::monitor::WorkloadMonitor;
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize);
+        let lmkg = Lmkg::build(&g, &cfg);
+        let mut monitor = WorkloadMonitor::new(50, &[(QueryShape::Star, 2), (QueryShape::Chain, 2)]);
+        // A workload of size-4 stars the models do not cover.
+        let q = Query::new(
+            (0..4)
+                .map(|i| {
+                    TriplePattern::new(
+                        NodeTerm::Var(VarId(0)),
+                        PredTerm::Bound(PredId(i)),
+                        NodeTerm::Var(VarId(1 + i as u16)),
+                    )
+                })
+                .collect(),
+        );
+        for _ in 0..50 {
+            monitor.observe(&q);
+        }
+        let report = monitor.report(|(shape, size)| lmkg.covers(shape, size));
+        assert!(report.should_retrain(0.3, 0.2), "drift must be detected: {report:?}");
+    }
+}

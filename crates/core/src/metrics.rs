@@ -1,0 +1,190 @@
+//! Accuracy metrics: the q-error and its aggregations (paper §VI-A, §VIII).
+
+/// q-error of an estimate against the truth:
+/// `max(est/true, true/est)`, with both sides floored at 1 so that perfect
+/// estimates score exactly 1. Estimates ≤ 0 score infinity.
+pub fn q_error(estimate: f64, truth: u64) -> f64 {
+    if estimate <= 0.0 {
+        return f64::INFINITY;
+    }
+    let t = truth.max(1) as f64;
+    (estimate / t).max(t / estimate)
+}
+
+/// Aggregate accuracy statistics over a set of (estimate, truth) pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QErrorStats {
+    /// Number of evaluated queries.
+    pub count: usize,
+    /// Arithmetic mean q-error (the paper's "avg. q-error").
+    pub mean: f64,
+    /// Geometric mean q-error (robust to outliers).
+    pub geometric_mean: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum q-error.
+    pub max: f64,
+}
+
+impl QErrorStats {
+    /// Computes statistics from raw q-errors. Returns `None` on empty input.
+    pub fn from_q_errors(mut qs: Vec<f64>) -> Option<Self> {
+        if qs.is_empty() {
+            return None;
+        }
+        qs.sort_by(|a, b| a.partial_cmp(b).expect("q-errors are not NaN"));
+        let count = qs.len();
+        let mean = qs.iter().sum::<f64>() / count as f64;
+        let geometric_mean = (qs.iter().map(|q| q.ln()).sum::<f64>() / count as f64).exp();
+        let pct = |p: f64| {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            qs[idx]
+        };
+        Some(Self {
+            count,
+            mean,
+            geometric_mean,
+            median: pct(0.5),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: qs[count - 1],
+        })
+    }
+
+    /// Computes statistics from (estimate, truth) pairs.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (f64, u64)>) -> Option<Self> {
+        let qs: Vec<f64> = pairs.into_iter().map(|(e, t)| q_error(e, t)).collect();
+        let _ = std::marker::PhantomData::<&'a ()>;
+        Self::from_q_errors(qs)
+    }
+}
+
+/// Accumulates q-errors grouped by an integer key (query size, bucket id, …).
+#[derive(Debug, Default, Clone)]
+pub struct GroupedQErrors {
+    groups: Vec<(usize, Vec<f64>)>,
+}
+
+impl GroupedQErrors {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation under `key`.
+    pub fn record(&mut self, key: usize, estimate: f64, truth: u64) {
+        let q = q_error(estimate, truth);
+        match self.groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(q),
+            None => self.groups.push((key, vec![q])),
+        }
+    }
+
+    /// Per-group statistics, sorted by key.
+    pub fn stats(&self) -> Vec<(usize, QErrorStats)> {
+        let mut out: Vec<(usize, QErrorStats)> = self
+            .groups
+            .iter()
+            .filter_map(|(k, v)| QErrorStats::from_q_errors(v.clone()).map(|s| (*k, s)))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+}
+
+/// The log-base-5 result-size bucket of a cardinality (paper Fig. 9 x-axis).
+pub fn result_size_bucket(cardinality: u64, base: u64) -> usize {
+    let mut b = 0usize;
+    let mut v = cardinality.max(1);
+    while v >= base {
+        v /= base;
+        b += 1;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_basics() {
+        assert_eq!(q_error(10.0, 10), 1.0);
+        assert_eq!(q_error(20.0, 10), 2.0);
+        assert_eq!(q_error(5.0, 10), 2.0);
+        assert_eq!(q_error(0.0, 10), f64::INFINITY);
+        assert_eq!(q_error(-3.0, 10), f64::INFINITY);
+    }
+
+    #[test]
+    fn q_error_floors_truth_at_one() {
+        // truth 0 treated as 1 (cannot divide by zero).
+        assert_eq!(q_error(1.0, 0), 1.0);
+        assert_eq!(q_error(4.0, 0), 4.0);
+    }
+
+    #[test]
+    fn stats_of_single_value() {
+        let s = QErrorStats::from_q_errors(vec![2.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.max, 2.0);
+    }
+
+    #[test]
+    fn stats_percentiles_ordering() {
+        let qs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = QErrorStats::from_q_errors(qs).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!(s.median <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn geometric_mean_is_robust() {
+        let s = QErrorStats::from_q_errors(vec![1.0, 1.0, 1.0, 1000.0]).unwrap();
+        assert!(s.geometric_mean < s.mean);
+        assert!((s.geometric_mean - 1000.0f64.powf(0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_pairs_matches_manual() {
+        let s = QErrorStats::from_pairs([(2.0, 1), (1.0, 4)]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 3.0); // q = 2 and 4
+    }
+
+    #[test]
+    fn empty_stats_is_none() {
+        assert!(QErrorStats::from_q_errors(vec![]).is_none());
+    }
+
+    #[test]
+    fn grouped_accumulation() {
+        let mut g = GroupedQErrors::new();
+        g.record(2, 2.0, 1);
+        g.record(2, 4.0, 1);
+        g.record(5, 1.0, 1);
+        let stats = g.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].0, 2);
+        assert_eq!(stats[0].1.mean, 3.0);
+        assert_eq!(stats[1].0, 5);
+        assert_eq!(stats[1].1.mean, 1.0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(result_size_bucket(1, 5), 0);
+        assert_eq!(result_size_bucket(4, 5), 0);
+        assert_eq!(result_size_bucket(5, 5), 1);
+        assert_eq!(result_size_bucket(25, 5), 2);
+        assert_eq!(result_size_bucket(0, 5), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Workload monitoring (paper §IV, Model choice): "If a change in the
+//! workload of queries is detected during the execution phase, a new model
+//! may be created, or an existing model may be dropped."
+//!
+//! The monitor tracks the mix of `(shape, size)` cells over a sliding window
+//! and compares it against the mix the model set was built for. Two signals
+//! drive the create/drop decision:
+//!
+//! * **drift** — total-variation distance between the recent cell
+//!   distribution and the baseline distribution;
+//! * **uncovered share** — the fraction of recent queries no existing model
+//!   covers (these fall back to decomposition, §IV's slow path).
+
+use lmkg_store::{Query, QueryShape};
+use std::collections::VecDeque;
+
+/// One workload cell.
+pub type Cell = (QueryShape, usize);
+
+/// A drift evaluation against the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Total-variation distance in `[0, 1]` between recent and baseline
+    /// cell distributions.
+    pub tv_distance: f64,
+    /// Share of recent queries not covered by any model.
+    pub uncovered_share: f64,
+    /// Cells of recent queries, most frequent first.
+    pub dominant_cells: Vec<(Cell, usize)>,
+}
+
+impl DriftReport {
+    /// Whether the framework should re-run (part of) the creation phase.
+    pub fn should_retrain(&self, tv_threshold: f64, uncovered_threshold: f64) -> bool {
+        self.tv_distance > tv_threshold || self.uncovered_share > uncovered_threshold
+    }
+}
+
+/// Sliding-window workload monitor.
+#[derive(Debug, Clone)]
+pub struct WorkloadMonitor {
+    window: usize,
+    recent: VecDeque<Cell>,
+    baseline: Vec<(Cell, f64)>,
+}
+
+impl WorkloadMonitor {
+    /// Creates a monitor with a sliding window of `window` queries and the
+    /// baseline cell mix the models were trained for (uniform over the given
+    /// cells).
+    pub fn new(window: usize, trained_cells: &[Cell]) -> Self {
+        assert!(window >= 1);
+        let share = if trained_cells.is_empty() { 0.0 } else { 1.0 / trained_cells.len() as f64 };
+        Self {
+            window,
+            recent: VecDeque::with_capacity(window),
+            baseline: trained_cells.iter().map(|&c| (c, share)).collect(),
+        }
+    }
+
+    /// Records an executed query.
+    pub fn observe(&mut self, query: &Query) {
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back((query.shape(), query.size()));
+    }
+
+    /// Number of observed queries currently in the window.
+    pub fn observed(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// Evaluates drift; `covers` reports whether a model covers a cell.
+    pub fn report(&self, covers: impl Fn(Cell) -> bool) -> DriftReport {
+        let n = self.recent.len().max(1) as f64;
+
+        // Recent distribution over cells.
+        let mut counts: Vec<(Cell, usize)> = Vec::new();
+        for &cell in &self.recent {
+            match counts.iter_mut().find(|(c, _)| *c == cell) {
+                Some((_, k)) => *k += 1,
+                None => counts.push((cell, 1)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1));
+
+        // TV distance: ½ Σ |p(c) − q(c)| over the union of supports.
+        let mut tv = 0.0f64;
+        let mut seen: Vec<Cell> = Vec::new();
+        for &(cell, k) in &counts {
+            let p = k as f64 / n;
+            let q = self.baseline.iter().find(|(c, _)| *c == cell).map_or(0.0, |(_, s)| *s);
+            tv += (p - q).abs();
+            seen.push(cell);
+        }
+        for &(cell, q) in &self.baseline {
+            if !seen.contains(&cell) {
+                tv += q;
+            }
+        }
+        tv *= 0.5;
+
+        let uncovered = self.recent.iter().filter(|&&c| !covers(c)).count() as f64 / n;
+        DriftReport {
+            tv_distance: tv,
+            uncovered_share: if self.recent.is_empty() { 0.0 } else { uncovered },
+            dominant_cells: counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg_store::{NodeTerm, PredId, PredTerm, TriplePattern, VarId};
+
+    fn star(k: usize) -> Query {
+        Query::new(
+            (0..k)
+                .map(|i| {
+                    TriplePattern::new(
+                        NodeTerm::Var(VarId(0)),
+                        PredTerm::Bound(PredId(i as u32)),
+                        NodeTerm::Var(VarId(1 + i as u16)),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn chain(k: usize) -> Query {
+        Query::new(
+            (0..k)
+                .map(|i| {
+                    TriplePattern::new(
+                        NodeTerm::Var(VarId(i as u16)),
+                        PredTerm::Bound(PredId(0)),
+                        NodeTerm::Var(VarId(i as u16 + 1)),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn trained() -> Vec<Cell> {
+        vec![(QueryShape::Star, 2), (QueryShape::Chain, 2)]
+    }
+
+    #[test]
+    fn matching_workload_has_low_drift() {
+        let mut m = WorkloadMonitor::new(100, &trained());
+        for _ in 0..50 {
+            m.observe(&star(2));
+            m.observe(&chain(2));
+        }
+        let r = m.report(|c| trained().contains(&c));
+        assert!(r.tv_distance < 0.05, "tv {}", r.tv_distance);
+        assert_eq!(r.uncovered_share, 0.0);
+        assert!(!r.should_retrain(0.3, 0.2));
+    }
+
+    #[test]
+    fn shifted_workload_is_detected() {
+        let mut m = WorkloadMonitor::new(100, &trained());
+        for _ in 0..100 {
+            m.observe(&star(5)); // a size nobody trained for
+        }
+        let r = m.report(|c| trained().contains(&c));
+        assert!(r.tv_distance > 0.9, "tv {}", r.tv_distance);
+        assert_eq!(r.uncovered_share, 1.0);
+        assert!(r.should_retrain(0.3, 0.2));
+        assert_eq!(r.dominant_cells[0].0, (QueryShape::Star, 5));
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut m = WorkloadMonitor::new(10, &trained());
+        for _ in 0..10 {
+            m.observe(&star(2));
+        }
+        for _ in 0..10 {
+            m.observe(&chain(2)); // fully replaces the window
+        }
+        assert_eq!(m.observed(), 10);
+        let r = m.report(|c| trained().contains(&c));
+        assert_eq!(r.dominant_cells, vec![((QueryShape::Chain, 2), 10)]);
+        // All mass on one of two baseline cells → TV = ½(|1−½| + ½) = ½.
+        assert!((r.tv_distance - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_coverage_share() {
+        let mut m = WorkloadMonitor::new(10, &trained());
+        for _ in 0..5 {
+            m.observe(&star(2));
+            m.observe(&star(8));
+        }
+        let r = m.report(|c| trained().contains(&c));
+        assert!((r.uncovered_share - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_monitor_reports_zero() {
+        let m = WorkloadMonitor::new(10, &trained());
+        let r = m.report(|_| true);
+        assert_eq!(r.uncovered_share, 0.0);
+        assert!(r.dominant_cells.is_empty());
+    }
+}

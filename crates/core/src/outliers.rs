@@ -1,0 +1,109 @@
+//! The outlier buffer list (paper §VIII-C): "given a larger space budget, a
+//! possible improvement can be to store the cardinalities of the outliers on
+//! the side". Disabled in the paper's main comparison "for a fair
+//! comparison"; we implement it behind a capacity knob and ablate it in the
+//! Fig. 5 experiment.
+
+use lmkg_data::LabeledQuery;
+use lmkg_store::fxhash::FxHashMap;
+use lmkg_store::Query;
+
+/// Exact-answer side table for the highest-cardinality training queries.
+#[derive(Debug, Default)]
+pub struct OutlierBuffer {
+    capacity: usize,
+    entries: FxHashMap<Query, u64>,
+}
+
+impl OutlierBuffer {
+    /// A buffer holding up to `capacity` queries (0 disables).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, entries: FxHashMap::default() }
+    }
+
+    /// Fills the buffer with the top-`capacity` queries by cardinality.
+    pub fn fill(&mut self, data: &[LabeledQuery]) {
+        self.entries.clear();
+        if self.capacity == 0 {
+            return;
+        }
+        let mut sorted: Vec<&LabeledQuery> = data.iter().collect();
+        sorted.sort_by(|a, b| b.cardinality.cmp(&a.cardinality));
+        for lq in sorted.into_iter().take(self.capacity) {
+            self.entries.insert(lq.query.clone(), lq.cardinality);
+        }
+    }
+
+    /// Exact cardinality if the query is buffered.
+    pub fn lookup(&self, query: &Query) -> Option<u64> {
+        self.entries.get(query).copied()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        // Each entry: query triples + map overhead.
+        self.entries
+            .keys()
+            .map(|q| q.triples.len() * std::mem::size_of::<lmkg_store::TriplePattern>() + 48)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg_store::{NodeTerm, PredId, PredTerm, TriplePattern, VarId};
+
+    fn lq(pred: u32, card: u64) -> LabeledQuery {
+        LabeledQuery {
+            query: Query::new(vec![TriplePattern::new(
+                NodeTerm::Var(VarId(0)),
+                PredTerm::Bound(PredId(pred)),
+                NodeTerm::Var(VarId(1)),
+            )]),
+            cardinality: card,
+        }
+    }
+
+    #[test]
+    fn keeps_top_k_by_cardinality() {
+        let data = vec![lq(0, 5), lq(1, 500), lq(2, 50), lq(3, 5000)];
+        let mut buf = OutlierBuffer::new(2);
+        buf.fill(&data);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.lookup(&data[3].query), Some(5000));
+        assert_eq!(buf.lookup(&data[1].query), Some(500));
+        assert_eq!(buf.lookup(&data[0].query), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let data = vec![lq(0, 10)];
+        let mut buf = OutlierBuffer::new(0);
+        buf.fill(&data);
+        assert!(buf.is_empty());
+        assert_eq!(buf.lookup(&data[0].query), None);
+        assert_eq!(buf.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn refill_replaces_contents() {
+        let mut buf = OutlierBuffer::new(1);
+        buf.fill(&[lq(0, 10)]);
+        assert_eq!(buf.len(), 1);
+        buf.fill(&[lq(1, 99)]);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.lookup(&lq(1, 99).query), Some(99));
+        assert_eq!(buf.lookup(&lq(0, 10).query), None);
+    }
+}

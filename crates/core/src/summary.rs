@@ -1,0 +1,226 @@
+//! Lightweight per-predicate statistics retained by the framework after the
+//! creation phase: they answer single-triple patterns (the degenerate case
+//! no learned model is needed for) and provide the domain sizes used in
+//! join-uniformity corrections during query decomposition.
+//!
+//! This is the classic RDF-engine statistics block (RDF-3X/Jena keep the
+//! same counts) — *not* one of the learned models.
+
+use lmkg_store::{KnowledgeGraph, Query, TriplePattern};
+
+/// Per-predicate counts plus graph-level totals.
+#[derive(Debug, Clone)]
+pub struct GraphSummary {
+    num_nodes: usize,
+    num_preds: usize,
+    num_triples: usize,
+    /// Triples per predicate.
+    pred_counts: Vec<u64>,
+    /// Distinct subjects per predicate.
+    pred_subjects: Vec<u64>,
+    /// Distinct objects per predicate.
+    pred_objects: Vec<u64>,
+}
+
+impl GraphSummary {
+    /// Builds the summary in one pass over the predicate index.
+    pub fn build(graph: &KnowledgeGraph) -> Self {
+        let np = graph.num_preds();
+        let mut pred_counts = vec![0u64; np];
+        let mut pred_subjects = vec![0u64; np];
+        let mut pred_objects = vec![0u64; np];
+        for p in graph.pred_ids() {
+            let pairs = graph.pred_pairs(p);
+            pred_counts[p.index()] = pairs.len() as u64;
+            // pairs are sorted by (s, o): distinct subjects by run-length.
+            let mut subjects = 0u64;
+            let mut last = None;
+            for &(s, _) in pairs {
+                if Some(s) != last {
+                    subjects += 1;
+                    last = Some(s);
+                }
+            }
+            pred_subjects[p.index()] = subjects;
+            let mut objects: Vec<u32> = pairs.iter().map(|&(_, o)| o.0).collect();
+            objects.sort_unstable();
+            objects.dedup();
+            pred_objects[p.index()] = objects.len() as u64;
+        }
+        Self {
+            num_nodes: graph.num_nodes(),
+            num_preds: graph.num_preds(),
+            num_triples: graph.num_triples(),
+            pred_counts,
+            pred_subjects,
+            pred_objects,
+        }
+    }
+
+    /// Number of distinct nodes (the join-variable domain size).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of distinct predicates.
+    pub fn num_preds(&self) -> usize {
+        self.num_preds
+    }
+
+    /// Number of triples.
+    pub fn num_triples(&self) -> usize {
+        self.num_triples
+    }
+
+    /// Estimated matches of one triple pattern under uniformity.
+    pub fn estimate_pattern(&self, t: &TriplePattern) -> f64 {
+        let total = self.num_triples as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        match t.p.bound() {
+            Some(p) => {
+                let i = p.index();
+                let count = self.pred_counts[i] as f64;
+                let subj_sel = if t.s.is_bound() {
+                    1.0 / (self.pred_subjects[i].max(1) as f64)
+                } else {
+                    1.0
+                };
+                let obj_sel = if t.o.is_bound() {
+                    1.0 / (self.pred_objects[i].max(1) as f64)
+                } else {
+                    1.0
+                };
+                (count * subj_sel * obj_sel).max(0.0)
+            }
+            None => {
+                let subj_sel = if t.s.is_bound() { 1.0 / self.num_nodes.max(1) as f64 } else { 1.0 };
+                let obj_sel = if t.o.is_bound() { 1.0 / self.num_nodes.max(1) as f64 } else { 1.0 };
+                total * subj_sel * obj_sel
+            }
+        }
+    }
+
+    /// Independence-assumption estimate of a whole query: the product of
+    /// per-pattern estimates divided by a uniform join correction per extra
+    /// occurrence of each shared variable. This is the fallback estimator
+    /// when no learned model applies (and mirrors what the early systems in
+    /// §II did — hence its known underestimation bias).
+    pub fn estimate_query_independent(&self, query: &Query) -> f64 {
+        let mut est = 1.0f64;
+        for t in &query.triples {
+            est *= self.estimate_pattern(t).max(1e-12);
+        }
+        // Join-uniformity correction: each variable occurrence beyond the
+        // first divides by its domain size.
+        let mut node_vars: Vec<(lmkg_store::VarId, usize)> = Vec::new();
+        let mut pred_vars: Vec<(lmkg_store::VarId, usize)> = Vec::new();
+        fn bump(table: &mut Vec<(lmkg_store::VarId, usize)>, v: lmkg_store::VarId) {
+            match table.iter_mut().find(|(u, _)| *u == v) {
+                Some((_, c)) => *c += 1,
+                None => table.push((v, 1)),
+            }
+        }
+        for t in &query.triples {
+            if let Some(v) = t.s.var() {
+                bump(&mut node_vars, v);
+            }
+            if let Some(v) = t.o.var() {
+                bump(&mut node_vars, v);
+            }
+            if let Some(v) = t.p.var() {
+                bump(&mut pred_vars, v);
+            }
+        }
+        for (_, c) in node_vars {
+            if c > 1 {
+                est /= (self.num_nodes.max(1) as f64).powi(c as i32 - 1);
+            }
+        }
+        for (_, c) in pred_vars {
+            if c > 1 {
+                est /= (self.num_preds.max(1) as f64).powi(c as i32 - 1);
+            }
+        }
+        est.max(1.0)
+    }
+
+    /// Memory footprint of the summary in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        3 * self.pred_counts.len() * std::mem::size_of::<u64>() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg_store::{GraphBuilder, NodeId, NodeTerm, PredId, PredTerm, VarId};
+
+    fn v(i: u16) -> NodeTerm {
+        NodeTerm::Var(VarId(i))
+    }
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        b.add("a", "p", "x");
+        b.add("a", "p", "y");
+        b.add("b", "p", "x");
+        b.add("a", "q", "x");
+        b.build()
+    }
+
+    #[test]
+    fn pattern_estimates_exact_for_unbound() {
+        let s = GraphSummary::build(&graph());
+        let p = PredTerm::Bound(PredId(0));
+        let t = TriplePattern::new(v(0), p, v(1));
+        assert_eq!(s.estimate_pattern(&t), 3.0);
+    }
+
+    #[test]
+    fn bound_subject_divides_by_distinct_subjects() {
+        let s = GraphSummary::build(&graph());
+        let t = TriplePattern::new(
+            NodeTerm::Bound(NodeId(0)),
+            PredTerm::Bound(PredId(0)),
+            v(0),
+        );
+        // pred p: 3 triples over 2 distinct subjects → 1.5.
+        assert!((s.estimate_pattern(&t) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_object_divides_by_distinct_objects() {
+        let s = GraphSummary::build(&graph());
+        let t = TriplePattern::new(v(0), PredTerm::Bound(PredId(0)), NodeTerm::Bound(NodeId(1)));
+        // pred p: 3 triples over 2 distinct objects → 1.5.
+        assert!((s.estimate_pattern(&t) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_query_estimate_is_positive_and_corrected() {
+        let s = GraphSummary::build(&graph());
+        // star: ?x p ?y . ?x q ?z — shared ?x → one division by num_nodes.
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), PredTerm::Bound(PredId(0)), v(1)),
+            TriplePattern::new(v(0), PredTerm::Bound(PredId(1)), v(2)),
+        ]);
+        let est = s.estimate_query_independent(&q);
+        // 3 * 1 / 5 nodes = 0.6 → floored to 1.
+        assert_eq!(est, 1.0);
+    }
+
+    #[test]
+    fn summary_is_small() {
+        let s = GraphSummary::build(&graph());
+        assert!(s.memory_bytes() < 1000);
+    }
+
+    #[test]
+    fn unbound_pred_uses_totals() {
+        let s = GraphSummary::build(&graph());
+        let t = TriplePattern::new(v(0), PredTerm::Var(VarId(9)), v(1));
+        assert_eq!(s.estimate_pattern(&t), 4.0);
+    }
+}

@@ -1,0 +1,445 @@
+//! LMKG-S: the supervised estimator (paper §VI-A, Fig. 3).
+//!
+//! A multi-layer perceptron over either the SG-Encoding or a pattern-bound
+//! encoding. Targets are `log₂`-scaled and min-max normalized; hidden layers
+//! use ReLU with optional dropout; the output layer is a sigmoid; the
+//! training loss is the mean q-error (with MSE and log-q-error ablations).
+
+use crate::outliers::OutlierBuffer;
+use lmkg_data::LabeledQuery;
+use lmkg_encoder::{CardinalityScaler, EncodeError, PatternBoundEncoder, SgEncoder};
+use lmkg_nn::layers::{Dense, Dropout, Layer, Relu, Sequential, Sigmoid};
+use lmkg_nn::optimizer::{Adam, Optimizer};
+use lmkg_nn::tensor::Matrix;
+use lmkg_nn::{loss, serialize};
+use lmkg_store::Query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io;
+
+/// Which featurization feeds the network (paper §V).
+pub enum QueryEncoder {
+    /// The general SG-Encoding — one model can serve several topologies.
+    Sg(SgEncoder),
+    /// The topology-specific flat encoding.
+    PatternBound(PatternBoundEncoder),
+}
+
+impl QueryEncoder {
+    /// Feature width.
+    pub fn width(&self) -> usize {
+        match self {
+            QueryEncoder::Sg(e) => e.width(),
+            QueryEncoder::PatternBound(e) => e.width(),
+        }
+    }
+
+    /// Encodes a query into `out`.
+    pub fn encode(&self, query: &Query, out: &mut [f32]) -> Result<(), EncodeError> {
+        match self {
+            QueryEncoder::Sg(e) => e.encode(query, out),
+            QueryEncoder::PatternBound(e) => e.encode(query, out),
+        }
+    }
+}
+
+/// Training loss for LMKG-S.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossKind {
+    /// Mean q-error (paper default).
+    QError,
+    /// Mean squared error on scaled targets (ablation).
+    Mse,
+    /// L1 in log space = log of the geometric q-error (ablation).
+    LogQError,
+}
+
+/// LMKG-S hyperparameters.
+#[derive(Debug, Clone)]
+pub struct LmkgSConfig {
+    /// Hidden layer widths ("2 or 3 layers of 512 neurons are often
+    /// acceptable", §VIII-A).
+    pub hidden: Vec<usize>,
+    /// Dropout probability after the first hidden layer (Fig. 3).
+    pub dropout: f32,
+    /// Training epochs (paper: 200).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Loss function.
+    pub loss: LossKind,
+    /// Exponent clamp of the q-error loss, in log₂ units.
+    pub q_error_max_exp: f32,
+    /// Elementwise gradient clip (0 = off) — stabilizes the exponential loss.
+    pub grad_clip: f32,
+    /// Capacity of the outlier buffer (§VIII-C "buffer list" improvement);
+    /// 0 disables it, which is the paper's main configuration.
+    pub outlier_buffer: usize,
+    /// RNG seed for weight init, shuffling, and dropout.
+    pub seed: u64,
+}
+
+impl Default for LmkgSConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![256, 256],
+            dropout: 0.05,
+            epochs: 200,
+            batch_size: 128,
+            learning_rate: 1e-3,
+            loss: LossKind::QError,
+            q_error_max_exp: 16.0,
+            grad_clip: 1.0,
+            outlier_buffer: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch training diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss across batches.
+    pub loss: f32,
+}
+
+/// The supervised LMKG estimator.
+pub struct LmkgS {
+    encoder: QueryEncoder,
+    model: Sequential,
+    scaler: Option<CardinalityScaler>,
+    cfg: LmkgSConfig,
+    outliers: OutlierBuffer,
+    rng: StdRng,
+    /// Parameter count, fixed at construction (architecture is static).
+    cached_param_count: usize,
+}
+
+impl LmkgS {
+    /// Builds the network for `encoder`'s feature width (Fig. 3: dense ReLU
+    /// stack with dropout, sigmoid output).
+    pub fn new(encoder: QueryEncoder, cfg: LmkgSConfig) -> Self {
+        assert!(!cfg.hidden.is_empty(), "at least one hidden layer");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut model = Sequential::new();
+        let mut fan_in = encoder.width();
+        for (i, &h) in cfg.hidden.iter().enumerate() {
+            model.push(Dense::new_he(&mut rng, fan_in, h));
+            model.push(Relu::new());
+            if i == 0 && cfg.dropout > 0.0 {
+                model.push(Dropout::new(cfg.dropout, cfg.seed ^ 0xD120_97));
+            }
+            fan_in = h;
+        }
+        model.push(Dense::new_xavier(&mut rng, fan_in, 1));
+        model.push(Sigmoid::new());
+        let outliers = OutlierBuffer::new(cfg.outlier_buffer);
+        let cached_param_count = model.param_count();
+        Self { encoder, model, scaler: None, cfg, outliers, rng, cached_param_count }
+    }
+
+    /// The configured encoder.
+    pub fn encoder(&self) -> &QueryEncoder {
+        &self.encoder
+    }
+
+    /// The fitted scaler (after training).
+    pub fn scaler(&self) -> Option<&CardinalityScaler> {
+        self.scaler.as_ref()
+    }
+
+    /// Encodes a batch of queries into a feature matrix, skipping queries
+    /// the encoder rejects; returns row-aligned (features, cardinalities).
+    fn encode_batch(&self, data: &[&LabeledQuery]) -> (Matrix, Vec<u64>) {
+        let w = self.encoder.width();
+        let mut rows = Vec::with_capacity(data.len() * w);
+        let mut cards = Vec::with_capacity(data.len());
+        let mut buf = vec![0.0f32; w];
+        for lq in data {
+            if self.encoder.encode(&lq.query, &mut buf).is_ok() {
+                rows.extend_from_slice(&buf);
+                cards.push(lq.cardinality);
+            }
+        }
+        (Matrix::from_vec(cards.len(), w, rows), cards)
+    }
+
+    /// Fits the scaler and outlier buffer, then trains for the configured
+    /// number of epochs. Returns per-epoch stats.
+    pub fn train(&mut self, data: &[LabeledQuery]) -> Vec<EpochStats> {
+        let epochs = self.cfg.epochs;
+        self.prepare(data);
+        let mut out = Vec::with_capacity(epochs);
+        let mut opt = self.make_optimizer();
+        for epoch in 0..epochs {
+            let loss = self.run_epoch(data, &mut opt);
+            out.push(EpochStats { epoch, loss });
+        }
+        out
+    }
+
+    /// Fits scaler/outliers without training (used before manual epoch
+    /// driving via [`LmkgS::train_epoch`]).
+    pub fn prepare(&mut self, data: &[LabeledQuery]) {
+        assert!(!data.is_empty(), "training data must be non-empty");
+        self.scaler = Some(CardinalityScaler::fit(data.iter().map(|d| d.cardinality)));
+        self.outliers.fill(data);
+    }
+
+    /// Creates the Adam optimizer matching the config.
+    pub fn make_optimizer(&self) -> Adam {
+        Adam::new(self.cfg.learning_rate).with_grad_clip(self.cfg.grad_clip)
+    }
+
+    /// Runs a single epoch; returns the mean batch loss. `prepare` must have
+    /// been called.
+    pub fn train_epoch(&mut self, data: &[LabeledQuery], opt: &mut Adam) -> f32 {
+        self.run_epoch(data, opt)
+    }
+
+    fn run_epoch(&mut self, data: &[LabeledQuery], opt: &mut Adam) -> f32 {
+        let scaler = *self.scaler.as_ref().expect("prepare() before training");
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        // Fisher–Yates shuffle.
+        for i in (1..indices.len()).rev() {
+            indices.swap(i, self.rng.gen_range(0..=i));
+        }
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in indices.chunks(self.cfg.batch_size.max(1)) {
+            let batch: Vec<&LabeledQuery> = chunk.iter().map(|&i| &data[i]).collect();
+            let (x, cards) = self.encode_batch(&batch);
+            if x.rows() == 0 {
+                continue;
+            }
+            let targets = Matrix::from_vec(
+                cards.len(),
+                1,
+                cards.iter().map(|&c| scaler.scale(c)).collect(),
+            );
+            let pred = self.model.forward(&x, true);
+            let (l, grad) = match self.cfg.loss {
+                LossKind::QError => loss::q_error(&pred, &targets, scaler.log_range(), self.cfg.q_error_max_exp),
+                LossKind::Mse => loss::mse(&pred, &targets),
+                LossKind::LogQError => loss::mae(&pred, &targets),
+            };
+            self.model.backward(&grad);
+            opt.step(&mut self.model);
+            total += f64::from(l);
+            batches += 1;
+        }
+        if batches == 0 {
+            0.0
+        } else {
+            (total / batches as f64) as f32
+        }
+    }
+
+    /// Predicts the cardinality of a query. Errors if the encoder rejects it.
+    pub fn predict(&mut self, query: &Query) -> Result<f64, EncodeError> {
+        if let Some(card) = self.outliers.lookup(query) {
+            return Ok(card as f64);
+        }
+        let scaler = *self.scaler.as_ref().expect("model is untrained");
+        let mut buf = vec![0.0f32; self.encoder.width()];
+        self.encoder.encode(query, &mut buf)?;
+        let x = Matrix::from_vec(1, buf.len(), buf);
+        let y = self.model.forward(&x, false);
+        Ok(scaler.unscale(y.get(0, 0)).max(1.0))
+    }
+
+    /// Scalar parameter count.
+    pub fn param_count(&mut self) -> usize {
+        self.model.param_count()
+    }
+
+    /// Model size in bytes (parameters + outlier buffer).
+    pub fn memory_bytes(&mut self) -> usize {
+        self.model.param_count() * std::mem::size_of::<f32>() + self.outliers.memory_bytes()
+    }
+
+    /// Serializes the parameters (not the scaler/config) to a writer.
+    pub fn save_params<W: io::Write>(&mut self, w: &mut W) -> io::Result<()> {
+        serialize::save_params(&mut self.model, w)
+    }
+
+    /// Restores parameters from a reader (architecture must match); the
+    /// scaler must be re-fit or carried separately.
+    pub fn load_params<R: io::Read>(&mut self, r: &mut R) -> io::Result<()> {
+        serialize::load_params(&mut self.model, r)
+    }
+
+    /// Sets the scaler explicitly (for parameter-file restore).
+    pub fn set_scaler(&mut self, scaler: CardinalityScaler) {
+        self.scaler = Some(scaler);
+    }
+}
+
+impl crate::estimator::CardinalityEstimator for LmkgS {
+    fn name(&self) -> &str {
+        "LMKG-S"
+    }
+
+    /// Estimates via [`LmkgS::predict`]; queries the encoder rejects (wrong
+    /// topology/size for this specific model) report the neutral estimate 1.
+    fn estimate(&mut self, query: &Query) -> f64 {
+        self.predict(query).unwrap_or(1.0)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.cached_param_count * std::mem::size_of::<f32>() + self.outliers.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::QErrorStats;
+    use lmkg_data::workload::{self, WorkloadConfig};
+    use lmkg_data::{Dataset, Scale};
+    use lmkg_encoder::{EncodingKind, TermCodec};
+    use lmkg_store::QueryShape;
+
+    fn small_setup() -> (lmkg_store::KnowledgeGraph, Vec<LabeledQuery>) {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 3);
+        let cfg = WorkloadConfig::train_default(QueryShape::Star, 2, 400, 17);
+        let data = workload::generate(&g, &cfg);
+        (g, data)
+    }
+
+    fn quick_cfg() -> LmkgSConfig {
+        LmkgSConfig {
+            hidden: vec![64, 64],
+            epochs: 60,
+            batch_size: 64,
+            dropout: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn trains_and_fits_workload() {
+        let (g, data) = small_setup();
+        let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
+        let mut model = LmkgS::new(enc, quick_cfg());
+        let stats = model.train(&data);
+        assert_eq!(stats.len(), 60);
+        assert!(stats.last().unwrap().loss < stats[0].loss, "loss should decrease");
+
+        // In-sample accuracy must be strong (the paper notes LMKG-S slightly
+        // overfits by design).
+        let pairs: Vec<(f64, u64)> = data
+            .iter()
+            .take(200)
+            .map(|lq| (model.predict(&lq.query).unwrap(), lq.cardinality))
+            .collect();
+        let qs = QErrorStats::from_pairs(pairs).unwrap();
+        assert!(qs.median < 3.0, "median in-sample q-error {}", qs.median);
+    }
+
+    #[test]
+    fn pattern_bound_encoder_works_too() {
+        let (g, data) = small_setup();
+        let codec = TermCodec::new(EncodingKind::Binary, g.num_nodes(), g.num_preds());
+        let enc = QueryEncoder::PatternBound(PatternBoundEncoder::new(codec, QueryShape::Star, 2));
+        let mut model = LmkgS::new(enc, quick_cfg());
+        let stats = model.train(&data);
+        assert!(stats.last().unwrap().loss < stats[0].loss);
+        let lq = &data[0];
+        let est = model.predict(&lq.query).unwrap();
+        assert!(est >= 1.0);
+    }
+
+    #[test]
+    fn predictions_are_floored_at_one() {
+        let (g, data) = small_setup();
+        let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
+        let mut model = LmkgS::new(enc, LmkgSConfig { epochs: 1, ..quick_cfg() });
+        model.train(&data);
+        for lq in data.iter().take(50) {
+            assert!(model.predict(&lq.query).unwrap() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn oversized_query_is_rejected() {
+        let (g, data) = small_setup();
+        let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
+        let mut model = LmkgS::new(enc, LmkgSConfig { epochs: 1, ..quick_cfg() });
+        model.train(&data);
+        let big = workload::generate(&g, &WorkloadConfig::train_default(QueryShape::Star, 5, 1, 3));
+        assert!(model.predict(&big[0].query).is_err());
+    }
+
+    #[test]
+    fn outlier_buffer_returns_exact_for_stored_queries() {
+        let (g, data) = small_setup();
+        let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
+        let mut cfg = quick_cfg();
+        cfg.epochs = 1;
+        cfg.outlier_buffer = 10;
+        let mut model = LmkgS::new(enc, cfg);
+        model.train(&data);
+        // The largest-cardinality training query must be answered exactly.
+        let top = data.iter().max_by_key(|lq| lq.cardinality).unwrap();
+        assert_eq!(model.predict(&top.query).unwrap(), top.cardinality as f64);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_seed() {
+        let (g, data) = small_setup();
+        let build = || {
+            let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
+            LmkgS::new(enc, LmkgSConfig { epochs: 3, ..quick_cfg() })
+        };
+        let mut a = build();
+        let mut b = build();
+        let sa = a.train(&data);
+        let sb = b.train(&data);
+        assert_eq!(sa, sb);
+        assert_eq!(a.predict(&data[0].query).unwrap(), b.predict(&data[0].query).unwrap());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let (g, data) = small_setup();
+        let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
+        let mut a = LmkgS::new(enc, LmkgSConfig { epochs: 5, ..quick_cfg() });
+        a.train(&data);
+        let mut buf = Vec::new();
+        a.save_params(&mut buf).unwrap();
+
+        let enc2 = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
+        let mut b = LmkgS::new(enc2, LmkgSConfig { epochs: 5, seed: 99, ..quick_cfg() });
+        b.load_params(&mut buf.as_slice()).unwrap();
+        b.set_scaler(*a.scaler().unwrap());
+        assert_eq!(a.predict(&data[0].query).unwrap(), b.predict(&data[0].query).unwrap());
+    }
+
+    #[test]
+    fn mse_and_log_losses_also_train() {
+        let (g, data) = small_setup();
+        for loss in [LossKind::Mse, LossKind::LogQError] {
+            let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
+            let mut model = LmkgS::new(enc, LmkgSConfig { epochs: 30, loss, ..quick_cfg() });
+            let stats = model.train(&data);
+            assert!(
+                stats.last().unwrap().loss < stats[0].loss,
+                "{loss:?} failed to reduce loss"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let (g, _) = small_setup();
+        let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
+        let mut model = LmkgS::new(enc, quick_cfg());
+        assert!(model.memory_bytes() > 1000);
+        assert!(model.param_count() > 0);
+    }
+}

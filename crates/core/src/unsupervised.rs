@@ -1,0 +1,623 @@
+//! LMKG-U: the unsupervised, data-driven estimator (paper §VI-B).
+//!
+//! A ResMADE autoregressive model is trained on *bound* subgraph patterns
+//! (star tuples or chain walks) with per-term embeddings. At query time, the
+//! joint density of the query's bound terms — with unbound positions
+//! marginalized by **likelihood-weighted forward sampling** — is multiplied
+//! by the tuple-space total `N` to yield the cardinality:
+//! `card(q) = P(bound terms of q) · N`.
+//!
+//! Positions follow the pattern-bound term order `[n₁, p₁, n₂, …]`
+//! (identical for stars and chains; only the tuple space differs).
+
+use lmkg_nn::loss;
+use lmkg_nn::optimizer::{Adam, Optimizer};
+use lmkg_nn::{Made, MadeConfig};
+use lmkg_store::{counter, KnowledgeGraph, Query, QueryShape, VarId};
+use lmkg_data::sampler::{ChainSampler, SamplingStrategy, StarSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub use crate::supervised::EpochStats;
+
+/// Errors produced by LMKG-U.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LmkgUError {
+    /// The node domain exceeds the configured limit — the YAGO situation:
+    /// "LMKG-U is not able to learn the complete set of queries" (§VIII).
+    DomainTooLarge {
+        /// Number of distinct nodes in the graph.
+        nodes: usize,
+        /// Configured maximum.
+        limit: usize,
+    },
+    /// Query topology does not match the model.
+    WrongShape {
+        /// Model topology.
+        expected: QueryShape,
+        /// Query topology.
+        actual: QueryShape,
+    },
+    /// Query size does not match the model's tuple size.
+    WrongSize {
+        /// Model tuple size `k`.
+        expected: usize,
+        /// Query size.
+        actual: usize,
+    },
+    /// A variable is repeated in a way the marginalization cannot express
+    /// (e.g. the same variable used as two different objects).
+    UnsupportedVariablePattern,
+}
+
+impl std::fmt::Display for LmkgUError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LmkgUError::DomainTooLarge { nodes, limit } => {
+                write!(f, "node domain {nodes} exceeds LMKG-U limit {limit}")
+            }
+            LmkgUError::WrongShape { expected, actual } => {
+                write!(f, "model answers {expected} queries, got {actual}")
+            }
+            LmkgUError::WrongSize { expected, actual } => {
+                write!(f, "model answers size-{expected} queries, got size {actual}")
+            }
+            LmkgUError::UnsupportedVariablePattern => {
+                write!(f, "repeated variable pattern not expressible by marginalization")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LmkgUError {}
+
+/// LMKG-U hyperparameters.
+#[derive(Debug, Clone)]
+pub struct LmkgUConfig {
+    /// Hidden width of the ResMADE.
+    pub hidden: usize,
+    /// Number of residual blocks.
+    pub blocks: usize,
+    /// Term embedding dimensionality (paper: 32).
+    pub embed_dim: usize,
+    /// Training epochs (paper: 5).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Number of bound patterns sampled for training.
+    pub train_samples: usize,
+    /// Pattern sampling strategy (§VII-A; the paper uses random walks).
+    pub strategy: SamplingStrategy,
+    /// Particles for likelihood-weighted forward sampling.
+    pub particles: usize,
+    /// Refuse construction above this node-domain size (the YAGO guard).
+    pub max_node_domain: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LmkgUConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 64,
+            blocks: 2,
+            embed_dim: 32,
+            epochs: 5,
+            batch_size: 256,
+            learning_rate: 2e-3,
+            train_samples: 10_000,
+            strategy: SamplingStrategy::RandomWalk,
+            particles: 256,
+            max_node_domain: 500_000,
+            seed: 0,
+        }
+    }
+}
+
+/// The unsupervised LMKG estimator for one `(shape, size)` pair — the
+/// paper's LMKG-U grouping ("query size and type grouping", §VIII-B).
+pub struct LmkgU {
+    made: Made,
+    shape: QueryShape,
+    k: usize,
+    n_total: f64,
+    segments: Vec<usize>,
+    cfg: LmkgUConfig,
+    rng: StdRng,
+    /// Parameter count, fixed at construction (architecture is static).
+    cached_param_count: usize,
+}
+
+impl LmkgU {
+    /// Builds an untrained model for `shape` queries of exactly `k` triples.
+    pub fn new(graph: &KnowledgeGraph, shape: QueryShape, k: usize, cfg: LmkgUConfig) -> Result<Self, LmkgUError> {
+        assert!(matches!(shape, QueryShape::Star | QueryShape::Chain), "LMKG-U answers star/chain queries");
+        assert!(k >= 1);
+        if graph.num_nodes() > cfg.max_node_domain {
+            return Err(LmkgUError::DomainTooLarge { nodes: graph.num_nodes(), limit: cfg.max_node_domain });
+        }
+        // Positions [n, p, n, p, n, …]: 2k+1 alternating node/predicate.
+        let mut spaces = Vec::with_capacity(2 * k + 1);
+        spaces.push(0);
+        for _ in 0..k {
+            spaces.push(1);
+            spaces.push(0);
+        }
+        let made_cfg = MadeConfig {
+            vocab_sizes: vec![graph.num_nodes().max(1), graph.num_preds().max(1)],
+            spaces,
+            hidden: cfg.hidden,
+            blocks: cfg.blocks,
+            embed_dim: cfg.embed_dim,
+        };
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut made = Made::new(&mut rng, made_cfg);
+        let cached_param_count = made.param_count();
+        let segments = made.segments().to_vec();
+        let n_total = match shape {
+            QueryShape::Star => counter::star_tuple_total(graph, k),
+            QueryShape::Chain => counter::chain_tuple_total(graph, k),
+            _ => unreachable!(),
+        };
+        Ok(Self { made, shape, k, n_total, segments, cfg, rng, cached_param_count })
+    }
+
+    /// The tuple size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The model topology.
+    pub fn shape(&self) -> QueryShape {
+        self.shape
+    }
+
+    /// The tuple-space total `N` used to de-normalize densities.
+    pub fn n_total(&self) -> f64 {
+        self.n_total
+    }
+
+    /// Samples the training tuples per the configured strategy (§VII-A).
+    pub fn sample_training_tuples(&mut self, graph: &KnowledgeGraph) -> Vec<Vec<usize>> {
+        let mut out = Vec::with_capacity(self.cfg.train_samples);
+        match self.shape {
+            QueryShape::Star => {
+                let sampler = StarSampler::new(graph, self.k, self.cfg.strategy);
+                for _ in 0..self.cfg.train_samples {
+                    out.push(sampler.sample(&mut self.rng).to_ids());
+                }
+            }
+            QueryShape::Chain => {
+                let sampler = ChainSampler::new(graph, self.k, self.cfg.strategy);
+                let mut attempts = 0usize;
+                while out.len() < self.cfg.train_samples && attempts < self.cfg.train_samples * 20 {
+                    attempts += 1;
+                    if let Some(t) = sampler.sample(&mut self.rng) {
+                        out.push(t.to_ids());
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+        out
+    }
+
+    /// Creates the Adam optimizer matching the config.
+    pub fn make_optimizer(&self) -> Adam {
+        Adam::new(self.cfg.learning_rate)
+    }
+
+    /// Runs one training epoch over `tuples`; returns the mean NLL.
+    pub fn train_epoch(&mut self, tuples: &[Vec<usize>], opt: &mut Adam) -> f32 {
+        let mut indices: Vec<usize> = (0..tuples.len()).collect();
+        for i in (1..indices.len()).rev() {
+            indices.swap(i, self.rng.gen_range(0..=i));
+        }
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in indices.chunks(self.cfg.batch_size.max(1)) {
+            let batch: Vec<Vec<usize>> = chunk.iter().map(|&i| tuples[i].clone()).collect();
+            let logits = self.made.forward_ids(&batch, true);
+            let (l, grad) = loss::segmented_cross_entropy(&logits, &self.segments, &batch);
+            self.made.backward_ids(&grad);
+            opt.step(&mut self.made);
+            total += f64::from(l);
+            batches += 1;
+        }
+        if batches == 0 {
+            0.0
+        } else {
+            (total / batches as f64) as f32
+        }
+    }
+
+    /// Samples training data and trains for the configured epochs.
+    pub fn train(&mut self, graph: &KnowledgeGraph) -> Vec<EpochStats> {
+        let tuples = self.sample_training_tuples(graph);
+        let mut opt = self.make_optimizer();
+        let epochs = self.cfg.epochs;
+        (0..epochs)
+            .map(|epoch| EpochStats { epoch, loss: self.train_epoch(&tuples, &mut opt) })
+            .collect()
+    }
+
+    /// Mean negative log-likelihood of `tuples` under the current model.
+    pub fn nll(&mut self, tuples: &[Vec<usize>]) -> f32 {
+        let logits = self.made.forward_ids(tuples, false);
+        loss::segmented_cross_entropy(&logits, &self.segments, tuples).0
+    }
+
+    /// Maps a query onto per-position bound values.
+    fn query_bounds(&self, query: &Query) -> Result<Vec<Option<usize>>, LmkgUError> {
+        let actual = query.shape();
+        let compatible = actual == self.shape || (actual == QueryShape::Single && self.k == 1);
+        if !compatible {
+            return Err(LmkgUError::WrongShape { expected: self.shape, actual });
+        }
+        if query.size() != self.k {
+            return Err(LmkgUError::WrongSize { expected: self.k, actual: query.size() });
+        }
+
+        let positions = 2 * self.k + 1;
+        let mut bounds = vec![None; positions];
+        // Track variables: structural sharing (star center, chain links) is
+        // expected; any other reuse cannot be expressed by marginalization.
+        let mut seen_vars: Vec<VarId> = Vec::new();
+        let check_var = |v: VarId, structural: bool, seen: &mut Vec<VarId>| {
+            if seen.contains(&v) {
+                structural
+            } else {
+                seen.push(v);
+                true
+            }
+        };
+
+        match self.shape {
+            QueryShape::Star => {
+                let center = query.triples[0].s;
+                if let Some(v) = center.var() {
+                    check_var(v, true, &mut seen_vars);
+                }
+                bounds[0] = center.bound().map(|n| n.index());
+                for (i, t) in query.triples.iter().enumerate() {
+                    bounds[1 + 2 * i] = t.p.bound().map(|p| p.index());
+                    bounds[2 + 2 * i] = t.o.bound().map(|o| o.index());
+                    if let Some(v) = t.p.var() {
+                        if !check_var(v, false, &mut seen_vars) {
+                            return Err(LmkgUError::UnsupportedVariablePattern);
+                        }
+                    }
+                    if let Some(v) = t.o.var() {
+                        let is_center = center.var() == Some(v);
+                        if is_center || !check_var(v, false, &mut seen_vars) {
+                            return Err(LmkgUError::UnsupportedVariablePattern);
+                        }
+                    }
+                }
+            }
+            QueryShape::Chain => {
+                bounds[0] = query.triples[0].s.bound().map(|n| n.index());
+                if let Some(v) = query.triples[0].s.var() {
+                    check_var(v, true, &mut seen_vars);
+                }
+                for (i, t) in query.triples.iter().enumerate() {
+                    bounds[1 + 2 * i] = t.p.bound().map(|p| p.index());
+                    bounds[2 + 2 * i] = t.o.bound().map(|o| o.index());
+                    if let Some(v) = t.p.var() {
+                        if !check_var(v, false, &mut seen_vars) {
+                            return Err(LmkgUError::UnsupportedVariablePattern);
+                        }
+                    }
+                    if let Some(v) = t.o.var() {
+                        // The object var is structurally shared with the next
+                        // subject; it must not have been seen before.
+                        if seen_vars.contains(&v) {
+                            return Err(LmkgUError::UnsupportedVariablePattern);
+                        }
+                        seen_vars.push(v);
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+        Ok(bounds)
+    }
+
+    /// Estimates the cardinality of `query` via likelihood-weighted forward
+    /// sampling (§VI-B).
+    pub fn estimate_query(&mut self, query: &Query) -> Result<f64, LmkgUError> {
+        let bounds = self.query_bounds(query)?;
+        Ok(self.estimate_bounds(&bounds))
+    }
+
+    /// Core progressive-sampling estimator over per-position bound values.
+    pub fn estimate_bounds(&mut self, bounds: &[Option<usize>]) -> f64 {
+        assert_eq!(bounds.len(), self.segments.len());
+        let Some(last_bound) = bounds.iter().rposition(Option::is_some) else {
+            // No bound term: the query matches every tuple.
+            return self.n_total.max(1.0);
+        };
+        let particles = self.cfg.particles.max(1);
+        let mut ids = vec![vec![0usize; self.segments.len()]; particles];
+        let mut log_w = vec![0.0f64; particles];
+
+        for pos in 0..=last_bound {
+            // Only the current position's logit segment is needed — the
+            // sliced forward avoids materializing the full (huge) output
+            // layer at every autoregressive step.
+            let logits = self.made.forward_ids_segment(&ids, pos);
+            match bounds[pos] {
+                Some(b) => {
+                    for (r, ids_row) in ids.iter_mut().enumerate() {
+                        log_w[r] += f64::from(log_softmax_at(logits.row(r), b));
+                        ids_row[pos] = b;
+                    }
+                }
+                None => {
+                    for (r, ids_row) in ids.iter_mut().enumerate() {
+                        ids_row[pos] = sample_categorical(logits.row(r), &mut self.rng);
+                    }
+                }
+            }
+        }
+
+        let mean_w: f64 = log_w.iter().map(|&lw| lw.exp()).sum::<f64>() / particles as f64;
+        (mean_w * self.n_total).max(1.0)
+    }
+
+    /// Scalar parameter count.
+    pub fn param_count(&mut self) -> usize {
+        self.made.param_count()
+    }
+
+    /// Model size in bytes.
+    pub fn memory_bytes(&mut self) -> usize {
+        self.made.memory_bytes()
+    }
+}
+
+impl crate::estimator::CardinalityEstimator for LmkgU {
+    fn name(&self) -> &str {
+        "LMKG-U"
+    }
+
+    /// Estimates via [`LmkgU::estimate_query`]; queries this model cannot
+    /// answer (wrong type/size, unsupported variable pattern) report the
+    /// neutral estimate 1.
+    fn estimate(&mut self, query: &Query) -> f64 {
+        self.estimate_query(query).unwrap_or(1.0)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.cached_param_count * std::mem::size_of::<f32>()
+    }
+}
+
+/// Stable `log softmax(seg)[target]`.
+fn log_softmax_at(seg: &[f32], target: usize) -> f32 {
+    let max = seg.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let sum: f32 = seg.iter().map(|&x| (x - max).exp()).sum();
+    seg[target] - max - sum.ln()
+}
+
+/// Samples an index from softmax(seg).
+fn sample_categorical<R: Rng>(seg: &[f32], rng: &mut R) -> usize {
+    let max = seg.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let mut total = 0.0f64;
+    for &x in seg {
+        total += f64::from((x - max).exp());
+    }
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &x) in seg.iter().enumerate() {
+        u -= f64::from((x - max).exp());
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    seg.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg_store::{GraphBuilder, NodeId, NodeTerm, PredId, PredTerm, TriplePattern};
+
+    fn v(i: u16) -> NodeTerm {
+        NodeTerm::Var(VarId(i))
+    }
+    fn n(i: u32) -> NodeTerm {
+        NodeTerm::Bound(NodeId(i))
+    }
+    fn p(i: u32) -> PredTerm {
+        PredTerm::Bound(PredId(i))
+    }
+
+    /// A small but structured graph: two "genres" with different popularity.
+    fn graph() -> lmkg_store::KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..12 {
+            let book = format!("book{i}");
+            let author = format!("author{}", i % 3);
+            b.add(&book, "hasAuthor", &author);
+            let genre = if i < 9 { "horror" } else { "fantasy" };
+            b.add(&book, "genre", genre);
+        }
+        b.build()
+    }
+
+    fn quick_cfg() -> LmkgUConfig {
+        LmkgUConfig {
+            hidden: 32,
+            blocks: 1,
+            embed_dim: 8,
+            epochs: 40,
+            batch_size: 128,
+            learning_rate: 5e-3,
+            train_samples: 4000,
+            strategy: SamplingStrategy::Uniform,
+            particles: 512,
+            seed: 1,
+            ..Default::default()
+        }
+    }
+
+    fn trained_star_model(k: usize) -> (lmkg_store::KnowledgeGraph, LmkgU) {
+        let g = graph();
+        let mut m = LmkgU::new(&g, QueryShape::Star, k, quick_cfg()).unwrap();
+        m.train(&g);
+        (g, m)
+    }
+
+    #[test]
+    fn n_total_matches_counter() {
+        let g = graph();
+        let m = LmkgU::new(&g, QueryShape::Star, 2, quick_cfg()).unwrap();
+        assert_eq!(m.n_total(), counter::star_tuple_total(&g, 2));
+        let c = LmkgU::new(&g, QueryShape::Chain, 2, quick_cfg()).unwrap();
+        assert_eq!(c.n_total(), counter::chain_tuple_total(&g, 2));
+    }
+
+    #[test]
+    fn training_reduces_nll() {
+        let g = graph();
+        let mut m = LmkgU::new(&g, QueryShape::Star, 2, quick_cfg()).unwrap();
+        let tuples = m.sample_training_tuples(&g);
+        let before = m.nll(&tuples[..500.min(tuples.len())].to_vec());
+        let mut opt = m.make_optimizer();
+        for _ in 0..10 {
+            m.train_epoch(&tuples, &mut opt);
+        }
+        let after = m.nll(&tuples[..500.min(tuples.len())].to_vec());
+        assert!(after < before, "NLL {before} → {after}");
+    }
+
+    #[test]
+    fn estimates_fully_unbound_query_as_n_total() {
+        let (_, mut m) = trained_star_model(2);
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), PredTerm::Var(VarId(5)), v(1)),
+            TriplePattern::new(v(0), PredTerm::Var(VarId(6)), v(2)),
+        ]);
+        let est = m.estimate_query(&q).unwrap();
+        assert_eq!(est, m.n_total());
+    }
+
+    #[test]
+    fn estimates_star_query_close_to_exact() {
+        let (g, mut m) = trained_star_model(2);
+        let has_author = PredId(g.preds().get("hasAuthor").unwrap());
+        let genre = PredId(g.preds().get("genre").unwrap());
+        let horror = NodeId(g.nodes().get("horror").unwrap());
+
+        // ?x hasAuthor ?a . ?x genre horror  → exact = 9.
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), PredTerm::Bound(has_author), v(1)),
+            TriplePattern::new(v(0), PredTerm::Bound(genre), NodeTerm::Bound(horror)),
+        ]);
+        let exact = counter::cardinality(&g, &q) as f64;
+        let est = m.estimate_query(&q).unwrap();
+        let qerr = (est / exact).max(exact / est);
+        assert!(qerr < 2.0, "estimate {est} vs exact {exact} (q-error {qerr})");
+    }
+
+    #[test]
+    fn estimates_bound_only_query() {
+        let (g, mut m) = trained_star_model(2);
+        let has_author = PredId(g.preds().get("hasAuthor").unwrap());
+        let genre = PredId(g.preds().get("genre").unwrap());
+        let horror = NodeId(g.nodes().get("horror").unwrap());
+        let a0 = NodeId(g.nodes().get("author0").unwrap());
+        // ?x hasAuthor author0 . ?x genre horror → books by author0 in horror.
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), PredTerm::Bound(has_author), NodeTerm::Bound(a0)),
+            TriplePattern::new(v(0), PredTerm::Bound(genre), NodeTerm::Bound(horror)),
+        ]);
+        let exact = counter::cardinality(&g, &q) as f64;
+        let est = m.estimate_query(&q).unwrap();
+        let qerr = (est / exact).max(exact / est);
+        assert!(qerr < 3.0, "estimate {est} vs exact {exact} (q-error {qerr})");
+    }
+
+    #[test]
+    fn chain_model_estimates() {
+        let g = graph();
+        let mut m = LmkgU::new(&g, QueryShape::Chain, 1, quick_cfg()).unwrap();
+        m.train(&g);
+        let has_author = PredId(g.preds().get("hasAuthor").unwrap());
+        // Single triple (?x hasAuthor ?y) — chain of length 1; exact = 12.
+        let q = Query::new(vec![TriplePattern::new(v(0), PredTerm::Bound(has_author), v(1))]);
+        let exact = counter::cardinality(&g, &q) as f64;
+        let est = m.estimate_query(&q).unwrap();
+        let qerr = (est / exact).max(exact / est);
+        assert!(qerr < 2.0, "estimate {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn domain_guard_rejects_large_graphs() {
+        let g = graph();
+        let cfg = LmkgUConfig { max_node_domain: 3, ..quick_cfg() };
+        match LmkgU::new(&g, QueryShape::Star, 2, cfg) {
+            Err(LmkgUError::DomainTooLarge { .. }) => {}
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("guard did not trigger"),
+        }
+    }
+
+    #[test]
+    fn shape_and_size_mismatches_error() {
+        let (_, mut m) = trained_star_model(2);
+        // Chain query against star model.
+        let chain = Query::new(vec![
+            TriplePattern::new(v(0), p(0), v(1)),
+            TriplePattern::new(v(1), p(1), v(2)),
+        ]);
+        assert!(matches!(m.estimate_query(&chain), Err(LmkgUError::WrongShape { .. })));
+        // Star of the wrong size.
+        let star3 = Query::new(vec![
+            TriplePattern::new(v(0), p(0), v(1)),
+            TriplePattern::new(v(0), p(1), v(2)),
+            TriplePattern::new(v(0), p(0), v(3)),
+        ]);
+        assert!(matches!(m.estimate_query(&star3), Err(LmkgUError::WrongSize { .. })));
+    }
+
+    #[test]
+    fn repeated_object_variable_unsupported() {
+        let (_, mut m) = trained_star_model(2);
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), p(0), v(1)),
+            TriplePattern::new(v(0), p(1), v(1)),
+        ]);
+        assert_eq!(m.estimate_query(&q), Err(LmkgUError::UnsupportedVariablePattern));
+    }
+
+    #[test]
+    fn estimate_is_deterministic_for_seed() {
+        let g = graph();
+        let build = || {
+            let mut m = LmkgU::new(&g, QueryShape::Star, 2, quick_cfg()).unwrap();
+            m.train(&g);
+            m
+        };
+        let mut a = build();
+        let mut b = build();
+        let has_author = PredId(g.preds().get("hasAuthor").unwrap());
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), PredTerm::Bound(has_author), v(1)),
+            TriplePattern::new(v(0), PredTerm::Bound(has_author), n(2)),
+        ]);
+        assert_eq!(a.estimate_query(&q).unwrap(), b.estimate_query(&q).unwrap());
+    }
+
+    #[test]
+    fn memory_scales_with_domain() {
+        let g = graph();
+        let small = LmkgU::new(&g, QueryShape::Star, 2, quick_cfg()).unwrap().param_count();
+        let mut big_cfg = quick_cfg();
+        big_cfg.hidden = 64;
+        let big = LmkgU::new(&g, QueryShape::Star, 2, big_cfg).unwrap().param_count();
+        assert!(big > small);
+    }
+}

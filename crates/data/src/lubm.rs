@@ -1,0 +1,253 @@
+//! LUBM-like dataset generator.
+//!
+//! LUBM (Guo, Pan & Heflin, 2005) is itself a synthetic benchmark — a
+//! university ontology instantiated per university. We implement the
+//! generator directly (scaled down per [`Scale`]) with the same schema
+//! structure the paper relies on: exactly 19 predicates, a regular
+//! department/professor/student hierarchy, and homogeneous degree
+//! distributions (the property that makes LUBM "easy" relative to SWDF in
+//! Figs. 8–10).
+
+use crate::scale::Scale;
+use lmkg_store::{GraphBuilder, KnowledgeGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The 19 LUBM predicates used by the generator.
+pub const PREDICATES: [&str; 19] = [
+    "rdf:type",
+    "ub:subOrganizationOf",
+    "ub:worksFor",
+    "ub:headOf",
+    "ub:teacherOf",
+    "ub:takesCourse",
+    "ub:teachingAssistantOf",
+    "ub:advisor",
+    "ub:memberOf",
+    "ub:publicationAuthor",
+    "ub:undergraduateDegreeFrom",
+    "ub:mastersDegreeFrom",
+    "ub:doctoralDegreeFrom",
+    "ub:name",
+    "ub:emailAddress",
+    "ub:telephone",
+    "ub:researchInterest",
+    "ub:title",
+    "ub:orgPublication",
+];
+
+/// Tunable generator parameters (see [`LubmConfig::at_scale`] for presets).
+#[derive(Debug, Clone)]
+pub struct LubmConfig {
+    /// Number of universities (LUBM-20 = 20 universities at paper scale).
+    pub universities: usize,
+    /// Departments per university (uniform range).
+    pub depts_per_univ: (usize, usize),
+    /// Professors per department.
+    pub profs_per_dept: (usize, usize),
+    /// Courses taught per professor.
+    pub courses_per_prof: (usize, usize),
+    /// Graduate students per professor.
+    pub grads_per_prof: (usize, usize),
+    /// Undergraduate students per professor.
+    pub undergrads_per_prof: (usize, usize),
+    /// Publications per professor.
+    pub pubs_per_prof: (usize, usize),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LubmConfig {
+    /// Preset reproducing LUBM-20's shape at the requested scale.
+    ///
+    /// At `Scale::Paper` this yields ≈ 2.7M triples / ≈ 660K entities, the
+    /// LUBM-20 numbers from Table I; smaller scales reduce the university
+    /// count and keep per-department structure intact.
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        Self {
+            universities: scale.apply(20 * 14, 1).max(1), // ≈14 "units" per LUBM univ
+            depts_per_univ: (12, 18),
+            profs_per_dept: (7, 11),
+            courses_per_prof: (1, 2),
+            grads_per_prof: (2, 3),
+            undergrads_per_prof: (6, 9),
+            pubs_per_prof: (4, 7),
+            seed,
+        }
+    }
+}
+
+fn range(rng: &mut StdRng, (lo, hi): (usize, usize)) -> usize {
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+/// Generates an LUBM-like knowledge graph.
+pub fn generate(config: &LubmConfig) -> KnowledgeGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = GraphBuilder::new();
+
+    let type_p = "rdf:type";
+    let research_areas: Vec<String> = (0..30).map(|i| format!("ub:Research{i}")).collect();
+
+    // University URIs up front so degreeFrom edges can cross universities.
+    let universities: Vec<String> = (0..config.universities).map(|u| format!("ub:University{u}")).collect();
+    for u in &universities {
+        b.add(u, type_p, "ub:University");
+    }
+
+    let mut person_counter = 0usize;
+    let mut pub_counter = 0usize;
+
+    for (ui, univ) in universities.iter().enumerate() {
+        let n_depts = range(&mut rng, config.depts_per_univ);
+        for d in 0..n_depts {
+            let dept = format!("ub:Dept{d}.U{ui}");
+            b.add(&dept, type_p, "ub:Department");
+            b.add(&dept, "ub:subOrganizationOf", univ);
+
+            let n_profs = range(&mut rng, config.profs_per_dept);
+            let mut courses: Vec<String> = Vec::new();
+            let mut professors: Vec<String> = Vec::new();
+
+            for p in 0..n_profs {
+                let prof = format!("ub:Prof{person_counter}");
+                person_counter += 1;
+                let rank = match p % 3 {
+                    0 => "ub:FullProfessor",
+                    1 => "ub:AssociateProfessor",
+                    _ => "ub:AssistantProfessor",
+                };
+                b.add(&prof, type_p, rank);
+                b.add(&prof, "ub:worksFor", &dept);
+                if p == 0 {
+                    b.add(&prof, "ub:headOf", &dept);
+                }
+                b.add(&prof, "ub:name", &format!("\"Prof {person_counter}\""));
+                b.add(&prof, "ub:emailAddress", &format!("\"prof{person_counter}@u{ui}.edu\""));
+                b.add(&prof, "ub:telephone", &format!("\"+1-555-{person_counter:07}\""));
+                b.add(&prof, "ub:researchInterest", &research_areas[rng.gen_range(0..research_areas.len())]);
+                for deg_pred in ["ub:undergraduateDegreeFrom", "ub:mastersDegreeFrom", "ub:doctoralDegreeFrom"] {
+                    let from = &universities[rng.gen_range(0..universities.len())];
+                    b.add(&prof, deg_pred, from);
+                }
+                let n_courses = range(&mut rng, config.courses_per_prof);
+                for c in 0..n_courses {
+                    let course = format!("ub:Course{}.D{d}.U{ui}", courses.len() + c);
+                    b.add(&course, type_p, "ub:Course");
+                    b.add(&prof, "ub:teacherOf", &course);
+                    courses.push(course);
+                }
+                let n_pubs = range(&mut rng, config.pubs_per_prof);
+                for _ in 0..n_pubs {
+                    let publication = format!("ub:Publication{pub_counter}");
+                    pub_counter += 1;
+                    b.add(&publication, type_p, "ub:Publication");
+                    b.add(&publication, "ub:publicationAuthor", &prof);
+                    b.add(&publication, "ub:title", &format!("\"Title {pub_counter}\""));
+                    b.add(&dept, "ub:orgPublication", &publication);
+                }
+                professors.push(prof);
+            }
+
+            if courses.is_empty() {
+                continue;
+            }
+
+            for prof in professors.iter() {
+                let n_grads = range(&mut rng, config.grads_per_prof);
+                for _ in 0..n_grads {
+                    let student = format!("ub:Grad{person_counter}");
+                    person_counter += 1;
+                    b.add(&student, type_p, "ub:GraduateStudent");
+                    b.add(&student, "ub:memberOf", &dept);
+                    b.add(&student, "ub:advisor", prof);
+                    b.add(&student, "ub:undergraduateDegreeFrom", &universities[rng.gen_range(0..universities.len())]);
+                    b.add(&student, "ub:name", &format!("\"Grad {person_counter}\""));
+                    b.add(&student, "ub:emailAddress", &format!("\"g{person_counter}@u{ui}.edu\""));
+                    for _ in 0..rng.gen_range(1..=3usize) {
+                        b.add(&student, "ub:takesCourse", &courses[rng.gen_range(0..courses.len())]);
+                    }
+                    if rng.gen_bool(0.25) {
+                        b.add(&student, "ub:teachingAssistantOf", &courses[rng.gen_range(0..courses.len())]);
+                    }
+                }
+                let n_under = range(&mut rng, config.undergrads_per_prof);
+                for _ in 0..n_under {
+                    let student = format!("ub:Under{person_counter}");
+                    person_counter += 1;
+                    b.add(&student, type_p, "ub:UndergraduateStudent");
+                    b.add(&student, "ub:memberOf", &dept);
+                    b.add(&student, "ub:name", &format!("\"Under {person_counter}\""));
+                    for _ in 0..rng.gen_range(1..=3usize) {
+                        b.add(&student, "ub:takesCourse", &courses[rng.gen_range(0..courses.len())]);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg_store::GraphStats;
+
+    #[test]
+    fn uses_exactly_19_predicates() {
+        let g = generate(&LubmConfig::at_scale(Scale::Ci, 1));
+        assert_eq!(g.num_preds(), 19);
+        for p in PREDICATES {
+            assert!(g.preds().get(p).is_some(), "missing predicate {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(&LubmConfig::at_scale(Scale::Ci, 7));
+        let b = generate(&LubmConfig::at_scale(Scale::Ci, 7));
+        assert_eq!(a.num_triples(), b.num_triples());
+        assert_eq!(a.triples(), b.triples());
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = generate(&LubmConfig::at_scale(Scale::Ci, 1));
+        let b = generate(&LubmConfig::at_scale(Scale::Ci, 2));
+        assert_ne!(a.triples(), b.triples());
+    }
+
+    #[test]
+    fn entity_triple_ratio_matches_lubm_shape() {
+        // LUBM-20: 663K entities / 2.7M triples ≈ 0.25.
+        let g = generate(&LubmConfig::at_scale(Scale::Default, 1));
+        let s = GraphStats::compute(&g);
+        let ratio = s.entities as f64 / s.triples as f64;
+        assert!((0.15..0.45).contains(&ratio), "entity/triple ratio {ratio}");
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = generate(&LubmConfig::at_scale(Scale::Ci, 1));
+        let bigger = generate(&LubmConfig::at_scale(Scale::Factor(0.02), 1));
+        assert!(bigger.num_triples() > small.num_triples());
+    }
+
+    #[test]
+    fn structural_sanity() {
+        let g = generate(&LubmConfig::at_scale(Scale::Ci, 3));
+        // Every department has a head professor who works for it.
+        let head_of = lmkg_store::PredId(g.preds().get("ub:headOf").unwrap());
+        let works_for = lmkg_store::PredId(g.preds().get("ub:worksFor").unwrap());
+        let mut heads = 0;
+        for &(s, o) in g.pred_pairs(head_of).iter().map(|p| p) {
+            assert!(g.contains(s, works_for, o), "head must work for their department");
+            heads += 1;
+        }
+        assert!(heads > 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Bound-pattern sampling — the training-data creation step of §VII-A.
+//!
+//! Two strategies per query shape:
+//!
+//! * **Random walk** (the paper's choice, after Leskovec & Faloutsos): pick a
+//!   start node, take `k` uniform out-edge steps (from the same node for
+//!   stars, chained for chains). Biased towards highly connected nodes;
+//!   cheap; the paper identifies its sample quality as LMKG-U's main
+//!   accuracy limiter.
+//! * **Uniform** (our ablation, §VII-A discussion): exact uniform sampling
+//!   over the tuple space, via `outdeg^k` weights for stars and
+//!   walk-count DP tables for chains. This is the distribution an
+//!   autoregressive density model actually assumes.
+
+use lmkg_store::counter::walk_counts;
+use lmkg_store::{KnowledgeGraph, NodeId, PredId};
+use rand::Rng;
+
+/// How bound patterns are drawn from the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingStrategy {
+    /// Random-walk sampling (paper default).
+    RandomWalk,
+    /// Exact uniform sampling over the tuple space.
+    Uniform,
+}
+
+/// A bound star pattern: a subject and `k` of its out-edges (with
+/// repetition allowed, matching homomorphism semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StarTuple {
+    /// Center subject.
+    pub s: NodeId,
+    /// `(predicate, object)` pairs, in sampling order.
+    pub pairs: Vec<(PredId, NodeId)>,
+}
+
+impl StarTuple {
+    /// Flattens to the autoregressive position order `[s, p1, o1, …]`.
+    pub fn to_ids(&self) -> Vec<usize> {
+        let mut ids = Vec::with_capacity(1 + 2 * self.pairs.len());
+        ids.push(self.s.index());
+        for &(p, o) in &self.pairs {
+            ids.push(p.index());
+            ids.push(o.index());
+        }
+        ids
+    }
+}
+
+/// A bound chain pattern: a directed walk of `k` edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainTuple {
+    /// `k + 1` nodes along the walk.
+    pub nodes: Vec<NodeId>,
+    /// `k` predicates along the walk.
+    pub preds: Vec<PredId>,
+}
+
+impl ChainTuple {
+    /// Flattens to the autoregressive position order `[n1, p1, n2, …]`.
+    pub fn to_ids(&self) -> Vec<usize> {
+        let mut ids = Vec::with_capacity(self.nodes.len() + self.preds.len());
+        ids.push(self.nodes[0].index());
+        for i in 0..self.preds.len() {
+            ids.push(self.preds[i].index());
+            ids.push(self.nodes[i + 1].index());
+        }
+        ids
+    }
+}
+
+/// Samples bound star patterns of a fixed size.
+pub struct StarSampler<'g> {
+    graph: &'g KnowledgeGraph,
+    k: usize,
+    strategy: SamplingStrategy,
+    subjects: Vec<NodeId>,
+    /// Cumulative `outdeg^k` weights over `subjects` (uniform strategy).
+    cumulative: Vec<f64>,
+}
+
+impl<'g> StarSampler<'g> {
+    /// Creates a sampler for stars of `k` edges.
+    pub fn new(graph: &'g KnowledgeGraph, k: usize, strategy: SamplingStrategy) -> Self {
+        assert!(k >= 1, "star size must be at least 1");
+        let subjects: Vec<NodeId> = graph.subjects_iter().collect();
+        assert!(!subjects.is_empty(), "graph has no subjects to sample from");
+        let mut cumulative = Vec::new();
+        if strategy == SamplingStrategy::Uniform {
+            cumulative.reserve(subjects.len());
+            let mut acc = 0.0f64;
+            for &s in &subjects {
+                acc += (graph.out_degree(s) as f64).powi(k as i32);
+                cumulative.push(acc);
+            }
+        }
+        Self { graph, k, strategy, subjects, cumulative }
+    }
+
+    /// The star size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Draws one bound star pattern.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> StarTuple {
+        let s = match self.strategy {
+            SamplingStrategy::RandomWalk => self.subjects[rng.gen_range(0..self.subjects.len())],
+            SamplingStrategy::Uniform => {
+                let total = *self.cumulative.last().expect("non-empty");
+                let u = rng.gen::<f64>() * total;
+                let idx = self.cumulative.partition_point(|&c| c < u).min(self.subjects.len() - 1);
+                self.subjects[idx]
+            }
+        };
+        // Given the center, both strategies take k iid uniform out-edges —
+        // for Uniform this completes exact tuple-space uniformity.
+        let edges = self.graph.out_edges(s);
+        let pairs = (0..self.k).map(|_| edges[rng.gen_range(0..edges.len())]).collect();
+        StarTuple { s, pairs }
+    }
+}
+
+/// Samples bound chain patterns (directed walks) of a fixed length.
+pub struct ChainSampler<'g> {
+    graph: &'g KnowledgeGraph,
+    k: usize,
+    strategy: SamplingStrategy,
+    subjects: Vec<NodeId>,
+    /// `walk_tables[i][v]` = #walks of length `i` from `v` (uniform strategy).
+    walk_tables: Vec<Vec<f64>>,
+    /// Cumulative start weights `walk_tables[k][v]` over all nodes.
+    start_cumulative: Vec<f64>,
+}
+
+impl<'g> ChainSampler<'g> {
+    /// Creates a sampler for chains of `k` edges.
+    pub fn new(graph: &'g KnowledgeGraph, k: usize, strategy: SamplingStrategy) -> Self {
+        assert!(k >= 1, "chain length must be at least 1");
+        let subjects: Vec<NodeId> = graph.subjects_iter().collect();
+        assert!(!subjects.is_empty(), "graph has no subjects to sample from");
+        let (walk_tables, start_cumulative) = if strategy == SamplingStrategy::Uniform {
+            let tables = walk_counts(graph, k);
+            let mut cum = Vec::with_capacity(graph.num_nodes());
+            let mut acc = 0.0f64;
+            for v in 0..graph.num_nodes() {
+                acc += tables[k][v];
+                cum.push(acc);
+            }
+            assert!(acc > 0.0, "graph has no walks of length {k}");
+            (tables, cum)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Self { graph, k, strategy, subjects, walk_tables, start_cumulative }
+    }
+
+    /// The chain length `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Draws one bound chain; random-walk sampling returns `None` when the
+    /// walk dead-ends (callers retry), uniform sampling never fails.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Option<ChainTuple> {
+        match self.strategy {
+            SamplingStrategy::RandomWalk => self.sample_rw(rng),
+            SamplingStrategy::Uniform => Some(self.sample_uniform(rng)),
+        }
+    }
+
+    fn sample_rw<R: Rng>(&self, rng: &mut R) -> Option<ChainTuple> {
+        let start = self.subjects[rng.gen_range(0..self.subjects.len())];
+        let mut nodes = Vec::with_capacity(self.k + 1);
+        let mut preds = Vec::with_capacity(self.k);
+        nodes.push(start);
+        let mut current = start;
+        for _ in 0..self.k {
+            let edges = self.graph.out_edges(current);
+            if edges.is_empty() {
+                return None;
+            }
+            let (p, o) = edges[rng.gen_range(0..edges.len())];
+            preds.push(p);
+            nodes.push(o);
+            current = o;
+        }
+        Some(ChainTuple { nodes, preds })
+    }
+
+    fn sample_uniform<R: Rng>(&self, rng: &mut R) -> ChainTuple {
+        let total = *self.start_cumulative.last().expect("non-empty");
+        let u = rng.gen::<f64>() * total;
+        let start_idx = self
+            .start_cumulative
+            .partition_point(|&c| c < u)
+            .min(self.graph.num_nodes() - 1);
+        let mut current = NodeId(start_idx as u32);
+        let mut nodes = vec![current];
+        let mut preds = Vec::with_capacity(self.k);
+        for step in 0..self.k {
+            let remaining = self.k - step - 1;
+            let weights_next = &self.walk_tables[remaining];
+            let edges = self.graph.out_edges(current);
+            let total: f64 = edges.iter().map(|&(_, o)| weights_next[o.index()]).sum();
+            debug_assert!(total > 0.0, "walk table guaranteed a continuation");
+            let mut u = rng.gen::<f64>() * total;
+            let mut chosen = edges[edges.len() - 1];
+            for &(p, o) in edges {
+                u -= weights_next[o.index()];
+                if u <= 0.0 {
+                    chosen = (p, o);
+                    break;
+                }
+            }
+            preds.push(chosen.0);
+            nodes.push(chosen.1);
+            current = chosen.1;
+        }
+        ChainTuple { nodes, preds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg_store::fxhash::FxHashMap;
+    use lmkg_store::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// a → b, a → c (knows), a → c (likes), b → c, c → d; d is a sink.
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        b.add("a", "knows", "b");
+        b.add("a", "knows", "c");
+        b.add("a", "likes", "c");
+        b.add("b", "knows", "c");
+        b.add("c", "knows", "d");
+        b.build()
+    }
+
+    #[test]
+    fn star_samples_are_valid_edges() {
+        let g = graph();
+        let sampler = StarSampler::new(&g, 3, SamplingStrategy::RandomWalk);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let t = sampler.sample(&mut rng);
+            assert_eq!(t.pairs.len(), 3);
+            for (p, o) in &t.pairs {
+                assert!(g.contains(t.s, *p, *o));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_star_matches_outdeg_power_distribution() {
+        let g = graph();
+        let k = 2;
+        let sampler = StarSampler::new(&g, k, SamplingStrategy::Uniform);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 30_000;
+        let mut counts: FxHashMap<NodeId, usize> = FxHashMap::default();
+        for _ in 0..n {
+            *counts.entry(sampler.sample(&mut rng).s).or_insert(0) += 1;
+        }
+        // outdegs: a=3, b=1, c=1 → weights 9, 1, 1 → P(a) = 9/11.
+        let a = NodeId(g.nodes().get("a").unwrap());
+        let pa = counts[&a] as f64 / n as f64;
+        assert!((pa - 9.0 / 11.0).abs() < 0.02, "P(a) = {pa}");
+    }
+
+    #[test]
+    fn rw_star_is_biased_to_start_uniformly() {
+        let g = graph();
+        let sampler = StarSampler::new(&g, 2, SamplingStrategy::RandomWalk);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 30_000;
+        let mut counts: FxHashMap<NodeId, usize> = FxHashMap::default();
+        for _ in 0..n {
+            *counts.entry(sampler.sample(&mut rng).s).or_insert(0) += 1;
+        }
+        // RW picks the center uniformly among the 3 subjects.
+        let a = NodeId(g.nodes().get("a").unwrap());
+        let pa = counts[&a] as f64 / n as f64;
+        assert!((pa - 1.0 / 3.0).abs() < 0.02, "P(a) = {pa}");
+    }
+
+    #[test]
+    fn chain_rw_produces_valid_walks_or_none() {
+        let g = graph();
+        let sampler = ChainSampler::new(&g, 2, SamplingStrategy::RandomWalk);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut successes = 0;
+        for _ in 0..200 {
+            if let Some(t) = sampler.sample(&mut rng) {
+                successes += 1;
+                assert_eq!(t.nodes.len(), 3);
+                assert_eq!(t.preds.len(), 2);
+                for i in 0..2 {
+                    assert!(g.contains(t.nodes[i], t.preds[i], t.nodes[i + 1]));
+                }
+            }
+        }
+        assert!(successes > 50, "too many dead-ends: {successes}/200");
+    }
+
+    #[test]
+    fn uniform_chain_is_uniform_over_walks() {
+        let g = graph();
+        let k = 2;
+        // Enumerate all walks of length 2 by brute force.
+        let mut walks = Vec::new();
+        for &t1 in g.triples() {
+            for &t2 in g.triples() {
+                if t1.o == t2.s {
+                    walks.push((t1, t2));
+                }
+            }
+        }
+        let sampler = ChainSampler::new(&g, k, SamplingStrategy::Uniform);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 40_000;
+        let mut counts: FxHashMap<Vec<u32>, usize> = FxHashMap::default();
+        for _ in 0..n {
+            let t = sampler.sample(&mut rng).unwrap();
+            let key = vec![t.nodes[0].0, t.preds[0].0, t.nodes[1].0, t.preds[1].0, t.nodes[2].0];
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), walks.len(), "all walks must be reachable");
+        let expected = 1.0 / walks.len() as f64;
+        for (_, c) in counts {
+            let p = c as f64 / n as f64;
+            assert!((p - expected).abs() < 0.02, "walk probability {p} vs uniform {expected}");
+        }
+    }
+
+    #[test]
+    fn tuple_id_flattening_order() {
+        let t = StarTuple { s: NodeId(5), pairs: vec![(PredId(1), NodeId(2)), (PredId(0), NodeId(3))] };
+        assert_eq!(t.to_ids(), vec![5, 1, 2, 0, 3]);
+        let c = ChainTuple {
+            nodes: vec![NodeId(1), NodeId(2), NodeId(3)],
+            preds: vec![PredId(9), PredId(8)],
+        };
+        assert_eq!(c.to_ids(), vec![1, 9, 2, 8, 3]);
+    }
+}

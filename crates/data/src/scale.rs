@@ -1,0 +1,66 @@
+//! Dataset scaling.
+//!
+//! The paper's datasets span 250K–15M triples; the reproduction shrinks them
+//! by a configurable factor so the full experiment suite runs on a laptop
+//! while preserving the *shape* statistics (skew, predicate counts,
+//! entity/triple ratios). See DESIGN.md §1 for the substitution rationale.
+
+/// Target scale of a generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scale {
+    /// Tiny graphs for unit/integration tests (hundreds of triples).
+    Ci,
+    /// Default experiment scale (~1–3% of the paper's sizes); every figure
+    /// is regenerated at this scale unless overridden.
+    Default,
+    /// The paper's stated sizes (SWDF ≈ 250K, LUBM-20 ≈ 2.7M, YAGO ≈ 15M
+    /// triples). Slow on laptop hardware; opt-in.
+    Paper,
+    /// Free multiplier relative to [`Scale::Paper`] (1.0 = paper size).
+    Factor(f64),
+}
+
+impl Scale {
+    /// Multiplier relative to the paper's dataset sizes.
+    pub fn factor(self) -> f64 {
+        match self {
+            Scale::Ci => 0.0005,
+            Scale::Default => 0.02,
+            Scale::Paper => 1.0,
+            Scale::Factor(f) => f,
+        }
+    }
+
+    /// Scales an absolute paper-size count, with a floor to keep tiny scales
+    /// structurally valid.
+    pub fn apply(self, paper_count: usize, min: usize) -> usize {
+        ((paper_count as f64 * self.factor()).round() as usize).max(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_is_identity() {
+        assert_eq!(Scale::Paper.apply(1000, 1), 1000);
+    }
+
+    #[test]
+    fn default_scale_shrinks() {
+        let scaled = Scale::Default.apply(100_000, 1);
+        assert!(scaled < 100_000);
+        assert!(scaled >= 1000);
+    }
+
+    #[test]
+    fn floor_is_respected() {
+        assert_eq!(Scale::Ci.apply(100, 5), 5);
+    }
+
+    #[test]
+    fn custom_factor() {
+        assert_eq!(Scale::Factor(0.5).apply(1000, 1), 500);
+    }
+}

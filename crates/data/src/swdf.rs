@@ -1,0 +1,259 @@
+//! SWDF-like dataset generator.
+//!
+//! The Semantic Web Dog Food corpus (Möller et al., 2007) is conference
+//! metadata: papers, people, organizations, and events, with a *high number
+//! of interconnections between terms* (paper §VIII, Datasets) and 171
+//! distinct predicates whose usage is heavily skewed. Those two properties —
+//! dense interlinking through popular entities and a long predicate tail —
+//! are what make SWDF the hardest small dataset in Figs. 8–10, and they are
+//! what this generator reproduces.
+
+use crate::scale::Scale;
+use crate::zipf::Zipf;
+use lmkg_store::{GraphBuilder, KnowledgeGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of distinct predicates (Table I: SWDF has 171).
+pub const NUM_PREDICATES: usize = 171;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct SwdfConfig {
+    /// Number of people.
+    pub people: usize,
+    /// Number of conference series.
+    pub conferences: usize,
+    /// Editions per conference series.
+    pub editions_per_conf: (usize, usize),
+    /// Papers per edition.
+    pub papers_per_edition: (usize, usize),
+    /// Zipf exponent of author popularity (higher = more skew).
+    pub author_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SwdfConfig {
+    /// Preset reproducing SWDF's shape (~250K triples / ~76K entities /
+    /// 171 predicates at `Scale::Paper`).
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        Self {
+            people: scale.apply(14_000, 40),
+            conferences: scale.apply(120, 2),
+            editions_per_conf: (3, 10),
+            papers_per_edition: (25, 90),
+            author_skew: 0.9,
+            seed,
+        }
+    }
+}
+
+fn range(rng: &mut StdRng, (lo, hi): (usize, usize)) -> usize {
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+/// Core, frequently used predicates (the head of the usage distribution).
+const CORE_PREDS: [&str; 24] = [
+    "rdf:type",
+    "swrc:author",
+    "foaf:maker",
+    "swc:isPartOf",
+    "swc:hasTopic",
+    "swc:relatedToEvent",
+    "foaf:name",
+    "rdfs:label",
+    "foaf:member",
+    "swrc:affiliation",
+    "swc:heldBy",
+    "swc:hasRole",
+    "ical:dtstart",
+    "foaf:homepage",
+    "foaf:based_near",
+    "dc:title",
+    "dc:subject",
+    "swrc:editor",
+    "swc:hasLocation",
+    "owl:sameAs",
+    "foaf:page",
+    "swrc:series",
+    "bibo:presents",
+    "foaf:knows",
+];
+
+/// Generates an SWDF-like knowledge graph.
+pub fn generate(config: &SwdfConfig) -> KnowledgeGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = GraphBuilder::new();
+
+    let people: Vec<String> = (0..config.people).map(|i| format!("person:{i}")).collect();
+    let orgs: Vec<String> = (0..(config.people / 12).max(3)).map(|i| format!("org:{i}")).collect();
+    let places: Vec<String> = (0..25).map(|i| format!("place:{i}")).collect();
+    let topics: Vec<String> = (0..60.max(config.people / 200)).map(|i| format!("topic:{i}")).collect();
+
+    let author_zipf = Zipf::new(config.people, config.author_skew);
+    let topic_zipf = Zipf::new(topics.len(), 1.0);
+    let org_zipf = Zipf::new(orgs.len(), 0.8);
+
+    // People: the densely interconnected core of SWDF.
+    for (i, p) in people.iter().enumerate() {
+        b.add(p, "rdf:type", "foaf:Person");
+        b.add(p, "foaf:name", &format!("\"Person {i}\""));
+        let org = &orgs[org_zipf.sample(&mut rng)];
+        b.add(p, "swrc:affiliation", org);
+        if rng.gen_bool(0.4) {
+            b.add(p, "foaf:based_near", &places[rng.gen_range(0..places.len())]);
+        }
+        if rng.gen_bool(0.3) {
+            b.add(p, "foaf:homepage", &format!("\"http://people.example/{i}\""));
+        }
+        // Social edges to popular people (creates hubs).
+        for _ in 0..rng.gen_range(0..3usize) {
+            let other = &people[author_zipf.sample(&mut rng)];
+            if other != p {
+                b.add(p, "foaf:knows", other);
+            }
+        }
+        if rng.gen_bool(0.2) {
+            b.add(p, "foaf:page", &format!("\"http://dblp.example/{i}\""));
+        }
+        if rng.gen_bool(0.03) {
+            b.add(p, "owl:sameAs", &format!("dbpedia:{i}"));
+        }
+    }
+    for o in &orgs {
+        b.add(o, "rdf:type", "foaf:Organization");
+        b.add(o, "rdfs:label", &format!("\"{o}\""));
+        // Membership closes the person↔org loop from the org side.
+        for _ in 0..rng.gen_range(1..4usize) {
+            b.add(o, "foaf:member", &people[author_zipf.sample(&mut rng)]);
+        }
+    }
+    for t in &topics {
+        b.add(t, "rdf:type", "swc:Topic");
+        b.add(t, "rdfs:label", &format!("\"{t}\""));
+    }
+
+    let mut paper_counter = 0usize;
+    for c in 0..config.conferences {
+        let series = format!("conf:{c}");
+        b.add(&series, "rdf:type", "swc:ConferenceSeries");
+        let editions = range(&mut rng, config.editions_per_conf);
+        for e in 0..editions {
+            let event = format!("conf:{c}/ed{e}");
+            b.add(&event, "rdf:type", "swc:ConferenceEvent");
+            b.add(&event, "swrc:series", &series);
+            b.add(&event, "swc:hasLocation", &places[rng.gen_range(0..places.len())]);
+            b.add(&event, "ical:dtstart", &format!("\"200{}-0{}-01\"", e % 10, (c % 9) + 1));
+
+            // Chairs and roles held by (popular) people.
+            for r in 0..rng.gen_range(1..4usize) {
+                let role = format!("role:{c}.{e}.{r}");
+                b.add(&role, "rdf:type", "swc:Chair");
+                b.add(&role, "swc:heldBy", &people[author_zipf.sample(&mut rng)]);
+                b.add(&role, "swc:relatedToEvent", &event);
+                b.add(&people[author_zipf.sample(&mut rng)], "swc:hasRole", &role);
+            }
+
+            let papers = range(&mut rng, config.papers_per_edition);
+            for _ in 0..papers {
+                let paper = format!("paper:{paper_counter}");
+                paper_counter += 1;
+                b.add(&paper, "rdf:type", "swrc:InProceedings");
+                b.add(&paper, "dc:title", &format!("\"Paper {paper_counter}\""));
+                b.add(&paper, "swc:isPartOf", &event);
+                b.add(&paper, "swc:hasTopic", &topics[topic_zipf.sample(&mut rng)]);
+                if rng.gen_bool(0.5) {
+                    b.add(&paper, "dc:subject", &topics[topic_zipf.sample(&mut rng)]);
+                }
+                let n_authors = rng.gen_range(1..=5usize);
+                for a in 0..n_authors {
+                    let author = &people[author_zipf.sample(&mut rng)];
+                    b.add(&paper, "swrc:author", author);
+                    b.add(author, "foaf:maker", &paper);
+                    if a == 0 {
+                        b.add(author, "bibo:presents", &paper);
+                    }
+                }
+                if rng.gen_bool(0.15) {
+                    b.add(&paper, "swrc:editor", &people[author_zipf.sample(&mut rng)]);
+                }
+            }
+        }
+    }
+
+    // Long predicate tail: rare predicates over existing entities, Zipf-rare
+    // usage so most of the 171 predicates occur only a handful of times.
+    let n_rare = NUM_PREDICATES - CORE_PREDS.len();
+    let total_rare_triples = (config.people / 2).max(n_rare);
+    let rare_zipf = Zipf::new(n_rare, 1.2);
+    for _ in 0..total_rare_triples {
+        let pred_idx = rare_zipf.sample(&mut rng);
+        let pred = format!("rare:p{pred_idx}");
+        let subj = &people[rng.gen_range(0..people.len())];
+        let obj = if rng.gen_bool(0.5) {
+            places[rng.gen_range(0..places.len())].clone()
+        } else {
+            format!("\"misc {}\"", rng.gen_range(0..50))
+        };
+        b.add(subj, &pred, &obj);
+    }
+    // Guarantee every rare predicate exists at least once (Table I parity).
+    for i in 0..n_rare {
+        let subj = &people[i % people.len()];
+        b.add(subj, &format!("rare:p{i}"), &places[i % places.len()]);
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg_store::stats;
+    use lmkg_store::GraphStats;
+
+    #[test]
+    fn has_171_predicates() {
+        let g = generate(&SwdfConfig::at_scale(Scale::Ci, 1));
+        assert_eq!(g.num_preds(), NUM_PREDICATES);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(&SwdfConfig::at_scale(Scale::Ci, 5));
+        let b = generate(&SwdfConfig::at_scale(Scale::Ci, 5));
+        assert_eq!(a.triples(), b.triples());
+    }
+
+    #[test]
+    fn predicate_usage_is_skewed() {
+        let g = generate(&SwdfConfig::at_scale(Scale::Ci, 1));
+        let freqs = stats::predicate_frequencies(&g);
+        // Head predicate should be used orders of magnitude more than median.
+        let head = freqs[0].1;
+        let median = freqs[freqs.len() / 2].1;
+        assert!(head > 10 * median, "head {head} median {median}");
+    }
+
+    #[test]
+    fn degree_distribution_has_hubs() {
+        let g = generate(&SwdfConfig::at_scale(Scale::Ci, 1));
+        let s = GraphStats::compute(&g);
+        // Popular people accumulate in-links far above the mean.
+        assert!(s.max_in_degree as f64 > 8.0 * (s.triples as f64 / s.entities as f64));
+    }
+
+    #[test]
+    fn entity_triple_ratio_matches_swdf_shape() {
+        // SWDF: 76K entities / 250K triples ≈ 0.3.
+        let g = generate(&SwdfConfig::at_scale(Scale::Default, 1));
+        let s = GraphStats::compute(&g);
+        let ratio = s.entities as f64 / s.triples as f64;
+        assert!((0.15..0.5).contains(&ratio), "entity/triple ratio {ratio}");
+    }
+}

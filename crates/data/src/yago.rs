@@ -1,0 +1,185 @@
+//! YAGO-like dataset generator.
+//!
+//! YAGO (Suchanek et al., 2008) is the paper's stress test: ~15M triples but
+//! ~12M entities — i.e. the number of *distinct term values* is of the same
+//! order as the number of triples (Table I). That enormous domain is exactly
+//! what breaks LMKG-U's autoregressive output layers (§VIII, "Generation of
+//! Test Queries") while LMKG-S's binary encoding shrugs it off. The generator
+//! reproduces that regime: 91 predicates, a thin layer of popular hub
+//! entities, and a vast tail of entities mentioned only once or twice.
+
+use crate::scale::Scale;
+use crate::zipf::Zipf;
+use lmkg_store::{GraphBuilder, KnowledgeGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of distinct predicates (Table I: YAGO has 91).
+pub const NUM_PREDICATES: usize = 91;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct YagoConfig {
+    /// Total number of fact triples to generate (type triples are added on
+    /// top, roughly one per subject).
+    pub facts: usize,
+    /// Number of "popular" hub entities (celebrities, countries, …).
+    pub hubs: usize,
+    /// Probability that an object is a hub rather than a fresh tail entity.
+    pub hub_object_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl YagoConfig {
+    /// Preset reproducing YAGO's shape (~15M triples / ~12M entities at
+    /// `Scale::Paper`; entities ≈ 0.8 × triples at every scale).
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        Self {
+            facts: scale.apply(11_000_000, 600),
+            hubs: scale.apply(45_000, 20),
+            hub_object_prob: 0.18,
+            seed,
+        }
+    }
+}
+
+/// The 91 YAGO-style predicates: a skewed mix of taxonomy, biography and
+/// geography relations.
+fn predicates() -> Vec<String> {
+    let named = [
+        "rdf:type",
+        "rdfs:label",
+        "yago:wasBornIn",
+        "yago:diedIn",
+        "yago:livesIn",
+        "yago:isLocatedIn",
+        "yago:isCitizenOf",
+        "yago:hasCapital",
+        "yago:actedIn",
+        "yago:directed",
+        "yago:created",
+        "yago:wrote",
+        "yago:hasWonPrize",
+        "yago:playsFor",
+        "yago:isMarriedTo",
+        "yago:hasChild",
+        "yago:graduatedFrom",
+        "yago:worksAt",
+        "yago:owns",
+        "yago:isLeaderOf",
+        "yago:participatedIn",
+        "yago:happenedIn",
+        "yago:isAffiliatedTo",
+        "yago:influences",
+        "yago:dealsWith",
+        "yago:exports",
+        "yago:imports",
+        "yago:hasOfficialLanguage",
+        "yago:hasCurrency",
+        "yago:hasNeighbor",
+    ];
+    let mut all: Vec<String> = named.iter().map(|s| s.to_string()).collect();
+    for i in all.len()..NUM_PREDICATES {
+        all.push(format!("yago:relation{i}"));
+    }
+    all
+}
+
+/// Generates a YAGO-like knowledge graph.
+pub fn generate(config: &YagoConfig) -> KnowledgeGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = GraphBuilder::with_capacity(config.facts + config.facts / 4);
+
+    let preds = predicates();
+    let pred_zipf = Zipf::new(preds.len(), 1.05);
+    let hub_zipf = Zipf::new(config.hubs.max(1), 1.0);
+    let classes: Vec<String> = (0..80).map(|i| format!("yago:Class{i}")).collect();
+    let class_zipf = Zipf::new(classes.len(), 1.1);
+
+    let hubs: Vec<String> = (0..config.hubs).map(|i| format!("yago:Hub{i}")).collect();
+    for h in &hubs {
+        b.add(h, "rdf:type", &classes[class_zipf.sample(&mut rng)]);
+    }
+
+    // Tail subjects: each emits a small cluster of facts, then is rarely seen
+    // again — this drives entities ≈ O(triples).
+    let mut tail_counter = 0usize;
+    let mut emitted = 0usize;
+    while emitted < config.facts {
+        let subject = format!("yago:E{tail_counter}");
+        tail_counter += 1;
+        b.add(&subject, "rdf:type", &classes[class_zipf.sample(&mut rng)]);
+        emitted += 1;
+        let cluster = rng.gen_range(1..=3usize);
+        for _ in 0..cluster {
+            let p = &preds[pred_zipf.sample(&mut rng)];
+            let object = if rng.gen_bool(config.hub_object_prob) && !hubs.is_empty() {
+                hubs[hub_zipf.sample(&mut rng)].clone()
+            } else if rng.gen_bool(0.25) {
+                format!("\"literal {}\"", tail_counter * 7 + emitted)
+            } else {
+                // A fresh tail entity referenced exactly once.
+                let fresh = format!("yago:E{tail_counter}");
+                tail_counter += 1;
+                fresh
+            };
+            b.add(&subject, p, &object);
+            emitted += 1;
+            if emitted >= config.facts {
+                break;
+            }
+        }
+    }
+
+    // Ensure all 91 predicates are present (the Zipf tail may miss some at
+    // tiny scales).
+    for (i, p) in preds.iter().enumerate() {
+        let subj = format!("yago:E{}", i % tail_counter.max(1));
+        b.add(&subj, p, &hubs[i % hubs.len().max(1)].clone());
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg_store::GraphStats;
+
+    #[test]
+    fn has_91_predicates() {
+        let g = generate(&YagoConfig::at_scale(Scale::Ci, 1));
+        assert_eq!(g.num_preds(), NUM_PREDICATES);
+    }
+
+    #[test]
+    fn huge_entity_to_triple_ratio() {
+        // YAGO: 12M entities / 15M triples = 0.8 — the LMKG-U killer.
+        let g = generate(&YagoConfig::at_scale(Scale::Default, 1));
+        let s = GraphStats::compute(&g);
+        let ratio = s.entities as f64 / s.triples as f64;
+        assert!(ratio > 0.55, "entity/triple ratio {ratio} too low for a YAGO-like graph");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(&YagoConfig::at_scale(Scale::Ci, 9));
+        let b = generate(&YagoConfig::at_scale(Scale::Ci, 9));
+        assert_eq!(a.triples(), b.triples());
+    }
+
+    #[test]
+    fn has_hub_structure() {
+        let g = generate(&YagoConfig::at_scale(Scale::Ci, 1));
+        let s = GraphStats::compute(&g);
+        assert!(s.max_in_degree >= 5, "expected popular hub objects, max in-degree {}", s.max_in_degree);
+    }
+
+    #[test]
+    fn size_tracks_config() {
+        let small = generate(&YagoConfig { facts: 500, hubs: 10, hub_object_prob: 0.2, seed: 1 });
+        let large = generate(&YagoConfig { facts: 5000, hubs: 10, hub_object_prob: 0.2, seed: 1 });
+        assert!(large.num_triples() > 4 * small.num_triples());
+    }
+}

@@ -1,0 +1,102 @@
+//! A seeded Zipf sampler.
+//!
+//! `rand_distr` is not on the offline crate list, so we precompute the
+//! cumulative mass of `P(i) ∝ 1/(i+1)^s` and sample by binary search. Knowledge
+//! graphs are Zipf-shaped in almost every marginal (paper Fig. 4 shows the
+//! induced skew in query cardinalities), so all three generators lean on this.
+
+use rand::Rng;
+
+/// Zipf distribution over `0..n` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution table; `O(n)`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Self { cumulative }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Samples a rank in `0..n` (0 is the most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c < u).min(self.n() - 1)
+    }
+
+    /// Probability of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - prev) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let sum: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipf::new(50, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; 20];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in [0usize, 1, 5, 19] {
+            let emp = counts[i] as f64 / n as f64;
+            let exp = z.pmf(i);
+            assert!((emp - exp).abs() < 0.01, "rank {i}: emp {emp} vs pmf {exp}");
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # lmkg-encoder
+//!
+//! Query featurization for LMKG (paper §V): term-level one-hot and binary
+//! codecs, the topology-specific *pattern-bound* encoding, the novel
+//! *SG-Encoding* `(A, X, E)` that represents arbitrary subgraph topologies in
+//! one fixed-size input, and the log/min-max cardinality scaler used by the
+//! supervised model.
+//!
+//! ```
+//! use lmkg_encoder::{EncodingKind, PatternBoundEncoder, SgEncoder, TermCodec};
+//! use lmkg_store::{NodeId, NodeTerm, PredId, PredTerm, Query, QueryShape, TriplePattern, VarId};
+//!
+//! // ?book :hasAuthor :king . ?book :genre :horror   (Fig. 2)
+//! let q = Query::new(vec![
+//!     TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(2)), NodeTerm::Bound(NodeId(0))),
+//!     TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(1)), NodeTerm::Bound(NodeId(3))),
+//! ]);
+//!
+//! let sg = SgEncoder::new(5, 3, 3, 2);
+//! let features = sg.encode_vec(&q).unwrap();
+//! assert_eq!(features.len(), sg.width());
+//!
+//! let pb = PatternBoundEncoder::new(TermCodec::new(EncodingKind::Binary, 5, 3), QueryShape::Star, 2);
+//! assert!(pb.encode_vec(&q).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod pattern_bound;
+pub mod scaler;
+pub mod sg;
+pub mod term;
+
+pub use pattern_bound::{EncodeError, PatternBoundEncoder};
+pub use scaler::CardinalityScaler;
+pub use sg::{SgEncoder, SgLayout};
+pub use term::{binary_width, EncodingKind, TermCodec};

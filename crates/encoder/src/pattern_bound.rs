@@ -1,0 +1,267 @@
+//! Pattern-bound encoding (paper §V-A2): a flat concatenation of term
+//! encodings tailored to one query topology.
+//!
+//! * **Star** of capacity `k`: `[subject | p₁ o₁ | … | p_k o_k]`.
+//! * **Chain** of capacity `k`: `[n₁ | p₁ | n₂ | … | p_k | n_{k+1}]` —
+//!   shared link nodes appear once ("by knowing that an object in a triple
+//!   will be a subject in the next one, we further remove redundant nodes").
+//!
+//! Queries smaller than the capacity are zero-padded (a model for size `k`
+//! "can answer smaller queries", §VIII-2); queries larger than the capacity
+//! are rejected.
+
+use crate::term::TermCodec;
+use lmkg_store::{Query, QueryShape};
+
+/// Errors produced by encoders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The query has more triples than the encoder capacity.
+    TooLarge {
+        /// Encoder capacity in triples.
+        capacity: usize,
+        /// Actual query size.
+        actual: usize,
+    },
+    /// The query topology does not match the encoder.
+    WrongShape {
+        /// Expected topology.
+        expected: QueryShape,
+        /// Actual topology.
+        actual: QueryShape,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::TooLarge { capacity, actual } => {
+                write!(f, "query size {actual} exceeds encoder capacity {capacity}")
+            }
+            EncodeError::WrongShape { expected, actual } => {
+                write!(f, "expected a {expected} query, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Flat encoder for star- or chain-shaped queries of bounded size.
+#[derive(Debug, Clone, Copy)]
+pub struct PatternBoundEncoder {
+    codec: TermCodec,
+    shape: QueryShape,
+    capacity: usize,
+}
+
+impl PatternBoundEncoder {
+    /// Creates an encoder for `shape` queries with up to `capacity` triples.
+    pub fn new(codec: TermCodec, shape: QueryShape, capacity: usize) -> Self {
+        assert!(
+            matches!(shape, QueryShape::Star | QueryShape::Chain),
+            "pattern-bound encoding is defined for star and chain queries"
+        );
+        assert!(capacity >= 1);
+        Self { codec, shape, capacity }
+    }
+
+    /// Capacity in triples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The expected query shape.
+    pub fn shape(&self) -> QueryShape {
+        self.shape
+    }
+
+    /// Encoded feature width.
+    pub fn width(&self) -> usize {
+        let nw = self.codec.node_width();
+        let pw = self.codec.pred_width();
+        match self.shape {
+            QueryShape::Star => nw + self.capacity * (pw + nw),
+            QueryShape::Chain => (self.capacity + 1) * nw + self.capacity * pw,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Encodes `query` into `out` (length [`Self::width`]). Variables encode
+    /// to zeros; missing trailing triples (smaller query) stay zero.
+    pub fn encode(&self, query: &Query, out: &mut [f32]) -> Result<(), EncodeError> {
+        assert_eq!(out.len(), self.width(), "output buffer width mismatch");
+        out.iter_mut().for_each(|x| *x = 0.0);
+        if query.size() > self.capacity {
+            return Err(EncodeError::TooLarge { capacity: self.capacity, actual: query.size() });
+        }
+        let actual = query.shape();
+        // Single-triple queries are valid degenerate cases of both topologies.
+        if actual != self.shape && actual != QueryShape::Single {
+            return Err(EncodeError::WrongShape { expected: self.shape, actual });
+        }
+
+        let nw = self.codec.node_width();
+        let pw = self.codec.pred_width();
+        match self.shape {
+            QueryShape::Star => {
+                self.codec.encode_node(query.triples[0].s.bound(), &mut out[..nw]);
+                let mut offset = nw;
+                for t in &query.triples {
+                    self.codec.encode_pred(t.p.bound(), &mut out[offset..offset + pw]);
+                    offset += pw;
+                    self.codec.encode_node(t.o.bound(), &mut out[offset..offset + nw]);
+                    offset += nw;
+                }
+            }
+            QueryShape::Chain => {
+                let mut offset = 0usize;
+                self.codec.encode_node(query.triples[0].s.bound(), &mut out[offset..offset + nw]);
+                offset += nw;
+                for t in &query.triples {
+                    self.codec.encode_pred(t.p.bound(), &mut out[offset..offset + pw]);
+                    offset += pw;
+                    self.codec.encode_node(t.o.bound(), &mut out[offset..offset + nw]);
+                    offset += nw;
+                }
+            }
+            _ => unreachable!(),
+        }
+        Ok(())
+    }
+
+    /// Encodes into a freshly allocated vector.
+    pub fn encode_vec(&self, query: &Query) -> Result<Vec<f32>, EncodeError> {
+        let mut out = vec![0.0f32; self.width()];
+        self.encode(query, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::EncodingKind;
+    use lmkg_store::{NodeId, NodeTerm, PredId, PredTerm, TriplePattern, VarId};
+
+    fn codec() -> TermCodec {
+        TermCodec::new(EncodingKind::Binary, 8, 4) // node 4 bits, pred 3 bits
+    }
+
+    fn star(k: usize) -> Query {
+        let c = NodeTerm::Var(VarId(0));
+        Query::new(
+            (0..k)
+                .map(|i| TriplePattern::new(c, PredTerm::Bound(PredId(i as u32 % 4)), NodeTerm::Bound(NodeId(i as u32))))
+                .collect(),
+        )
+    }
+
+    fn chain(k: usize) -> Query {
+        Query::new(
+            (0..k)
+                .map(|i| {
+                    TriplePattern::new(
+                        NodeTerm::Var(VarId(i as u16)),
+                        PredTerm::Bound(PredId(i as u32 % 4)),
+                        NodeTerm::Var(VarId(i as u16 + 1)),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn width_formulas() {
+        let e = PatternBoundEncoder::new(codec(), QueryShape::Star, 3);
+        // node 4 bits, pred 3 bits: 4 + 3*(3+4) = 25.
+        assert_eq!(e.width(), 25);
+        let c = PatternBoundEncoder::new(codec(), QueryShape::Chain, 3);
+        // 4 nodes * 4 + 3 preds * 3 = 25.
+        assert_eq!(c.width(), 25);
+    }
+
+    #[test]
+    fn chain_is_smaller_than_unshared_representation() {
+        // 2k terms + k preds (pattern-bound chain) vs 2k nodes if objects
+        // and subjects were encoded separately (flattened adjacency list).
+        let c = PatternBoundEncoder::new(codec(), QueryShape::Chain, 5);
+        let unshared = 5 * (4 + 3 + 4);
+        assert!(c.width() < unshared);
+    }
+
+    #[test]
+    fn star_encoding_layout() {
+        let e = PatternBoundEncoder::new(codec(), QueryShape::Star, 2);
+        let q = star(2);
+        let v = e.encode_vec(&q).unwrap();
+        // Center is a variable → first 4 features zero.
+        assert!(v[..4].iter().all(|&x| x == 0.0));
+        // First pair: pred 0 → code 1 → [001]; object 0 → code 1 → [0001].
+        assert_eq!(&v[4..7], &[0.0, 0.0, 1.0]);
+        assert_eq!(&v[7..11], &[0.0, 0.0, 0.0, 1.0]);
+        // Second pair: pred 1 → code 2 → [010]; object 1 → code 2 → [0010].
+        assert_eq!(&v[11..14], &[0.0, 1.0, 0.0]);
+        assert_eq!(&v[14..18], &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn smaller_query_is_zero_padded() {
+        let e = PatternBoundEncoder::new(codec(), QueryShape::Star, 4);
+        let q = star(2);
+        let v = e.encode_vec(&q).unwrap();
+        let pair_w = 3 + 4;
+        let tail = &v[4 + 2 * pair_w..];
+        assert_eq!(tail.len(), 2 * pair_w);
+        assert!(tail.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn oversized_query_rejected() {
+        let e = PatternBoundEncoder::new(codec(), QueryShape::Star, 2);
+        let err = e.encode_vec(&star(3)).unwrap_err();
+        assert_eq!(err, EncodeError::TooLarge { capacity: 2, actual: 3 });
+    }
+
+    #[test]
+    fn wrong_shape_rejected() {
+        let e = PatternBoundEncoder::new(codec(), QueryShape::Star, 3);
+        let err = e.encode_vec(&chain(2)).unwrap_err();
+        assert!(matches!(err, EncodeError::WrongShape { .. }));
+    }
+
+    #[test]
+    fn chain_encoding_shares_link_nodes() {
+        let e = PatternBoundEncoder::new(codec(), QueryShape::Chain, 2);
+        let mut q = chain(2);
+        // Bind the middle node to id 5 → code 6 → [0110].
+        q.triples[0].o = NodeTerm::Bound(NodeId(5));
+        q.triples[1].s = NodeTerm::Bound(NodeId(5));
+        let v = e.encode_vec(&q).unwrap();
+        // Layout: n1(4) p1(3) n2(4) p2(3) n3(4); n2 at offset 7.
+        assert_eq!(&v[7..11], &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn distinct_queries_encode_distinctly() {
+        let e = PatternBoundEncoder::new(codec(), QueryShape::Star, 2);
+        let a = e.encode_vec(&star(2)).unwrap();
+        let mut q = star(2);
+        q.triples[1].o = NodeTerm::Bound(NodeId(7));
+        let b = e.encode_vec(&q).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_triple_accepted_by_both() {
+        let q = Query::new(vec![TriplePattern::new(
+            NodeTerm::Var(VarId(0)),
+            PredTerm::Bound(PredId(1)),
+            NodeTerm::Bound(NodeId(2)),
+        )]);
+        let s = PatternBoundEncoder::new(codec(), QueryShape::Star, 2);
+        assert!(s.encode_vec(&q).is_ok());
+        let c = PatternBoundEncoder::new(codec(), QueryShape::Chain, 2);
+        assert!(c.encode_vec(&q).is_ok());
+    }
+}

@@ -1,0 +1,115 @@
+//! Cardinality scaling for supervised training (paper §VI-A): "the
+//! cardinalities are log scaled followed by a min-max scaling", so the
+//! sigmoid output of LMKG-S lives in `[0, 1]`.
+
+/// Log₂ + min-max scaler fitted on training cardinalities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CardinalityScaler {
+    min_log: f64,
+    max_log: f64,
+}
+
+impl CardinalityScaler {
+    /// Fits the scaler to a set of cardinalities (all ≥ 1).
+    pub fn fit(cards: impl IntoIterator<Item = u64>) -> Self {
+        let mut min_log = f64::INFINITY;
+        let mut max_log = f64::NEG_INFINITY;
+        for c in cards {
+            let l = (c.max(1) as f64).log2();
+            min_log = min_log.min(l);
+            max_log = max_log.max(l);
+        }
+        assert!(min_log.is_finite(), "scaler fitted on an empty set");
+        if (max_log - min_log).abs() < 1e-9 {
+            max_log = min_log + 1.0; // degenerate: all targets equal
+        }
+        Self { min_log, max_log }
+    }
+
+    /// Builds from explicit log bounds (for deserialization).
+    pub fn from_bounds(min_log: f64, max_log: f64) -> Self {
+        assert!(max_log > min_log);
+        Self { min_log, max_log }
+    }
+
+    /// Scales a cardinality to `[0, 1]` (clamped).
+    pub fn scale(&self, card: u64) -> f32 {
+        let l = (card.max(1) as f64).log2();
+        (((l - self.min_log) / (self.max_log - self.min_log)).clamp(0.0, 1.0)) as f32
+    }
+
+    /// Inverts a scaled prediction back to a cardinality estimate (≥ 1).
+    pub fn unscale(&self, scaled: f32) -> f64 {
+        let l = self.min_log + f64::from(scaled.clamp(0.0, 1.0)) * (self.max_log - self.min_log);
+        l.exp2().max(1.0)
+    }
+
+    /// The log₂ span — the `log_range` parameter of the q-error loss.
+    pub fn log_range(&self) -> f32 {
+        (self.max_log - self.min_log) as f32
+    }
+
+    /// Lower log bound.
+    pub fn min_log(&self) -> f64 {
+        self.min_log
+    }
+
+    /// Upper log bound.
+    pub fn max_log(&self) -> f64 {
+        self.max_log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_endpoints() {
+        let s = CardinalityScaler::fit([1u64, 1024]);
+        assert_eq!(s.scale(1), 0.0);
+        assert_eq!(s.scale(1024), 1.0);
+        assert!((s.scale(32) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn roundtrip_within_range() {
+        let s = CardinalityScaler::fit([1u64, 1_000_000]);
+        for c in [1u64, 7, 100, 54_321, 1_000_000] {
+            let back = s.unscale(s.scale(c));
+            let q = (back / c as f64).max(c as f64 / back);
+            assert!(q < 1.001, "card {c} roundtripped to {back}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let s = CardinalityScaler::fit([4u64, 64]);
+        assert_eq!(s.scale(1), 0.0);
+        assert_eq!(s.scale(1 << 20), 1.0);
+        assert!(s.unscale(-0.5) >= 1.0);
+        assert!(s.unscale(1.5) <= 65.0);
+    }
+
+    #[test]
+    fn degenerate_fit_still_valid() {
+        let s = CardinalityScaler::fit([10u64, 10, 10]);
+        assert!(s.log_range() > 0.0);
+        let back = s.unscale(s.scale(10));
+        assert!((back - 10.0).abs() / 10.0 < 0.01);
+    }
+
+    #[test]
+    fn log_range_matches_bounds() {
+        let s = CardinalityScaler::from_bounds(0.0, 20.0);
+        assert_eq!(s.log_range(), 20.0);
+        assert_eq!(s.min_log(), 0.0);
+        assert_eq!(s.max_log(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn empty_fit_panics() {
+        let _ = CardinalityScaler::fit(std::iter::empty::<u64>());
+    }
+}

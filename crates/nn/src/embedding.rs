@@ -1,0 +1,100 @@
+//! Embedding tables: dense id → vector lookups with sparse-write gradients.
+//!
+//! LMKG-U applies a (default 32-dimensional) embedding to every term of the
+//! pattern-bound encoding to keep the model small on heterogeneous KGs
+//! (paper §VI-B). Tables are shared across positions of the same term space
+//! (nodes share one table, predicates another).
+
+use crate::init;
+use crate::layers::Param;
+use crate::tensor::Matrix;
+use rand::Rng;
+
+/// A `vocab × dim` embedding table.
+pub struct Embedding {
+    table: Param,
+    dim: usize,
+}
+
+impl Embedding {
+    /// A randomly initialized table.
+    pub fn new<R: Rng>(rng: &mut R, vocab: usize, dim: usize) -> Self {
+        Self {
+            table: Param::new(init::embedding_init(rng, vocab, dim)),
+            dim,
+        }
+    }
+
+    /// Embedding dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    #[inline]
+    pub fn vocab(&self) -> usize {
+        self.table.value.rows()
+    }
+
+    /// Copies the embedding of `id` into `out` (length `dim`).
+    pub fn lookup_into(&self, id: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.dim);
+        out.copy_from_slice(self.table.value.row(id));
+    }
+
+    /// Accumulates `grad` (length `dim`) into the gradient row of `id`.
+    pub fn accumulate_grad(&mut self, id: usize, grad: &[f32]) {
+        debug_assert_eq!(grad.len(), self.dim);
+        for (g, &d) in self.table.grad.row_mut(id).iter_mut().zip(grad) {
+            *g += d;
+        }
+    }
+
+    /// Access to the underlying parameter (for optimizers/serialization).
+    pub fn param_mut(&mut self) -> &mut Param {
+        &mut self.table
+    }
+
+    /// Read-only access to the table values.
+    pub fn values(&self) -> &Matrix {
+        &self.table.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_returns_table_row() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new(&mut rng, 10, 4);
+        let mut buf = vec![0.0; 4];
+        e.lookup_into(3, &mut buf);
+        assert_eq!(buf.as_slice(), e.values().row(3));
+    }
+
+    #[test]
+    fn grad_accumulates_per_row() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut e = Embedding::new(&mut rng, 5, 2);
+        e.accumulate_grad(2, &[1.0, 2.0]);
+        e.accumulate_grad(2, &[0.5, 0.5]);
+        e.accumulate_grad(4, &[-1.0, 0.0]);
+        let g = &e.param_mut().grad;
+        assert_eq!(g.row(2), &[1.5, 2.5]);
+        assert_eq!(g.row(4), &[-1.0, 0.0]);
+        assert_eq!(g.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn dims_reported() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = Embedding::new(&mut rng, 7, 3);
+        assert_eq!(e.vocab(), 7);
+        assert_eq!(e.dim(), 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Weight initialization schemes.
+
+use crate::tensor::Matrix;
+use rand::Rng;
+
+/// Samples a standard normal via Box–Muller (rand's `StandardNormal` lives in
+/// `rand_distr`, which is not on the offline crate list).
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        if u1 <= f32::EPSILON {
+            continue;
+        }
+        let u2: f32 = rng.gen::<f32>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+    }
+}
+
+/// He (Kaiming) initialization — `N(0, sqrt(2 / fan_in))` — appropriate for
+/// ReLU layers.
+pub fn he<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    let std = (2.0 / fan_in as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| standard_normal(rng) * std)
+}
+
+/// Xavier/Glorot uniform initialization — `U(±sqrt(6 / (fan_in + fan_out)))`
+/// — appropriate for sigmoid/linear output layers.
+pub fn xavier<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-limit..limit))
+}
+
+/// Small-uniform initialization for embedding tables.
+pub fn embedding_init<R: Rng>(rng: &mut R, vocab: usize, dim: usize) -> Matrix {
+    let limit = 1.0 / (dim as f32).sqrt();
+    Matrix::from_fn(vocab, dim, |_, _| rng.gen_range(-limit..limit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn he_scale_matches_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = he(&mut rng, 256, 64);
+        let var = w.as_slice().iter().map(|x| x * x).sum::<f32>() / w.len() as f32;
+        let expected = 2.0 / 256.0;
+        assert!((var - expected).abs() < expected * 0.3, "var {var} expected {expected}");
+    }
+
+    #[test]
+    fn xavier_within_limits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = xavier(&mut rng, 100, 50);
+        let limit = (6.0f32 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn init_is_seed_deterministic() {
+        let a = he(&mut StdRng::seed_from_u64(42), 10, 10);
+        let b = he(&mut StdRng::seed_from_u64(42), 10, 10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,551 @@
+//! Neural-network layers with explicit forward/backward passes.
+//!
+//! Each layer caches what it needs during `forward(train=true)` and consumes
+//! the cache in `backward`. Parameters are exposed through [`Layer::visit_params`]
+//! so optimizers and serializers can walk a model without knowing its shape.
+
+use crate::init;
+use crate::tensor::Matrix;
+use rand::Rng;
+
+/// A trainable parameter: value plus gradient accumulator of identical shape.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Gradient accumulated by the last backward pass.
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Wraps an initialized value with a zeroed gradient.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Self { value, grad }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A differentiable layer operating on batched row-major matrices.
+pub trait Layer {
+    /// Computes outputs; caches activations when `train` is true.
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix;
+
+    /// Propagates `grad_out` backwards, accumulating parameter gradients and
+    /// returning the gradient with respect to the layer input. Must be called
+    /// after a `forward(train=true)`.
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix;
+
+    /// Visits all trainable parameters in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Zeroes all parameter gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.grad.fill(0.0));
+    }
+
+    /// Total number of scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+}
+
+/// Fully connected layer `y = x·W + b`.
+pub struct Dense {
+    w: Param,
+    b: Param,
+    cached_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// He-initialized dense layer (for ReLU stacks).
+    pub fn new_he<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Self {
+        Self {
+            w: Param::new(init::he(rng, fan_in, fan_out)),
+            b: Param::new(Matrix::zeros(1, fan_out)),
+            cached_input: None,
+        }
+    }
+
+    /// Xavier-initialized dense layer (for sigmoid/linear outputs).
+    pub fn new_xavier<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Self {
+        Self {
+            w: Param::new(init::xavier(rng, fan_in, fan_out)),
+            b: Param::new(Matrix::zeros(1, fan_out)),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn fan_in(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn fan_out(&self) -> usize {
+        self.w.value.cols()
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut y = x.matmul(&self.w.value);
+        y.add_row_vector(self.b.value.as_slice());
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self.cached_input.take().expect("backward without forward(train)");
+        self.w.grad.add_assign(&x.matmul_tn(grad_out));
+        let bias_grad = Matrix::from_vec(1, grad_out.cols(), grad_out.col_sums());
+        self.b.grad.add_assign(&bias_grad);
+        grad_out.matmul_nt(&self.w.value)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+/// Dense layer with a fixed binary connectivity mask on the weights — the
+/// building block of MADE. The invariant `W = W ⊙ M` is maintained after
+/// every gradient update by masking the gradient too.
+pub struct MaskedDense {
+    w: Param,
+    b: Param,
+    mask: Matrix,
+    cached_input: Option<Matrix>,
+}
+
+impl MaskedDense {
+    /// He-initialized masked layer; `mask` is `fan_in × fan_out` over {0,1}.
+    pub fn new<R: Rng>(rng: &mut R, mask: Matrix) -> Self {
+        let (fan_in, fan_out) = (mask.rows(), mask.cols());
+        let mut w = init::he(rng, fan_in, fan_out);
+        apply_mask(&mut w, &mask);
+        Self {
+            w: Param::new(w),
+            b: Param::new(Matrix::zeros(1, fan_out)),
+            mask,
+            cached_input: None,
+        }
+    }
+
+    /// The connectivity mask.
+    pub fn mask(&self) -> &Matrix {
+        &self.mask
+    }
+
+    /// Re-applies the mask to the weights (call after optimizer steps that do
+    /// not go through `backward`'s masked gradients, e.g. weight decay).
+    pub fn remask(&mut self) {
+        apply_mask(&mut self.w.value, &self.mask);
+    }
+
+    /// Inference-only forward computing just output columns `lo..hi`
+    /// (`y = x·W[:, lo..hi] + b[lo..hi]`). The autoregressive sampler uses
+    /// this to evaluate one logit segment per step instead of the full
+    /// output layer. No activations are cached.
+    pub fn forward_columns(&self, x: &Matrix, lo: usize, hi: usize) -> Matrix {
+        let mut y = x.matmul_cols(&self.w.value, lo, hi);
+        y.add_row_vector(&self.b.value.as_slice()[lo..hi]);
+        y
+    }
+
+    /// Maximum |weight| over masked-out connections. Zero as long as the
+    /// masking invariant holds (diagnostic for tests).
+    pub fn mask_violation(&self) -> f32 {
+        self.w
+            .value
+            .as_slice()
+            .iter()
+            .zip(self.mask.as_slice())
+            .filter(|&(_, &m)| m == 0.0)
+            .fold(0.0f32, |acc, (&w, _)| acc.max(w.abs()))
+    }
+}
+
+fn apply_mask(w: &mut Matrix, mask: &Matrix) {
+    for (x, m) in w.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+        *x *= m;
+    }
+}
+
+impl Layer for MaskedDense {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut y = x.matmul(&self.w.value);
+        y.add_row_vector(self.b.value.as_slice());
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self.cached_input.take().expect("backward without forward(train)");
+        let mut wg = x.matmul_tn(grad_out);
+        apply_mask(&mut wg, &self.mask);
+        self.w.grad.add_assign(&wg);
+        let bias_grad = Matrix::from_vec(1, grad_out.cols(), grad_out.col_sums());
+        self.b.grad.add_assign(&bias_grad);
+        grad_out.matmul_nt(&self.w.value)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct Relu {
+    cached_output_mask: Option<Matrix>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let y = x.map(|v| v.max(0.0));
+        if train {
+            self.cached_output_mask = Some(x.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mask = self.cached_output_mask.take().expect("backward without forward(train)");
+        grad_out.zip_map(&mask, |g, m| g * m)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Logistic sigmoid.
+#[derive(Default)]
+pub struct Sigmoid {
+    cached_output: Option<Matrix>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let y = x.map(|v| 1.0 / (1.0 + (-v).exp()));
+        if train {
+            self.cached_output = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let y = self.cached_output.take().expect("backward without forward(train)");
+        grad_out.zip_map(&y, |g, s| g * s * (1.0 - s))
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Inverted dropout: scales surviving activations by `1/(1-p)` at train time,
+/// identity at inference (paper Fig. 3 includes a dropout stage in LMKG-S).
+pub struct Dropout {
+    p: f32,
+    rng_state: u64,
+    cached_mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// `p` is the drop probability in `[0, 1)`. `seed` makes runs repeatable.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        Self { p, rng_state: seed | 1, cached_mask: None }
+    }
+
+    #[inline]
+    fn next_uniform(&mut self) -> f32 {
+        // xorshift64*; light-weight, state-local, deterministic.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        ((x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32) / (1u64 << 24) as f32
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        if !train || self.p == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask = Matrix::from_fn(x.rows(), x.cols(), |_, _| {
+            if self.next_uniform() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let y = x.zip_map(&mask, |v, m| v * m);
+        self.cached_mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        match self.cached_mask.take() {
+            Some(mask) => grad_out.zip_map(&mask, |g, m| g * m),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// A sequential stack of layers.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer + Send>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + Send + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h, train);
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut d = Dense::new_he(&mut rng, 3, 2);
+        d.b.value.as_mut_slice().copy_from_slice(&[1.0, -1.0]);
+        let x = Matrix::zeros(4, 3);
+        let y = d.forward(&x, false);
+        assert_eq!((y.rows(), y.cols()), (4, 2));
+        // Zero input → output is exactly the bias.
+        for r in 0..4 {
+            assert_eq!(y.row(r), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn relu_clamps_and_gates_gradient() {
+        let mut relu = Relu::new();
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 0.5, 2.0]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 0.5, 2.0]);
+        let g = relu.backward(&Matrix::from_vec(1, 4, vec![1.0; 4]));
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_gradient() {
+        let mut s = Sigmoid::new();
+        let x = Matrix::from_vec(1, 3, vec![-10.0, 0.0, 10.0]);
+        let y = s.forward(&x, true);
+        assert!(y.as_slice()[0] < 1e-4);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 1.0 - 1e-4);
+        let g = s.backward(&Matrix::from_vec(1, 3, vec![1.0; 3]));
+        // Max derivative at 0 is 0.25.
+        assert!((g.as_slice()[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation_roughly() {
+        let mut d = Dropout::new(0.3, 7);
+        let x = Matrix::from_vec(1, 10_000, vec![1.0; 10_000]);
+        let y = d.forward(&x, true);
+        let mean = y.as_slice().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn masked_dense_respects_mask() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mask = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let mut md = MaskedDense::new(&mut rng, mask);
+        // Masked entries are zero in the weights.
+        assert_eq!(md.w.value.get(0, 1), 0.0);
+        assert_eq!(md.w.value.get(1, 0), 0.0);
+        // Input feature 0 can only influence output 0.
+        let x0 = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let y0 = md.forward(&x0, false);
+        assert_eq!(y0.get(0, 1), md.b.value.get(0, 1));
+        // Gradients stay masked after backward.
+        let _ = md.forward(&x0, true);
+        let _ = md.backward(&Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        assert_eq!(md.w.grad.get(0, 1), 0.0);
+        assert_eq!(md.w.grad.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn sequential_composes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Sequential::new();
+        model.push(Dense::new_he(&mut rng, 4, 8));
+        model.push(Relu::new());
+        model.push(Dense::new_xavier(&mut rng, 8, 1));
+        model.push(Sigmoid::new());
+        let x = Matrix::zeros(2, 4);
+        let y = model.forward(&x, false);
+        assert_eq!((y.rows(), y.cols()), (2, 1));
+        assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(model.param_count() > 0);
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut d = Dense::new_he(&mut rng, 2, 2);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let _ = d.forward(&x, true);
+        let _ = d.backward(&Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        assert!(d.w.grad.max_abs() > 0.0);
+        d.zero_grads();
+        assert_eq!(d.w.grad.max_abs(), 0.0);
+    }
+
+    /// Numerical gradient check for a small Dense+ReLU+Dense stack with MSE.
+    #[test]
+    fn gradient_check_dense_stack() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = Sequential::new();
+        model.push(Dense::new_he(&mut rng, 3, 5));
+        model.push(Relu::new());
+        model.push(Dense::new_xavier(&mut rng, 5, 1));
+
+        let x = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.8, 0.1, 0.4, -0.6]);
+        let target = Matrix::from_vec(2, 1, vec![0.3, -0.7]);
+
+        // Analytic gradient: L = mean((y - t)^2).
+        let y = model.forward(&x, true);
+        let n = y.len() as f32;
+        let grad = y.zip_map(&target, |a, b| 2.0 * (a - b) / n);
+        model.zero_grads();
+        let _ = model.backward(&grad);
+
+        let loss_fn = |model: &mut Sequential, x: &Matrix, t: &Matrix| -> f32 {
+            let y = model.forward(x, false);
+            y.zip_map(t, |a, b| (a - b) * (a - b)).as_slice().iter().sum::<f32>() / y.len() as f32
+        };
+
+        // Spot-check several parameters with central differences.
+        let eps = 1e-2f32;
+        let mut checked = 0;
+        let mut max_rel_err = 0.0f32;
+        for p_idx in 0..4 {
+            for elem in [0usize, 1] {
+                let mut analytic = None;
+                let mut i = 0;
+                model.visit_params(&mut |p| {
+                    if i == p_idx && elem < p.value.len() {
+                        analytic = Some(p.grad.as_slice()[elem]);
+                    }
+                    i += 1;
+                });
+                let Some(analytic) = analytic else { continue };
+
+                let perturb = |model: &mut Sequential, delta: f32| {
+                    let mut i = 0;
+                    model.visit_params(&mut |p| {
+                        if i == p_idx && elem < p.value.len() {
+                            p.value.as_mut_slice()[elem] += delta;
+                        }
+                        i += 1;
+                    });
+                };
+                perturb(&mut model, eps);
+                let lp = loss_fn(&mut model, &x, &target);
+                perturb(&mut model, -2.0 * eps);
+                let lm = loss_fn(&mut model, &x, &target);
+                perturb(&mut model, eps);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let denom = analytic.abs().max(numeric.abs()).max(1e-4);
+                max_rel_err = max_rel_err.max((analytic - numeric).abs() / denom);
+                checked += 1;
+            }
+        }
+        assert!(checked >= 6);
+        assert!(max_rel_err < 0.05, "max relative gradient error {max_rel_err}");
+    }
+}

@@ -1,0 +1,57 @@
+//! # lmkg-nn
+//!
+//! A deliberately small, dependency-free CPU neural-network library built for
+//! the LMKG reproduction. The paper trains its models in TensorFlow on a GPU;
+//! the offline Rust ecosystem has no mature training crates, so this crate
+//! provides exactly the substrate the paper's two model families need:
+//!
+//! * dense MLPs with ReLU/sigmoid/dropout (LMKG-S, MSCN),
+//! * masked autoregressive networks with residual blocks and per-position
+//!   embeddings — ResMADE (LMKG-U),
+//! * Adam/SGD optimizers, MSE / mean-q-error / segmented-cross-entropy
+//!   losses, and a tiny binary parameter format.
+//!
+//! Everything is gradient-checked against finite differences in the tests.
+//!
+//! ```
+//! use lmkg_nn::layers::{Dense, Layer, Relu, Sequential, Sigmoid};
+//! use lmkg_nn::optimizer::{Adam, Optimizer};
+//! use lmkg_nn::tensor::Matrix;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut model = Sequential::new();
+//! model.push(Dense::new_he(&mut rng, 2, 16));
+//! model.push(Relu::new());
+//! model.push(Dense::new_xavier(&mut rng, 16, 1));
+//! model.push(Sigmoid::new());
+//!
+//! let x = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+//! let t = Matrix::from_rows(&[&[1.0], &[0.0]]);
+//! let mut opt = Adam::new(0.01);
+//! for _ in 0..200 {
+//!     let y = model.forward(&x, true);
+//!     let (_, grad) = lmkg_nn::loss::mse(&y, &t);
+//!     model.backward(&grad);
+//!     opt.step(&mut model);
+//! }
+//! let y = model.forward(&x, false);
+//! assert!(y.get(0, 0) > 0.8 && y.get(1, 0) < 0.2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod embedding;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod made;
+pub mod optimizer;
+pub mod serialize;
+pub mod tensor;
+
+pub use layers::{Dense, Dropout, Layer, MaskedDense, Param, Relu, Sequential, Sigmoid};
+pub use made::{Made, MadeConfig};
+pub use optimizer::{Adam, Optimizer, Sgd};
+pub use tensor::Matrix;

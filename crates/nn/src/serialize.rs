@@ -1,0 +1,163 @@
+//! Minimal binary (de)serialization of model parameters.
+//!
+//! No serde format crate is on the offline dependency list, so models are
+//! persisted with a tiny explicit format:
+//!
+//! ```text
+//! magic "LMKGNN1\0" | u32 param-count | per param: u32 rows, u32 cols, f32[rows*cols] LE
+//! ```
+//!
+//! Loading walks the model's parameters in the same stable visitation order
+//! used when saving, so the architecture must match exactly.
+
+use crate::layers::Layer;
+use crate::tensor::Matrix;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"LMKGNN1\0";
+
+/// Serializes all parameters of `model` to `writer`.
+pub fn save_params<W: Write>(model: &mut dyn Layer, writer: &mut W) -> io::Result<()> {
+    let mut params: Vec<Matrix> = Vec::new();
+    model.visit_params(&mut |p| params.push(p.value.clone()));
+    writer.write_all(MAGIC)?;
+    writer.write_all(&(params.len() as u32).to_le_bytes())?;
+    for m in &params {
+        writer.write_all(&(m.rows() as u32).to_le_bytes())?;
+        writer.write_all(&(m.cols() as u32).to_le_bytes())?;
+        for &v in m.as_slice() {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Restores parameters into `model` (must have the exact same architecture
+/// as the model that was saved).
+pub fn load_params<R: Read>(model: &mut dyn Layer, reader: &mut R) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic: not an LMKG parameter file"));
+    }
+    let count = read_u32(reader)? as usize;
+
+    let mut loaded: Vec<Matrix> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rows = read_u32(reader)? as usize;
+        let cols = read_u32(reader)? as usize;
+        let mut data = vec![0.0f32; rows * cols];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            reader.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        loaded.push(Matrix::from_vec(rows, cols, data));
+    }
+
+    let mut idx = 0usize;
+    let mut mismatch: Option<String> = None;
+    model.visit_params(&mut |p| {
+        if mismatch.is_some() {
+            return;
+        }
+        match loaded.get(idx) {
+            None => mismatch = Some(format!("file has {count} params, model expects more")),
+            Some(m) => {
+                if (m.rows(), m.cols()) != (p.value.rows(), p.value.cols()) {
+                    mismatch = Some(format!(
+                        "param {idx}: file {}×{} vs model {}×{}",
+                        m.rows(),
+                        m.cols(),
+                        p.value.rows(),
+                        p.value.cols()
+                    ));
+                } else {
+                    p.value = m.clone();
+                    p.grad.fill(0.0);
+                }
+            }
+        }
+        idx += 1;
+    });
+    if let Some(msg) = mismatch {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+    }
+    if idx != count {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("file has {count} params, model visited {idx}"),
+        ));
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Sequential::new();
+        m.push(Dense::new_he(&mut rng, 4, 8));
+        m.push(Relu::new());
+        m.push(Dense::new_xavier(&mut rng, 8, 2));
+        m
+    }
+
+    #[test]
+    fn roundtrip_restores_outputs() {
+        let mut a = model(1);
+        let mut b = model(2); // different weights
+
+        let x = Matrix::from_vec(1, 4, vec![0.1, -0.2, 0.3, 0.4]);
+        let ya = a.forward(&x, false);
+        assert_ne!(ya, b.forward(&x, false));
+
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+        load_params(&mut b, &mut buf.as_slice()).unwrap();
+        assert_eq!(ya, b.forward(&x, false));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut m = model(1);
+        let buf = b"NOTLMKG\0rest".to_vec();
+        let err = load_params(&mut m, &mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let mut a = model(1);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut other = Sequential::new();
+        other.push(Dense::new_he(&mut rng, 3, 8)); // wrong fan-in
+        other.push(Dense::new_he(&mut rng, 8, 2));
+        let err = load_params(&mut other, &mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("param 0"));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut a = model(1);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let mut b = model(2);
+        assert!(load_params(&mut b, &mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,443 @@
+//! Dense row-major `f32` matrices and the handful of BLAS-like kernels the
+//! models need. Batches are rows; features are columns.
+//!
+//! The three matmul variants cover a full MLP training step without explicit
+//! transposes:
+//! * [`Matrix::matmul`]    — `C = A·B`      (forward pass),
+//! * [`Matrix::matmul_nt`] — `C = A·Bᵀ`     (input gradient: `dX = dY·Wᵀ`),
+//! * [`Matrix::matmul_tn`] — `C = Aᵀ·B`     (weight gradient: `dW = Xᵀ·dY`).
+//!
+//! Large multiplications split output rows across two OS threads — the
+//! experiment box has two cores; nested parallelism is not worth the
+//! complexity here.
+
+/// Minimum FLOP count (m·k·n) before a matmul is split across threads.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 22;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from a generator over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer. Panics if sizes disagree.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size must be rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Stacks equal-length row slices into a matrix.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Fills every element with `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// `self += other` elementwise.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` elementwise.
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        self.data.iter_mut().for_each(|x| *x *= alpha);
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise combination `f(self, other)` into a new matrix.
+    pub fn zip_map(&self, other: &Matrix, mut f: impl FnMut(f32, f32) -> f32) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Adds a row vector to every row (bias broadcast).
+    pub fn add_row_vector(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols);
+        for r in 0..self.rows {
+            for (x, b) in self.row_mut(r).iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Column sums (bias gradients).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (s, x) in sums.iter_mut().zip(self.row(r)) {
+                *s += x;
+            }
+        }
+        sums
+    }
+
+    /// `C = self · other`; `self` is `m×k`, `other` is `k×n`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dimensions must agree");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        let work = m * k * n;
+        if work >= PARALLEL_FLOP_THRESHOLD && m >= 2 {
+            let mid = m / 2;
+            let (top, bottom) = out.data.split_at_mut(mid * n);
+            std::thread::scope(|s| {
+                s.spawn(|| matmul_rows(&self.data[..mid * k], k, &other.data, n, top));
+                matmul_rows(&self.data[mid * k..], k, &other.data, n, bottom);
+            });
+        } else {
+            matmul_rows(&self.data, k, &other.data, n, &mut out.data);
+        }
+        out
+    }
+
+    /// `C = self · otherᵀ`; `self` is `m×k`, `other` is `n×k`.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt inner dimensions must agree");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        let work = m * k * n;
+        if work >= PARALLEL_FLOP_THRESHOLD && m >= 2 {
+            let mid = m / 2;
+            let (top, bottom) = out.data.split_at_mut(mid * n);
+            std::thread::scope(|s| {
+                s.spawn(|| matmul_nt_rows(&self.data[..mid * k], k, &other.data, n, top));
+                matmul_nt_rows(&self.data[mid * k..], k, &other.data, n, bottom);
+            });
+        } else {
+            matmul_nt_rows(&self.data, k, &other.data, n, &mut out.data);
+        }
+        out
+    }
+
+    /// `C = selfᵀ · other`; `self` is `b×m`, `other` is `b×n`.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn batch dimensions must agree");
+        let (b, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        let work = b * m * n;
+        if work >= PARALLEL_FLOP_THRESHOLD && m >= 2 {
+            let mid = m / 2;
+            let (top, bottom) = out.data.split_at_mut(mid * n);
+            std::thread::scope(|s| {
+                s.spawn(|| matmul_tn_cols(&self.data, b, m, &other.data, n, 0, mid, top));
+                matmul_tn_cols(&self.data, b, m, &other.data, n, mid, m, bottom);
+            });
+        } else {
+            matmul_tn_cols(&self.data, b, m, &other.data, n, 0, m, &mut out.data);
+        }
+        out
+    }
+
+    /// `C = self · other[:, lo..hi]` — matmul against a column slice of
+    /// `other`, avoiding computation of unneeded output columns. Used by the
+    /// autoregressive sampler, which needs one logit segment per step.
+    pub fn matmul_cols(&self, other: &Matrix, lo: usize, hi: usize) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dimensions must agree");
+        assert!(lo <= hi && hi <= other.cols, "column slice out of range");
+        let (m, n) = (self.rows, hi - lo);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (kk, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * other.cols + lo..kk * other.cols + hi];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy (tests / small utilities only).
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Maximum absolute element (grad-norm diagnostics).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+}
+
+/// `out[i] = a_rows[i] · b` with the classic i-k-j order so the `j` loop
+/// vectorizes; `out` must be zeroed.
+fn matmul_rows(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    let m = a.len() / k;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue; // one-hot / binary inputs are mostly zeros
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += a_ik * bv;
+            }
+        }
+    }
+}
+
+/// `out[i][j] = a_rows[i] · b_rows[j]` (dot products of rows).
+fn matmul_nt_rows(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    let m = a.len() / k;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// `out[i][j] = Σ_b a[b][i] · b[b][j]` for `i ∈ [i_lo, i_hi)`; `out` holds
+/// rows `i_lo..i_hi` and must be zeroed.
+#[allow(clippy::too_many_arguments)]
+fn matmul_tn_cols(a: &[f32], batch: usize, m: usize, b: &[f32], n: usize, i_lo: usize, i_hi: usize, out: &mut [f32]) {
+    for bb in 0..batch {
+        let b_row = &b[bb * n..(bb + 1) * n];
+        let a_row = &a[bb * m..(bb + 1) * m];
+        for i in i_lo..i_hi {
+            let a_bi = a_row[i];
+            if a_bi == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[(i - i_lo) * n..(i - i_lo + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += a_bi * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = test_matrix(7, 5, 1);
+        let b = test_matrix(5, 9, 2);
+        assert!(approx_eq(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_nt_matches_naive_transpose() {
+        let a = test_matrix(4, 6, 3);
+        let b = test_matrix(8, 6, 4);
+        assert!(approx_eq(&a.matmul_nt(&b), &naive_matmul(&a, &b.transpose()), 1e-4));
+    }
+
+    #[test]
+    fn matmul_tn_matches_naive_transpose() {
+        let a = test_matrix(6, 4, 5);
+        let b = test_matrix(6, 7, 6);
+        assert!(approx_eq(&a.matmul_tn(&b), &naive_matmul(&a.transpose(), &b), 1e-4));
+    }
+
+    #[test]
+    fn parallel_path_matches_naive() {
+        // Force the threaded path with a matrix above the threshold.
+        let a = test_matrix(260, 130, 7);
+        let b = test_matrix(130, 140, 8);
+        assert!(approx_eq(&a.matmul(&b), &naive_matmul(&a, &b), 1e-2));
+        let bt = test_matrix(140, 130, 9);
+        assert!(approx_eq(&a.matmul_nt(&bt), &naive_matmul(&a, &bt.transpose()), 1e-2));
+        let c = test_matrix(260, 140, 10);
+        assert!(approx_eq(&a.matmul_tn(&c), &naive_matmul(&a.transpose(), &c), 1e-2));
+    }
+
+    #[test]
+    fn bias_broadcast_and_col_sums() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_row_vector(&[1.0, 2.0]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        assert_eq!(m.col_sums(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![4.0, 3.0, 2.0, 1.0]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c.as_slice(), &[5.0; 4]);
+        let d = a.zip_map(&b, |x, y| x * y);
+        assert_eq!(d.as_slice(), &[4.0, 6.0, 6.0, 4.0]);
+        let e = a.map(|x| x * 2.0);
+        assert_eq!(e.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+        let mut f = a.clone();
+        f.add_scaled(&b, 0.5);
+        assert_eq!(f.as_slice(), &[3.0, 3.5, 4.0, 4.5]);
+    }
+
+    #[test]
+    fn from_rows_builds_expected_layout() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn max_abs_works() {
+        let m = Matrix::from_vec(1, 3, vec![-5.0, 2.0, 4.0]);
+        assert_eq!(m.max_abs(), 5.0);
+    }
+}

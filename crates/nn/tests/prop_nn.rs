@@ -1,0 +1,132 @@
+//! Property tests for the NN substrate: linear-algebra identities of the
+//! matmul kernels, loss-gradient invariants, and the MADE autoregressive
+//! property over randomized configurations.
+
+use lmkg_nn::loss;
+use lmkg_nn::made::{Made, MadeConfig};
+use lmkg_nn::tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols).prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Distributivity: A·(B + C) == A·B + A·C.
+    #[test]
+    fn matmul_distributes(a in arb_matrix(4, 5), b in arb_matrix(5, 3), c in arb_matrix(5, 3)) {
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-4));
+    }
+
+    /// The fused variants agree with explicit transposes.
+    #[test]
+    fn matmul_variants_agree(a in arb_matrix(4, 6), b in arb_matrix(5, 6), c in arb_matrix(4, 3)) {
+        // A·Bᵀ.
+        let nt = a.matmul_nt(&b);
+        let explicit = a.matmul(&b.transpose());
+        prop_assert!(approx_eq(&nt, &explicit, 1e-4));
+        // Aᵀ·C.
+        let tn = a.matmul_tn(&c);
+        let explicit = a.transpose().matmul(&c);
+        prop_assert!(approx_eq(&tn, &explicit, 1e-4));
+    }
+
+    /// Softmax output is a probability vector.
+    #[test]
+    fn softmax_is_normalized(mut xs in prop::collection::vec(-30.0f32..30.0, 1..40)) {
+        loss::softmax_in_place(&mut xs);
+        let sum: f32 = xs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(xs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// Segmented cross-entropy gradients sum to zero within every segment
+    /// (softmax Jacobian property) and the loss is non-negative.
+    #[test]
+    fn segmented_ce_invariants(logits_v in prop::collection::vec(-5.0f32..5.0, 7),
+                               t1 in 0usize..3, t2 in 0usize..4) {
+        let logits = Matrix::from_vec(1, 7, logits_v);
+        let segments = [3usize, 4];
+        let targets = vec![vec![t1, t2]];
+        let (l, grad) = loss::segmented_cross_entropy(&logits, &segments, &targets);
+        prop_assert!(l >= 0.0);
+        let row = grad.row(0);
+        prop_assert!(row[..3].iter().sum::<f32>().abs() < 1e-5);
+        prop_assert!(row[3..].iter().sum::<f32>().abs() < 1e-5);
+    }
+
+    /// The q-error loss is minimized exactly at the target.
+    #[test]
+    fn q_error_minimum_at_target(t in 0.05f32..0.95, delta in 0.01f32..0.2) {
+        let target = Matrix::from_vec(1, 1, vec![t]);
+        let at = |v: f32| loss::q_error(&Matrix::from_vec(1, 1, vec![v]), &target, 10.0, 30.0).0;
+        prop_assert!(at(t) <= at(t + delta));
+        prop_assert!(at(t) <= at(t - delta));
+    }
+
+    /// MADE stays autoregressive for random widths/depths/embeddings.
+    #[test]
+    fn made_autoregressive_for_random_configs(hidden in 4usize..24,
+                                              blocks in 0usize..3,
+                                              embed in 0usize..6,
+                                              seed in 0u64..1000) {
+        let cfg = MadeConfig {
+            vocab_sizes: vec![5, 3],
+            spaces: vec![0, 1, 0],
+            hidden,
+            blocks,
+            embed_dim: embed,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut made = Made::new(&mut rng, cfg);
+        let base = vec![2usize, 1, 4];
+        let logits0 = made.forward_ids(&[base.clone()], false);
+        for pos in 0..3 {
+            let mut perturbed = base.clone();
+            perturbed[pos] = (perturbed[pos] + 1) % made.segments()[pos];
+            let logits1 = made.forward_ids(&[perturbed], false);
+            let mut offset = 0;
+            for (i, &seg) in made.segments().to_vec().iter().enumerate() {
+                if i <= pos {
+                    prop_assert_eq!(
+                        &logits0.row(0)[offset..offset + seg],
+                        &logits1.row(0)[offset..offset + seg],
+                        "segment {} leaked from position {}", i, pos
+                    );
+                }
+                offset += seg;
+            }
+        }
+    }
+
+    /// Bias broadcast + column sums are adjoint.
+    #[test]
+    fn bias_and_colsum_are_adjoint(m in arb_matrix(3, 4), bias in prop::collection::vec(-1.0f32..1.0, 4)) {
+        // <m + 1·bᵀ, m + 1·bᵀ> grows by 2·<col_sums(m), b> + rows·<b,b>.
+        let dot = |a: &Matrix, b: &Matrix| a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).sum::<f32>();
+        let mut shifted = m.clone();
+        shifted.add_row_vector(&bias);
+        let lhs = dot(&shifted, &shifted) - dot(&m, &m);
+        let col_sums = m.col_sums();
+        let cross: f32 = col_sums.iter().zip(&bias).map(|(c, b)| c * b).sum();
+        let bb: f32 = bias.iter().map(|b| b * b).sum();
+        let rhs = 2.0 * cross + 3.0 * bb;
+        prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "lhs {lhs} rhs {rhs}");
+    }
+}

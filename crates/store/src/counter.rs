@@ -1,0 +1,397 @@
+//! Exact cardinality counting with specialized star/chain fast paths, plus
+//! the tuple-space totals LMKG-U needs to turn densities into cardinalities.
+//!
+//! The tuple space of star patterns of size `k` is
+//! `{(s, p1, o1, …, pk, ok) : every (pi, oi) is an out-edge of s}` with
+//! `N_star(k) = Σ_s outdeg(s)^k`; for chains it is the set of directed walks
+//! of length `k`, counted by dynamic programming. Under homomorphism (bag)
+//! semantics the cardinality of a query equals the number of tuples matching
+//! its bound positions — the identity that makes `card = P(query) · N` exact.
+
+use crate::dict::NodeId;
+use crate::fxhash::FxHashMap;
+use crate::graph::KnowledgeGraph;
+use crate::matcher;
+use crate::triple::{NodeTerm, Query, QueryShape, VarId};
+
+/// Exact cardinality of `query` in `graph`.
+///
+/// Dispatches to a linear-time star counter or a frontier-DP chain counter
+/// when the variable structure permits, falling back to the generic
+/// backtracking matcher otherwise. All paths agree (see proptests).
+pub fn cardinality(graph: &KnowledgeGraph, query: &Query) -> u64 {
+    match query.shape() {
+        QueryShape::Star if star_fast_path_ok(query) => count_star(graph, query),
+        QueryShape::Chain if chain_fast_path_ok(query) => count_chain(graph, query),
+        _ => matcher::count(graph, query),
+    }
+}
+
+/// Total number of star tuples of size `k`: `Σ_s outdeg(s)^k` (f64 to avoid
+/// overflow — for k=8 even modest hubs overflow u64).
+pub fn star_tuple_total(graph: &KnowledgeGraph, k: usize) -> f64 {
+    graph
+        .node_ids()
+        .map(|s| (graph.out_degree(s) as f64).powi(k as i32))
+        .sum()
+}
+
+/// Total number of directed walks with `k` edges (the chain tuple space).
+pub fn chain_tuple_total(graph: &KnowledgeGraph, k: usize) -> f64 {
+    walk_counts(graph, k).last().map(|lvl| lvl.iter().sum()).unwrap_or(0.0)
+}
+
+/// `walk_counts(g, k)[i][v]` = number of directed walks with `i` edges
+/// starting at node `v`. Level 0 is all-ones. Used for exact uniform walk
+/// sampling and for `chain_tuple_total`.
+pub fn walk_counts(graph: &KnowledgeGraph, k: usize) -> Vec<Vec<f64>> {
+    let n = graph.num_nodes();
+    let mut levels = Vec::with_capacity(k + 1);
+    levels.push(vec![1.0f64; n]);
+    for _ in 0..k {
+        let prev = levels.last().expect("at least level 0");
+        let mut next = vec![0.0f64; n];
+        for v in 0..n {
+            let mut acc = 0.0;
+            for &(_, o) in graph.out_edges(NodeId(v as u32)) {
+                acc += prev[o.index()];
+            }
+            next[v] = acc;
+        }
+        levels.push(next);
+    }
+    levels
+}
+
+/// Star fast path requires: object positions bound or single-use variables
+/// distinct from the center; predicate positions bound or single-use
+/// variables; center may be bound or a variable.
+fn star_fast_path_ok(query: &Query) -> bool {
+    let center = query.triples[0].s;
+    let center_var = center.var();
+    let mut seen: Vec<VarId> = Vec::new();
+    for t in &query.triples {
+        if let Some(v) = t.o.var() {
+            if Some(v) == center_var || seen.contains(&v) {
+                return false;
+            }
+            seen.push(v);
+        }
+        if let Some(v) = t.p.var() {
+            if seen.contains(&v) {
+                return false;
+            }
+            seen.push(v);
+        }
+    }
+    true
+}
+
+fn count_star(graph: &KnowledgeGraph, query: &Query) -> u64 {
+    let center = query.triples[0].s;
+    match center {
+        NodeTerm::Bound(s) => star_product(graph, query, s),
+        NodeTerm::Var(_) => {
+            // Drive candidates from the most selective bound position.
+            let mut best: Option<Vec<NodeId>> = None;
+            for t in &query.triples {
+                if let (Some(p), Some(o)) = (t.p.bound(), t.o.bound()) {
+                    let subs: Vec<NodeId> = graph.subjects(o, p).iter().map(|&(_, s)| s).collect();
+                    if best.as_ref().map_or(true, |b| subs.len() < b.len()) {
+                        best = Some(subs);
+                    }
+                }
+            }
+            let candidates: Vec<NodeId> = match best {
+                Some(subs) => subs, // subjects within (o, p) are unique: triples are deduped
+                None => graph.subjects_iter().collect(),
+            };
+            candidates.into_iter().map(|s| star_product(graph, query, s)).sum()
+        }
+    }
+}
+
+/// Number of matches of a star with bound center `s`: the product over triple
+/// patterns of per-pattern edge counts (valid because the fast-path check
+/// guarantees object/predicate variables are independent).
+fn star_product(graph: &KnowledgeGraph, query: &Query, s: NodeId) -> u64 {
+    let mut prod = 1u64;
+    for t in &query.triples {
+        let f = graph.count_single(Some(s), t.p.bound(), t.o.bound());
+        if f == 0 {
+            return 0;
+        }
+        prod = prod.saturating_mul(f);
+    }
+    prod
+}
+
+/// Chain fast path requires: every link variable is used exactly at its two
+/// adjacent positions, end variables are single-use, predicates bound or
+/// single-use variables, and no variable repeats anywhere else.
+fn chain_fast_path_ok(query: &Query) -> bool {
+    // Count total occurrences of each variable across all positions.
+    let mut occurrences: FxHashMap<VarId, usize> = FxHashMap::default();
+    for t in &query.triples {
+        for v in t.vars() {
+            *occurrences.entry(v).or_insert(0) += 1;
+        }
+    }
+    let k = query.triples.len();
+    for (i, t) in query.triples.iter().enumerate() {
+        // Predicate variables must be single-use.
+        if let Some(v) = t.p.var() {
+            if occurrences[&v] != 1 {
+                return false;
+            }
+        }
+        // Subject of triple i (i > 0) is the link shared with o_{i-1}:
+        // exactly 2 occurrences. Subject of triple 0 must be single-use.
+        if let Some(v) = t.s.var() {
+            let expected = if i == 0 { 1 } else { 2 };
+            if occurrences[&v] != expected {
+                return false;
+            }
+        }
+        if let Some(v) = t.o.var() {
+            let expected = if i == k - 1 { 1 } else { 2 };
+            if occurrences[&v] != expected {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn count_chain(graph: &KnowledgeGraph, query: &Query) -> u64 {
+    // Frontier over the current link node → number of partial walks.
+    let mut frontier: FxHashMap<NodeId, u64> = FxHashMap::default();
+
+    // First hop: enumerate matches of t1 directly from the indexes.
+    let t0 = &query.triples[0];
+    graph.for_each_match(t0.s.bound(), t0.p.bound(), t0.o.bound(), |t| {
+        *frontier.entry(t.o).or_insert(0) += 1;
+    });
+
+    for t in &query.triples[1..] {
+        if frontier.is_empty() {
+            return 0;
+        }
+        let mut next: FxHashMap<NodeId, u64> = FxHashMap::default();
+        let p = t.p.bound();
+        let o = t.o.bound();
+        for (&node, &cnt) in &frontier {
+            match p {
+                Some(p) => {
+                    for &(_, obj) in graph.objects(node, p) {
+                        if o.map_or(true, |b| b == obj) {
+                            *next.entry(obj).or_insert(0) += cnt;
+                        }
+                    }
+                }
+                None => {
+                    for &(_, obj) in graph.out_edges(node) {
+                        if o.map_or(true, |b| b == obj) {
+                            *next.entry(obj).or_insert(0) += cnt;
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    frontier.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::PredId;
+    use crate::graph::GraphBuilder;
+    use crate::triple::{PredTerm, TriplePattern};
+
+    fn v(i: u16) -> NodeTerm {
+        NodeTerm::Var(VarId(i))
+    }
+    fn n(i: u32) -> NodeTerm {
+        NodeTerm::Bound(NodeId(i))
+    }
+    fn pr(i: u32) -> PredTerm {
+        PredTerm::Bound(PredId(i))
+    }
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        // a(0) knows(0) b(1), a knows c(2), b knows c, a likes(1) c, c likes a,
+        // c knows d(3), d likes a.
+        b.add("a", "knows", "b");
+        b.add("a", "knows", "c");
+        b.add("b", "knows", "c");
+        b.add("a", "likes", "c");
+        b.add("c", "likes", "a");
+        b.add("c", "knows", "d");
+        b.add("d", "likes", "a");
+        b.build()
+    }
+
+    #[test]
+    fn star_counter_agrees_with_matcher() {
+        let g = graph();
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), pr(0), v(1)),
+            TriplePattern::new(v(0), pr(1), v(2)),
+        ]);
+        assert_eq!(q.shape(), QueryShape::Star);
+        assert!(star_fast_path_ok(&q));
+        assert_eq!(cardinality(&g, &q), matcher::count(&g, &q));
+    }
+
+    #[test]
+    fn star_with_bound_center() {
+        let g = graph();
+        let q = Query::new(vec![
+            TriplePattern::new(n(0), pr(0), v(0)),
+            TriplePattern::new(n(0), pr(1), v(1)),
+        ]);
+        // a: 2 knows × 1 likes = 2.
+        assert_eq!(cardinality(&g, &q), 2);
+    }
+
+    #[test]
+    fn star_with_bound_objects() {
+        let g = graph();
+        // ?x knows c . ?x likes c → a only (b knows c but b likes nothing).
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), pr(0), n(2)),
+            TriplePattern::new(v(0), pr(1), n(2)),
+        ]);
+        assert_eq!(cardinality(&g, &q), 1);
+        assert_eq!(matcher::count(&g, &q), 1);
+    }
+
+    #[test]
+    fn star_repeated_object_var_falls_back() {
+        let g = graph();
+        // ?x knows ?y . ?x likes ?y — same object var: not fast-path.
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), pr(0), v(1)),
+            TriplePattern::new(v(0), pr(1), v(1)),
+        ]);
+        assert!(!star_fast_path_ok(&q));
+        assert_eq!(cardinality(&g, &q), matcher::count(&g, &q));
+        assert_eq!(cardinality(&g, &q), 1); // a knows c & a likes c
+    }
+
+    #[test]
+    fn chain_counter_agrees_with_matcher() {
+        let g = graph();
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), pr(0), v(1)),
+            TriplePattern::new(v(1), pr(1), v(2)),
+        ]);
+        assert_eq!(q.shape(), QueryShape::Chain);
+        assert!(chain_fast_path_ok(&q));
+        assert_eq!(cardinality(&g, &q), matcher::count(&g, &q));
+    }
+
+    #[test]
+    fn chain_with_bound_intermediate() {
+        let g = graph();
+        // ?x knows c . c likes ?z → x ∈ {a, b}, z = a → 2.
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), pr(0), n(2)),
+            TriplePattern::new(n(2), pr(1), v(1)),
+        ]);
+        assert_eq!(cardinality(&g, &q), 2);
+        assert_eq!(matcher::count(&g, &q), 2);
+    }
+
+    #[test]
+    fn chain_length_three() {
+        let g = graph();
+        // ?a knows ?b . ?b knows ?c . ?c likes ?d
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), pr(0), v(1)),
+            TriplePattern::new(v(1), pr(0), v(2)),
+            TriplePattern::new(v(2), pr(1), v(3)),
+        ]);
+        assert_eq!(cardinality(&g, &q), matcher::count(&g, &q));
+    }
+
+    #[test]
+    fn cycle_falls_back_to_generic() {
+        let g = graph();
+        // ?x knows ?y . ?y likes ?x — end var reused: not a chain fast path.
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), pr(0), v(1)),
+            TriplePattern::new(v(1), pr(1), v(0)),
+        ]);
+        assert!(!chain_fast_path_ok(&q));
+        assert_eq!(cardinality(&g, &q), matcher::count(&g, &q));
+    }
+
+    #[test]
+    fn star_tuple_total_matches_definition() {
+        let g = graph();
+        // outdegs: a=3, b=1, c=2, d=1.
+        assert_eq!(star_tuple_total(&g, 1), 3.0 + 1.0 + 2.0 + 1.0);
+        assert_eq!(star_tuple_total(&g, 2), 9.0 + 1.0 + 4.0 + 1.0);
+    }
+
+    #[test]
+    fn chain_tuple_total_matches_walk_enumeration() {
+        let g = graph();
+        // Walks of length 1 = number of edges.
+        assert_eq!(chain_tuple_total(&g, 1), g.num_triples() as f64);
+        // Walks of length 2: brute force.
+        let mut walks2 = 0u64;
+        for &t1 in g.triples() {
+            for &t2 in g.triples() {
+                if t1.o == t2.s {
+                    walks2 += 1;
+                }
+            }
+        }
+        assert_eq!(chain_tuple_total(&g, 2), walks2 as f64);
+    }
+
+    #[test]
+    fn walk_counts_level_zero_is_ones() {
+        let g = graph();
+        let w = walk_counts(&g, 3);
+        assert_eq!(w.len(), 4);
+        assert!(w[0].iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn star_total_equals_sum_of_fullvar_star_cardinalities() {
+        let g = graph();
+        // The full-variable star of size 2 should count exactly N_star(2).
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), PredTerm::Var(VarId(3)), v(1)),
+            TriplePattern::new(v(0), PredTerm::Var(VarId(4)), v(2)),
+        ]);
+        assert_eq!(cardinality(&g, &q) as f64, star_tuple_total(&g, 2));
+    }
+
+    #[test]
+    fn chain_total_equals_fullvar_chain_cardinality() {
+        let g = graph();
+        let q = Query::new(vec![
+            TriplePattern::new(v(0), PredTerm::Var(VarId(4)), v(1)),
+            TriplePattern::new(v(1), PredTerm::Var(VarId(5)), v(2)),
+        ]);
+        assert_eq!(cardinality(&g, &q) as f64, chain_tuple_total(&g, 2));
+    }
+
+    #[test]
+    fn empty_frontier_short_circuits() {
+        let g = graph();
+        // b likes ?x (no matches) then ?x knows ?y.
+        let q = Query::new(vec![
+            TriplePattern::new(n(1), pr(1), v(0)),
+            TriplePattern::new(v(0), pr(0), v(1)),
+        ]);
+        assert_eq!(cardinality(&g, &q), 0);
+    }
+}

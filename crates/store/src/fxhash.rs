@@ -1,0 +1,109 @@
+//! A minimal FxHash-style hasher.
+//!
+//! Term identifiers are dense `u32`s, for which the default SipHash is
+//! needlessly slow. The `rustc-hash` crate is not available offline, so this
+//! module reimplements the same tiny multiply-rotate scheme (public domain,
+//! originally from Firefox/rustc).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Hash map keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// Hash set keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for small keys (term ids, id pairs).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        let mut set = FxHashSet::default();
+        for i in 0..10_000u32 {
+            set.insert(i);
+        }
+        assert_eq!(set.len(), 10_000);
+        for i in 0..10_000u32 {
+            assert!(set.contains(&i));
+        }
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert((i, i * 7), i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i, i * 7)), Some(&i));
+        }
+    }
+
+    #[test]
+    fn hasher_is_deterministic() {
+        let hash = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b"lmkg"), hash(b"lmkg"));
+        assert_ne!(hash(b"lmkg"), hash(b"gkml"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests: the specialized counters, the generic matcher, and the
+//! exponential brute-force enumerator must all agree on random graphs and
+//! random queries. This is the correctness anchor for every experiment,
+//! since `counter::cardinality` is the ground-truth oracle.
+
+use lmkg_store::counter;
+use lmkg_store::matcher;
+use lmkg_store::{GraphBuilder, KnowledgeGraph, NodeId, NodeTerm, PredId, PredTerm, Query, TriplePattern, VarId};
+use proptest::prelude::*;
+
+const MAX_NODES: u32 = 6;
+const MAX_PREDS: u32 = 3;
+
+fn arb_graph() -> impl Strategy<Value = KnowledgeGraph> {
+    prop::collection::vec((0..MAX_NODES, 0..MAX_PREDS, 0..MAX_NODES), 0..18).prop_map(|edges| {
+        let mut b = GraphBuilder::new();
+        // Intern the full id ranges so bound terms in queries always exist.
+        for i in 0..MAX_NODES {
+            b.node(&format!("n{i}"));
+        }
+        for i in 0..MAX_PREDS {
+            b.pred(&format!("p{i}"));
+        }
+        for (s, p, o) in edges {
+            b.add_ids(NodeId(s), PredId(p), NodeId(o));
+        }
+        b.build()
+    })
+}
+
+/// Node term: bound node, or one of 4 node variables.
+fn arb_node_term() -> impl Strategy<Value = NodeTerm> {
+    prop_oneof![
+        (0..MAX_NODES).prop_map(|n| NodeTerm::Bound(NodeId(n))),
+        (0u16..4).prop_map(|v| NodeTerm::Var(VarId(v))),
+    ]
+}
+
+/// Predicate term: bound, or one of 2 predicate variables (ids 8, 9 — kept
+/// disjoint from node variable ids to satisfy `Query::validate`).
+fn arb_pred_term() -> impl Strategy<Value = PredTerm> {
+    prop_oneof![
+        (0..MAX_PREDS).prop_map(|p| PredTerm::Bound(PredId(p))),
+        (8u16..10).prop_map(|v| PredTerm::Var(VarId(v))),
+    ]
+}
+
+fn arb_pattern() -> impl Strategy<Value = TriplePattern> {
+    (arb_node_term(), arb_pred_term(), arb_node_term()).prop_map(|(s, p, o)| TriplePattern::new(s, p, o))
+}
+
+fn arb_query(max_patterns: usize) -> impl Strategy<Value = Query> {
+    prop::collection::vec(arb_pattern(), 1..=max_patterns).prop_map(Query::new)
+}
+
+/// A random star query: one center (var 0 or bound), k pairs.
+fn arb_star_query() -> impl Strategy<Value = Query> {
+    let center = prop_oneof![
+        Just(NodeTerm::Var(VarId(0))),
+        (0..MAX_NODES).prop_map(|n| NodeTerm::Bound(NodeId(n))),
+    ];
+    let pair = (arb_pred_term(), arb_node_term());
+    (center, prop::collection::vec(pair, 2..5)).prop_map(|(c, pairs)| {
+        let triples = pairs.into_iter().map(|(p, o)| TriplePattern::new(c, p, o)).collect();
+        Query::new(triples)
+    })
+}
+
+/// A random chain query with fresh link variables (vars 1..), possibly bound
+/// endpoints and intermediate nodes.
+fn arb_chain_query() -> impl Strategy<Value = Query> {
+    (2usize..5, prop::collection::vec((arb_pred_term(), any::<bool>(), 0..MAX_NODES), 4))
+        .prop_map(|(k, spec)| {
+            let mut triples = Vec::with_capacity(k);
+            let mut prev = NodeTerm::Var(VarId(1));
+            for i in 0..k {
+                let (p, bind, node) = spec[i % spec.len()];
+                let next = if bind && i + 1 < k {
+                    NodeTerm::Bound(NodeId(node))
+                } else {
+                    NodeTerm::Var(VarId(2 + i as u16))
+                };
+                triples.push(TriplePattern::new(prev, p, next));
+                prev = next;
+            }
+            Query::new(triples)
+        })
+}
+
+/// Queries over node vars only are valid; mixed-role variables are rejected
+/// by `validate`. Filter those out.
+fn is_valid(q: &Query) -> bool {
+    q.validate().is_ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generic_count_matches_brute_force(g in arb_graph(), q in arb_query(3)) {
+        prop_assume!(is_valid(&q));
+        prop_assert_eq!(matcher::count(&g, &q), matcher::brute_force_count(&g, &q));
+    }
+
+    #[test]
+    fn cardinality_matches_brute_force(g in arb_graph(), q in arb_query(3)) {
+        prop_assume!(is_valid(&q));
+        prop_assert_eq!(counter::cardinality(&g, &q), matcher::brute_force_count(&g, &q));
+    }
+
+    #[test]
+    fn star_counter_matches_generic(g in arb_graph(), q in arb_star_query()) {
+        prop_assume!(is_valid(&q));
+        prop_assert_eq!(counter::cardinality(&g, &q), matcher::count(&g, &q));
+    }
+
+    #[test]
+    fn chain_counter_matches_generic(g in arb_graph(), q in arb_chain_query()) {
+        prop_assume!(is_valid(&q));
+        prop_assert_eq!(counter::cardinality(&g, &q), matcher::count(&g, &q));
+    }
+
+    #[test]
+    fn evaluate_len_equals_count(g in arb_graph(), q in arb_query(2)) {
+        prop_assume!(is_valid(&q));
+        let rows = matcher::evaluate(&g, &q, None);
+        prop_assert_eq!(rows.len() as u64, matcher::count(&g, &q));
+    }
+
+    #[test]
+    fn star_tuple_total_equals_unbound_star(g in arb_graph(), k in 1usize..4) {
+        // The all-variable star of size k has cardinality N_star(k).
+        let mut triples = Vec::new();
+        for i in 0..k {
+            triples.push(TriplePattern::new(
+                NodeTerm::Var(VarId(0)),
+                PredTerm::Var(VarId(10 + i as u16)),
+                NodeTerm::Var(VarId(1 + i as u16)),
+            ));
+        }
+        let q = Query::new(triples);
+        let exact = if k == 1 { matcher::count(&g, &q) } else { counter::cardinality(&g, &q) };
+        prop_assert_eq!(exact as f64, counter::star_tuple_total(&g, k));
+    }
+
+    #[test]
+    fn chain_tuple_total_equals_unbound_chain(g in arb_graph(), k in 1usize..4) {
+        let mut triples = Vec::new();
+        for i in 0..k {
+            triples.push(TriplePattern::new(
+                NodeTerm::Var(VarId(i as u16)),
+                PredTerm::Var(VarId(10 + i as u16)),
+                NodeTerm::Var(VarId(i as u16 + 1)),
+            ));
+        }
+        let q = Query::new(triples);
+        let exact = counter::cardinality(&g, &q);
+        prop_assert_eq!(exact as f64, counter::chain_tuple_total(&g, k));
+    }
+
+    #[test]
+    fn count_single_is_exact(g in arb_graph(),
+                             s in prop::option::of(0..MAX_NODES),
+                             p in prop::option::of(0..MAX_PREDS),
+                             o in prop::option::of(0..MAX_NODES)) {
+        let s = s.map(NodeId);
+        let p = p.map(PredId);
+        let o = o.map(NodeId);
+        let expected = g
+            .triples()
+            .iter()
+            .filter(|t| s.map_or(true, |s| s == t.s) && p.map_or(true, |p| p == t.p) && o.map_or(true, |o| o == t.o))
+            .count() as u64;
+        prop_assert_eq!(g.count_single(s, p, o), expected);
+    }
+}

@@ -1,0 +1,121 @@
+//! Contract tests every estimator must satisfy: finite positive estimates,
+//! determinism under a fixed seed, distinct names, and sane memory reports.
+
+use lmkg::supervised::{LmkgS, LmkgSConfig, QueryEncoder};
+use lmkg::CardinalityEstimator;
+use lmkg_baselines::{
+    CharacteristicSets, Impr, ImprConfig, Jsub, JsubConfig, Mscn, MscnConfig, SumRdf, SumRdfConfig, WanderJoin,
+    WanderJoinConfig,
+};
+use lmkg_data::workload::{self, WorkloadConfig};
+use lmkg_encoder::SgEncoder;
+use lmkg_integration_tests::{small_lubm, test_queries};
+use lmkg_store::{KnowledgeGraph, QueryShape};
+
+fn trained_lmkg_s(g: &KnowledgeGraph) -> LmkgS {
+    let train = workload::generate(g, &WorkloadConfig::train_default(QueryShape::Star, 2, 300, 2));
+    let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
+    let mut m = LmkgS::new(enc, LmkgSConfig { hidden: vec![48], epochs: 20, ..Default::default() });
+    m.train(&train);
+    m
+}
+
+fn trained_mscn(g: &KnowledgeGraph, samples: usize) -> Mscn {
+    let train = workload::generate(g, &WorkloadConfig::train_default(QueryShape::Star, 2, 300, 2));
+    let mut m = Mscn::new(g, MscnConfig { samples, hidden: 32, epochs: 20, ..Default::default() });
+    m.train(&train);
+    m
+}
+
+/// Applies `f` to every estimator over the same graph.
+fn with_all_estimators(g: &KnowledgeGraph, mut f: impl FnMut(&mut dyn CardinalityEstimator)) {
+    f(&mut CharacteristicSets::build(g));
+    f(&mut SumRdf::build(g, SumRdfConfig::default()));
+    f(&mut WanderJoin::new(g, WanderJoinConfig { runs: 5, walks_per_run: 40, seed: 3 }));
+    f(&mut Jsub::new(g, JsubConfig { runs: 5, walks_per_run: 40, seed: 3 }));
+    f(&mut Impr::new(g, ImprConfig { runs: 5, samples_per_run: 20, burn_in: 8, seed: 3 }));
+    f(&mut trained_mscn(g, 0));
+    f(&mut trained_lmkg_s(g));
+}
+
+#[test]
+fn all_estimates_are_finite_and_at_least_one() {
+    let g = small_lubm();
+    let queries = test_queries(&g, QueryShape::Star, 2, 30);
+    with_all_estimators(&g, |est| {
+        for lq in &queries {
+            let e = est.estimate(&lq.query);
+            assert!(e.is_finite(), "{} produced a non-finite estimate", est.name());
+            assert!(e >= 1.0, "{} produced {} < 1", est.name(), e);
+        }
+    });
+}
+
+#[test]
+fn chain_queries_are_answered_by_everyone() {
+    let g = small_lubm();
+    let queries = test_queries(&g, QueryShape::Chain, 2, 20);
+    assert!(!queries.is_empty());
+    with_all_estimators(&g, |est| {
+        for lq in &queries {
+            let e = est.estimate(&lq.query);
+            assert!(e.is_finite() && e >= 1.0, "{} failed on a chain query", est.name());
+        }
+    });
+}
+
+#[test]
+fn names_are_unique() {
+    let g = small_lubm();
+    let mut names = Vec::new();
+    with_all_estimators(&g, |est| names.push(est.name().to_string()));
+    let mut dedup = names.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert_eq!(dedup.len(), names.len(), "duplicate estimator names: {names:?}");
+}
+
+#[test]
+fn memory_reports_are_positive() {
+    let g = small_lubm();
+    with_all_estimators(&g, |est| {
+        assert!(est.memory_bytes() > 0, "{} reports zero memory", est.name());
+    });
+}
+
+#[test]
+fn sampling_estimators_are_deterministic_per_seed() {
+    let g = small_lubm();
+    let queries = test_queries(&g, QueryShape::Star, 2, 10);
+    let run = |seed: u64| -> Vec<f64> {
+        let mut wj = WanderJoin::new(&g, WanderJoinConfig { runs: 3, walks_per_run: 30, seed });
+        queries.iter().map(|lq| wj.estimate(&lq.query)).collect()
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}
+
+#[test]
+fn summaries_are_smaller_than_the_graph() {
+    let g = small_lubm();
+    let cset = CharacteristicSets::build(&g);
+    let sumrdf = SumRdf::build(&g, SumRdfConfig::default());
+    assert!(cset.memory_bytes() < g.heap_bytes());
+    assert!(sumrdf.memory_bytes() < g.heap_bytes());
+}
+
+#[test]
+fn jsub_upper_bounds_wander_join_on_average() {
+    // JSUB charges worst-case fan-outs, so across a workload its mean
+    // estimate must not be below WanderJoin's.
+    let g = small_lubm();
+    let queries = test_queries(&g, QueryShape::Chain, 3, 40);
+    let mut wj = WanderJoin::new(&g, WanderJoinConfig { runs: 10, walks_per_run: 50, seed: 1 });
+    let mut jsub = Jsub::new(&g, JsubConfig { runs: 10, walks_per_run: 50, seed: 1 });
+    let wj_mean: f64 = queries.iter().map(|lq| wj.estimate(&lq.query)).sum::<f64>() / queries.len() as f64;
+    let jsub_mean: f64 = queries.iter().map(|lq| jsub.estimate(&lq.query)).sum::<f64>() / queries.len() as f64;
+    assert!(
+        jsub_mean >= wj_mean * 0.9,
+        "JSUB mean {jsub_mean} unexpectedly far below WJ mean {wj_mean}"
+    );
+}
