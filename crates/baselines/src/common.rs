@@ -26,7 +26,11 @@ pub fn resolve(pat: &TriplePattern, bindings: &[Option<u32>]) -> Resolved {
         PredTerm::Bound(p) => Some(p),
         PredTerm::Var(v) => bindings[v.index()].map(PredId),
     };
-    Resolved { s: node(pat.s), p: pred, o: node(pat.o) }
+    Resolved {
+        s: node(pat.s),
+        p: pred,
+        o: node(pat.o),
+    }
 }
 
 /// Number of triples matching the resolved pattern.
@@ -187,7 +191,11 @@ mod tests {
     #[test]
     fn pick_candidate_covers_all_matches() {
         let g = graph();
-        let r = Resolved { s: None, p: Some(PredId(0)), o: None };
+        let r = Resolved {
+            s: None,
+            p: Some(PredId(0)),
+            o: None,
+        };
         let n = candidate_count(&g, r);
         assert_eq!(n, 3);
         let mut seen = Vec::new();
@@ -203,7 +211,11 @@ mod tests {
     #[test]
     fn sample_candidate_is_roughly_uniform() {
         let g = graph();
-        let r = Resolved { s: None, p: Some(PredId(0)), o: None };
+        let r = Resolved {
+            s: None,
+            p: Some(PredId(0)),
+            o: None,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..3000 {
@@ -218,7 +230,11 @@ mod tests {
     #[test]
     fn sample_candidate_none_when_empty() {
         let g = graph();
-        let r = Resolved { s: Some(NodeId(1)), p: Some(PredId(1)), o: None }; // b q ?
+        let r = Resolved {
+            s: Some(NodeId(1)),
+            p: Some(PredId(1)),
+            o: None,
+        }; // b q ?
         let mut rng = StdRng::seed_from_u64(0);
         assert!(sample_candidate(&g, r, &mut rng).is_none());
     }
@@ -257,8 +273,16 @@ mod tests {
         let g = graph();
         // t0: ?x q ?y (1 match), t1: ?y p ?z — wait q's objects: x.
         let pats = vec![
-            TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(0)), NodeTerm::Var(VarId(1))),
-            TriplePattern::new(NodeTerm::Var(VarId(2)), PredTerm::Bound(PredId(1)), NodeTerm::Var(VarId(0))),
+            TriplePattern::new(
+                NodeTerm::Var(VarId(0)),
+                PredTerm::Bound(PredId(0)),
+                NodeTerm::Var(VarId(1)),
+            ),
+            TriplePattern::new(
+                NodeTerm::Var(VarId(2)),
+                PredTerm::Bound(PredId(1)),
+                NodeTerm::Var(VarId(0)),
+            ),
         ];
         let order = walk_order(&g, &pats);
         assert_eq!(order[0], 1); // q has 1 triple < p's 3

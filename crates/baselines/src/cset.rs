@@ -61,7 +61,11 @@ impl CharacteristicSets {
             .into_iter()
             .map(|(preds, (count, occ))| {
                 let occurrences = preds.iter().map(|p| occ[p]).collect();
-                CSet { preds, count, occurrences }
+                CSet {
+                    preds,
+                    count,
+                    occurrences,
+                }
             })
             .collect();
         sets.sort_by(|a, b| a.preds.cmp(&b.preds));
@@ -196,9 +200,7 @@ impl CharacteristicSets {
             .iter()
             .map(|t| {
                 let base = match t.p.bound() {
-                    Some(p) => {
-                        self.pred_counts[p.index()] as f64 / self.pred_subjects[p.index()].max(1) as f64
-                    }
+                    Some(p) => self.pred_counts[p.index()] as f64 / self.pred_subjects[p.index()].max(1) as f64,
                     None => self.num_triples as f64 / self.pred_subjects.iter().sum::<u64>().max(1) as f64,
                 };
                 base * self.object_selectivity(t)

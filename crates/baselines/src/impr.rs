@@ -36,7 +36,12 @@ pub struct ImprConfig {
 
 impl Default for ImprConfig {
     fn default() -> Self {
-        Self { runs: 30, samples_per_run: 30, burn_in: 16, seed: 0 }
+        Self {
+            runs: 30,
+            samples_per_run: 30,
+            burn_in: 16,
+            seed: 0,
+        }
     }
 }
 
@@ -194,7 +199,12 @@ mod tests {
     }
 
     fn cfg() -> ImprConfig {
-        ImprConfig { runs: 40, samples_per_run: 50, burn_in: 8, seed: 3 }
+        ImprConfig {
+            runs: 40,
+            samples_per_run: 50,
+            burn_in: 8,
+            seed: 3,
+        }
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub struct JsubConfig {
 
 impl Default for JsubConfig {
     fn default() -> Self {
-        Self { runs: 30, walks_per_run: 100, seed: 0 }
+        Self {
+            runs: 30,
+            walks_per_run: 100,
+            seed: 0,
+        }
     }
 }
 
@@ -132,7 +136,11 @@ impl<'g> Jsub<'g> {
                 }
                 // First step uses the exact candidate count; later steps
                 // charge the upper bound.
-                weight *= if step == 0 { count as f64 } else { self.step_bound(query, idx) };
+                weight *= if step == 0 {
+                    count as f64
+                } else {
+                    self.step_bound(query, idx)
+                };
             }
             if alive {
                 sum += weight;
@@ -186,7 +194,14 @@ mod tests {
             TriplePattern::new(v(1), qp, v(2)),
         ]);
         let exact = counter::cardinality(&g, &q) as f64;
-        let mut jsub = Jsub::new(&g, JsubConfig { runs: 30, walks_per_run: 100, seed: 1 });
+        let mut jsub = Jsub::new(
+            &g,
+            JsubConfig {
+                runs: 30,
+                walks_per_run: 100,
+                seed: 1,
+            },
+        );
         let est = jsub.estimate_query(&q);
         // All walks survive here, so the estimate equals the deterministic
         // bound: 8 (first hop) × max fanout of q (2) = 16 ≥ exact (12).

@@ -15,9 +15,9 @@ use lmkg::CardinalityEstimator;
 use lmkg_data::LabeledQuery;
 use lmkg_encoder::CardinalityScaler;
 use lmkg_nn::layers::{Dense, Layer, Param, Relu, Sequential, Sigmoid};
+use lmkg_nn::loss;
 use lmkg_nn::optimizer::{Adam, Optimizer};
 use lmkg_nn::tensor::Matrix;
-use lmkg_nn::loss;
 use lmkg_store::{KnowledgeGraph, Query, Triple};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -302,7 +302,12 @@ mod tests {
     }
 
     fn quick_cfg(samples: usize) -> MscnConfig {
-        MscnConfig { samples, hidden: 32, epochs: 40, ..Default::default() }
+        MscnConfig {
+            samples,
+            hidden: 32,
+            epochs: 40,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -318,7 +323,11 @@ mod tests {
         let (g, data) = setup();
         let mut m = Mscn::new(&g, quick_cfg(0));
         m.train(&data);
-        let pairs: Vec<(f64, u64)> = data.iter().take(100).map(|lq| (m.predict(&lq.query), lq.cardinality)).collect();
+        let pairs: Vec<(f64, u64)> = data
+            .iter()
+            .take(100)
+            .map(|lq| (m.predict(&lq.query), lq.cardinality))
+            .collect();
         let stats = QErrorStats::from_pairs(pairs).unwrap();
         assert!(stats.median < 15.0, "median q-error {}", stats.median);
     }

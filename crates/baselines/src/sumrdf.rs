@@ -86,7 +86,11 @@ impl SumRdf {
             })
             .collect();
 
-        Self { bucket_of, bucket_sizes, edges_by_pred }
+        Self {
+            bucket_of,
+            bucket_sizes,
+            edges_by_pred,
+        }
     }
 
     /// Number of buckets actually used.
@@ -141,11 +145,7 @@ impl SumRdf {
         let (s_slot, o_slot, pred) = triples[idx];
 
         // A slot is local if no other remaining triple touches it.
-        let local = |slot: usize| {
-            !remaining
-                .iter()
-                .any(|&j| triples[j].0 == slot || triples[j].1 == slot)
-        };
+        let local = |slot: usize| !remaining.iter().any(|&j| triples[j].0 == slot || triples[j].1 == slot);
         let s_free = assignment[s_slot].is_none();
         let o_free = assignment[o_slot].is_none();
         let factorable = (!s_free || local(s_slot)) && (!o_free || local(o_slot)) && (s_slot != o_slot || !s_free);
@@ -270,7 +270,11 @@ impl CardinalityEstimator for SumRdf {
     }
 
     fn memory_bytes(&self) -> usize {
-        let edges: usize = self.edges_by_pred.iter().map(|v| v.len() * std::mem::size_of::<SummaryEdge>()).sum();
+        let edges: usize = self
+            .edges_by_pred
+            .iter()
+            .map(|v| v.len() * std::mem::size_of::<SummaryEdge>())
+            .sum();
         self.bucket_of.len() * 4 + self.bucket_sizes.len() * 8 + edges
     }
 }

@@ -28,7 +28,11 @@ pub struct WanderJoinConfig {
 
 impl Default for WanderJoinConfig {
     fn default() -> Self {
-        Self { runs: 30, walks_per_run: 100, seed: 0 }
+        Self {
+            runs: 30,
+            walks_per_run: 100,
+            seed: 0,
+        }
     }
 }
 
@@ -49,7 +53,7 @@ impl<'g> WanderJoin<'g> {
     }
 
     /// One random walk; returns the HT estimate (0 on failure).
-    fn walk(&mut self, query: &Query, order: &[usize], bindings: &mut Vec<Option<u32>>) -> f64 {
+    fn walk(&mut self, query: &Query, order: &[usize], bindings: &mut [Option<u32>]) -> f64 {
         bindings.iter_mut().for_each(|b| *b = None);
         let mut weight = 1.0f64;
         for &idx in order {
@@ -121,7 +125,11 @@ mod tests {
     }
 
     fn cfg() -> WanderJoinConfig {
-        WanderJoinConfig { runs: 30, walks_per_run: 200, seed: 7 }
+        WanderJoinConfig {
+            runs: 30,
+            walks_per_run: 200,
+            seed: 7,
+        }
     }
 
     #[test]

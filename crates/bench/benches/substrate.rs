@@ -25,16 +25,34 @@ fn bench_store(c: &mut Criterion) {
     });
 
     let star = Query::new(vec![
-        TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(0)), NodeTerm::Var(VarId(1))),
-        TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(5)), NodeTerm::Var(VarId(2))),
+        TriplePattern::new(
+            NodeTerm::Var(VarId(0)),
+            PredTerm::Bound(PredId(0)),
+            NodeTerm::Var(VarId(1)),
+        ),
+        TriplePattern::new(
+            NodeTerm::Var(VarId(0)),
+            PredTerm::Bound(PredId(5)),
+            NodeTerm::Var(VarId(2)),
+        ),
     ]);
     group.bench_function("exact_star2", |b| b.iter(|| black_box(counter::cardinality(&g, &star))));
 
     let chain = Query::new(vec![
-        TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(5)), NodeTerm::Var(VarId(1))),
-        TriplePattern::new(NodeTerm::Var(VarId(1)), PredTerm::Bound(PredId(0)), NodeTerm::Var(VarId(2))),
+        TriplePattern::new(
+            NodeTerm::Var(VarId(0)),
+            PredTerm::Bound(PredId(5)),
+            NodeTerm::Var(VarId(1)),
+        ),
+        TriplePattern::new(
+            NodeTerm::Var(VarId(1)),
+            PredTerm::Bound(PredId(0)),
+            NodeTerm::Var(VarId(2)),
+        ),
     ]);
-    group.bench_function("exact_chain2", |b| b.iter(|| black_box(counter::cardinality(&g, &chain))));
+    group.bench_function("exact_chain2", |b| {
+        b.iter(|| black_box(counter::cardinality(&g, &chain)))
+    });
 
     group.bench_function("walk_counts_k3", |b| b.iter(|| black_box(counter::walk_counts(&g, 3))));
     group.finish();
@@ -43,8 +61,16 @@ fn bench_store(c: &mut Criterion) {
 fn bench_encoders(c: &mut Criterion) {
     let g = Dataset::LubmLike.generate(Scale::Ci, 7);
     let star = Query::new(vec![
-        TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(0)), NodeTerm::Bound(NodeId(3))),
-        TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(5)), NodeTerm::Var(VarId(1))),
+        TriplePattern::new(
+            NodeTerm::Var(VarId(0)),
+            PredTerm::Bound(PredId(0)),
+            NodeTerm::Bound(NodeId(3)),
+        ),
+        TriplePattern::new(
+            NodeTerm::Var(VarId(0)),
+            PredTerm::Bound(PredId(5)),
+            NodeTerm::Var(VarId(1)),
+        ),
     ]);
     let sg = SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2);
     let codec = TermCodec::new(EncodingKind::Binary, g.num_nodes(), g.num_preds());
@@ -52,9 +78,13 @@ fn bench_encoders(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("encoders");
     let mut sg_buf = vec![0.0f32; sg.width()];
-    group.bench_function("sg_encode", |b| b.iter(|| sg.encode(black_box(&star), &mut sg_buf).unwrap()));
+    group.bench_function("sg_encode", |b| {
+        b.iter(|| sg.encode(black_box(&star), &mut sg_buf).unwrap())
+    });
     let mut pb_buf = vec![0.0f32; pb.width()];
-    group.bench_function("pattern_bound_encode", |b| b.iter(|| pb.encode(black_box(&star), &mut pb_buf).unwrap()));
+    group.bench_function("pattern_bound_encode", |b| {
+        b.iter(|| pb.encode(black_box(&star), &mut pb_buf).unwrap())
+    });
     group.finish();
 }
 

@@ -13,7 +13,10 @@ use lmkg_store::QueryShape;
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("LMKG ablation — RW vs uniform training sampling for LMKG-U (scale {:?})", cfg.scale);
+    println!(
+        "LMKG ablation — RW vs uniform training sampling for LMKG-U (scale {:?})",
+        cfg.scale
+    );
 
     let mut rows = Vec::new();
     for d in [Dataset::SwdfLike, Dataset::LubmLike] {

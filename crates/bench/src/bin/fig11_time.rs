@@ -43,7 +43,11 @@ fn main() {
             .chain(ests.iter().map(|e| e.name().to_string()))
             .collect();
         let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-        report::print_table(&format!("Fig. 11 — {} by query size (ms/query)", d.name()), &headers_ref, &rows);
+        report::print_table(
+            &format!("Fig. 11 — {} by query size (ms/query)", d.name()),
+            &headers_ref,
+            &rows,
+        );
 
         // (b) by query type.
         let mut rows = Vec::new();
@@ -60,6 +64,10 @@ fn main() {
             }
             rows.push(row);
         }
-        report::print_table(&format!("Fig. 11 — {} by query type (ms/query)", d.name()), &headers_ref, &rows);
+        report::print_table(
+            &format!("Fig. 11 — {} by query type (ms/query)", d.name()),
+            &headers_ref,
+            &rows,
+        );
     }
 }

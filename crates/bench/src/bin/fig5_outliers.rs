@@ -15,13 +15,16 @@ use lmkg_store::QueryShape;
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("LMKG Fig. 5 — impact of outliers on LMKG-S (star queries, scale {:?})", cfg.scale);
+    println!(
+        "LMKG Fig. 5 — impact of outliers on LMKG-S (star queries, scale {:?})",
+        cfg.scale
+    );
 
     let g = Dataset::LubmLike.generate(cfg.scale, cfg.seed);
     let size = 2usize;
     let wl = WorkloadConfig::train_default(QueryShape::Star, size, cfg.train_queries.max(600), cfg.seed);
     let mut data = workload::generate(&g, &wl);
-    data.sort_by(|a, b| b.cardinality.cmp(&a.cardinality)); // outliers first
+    data.sort_by_key(|lq| std::cmp::Reverse(lq.cardinality)); // outliers first
 
     let eval = |data: &[lmkg_data::LabeledQuery], buffer: usize, seed: u64| -> QErrorStats {
         let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), size));

@@ -57,7 +57,11 @@ fn main() {
         let stats = QErrorStats::from_pairs(pairs).expect("non-empty");
         rows_u.push(vec![ck.to_string(), report::fmt(stats.mean), report::fmt(stats.max)]);
     }
-    report::print_table("Fig. 6a — LMKG-U (star size 2)", &["epochs", "avg q-err", "max q-err"], &rows_u);
+    report::print_table(
+        "Fig. 6a — LMKG-U (star size 2)",
+        &["epochs", "avg q-err", "max q-err"],
+        &rows_u,
+    );
 
     // (b) LMKG-S: checkpoints at 20, 50, 100, 200 epochs.
     let s_checkpoints = [20usize, 50, 100, 200];
@@ -68,7 +72,12 @@ fn main() {
     let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), size));
     let mut s = LmkgS::new(
         enc,
-        LmkgSConfig { hidden: vec![cfg.s_hidden, cfg.s_hidden], epochs: 0, seed: cfg.seed, ..Default::default() },
+        LmkgSConfig {
+            hidden: vec![cfg.s_hidden, cfg.s_hidden],
+            epochs: 0,
+            seed: cfg.seed,
+            ..Default::default()
+        },
     );
     s.prepare(&train);
     let mut s_opt = s.make_optimizer();
@@ -86,6 +95,10 @@ fn main() {
         let stats = QErrorStats::from_pairs(pairs).expect("non-empty");
         rows_s.push(vec![ck.to_string(), report::fmt(stats.mean), report::fmt(stats.max)]);
     }
-    report::print_table("Fig. 6b — LMKG-S (star size 2)", &["epochs", "avg q-err", "max q-err"], &rows_s);
+    report::print_table(
+        "Fig. 6b — LMKG-S (star size 2)",
+        &["epochs", "avg q-err", "max q-err"],
+        &rows_s,
+    );
     println!("\nexpected shape: both models reach satisfactory average q-error after a\nreasonable number of epochs (paper picks 5 for LMKG-U, 200 for LMKG-S).");
 }

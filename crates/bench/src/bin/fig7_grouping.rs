@@ -12,7 +12,10 @@ use lmkg_store::QueryShape;
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("LMKG Fig. 7 — grouping strategies (LUBM-like, 50 epochs, scale {:?})", cfg.scale);
+    println!(
+        "LMKG Fig. 7 — grouping strategies (LUBM-like, 50 epochs, scale {:?})",
+        cfg.scale
+    );
     let g = Dataset::LubmLike.generate(cfg.scale, cfg.seed);
 
     let strategies: [(&str, Grouping); 4] = [
@@ -52,7 +55,12 @@ fn main() {
         let mut cells = Vec::new();
         for &shape in &base.shapes {
             for &k in &base.sizes {
-                let wl = WorkloadConfig::train_default(shape, k, base.queries_per_size, base.workload_seed ^ ((k as u64) << 8));
+                let wl = WorkloadConfig::train_default(
+                    shape,
+                    k,
+                    base.queries_per_size,
+                    base.workload_seed ^ ((k as u64) << 8),
+                );
                 cells.push((shape, workload::generate(&g, &wl)));
             }
         }

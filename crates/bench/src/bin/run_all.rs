@@ -31,9 +31,7 @@ fn main() {
     for name in EXPERIMENTS {
         println!("=== running {name} ===");
         let started = std::time::Instant::now();
-        let output = Command::new(bin_dir.join(name))
-            .envs(std::env::vars())
-            .output();
+        let output = Command::new(bin_dir.join(name)).envs(std::env::vars()).output();
         match output {
             Ok(out) => {
                 let path = results.join(format!("{name}.txt"));
@@ -44,7 +42,11 @@ fn main() {
                     eprintln!("{}", String::from_utf8_lossy(&out.stderr));
                     failures.push(name);
                 }
-                println!("--- {name} finished in {:.1}s → {} ---\n", started.elapsed().as_secs_f64(), path.display());
+                println!(
+                    "--- {name} finished in {:.1}s → {} ---\n",
+                    started.elapsed().as_secs_f64(),
+                    path.display()
+                );
             }
             Err(e) => {
                 eprintln!("failed to launch {name}: {e}");

@@ -9,8 +9,14 @@ use lmkg_store::GraphStats;
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    println!("LMKG Table I — dataset specifications (scale {:?}, seed {})", cfg.scale, cfg.seed);
-    println!("query topologies: Chain, Star; query sizes: {:?}; result-size buckets: powers of 5", cfg.sizes);
+    println!(
+        "LMKG Table I — dataset specifications (scale {:?}, seed {})",
+        cfg.scale, cfg.seed
+    );
+    println!(
+        "query topologies: Chain, Star; query sizes: {:?}; result-size buckets: powers of 5",
+        cfg.sizes
+    );
 
     let mut rows = Vec::new();
     for d in Dataset::ALL {
@@ -31,7 +37,17 @@ fn main() {
     }
     report::print_table(
         "Table I (ours vs paper)",
-        &["dataset", "triples", "entities", "preds", "paper-triples", "paper-entities", "paper-preds", "ent/tri", "paper-ent/tri"],
+        &[
+            "dataset",
+            "triples",
+            "entities",
+            "preds",
+            "paper-triples",
+            "paper-entities",
+            "paper-preds",
+            "ent/tri",
+            "paper-ent/tri",
+        ],
         &rows,
     );
 }

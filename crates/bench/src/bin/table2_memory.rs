@@ -54,15 +54,38 @@ fn main() {
             let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), k));
             let s = LmkgS::new(
                 enc,
-                LmkgSConfig { hidden: vec![cfg.s_hidden, cfg.s_hidden], ..Default::default() },
+                LmkgSConfig {
+                    hidden: vec![cfg.s_hidden, cfg.s_hidden],
+                    ..Default::default()
+                },
             );
             row.push(human(CardinalityEstimator::memory_bytes(&s)));
         }
         // Summaries and MSCN.
         row.push(human(SumRdf::build(&g, SumRdfConfig::default()).memory_bytes()));
         row.push(human(CharacteristicSets::build(&g).memory_bytes()));
-        row.push(human(Mscn::new(&g, MscnConfig { samples: 0, hidden: cfg.s_hidden.min(128), ..Default::default() }).memory_bytes()));
-        row.push(human(Mscn::new(&g, MscnConfig { samples: 1000, hidden: cfg.s_hidden.min(128), ..Default::default() }).memory_bytes()));
+        row.push(human(
+            Mscn::new(
+                &g,
+                MscnConfig {
+                    samples: 0,
+                    hidden: cfg.s_hidden.min(128),
+                    ..Default::default()
+                },
+            )
+            .memory_bytes(),
+        ));
+        row.push(human(
+            Mscn::new(
+                &g,
+                MscnConfig {
+                    samples: 1000,
+                    hidden: cfg.s_hidden.min(128),
+                    ..Default::default()
+                },
+            )
+            .memory_bytes(),
+        ));
         rows.push(row);
     }
 

@@ -78,12 +78,19 @@ impl SizeRoutedLmkgS {
         Self { models }
     }
 
-    fn route(&mut self, size: usize) -> Option<&mut LmkgS> {
+    /// Index of the smallest-capacity model that fits `size` — the single
+    /// routing rule shared by the per-query and batched paths.
+    fn route_idx(&self, size: usize) -> Option<usize> {
         self.models
-            .iter_mut()
-            .filter(|(k, _)| *k >= size)
-            .min_by_key(|(k, _)| *k)
-            .map(|(_, m)| m)
+            .iter()
+            .enumerate()
+            .filter(|(_, (k, _))| *k >= size)
+            .min_by_key(|(_, (k, _))| *k)
+            .map(|(idx, _)| idx)
+    }
+
+    fn route(&mut self, size: usize) -> Option<&mut LmkgS> {
+        self.route_idx(size).map(|idx| &mut self.models[idx].1)
     }
 }
 
@@ -97,6 +104,29 @@ impl CardinalityEstimator for SizeRoutedLmkgS {
             Some(model) => model.predict(query).unwrap_or(1.0),
             None => 1.0,
         }
+    }
+
+    /// Batched override: the slice is grouped by routed model (smallest
+    /// capacity that fits each query) and every group runs one forward.
+    fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+        let mut out = vec![1.0f64; queries.len()];
+        // Group query indices by the model `route` would pick.
+        let mut grouped: Vec<Vec<usize>> = vec![Vec::new(); self.models.len()];
+        for (i, q) in queries.iter().enumerate() {
+            if let Some(idx) = self.route_idx(q.size()) {
+                grouped[idx].push(i);
+            }
+        }
+        for (idx, group) in grouped.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let refs: Vec<&Query> = group.iter().map(|&i| &queries[i]).collect();
+            for (&i, result) in group.iter().zip(self.models[idx].1.predict_batch(&refs)) {
+                out[i] = result.unwrap_or(1.0);
+            }
+        }
+        out
     }
 
     fn memory_bytes(&self) -> usize {
@@ -139,6 +169,17 @@ impl TypeSizeRoutedLmkgU {
         }
         Some(Self { models })
     }
+
+    /// Index of the first model covering the query's (type, size) —
+    /// `Single` queries route to either family of size-1 models. The single
+    /// routing rule shared by the per-query and batched paths.
+    fn route_idx(&self, query: &Query) -> Option<usize> {
+        let shape = query.shape();
+        let size = query.size();
+        self.models
+            .iter()
+            .position(|((s, k), _)| (*s == shape || (shape == QueryShape::Single && *k == 1)) && *k == size)
+    }
 }
 
 impl CardinalityEstimator for TypeSizeRoutedLmkgU {
@@ -147,16 +188,32 @@ impl CardinalityEstimator for TypeSizeRoutedLmkgU {
     }
 
     fn estimate(&mut self, query: &Query) -> f64 {
-        let shape = query.shape();
-        let size = query.size();
-        // `Single` queries route to either family of size-1 models.
-        for ((s, k), model) in &mut self.models {
-            let shape_ok = *s == shape || (shape == QueryShape::Single && *k == 1);
-            if shape_ok && *k == size {
-                return model.estimate_query(query).unwrap_or(1.0);
+        match self.route_idx(query) {
+            Some(idx) => self.models[idx].1.estimate_query(query).unwrap_or(1.0),
+            None => 1.0,
+        }
+    }
+
+    /// Batched override: the slice is grouped by the (type, size) model
+    /// that covers it; every group runs one batched sampling pass.
+    fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+        let mut out = vec![1.0f64; queries.len()];
+        let mut grouped: Vec<Vec<usize>> = vec![Vec::new(); self.models.len()];
+        for (i, q) in queries.iter().enumerate() {
+            if let Some(idx) = self.route_idx(q) {
+                grouped[idx].push(i);
             }
         }
-        1.0
+        for (idx, group) in grouped.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let refs: Vec<&Query> = group.iter().map(|&i| &queries[i]).collect();
+            for (&i, result) in group.iter().zip(self.models[idx].1.estimate_query_batch(&refs)) {
+                out[i] = result.unwrap_or(1.0);
+            }
+        }
+        out
     }
 
     fn memory_bytes(&self) -> usize {
@@ -172,17 +229,31 @@ pub fn build_all<'g>(
     include_lmkg_u: bool,
 ) -> Vec<Box<dyn CardinalityEstimator + 'g>> {
     let pools = TrainPools::generate(graph, cfg);
-    let mut out: Vec<Box<dyn CardinalityEstimator + 'g>> = Vec::new();
-
-    out.push(Box::new(Impr::new(
+    let mut out: Vec<Box<dyn CardinalityEstimator + 'g>> = vec![Box::new(Impr::new(
         graph,
-        ImprConfig { runs: 30, samples_per_run: 20, burn_in: 12, seed: cfg.seed },
+        ImprConfig {
+            runs: 30,
+            samples_per_run: 20,
+            burn_in: 12,
+            seed: cfg.seed,
+        },
+    ))];
+    out.push(Box::new(Jsub::new(
+        graph,
+        JsubConfig {
+            runs: 30,
+            walks_per_run: 50,
+            seed: cfg.seed,
+        },
     )));
-    out.push(Box::new(Jsub::new(graph, JsubConfig { runs: 30, walks_per_run: 50, seed: cfg.seed })));
     out.push(Box::new(SumRdf::build(graph, SumRdfConfig::default())));
     out.push(Box::new(WanderJoin::new(
         graph,
-        WanderJoinConfig { runs: 30, walks_per_run: 50, seed: cfg.seed },
+        WanderJoinConfig {
+            runs: 30,
+            walks_per_run: 50,
+            seed: cfg.seed,
+        },
     )));
     out.push(Box::new(CharacteristicSets::build(graph)));
 
@@ -227,7 +298,10 @@ mod tests {
         cfg.u_samples = 500;
         let ests = build_all(&g, &cfg, true);
         let names: Vec<&str> = ests.iter().map(|e| e.name()).collect();
-        assert_eq!(names, vec!["impr", "jsub", "sumrdf", "wj", "cset", "mscn-0", "mscn-1k", "LMKG-U", "LMKG-S"]);
+        assert_eq!(
+            names,
+            vec!["impr", "jsub", "sumrdf", "wj", "cset", "mscn-0", "mscn-1k", "LMKG-U", "LMKG-S"]
+        );
     }
 
     #[test]
@@ -242,6 +316,33 @@ mod tests {
         assert!(s.route(2).is_some());
         assert!(s.route(3).is_some());
         assert!(s.route(4).is_none());
+    }
+
+    #[test]
+    fn routed_wrappers_batch_matches_per_query() {
+        use lmkg_data::workload::{self, WorkloadConfig};
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let mut cfg = BenchConfig::ci(1);
+        cfg.sizes = vec![2, 3];
+        cfg.train_queries = 120;
+        cfg.s_epochs = 2;
+        cfg.u_epochs = 1;
+        cfg.u_samples = 500;
+
+        let mut queries: Vec<Query> = Vec::new();
+        for (shape, size) in [(QueryShape::Star, 2), (QueryShape::Chain, 3), (QueryShape::Star, 4)] {
+            let wl = WorkloadConfig::test_default(shape, size, 5);
+            queries.extend(workload::generate(&g, &wl).into_iter().take(6).map(|lq| lq.query));
+        }
+
+        let pools = TrainPools::generate(&g, &cfg);
+        let mut s = SizeRoutedLmkgS::train(&g, &cfg, &pools);
+        let looped: Vec<f64> = queries.iter().map(|q| s.estimate(q)).collect();
+        assert_eq!(s.estimate_batch(&queries), looped, "LMKG-S routing parity");
+
+        let mut u = TypeSizeRoutedLmkgU::train(&g, &cfg).expect("domain fits");
+        let looped: Vec<f64> = queries.iter().map(|q| u.estimate(q)).collect();
+        assert_eq!(u.estimate_batch(&queries), looped, "LMKG-U routing parity");
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl BenchConfig {
     /// Reads `LMKG_SCALE` / `LMKG_SEED` / `LMKG_QUERIES` from the environment.
     pub fn from_env() -> Self {
         let scale_name = std::env::var("LMKG_SCALE").unwrap_or_else(|_| "bench".into());
-        let seed = std::env::var("LMKG_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42u64);
+        let seed = std::env::var("LMKG_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42u64);
         let mut cfg = match scale_name.as_str() {
             "ci" => Self::ci(seed),
             "default" => Self::default_scale(seed),

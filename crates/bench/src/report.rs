@@ -25,7 +25,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         println!("| {} |", joined.join(" | "));
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         line(row);
     }
@@ -44,9 +47,27 @@ pub fn fmt(v: f64) -> String {
     }
 }
 
-/// Runs an estimator over a workload; returns accuracy stats and the mean
-/// per-query estimation latency in milliseconds.
+/// Runs an estimator over a workload through the **batched** estimation
+/// path; returns accuracy stats and the mean amortized per-query latency in
+/// milliseconds. Batched overrides return exactly what the per-query loop
+/// would, so accuracy numbers are unchanged while learned-model timings
+/// reflect one forward per batch.
 pub fn measure(est: &mut dyn CardinalityEstimator, queries: &[LabeledQuery]) -> (QErrorStats, f64) {
+    let workload: Vec<_> = queries.iter().map(|lq| lq.query.clone()).collect();
+    let start = Instant::now();
+    let estimates = est.estimate_batch(&workload);
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let pairs: Vec<(f64, u64)> = estimates
+        .into_iter()
+        .zip(queries.iter().map(|lq| lq.cardinality))
+        .collect();
+    let stats = QErrorStats::from_pairs(pairs).expect("non-empty workload");
+    (stats, elapsed_ms / queries.len().max(1) as f64)
+}
+
+/// Like [`measure`], but through the per-query loop — the reference point
+/// batched evaluation is compared against.
+pub fn measure_per_query(est: &mut dyn CardinalityEstimator, queries: &[LabeledQuery]) -> (QErrorStats, f64) {
     let mut pairs = Vec::with_capacity(queries.len());
     let start = Instant::now();
     for lq in queries {
@@ -88,6 +109,19 @@ mod tests {
         let (stats, ms) = measure(&mut exact, &queries);
         assert_eq!(stats.mean, 1.0);
         assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn batched_and_per_query_measurement_agree_on_accuracy() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let mut cfg = WorkloadConfig::test_default(QueryShape::Star, 2, 3);
+        cfg.count = 20;
+        let queries = workload::generate(&g, &cfg);
+        let mut exact = ExactEstimator::new(&g);
+        let (batched, _) = measure(&mut exact, &queries);
+        let (looped, _) = measure_per_query(&mut exact, &queries);
+        assert_eq!(batched.mean, looped.mean);
+        assert_eq!(batched.median, looped.median);
     }
 
     #[test]

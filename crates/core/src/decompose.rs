@@ -18,8 +18,7 @@ pub fn decompose(query: &Query, max_size: usize) -> Vec<Query> {
     let mut out = Vec::new();
 
     // 1. Subject stars.
-    loop {
-        let Some(center) = best_star_center(&remaining) else { break };
+    while let Some(center) = best_star_center(&remaining) {
         let (star, rest): (Vec<_>, Vec<_>) = remaining.into_iter().partition(|t| t.s == center);
         remaining = rest;
         for chunk in star.chunks(max_size) {
@@ -56,7 +55,7 @@ fn best_star_center(triples: &[TriplePattern]) -> Option<NodeTerm> {
     let mut best: Option<(NodeTerm, usize)> = None;
     for t in triples {
         let count = triples.iter().filter(|u| u.s == t.s).count();
-        if count >= 2 && best.map_or(true, |(_, c)| count > c) {
+        if count >= 2 && best.is_none_or(|(_, c)| count > c) {
             best = Some((t.s, count));
         }
     }
@@ -102,7 +101,11 @@ mod tests {
 
     #[test]
     fn big_star_is_chunked() {
-        let q = Query::new((0..5).map(|i| TriplePattern::new(v(0), p(i), v(1 + i as u16))).collect());
+        let q = Query::new(
+            (0..5)
+                .map(|i| TriplePattern::new(v(0), p(i), v(1 + i as u16)))
+                .collect(),
+        );
         let parts = decompose(&q, 2);
         assert_eq!(total_triples(&parts), 5);
         assert!(parts.iter().all(|part| part.size() <= 2));

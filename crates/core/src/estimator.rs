@@ -16,6 +16,20 @@ pub trait CardinalityEstimator {
     /// keeps q-errors finite for all estimators (G-CARE does the same).
     fn estimate(&mut self, query: &Query) -> f64;
 
+    /// Estimates a whole workload slice, returning one estimate per query
+    /// in order.
+    ///
+    /// The default implementation loops over [`estimate`](Self::estimate),
+    /// so every estimator supports the batched entry point; the learned
+    /// models override it to run one network forward per batch instead of
+    /// per query, which is where their sub-millisecond amortized latency
+    /// comes from. Overrides must return exactly the estimates the looped
+    /// default would (the cross-crate parity suite enforces this for the
+    /// deterministic estimators).
+    fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+        queries.iter().map(|q| self.estimate(q)).collect()
+    }
+
     /// Approximate memory footprint of the estimator state in bytes
     /// (model parameters or summary size — Table II).
     fn memory_bytes(&self) -> usize;

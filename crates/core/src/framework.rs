@@ -112,6 +112,9 @@ impl ModelKey {
     }
 }
 
+// The size gap between the two variants is irrelevant: a framework holds a
+// handful of entries, each wrapping megabytes of parameters either way.
+#[allow(clippy::large_enum_variant)]
 enum ModelEntry {
     S(LmkgS),
     U(LmkgU),
@@ -137,21 +140,39 @@ impl Lmkg {
         match cfg.model_type {
             ModelType::Supervised => {
                 let keys: Vec<ModelKey> = match cfg.grouping {
-                    Grouping::Single => vec![ModelKey { shape: None, min_size: 1, max_size }],
+                    Grouping::Single => vec![ModelKey {
+                        shape: None,
+                        min_size: 1,
+                        max_size,
+                    }],
                     Grouping::ByType => cfg
                         .shapes
                         .iter()
-                        .map(|&s| ModelKey { shape: Some(s), min_size: 1, max_size })
+                        .map(|&s| ModelKey {
+                            shape: Some(s),
+                            min_size: 1,
+                            max_size,
+                        })
                         .collect(),
                     Grouping::BySize => cfg
                         .sizes
                         .iter()
-                        .map(|&k| ModelKey { shape: None, min_size: k, max_size: k })
+                        .map(|&k| ModelKey {
+                            shape: None,
+                            min_size: k,
+                            max_size: k,
+                        })
                         .collect(),
                     Grouping::Specialized => cfg
                         .shapes
                         .iter()
-                        .flat_map(|&s| cfg.sizes.iter().map(move |&k| ModelKey { shape: Some(s), min_size: k, max_size: k }))
+                        .flat_map(|&s| {
+                            cfg.sizes.iter().map(move |&k| ModelKey {
+                                shape: Some(s),
+                                min_size: k,
+                                max_size: k,
+                            })
+                        })
                         .collect(),
                 };
                 for key in keys {
@@ -166,7 +187,11 @@ impl Lmkg {
                         match LmkgU::new(graph, shape, k, cfg.u_config.clone()) {
                             Ok(mut model) => {
                                 model.train(graph);
-                                let key = ModelKey { shape: Some(shape), min_size: k, max_size: k };
+                                let key = ModelKey {
+                                    shape: Some(shape),
+                                    min_size: k,
+                                    max_size: k,
+                                };
                                 entries.push((key, ModelEntry::U(model)));
                             }
                             Err(LmkgUError::DomainTooLarge { .. }) => {
@@ -181,7 +206,11 @@ impl Lmkg {
             }
         }
 
-        Self { entries, summary, max_covered_size: max_size }
+        Self {
+            entries,
+            summary,
+            max_covered_size: max_size,
+        }
     }
 
     /// Number of trained models.
@@ -230,6 +259,63 @@ impl Lmkg {
             product /= (self.summary.num_nodes().max(1) as f64).powi(occurrences as i32 - 1);
         }
         product.max(1.0)
+    }
+
+    /// Batched execution phase: the query slice is grouped by the model
+    /// entry that covers it ([`ModelKey`]), and each group runs **one**
+    /// batched forward through its model. Queries every model rejects fall
+    /// back to the per-query decomposition path, exactly as in
+    /// [`Lmkg::estimate_query`] — results are identical to looping it.
+    pub fn estimate_query_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+        let mut out: Vec<Option<f64>> = vec![None; queries.len()];
+        // Walk the model entries in routing order; each entry batch-answers
+        // the still-unanswered queries its key covers. A query rejected by
+        // one model (encoder or shape/size mismatch) stays eligible for
+        // later entries — the same fall-through `try_direct` performs.
+        let mut remaining: Vec<usize> = (0..queries.len()).collect();
+        for (key, entry) in &mut self.entries {
+            if remaining.is_empty() {
+                break;
+            }
+            let exact = matches!(entry, ModelEntry::U(_));
+            let (candidates, rest): (Vec<usize>, Vec<usize>) = remaining
+                .iter()
+                .partition(|&&i| key.matches(queries[i].shape(), queries[i].size(), exact));
+            if candidates.is_empty() {
+                continue;
+            }
+            let refs: Vec<&Query> = candidates.iter().map(|&i| &queries[i]).collect();
+            let mut failed: Vec<usize> = Vec::new();
+            match entry {
+                ModelEntry::S(model) => {
+                    for (&i, result) in candidates.iter().zip(model.predict_batch(&refs)) {
+                        match result {
+                            Ok(est) => out[i] = Some(est),
+                            Err(_) => failed.push(i),
+                        }
+                    }
+                }
+                ModelEntry::U(model) => {
+                    for (&i, result) in candidates.iter().zip(model.estimate_query_batch(&refs)) {
+                        match result {
+                            Ok(est) => out[i] = Some(est),
+                            Err(_) => failed.push(i),
+                        }
+                    }
+                }
+            }
+            remaining = rest;
+            remaining.extend(failed);
+            remaining.sort_unstable();
+        }
+        // Decomposition / statistics fallback, per query. `estimate_query`
+        // re-probes the models first, but every remaining query was just
+        // rejected by all of them, so the probe deterministically falls
+        // through to the same decomposition path.
+        remaining
+            .iter()
+            .for_each(|&i| out[i] = Some(self.estimate_query(&queries[i])));
+        out.into_iter().map(|v| v.expect("every query answered")).collect()
     }
 
     /// Attempts to answer with a single model.
@@ -283,6 +369,15 @@ impl CardinalityEstimator for Lmkg {
         self.estimate_query(query).max(1.0)
     }
 
+    /// Batched override: groups the slice by covering model and dispatches
+    /// one batched forward per model via [`Lmkg::estimate_query_batch`].
+    fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+        self.estimate_query_batch(queries)
+            .into_iter()
+            .map(|est| est.max(1.0))
+            .collect()
+    }
+
     fn memory_bytes(&self) -> usize {
         // Trait takes &self; parameter counts need &mut. Report summary-only
         // here; callers needing exact totals use `Lmkg::memory_bytes`.
@@ -297,8 +392,11 @@ impl CardinalityEstimator for Lmkg {
 /// "same configuration" requirement. The topology-specific pattern-bound
 /// encoding remains available through [`LmkgS::new`] directly.
 fn train_supervised(graph: &KnowledgeGraph, cfg: &LmkgConfig, key: ModelKey) -> LmkgS {
-    let encoder =
-        QueryEncoder::Sg(SgEncoder::capacity_for_size(graph.num_nodes(), graph.num_preds(), key.max_size));
+    let encoder = QueryEncoder::Sg(SgEncoder::capacity_for_size(
+        graph.num_nodes(),
+        graph.num_preds(),
+        key.max_size,
+    ));
     let mut model = LmkgS::new(encoder, cfg.s_config.clone());
 
     // Training data: the per-model budget is split evenly across every
@@ -307,7 +405,12 @@ fn train_supervised(graph: &KnowledgeGraph, cfg: &LmkgConfig, key: ModelKey) -> 
         Some(s) => vec![s],
         None => cfg.shapes.clone(),
     };
-    let sizes: Vec<usize> = cfg.sizes.iter().copied().filter(|&k| k >= key.min_size && k <= key.max_size).collect();
+    let sizes: Vec<usize> = cfg
+        .sizes
+        .iter()
+        .copied()
+        .filter(|&k| k >= key.min_size && k <= key.max_size)
+        .collect();
     let cells = (shapes.len() * sizes.len()).max(1);
     let per_cell = (cfg.queries_per_size / cells).max(1);
     let mut data = Vec::new();
@@ -329,7 +432,12 @@ mod tests {
     use lmkg_store::{NodeTerm, PredId, PredTerm, TriplePattern, VarId};
 
     fn quick_s_config() -> LmkgSConfig {
-        LmkgSConfig { hidden: vec![64], epochs: 40, dropout: 0.0, ..Default::default() }
+        LmkgSConfig {
+            hidden: vec![64],
+            epochs: 40,
+            dropout: 0.0,
+            ..Default::default()
+        }
     }
 
     fn quick_u_config() -> LmkgUConfig {
@@ -422,9 +530,21 @@ mod tests {
         let mut lmkg = Lmkg::build(&g, &cfg);
         // star(2) at ?0 + chain edge from ?1: shape Other.
         let q = Query::new(vec![
-            TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(0)), NodeTerm::Var(VarId(1))),
-            TriplePattern::new(NodeTerm::Var(VarId(0)), PredTerm::Bound(PredId(1)), NodeTerm::Var(VarId(2))),
-            TriplePattern::new(NodeTerm::Var(VarId(1)), PredTerm::Bound(PredId(2)), NodeTerm::Var(VarId(3))),
+            TriplePattern::new(
+                NodeTerm::Var(VarId(0)),
+                PredTerm::Bound(PredId(0)),
+                NodeTerm::Var(VarId(1)),
+            ),
+            TriplePattern::new(
+                NodeTerm::Var(VarId(0)),
+                PredTerm::Bound(PredId(1)),
+                NodeTerm::Var(VarId(2)),
+            ),
+            TriplePattern::new(
+                NodeTerm::Var(VarId(1)),
+                PredTerm::Bound(PredId(2)),
+                NodeTerm::Var(VarId(3)),
+            ),
         ]);
         assert_eq!(q.shape(), QueryShape::Other);
         let est = lmkg.estimate_query(&q);
@@ -454,6 +574,40 @@ mod tests {
         let wl = WorkloadConfig::test_default(QueryShape::Star, 2, 5);
         let test = workload::generate(&g, &wl);
         assert!(lmkg.estimate_query(&test[0].query) >= 1.0);
+    }
+
+    #[test]
+    fn batched_routing_matches_per_query_bitwise() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let mut cfg = quick_cfg(ModelType::Supervised, Grouping::BySize);
+        cfg.sizes = vec![2, 3];
+        let mut lmkg = Lmkg::build(&g, &cfg);
+
+        // Covered sizes, an uncovered size (decomposition), and a composite
+        // shape (decomposition) all mixed into one batch.
+        let mut queries: Vec<Query> = Vec::new();
+        for (shape, size) in [(QueryShape::Star, 2), (QueryShape::Chain, 3), (QueryShape::Star, 3)] {
+            let wl = WorkloadConfig::test_default(shape, size, 11);
+            queries.extend(workload::generate(&g, &wl).into_iter().take(8).map(|lq| lq.query));
+        }
+        queries.push(Query::new(
+            (0..4)
+                .map(|i| {
+                    TriplePattern::new(
+                        NodeTerm::Var(VarId(0)),
+                        PredTerm::Bound(PredId(i % g.num_preds() as u32)),
+                        NodeTerm::Var(VarId(1 + i as u16)),
+                    )
+                })
+                .collect(),
+        ));
+
+        let looped: Vec<f64> = queries.iter().map(|q| lmkg.estimate_query(q)).collect();
+        let batched = lmkg.estimate_query_batch(&queries);
+        assert_eq!(
+            batched, looped,
+            "batched framework routing must match per-query routing"
+        );
     }
 
     #[test]

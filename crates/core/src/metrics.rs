@@ -56,9 +56,8 @@ impl QErrorStats {
     }
 
     /// Computes statistics from (estimate, truth) pairs.
-    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (f64, u64)>) -> Option<Self> {
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, u64)>) -> Option<Self> {
         let qs: Vec<f64> = pairs.into_iter().map(|(e, t)| q_error(e, t)).collect();
-        let _ = std::marker::PhantomData::<&'a ()>;
         Self::from_q_errors(qs)
     }
 }

@@ -50,7 +50,11 @@ impl WorkloadMonitor {
     /// cells).
     pub fn new(window: usize, trained_cells: &[Cell]) -> Self {
         assert!(window >= 1);
-        let share = if trained_cells.is_empty() { 0.0 } else { 1.0 / trained_cells.len() as f64 };
+        let share = if trained_cells.is_empty() {
+            0.0
+        } else {
+            1.0 / trained_cells.len() as f64
+        };
         Self {
             window,
             recent: VecDeque::with_capacity(window),
@@ -83,7 +87,7 @@ impl WorkloadMonitor {
                 None => counts.push((cell, 1)),
             }
         }
-        counts.sort_by(|a, b| b.1.cmp(&a.1));
+        counts.sort_by_key(|&(_, k)| std::cmp::Reverse(k));
 
         // TV distance: ½ Σ |p(c) − q(c)| over the union of supports.
         let mut tv = 0.0f64;

@@ -18,7 +18,10 @@ pub struct OutlierBuffer {
 impl OutlierBuffer {
     /// A buffer holding up to `capacity` queries (0 disables).
     pub fn new(capacity: usize) -> Self {
-        Self { capacity, entries: FxHashMap::default() }
+        Self {
+            capacity,
+            entries: FxHashMap::default(),
+        }
     }
 
     /// Fills the buffer with the top-`capacity` queries by cardinality.
@@ -28,7 +31,7 @@ impl OutlierBuffer {
             return;
         }
         let mut sorted: Vec<&LabeledQuery> = data.iter().collect();
-        sorted.sort_by(|a, b| b.cardinality.cmp(&a.cardinality));
+        sorted.sort_by_key(|lq| std::cmp::Reverse(lq.cardinality));
         for lq in sorted.into_iter().take(self.capacity) {
             self.entries.insert(lq.query.clone(), lq.cardinality);
         }

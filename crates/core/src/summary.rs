@@ -95,8 +95,16 @@ impl GraphSummary {
                 (count * subj_sel * obj_sel).max(0.0)
             }
             None => {
-                let subj_sel = if t.s.is_bound() { 1.0 / self.num_nodes.max(1) as f64 } else { 1.0 };
-                let obj_sel = if t.o.is_bound() { 1.0 / self.num_nodes.max(1) as f64 } else { 1.0 };
+                let subj_sel = if t.s.is_bound() {
+                    1.0 / self.num_nodes.max(1) as f64
+                } else {
+                    1.0
+                };
+                let obj_sel = if t.o.is_bound() {
+                    1.0 / self.num_nodes.max(1) as f64
+                } else {
+                    1.0
+                };
                 total * subj_sel * obj_sel
             }
         }
@@ -181,11 +189,7 @@ mod tests {
     #[test]
     fn bound_subject_divides_by_distinct_subjects() {
         let s = GraphSummary::build(&graph());
-        let t = TriplePattern::new(
-            NodeTerm::Bound(NodeId(0)),
-            PredTerm::Bound(PredId(0)),
-            v(0),
-        );
+        let t = TriplePattern::new(NodeTerm::Bound(NodeId(0)), PredTerm::Bound(PredId(0)), v(0));
         // pred p: 3 triples over 2 distinct subjects → 1.5.
         assert!((s.estimate_pattern(&t) - 1.5).abs() < 1e-9);
     }

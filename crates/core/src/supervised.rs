@@ -7,7 +7,7 @@
 
 use crate::outliers::OutlierBuffer;
 use lmkg_data::LabeledQuery;
-use lmkg_encoder::{CardinalityScaler, EncodeError, PatternBoundEncoder, SgEncoder};
+use lmkg_encoder::{CardinalityScaler, EncodeError, PatternBoundEncoder, RowEncoder, SgEncoder};
 use lmkg_nn::layers::{Dense, Dropout, Layer, Relu, Sequential, Sigmoid};
 use lmkg_nn::optimizer::{Adam, Optimizer};
 use lmkg_nn::tensor::Matrix;
@@ -39,6 +39,19 @@ impl QueryEncoder {
         match self {
             QueryEncoder::Sg(e) => e.encode(query, out),
             QueryEncoder::PatternBound(e) => e.encode(query, out),
+        }
+    }
+
+    /// Encodes a whole batch in one pass, appending one row per accepted
+    /// query to `rows` (see [`RowEncoder::encode_batch`]); returns one
+    /// status per input query.
+    pub fn encode_batch<'q, I>(&self, queries: I, rows: &mut Vec<f32>) -> Vec<Result<(), EncodeError>>
+    where
+        I: IntoIterator<Item = &'q Query>,
+    {
+        match self {
+            QueryEncoder::Sg(e) => e.encode_batch(queries, rows),
+            QueryEncoder::PatternBound(e) => e.encode_batch(queries, rows),
         }
     }
 }
@@ -131,7 +144,7 @@ impl LmkgS {
             model.push(Dense::new_he(&mut rng, fan_in, h));
             model.push(Relu::new());
             if i == 0 && cfg.dropout > 0.0 {
-                model.push(Dropout::new(cfg.dropout, cfg.seed ^ 0xD120_97));
+                model.push(Dropout::new(cfg.dropout, cfg.seed ^ 0x00D1_2097));
             }
             fan_in = h;
         }
@@ -139,7 +152,15 @@ impl LmkgS {
         model.push(Sigmoid::new());
         let outliers = OutlierBuffer::new(cfg.outlier_buffer);
         let cached_param_count = model.param_count();
-        Self { encoder, model, scaler: None, cfg, outliers, rng, cached_param_count }
+        Self {
+            encoder,
+            model,
+            scaler: None,
+            cfg,
+            outliers,
+            rng,
+            cached_param_count,
+        }
     }
 
     /// The configured encoder.
@@ -154,17 +175,16 @@ impl LmkgS {
 
     /// Encodes a batch of queries into a feature matrix, skipping queries
     /// the encoder rejects; returns row-aligned (features, cardinalities).
-    fn encode_batch(&self, data: &[&LabeledQuery]) -> (Matrix, Vec<u64>) {
+    fn encode_training_batch(&self, data: &[&LabeledQuery]) -> (Matrix, Vec<u64>) {
         let w = self.encoder.width();
         let mut rows = Vec::with_capacity(data.len() * w);
-        let mut cards = Vec::with_capacity(data.len());
-        let mut buf = vec![0.0f32; w];
-        for lq in data {
-            if self.encoder.encode(&lq.query, &mut buf).is_ok() {
-                rows.extend_from_slice(&buf);
-                cards.push(lq.cardinality);
-            }
-        }
+        let statuses = self.encoder.encode_batch(data.iter().map(|lq| &lq.query), &mut rows);
+        let cards: Vec<u64> = data
+            .iter()
+            .zip(&statuses)
+            .filter(|(_, s)| s.is_ok())
+            .map(|(lq, _)| lq.cardinality)
+            .collect();
         (Matrix::from_vec(cards.len(), w, rows), cards)
     }
 
@@ -212,15 +232,11 @@ impl LmkgS {
         let mut batches = 0usize;
         for chunk in indices.chunks(self.cfg.batch_size.max(1)) {
             let batch: Vec<&LabeledQuery> = chunk.iter().map(|&i| &data[i]).collect();
-            let (x, cards) = self.encode_batch(&batch);
+            let (x, cards) = self.encode_training_batch(&batch);
             if x.rows() == 0 {
                 continue;
             }
-            let targets = Matrix::from_vec(
-                cards.len(),
-                1,
-                cards.iter().map(|&c| scaler.scale(c)).collect(),
-            );
+            let targets = Matrix::from_vec(cards.len(), 1, cards.iter().map(|&c| scaler.scale(c)).collect());
             let pred = self.model.forward(&x, true);
             let (l, grad) = match self.cfg.loss {
                 LossKind::QError => loss::q_error(&pred, &targets, scaler.log_range(), self.cfg.q_error_max_exp),
@@ -250,6 +266,57 @@ impl LmkgS {
         let x = Matrix::from_vec(1, buf.len(), buf);
         let y = self.model.forward(&x, false);
         Ok(scaler.unscale(y.get(0, 0)).max(1.0))
+    }
+
+    /// Predicts a whole batch with **one** network forward: queries are
+    /// encoded into one feature matrix in a single pass, pushed through the
+    /// model together, and unscaled row by row. Outlier-buffer hits bypass
+    /// the network exactly as in [`LmkgS::predict`], and per-query encoder
+    /// rejections surface as per-query errors. Row-independent kernels make
+    /// the results bitwise-identical to looping `predict`.
+    pub fn predict_batch(&mut self, queries: &[&Query]) -> Vec<Result<f64, EncodeError>> {
+        let scaler = *self.scaler.as_ref().expect("model is untrained");
+        let w = self.encoder.width();
+        // Outlier-buffer hits are answered exactly; the rest go to the net.
+        let mut results: Vec<Option<Result<f64, EncodeError>>> = Vec::with_capacity(queries.len());
+        let mut candidates: Vec<usize> = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            match self.outliers.lookup(q) {
+                Some(card) => results.push(Some(Ok(card as f64))),
+                None => {
+                    results.push(None);
+                    candidates.push(i);
+                }
+            }
+        }
+        let mut rows = Vec::with_capacity(candidates.len() * w);
+        let statuses = self
+            .encoder
+            .encode_batch(candidates.iter().map(|&i| queries[i]), &mut rows);
+        let mut accepted: Vec<usize> = Vec::with_capacity(candidates.len());
+        for (&i, status) in candidates.iter().zip(statuses) {
+            match status {
+                Ok(()) => accepted.push(i),
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        // Forward in micro-batches: large enough that a multi-core machine
+        // still crosses the matmul parallelism threshold, small enough that
+        // layer intermediates stay cache-resident instead of streaming
+        // through DRAM. Row-independent kernels keep every result
+        // bitwise-identical to any other chunking (including per-query).
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let micro_batch = 256 * cores;
+        let mut done = 0usize;
+        for chunk in accepted.chunks(micro_batch) {
+            let x = Matrix::from_vec(chunk.len(), w, rows[done * w..(done + chunk.len()) * w].to_vec());
+            done += chunk.len();
+            let y = self.model.forward(&x, false);
+            for (row, &i) in chunk.iter().enumerate() {
+                results[i] = Some(Ok(scaler.unscale(y.get(row, 0)).max(1.0)));
+            }
+        }
+        results.into_iter().map(|r| r.expect("every query resolved")).collect()
     }
 
     /// Scalar parameter count.
@@ -288,6 +355,16 @@ impl crate::estimator::CardinalityEstimator for LmkgS {
     /// topology/size for this specific model) report the neutral estimate 1.
     fn estimate(&mut self, query: &Query) -> f64 {
         self.predict(query).unwrap_or(1.0)
+    }
+
+    /// Batched override: one forward pass per batch via
+    /// [`LmkgS::predict_batch`].
+    fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+        let refs: Vec<&Query> = queries.iter().collect();
+        self.predict_batch(&refs)
+            .into_iter()
+            .map(|r| r.unwrap_or(1.0))
+            .collect()
     }
 
     fn memory_bytes(&self) -> usize {
@@ -358,7 +435,13 @@ mod tests {
     fn predictions_are_floored_at_one() {
         let (g, data) = small_setup();
         let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
-        let mut model = LmkgS::new(enc, LmkgSConfig { epochs: 1, ..quick_cfg() });
+        let mut model = LmkgS::new(
+            enc,
+            LmkgSConfig {
+                epochs: 1,
+                ..quick_cfg()
+            },
+        );
         model.train(&data);
         for lq in data.iter().take(50) {
             assert!(model.predict(&lq.query).unwrap() >= 1.0);
@@ -369,7 +452,13 @@ mod tests {
     fn oversized_query_is_rejected() {
         let (g, data) = small_setup();
         let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
-        let mut model = LmkgS::new(enc, LmkgSConfig { epochs: 1, ..quick_cfg() });
+        let mut model = LmkgS::new(
+            enc,
+            LmkgSConfig {
+                epochs: 1,
+                ..quick_cfg()
+            },
+        );
         model.train(&data);
         let big = workload::generate(&g, &WorkloadConfig::train_default(QueryShape::Star, 5, 1, 3));
         assert!(model.predict(&big[0].query).is_err());
@@ -394,7 +483,13 @@ mod tests {
         let (g, data) = small_setup();
         let build = || {
             let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
-            LmkgS::new(enc, LmkgSConfig { epochs: 3, ..quick_cfg() })
+            LmkgS::new(
+                enc,
+                LmkgSConfig {
+                    epochs: 3,
+                    ..quick_cfg()
+                },
+            )
         };
         let mut a = build();
         let mut b = build();
@@ -408,13 +503,26 @@ mod tests {
     fn save_load_roundtrip() {
         let (g, data) = small_setup();
         let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
-        let mut a = LmkgS::new(enc, LmkgSConfig { epochs: 5, ..quick_cfg() });
+        let mut a = LmkgS::new(
+            enc,
+            LmkgSConfig {
+                epochs: 5,
+                ..quick_cfg()
+            },
+        );
         a.train(&data);
         let mut buf = Vec::new();
         a.save_params(&mut buf).unwrap();
 
         let enc2 = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
-        let mut b = LmkgS::new(enc2, LmkgSConfig { epochs: 5, seed: 99, ..quick_cfg() });
+        let mut b = LmkgS::new(
+            enc2,
+            LmkgSConfig {
+                epochs: 5,
+                seed: 99,
+                ..quick_cfg()
+            },
+        );
         b.load_params(&mut buf.as_slice()).unwrap();
         b.set_scaler(*a.scaler().unwrap());
         assert_eq!(a.predict(&data[0].query).unwrap(), b.predict(&data[0].query).unwrap());
@@ -425,13 +533,42 @@ mod tests {
         let (g, data) = small_setup();
         for loss in [LossKind::Mse, LossKind::LogQError] {
             let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
-            let mut model = LmkgS::new(enc, LmkgSConfig { epochs: 30, loss, ..quick_cfg() });
+            let mut model = LmkgS::new(
+                enc,
+                LmkgSConfig {
+                    epochs: 30,
+                    loss,
+                    ..quick_cfg()
+                },
+            );
             let stats = model.train(&data);
             assert!(
                 stats.last().unwrap().loss < stats[0].loss,
                 "{loss:?} failed to reduce loss"
             );
         }
+    }
+
+    #[test]
+    fn batch_predictions_match_per_query_bitwise() {
+        let (g, data) = small_setup();
+        let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
+        let mut cfg = quick_cfg();
+        cfg.epochs = 15;
+        cfg.outlier_buffer = 5; // exercise the outlier bypass in a batch
+        let mut model = LmkgS::new(enc, cfg);
+        model.train(&data);
+
+        // A mix of coverable queries and one the encoder must reject.
+        let mut queries: Vec<Query> = data.iter().take(40).map(|lq| lq.query.clone()).collect();
+        let big = workload::generate(&g, &WorkloadConfig::train_default(QueryShape::Star, 5, 1, 9));
+        queries.insert(17, big[0].query.clone());
+
+        let looped: Vec<f64> = queries.iter().map(|q| model.predict(q).unwrap_or(1.0)).collect();
+        use crate::estimator::CardinalityEstimator;
+        let batched = model.estimate_batch(&queries);
+        assert_eq!(batched, looped, "batched estimates must be bitwise-identical");
+        assert_eq!(batched[17], 1.0, "rejected query reports the neutral estimate");
     }
 
     #[test]

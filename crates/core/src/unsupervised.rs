@@ -10,11 +10,11 @@
 //! Positions follow the pattern-bound term order `[n₁, p₁, n₂, …]`
 //! (identical for stars and chains; only the tuple space differs).
 
+use lmkg_data::sampler::{ChainSampler, SamplingStrategy, StarSampler};
 use lmkg_nn::loss;
 use lmkg_nn::optimizer::{Adam, Optimizer};
 use lmkg_nn::{Made, MadeConfig};
 use lmkg_store::{counter, KnowledgeGraph, Query, QueryShape, VarId};
-use lmkg_data::sampler::{ChainSampler, SamplingStrategy, StarSampler};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -133,10 +133,16 @@ pub struct LmkgU {
 impl LmkgU {
     /// Builds an untrained model for `shape` queries of exactly `k` triples.
     pub fn new(graph: &KnowledgeGraph, shape: QueryShape, k: usize, cfg: LmkgUConfig) -> Result<Self, LmkgUError> {
-        assert!(matches!(shape, QueryShape::Star | QueryShape::Chain), "LMKG-U answers star/chain queries");
+        assert!(
+            matches!(shape, QueryShape::Star | QueryShape::Chain),
+            "LMKG-U answers star/chain queries"
+        );
         assert!(k >= 1);
         if graph.num_nodes() > cfg.max_node_domain {
-            return Err(LmkgUError::DomainTooLarge { nodes: graph.num_nodes(), limit: cfg.max_node_domain });
+            return Err(LmkgUError::DomainTooLarge {
+                nodes: graph.num_nodes(),
+                limit: cfg.max_node_domain,
+            });
         }
         // Positions [n, p, n, p, n, …]: 2k+1 alternating node/predicate.
         let mut spaces = Vec::with_capacity(2 * k + 1);
@@ -161,7 +167,16 @@ impl LmkgU {
             QueryShape::Chain => counter::chain_tuple_total(graph, k),
             _ => unreachable!(),
         };
-        Ok(Self { made, shape, k, n_total, segments, cfg, rng, cached_param_count })
+        Ok(Self {
+            made,
+            shape,
+            k,
+            n_total,
+            segments,
+            cfg,
+            rng,
+            cached_param_count,
+        })
     }
 
     /// The tuple size `k`.
@@ -239,7 +254,10 @@ impl LmkgU {
         let mut opt = self.make_optimizer();
         let epochs = self.cfg.epochs;
         (0..epochs)
-            .map(|epoch| EpochStats { epoch, loss: self.train_epoch(&tuples, &mut opt) })
+            .map(|epoch| EpochStats {
+                epoch,
+                loss: self.train_epoch(&tuples, &mut opt),
+            })
             .collect()
     }
 
@@ -254,10 +272,16 @@ impl LmkgU {
         let actual = query.shape();
         let compatible = actual == self.shape || (actual == QueryShape::Single && self.k == 1);
         if !compatible {
-            return Err(LmkgUError::WrongShape { expected: self.shape, actual });
+            return Err(LmkgUError::WrongShape {
+                expected: self.shape,
+                actual,
+            });
         }
         if query.size() != self.k {
-            return Err(LmkgUError::WrongSize { expected: self.k, actual: query.size() });
+            return Err(LmkgUError::WrongSize {
+                expected: self.k,
+                actual: query.size(),
+            });
         }
 
         let positions = 2 * self.k + 1;
@@ -332,6 +356,43 @@ impl LmkgU {
         Ok(self.estimate_bounds(&bounds))
     }
 
+    /// Estimates a batch of queries, running **one** sliced MADE forward per
+    /// autoregressive position over all queries' particles together instead
+    /// of one forward per (query, position). Per-query results — including
+    /// shape/size rejections — are identical to looping
+    /// [`LmkgU::estimate_query`], because particle RNG streams are derived
+    /// per query (see [`LmkgU::particle_rng`]) and the network kernels are
+    /// row-independent.
+    pub fn estimate_query_batch(&mut self, queries: &[&Query]) -> Vec<Result<f64, LmkgUError>> {
+        let parsed: Vec<Result<Vec<Option<usize>>, LmkgUError>> =
+            queries.iter().map(|q| self.query_bounds(q)).collect();
+        let accepted: Vec<Vec<Option<usize>>> = parsed.iter().filter_map(|r| r.as_ref().ok().cloned()).collect();
+        let mut estimates = self.estimate_bounds_batch(&accepted).into_iter();
+        parsed
+            .into_iter()
+            .map(|r| r.map(|_| estimates.next().expect("one estimate per accepted query")))
+            .collect()
+    }
+
+    /// The RNG stream driving likelihood-weighted sampling for one query.
+    ///
+    /// Derived from the model seed and the query's bound pattern rather
+    /// than drawn from the shared training RNG, so that an estimate does
+    /// not depend on how many estimates preceded it — the property that
+    /// makes `estimate` reproducible and lets `estimate_batch` return
+    /// exactly what a per-query loop would.
+    fn particle_rng(&self, bounds: &[Option<usize>]) -> StdRng {
+        let mut h = self.cfg.seed ^ 0x517c_c1b7_2722_0a95;
+        for b in bounds {
+            let v = match b {
+                Some(x) => *x as u64 + 1,
+                None => 0,
+            };
+            h = (h ^ v).wrapping_mul(0x0000_0100_0000_01B3).rotate_left(17);
+        }
+        StdRng::seed_from_u64(h)
+    }
+
     /// Core progressive-sampling estimator over per-position bound values.
     pub fn estimate_bounds(&mut self, bounds: &[Option<usize>]) -> f64 {
         assert_eq!(bounds.len(), self.segments.len());
@@ -340,6 +401,7 @@ impl LmkgU {
             return self.n_total.max(1.0);
         };
         let particles = self.cfg.particles.max(1);
+        let mut rng = self.particle_rng(bounds);
         let mut ids = vec![vec![0usize; self.segments.len()]; particles];
         let mut log_w = vec![0.0f64; particles];
 
@@ -357,7 +419,7 @@ impl LmkgU {
                 }
                 None => {
                     for (r, ids_row) in ids.iter_mut().enumerate() {
-                        ids_row[pos] = sample_categorical(logits.row(r), &mut self.rng);
+                        ids_row[pos] = sample_categorical(logits.row(r), &mut rng);
                     }
                 }
             }
@@ -365,6 +427,82 @@ impl LmkgU {
 
         let mean_w: f64 = log_w.iter().map(|&lw| lw.exp()).sum::<f64>() / particles as f64;
         (mean_w * self.n_total).max(1.0)
+    }
+
+    /// Batched [`LmkgU::estimate_bounds`]: all queries' particles share one
+    /// ids matrix, so every autoregressive position costs a single sliced
+    /// forward for the whole batch.
+    pub fn estimate_bounds_batch(&mut self, bounds_list: &[Vec<Option<usize>>]) -> Vec<f64> {
+        let positions = self.segments.len();
+        let particles = self.cfg.particles.max(1);
+        let mut out = vec![0.0f64; bounds_list.len()];
+
+        // Fully-unbound queries short-circuit to the tuple-space total.
+        let mut active: Vec<usize> = Vec::new();
+        let mut last_bounds: Vec<usize> = Vec::new();
+        for (i, bounds) in bounds_list.iter().enumerate() {
+            assert_eq!(bounds.len(), positions);
+            match bounds.iter().rposition(Option::is_some) {
+                Some(lb) => {
+                    active.push(i);
+                    last_bounds.push(lb);
+                }
+                None => out[i] = self.n_total.max(1.0),
+            }
+        }
+        if active.is_empty() {
+            return out;
+        }
+
+        let max_last = *last_bounds.iter().max().expect("non-empty active set");
+        let mut rngs: Vec<StdRng> = active.iter().map(|&i| self.particle_rng(&bounds_list[i])).collect();
+        let mut ids = vec![vec![0usize; positions]; active.len() * particles];
+        let mut log_w = vec![0.0f64; active.len() * particles];
+
+        for pos in 0..=max_last {
+            // Queries past their last bound position draw nothing more —
+            // compact them out of the forward so a batch skewed toward
+            // short queries does not pay full-width forwards to the end.
+            // Per-row results are batch-shape independent (the parity
+            // property), so compaction cannot change any estimate.
+            let live: Vec<usize> = (0..active.len()).filter(|&qi| last_bounds[qi] >= pos).collect();
+            let logits = if live.len() == active.len() {
+                // Homogeneous batch: everyone is live, forward in place
+                // without copying any rows.
+                self.made.forward_ids_segment(&ids, pos)
+            } else {
+                let live_ids: Vec<Vec<usize>> = live
+                    .iter()
+                    .flat_map(|&qi| ids[qi * particles..(qi + 1) * particles].iter().cloned())
+                    .collect();
+                self.made.forward_ids_segment(&live_ids, pos)
+            };
+            let compacted = live.len() != active.len();
+            for (slot, &qi) in live.iter().enumerate() {
+                let row0 = qi * particles;
+                let logit0 = if compacted { slot * particles } else { row0 };
+                match bounds_list[active[qi]][pos] {
+                    Some(b) => {
+                        for (off, ids_row) in ids[row0..row0 + particles].iter_mut().enumerate() {
+                            log_w[row0 + off] += f64::from(log_softmax_at(logits.row(logit0 + off), b));
+                            ids_row[pos] = b;
+                        }
+                    }
+                    None => {
+                        for (off, ids_row) in ids[row0..row0 + particles].iter_mut().enumerate() {
+                            ids_row[pos] = sample_categorical(logits.row(logit0 + off), &mut rngs[qi]);
+                        }
+                    }
+                }
+            }
+        }
+
+        for (qi, &i) in active.iter().enumerate() {
+            let row0 = qi * particles;
+            let mean_w: f64 = log_w[row0..row0 + particles].iter().map(|&lw| lw.exp()).sum::<f64>() / particles as f64;
+            out[i] = (mean_w * self.n_total).max(1.0);
+        }
+        out
     }
 
     /// Scalar parameter count.
@@ -388,6 +526,16 @@ impl crate::estimator::CardinalityEstimator for LmkgU {
     /// neutral estimate 1.
     fn estimate(&mut self, query: &Query) -> f64 {
         self.estimate_query(query).unwrap_or(1.0)
+    }
+
+    /// Batched override: one sliced forward per autoregressive position for
+    /// the whole batch via [`LmkgU::estimate_query_batch`].
+    fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+        let refs: Vec<&Query> = queries.iter().collect();
+        self.estimate_query_batch(&refs)
+            .into_iter()
+            .map(|r| r.unwrap_or(1.0))
+            .collect()
     }
 
     fn memory_bytes(&self) -> usize {
@@ -484,12 +632,12 @@ mod tests {
         let g = graph();
         let mut m = LmkgU::new(&g, QueryShape::Star, 2, quick_cfg()).unwrap();
         let tuples = m.sample_training_tuples(&g);
-        let before = m.nll(&tuples[..500.min(tuples.len())].to_vec());
+        let before = m.nll(&tuples[..500.min(tuples.len())]);
         let mut opt = m.make_optimizer();
         for _ in 0..10 {
             m.train_epoch(&tuples, &mut opt);
         }
-        let after = m.nll(&tuples[..500.min(tuples.len())].to_vec());
+        let after = m.nll(&tuples[..500.min(tuples.len())]);
         assert!(after < before, "NLL {before} → {after}");
     }
 
@@ -557,7 +705,10 @@ mod tests {
     #[test]
     fn domain_guard_rejects_large_graphs() {
         let g = graph();
-        let cfg = LmkgUConfig { max_node_domain: 3, ..quick_cfg() };
+        let cfg = LmkgUConfig {
+            max_node_domain: 3,
+            ..quick_cfg()
+        };
         match LmkgU::new(&g, QueryShape::Star, 2, cfg) {
             Err(LmkgUError::DomainTooLarge { .. }) => {}
             Err(other) => panic!("wrong error: {other}"),
@@ -609,6 +760,47 @@ mod tests {
             TriplePattern::new(v(0), PredTerm::Bound(has_author), n(2)),
         ]);
         assert_eq!(a.estimate_query(&q).unwrap(), b.estimate_query(&q).unwrap());
+    }
+
+    #[test]
+    fn batch_estimates_match_per_query_bitwise() {
+        let (g, mut m) = trained_star_model(2);
+        let has_author = PredId(g.preds().get("hasAuthor").unwrap());
+        let genre = PredId(g.preds().get("genre").unwrap());
+        let horror = NodeId(g.nodes().get("horror").unwrap());
+        let queries = vec![
+            // Bound predicate + bound object.
+            Query::new(vec![
+                TriplePattern::new(v(0), PredTerm::Bound(has_author), v(1)),
+                TriplePattern::new(v(0), PredTerm::Bound(genre), NodeTerm::Bound(horror)),
+            ]),
+            // Wrong shape: must error identically in both paths.
+            Query::new(vec![
+                TriplePattern::new(v(0), p(0), v(1)),
+                TriplePattern::new(v(1), p(1), v(2)),
+            ]),
+            // Fully unbound: short-circuits to N.
+            Query::new(vec![
+                TriplePattern::new(v(0), PredTerm::Var(VarId(5)), v(1)),
+                TriplePattern::new(v(0), PredTerm::Var(VarId(6)), v(2)),
+            ]),
+            // Bound predicates only.
+            Query::new(vec![
+                TriplePattern::new(v(0), PredTerm::Bound(has_author), v(1)),
+                TriplePattern::new(v(0), PredTerm::Bound(genre), v(2)),
+            ]),
+        ];
+        let refs: Vec<&Query> = queries.iter().collect();
+        let batched = m.estimate_query_batch(&refs);
+        for (q, b) in queries.iter().zip(&batched) {
+            let single = m.estimate_query(q);
+            assert_eq!(&single, b, "batched result must match per-query result");
+        }
+        // And through the trait, errors collapse to the neutral estimate.
+        use crate::estimator::CardinalityEstimator;
+        let trait_batched = m.estimate_batch(&queries);
+        assert_eq!(trait_batched[1], 1.0);
+        assert_eq!(trait_batched[2], m.n_total());
     }
 
     #[test]

@@ -46,9 +46,21 @@ impl Dataset {
     /// Table I numbers from the paper.
     pub fn paper_stats(self) -> PaperStats {
         match self {
-            Dataset::SwdfLike => PaperStats { triples: 250_000, entities: 76_000, predicates: 171 },
-            Dataset::LubmLike => PaperStats { triples: 2_700_000, entities: 663_000, predicates: 19 },
-            Dataset::YagoLike => PaperStats { triples: 15_000_000, entities: 12_000_000, predicates: 91 },
+            Dataset::SwdfLike => PaperStats {
+                triples: 250_000,
+                entities: 76_000,
+                predicates: 171,
+            },
+            Dataset::LubmLike => PaperStats {
+                triples: 2_700_000,
+                entities: 663_000,
+                predicates: 19,
+            },
+            Dataset::YagoLike => PaperStats {
+                triples: 15_000_000,
+                entities: 12_000_000,
+                predicates: 91,
+            },
         }
     }
 
@@ -78,7 +90,12 @@ mod tests {
         for d in Dataset::ALL {
             let g = d.generate(Scale::Ci, 42);
             assert!(g.num_triples() > 100, "{} too small: {}", d.name(), g.num_triples());
-            assert_eq!(g.num_preds(), d.paper_stats().predicates, "{} predicate count", d.name());
+            assert_eq!(
+                g.num_preds(),
+                d.paper_stats().predicates,
+                "{} predicate count",
+                d.name()
+            );
         }
     }
 

@@ -29,7 +29,12 @@ pub struct RwSampleConfig {
 
 impl Default for RwSampleConfig {
     fn default() -> Self {
-        Self { target_triples: 1000, fly_back: 0.15, patience: 100, seed: 0 }
+        Self {
+            target_triples: 1000,
+            fly_back: 0.15,
+            patience: 100,
+            seed: 0,
+        }
     }
 }
 
@@ -101,14 +106,30 @@ mod tests {
     #[test]
     fn sample_has_requested_size() {
         let g = Dataset::LubmLike.generate(Scale::Ci, 1);
-        let s = sample_subgraph(&g, &RwSampleConfig { target_triples: 500, ..Default::default() });
-        assert!(s.num_triples() >= 450 && s.num_triples() <= 500, "got {}", s.num_triples());
+        let s = sample_subgraph(
+            &g,
+            &RwSampleConfig {
+                target_triples: 500,
+                ..Default::default()
+            },
+        );
+        assert!(
+            s.num_triples() >= 450 && s.num_triples() <= 500,
+            "got {}",
+            s.num_triples()
+        );
     }
 
     #[test]
     fn sampled_triples_exist_in_original() {
         let g = Dataset::SwdfLike.generate(Scale::Ci, 2);
-        let s = sample_subgraph(&g, &RwSampleConfig { target_triples: 300, ..Default::default() });
+        let s = sample_subgraph(
+            &g,
+            &RwSampleConfig {
+                target_triples: 300,
+                ..Default::default()
+            },
+        );
         for t in s.triples() {
             let subj = s.nodes().resolve(t.s.0);
             let pred = s.preds().resolve(t.p.0);
@@ -123,7 +144,11 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let g = Dataset::LubmLike.generate(Scale::Ci, 1);
-        let cfg = RwSampleConfig { target_triples: 200, seed: 9, ..Default::default() };
+        let cfg = RwSampleConfig {
+            target_triples: 200,
+            seed: 9,
+            ..Default::default()
+        };
         let a = sample_subgraph(&g, &cfg);
         let b = sample_subgraph(&g, &cfg);
         assert_eq!(a.triples(), b.triples());
@@ -134,7 +159,13 @@ mod tests {
         // The sample's mean out-degree should be in the same ballpark as the
         // original (the "scaled-down property" of §VII-A).
         let g = Dataset::SwdfLike.generate(Scale::Ci, 1);
-        let s = sample_subgraph(&g, &RwSampleConfig { target_triples: g.num_triples() / 4, ..Default::default() });
+        let s = sample_subgraph(
+            &g,
+            &RwSampleConfig {
+                target_triples: g.num_triples() / 4,
+                ..Default::default()
+            },
+        );
         let orig = GraphStats::compute(&g);
         let samp = GraphStats::compute(&s);
         assert!(samp.mean_out_degree > orig.mean_out_degree * 0.3);
@@ -144,7 +175,13 @@ mod tests {
     #[test]
     fn requesting_more_than_available_caps_out() {
         let g = Dataset::LubmLike.generate(Scale::Ci, 1);
-        let s = sample_subgraph(&g, &RwSampleConfig { target_triples: g.num_triples() * 10, ..Default::default() });
+        let s = sample_subgraph(
+            &g,
+            &RwSampleConfig {
+                target_triples: g.num_triples() * 10,
+                ..Default::default()
+            },
+        );
         assert!(s.num_triples() <= g.num_triples());
         assert!(s.num_triples() > g.num_triples() / 2);
     }

@@ -129,8 +129,16 @@ pub fn generate(config: &LubmConfig) -> KnowledgeGraph {
                 b.add(&prof, "ub:name", &format!("\"Prof {person_counter}\""));
                 b.add(&prof, "ub:emailAddress", &format!("\"prof{person_counter}@u{ui}.edu\""));
                 b.add(&prof, "ub:telephone", &format!("\"+1-555-{person_counter:07}\""));
-                b.add(&prof, "ub:researchInterest", &research_areas[rng.gen_range(0..research_areas.len())]);
-                for deg_pred in ["ub:undergraduateDegreeFrom", "ub:mastersDegreeFrom", "ub:doctoralDegreeFrom"] {
+                b.add(
+                    &prof,
+                    "ub:researchInterest",
+                    &research_areas[rng.gen_range(0..research_areas.len())],
+                );
+                for deg_pred in [
+                    "ub:undergraduateDegreeFrom",
+                    "ub:mastersDegreeFrom",
+                    "ub:doctoralDegreeFrom",
+                ] {
                     let from = &universities[rng.gen_range(0..universities.len())];
                     b.add(&prof, deg_pred, from);
                 }
@@ -165,14 +173,22 @@ pub fn generate(config: &LubmConfig) -> KnowledgeGraph {
                     b.add(&student, type_p, "ub:GraduateStudent");
                     b.add(&student, "ub:memberOf", &dept);
                     b.add(&student, "ub:advisor", prof);
-                    b.add(&student, "ub:undergraduateDegreeFrom", &universities[rng.gen_range(0..universities.len())]);
+                    b.add(
+                        &student,
+                        "ub:undergraduateDegreeFrom",
+                        &universities[rng.gen_range(0..universities.len())],
+                    );
                     b.add(&student, "ub:name", &format!("\"Grad {person_counter}\""));
                     b.add(&student, "ub:emailAddress", &format!("\"g{person_counter}@u{ui}.edu\""));
                     for _ in 0..rng.gen_range(1..=3usize) {
                         b.add(&student, "ub:takesCourse", &courses[rng.gen_range(0..courses.len())]);
                     }
                     if rng.gen_bool(0.25) {
-                        b.add(&student, "ub:teachingAssistantOf", &courses[rng.gen_range(0..courses.len())]);
+                        b.add(
+                            &student,
+                            "ub:teachingAssistantOf",
+                            &courses[rng.gen_range(0..courses.len())],
+                        );
                     }
                 }
                 let n_under = range(&mut rng, config.undergrads_per_prof);
@@ -244,7 +260,7 @@ mod tests {
         let head_of = lmkg_store::PredId(g.preds().get("ub:headOf").unwrap());
         let works_for = lmkg_store::PredId(g.preds().get("ub:worksFor").unwrap());
         let mut heads = 0;
-        for &(s, o) in g.pred_pairs(head_of).iter().map(|p| p) {
+        for &(s, o) in g.pred_pairs(head_of).iter() {
             assert!(g.contains(s, works_for, o), "head must work for their department");
             heads += 1;
         }

@@ -95,7 +95,13 @@ impl<'g> StarSampler<'g> {
                 cumulative.push(acc);
             }
         }
-        Self { graph, k, strategy, subjects, cumulative }
+        Self {
+            graph,
+            k,
+            strategy,
+            subjects,
+            cumulative,
+        }
     }
 
     /// The star size `k`.
@@ -144,8 +150,8 @@ impl<'g> ChainSampler<'g> {
             let tables = walk_counts(graph, k);
             let mut cum = Vec::with_capacity(graph.num_nodes());
             let mut acc = 0.0f64;
-            for v in 0..graph.num_nodes() {
-                acc += tables[k][v];
+            for &walks in &tables[k] {
+                acc += walks;
                 cum.push(acc);
             }
             assert!(acc > 0.0, "graph has no walks of length {k}");
@@ -153,7 +159,14 @@ impl<'g> ChainSampler<'g> {
         } else {
             (Vec::new(), Vec::new())
         };
-        Self { graph, k, strategy, subjects, walk_tables, start_cumulative }
+        Self {
+            graph,
+            k,
+            strategy,
+            subjects,
+            walk_tables,
+            start_cumulative,
+        }
     }
 
     /// The chain length `k`.
@@ -333,13 +346,19 @@ mod tests {
         let expected = 1.0 / walks.len() as f64;
         for (_, c) in counts {
             let p = c as f64 / n as f64;
-            assert!((p - expected).abs() < 0.02, "walk probability {p} vs uniform {expected}");
+            assert!(
+                (p - expected).abs() < 0.02,
+                "walk probability {p} vs uniform {expected}"
+            );
         }
     }
 
     #[test]
     fn tuple_id_flattening_order() {
-        let t = StarTuple { s: NodeId(5), pairs: vec![(PredId(1), NodeId(2)), (PredId(0), NodeId(3))] };
+        let t = StarTuple {
+            s: NodeId(5),
+            pairs: vec![(PredId(1), NodeId(2)), (PredId(0), NodeId(3))],
+        };
         assert_eq!(t.to_ids(), vec![5, 1, 2, 0, 3]);
         let c = ChainTuple {
             nodes: vec![NodeId(1), NodeId(2), NodeId(3)],

@@ -148,7 +148,11 @@ pub fn generate(config: &SwdfConfig) -> KnowledgeGraph {
             b.add(&event, "rdf:type", "swc:ConferenceEvent");
             b.add(&event, "swrc:series", &series);
             b.add(&event, "swc:hasLocation", &places[rng.gen_range(0..places.len())]);
-            b.add(&event, "ical:dtstart", &format!("\"200{}-0{}-01\"", e % 10, (c % 9) + 1));
+            b.add(
+                &event,
+                "ical:dtstart",
+                &format!("\"200{}-0{}-01\"", e % 10, (c % 9) + 1),
+            );
 
             // Chairs and roles held by (popular) people.
             for r in 0..rng.gen_range(1..4usize) {

@@ -180,7 +180,9 @@ pub fn generate(graph: &KnowledgeGraph, cfg: &WorkloadConfig) -> Vec<LabeledQuer
                 if out.len() >= cfg.count {
                     break;
                 }
-                let Some(tuple) = sampler.sample(&mut rng) else { continue };
+                let Some(tuple) = sampler.sample(&mut rng) else {
+                    continue;
+                };
                 let query = mask_chain(&tuple, &mut rng, cfg);
                 if seen.insert(query.clone()) {
                     let cardinality = counter::cardinality(graph, &query);

@@ -159,7 +159,10 @@ mod tests {
         let g = generate(&YagoConfig::at_scale(Scale::Default, 1));
         let s = GraphStats::compute(&g);
         let ratio = s.entities as f64 / s.triples as f64;
-        assert!(ratio > 0.55, "entity/triple ratio {ratio} too low for a YAGO-like graph");
+        assert!(
+            ratio > 0.55,
+            "entity/triple ratio {ratio} too low for a YAGO-like graph"
+        );
     }
 
     #[test]
@@ -173,13 +176,27 @@ mod tests {
     fn has_hub_structure() {
         let g = generate(&YagoConfig::at_scale(Scale::Ci, 1));
         let s = GraphStats::compute(&g);
-        assert!(s.max_in_degree >= 5, "expected popular hub objects, max in-degree {}", s.max_in_degree);
+        assert!(
+            s.max_in_degree >= 5,
+            "expected popular hub objects, max in-degree {}",
+            s.max_in_degree
+        );
     }
 
     #[test]
     fn size_tracks_config() {
-        let small = generate(&YagoConfig { facts: 500, hubs: 10, hub_object_prob: 0.2, seed: 1 });
-        let large = generate(&YagoConfig { facts: 5000, hubs: 10, hub_object_prob: 0.2, seed: 1 });
+        let small = generate(&YagoConfig {
+            facts: 500,
+            hubs: 10,
+            hub_object_prob: 0.2,
+            seed: 1,
+        });
+        let large = generate(&YagoConfig {
+            facts: 5000,
+            hubs: 10,
+            hub_object_prob: 0.2,
+            seed: 1,
+        });
         assert!(large.num_triples() > 4 * small.num_triples());
     }
 }

@@ -79,7 +79,7 @@ mod tests {
     fn empirical_frequencies_match_pmf() {
         let z = Zipf::new(20, 1.0);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         let n = 50_000;
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;

@@ -26,11 +26,13 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod pattern_bound;
 pub mod scaler;
 pub mod sg;
 pub mod term;
 
+pub use batch::RowEncoder;
 pub use pattern_bound::{EncodeError, PatternBoundEncoder};
 pub use scaler::CardinalityScaler;
 pub use sg::{SgEncoder, SgLayout};

@@ -93,12 +93,18 @@ impl PatternBoundEncoder {
         assert_eq!(out.len(), self.width(), "output buffer width mismatch");
         out.iter_mut().for_each(|x| *x = 0.0);
         if query.size() > self.capacity {
-            return Err(EncodeError::TooLarge { capacity: self.capacity, actual: query.size() });
+            return Err(EncodeError::TooLarge {
+                capacity: self.capacity,
+                actual: query.size(),
+            });
         }
         let actual = query.shape();
         // Single-triple queries are valid degenerate cases of both topologies.
         if actual != self.shape && actual != QueryShape::Single {
-            return Err(EncodeError::WrongShape { expected: self.shape, actual });
+            return Err(EncodeError::WrongShape {
+                expected: self.shape,
+                actual,
+            });
         }
 
         let nw = self.codec.node_width();
@@ -116,7 +122,8 @@ impl PatternBoundEncoder {
             }
             QueryShape::Chain => {
                 let mut offset = 0usize;
-                self.codec.encode_node(query.triples[0].s.bound(), &mut out[offset..offset + nw]);
+                self.codec
+                    .encode_node(query.triples[0].s.bound(), &mut out[offset..offset + nw]);
                 offset += nw;
                 for t in &query.triples {
                     self.codec.encode_pred(t.p.bound(), &mut out[offset..offset + pw]);
@@ -152,7 +159,13 @@ mod tests {
         let c = NodeTerm::Var(VarId(0));
         Query::new(
             (0..k)
-                .map(|i| TriplePattern::new(c, PredTerm::Bound(PredId(i as u32 % 4)), NodeTerm::Bound(NodeId(i as u32))))
+                .map(|i| {
+                    TriplePattern::new(
+                        c,
+                        PredTerm::Bound(PredId(i as u32 % 4)),
+                        NodeTerm::Bound(NodeId(i as u32)),
+                    )
+                })
                 .collect(),
         )
     }

@@ -110,12 +110,22 @@ impl SgEncoder {
         }
 
         if node_slots.len() > self.max_nodes {
-            return Err(EncodeError::TooLarge { capacity: self.max_nodes, actual: node_slots.len() });
+            return Err(EncodeError::TooLarge {
+                capacity: self.max_nodes,
+                actual: node_slots.len(),
+            });
         }
         if edge_slots.len() > self.max_edges {
-            return Err(EncodeError::TooLarge { capacity: self.max_edges, actual: edge_slots.len() });
+            return Err(EncodeError::TooLarge {
+                capacity: self.max_edges,
+                actual: edge_slots.len(),
+            });
         }
-        Ok(SgLayout { node_slots, edge_slots, triples })
+        Ok(SgLayout {
+            node_slots,
+            edge_slots,
+            triples,
+        })
     }
 
     /// Encodes `query` into `out` (length [`Self::width`]).

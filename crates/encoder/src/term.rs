@@ -79,7 +79,11 @@ pub struct TermCodec {
 impl TermCodec {
     /// Creates a codec for the graph domains.
     pub fn new(kind: EncodingKind, node_domain: usize, pred_domain: usize) -> Self {
-        Self { kind, node_domain, pred_domain }
+        Self {
+            kind,
+            node_domain,
+            pred_domain,
+        }
     }
 
     /// Encoded width of one node term.

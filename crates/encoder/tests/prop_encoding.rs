@@ -21,7 +21,11 @@ fn arb_pred_term(domain: u32) -> impl Strategy<Value = PredTerm> {
 
 fn arb_query(node_domain: u32, pred_domain: u32) -> impl Strategy<Value = Query> {
     prop::collection::vec(
-        (arb_node_term(node_domain), arb_pred_term(pred_domain), arb_node_term(node_domain)),
+        (
+            arb_node_term(node_domain),
+            arb_pred_term(pred_domain),
+            arb_node_term(node_domain),
+        ),
         1..5,
     )
     .prop_map(|ts| Query::new(ts.into_iter().map(|(s, p, o)| TriplePattern::new(s, p, o)).collect()))

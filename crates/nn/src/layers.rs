@@ -40,6 +40,14 @@ pub trait Layer {
     /// Computes outputs; caches activations when `train` is true.
     fn forward(&mut self, x: &Matrix, train: bool) -> Matrix;
 
+    /// Forward pass that takes ownership of the input, letting layers that
+    /// can operate in place (activations, eval-mode dropout) avoid
+    /// allocating a fresh output buffer. Numerically identical to
+    /// [`Layer::forward`]; the default delegates to it.
+    fn forward_owned(&mut self, x: Matrix, train: bool) -> Matrix {
+        self.forward(&x, train)
+    }
+
     /// Propagates `grad_out` backwards, accumulating parameter gradients and
     /// returning the gradient with respect to the layer input. Must be called
     /// after a `forward(train=true)`.
@@ -234,6 +242,14 @@ impl Layer for Relu {
         y
     }
 
+    fn forward_owned(&mut self, mut x: Matrix, train: bool) -> Matrix {
+        if train {
+            self.cached_output_mask = Some(x.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+        }
+        x.as_mut_slice().iter_mut().for_each(|v| *v = v.max(0.0));
+        x
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let mask = self.cached_output_mask.take().expect("backward without forward(train)");
         grad_out.zip_map(&mask, |g, m| g * m)
@@ -264,6 +280,14 @@ impl Layer for Sigmoid {
         y
     }
 
+    fn forward_owned(&mut self, mut x: Matrix, train: bool) -> Matrix {
+        x.as_mut_slice().iter_mut().for_each(|v| *v = 1.0 / (1.0 + (-*v).exp()));
+        if train {
+            self.cached_output = Some(x.clone());
+        }
+        x
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let y = self.cached_output.take().expect("backward without forward(train)");
         grad_out.zip_map(&y, |g, s| g * s * (1.0 - s))
@@ -284,7 +308,11 @@ impl Dropout {
     /// `p` is the drop probability in `[0, 1)`. `seed` makes runs repeatable.
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
-        Self { p, rng_state: seed | 1, cached_mask: None }
+        Self {
+            p,
+            rng_state: seed | 1,
+            cached_mask: None,
+        }
     }
 
     #[inline]
@@ -315,6 +343,13 @@ impl Layer for Dropout {
         let y = x.zip_map(&mask, |v, m| v * m);
         self.cached_mask = Some(mask);
         y
+    }
+
+    fn forward_owned(&mut self, x: Matrix, train: bool) -> Matrix {
+        if !train || self.p == 0.0 {
+            return x;
+        }
+        self.forward(&x, train)
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -358,9 +393,21 @@ impl Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
-        let mut h = x.clone();
+        let (first, rest) = match self.layers.split_first_mut() {
+            Some(split) => split,
+            None => return x.clone(),
+        };
+        let mut h = first.forward(x, train);
+        for layer in rest {
+            h = layer.forward_owned(h, train);
+        }
+        h
+    }
+
+    fn forward_owned(&mut self, x: Matrix, train: bool) -> Matrix {
+        let mut h = x;
         for layer in &mut self.layers {
-            h = layer.forward(&h, train);
+            h = layer.forward_owned(h, train);
         }
         h
     }

@@ -88,14 +88,17 @@ pub fn segmented_cross_entropy(logits: &Matrix, segments: &[usize], targets: &[V
     let mut grad = Matrix::zeros(batch, total);
     let mut loss = 0.0f64;
 
-    for r in 0..batch {
+    for (r, target_row) in targets.iter().enumerate() {
         let row = logits.row(r);
         let grad_row = grad.row_mut(r);
         let mut offset = 0usize;
         for (i, &width) in segments.iter().enumerate() {
             let seg = &row[offset..offset + width];
-            let target = targets[r][i];
-            assert!(target < width, "target {target} out of range for segment {i} (width {width})");
+            let target = target_row[i];
+            assert!(
+                target < width,
+                "target {target} out of range for segment {i} (width {width})"
+            );
 
             let max = seg.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
             let mut sum = 0.0f32;
@@ -122,14 +125,15 @@ pub fn segmented_cross_entropy(logits: &Matrix, segments: &[usize], targets: &[V
 pub fn segmented_log_probs(logits: &Matrix, segments: &[usize], targets: &[Vec<usize>]) -> Vec<Vec<f32>> {
     let total: usize = segments.iter().sum();
     assert_eq!(logits.cols(), total);
+    assert_eq!(logits.rows(), targets.len(), "one target row per logit row");
     let mut out = Vec::with_capacity(logits.rows());
-    for r in 0..logits.rows() {
+    for (r, target_row) in targets.iter().enumerate() {
         let row = logits.row(r);
         let mut offset = 0;
         let mut per_seg = Vec::with_capacity(segments.len());
         for (i, &width) in segments.iter().enumerate() {
             let seg = &row[offset..offset + width];
-            let target = targets[r][i];
+            let target = target_row[i];
             let max = seg.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
             let sum: f32 = seg.iter().map(|&x| (x - max).exp()).sum();
             per_seg.push(seg[target] - max - sum.ln());
@@ -261,9 +265,9 @@ mod tests {
             lp.as_mut_slice()[i] += eps;
             let mut lm = logits.clone();
             lm.as_mut_slice()[i] -= eps;
-            let numeric =
-                (segmented_cross_entropy(&lp, &segs, &targets).0 - segmented_cross_entropy(&lm, &segs, &targets).0)
-                    / (2.0 * eps);
+            let numeric = (segmented_cross_entropy(&lp, &segs, &targets).0
+                - segmented_cross_entropy(&lm, &segs, &targets).0)
+                / (2.0 * eps);
             let analytic = g.as_slice()[i];
             assert!(
                 (numeric - analytic).abs() < 2e-3,

@@ -49,7 +49,10 @@ impl MadeConfig {
     fn validate(&self) {
         assert!(self.positions() >= 2, "MADE needs at least two positions");
         assert!(!self.vocab_sizes.is_empty(), "at least one term space");
-        assert!(self.spaces.iter().all(|&s| s < self.vocab_sizes.len()), "space index out of range");
+        assert!(
+            self.spaces.iter().all(|&s| s < self.vocab_sizes.len()),
+            "space index out of range"
+        );
         assert!(self.vocab_sizes.iter().all(|&v| v >= 1), "empty vocabulary");
         assert!(self.hidden >= 1, "hidden width must be positive");
     }
@@ -118,7 +121,7 @@ impl Made {
         let mut input_degrees = Vec::with_capacity(input_width);
         for (pos, &seg) in segments.iter().enumerate() {
             let width = if cfg.embed_dim > 0 { cfg.embed_dim } else { seg };
-            input_degrees.extend(std::iter::repeat(pos + 1).take(width));
+            input_degrees.extend(std::iter::repeat_n(pos + 1, width));
         }
 
         // Hidden degrees cycle 1..=K-1 and are shared by every hidden layer.
@@ -142,7 +145,7 @@ impl Made {
         let out_width: usize = segments.iter().sum();
         let mut out_pos = Vec::with_capacity(out_width);
         for (pos, &seg) in segments.iter().enumerate() {
-            out_pos.extend(std::iter::repeat(pos + 1).take(seg));
+            out_pos.extend(std::iter::repeat_n(pos + 1, seg));
         }
         let mask_out = Matrix::from_fn(hidden, out_width, |h, o| {
             if out_pos[o] > hidden_degrees[h] {
@@ -297,7 +300,10 @@ impl Made {
     /// Maximum |weight| over masked-out connections across all masked layers.
     /// Must remain zero under training (diagnostic).
     pub fn mask_violation(&self) -> f32 {
-        let mut v = self.input_layer.mask_violation().max(self.output_layer.mask_violation());
+        let mut v = self
+            .input_layer
+            .mask_violation()
+            .max(self.output_layer.mask_violation());
         for b in &self.blocks {
             v = v.max(b.l1.mask_violation()).max(b.l2.mask_violation());
         }
@@ -368,7 +374,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let mut made = Made::new(&mut rng, tiny_cfg(embed));
         let base = vec![1usize, 2, 3];
-        let logits0 = made.forward_ids(&[base.clone()], false);
+        let logits0 = made.forward_ids(std::slice::from_ref(&base), false);
 
         for pos in 0..3 {
             let mut perturbed = base.clone();
@@ -462,9 +468,9 @@ mod tests {
         let eps = 1e-3f32;
         let mut max_err = 0.0f32;
         let mut checked = 0;
-        for p_idx in 0..analytic.len() {
+        for (p_idx, analytic_grad) in analytic.iter().enumerate() {
             for elem in [0usize, 1, 2, 3, 5, 7] {
-                if elem >= analytic[p_idx].len() {
+                if elem >= analytic_grad.len() {
                     continue;
                 }
                 let perturb = |made: &mut Made, delta: f32| {
@@ -495,7 +501,7 @@ mod tests {
                 if (numeric - numeric_half).abs() > 0.1 * numeric.abs().max(numeric_half.abs()).max(1e-3) {
                     continue;
                 }
-                let a = analytic[p_idx].as_slice()[elem];
+                let a = analytic_grad.as_slice()[elem];
                 // Masked-out weights carry an exactly-zero analytic gradient
                 // but DO perturb the loss (the mask is enforced on values and
                 // gradients, not re-applied inside forward). Near-zero

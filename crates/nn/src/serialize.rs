@@ -38,7 +38,10 @@ pub fn load_params<R: Read>(model: &mut dyn Layer, reader: &mut R) -> io::Result
     let mut magic = [0u8; 8];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic: not an LMKG parameter file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad magic: not an LMKG parameter file",
+        ));
     }
     let count = read_u32(reader)? as usize;
 

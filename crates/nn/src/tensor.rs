@@ -7,12 +7,50 @@
 //! * [`Matrix::matmul_nt`] — `C = A·Bᵀ`     (input gradient: `dX = dY·Wᵀ`),
 //! * [`Matrix::matmul_tn`] — `C = Aᵀ·B`     (weight gradient: `dW = Xᵀ·dY`).
 //!
-//! Large multiplications split output rows across two OS threads — the
-//! experiment box has two cores; nested parallelism is not worth the
-//! complexity here.
+//! Large multiplications split output rows across OS threads sized from
+//! [`std::thread::available_parallelism`]; small ones stay single-threaded
+//! because thread spawn/join overhead dominates below
+//! [`DEFAULT_PARALLEL_FLOP_THRESHOLD`].
 
-/// Minimum FLOP count (m·k·n) before a matmul is split across threads.
-const PARALLEL_FLOP_THRESHOLD: usize = 1 << 22;
+use std::sync::OnceLock;
+
+/// Default minimum work size (`m·k·n` multiply-adds) before a matmul is
+/// split across threads.
+///
+/// Rationale: spawning and joining a scoped thread costs on the order of
+/// 10–50 µs; a single core sustains roughly 1 multiply-add per cycle on
+/// this scalar kernel, so `2²² ≈ 4.2 M` multiply-adds ≈ 1–2 ms of work —
+/// enough that even a 2-way split recoups the spawn cost more than 10×
+/// over. Below the threshold the sequential kernel is strictly faster.
+/// Tune per machine with the `LMKG_PARALLEL_FLOP_THRESHOLD` environment
+/// variable (read once per process).
+pub const DEFAULT_PARALLEL_FLOP_THRESHOLD: usize = 1 << 22;
+
+/// The effective parallelism threshold: `LMKG_PARALLEL_FLOP_THRESHOLD` if
+/// set and parseable, otherwise [`DEFAULT_PARALLEL_FLOP_THRESHOLD`].
+pub fn parallel_flop_threshold() -> usize {
+    static THRESHOLD: OnceLock<usize> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("LMKG_PARALLEL_FLOP_THRESHOLD")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&t: &usize| t > 0) // 0 would divide-by-zero in thread_budget
+            .unwrap_or(DEFAULT_PARALLEL_FLOP_THRESHOLD)
+    })
+}
+
+/// Number of worker threads for a kernel doing `work` multiply-adds over
+/// `rows` independent output rows: 1 below the threshold, otherwise scaled
+/// so each worker gets at least one threshold's worth of work, capped by
+/// the machine's available parallelism and the row count.
+fn thread_budget(work: usize, rows: usize) -> usize {
+    let threshold = parallel_flop_threshold();
+    if work < threshold || rows < 2 {
+        return 1;
+    }
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    (work / threshold + 1).min(available).min(rows)
+}
 
 /// A dense row-major matrix of `f32`.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,10 +63,19 @@ pub struct Matrix {
 impl Matrix {
     /// An all-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from a generator over `(row, col)`.
+    ///
+    /// The generator runs strictly in row-major order — stateful closures
+    /// (weight-init RNGs in particular) depend on that sequence, which is
+    /// why this constructor is *not* parallel. Order-independent generators
+    /// can use [`Matrix::from_fn_par`].
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for r in 0..rows {
@@ -37,6 +84,32 @@ impl Matrix {
             }
         }
         Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from a pure generator, splitting rows across threads
+    /// sized from [`std::thread::available_parallelism`] when the element
+    /// count crosses [`parallel_flop_threshold`].
+    pub fn from_fn_par(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32 + Sync) -> Self {
+        let mut out = Matrix::zeros(rows, cols);
+        let threads = thread_budget(rows * cols, rows);
+        if threads > 1 {
+            let chunk = rows.div_ceil(threads);
+            std::thread::scope(|s| {
+                let mut rest = out.data.as_mut_slice();
+                let mut row0 = 0usize;
+                while row0 + chunk < rows {
+                    let (head, tail) = rest.split_at_mut(chunk * cols);
+                    rest = tail;
+                    let f = &f;
+                    s.spawn(move || fill_rows(head, row0, cols, f));
+                    row0 += chunk;
+                }
+                fill_rows(rest, row0, cols, &f);
+            });
+        } else {
+            fill_rows(&mut out.data, 0, cols, &f);
+        }
+        out
     }
 
     /// Wraps an existing row-major buffer. Panics if sizes disagree.
@@ -54,7 +127,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "all rows must have equal length");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -188,13 +265,20 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul inner dimensions must agree");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        let work = m * k * n;
-        if work >= PARALLEL_FLOP_THRESHOLD && m >= 2 {
-            let mid = m / 2;
-            let (top, bottom) = out.data.split_at_mut(mid * n);
+        let threads = thread_budget(m * k * n, m);
+        if threads > 1 {
+            let chunk = m.div_ceil(threads);
             std::thread::scope(|s| {
-                s.spawn(|| matmul_rows(&self.data[..mid * k], k, &other.data, n, top));
-                matmul_rows(&self.data[mid * k..], k, &other.data, n, bottom);
+                let mut rest = out.data.as_mut_slice();
+                let mut row0 = 0usize;
+                while row0 + chunk < m {
+                    let (head, tail) = rest.split_at_mut(chunk * n);
+                    rest = tail;
+                    let a_part = &self.data[row0 * k..(row0 + chunk) * k];
+                    s.spawn(move || matmul_rows(a_part, k, &other.data, n, head));
+                    row0 += chunk;
+                }
+                matmul_rows(&self.data[row0 * k..], k, &other.data, n, rest);
             });
         } else {
             matmul_rows(&self.data, k, &other.data, n, &mut out.data);
@@ -207,13 +291,20 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt inner dimensions must agree");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-        let work = m * k * n;
-        if work >= PARALLEL_FLOP_THRESHOLD && m >= 2 {
-            let mid = m / 2;
-            let (top, bottom) = out.data.split_at_mut(mid * n);
+        let threads = thread_budget(m * k * n, m);
+        if threads > 1 {
+            let chunk = m.div_ceil(threads);
             std::thread::scope(|s| {
-                s.spawn(|| matmul_nt_rows(&self.data[..mid * k], k, &other.data, n, top));
-                matmul_nt_rows(&self.data[mid * k..], k, &other.data, n, bottom);
+                let mut rest = out.data.as_mut_slice();
+                let mut row0 = 0usize;
+                while row0 + chunk < m {
+                    let (head, tail) = rest.split_at_mut(chunk * n);
+                    rest = tail;
+                    let a_part = &self.data[row0 * k..(row0 + chunk) * k];
+                    s.spawn(move || matmul_nt_rows(a_part, k, &other.data, n, head));
+                    row0 += chunk;
+                }
+                matmul_nt_rows(&self.data[row0 * k..], k, &other.data, n, rest);
             });
         } else {
             matmul_nt_rows(&self.data, k, &other.data, n, &mut out.data);
@@ -226,13 +317,20 @@ impl Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn batch dimensions must agree");
         let (b, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        let work = b * m * n;
-        if work >= PARALLEL_FLOP_THRESHOLD && m >= 2 {
-            let mid = m / 2;
-            let (top, bottom) = out.data.split_at_mut(mid * n);
+        let threads = thread_budget(b * m * n, m);
+        if threads > 1 {
+            let chunk = m.div_ceil(threads);
             std::thread::scope(|s| {
-                s.spawn(|| matmul_tn_cols(&self.data, b, m, &other.data, n, 0, mid, top));
-                matmul_tn_cols(&self.data, b, m, &other.data, n, mid, m, bottom);
+                let mut rest = out.data.as_mut_slice();
+                let mut i_lo = 0usize;
+                while i_lo + chunk < m {
+                    let (head, tail) = rest.split_at_mut(chunk * n);
+                    rest = tail;
+                    let (lo, hi) = (i_lo, i_lo + chunk);
+                    s.spawn(move || matmul_tn_cols(&self.data, b, m, &other.data, n, lo, hi, head));
+                    i_lo += chunk;
+                }
+                matmul_tn_cols(&self.data, b, m, &other.data, n, i_lo, m, rest);
             });
         } else {
             matmul_tn_cols(&self.data, b, m, &other.data, n, 0, m, &mut out.data);
@@ -264,9 +362,9 @@ impl Matrix {
         out
     }
 
-    /// Transposed copy (tests / small utilities only).
+    /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+        Matrix::from_fn_par(self.cols, self.rows, |r, c| self.get(c, r))
     }
 
     /// Maximum absolute element (grad-norm diagnostics).
@@ -275,16 +373,56 @@ impl Matrix {
     }
 }
 
+/// Fills `out` (rows starting at absolute index `row0`) from a generator.
+fn fill_rows(out: &mut [f32], row0: usize, cols: usize, f: &(impl Fn(usize, usize) -> f32 + Sync)) {
+    for (i, x) in out.iter_mut().enumerate() {
+        *x = f(row0 + i / cols, i % cols);
+    }
+}
+
+/// Rows per register tile in [`matmul_rows`]. Four output rows share each
+/// streamed `b` row: their accumulators (4 × n floats) stay L1-resident
+/// while `b` traffic drops 4×, which is what makes one batched multiply
+/// beat the same FLOPs issued as per-row multiplies on a single core.
+const ROW_TILE: usize = 4;
+
 /// `out[i] = a_rows[i] · b` with the classic i-k-j order so the `j` loop
 /// vectorizes; `out` must be zeroed.
+///
+/// Multi-row inputs go through a [`ROW_TILE`]-row register tile. Each output
+/// row still accumulates over `kk` in ascending order exactly as the
+/// single-row path does, so results are bitwise-identical regardless of
+/// batch shape — the batched estimation path relies on that.
 fn matmul_rows(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
     let m = a.len() / k;
-    for i in 0..m {
+    let tiles = m / ROW_TILE;
+    for tile in 0..tiles {
+        let i0 = tile * ROW_TILE;
+        let a_tile = &a[i0 * k..(i0 + ROW_TILE) * k];
+        let out_tile = &mut out[i0 * n..(i0 + ROW_TILE) * n];
+        let (out0, rest) = out_tile.split_at_mut(n);
+        let (out1, rest) = rest.split_at_mut(n);
+        let (out2, out3) = rest.split_at_mut(n);
+        let mut rows = [out0, out1, out2, out3];
+        for kk in 0..k {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (t, out_row) in rows.iter_mut().enumerate() {
+                let a_ik = a_tile[t * k + kk];
+                if a_ik == 0.0 {
+                    continue; // one-hot / binary inputs are mostly zeros
+                }
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * bv;
+                }
+            }
+        }
+    }
+    for i in tiles * ROW_TILE..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
         for (kk, &a_ik) in a_row.iter().enumerate() {
             if a_ik == 0.0 {
-                continue; // one-hot / binary inputs are mostly zeros
+                continue;
             }
             let b_row = &b[kk * n..(kk + 1) * n];
             for (o, &bv) in out_row.iter_mut().zip(b_row) {
@@ -358,7 +496,9 @@ mod tests {
     fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
         })
     }
@@ -439,5 +579,44 @@ mod tests {
     fn max_abs_works() {
         let m = Matrix::from_vec(1, 3, vec![-5.0, 2.0, 4.0]);
         assert_eq!(m.max_abs(), 5.0);
+    }
+
+    #[test]
+    fn from_fn_par_matches_sequential() {
+        // Large enough to cross the parallel threshold (rows*cols > 2²²).
+        let gen = |r: usize, c: usize| ((r * 7919 + c * 31) % 101) as f32;
+        let a = Matrix::from_fn(2100, 2100, gen);
+        let b = Matrix::from_fn_par(2100, 2100, gen);
+        assert_eq!(a, b);
+        // And below it.
+        let c = Matrix::from_fn(3, 5, gen);
+        let d = Matrix::from_fn_par(3, 5, gen);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn thread_budget_respects_bounds() {
+        let threshold = parallel_flop_threshold();
+        assert_eq!(thread_budget(threshold - 1, 1024), 1);
+        assert_eq!(thread_budget(threshold * 16, 1), 1);
+        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+        let t = thread_budget(threshold * 16, 1024);
+        if avail >= 2 {
+            assert!(t >= 2, "above-threshold work must parallelize on a multi-core box");
+        }
+        assert!(t <= avail, "budget {t} must not exceed available parallelism {avail}");
+        assert!(
+            thread_budget(threshold * 1000, 3) <= 3,
+            "budget must not exceed row count"
+        );
+    }
+
+    #[test]
+    fn parallel_chunked_path_matches_naive_many_threads() {
+        // A tall matmul whose work is many multiples of the threshold, so
+        // the chunked scope spawns as many workers as the machine allows.
+        let a = test_matrix(1024, 96, 11);
+        let b = test_matrix(96, 200, 12);
+        assert!(approx_eq(&a.matmul(&b), &naive_matmul(&a, &b), 1e-2));
     }
 }

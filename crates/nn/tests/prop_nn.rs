@@ -96,7 +96,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut made = Made::new(&mut rng, cfg);
         let base = vec![2usize, 1, 4];
-        let logits0 = made.forward_ids(&[base.clone()], false);
+        let logits0 = made.forward_ids(std::slice::from_ref(&base), false);
         for pos in 0..3 {
             let mut perturbed = base.clone();
             perturbed[pos] = (perturbed[pos] + 1) % made.segments()[pos];

@@ -51,12 +51,12 @@ pub fn walk_counts(graph: &KnowledgeGraph, k: usize) -> Vec<Vec<f64>> {
     for _ in 0..k {
         let prev = levels.last().expect("at least level 0");
         let mut next = vec![0.0f64; n];
-        for v in 0..n {
+        for (v, nx) in next.iter_mut().enumerate() {
             let mut acc = 0.0;
             for &(_, o) in graph.out_edges(NodeId(v as u32)) {
                 acc += prev[o.index()];
             }
-            next[v] = acc;
+            *nx = acc;
         }
         levels.push(next);
     }
@@ -97,7 +97,7 @@ fn count_star(graph: &KnowledgeGraph, query: &Query) -> u64 {
             for t in &query.triples {
                 if let (Some(p), Some(o)) = (t.p.bound(), t.o.bound()) {
                     let subs: Vec<NodeId> = graph.subjects(o, p).iter().map(|&(_, s)| s).collect();
-                    if best.as_ref().map_or(true, |b| subs.len() < b.len()) {
+                    if best.as_ref().is_none_or(|b| subs.len() < b.len()) {
                         best = Some(subs);
                     }
                 }
@@ -184,14 +184,14 @@ fn count_chain(graph: &KnowledgeGraph, query: &Query) -> u64 {
             match p {
                 Some(p) => {
                     for &(_, obj) in graph.objects(node, p) {
-                        if o.map_or(true, |b| b == obj) {
+                        if o.is_none_or(|b| b == obj) {
                             *next.entry(obj).or_insert(0) += cnt;
                         }
                     }
                 }
                 None => {
                     for &(_, obj) in graph.out_edges(node) {
-                        if o.map_or(true, |b| b == obj) {
+                        if o.is_none_or(|b| b == obj) {
                             *next.entry(obj).or_insert(0) += cnt;
                         }
                     }

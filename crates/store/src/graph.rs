@@ -152,13 +152,7 @@ impl KnowledgeGraph {
 
     /// Invokes `f` for every triple matching the wildcard pattern, choosing
     /// the cheapest index.
-    pub fn for_each_match<F: FnMut(Triple)>(
-        &self,
-        s: Option<NodeId>,
-        p: Option<PredId>,
-        o: Option<NodeId>,
-        mut f: F,
-    ) {
+    pub fn for_each_match<F: FnMut(Triple)>(&self, s: Option<NodeId>, p: Option<PredId>, o: Option<NodeId>, mut f: F) {
         match (s, p, o) {
             (Some(s), Some(p), Some(o)) => {
                 if self.contains(s, p, o) {
@@ -302,7 +296,11 @@ impl GraphBuilder {
 
     /// Finalizes the graph: sorts, deduplicates, and builds all indexes.
     pub fn build(self) -> KnowledgeGraph {
-        let GraphBuilder { nodes, preds, mut triples } = self;
+        let GraphBuilder {
+            nodes,
+            preds,
+            mut triples,
+        } = self;
         triples.sort_unstable();
         triples.dedup();
 

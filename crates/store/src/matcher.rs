@@ -112,7 +112,13 @@ fn resolve(pat: &TriplePattern, bindings: &[Option<u32>]) -> Resolved {
         },
     };
 
-    Resolved { s, p, o, new_vars, repeated_new_var: repeated }
+    Resolved {
+        s,
+        p,
+        o,
+        new_vars,
+        repeated_new_var: repeated,
+    }
 }
 
 /// Binds pattern variables against a concrete triple; returns the list of
@@ -188,12 +194,7 @@ fn new_vars_local(query: &Query, remaining: &[usize], skip_idx: usize, new_vars:
     })
 }
 
-fn count_rec(
-    g: &KnowledgeGraph,
-    query: &Query,
-    remaining: &mut Vec<usize>,
-    bindings: &mut Vec<Option<u32>>,
-) -> u64 {
+fn count_rec(g: &KnowledgeGraph, query: &Query, remaining: &mut Vec<usize>, bindings: &mut Vec<Option<u32>>) -> u64 {
     if remaining.is_empty() {
         return 1;
     }

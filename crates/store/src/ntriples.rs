@@ -35,7 +35,10 @@ pub fn read<R: BufRead>(reader: R) -> Result<KnowledgeGraph, ParseError> {
     let mut line_no = 0usize;
     for line in reader.lines() {
         line_no += 1;
-        let line = line.map_err(|e| ParseError { line: line_no, message: format!("io error: {e}") })?;
+        let line = line.map_err(|e| ParseError {
+            line: line_no,
+            message: format!("io error: {e}"),
+        })?;
         parse_line(&line, line_no, &mut builder)?;
     }
     Ok(builder.build())

@@ -34,7 +34,9 @@ impl std::fmt::Display for SparqlError {
 impl std::error::Error for SparqlError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, SparqlError> {
-    Err(SparqlError { message: message.into() })
+    Err(SparqlError {
+        message: message.into(),
+    })
 }
 
 /// A parsed query plus the variable-name table (`?book` → `VarId`).
@@ -105,7 +107,10 @@ pub fn parse(input: &str, graph: &KnowledgeGraph) -> Result<ParsedQuery, SparqlE
     }
     let query = Query::new(triples);
     query.validate().map_err(|m| SparqlError { message: m })?;
-    Ok(ParsedQuery { query, variables: var_names })
+    Ok(ParsedQuery {
+        query,
+        variables: var_names,
+    })
 }
 
 fn tokenize(input: &str) -> Result<Vec<String>, SparqlError> {
@@ -217,15 +222,13 @@ fn expect_token(tokens: &[String], pos: &mut usize, t: &str) -> Result<(), Sparq
     }
 }
 
-fn get_var(
-    name: &str,
-    vars: &mut FxHashMap<String, VarId>,
-    var_names: &mut Vec<String>,
-) -> Result<VarId, SparqlError> {
+fn get_var(name: &str, vars: &mut FxHashMap<String, VarId>, var_names: &mut Vec<String>) -> Result<VarId, SparqlError> {
     if let Some(&v) = vars.get(name) {
         return Ok(v);
     }
-    let id = u16::try_from(var_names.len()).map_err(|_| SparqlError { message: "too many variables".into() })?;
+    let id = u16::try_from(var_names.len()).map_err(|_| SparqlError {
+        message: "too many variables".into(),
+    })?;
     let v = VarId(id);
     vars.insert(name.to_string(), v);
     var_names.push(name.to_string());

@@ -78,7 +78,11 @@ impl LogHistogram {
     /// Creates an empty histogram with logarithm base `base` (≥ 2).
     pub fn new(base: u32) -> Self {
         assert!(base >= 2, "histogram base must be ≥ 2");
-        Self { base, counts: Vec::new(), zeros: 0 }
+        Self {
+            base,
+            counts: Vec::new(),
+            zeros: 0,
+        }
     }
 
     /// The bucket index of `value` (`None` for zero).

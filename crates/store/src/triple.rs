@@ -141,9 +141,9 @@ impl TriplePattern {
     /// Whether a fully bound triple matches this pattern ignoring variables
     /// (i.e. treating every variable as a wildcard).
     pub fn matches_wildcard(&self, t: &Triple) -> bool {
-        self.s.bound().map_or(true, |s| s == t.s)
-            && self.p.bound().map_or(true, |p| p == t.p)
-            && self.o.bound().map_or(true, |o| o == t.o)
+        self.s.bound().is_none_or(|s| s == t.s)
+            && self.p.bound().is_none_or(|p| p == t.p)
+            && self.o.bound().is_none_or(|o| o == t.o)
     }
 }
 

@@ -69,7 +69,10 @@ fn arb_star_query() -> impl Strategy<Value = Query> {
 /// A random chain query with fresh link variables (vars 1..), possibly bound
 /// endpoints and intermediate nodes.
 fn arb_chain_query() -> impl Strategy<Value = Query> {
-    (2usize..5, prop::collection::vec((arb_pred_term(), any::<bool>(), 0..MAX_NODES), 4))
+    (
+        2usize..5,
+        prop::collection::vec((arb_pred_term(), any::<bool>(), 0..MAX_NODES), 4),
+    )
         .prop_map(|(k, spec)| {
             let mut triples = Vec::with_capacity(k);
             let mut prev = NodeTerm::Var(VarId(1));
@@ -169,7 +172,7 @@ proptest! {
         let expected = g
             .triples()
             .iter()
-            .filter(|t| s.map_or(true, |s| s == t.s) && p.map_or(true, |p| p == t.p) && o.map_or(true, |o| o == t.o))
+            .filter(|t| s.is_none_or(|s| s == t.s) && p.is_none_or(|p| p == t.p) && o.is_none_or(|o| o == t.o))
             .count() as u64;
         prop_assert_eq!(g.count_single(s, p, o), expected);
     }

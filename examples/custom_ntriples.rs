@@ -36,7 +36,14 @@ fn main() -> std::io::Result<()> {
     // 3. Train LMKG-S on star queries of size 2.
     let train = workload::generate(&graph, &WorkloadConfig::train_default(QueryShape::Star, 2, 600, 13));
     let encoder = QueryEncoder::Sg(SgEncoder::capacity_for_size(graph.num_nodes(), graph.num_preds(), 2));
-    let mut model = LmkgS::new(encoder, LmkgSConfig { hidden: vec![96, 96], epochs: 60, ..Default::default() });
+    let mut model = LmkgS::new(
+        encoder,
+        LmkgSConfig {
+            hidden: vec![96, 96],
+            epochs: 60,
+            ..Default::default()
+        },
+    );
     println!("training on {} labeled queries…", train.len());
     let stats = model.train(&train);
     println!("  final loss: {:.3}", stats.last().expect("epochs > 0").loss);
@@ -45,11 +52,22 @@ fn main() -> std::io::Result<()> {
     let mut out = fs::File::create(&model_path)?;
     model.save_params(&mut out)?;
     let scaler = *model.scaler().expect("trained");
-    println!("saved parameters to {} ({} bytes)", model_path.display(), fs::metadata(&model_path)?.len());
+    println!(
+        "saved parameters to {} ({} bytes)",
+        model_path.display(),
+        fs::metadata(&model_path)?.len()
+    );
 
     // 5. Restore into a fresh model and verify predictions agree.
     let encoder2 = QueryEncoder::Sg(SgEncoder::capacity_for_size(graph.num_nodes(), graph.num_preds(), 2));
-    let mut restored = LmkgS::new(encoder2, LmkgSConfig { hidden: vec![96, 96], seed: 4242, ..Default::default() });
+    let mut restored = LmkgS::new(
+        encoder2,
+        LmkgSConfig {
+            hidden: vec![96, 96],
+            seed: 4242,
+            ..Default::default()
+        },
+    );
     let mut input = fs::File::open(&model_path)?;
     restored.load_params(&mut input)?;
     restored.set_scaler(scaler);
@@ -58,7 +76,10 @@ fn main() -> std::io::Result<()> {
     let a = model.predict(&probe.query).expect("covered query");
     let b = restored.predict(&probe.query).expect("covered query");
     assert_eq!(a, b, "restored model must reproduce predictions exactly");
-    println!("\nprediction parity after reload: {a:.1} == {b:.1} ✓ (true cardinality {})", probe.cardinality);
+    println!(
+        "\nprediction parity after reload: {a:.1} == {b:.1} ✓ (true cardinality {})",
+        probe.cardinality
+    );
 
     fs::remove_file(&nt_path).ok();
     fs::remove_file(&model_path).ok();

@@ -62,7 +62,11 @@ fn main() {
         shapes: vec![QueryShape::Star, QueryShape::Chain],
         sizes: vec![2, 3],
         queries_per_size: 700,
-        s_config: LmkgSConfig { hidden: vec![128, 128], epochs: 60, ..Default::default() },
+        s_config: LmkgSConfig {
+            hidden: vec![128, 128],
+            epochs: 60,
+            ..Default::default()
+        },
         u_config: Default::default(),
         workload_seed: 3,
     };

@@ -23,9 +23,17 @@ fn main() {
     for i in 0..400 {
         let book = format!(":book{i}");
         // Stephen King is prolific, and writes mostly horror.
-        let author_idx = if rng.gen_bool(0.4) { 0 } else { rng.gen_range(1..authors.len()) };
+        let author_idx = if rng.gen_bool(0.4) {
+            0
+        } else {
+            rng.gen_range(1..authors.len())
+        };
         b.add(&book, ":hasAuthor", authors[author_idx]);
-        let genre_idx = if author_idx == 0 && rng.gen_bool(0.8) { 0 } else { rng.gen_range(0..genres.len()) };
+        let genre_idx = if author_idx == 0 && rng.gen_bool(0.8) {
+            0
+        } else {
+            rng.gen_range(0..genres.len())
+        };
         b.add(&book, ":genre", genres[genre_idx]);
         if rng.gen_bool(0.3) {
             b.add(&book, ":translatedTo", ":German");
@@ -49,11 +57,18 @@ fn main() {
         shapes: vec![QueryShape::Star, QueryShape::Chain],
         sizes: vec![2],
         queries_per_size: 800,
-        s_config: LmkgSConfig { hidden: vec![128, 128], epochs: 80, ..Default::default() },
+        s_config: LmkgSConfig {
+            hidden: vec![128, 128],
+            epochs: 80,
+            ..Default::default()
+        },
         u_config: Default::default(),
         workload_seed: 7,
     };
-    println!("training LMKG-S ({} training queries per shape/size)…", cfg.queries_per_size);
+    println!(
+        "training LMKG-S ({} training queries per shape/size)…",
+        cfg.queries_per_size
+    );
     let mut lmkg = Lmkg::build(&graph, &cfg);
     println!("framework holds {} model(s)", lmkg.model_count());
 

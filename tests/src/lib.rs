@@ -25,7 +25,10 @@ pub fn test_queries(graph: &KnowledgeGraph, shape: QueryShape, size: usize, coun
 
 /// Runs an estimator over labeled queries and aggregates q-errors.
 pub fn evaluate(est: &mut dyn CardinalityEstimator, queries: &[LabeledQuery]) -> QErrorStats {
-    let pairs: Vec<(f64, u64)> = queries.iter().map(|lq| (est.estimate(&lq.query), lq.cardinality)).collect();
+    let pairs: Vec<(f64, u64)> = queries
+        .iter()
+        .map(|lq| (est.estimate(&lq.query), lq.cardinality))
+        .collect();
     QErrorStats::from_pairs(pairs).expect("non-empty workload")
 }
 

@@ -4,14 +4,19 @@
 use lmkg::framework::{Grouping, Lmkg, LmkgConfig, ModelType};
 use lmkg::supervised::{LmkgS, LmkgSConfig, QueryEncoder};
 use lmkg::unsupervised::{LmkgU, LmkgUConfig};
-use lmkg::{CardinalityEstimator, GraphSummary};
+use lmkg::GraphSummary;
 use lmkg_data::{Dataset, SamplingStrategy, Scale};
 use lmkg_encoder::SgEncoder;
 use lmkg_integration_tests::{evaluate, small_lubm, small_swdf, test_queries};
 use lmkg_store::QueryShape;
 
 fn quick_s() -> LmkgSConfig {
-    LmkgSConfig { hidden: vec![96], epochs: 50, dropout: 0.0, ..Default::default() }
+    LmkgSConfig {
+        hidden: vec![96],
+        epochs: 100,
+        dropout: 0.0,
+        ..Default::default()
+    }
 }
 
 fn quick_u() -> LmkgUConfig {

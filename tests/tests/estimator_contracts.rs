@@ -15,14 +15,29 @@ use lmkg_store::{KnowledgeGraph, QueryShape};
 fn trained_lmkg_s(g: &KnowledgeGraph) -> LmkgS {
     let train = workload::generate(g, &WorkloadConfig::train_default(QueryShape::Star, 2, 300, 2));
     let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
-    let mut m = LmkgS::new(enc, LmkgSConfig { hidden: vec![48], epochs: 20, ..Default::default() });
+    let mut m = LmkgS::new(
+        enc,
+        LmkgSConfig {
+            hidden: vec![48],
+            epochs: 20,
+            ..Default::default()
+        },
+    );
     m.train(&train);
     m
 }
 
 fn trained_mscn(g: &KnowledgeGraph, samples: usize) -> Mscn {
     let train = workload::generate(g, &WorkloadConfig::train_default(QueryShape::Star, 2, 300, 2));
-    let mut m = Mscn::new(g, MscnConfig { samples, hidden: 32, epochs: 20, ..Default::default() });
+    let mut m = Mscn::new(
+        g,
+        MscnConfig {
+            samples,
+            hidden: 32,
+            epochs: 20,
+            ..Default::default()
+        },
+    );
     m.train(&train);
     m
 }
@@ -31,9 +46,31 @@ fn trained_mscn(g: &KnowledgeGraph, samples: usize) -> Mscn {
 fn with_all_estimators(g: &KnowledgeGraph, mut f: impl FnMut(&mut dyn CardinalityEstimator)) {
     f(&mut CharacteristicSets::build(g));
     f(&mut SumRdf::build(g, SumRdfConfig::default()));
-    f(&mut WanderJoin::new(g, WanderJoinConfig { runs: 5, walks_per_run: 40, seed: 3 }));
-    f(&mut Jsub::new(g, JsubConfig { runs: 5, walks_per_run: 40, seed: 3 }));
-    f(&mut Impr::new(g, ImprConfig { runs: 5, samples_per_run: 20, burn_in: 8, seed: 3 }));
+    f(&mut WanderJoin::new(
+        g,
+        WanderJoinConfig {
+            runs: 5,
+            walks_per_run: 40,
+            seed: 3,
+        },
+    ));
+    f(&mut Jsub::new(
+        g,
+        JsubConfig {
+            runs: 5,
+            walks_per_run: 40,
+            seed: 3,
+        },
+    ));
+    f(&mut Impr::new(
+        g,
+        ImprConfig {
+            runs: 5,
+            samples_per_run: 20,
+            burn_in: 8,
+            seed: 3,
+        },
+    ));
     f(&mut trained_mscn(g, 0));
     f(&mut trained_lmkg_s(g));
 }
@@ -88,7 +125,14 @@ fn sampling_estimators_are_deterministic_per_seed() {
     let g = small_lubm();
     let queries = test_queries(&g, QueryShape::Star, 2, 10);
     let run = |seed: u64| -> Vec<f64> {
-        let mut wj = WanderJoin::new(&g, WanderJoinConfig { runs: 3, walks_per_run: 30, seed });
+        let mut wj = WanderJoin::new(
+            &g,
+            WanderJoinConfig {
+                runs: 3,
+                walks_per_run: 30,
+                seed,
+            },
+        );
         queries.iter().map(|lq| wj.estimate(&lq.query)).collect()
     };
     assert_eq!(run(7), run(7));
@@ -110,8 +154,22 @@ fn jsub_upper_bounds_wander_join_on_average() {
     // estimate must not be below WanderJoin's.
     let g = small_lubm();
     let queries = test_queries(&g, QueryShape::Chain, 3, 40);
-    let mut wj = WanderJoin::new(&g, WanderJoinConfig { runs: 10, walks_per_run: 50, seed: 1 });
-    let mut jsub = Jsub::new(&g, JsubConfig { runs: 10, walks_per_run: 50, seed: 1 });
+    let mut wj = WanderJoin::new(
+        &g,
+        WanderJoinConfig {
+            runs: 10,
+            walks_per_run: 50,
+            seed: 1,
+        },
+    );
+    let mut jsub = Jsub::new(
+        &g,
+        JsubConfig {
+            runs: 10,
+            walks_per_run: 50,
+            seed: 1,
+        },
+    );
     let wj_mean: f64 = queries.iter().map(|lq| wj.estimate(&lq.query)).sum::<f64>() / queries.len() as f64;
     let jsub_mean: f64 = queries.iter().map(|lq| jsub.estimate(&lq.query)).sum::<f64>() / queries.len() as f64;
     assert!(

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this vendor
+//! crate mirrors the criterion API surface the workspace's benches use
+//! (`Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros) over plain wall-clock
+//! timing: per benchmark it warms up, sizes an iteration batch, takes
+//! `sample_size` samples, and prints mean / min / max. No statistical
+//! analysis, HTML reports, or baseline comparisons.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter display value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Drives the measured closure.
+pub struct Bencher<'m> {
+    measurement: &'m mut Measurement,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, storing samples into the owning measurement.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: target ~5 ms per sample so fast
+        // closures are timed over many iterations.
+        let warm = Instant::now();
+        std_black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        let samples = self.measurement.sample_size.max(2);
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            times.push(start.elapsed().as_secs_f64() / f64::from(iters));
+        }
+        self.measurement.per_iter_secs = times;
+    }
+}
+
+/// One benchmark's collected samples.
+struct Measurement {
+    sample_size: usize,
+    per_iter_secs: Vec<f64>,
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn run_and_report(group: &str, id: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut m = Measurement {
+        sample_size,
+        per_iter_secs: Vec::new(),
+    };
+    f(&mut Bencher { measurement: &mut m });
+    if m.per_iter_secs.is_empty() {
+        println!("{group}/{id}  (no samples)");
+        return;
+    }
+    let n = m.per_iter_secs.len() as f64;
+    let mean = m.per_iter_secs.iter().sum::<f64>() / n;
+    let min = m.per_iter_secs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = m.per_iter_secs.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{group}/{id}  time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        run_and_report(&self.name, &id.to_string(), self.criterion.sample_size, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_and_report(&self.name, &id.id, self.criterion.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (formatting no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        run_and_report("bench", &id.to_string(), self.sample_size, |b| f(b));
+        self
+    }
+}
+
+/// Declares a group of benchmark targets, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this vendor
+//! crate implements the subset of proptest's API the workspace's property
+//! tests use: the [`proptest!`] macro, range/tuple/vec/map/oneof strategies,
+//! [`any`], [`strategy::Just`], and the `prop_assert*` / [`prop_assume!`]
+//! macros. Differences from upstream: cases are generated from a fixed
+//! per-test seed (fully deterministic runs) and failing cases are reported
+//! but **not shrunk**.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec(..)` resolves as it does with
+/// the real crate.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+/// Per-test configuration (only the case count is honored).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property (rejected cases included).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the CI suite fast while still
+        // exercising a meaningful sample.
+        Self { cases: 64 }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item expands to a
+/// `#[test]`-style function that samples the strategies `cases` times and
+/// runs the body; `prop_assume!` rejections skip the case, `prop_assert*`
+/// failures abort with the case's inputs printed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $pat = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)+
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || { $body ::core::result::Result::Ok(()) })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!("property '{}' failed at case {}: {}", stringify!($name), __case, __msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Rejects the current case (it is skipped, not failed) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "{}\n  both: {:?}",
+            format!($($fmt)+), __l
+        );
+    }};
+}
+
+/// Uniformly picks one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// `Option` strategies (`prop::option::of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Generates `None` about a quarter of the time, `Some(inner)` otherwise
+    /// (upstream's default weighting).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen::<f64>() < 0.25 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+
+    /// The `prop::option::of` entry point.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}

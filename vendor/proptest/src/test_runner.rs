@@ -1,0 +1,43 @@
+//! The deterministic case generator behind [`proptest!`](crate::proptest).
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// RNG driving case generation. Seeded from the property's name so every
+/// test has its own reproducible stream.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Builds the generator for the property named `name` (FNV-1a seed).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Outcome of one generated case's body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — skip the case.
+    Reject,
+    /// `prop_assert*` failed — abort the property.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
