@@ -1,0 +1,126 @@
+//! Serving-layer benchmark: micro-batched vs per-request serving of the
+//! same workload at the same offered load, through the full `lmkg-serve`
+//! path (request-line formatting → protocol parse → admission →
+//! micro-batcher → `estimate_batch` → reply). Writes the machine-readable
+//! comparison to `BENCH_serve.json` at the workspace root, mirroring
+//! `BENCH_batch.json` from the batched-inference PR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmkg::framework::{Grouping, Lmkg, LmkgConfig, ModelType};
+use lmkg::supervised::LmkgSConfig;
+use lmkg_data::workload::{self, WorkloadConfig};
+use lmkg_data::{Dataset, Scale};
+use lmkg_serve::{loadgen, BatchConfig, LoadgenConfig, Reply, Request};
+use lmkg_store::{Query, QueryShape};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn mixed_workload(graph: &lmkg_store::KnowledgeGraph, per_cell: usize) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for (shape, size) in [(QueryShape::Star, 2), (QueryShape::Chain, 3), (QueryShape::Star, 3)] {
+        let mut wl = WorkloadConfig::test_default(shape, size, 17);
+        wl.count = per_cell;
+        queries.extend(workload::generate(graph, &wl).into_iter().map(|lq| lq.query));
+    }
+    queries
+}
+
+/// Protocol-layer overhead: what one request/reply line costs to format and
+/// parse. This is the fixed per-request tax the wire adds on top of
+/// estimation; it bounds how much of the micro-batching win the protocol
+/// itself could ever eat.
+fn bench_protocol(c: &mut Criterion) {
+    let g = Dataset::LubmLike.generate(Scale::Ci, 7);
+    let queries = mixed_workload(&g, 30);
+    let lines = loadgen::request_lines(&queries, &g, 64);
+    let reply_line = Reply::Estimate {
+        id: "q17".into(),
+        estimate: 12345.678,
+        micros: 93.5,
+    }
+    .to_string();
+
+    let mut group = c.benchmark_group("serve_protocol");
+    group.bench_function("request_parse", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % lines.len();
+            black_box(Request::parse(&lines[i]).expect("well-formed request"))
+        })
+    });
+    group.bench_function("reply_parse", |b| {
+        b.iter(|| black_box(Reply::parse(&reply_line).expect("well-formed reply")))
+    });
+    group.finish();
+}
+
+/// The headline comparison, written to `BENCH_serve.json`.
+fn bench_serving_modes(_c: &mut Criterion) {
+    let g = Arc::new(Dataset::LubmLike.generate(Scale::Ci, 7));
+    let queries = mixed_workload(&g, 120);
+    assert!(
+        queries.len() >= 200,
+        "need a few hundred distinct queries, got {}",
+        queries.len()
+    );
+
+    // Training depth is irrelevant for latency; architecture is what costs.
+    let cfg = LmkgConfig {
+        model_type: ModelType::Supervised,
+        grouping: Grouping::BySize,
+        shapes: vec![QueryShape::Star, QueryShape::Chain],
+        sizes: vec![2, 3],
+        queries_per_size: 300,
+        s_config: LmkgSConfig {
+            hidden: vec![256, 256],
+            epochs: 3,
+            ..Default::default()
+        },
+        u_config: Default::default(),
+        workload_seed: 5,
+    };
+    let estimator = Box::new(Lmkg::build(&g, &cfg));
+
+    let loadgen_cfg = LoadgenConfig {
+        qps: 0.0, // auto-calibrate: offer 2x the direct per-query service rate
+        requests: 4000,
+        warmup: 300,
+        batch: BatchConfig {
+            window: Duration::from_millis(2),
+            max_batch: 64,
+            queue_depth: 1024,
+            workers: 2,
+        },
+    };
+    let (report, _estimator) = loadgen::compare(&g, estimator, &queries, &loadgen_cfg);
+
+    println!("{}", report.per_request);
+    println!("{}", report.micro_batched);
+    println!(
+        "serve_latency: micro-batched vs per-request throughput gain {:.2}x at {:.0} offered qps \
+         on {} core(s)",
+        report.throughput_gain, report.offered_qps, report.available_parallelism
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, report.to_json()).expect("write BENCH_serve.json");
+    println!("serve_latency: wrote {path}");
+
+    // Like BENCH_batch.json, perf expectations are warnings, not asserts —
+    // shared-runner wall clocks are too noisy for a hard gate. A micro-batched
+    // *loss* would indicate a real serving-path bug, so it is called out.
+    if report.throughput_gain < 1.0 {
+        eprintln!(
+            "WARNING: micro-batched serving did not beat per-request serving \
+             ({:.2}x) — investigate unless the runner was oversubscribed",
+            report.throughput_gain
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_protocol, bench_serving_modes
+}
+criterion_main!(benches);

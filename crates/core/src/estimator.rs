@@ -35,6 +35,27 @@ pub trait CardinalityEstimator {
     fn memory_bytes(&self) -> usize;
 }
 
+/// Boxed estimators forward the whole trait, so heterogeneous estimators can
+/// be held behind `Box<dyn CardinalityEstimator + Send>` — the form the
+/// serving layer's worker threads own — without losing the batched override.
+impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn estimate(&mut self, query: &Query) -> f64 {
+        (**self).estimate(query)
+    }
+
+    fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+        (**self).estimate_batch(queries)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+}
+
 /// The exact counter wrapped as an estimator (sanity baseline: q-error 1).
 pub struct ExactEstimator<'g> {
     graph: &'g KnowledgeGraph,
@@ -66,6 +87,25 @@ mod tests {
     use super::*;
     use crate::metrics::q_error;
     use lmkg_store::{GraphBuilder, NodeTerm, PredTerm, TriplePattern, VarId};
+
+    #[test]
+    fn boxed_estimator_forwards_the_trait() {
+        let mut b = GraphBuilder::new();
+        b.add("a", "p", "b");
+        let g = b.build();
+        let q = Query::new(vec![TriplePattern::new(
+            NodeTerm::Var(VarId(0)),
+            PredTerm::Bound(lmkg_store::PredId(0)),
+            NodeTerm::Var(VarId(1)),
+        )]);
+        let mut direct = ExactEstimator::new(&g);
+        let expected = direct.estimate(&q);
+        let mut boxed: Box<dyn CardinalityEstimator + '_> = Box::new(ExactEstimator::new(&g));
+        assert_eq!(boxed.name(), "exact");
+        assert_eq!(boxed.estimate(&q), expected);
+        assert_eq!(boxed.estimate_batch(std::slice::from_ref(&q)), vec![expected]);
+        assert!(boxed.memory_bytes() > 0);
+    }
 
     #[test]
     fn exact_estimator_has_q_error_one() {

@@ -10,6 +10,7 @@ use crate::unsupervised::{LmkgU, LmkgUConfig, LmkgUError};
 use lmkg_data::workload::{self, WorkloadConfig};
 use lmkg_encoder::SgEncoder;
 use lmkg_store::{KnowledgeGraph, Query, QueryShape};
+use std::time::Instant;
 
 /// Which learned model family the framework instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,32 +176,54 @@ impl Lmkg {
                         })
                         .collect(),
                 };
-                for key in keys {
-                    let model = train_supervised(graph, cfg, key);
+                // Grouped models are independent (each generates its own
+                // training workload), so the whole creation phase fans out
+                // across scoped threads — one per model, joined in key order
+                // so the routing order stays identical to sequential builds.
+                let jobs: Vec<_> = keys
+                    .iter()
+                    .map(|&key| move || train_supervised(graph, cfg, key))
+                    .collect();
+                let models = build_models_parallel("LMKG-S", jobs);
+                for (key, model) in keys.into_iter().zip(models) {
                     entries.push((key, ModelEntry::S(model)));
                 }
             }
             ModelType::Unsupervised => {
                 // LMKG-U: always one model per (type, size) — §VIII-B.
-                for &shape in &cfg.shapes {
-                    for &k in &cfg.sizes {
-                        match LmkgU::new(graph, shape, k, cfg.u_config.clone()) {
+                // Training the cells is embarrassingly parallel too.
+                let cells: Vec<(QueryShape, usize)> = cfg
+                    .shapes
+                    .iter()
+                    .flat_map(|&shape| cfg.sizes.iter().map(move |&k| (shape, k)))
+                    .collect();
+                let jobs: Vec<_> = cells
+                    .iter()
+                    .map(|&(shape, k)| {
+                        move || match LmkgU::new(graph, shape, k, cfg.u_config.clone()) {
                             Ok(mut model) => {
                                 model.train(graph);
-                                let key = ModelKey {
-                                    shape: Some(shape),
-                                    min_size: k,
-                                    max_size: k,
-                                };
-                                entries.push((key, ModelEntry::U(model)));
+                                Some(model)
                             }
                             Err(LmkgUError::DomainTooLarge { .. }) => {
                                 // The YAGO case: skip, decomposition/summary
                                 // fallback will answer (§VIII drops LMKG-U
                                 // for YAGO entirely).
+                                None
                             }
                             Err(e) => panic!("LMKG-U construction failed: {e}"),
                         }
+                    })
+                    .collect();
+                let models = build_models_parallel("LMKG-U", jobs);
+                for ((shape, k), model) in cells.into_iter().zip(models) {
+                    if let Some(model) = model {
+                        let key = ModelKey {
+                            shape: Some(shape),
+                            min_size: k,
+                            max_size: k,
+                        };
+                        entries.push((key, ModelEntry::U(model)));
                     }
                 }
             }
@@ -246,16 +269,23 @@ impl Lmkg {
             // pattern at a covered size): statistics fallback.
             return self.summary.estimate_query_independent(query);
         }
+        let direct: Vec<Option<f64>> = parts.iter().map(|part| self.try_direct(part)).collect();
+        self.combine_decomposed(&parts, &direct)
+    }
+
+    /// Combines sub-query estimates under join uniformity: the product of
+    /// part estimates (statistics fallback where no model answered) divided
+    /// per extra occurrence of each shared variable. Both the per-query and
+    /// the batched decomposition paths go through here, so they agree
+    /// bitwise by construction.
+    fn combine_decomposed(&self, parts: &[Query], ests: &[Option<f64>]) -> f64 {
         let mut product = 1.0f64;
-        for part in &parts {
-            let est = match self.try_direct(part) {
-                Some(e) => e,
-                None => self.summary.estimate_query_independent(part),
-            };
+        for (part, est) in parts.iter().zip(ests) {
+            let est = est.unwrap_or_else(|| self.summary.estimate_query_independent(part));
             product *= est.max(1e-12);
         }
         // Join-uniformity correction over variables shared between parts.
-        for (_, occurrences) in decompose::shared_variables(&parts) {
+        for (_, occurrences) in decompose::shared_variables(parts) {
             product /= (self.summary.num_nodes().max(1) as f64).powi(occurrences as i32 - 1);
         }
         product.max(1.0)
@@ -263,15 +293,55 @@ impl Lmkg {
 
     /// Batched execution phase: the query slice is grouped by the model
     /// entry that covers it ([`ModelKey`]), and each group runs **one**
-    /// batched forward through its model. Queries every model rejects fall
-    /// back to the per-query decomposition path, exactly as in
-    /// [`Lmkg::estimate_query`] — results are identical to looping it.
+    /// batched forward through its model. Queries every model rejects are
+    /// decomposed, and the sub-queries of the *whole batch* are again
+    /// grouped by covering model and pushed through the batched forwards —
+    /// so even a fully uncovered workload runs one forward per model, not
+    /// one per sub-query. Results are identical to looping
+    /// [`Lmkg::estimate_query`].
     pub fn estimate_query_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+        let refs: Vec<&Query> = queries.iter().collect();
+        let mut out = self.route_batch(&refs);
+
+        // Decomposition fallback for the queries every model rejected.
+        // `estimate_query` would re-probe the models first, but a rejected
+        // query deterministically falls through that probe, so skipping it
+        // here changes nothing.
+        let mut parts_all: Vec<Query> = Vec::new();
+        // (query index, first part, part count) per decomposed query.
+        let mut spans: Vec<(usize, usize, usize)> = Vec::new();
+        for i in 0..queries.len() {
+            if out[i].is_some() {
+                continue;
+            }
+            let parts = decompose::decompose(&queries[i], self.max_covered_size.max(1));
+            if parts.len() == 1 {
+                // Decomposition could not simplify: statistics fallback.
+                out[i] = Some(self.summary.estimate_query_independent(&queries[i]));
+            } else {
+                spans.push((i, parts_all.len(), parts.len()));
+                parts_all.extend(parts);
+            }
+        }
+        if !spans.is_empty() {
+            // All sub-queries of all decomposed queries, batched by model.
+            let part_refs: Vec<&Query> = parts_all.iter().collect();
+            let part_ests = self.route_batch(&part_refs);
+            for &(i, start, len) in &spans {
+                let parts = &parts_all[start..start + len];
+                out[i] = Some(self.combine_decomposed(parts, &part_ests[start..start + len]));
+            }
+        }
+        out.into_iter().map(|v| v.expect("every query answered")).collect()
+    }
+
+    /// Routes a slice through the model entries, batching per entry: each
+    /// entry batch-answers the still-unanswered queries its key covers. A
+    /// query rejected by one model (encoder or shape/size mismatch) stays
+    /// eligible for later entries — the same fall-through [`Lmkg::try_direct`]
+    /// performs per query. `None` means no model answered.
+    fn route_batch(&mut self, queries: &[&Query]) -> Vec<Option<f64>> {
         let mut out: Vec<Option<f64>> = vec![None; queries.len()];
-        // Walk the model entries in routing order; each entry batch-answers
-        // the still-unanswered queries its key covers. A query rejected by
-        // one model (encoder or shape/size mismatch) stays eligible for
-        // later entries — the same fall-through `try_direct` performs.
         let mut remaining: Vec<usize> = (0..queries.len()).collect();
         for (key, entry) in &mut self.entries {
             if remaining.is_empty() {
@@ -284,7 +354,7 @@ impl Lmkg {
             if candidates.is_empty() {
                 continue;
             }
-            let refs: Vec<&Query> = candidates.iter().map(|&i| &queries[i]).collect();
+            let refs: Vec<&Query> = candidates.iter().map(|&i| queries[i]).collect();
             let mut failed: Vec<usize> = Vec::new();
             match entry {
                 ModelEntry::S(model) => {
@@ -308,14 +378,7 @@ impl Lmkg {
             remaining.extend(failed);
             remaining.sort_unstable();
         }
-        // Decomposition / statistics fallback, per query. `estimate_query`
-        // re-probes the models first, but every remaining query was just
-        // rejected by all of them, so the probe deterministically falls
-        // through to the same decomposition path.
-        remaining
-            .iter()
-            .for_each(|&i| out[i] = Some(self.estimate_query(&queries[i])));
-        out.into_iter().map(|v| v.expect("every query answered")).collect()
+        out
     }
 
     /// Attempts to answer with a single model.
@@ -383,6 +446,69 @@ impl CardinalityEstimator for Lmkg {
         // here; callers needing exact totals use `Lmkg::memory_bytes`.
         self.summary.memory_bytes()
     }
+}
+
+/// Runs independent model-creation jobs on scoped threads — one thread per
+/// job, results in job order — and logs the wall-clock win over sequential
+/// execution (summed per-thread time ÷ wall time).
+///
+/// Training one grouped model never depends on another, so the creation
+/// phase parallelizes freely; workload generation happens inside each job
+/// and overlaps too.
+fn build_models_parallel<T, F>(what: &str, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = jobs.len();
+    // Bounded worker pool, not one thread per model: each training job
+    // already fans its matmuls across `available_parallelism` threads, so
+    // unbounded spawning on a large grouping (specialized × many sizes)
+    // would only add contention and keep every model's training workload
+    // resident at once. The floor of 4 keeps some overlap on containers
+    // whose cgroup under-reports the usable cores.
+    let workers = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+        .max(4)
+        .min(n.max(1));
+    let start = Instant::now();
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
+    let results: Vec<Mutex<Option<(T, f64)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i].lock().expect("job slot lock").take().expect("job taken once");
+                let t = Instant::now();
+                let out = job();
+                *results[i].lock().expect("result slot lock") = Some((out, t.elapsed().as_secs_f64()));
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let timed: Vec<(T, f64)> = results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("model-creation job completed")
+        })
+        .collect();
+    let summed: f64 = timed.iter().map(|(_, secs)| secs).sum();
+    eprintln!(
+        "lmkg: creation phase trained {n} {what} model(s) on {workers} thread(s) in {wall:.3}s wall \
+         ({summed:.3}s summed across threads, {:.2}x overlap)",
+        summed / wall.max(1e-9)
+    );
+    timed.into_iter().map(|(model, _)| model).collect()
 }
 
 /// Trains one LMKG-S model for a key.
@@ -607,6 +733,83 @@ mod tests {
         assert_eq!(
             batched, looped,
             "batched framework routing must match per-query routing"
+        );
+    }
+
+    #[test]
+    fn batched_decomposition_matches_per_query_bitwise() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize); // covers size 2 only
+        let mut lmkg = Lmkg::build(&g, &cfg);
+
+        // A batch dominated by queries no model covers: size-4 and size-6
+        // stars (decomposed into covered size-2 stars), plus an `Other`-shaped
+        // composite. All their sub-queries must flow through the *batched*
+        // forwards and still reproduce the per-query path bitwise.
+        let star = |arms: usize, base: u32| {
+            Query::new(
+                (0..arms)
+                    .map(|i| {
+                        TriplePattern::new(
+                            NodeTerm::Var(VarId(0)),
+                            PredTerm::Bound(PredId((base + i as u32) % g.num_preds() as u32)),
+                            NodeTerm::Var(VarId(1 + i as u16)),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let mut queries = vec![star(4, 0), star(6, 1), star(4, 2), star(5, 0)];
+        queries.push(Query::new(vec![
+            TriplePattern::new(
+                NodeTerm::Var(VarId(0)),
+                PredTerm::Bound(PredId(0)),
+                NodeTerm::Var(VarId(1)),
+            ),
+            TriplePattern::new(
+                NodeTerm::Var(VarId(0)),
+                PredTerm::Bound(PredId(1)),
+                NodeTerm::Var(VarId(2)),
+            ),
+            TriplePattern::new(
+                NodeTerm::Var(VarId(1)),
+                PredTerm::Bound(PredId(2)),
+                NodeTerm::Var(VarId(3)),
+            ),
+        ]));
+        // A couple of covered queries mixed in so both paths are active.
+        let wl = WorkloadConfig::test_default(QueryShape::Star, 2, 11);
+        queries.extend(workload::generate(&g, &wl).into_iter().take(4).map(|lq| lq.query));
+
+        let looped: Vec<f64> = queries.iter().map(|q| lmkg.estimate_query(q)).collect();
+        let batched = lmkg.estimate_query_batch(&queries);
+        assert_eq!(
+            batched.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+            looped.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+            "batched decomposition fallback must match the per-query path bitwise"
+        );
+    }
+
+    #[test]
+    fn parallel_creation_phase_is_deterministic() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let mut cfg = quick_cfg(ModelType::Supervised, Grouping::Specialized);
+        cfg.sizes = vec![2, 3];
+        let mut a = Lmkg::build(&g, &cfg);
+        let mut b = Lmkg::build(&g, &cfg);
+        assert_eq!(a.model_count(), b.model_count());
+        let wl = WorkloadConfig::test_default(QueryShape::Star, 2, 23);
+        let queries: Vec<Query> = workload::generate(&g, &wl)
+            .into_iter()
+            .take(16)
+            .map(|lq| lq.query)
+            .collect();
+        let ea = a.estimate_query_batch(&queries);
+        let eb = b.estimate_query_batch(&queries);
+        assert_eq!(
+            ea.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+            eb.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+            "scoped-thread training must not change results run to run"
         );
     }
 

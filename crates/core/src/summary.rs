@@ -160,6 +160,24 @@ impl GraphSummary {
     }
 }
 
+/// The statistics block as a standalone estimator: cheap, deterministic, and
+/// training-free. It is the fallback inside the framework, the reference
+/// point in the experiment tables, and a convenient lightweight backend for
+/// serving-layer tests that must not pay model-training time.
+impl crate::estimator::CardinalityEstimator for GraphSummary {
+    fn name(&self) -> &str {
+        "summary"
+    }
+
+    fn estimate(&mut self, query: &Query) -> f64 {
+        self.estimate_query_independent(query)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        GraphSummary::memory_bytes(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +194,18 @@ mod tests {
         b.add("b", "p", "x");
         b.add("a", "q", "x");
         b.build()
+    }
+
+    #[test]
+    fn summary_implements_the_estimator_trait() {
+        use crate::estimator::CardinalityEstimator;
+        let mut s = GraphSummary::build(&graph());
+        let q = Query::new(vec![TriplePattern::new(v(0), PredTerm::Bound(PredId(0)), v(1))]);
+        let expected = s.estimate_query_independent(&q);
+        assert_eq!(s.name(), "summary");
+        assert_eq!(s.estimate(&q), expected);
+        assert_eq!(s.estimate_batch(std::slice::from_ref(&q)), vec![expected]);
+        assert!(CardinalityEstimator::memory_bytes(&s) > 0);
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! The micro-batcher: the piece that turns the batched inference contract
+//! into a serving win.
+//!
+//! Requests enter a **bounded** admission queue (`try_send`; a full queue
+//! sheds the request with a structured `OVERLOADED` reply instead of letting
+//! latency grow without bound). Worker threads pull from the queue and
+//! coalesce: the first request opens a batch, then the worker keeps
+//! collecting until either `max_batch` requests are in hand (flush-on-full)
+//! or `window` has elapsed since the batch opened (flush-on-window). The
+//! whole batch runs through **one** `estimate_batch` forward, which is where
+//! the amortization comes from — one routing pass, one encode pass, one
+//! network forward per covering model, instead of one of each per request.
+//!
+//! With more than one worker, queue collection and estimation pipeline: one
+//! worker can be inside `estimate_batch` while another is already collecting
+//! the next batch. The estimator itself is behind a mutex (estimation takes
+//! `&mut`), so estimation never runs concurrently — correctness does not
+//! depend on the worker count.
+//!
+//! `BatchConfig::per_request()` degenerates the same machinery into
+//! classical one-request-per-forward serving (window 0, batch 1), which is
+//! exactly what the load generator compares against.
+
+use crate::latency::{SlidingWindow, StatsSnapshot};
+use crate::protocol::Reply;
+use lmkg::CardinalityEstimator;
+use lmkg_store::Query;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Latency samples retained for the percentile reporter.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Micro-batching and admission-control knobs.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// How long a batch stays open for more arrivals after its first
+    /// request (flush-on-window). Zero disables coalescing.
+    pub window: Duration,
+    /// Flush as soon as this many requests are in hand (flush-on-full).
+    pub max_batch: usize,
+    /// Bounded admission-queue depth; arrivals beyond it are shed.
+    pub queue_depth: usize,
+    /// Worker threads. More than one pipelines queue collection with
+    /// estimation; estimation itself is serialized on the estimator lock.
+    pub workers: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            window: Duration::from_millis(2),
+            max_batch: 64,
+            queue_depth: 1024,
+            workers: 2,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// The per-request baseline: no coalescing, one forward per request.
+    /// Queue depth and workers are kept, so a comparison against the
+    /// micro-batched configuration isolates exactly the batching effect.
+    pub fn per_request(mut self) -> Self {
+        self.window = Duration::ZERO;
+        self.max_batch = 1;
+        self
+    }
+}
+
+/// One admitted request: the parsed query plus everything needed to reply.
+#[derive(Debug)]
+pub struct Job {
+    /// Reply-matching token from the request line.
+    pub id: String,
+    /// The parsed query.
+    pub query: Query,
+    /// Admission time; the latency reporter measures submit→reply.
+    pub submitted: Instant,
+    /// Where the reply goes (the session's writer channel).
+    pub out: mpsc::Sender<Reply>,
+}
+
+impl Job {
+    /// Stamps a new job with the current time.
+    pub fn new(id: String, query: Query, out: mpsc::Sender<Reply>) -> Self {
+        Self {
+            id,
+            query,
+            submitted: Instant::now(),
+            out,
+        }
+    }
+}
+
+/// Shared serving counters plus the sliding latency window.
+#[derive(Debug)]
+pub struct ServeStats {
+    served: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+    window: Mutex<SlidingWindow>,
+}
+
+impl ServeStats {
+    fn new() -> Self {
+        Self {
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            window: Mutex::new(SlidingWindow::new(LATENCY_WINDOW)),
+        }
+    }
+
+    /// Counts one shed request.
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.served.fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    fn record_latency(&self, micros: f64) {
+        self.window.lock().expect("latency window lock").record(micros);
+    }
+
+    /// A point-in-time summary (counters + window percentiles).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let (p50_us, p95_us, p99_us) = self.window.lock().expect("latency window lock").percentiles();
+        StatsSnapshot {
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            p50_us,
+            p95_us,
+            p99_us,
+        }
+    }
+}
+
+type BoxedEstimator = Box<dyn CardinalityEstimator + Send>;
+
+/// The micro-batcher: bounded queue + coalescing worker threads over one
+/// shared estimator. Dropping it (or calling [`MicroBatcher::shutdown`])
+/// closes the queue and joins the workers after they drain it.
+pub struct MicroBatcher {
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    estimator: Option<Arc<Mutex<BoxedEstimator>>>,
+    stats: Arc<ServeStats>,
+    queue_depth: usize,
+}
+
+impl MicroBatcher {
+    /// Spawns the worker threads and returns the running batcher.
+    pub fn start(estimator: BoxedEstimator, cfg: BatchConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.queue_depth >= 1, "queue_depth must be at least 1");
+        assert!(cfg.workers >= 1, "at least one worker is required");
+        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let estimator = Arc::new(Mutex::new(estimator));
+        let stats = Arc::new(ServeStats::new());
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let estimator = Arc::clone(&estimator);
+                let stats = Arc::clone(&stats);
+                let (window, max_batch) = (cfg.window, cfg.max_batch);
+                std::thread::Builder::new()
+                    .name(format!("lmkg-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &estimator, &stats, window, max_batch))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            workers,
+            estimator: Some(estimator),
+            stats,
+            queue_depth: cfg.queue_depth,
+        }
+    }
+
+    /// Admits a job, or sheds it when the bounded queue is full. The shed
+    /// job is handed back so the caller can send the `OVERLOADED` reply.
+    pub fn submit(&self, job: Job) -> Result<(), Job> {
+        let tx = self.tx.as_ref().expect("batcher is running");
+        match tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job)) => {
+                self.stats.note_shed();
+                Err(job)
+            }
+            // Workers only exit once the queue closes, so this arm is
+            // unreachable while `tx` is alive; treat it like a shed anyway.
+            Err(TrySendError::Disconnected(job)) => {
+                self.stats.note_shed();
+                Err(job)
+            }
+        }
+    }
+
+    /// The configured admission-queue depth (reported in `OVERLOADED`).
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// The shared serving statistics.
+    pub fn stats(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Closes the queue, drains it, joins the workers, and hands the
+    /// estimator back — so a caller can run several serving configurations
+    /// over one (expensively trained) model, as the load generator does.
+    pub fn shutdown(mut self) -> BoxedEstimator {
+        self.finish();
+        let estimator = self.estimator.take().expect("estimator still owned");
+        Arc::try_unwrap(estimator)
+            .ok()
+            .expect("workers joined, no estimator handles remain")
+            .into_inner()
+            .expect("estimator lock not poisoned")
+    }
+
+    fn finish(&mut self) {
+        self.tx.take(); // close the queue; workers drain and exit
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// One worker: collect a batch (flush-on-full / flush-on-window), run one
+/// batched forward, reply per job. Returns when the queue closes and drains.
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    estimator: &Mutex<BoxedEstimator>,
+    stats: &ServeStats,
+    window: Duration,
+    max_batch: usize,
+) {
+    loop {
+        let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
+        {
+            // Hold the queue while collecting so one worker owns the open
+            // batch; estimation below happens outside this lock, which is
+            // what lets another worker collect meanwhile.
+            let rx = rx.lock().expect("queue lock");
+            match rx.recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => return, // queue closed and empty
+            }
+            let deadline = Instant::now() + window;
+            while batch.len() < max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(job) => batch.push(job),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+
+        // The jobs own their queries: split them out instead of cloning on
+        // the hot path (a Query is a heap-backed Vec of triples).
+        type JobMeta = (String, Instant, mpsc::Sender<Reply>);
+        let (metas, queries): (Vec<JobMeta>, Vec<Query>) = batch
+            .into_iter()
+            .map(|job| ((job.id, job.submitted, job.out), job.query))
+            .unzip();
+        let estimates = estimator.lock().expect("estimator lock").estimate_batch(&queries);
+        debug_assert_eq!(estimates.len(), queries.len());
+        stats.note_batch(queries.len());
+        for ((id, submitted, out), estimate) in metas.into_iter().zip(estimates) {
+            let micros = submitted.elapsed().as_secs_f64() * 1e6;
+            stats.record_latency(micros);
+            // A dead session (client hung up) is not an error for the server.
+            let _ = out.send(Reply::Estimate { id, estimate, micros });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg_store::{NodeTerm, PredTerm, TriplePattern, VarId};
+    use std::sync::mpsc::channel;
+
+    /// A deterministic estimator that records every batch size it sees and
+    /// optionally sleeps per forward (to simulate model latency).
+    struct RecordingEstimator {
+        batches: Arc<Mutex<Vec<usize>>>,
+        delay: Duration,
+    }
+
+    impl CardinalityEstimator for RecordingEstimator {
+        fn name(&self) -> &str {
+            "recording"
+        }
+
+        fn estimate(&mut self, query: &Query) -> f64 {
+            (query.size() * 10 + query.var_count()) as f64
+        }
+
+        fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+            self.batches.lock().unwrap().push(queries.len());
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            queries.iter().map(|q| (q.size() * 10 + q.var_count()) as f64).collect()
+        }
+
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    fn query(size: usize) -> Query {
+        Query::new(
+            (0..size)
+                .map(|i| {
+                    TriplePattern::new(
+                        NodeTerm::Var(VarId(0)),
+                        PredTerm::Bound(lmkg_store::PredId(i as u32)),
+                        NodeTerm::Var(VarId(1 + i as u16)),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn recording(delay: Duration) -> (BoxedEstimator, Arc<Mutex<Vec<usize>>>) {
+        let batches = Arc::new(Mutex::new(Vec::new()));
+        let est = RecordingEstimator {
+            batches: Arc::clone(&batches),
+            delay,
+        };
+        (Box::new(est), batches)
+    }
+
+    #[test]
+    fn flush_on_window_coalesces_small_batches() {
+        let (est, batches) = recording(Duration::ZERO);
+        let batcher = MicroBatcher::start(
+            est,
+            BatchConfig {
+                window: Duration::from_millis(150),
+                max_batch: 100,
+                queue_depth: 16,
+                workers: 1,
+            },
+        );
+        let (tx, rx) = channel();
+        let start = Instant::now();
+        batcher.submit(Job::new("a".into(), query(1), tx.clone())).unwrap();
+        batcher.submit(Job::new("b".into(), query(2), tx.clone())).unwrap();
+        let first = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let second = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let elapsed = start.elapsed();
+        assert!(matches!(first, Reply::Estimate { .. }));
+        assert!(matches!(second, Reply::Estimate { .. }));
+        // Far below max_batch, so only the window can have flushed — and
+        // both near-simultaneous arrivals must land in the same forward.
+        assert!(
+            elapsed >= Duration::from_millis(100),
+            "flushed before the window: {elapsed:?}"
+        );
+        assert_eq!(*batches.lock().unwrap(), vec![2]);
+        assert_eq!(batcher.stats().snapshot().served, 2);
+    }
+
+    #[test]
+    fn flush_on_full_does_not_wait_for_the_window() {
+        // 100 ms per forward, 300 ms window, batches capped at 2. Five jobs
+        // submitted at once must flow as [2, 2, 1]: the full flushes happen
+        // immediately (queue is non-empty), never waiting out the window.
+        let (est, batches) = recording(Duration::from_millis(100));
+        let batcher = MicroBatcher::start(
+            est,
+            BatchConfig {
+                window: Duration::from_millis(300),
+                max_batch: 2,
+                queue_depth: 16,
+                workers: 1,
+            },
+        );
+        let (tx, rx) = channel();
+        let start = Instant::now();
+        for i in 0..5 {
+            batcher.submit(Job::new(format!("q{i}"), query(1), tx.clone())).unwrap();
+        }
+        for _ in 0..5 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert_eq!(*batches.lock().unwrap(), vec![2, 2, 1]);
+        // Flush-on-window for every batch would cost ≥ 3×(300+100) ms; the
+        // two full batches flushing immediately keeps the run well under it.
+        // (The final batch of one still waits out its window.)
+        assert!(
+            elapsed < Duration::from_millis(1000),
+            "full batches waited for the window: {elapsed:?}"
+        );
+        let snapshot = batcher.stats().snapshot();
+        assert_eq!(snapshot.served, 5);
+        assert_eq!(snapshot.batches, 3);
+    }
+
+    #[test]
+    fn overflow_sheds_with_the_job_handed_back() {
+        // One slow worker in per-request mode and a queue of 2: job 1 is in
+        // service, jobs 2–3 fill the queue, job 4 must shed.
+        let (est, _batches) = recording(Duration::from_millis(300));
+        let batcher = MicroBatcher::start(
+            est,
+            BatchConfig {
+                window: Duration::ZERO,
+                max_batch: 1,
+                queue_depth: 2,
+                workers: 1,
+            },
+        );
+        let (tx, rx) = channel();
+        batcher
+            .submit(Job::new("serving".into(), query(1), tx.clone()))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(100)); // worker now inside the forward
+        batcher
+            .submit(Job::new("queued1".into(), query(1), tx.clone()))
+            .unwrap();
+        batcher
+            .submit(Job::new("queued2".into(), query(1), tx.clone()))
+            .unwrap();
+        let shed = batcher
+            .submit(Job::new("shed-me".into(), query(1), tx.clone()))
+            .expect_err("queue of 2 must shed the fourth concurrent job");
+        assert_eq!(shed.id, "shed-me");
+        assert!(batcher.stats().snapshot().shed >= 1);
+        // The admitted jobs all still complete.
+        for _ in 0..3 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(batcher.stats().snapshot().served, 3);
+    }
+
+    #[test]
+    fn batched_replies_match_direct_estimate_batch() {
+        let queries: Vec<Query> = (1..=20).map(|i| query(1 + i % 4)).collect();
+        let (est, _) = recording(Duration::ZERO);
+        let mut direct: BoxedEstimator = est;
+        let expected = direct.estimate_batch(&queries);
+
+        let (est, _) = recording(Duration::ZERO);
+        let batcher = MicroBatcher::start(
+            est,
+            BatchConfig {
+                window: Duration::from_millis(5),
+                max_batch: 8,
+                queue_depth: 64,
+                workers: 2,
+            },
+        );
+        let (tx, rx) = channel();
+        for (i, q) in queries.iter().enumerate() {
+            batcher
+                .submit(Job::new(format!("q{i}"), q.clone(), tx.clone()))
+                .unwrap();
+        }
+        let mut got = vec![f64::NAN; queries.len()];
+        for _ in 0..queries.len() {
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Reply::Estimate { id, estimate, .. } => {
+                    let i: usize = id.strip_prefix('q').unwrap().parse().unwrap();
+                    got[i] = estimate;
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert_eq!(
+            got.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+            expected.iter().map(|e| e.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn shutdown_returns_the_estimator() {
+        let (est, batches) = recording(Duration::ZERO);
+        let batcher = MicroBatcher::start(est, BatchConfig::default().per_request());
+        let (tx, rx) = channel();
+        batcher.submit(Job::new("q".into(), query(2), tx)).unwrap();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let mut est = batcher.shutdown();
+        assert_eq!(est.name(), "recording");
+        // Still usable directly, and the serving pass recorded its batch.
+        // query(2) = 2 triples over 3 distinct variables → 2*10 + 3.
+        assert_eq!(est.estimate(&query(2)), 23.0);
+        assert_eq!(*batches.lock().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn per_request_config_disables_coalescing() {
+        let cfg = BatchConfig::default().per_request();
+        assert_eq!(cfg.max_batch, 1);
+        assert_eq!(cfg.window, Duration::ZERO);
+        assert_eq!(cfg.queue_depth, BatchConfig::default().queue_depth);
+    }
+}

@@ -1,0 +1,318 @@
+//! The `serve` binary: train an LMKG framework once, then serve estimates.
+//!
+//! ```text
+//! serve pipe    [model opts] [serve opts]          stdin/stdout protocol session
+//! serve tcp     [model opts] [serve opts] --addr A TCP listener, one session per connection
+//! serve loadgen [model opts] [serve opts] [--qps N] [--requests N] [--json PATH]
+//!                                                  closed-loop micro-batched vs per-request run
+//! serve sample  [model opts] [--count N]           print request lines for the model's graph
+//! ```
+//!
+//! `sample` and the serving modes share the model options (dataset, scale,
+//! seed), so sampled request lines always resolve against the same
+//! dictionaries the server loads — pipe a `sample` file straight into
+//! `pipe`, which is exactly what the CI smoke test does.
+
+use lmkg::framework::{Grouping, Lmkg, LmkgConfig, ModelType};
+use lmkg::supervised::LmkgSConfig;
+use lmkg::CardinalityEstimator;
+use lmkg_data::workload::{self, WorkloadConfig};
+use lmkg_data::{Dataset, Scale};
+use lmkg_serve::{loadgen, serve_stream, serve_tcp, BatchConfig, EstimationService, LoadgenConfig};
+use lmkg_store::{sparql, KnowledgeGraph, Query, QueryShape};
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+serve — micro-batching LMKG estimation server
+
+USAGE: serve <pipe|tcp|loadgen|sample> [OPTIONS]
+
+Model options (shared by every mode):
+  --dataset lubm|swdf|yago   graph generator              [lubm]
+  --scale ci|default|paper   dataset scale                [ci]
+  --seed N                   generator seed               [42]
+  --sizes A,B,...            covered query sizes          [2,3]
+  --hidden A,B,...           LMKG-S hidden widths         [256,256]
+  --epochs N                 LMKG-S training epochs       [20]
+  --train-queries N          training queries per model   [400]
+
+Serving options (pipe, tcp, loadgen):
+  --window-us N              micro-batch window, microseconds   [2000]
+  --max-batch N              flush size                         [64]
+  --queue-depth N            admission queue bound              [1024]
+  --workers N                batcher worker threads             [2]
+
+Mode options:
+  tcp:      --addr HOST:PORT     listen address    [127.0.0.1:7878]
+  loadgen:  --qps N               offered load; 0 auto-calibrates  [0]
+            --requests N          measured requests per run        [5000]
+            --json PATH           where the comparison lands       [BENCH_serve.json]
+  sample:   --count N             request lines to print           [20]
+
+Protocol: 'EST <id> <sparql>' | 'STATS <id>' | 'QUIT' per line; replies are
+'OK <id> <estimate> us=<micros>' | 'ERR <id> <msg>' | 'OVERLOADED <id> depth=<n>'
+| 'STATS <id> served=... p50us=...'.
+";
+
+struct Options {
+    mode: String,
+    dataset: Dataset,
+    scale: Scale,
+    seed: u64,
+    sizes: Vec<usize>,
+    hidden: Vec<usize>,
+    epochs: usize,
+    train_queries: usize,
+    batch: BatchConfig,
+    addr: String,
+    qps: f64,
+    requests: usize,
+    json: String,
+    count: usize,
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_list(value: &str, flag: &str) -> Vec<usize> {
+    let out: Vec<usize> = value.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+    if out.is_empty() {
+        fail(&format!(
+            "{flag} expects a comma-separated list of integers, got {value:?}"
+        ));
+    }
+    out
+}
+
+fn parse_options() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mode = match args.next() {
+        Some(m) if ["pipe", "tcp", "loadgen", "sample"].contains(&m.as_str()) => m,
+        Some(m) if ["help", "--help", "-h"].contains(&m.as_str()) => {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        Some(m) => fail(&format!("unknown mode {m:?}")),
+        None => fail("a mode is required"),
+    };
+    let mut opts = Options {
+        mode,
+        dataset: Dataset::LubmLike,
+        scale: Scale::Ci,
+        seed: 42,
+        sizes: vec![2, 3],
+        hidden: vec![256, 256],
+        epochs: 20,
+        train_queries: 400,
+        batch: BatchConfig::default(),
+        addr: "127.0.0.1:7878".into(),
+        qps: 0.0,
+        requests: 5000,
+        json: "BENCH_serve.json".into(),
+        count: 20,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| fail(&format!("{flag} expects a value")));
+        match flag.as_str() {
+            "--dataset" => {
+                opts.dataset = match value("--dataset").as_str() {
+                    "lubm" => Dataset::LubmLike,
+                    "swdf" => Dataset::SwdfLike,
+                    "yago" => Dataset::YagoLike,
+                    other => fail(&format!("unknown dataset {other:?}")),
+                }
+            }
+            "--scale" => {
+                opts.scale = match value("--scale").as_str() {
+                    "ci" => Scale::Ci,
+                    "default" => Scale::Default,
+                    "paper" => Scale::Paper,
+                    other => fail(&format!("unknown scale {other:?}")),
+                }
+            }
+            "--seed" => {
+                opts.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed expects an integer"))
+            }
+            "--sizes" => opts.sizes = parse_list(&value("--sizes"), "--sizes"),
+            "--hidden" => opts.hidden = parse_list(&value("--hidden"), "--hidden"),
+            "--epochs" => {
+                opts.epochs = value("--epochs")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--epochs expects an integer"))
+            }
+            "--train-queries" => {
+                opts.train_queries = value("--train-queries")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--train-queries expects an integer"))
+            }
+            "--window-us" => {
+                opts.batch.window = Duration::from_micros(
+                    value("--window-us")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--window-us expects an integer")),
+                )
+            }
+            "--max-batch" => {
+                opts.batch.max_batch = value("--max-batch")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-batch expects an integer"))
+            }
+            "--queue-depth" => {
+                opts.batch.queue_depth = value("--queue-depth")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--queue-depth expects an integer"))
+            }
+            "--workers" => {
+                opts.batch.workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--workers expects an integer"))
+            }
+            "--addr" => opts.addr = value("--addr"),
+            "--qps" => {
+                opts.qps = value("--qps")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--qps expects a number"))
+            }
+            "--requests" => {
+                opts.requests = value("--requests")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--requests expects an integer"))
+            }
+            "--json" => opts.json = value("--json"),
+            "--count" => {
+                opts.count = value("--count")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--count expects an integer"))
+            }
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+    opts
+}
+
+/// A star/chain workload across the configured sizes, cycling cells so the
+/// mix exercises direct routing and decomposition alike.
+fn sample_workload(graph: &KnowledgeGraph, opts: &Options, count: usize) -> Vec<Query> {
+    let cells: Vec<(QueryShape, usize)> = [QueryShape::Star, QueryShape::Chain]
+        .into_iter()
+        .flat_map(|shape| opts.sizes.iter().map(move |&k| (shape, k)))
+        .collect();
+    let per_cell = count.div_ceil(cells.len()).max(1);
+    let mut by_cell: Vec<Vec<Query>> = cells
+        .iter()
+        .map(|&(shape, size)| {
+            let mut wl = WorkloadConfig::test_default(shape, size, opts.seed ^ 0x5e);
+            wl.count = per_cell;
+            workload::generate(graph, &wl).into_iter().map(|lq| lq.query).collect()
+        })
+        .collect();
+    // Interleave cells: star-2, chain-2, star-3, chain-3, star-2, …
+    let mut out = Vec::with_capacity(count);
+    let n_cells = by_cell.len();
+    let mut i = 0;
+    while out.len() < count && by_cell.iter().any(|c| !c.is_empty()) {
+        if let Some(q) = by_cell[i % n_cells].pop() {
+            out.push(q);
+        }
+        i += 1;
+    }
+    if out.is_empty() {
+        fail("workload generation produced no queries (dataset too small for the requested sizes?)");
+    }
+    out
+}
+
+fn build_estimator(graph: &KnowledgeGraph, opts: &Options) -> Box<dyn CardinalityEstimator + Send> {
+    let cfg = LmkgConfig {
+        model_type: ModelType::Supervised,
+        grouping: Grouping::BySize,
+        shapes: vec![QueryShape::Star, QueryShape::Chain],
+        sizes: opts.sizes.clone(),
+        queries_per_size: opts.train_queries,
+        s_config: LmkgSConfig {
+            hidden: opts.hidden.clone(),
+            epochs: opts.epochs,
+            ..Default::default()
+        },
+        u_config: Default::default(),
+        workload_seed: opts.seed,
+    };
+    eprintln!(
+        "serve: building LMKG-S (sizes {:?}, hidden {:?}, {} epochs, {} train queries/model) …",
+        opts.sizes, opts.hidden, opts.epochs, opts.train_queries
+    );
+    Box::new(Lmkg::build(graph, &cfg))
+}
+
+fn main() {
+    let opts = parse_options();
+    eprintln!(
+        "serve: generating {:?} graph at {:?} scale (seed {}) …",
+        opts.dataset, opts.scale, opts.seed
+    );
+    let graph = Arc::new(opts.dataset.generate(opts.scale, opts.seed));
+
+    match opts.mode.as_str() {
+        "sample" => {
+            let queries = sample_workload(&graph, &opts, opts.count);
+            for (i, q) in queries.iter().enumerate() {
+                println!("EST q{i} {}", sparql::format_query(q, &graph));
+            }
+            println!("STATS s0");
+        }
+        "pipe" => {
+            let svc = EstimationService::new(Arc::clone(&graph), build_estimator(&graph, &opts), opts.batch.clone());
+            eprintln!(
+                "serve: pipe mode ready (window {:?}, max_batch {}, queue {}, workers {})",
+                opts.batch.window, opts.batch.max_batch, opts.batch.queue_depth, opts.batch.workers
+            );
+            let stdin = std::io::stdin();
+            serve_stream(&svc, stdin.lock(), std::io::stdout());
+            eprintln!("serve: shutdown stats: {}", svc.stats());
+        }
+        "tcp" => {
+            let listener = std::net::TcpListener::bind(&opts.addr)
+                .unwrap_or_else(|e| fail(&format!("cannot bind {}: {e}", opts.addr)));
+            let svc = Arc::new(EstimationService::new(
+                Arc::clone(&graph),
+                build_estimator(&graph, &opts),
+                opts.batch.clone(),
+            ));
+            eprintln!("serve: listening on {}", opts.addr);
+            if let Err(e) = serve_tcp(&svc, listener, None) {
+                eprintln!("serve: accept loop failed: {e}");
+            }
+        }
+        "loadgen" => {
+            let estimator = build_estimator(&graph, &opts);
+            let queries = sample_workload(&graph, &opts, 512);
+            let cfg = LoadgenConfig {
+                qps: opts.qps,
+                requests: opts.requests,
+                warmup: 300,
+                batch: opts.batch.clone(),
+            };
+            eprintln!(
+                "serve: load generator — {} requests per run over {} distinct queries …",
+                cfg.requests,
+                queries.len()
+            );
+            let (report, _estimator) = loadgen::compare(&graph, estimator, &queries, &cfg);
+            println!("{}", report.per_request);
+            println!("{}", report.micro_batched);
+            println!(
+                "throughput gain (micro-batched / per-request): {:.2}x at {:.0} offered qps",
+                report.throughput_gain, report.offered_qps
+            );
+            std::fs::write(&opts.json, report.to_json())
+                .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", opts.json)));
+            eprintln!("serve: wrote {}", opts.json);
+        }
+        _ => unreachable!("mode validated in parse_options"),
+    }
+}

@@ -1,0 +1,146 @@
+//! Streaming latency percentiles: a fixed-capacity sliding window of the
+//! most recent per-request latencies, summarized as p50/p95/p99 on demand.
+//!
+//! The window is the standard serving-telemetry compromise: exact
+//! percentiles over the last *N* requests (not an approximation sketch, and
+//! not an ever-growing history that forgets nothing and answers about the
+//! distant past). Summarizing sorts a copy of the window — O(N log N) on a
+//! few thousand floats — which only happens when someone asks (`STATS`
+//! request, shutdown report), never on the request path.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Nearest-rank percentile of an ascending-sorted slice. `p` is in percent
+/// (e.g. `99.0`). Returns 0.0 for an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A bounded window of the most recent latency samples (microseconds).
+#[derive(Debug)]
+pub struct SlidingWindow {
+    cap: usize,
+    buf: VecDeque<f64>,
+}
+
+impl SlidingWindow {
+    /// Creates a window retaining the last `cap` samples.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "window capacity must be positive");
+        Self {
+            cap,
+            buf: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Records one sample, evicting the oldest when full.
+    pub fn record(&mut self, micros: f64) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(micros);
+    }
+
+    /// Number of samples currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// (p50, p95, p99) over the current window, in microseconds.
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        let mut sorted: Vec<f64> = self.buf.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        (
+            percentile(&sorted, 50.0),
+            percentile(&sorted, 95.0),
+            percentile(&sorted, 99.0),
+        )
+    }
+}
+
+/// A point-in-time summary of a serving run: request counters plus the
+/// latency percentiles of the sliding window. This is what a `STATS` request
+/// returns and what the server prints at shutdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests answered with an estimate.
+    pub served: u64,
+    /// Requests shed by admission control (queue full).
+    pub shed: u64,
+    /// Batched forwards executed (`served / batches` = mean batch size).
+    pub batches: u64,
+    /// Median latency over the window, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency over the window, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency over the window, microseconds.
+    pub p99_us: f64,
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "served={} shed={} batches={} p50us={} p95us={} p99us={}",
+            self.served, self.shed, self.batches, self.p50_us, self.p95_us, self.p99_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut w = SlidingWindow::new(3);
+        assert!(w.is_empty());
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            w.record(x);
+        }
+        // 1.0 evicted: window = [2, 3, 4].
+        assert_eq!(w.len(), 3);
+        let (p50, p95, p99) = w.percentiles();
+        assert_eq!(p50, 3.0);
+        assert_eq!(p95, 4.0);
+        assert_eq!(p99, 4.0);
+    }
+
+    #[test]
+    fn snapshot_displays_all_fields() {
+        let s = StatsSnapshot {
+            served: 10,
+            shed: 2,
+            batches: 3,
+            p50_us: 1.5,
+            p95_us: 2.5,
+            p99_us: 3.5,
+        };
+        assert_eq!(
+            s.to_string(),
+            "served=10 shed=2 batches=3 p50us=1.5 p95us=2.5 p99us=3.5"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! # lmkg-serve
+//!
+//! A long-lived estimation server on top of the batched inference contract
+//! (`CardinalityEstimator::estimate_batch`, PR 1): the paper's
+//! sub-millisecond learned estimates, exercised the way practical
+//! deployments of learned estimators are evaluated — as an online service
+//! under load, with latency percentiles, not as an offline loop.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`protocol`] — the line-based wire protocol: `EST <id> <sparql>`
+//!   requests in, `OK/ERR/OVERLOADED/STATS` replies out. Requests and
+//!   replies round-trip through parse/format.
+//! * [`latency`] — a streaming latency reporter: p50/p95/p99 over a sliding
+//!   window, printable on demand (`STATS`) and at shutdown.
+//! * [`batcher`] — the micro-batcher: a bounded admission queue
+//!   (shed-on-overflow with a structured `OVERLOADED` reply) feeding worker
+//!   threads that coalesce arrivals within a configurable window / max batch
+//!   size into **single** `estimate_batch` forwards.
+//! * [`server`] — transports: a stdin/stdout pipe mode and a TCP listener
+//!   mode, both speaking the same protocol through the same service object.
+//! * [`loadgen`] — a self-driving load generator that replays an `lmkg-data`
+//!   workload at a target QPS through the full protocol path and writes a
+//!   micro-batched vs per-request comparison (`BENCH_serve.json`).
+//!
+//! ```
+//! use lmkg::GraphSummary;
+//! use lmkg_serve::{BatchConfig, EstimationService};
+//! use lmkg_store::GraphBuilder;
+//! use std::sync::{mpsc, Arc};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add(":a", ":p", ":b");
+//! let graph = Arc::new(b.build());
+//! let summary = GraphSummary::build(&graph);
+//! let svc = EstimationService::new(graph, Box::new(summary), BatchConfig::default());
+//! let (tx, rx) = mpsc::channel();
+//! svc.handle_line("EST q1 SELECT * WHERE { ?x :p ?y . }", &tx);
+//! let reply = rx.recv().unwrap();
+//! assert!(reply.to_string().starts_with("OK q1 "));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod latency;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::{BatchConfig, Job, MicroBatcher, ServeStats};
+pub use latency::{percentile, SlidingWindow, StatsSnapshot};
+pub use loadgen::{ComparisonReport, LoadgenConfig, RunReport};
+pub use protocol::{ProtocolError, Reply, Request};
+pub use server::{serve_stream, serve_tcp, EstimationService, LineOutcome};

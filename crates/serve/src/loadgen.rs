@@ -1,0 +1,367 @@
+//! The self-driving load generator: replays an `lmkg-data` workload through
+//! the **full** serving path (request-line formatting → protocol parse →
+//! admission → micro-batch → reply parse) at a target QPS, and produces the
+//! closed-loop comparison the serving layer exists for — micro-batched vs
+//! per-request serving of the same workload at the same offered load, with
+//! throughput and p50/p95/p99 latency for each.
+//!
+//! The offered QPS can be fixed (`qps > 0`) or auto-calibrated: the
+//! calibrator measures the estimator's direct per-query latency and offers
+//! twice that service rate, so both serving modes run saturated and the
+//! achieved throughput *is* each mode's service rate.
+
+use crate::batcher::BatchConfig;
+use crate::latency::percentile;
+use crate::protocol::{Reply, Request};
+use crate::server::EstimationService;
+use lmkg::CardinalityEstimator;
+use lmkg_store::{sparql, KnowledgeGraph, Query};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Offered load in requests/second; `0.0` auto-calibrates to twice the
+    /// estimator's direct per-query service rate.
+    pub qps: f64,
+    /// Requests per measured run.
+    pub requests: usize,
+    /// Unmeasured requests replayed before each run to warm caches.
+    pub warmup: usize,
+    /// The micro-batched serving configuration; the per-request baseline is
+    /// derived from it via [`BatchConfig::per_request`].
+    pub batch: BatchConfig,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            qps: 0.0,
+            requests: 5000,
+            warmup: 300,
+            batch: BatchConfig::default(),
+        }
+    }
+}
+
+/// Measurements of one serving run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// `"per_request"` or `"micro_batched"`.
+    pub mode: String,
+    /// Offered load, requests/second.
+    pub offered_qps: f64,
+    /// Requests sent.
+    pub sent: usize,
+    /// Requests answered with an estimate.
+    pub ok: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Requests answered with an error.
+    pub errors: usize,
+    /// Wall-clock from first submit until the last reply, seconds.
+    pub elapsed_s: f64,
+    /// Completed estimates per second (`ok / elapsed_s`).
+    pub achieved_qps: f64,
+    /// Median submit→reply latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+}
+
+impl RunReport {
+    fn json_object(&self) -> String {
+        format!(
+            "{{ \"mode\": \"{}\", \"sent\": {}, \"ok\": {}, \"shed\": {}, \"errors\": {}, \
+             \"elapsed_s\": {:.4}, \"achieved_qps\": {:.1}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1} }}",
+            self.mode,
+            self.sent,
+            self.ok,
+            self.shed,
+            self.errors,
+            self.elapsed_s,
+            self.achieved_qps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us
+        )
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<14} offered {:>8.0} qps | achieved {:>8.0} qps | ok {:>5} shed {:>5} err {:>3} | \
+             p50 {:>8.1}us p95 {:>8.1}us p99 {:>8.1}us",
+            self.mode,
+            self.offered_qps,
+            self.achieved_qps,
+            self.ok,
+            self.shed,
+            self.errors,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us
+        )
+    }
+}
+
+/// The two-run comparison plus the knobs that produced it.
+#[derive(Debug, Clone)]
+pub struct ComparisonReport {
+    /// Distinct queries in the replayed workload.
+    pub queries: usize,
+    /// Offered load both runs saw, requests/second.
+    pub offered_qps: f64,
+    /// Micro-batch window, microseconds.
+    pub batch_window_us: u64,
+    /// Micro-batch flush size.
+    pub max_batch: usize,
+    /// Admission-queue depth.
+    pub queue_depth: usize,
+    /// Batcher worker threads.
+    pub workers: usize,
+    /// Cores visible to the process.
+    pub available_parallelism: usize,
+    /// The per-request baseline run.
+    pub per_request: RunReport,
+    /// The micro-batched run.
+    pub micro_batched: RunReport,
+    /// `micro_batched.achieved_qps / per_request.achieved_qps`.
+    pub throughput_gain: f64,
+}
+
+impl ComparisonReport {
+    /// Machine-readable form, written to `BENCH_serve.json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"lmkg-serve micro-batched vs per-request serving\",\n  \
+             \"queries\": {},\n  \"offered_qps\": {:.1},\n  \"batch_window_us\": {},\n  \
+             \"max_batch\": {},\n  \"queue_depth\": {},\n  \"workers\": {},\n  \
+             \"available_parallelism\": {},\n  \"per_request\": {},\n  \
+             \"micro_batched\": {},\n  \"throughput_gain\": {:.3}\n}}\n",
+            self.queries,
+            self.offered_qps,
+            self.batch_window_us,
+            self.max_batch,
+            self.queue_depth,
+            self.workers,
+            self.available_parallelism,
+            self.per_request.json_object(),
+            self.micro_batched.json_object(),
+            self.throughput_gain
+        )
+    }
+}
+
+/// Replays pre-formatted request lines against a service at `qps`,
+/// collecting replies until every admitted request is answered.
+pub fn replay(svc: &EstimationService, lines: &[String], qps: f64, mode: &str) -> RunReport {
+    assert!(qps > 0.0, "offered QPS must be positive");
+    let (tx, rx) = mpsc::channel::<Reply>();
+    let collector = std::thread::Builder::new()
+        .name("lmkg-loadgen-collector".into())
+        .spawn(move || {
+            let (mut ok, mut shed, mut errors) = (0usize, 0usize, 0usize);
+            let mut latencies: Vec<f64> = Vec::new();
+            for reply in rx {
+                match reply {
+                    Reply::Estimate { micros, .. } => {
+                        ok += 1;
+                        latencies.push(micros);
+                    }
+                    Reply::Overloaded { .. } => shed += 1,
+                    Reply::Error { .. } => errors += 1,
+                    Reply::Stats { .. } => {}
+                }
+            }
+            (ok, shed, errors, latencies)
+        })
+        .expect("spawn collector thread");
+
+    let start = Instant::now();
+    for (i, line) in lines.iter().enumerate() {
+        let due = start + Duration::from_secs_f64(i as f64 / qps);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        svc.handle_line(line, &tx);
+    }
+    drop(tx); // collector drains the in-flight tail, then exits
+    let (ok, shed, errors, mut latencies) = collector.join().expect("collector thread panicked");
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_by(f64::total_cmp);
+    RunReport {
+        mode: mode.to_string(),
+        offered_qps: qps,
+        sent: lines.len(),
+        ok,
+        shed,
+        errors,
+        elapsed_s,
+        achieved_qps: ok as f64 / elapsed_s,
+        p50_us: percentile(&latencies, 50.0),
+        p95_us: percentile(&latencies, 95.0),
+        p99_us: percentile(&latencies, 99.0),
+    }
+}
+
+/// Formats queries as `EST` request lines (ids `q0`, `q1`, …), cycling the
+/// slice until `count` lines exist.
+pub fn request_lines(queries: &[Query], graph: &KnowledgeGraph, count: usize) -> Vec<String> {
+    assert!(!queries.is_empty(), "need at least one query to replay");
+    (0..count)
+        .map(|i| {
+            Request::Estimate {
+                id: format!("q{i}"),
+                sparql: sparql::format_query(&queries[i % queries.len()], graph),
+            }
+            .to_string()
+        })
+        .collect()
+}
+
+/// Measures the estimator's direct (no serving layer) per-query latency.
+fn calibrate(estimator: &mut dyn CardinalityEstimator, queries: &[Query]) -> f64 {
+    let sample: Vec<Query> = queries.iter().take(200).cloned().collect();
+    // One warm pass, then the measured pass.
+    for q in &sample {
+        std::hint::black_box(estimator.estimate(q));
+    }
+    let start = Instant::now();
+    for q in &sample {
+        std::hint::black_box(estimator.estimate(q));
+    }
+    start.elapsed().as_secs_f64() / sample.len() as f64
+}
+
+/// Runs the full comparison: the same workload, the same offered QPS, served
+/// per-request and then micro-batched by the same estimator. Returns the
+/// report and hands the estimator back.
+pub fn compare(
+    graph: &Arc<KnowledgeGraph>,
+    mut estimator: Box<dyn CardinalityEstimator + Send>,
+    queries: &[Query],
+    cfg: &LoadgenConfig,
+) -> (ComparisonReport, Box<dyn CardinalityEstimator + Send>) {
+    let offered_qps = if cfg.qps > 0.0 {
+        cfg.qps
+    } else {
+        // Saturate both modes: offer twice the direct service rate.
+        2.0 / calibrate(estimator.as_mut(), queries).max(1e-9)
+    };
+    let lines = request_lines(queries, graph, cfg.requests);
+    let warmup_lines = request_lines(queries, graph, cfg.warmup.max(1));
+
+    let run = |estimator: Box<dyn CardinalityEstimator + Send>,
+               batch: BatchConfig,
+               mode: &str|
+     -> (RunReport, Box<dyn CardinalityEstimator + Send>) {
+        let svc = EstimationService::new(Arc::clone(graph), estimator, batch);
+        let _ = replay(&svc, &warmup_lines, offered_qps, "warmup");
+        let report = replay(&svc, &lines, offered_qps, mode);
+        (report, svc.into_estimator())
+    };
+
+    let (per_request, estimator) = run(estimator, cfg.batch.clone().per_request(), "per_request");
+    let (micro_batched, estimator) = run(estimator, cfg.batch.clone(), "micro_batched");
+
+    let report = ComparisonReport {
+        queries: queries.len(),
+        offered_qps,
+        batch_window_us: cfg.batch.window.as_micros() as u64,
+        max_batch: cfg.batch.max_batch,
+        queue_depth: cfg.batch.queue_depth,
+        workers: cfg.batch.workers,
+        available_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        throughput_gain: micro_batched.achieved_qps / per_request.achieved_qps.max(1e-9),
+        per_request,
+        micro_batched,
+    };
+    (report, estimator)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg::GraphSummary;
+    use lmkg_store::GraphBuilder;
+
+    fn graph() -> Arc<KnowledgeGraph> {
+        let mut b = GraphBuilder::new();
+        for i in 0..20 {
+            b.add(&format!(":s{i}"), ":p", &format!(":o{}", i % 5));
+            b.add(&format!(":s{i}"), ":q", ":hub");
+        }
+        Arc::new(b.build())
+    }
+
+    fn star_queries(graph: &KnowledgeGraph) -> Vec<Query> {
+        [
+            "SELECT * WHERE { ?x :p ?y . }",
+            "SELECT * WHERE { ?x :p ?y ; :q :hub . }",
+        ]
+        .iter()
+        .map(|text| sparql::parse(text, graph).unwrap().query)
+        .collect()
+    }
+
+    #[test]
+    fn replay_answers_every_request() {
+        let graph = graph();
+        let queries = star_queries(&graph);
+        let svc = EstimationService::new(
+            Arc::clone(&graph),
+            Box::new(GraphSummary::build(&graph)),
+            BatchConfig::default(),
+        );
+        let lines = request_lines(&queries, &graph, 200);
+        let report = replay(&svc, &lines, 50_000.0, "micro_batched");
+        assert_eq!(report.sent, 200);
+        assert_eq!(report.ok + report.shed + report.errors, 200);
+        assert_eq!(report.errors, 0);
+        assert!(report.ok > 0);
+        assert!(report.achieved_qps > 0.0);
+        assert!(report.p50_us > 0.0 && report.p50_us <= report.p95_us && report.p95_us <= report.p99_us);
+    }
+
+    #[test]
+    fn compare_runs_both_modes_over_one_estimator() {
+        let graph = graph();
+        let queries = star_queries(&graph);
+        let cfg = LoadgenConfig {
+            qps: 20_000.0,
+            requests: 300,
+            warmup: 50,
+            batch: BatchConfig {
+                window: Duration::from_micros(500),
+                max_batch: 16,
+                queue_depth: 256,
+                workers: 2,
+            },
+        };
+        let (report, estimator) = compare(&graph, Box::new(GraphSummary::build(&graph)), &queries, &cfg);
+        assert_eq!(report.per_request.mode, "per_request");
+        assert_eq!(report.micro_batched.mode, "micro_batched");
+        assert_eq!(report.per_request.sent, 300);
+        assert_eq!(report.micro_batched.sent, 300);
+        assert!(report.throughput_gain > 0.0);
+        assert_eq!(estimator.name(), "summary");
+        // JSON is well-formed enough for jq-style tooling: key fields present.
+        let json = report.to_json();
+        for needle in [
+            "\"per_request\"",
+            "\"micro_batched\"",
+            "\"throughput_gain\"",
+            "\"offered_qps\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! The line-based wire protocol both transports (pipe and TCP) speak.
+//!
+//! One request per line, one reply per line; requests carry a client-chosen
+//! id token so replies can be matched even though the micro-batcher may
+//! reorder completions. The grammar (whitespace-separated tokens, `<sparql>`
+//! and `<message>` run to end of line):
+//!
+//! ```text
+//! request  := "EST" <id> <sparql>      estimate one SPARQL BGP
+//!           | "STATS" <id>             ask for the serving statistics
+//!           | "QUIT"                   close the session
+//! reply    := "OK" <id> <estimate> us=<micros>
+//!           | "ERR" <id> <message>
+//!           | "OVERLOADED" <id> depth=<queue-depth>
+//!           | "STATS" <id> served=<n> shed=<n> batches=<n>
+//!                          p50us=<f> p95us=<f> p99us=<f>
+//! ```
+//!
+//! `<id>` is any non-empty token without whitespace. Floats are rendered
+//! with Rust's shortest-round-trip formatting, so parsing an `OK` reply
+//! recovers the estimate **bitwise** — the serving parity suite relies on
+//! this. Blank lines and `#` comments are skipped by the server before
+//! parsing, so a workload file can be annotated.
+
+use crate::latency::StatsSnapshot;
+use std::fmt;
+
+/// A malformed request or reply line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Description of the failure, sent back verbatim in an `ERR` reply.
+    pub message: String,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ProtocolError> {
+    Err(ProtocolError {
+        message: message.into(),
+    })
+}
+
+/// Splits the next whitespace-delimited token off `input`, returning it and
+/// the rest with leading whitespace removed. Runs of whitespace are one
+/// separator, so tab-aligned or double-spaced lines parse like single-spaced
+/// ones.
+fn next_token(input: &str) -> (&str, &str) {
+    let input = input.trim_start();
+    match input.find(char::is_whitespace) {
+        Some(end) => (&input[..end], input[end..].trim_start()),
+        None => (input, ""),
+    }
+}
+
+fn parse_id(token: &str, what: &str) -> Result<String, ProtocolError> {
+    if token.is_empty() {
+        err(format!("{what} requires an id token"))
+    } else {
+        Ok(token.to_string())
+    }
+}
+
+/// A client→server request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `EST <id> <sparql>` — estimate the cardinality of a SPARQL BGP.
+    Estimate {
+        /// Client-chosen reply-matching token.
+        id: String,
+        /// The query text, `SELECT … WHERE { … }`.
+        sparql: String,
+    },
+    /// `STATS <id>` — report serving counters and latency percentiles.
+    Stats {
+        /// Client-chosen reply-matching token.
+        id: String,
+    },
+    /// `QUIT` — end the session.
+    Quit,
+}
+
+impl Request {
+    /// Parses one request line (already trimmed, non-empty).
+    pub fn parse(line: &str) -> Result<Request, ProtocolError> {
+        let (verb, rest) = next_token(line);
+        match verb {
+            "EST" => {
+                let (id, sparql) = next_token(rest);
+                let id = parse_id(id, "EST")?;
+                let sparql = sparql.trim_end();
+                if sparql.is_empty() {
+                    return err("EST requires a SPARQL query after the id");
+                }
+                Ok(Request::Estimate {
+                    id,
+                    sparql: sparql.to_string(),
+                })
+            }
+            "STATS" => {
+                let (id, extra) = next_token(rest);
+                let id = parse_id(id, "STATS")?;
+                if extra.trim_end().is_empty() {
+                    Ok(Request::Stats { id })
+                } else {
+                    err(format!("unexpected tokens after STATS id: {extra:?}"))
+                }
+            }
+            "QUIT" => {
+                if rest.trim_end().is_empty() {
+                    Ok(Request::Quit)
+                } else {
+                    err(format!("unexpected tokens after QUIT: {rest:?}"))
+                }
+            }
+            other => err(format!("unknown request verb {other:?} (expected EST, STATS, or QUIT)")),
+        }
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Estimate { id, sparql } => write!(f, "EST {id} {sparql}"),
+            Request::Stats { id } => write!(f, "STATS {id}"),
+            Request::Quit => write!(f, "QUIT"),
+        }
+    }
+}
+
+/// A server→client reply line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `OK <id> <estimate> us=<micros>` — the estimate plus the request's
+    /// measured in-server latency.
+    Estimate {
+        /// Echo of the request id.
+        id: String,
+        /// The cardinality estimate.
+        estimate: f64,
+        /// Submit→reply latency in microseconds.
+        micros: f64,
+    },
+    /// `ERR <id> <message>` — malformed line, parse failure, or internal
+    /// error; `id` is `-` when the line was too malformed to carry one.
+    Error {
+        /// Echo of the request id, or `-`.
+        id: String,
+        /// Human-readable description.
+        message: String,
+    },
+    /// `OVERLOADED <id> depth=<n>` — admission control shed the request
+    /// because the bounded queue (depth `n`) was full.
+    Overloaded {
+        /// Echo of the request id.
+        id: String,
+        /// The configured queue depth that was exhausted.
+        depth: usize,
+    },
+    /// `STATS <id> …` — serving counters and latency percentiles.
+    Stats {
+        /// Echo of the request id.
+        id: String,
+        /// The snapshot.
+        snapshot: StatsSnapshot,
+    },
+}
+
+impl Reply {
+    /// Parses one reply line (the client side of the protocol; the load
+    /// generator and tests use this to close the loop).
+    pub fn parse(line: &str) -> Result<Reply, ProtocolError> {
+        let (verb, after_verb) = next_token(line);
+        let (id_token, rest) = next_token(after_verb);
+        match verb {
+            "OK" => {
+                let id = parse_id(id_token, "OK")?;
+                let mut fields = rest.split_whitespace();
+                let estimate: f64 = fields
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ProtocolError {
+                        message: "OK requires a numeric estimate".into(),
+                    })?;
+                let micros: f64 = fields
+                    .next()
+                    .and_then(|t| t.strip_prefix("us="))
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ProtocolError {
+                        message: "OK requires a us=<micros> field".into(),
+                    })?;
+                Ok(Reply::Estimate { id, estimate, micros })
+            }
+            "ERR" => {
+                let id = parse_id(id_token, "ERR")?;
+                let message = rest.trim_end().to_string();
+                if message.is_empty() {
+                    return err("ERR requires a message");
+                }
+                Ok(Reply::Error { id, message })
+            }
+            "OVERLOADED" => {
+                let id = parse_id(id_token, "OVERLOADED")?;
+                let depth = rest
+                    .trim_end()
+                    .strip_prefix("depth=")
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ProtocolError {
+                        message: "OVERLOADED requires a depth=<n> field".into(),
+                    })?;
+                Ok(Reply::Overloaded { id, depth })
+            }
+            "STATS" => {
+                let id = parse_id(id_token, "STATS")?;
+                let mut served = None;
+                let mut shed = None;
+                let mut batches = None;
+                let mut p50 = None;
+                let mut p95 = None;
+                let mut p99 = None;
+                for field in rest.split_whitespace() {
+                    let Some((key, value)) = field.split_once('=') else {
+                        return err(format!("malformed STATS field {field:?}"));
+                    };
+                    match key {
+                        "served" => served = value.parse().ok(),
+                        "shed" => shed = value.parse().ok(),
+                        "batches" => batches = value.parse().ok(),
+                        "p50us" => p50 = value.parse().ok(),
+                        "p95us" => p95 = value.parse().ok(),
+                        "p99us" => p99 = value.parse().ok(),
+                        other => return err(format!("unknown STATS field {other:?}")),
+                    }
+                }
+                match (served, shed, batches, p50, p95, p99) {
+                    (Some(served), Some(shed), Some(batches), Some(p50_us), Some(p95_us), Some(p99_us)) => {
+                        Ok(Reply::Stats {
+                            id,
+                            snapshot: StatsSnapshot {
+                                served,
+                                shed,
+                                batches,
+                                p50_us,
+                                p95_us,
+                                p99_us,
+                            },
+                        })
+                    }
+                    _ => err("STATS reply is missing fields"),
+                }
+            }
+            other => err(format!("unknown reply verb {other:?}")),
+        }
+    }
+}
+
+impl fmt::Display for Reply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reply::Estimate { id, estimate, micros } => write!(f, "OK {id} {estimate} us={micros}"),
+            Reply::Error { id, message } => write!(f, "ERR {id} {message}"),
+            Reply::Overloaded { id, depth } => write!(f, "OVERLOADED {id} depth={depth}"),
+            Reply::Stats { id, snapshot } => write!(f, "STATS {id} {snapshot}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let cases = [
+            Request::Estimate {
+                id: "q17".into(),
+                sparql: "SELECT * WHERE { ?x :p ?y . ?y :q ?z . }".into(),
+            },
+            Request::Stats { id: "s1".into() },
+            Request::Quit,
+        ];
+        for req in cases {
+            let line = req.to_string();
+            assert_eq!(Request::parse(&line).unwrap(), req, "round trip of {line:?}");
+        }
+    }
+
+    #[test]
+    fn reply_round_trips_estimates_bitwise() {
+        for estimate in [1.0, 1e-300, 123456.789, 0.1 + 0.2, f64::MAX, 7.0 / 3.0] {
+            let reply = Reply::Estimate {
+                id: "a".into(),
+                estimate,
+                micros: 41.75,
+            };
+            let parsed = Reply::parse(&reply.to_string()).unwrap();
+            let Reply::Estimate {
+                estimate: back, micros, ..
+            } = parsed
+            else {
+                panic!("wrong variant");
+            };
+            assert_eq!(
+                back.to_bits(),
+                estimate.to_bits(),
+                "estimate must survive the wire bitwise"
+            );
+            assert_eq!(micros, 41.75);
+        }
+    }
+
+    #[test]
+    fn reply_round_trips_all_variants() {
+        let cases = [
+            Reply::Error {
+                id: "q1".into(),
+                message: "unknown node term \":Nobody\" (not in the graph's dictionary)".into(),
+            },
+            Reply::Overloaded {
+                id: "q2".into(),
+                depth: 1024,
+            },
+            Reply::Stats {
+                id: "s".into(),
+                snapshot: StatsSnapshot {
+                    served: 12,
+                    shed: 3,
+                    batches: 4,
+                    p50_us: 10.5,
+                    p95_us: 99.25,
+                    p99_us: 150.0,
+                },
+            },
+        ];
+        for reply in cases {
+            let line = reply.to_string();
+            assert_eq!(Reply::parse(&line).unwrap(), reply, "round trip of {line:?}");
+        }
+    }
+
+    #[test]
+    fn repeated_whitespace_is_one_separator() {
+        // Tab-aligned or double-spaced lines are well-formed per the grammar.
+        let req = Request::parse("EST \t q1   SELECT * WHERE { ?x :p ?y . }").unwrap();
+        assert_eq!(
+            req,
+            Request::Estimate {
+                id: "q1".into(),
+                sparql: "SELECT * WHERE { ?x :p ?y . }".into(),
+            }
+        );
+        assert_eq!(
+            Request::parse("STATS   s1").unwrap(),
+            Request::Stats { id: "s1".into() }
+        );
+        let reply = Reply::parse("OK  q1   2.5 us=7").unwrap();
+        assert_eq!(
+            reply,
+            Reply::Estimate {
+                id: "q1".into(),
+                estimate: 2.5,
+                micros: 7.0,
+            }
+        );
+        assert_eq!(
+            Reply::parse("OVERLOADED  q2  depth=8").unwrap(),
+            Reply::Overloaded {
+                id: "q2".into(),
+                depth: 8
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for (line, needle) in [
+            ("FOO q1 whatever", "unknown request verb"),
+            ("EST", "requires an id"),
+            ("EST q1", "requires a SPARQL query"),
+            ("EST q1    ", "requires a SPARQL query"),
+            ("STATS", "requires an id"),
+            ("STATS s1 extra", "unexpected tokens"),
+            ("QUIT now", "unexpected tokens"),
+        ] {
+            let e = Request::parse(line).unwrap_err();
+            assert!(
+                e.message.contains(needle),
+                "{line:?} should fail mentioning {needle:?}, got {:?}",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_replies_are_rejected() {
+        for line in [
+            "OK q1",
+            "OK q1 notanumber us=3",
+            "OK q1 3.5",
+            "OK q1 3.5 us=abc",
+            "OVERLOADED q1",
+            "OVERLOADED q1 depth=x",
+            "ERR q1",
+            "STATS s1 served=1",
+            "STATS s1 bogus=2",
+            "NOPE q1 1",
+        ] {
+            assert!(Reply::parse(line).is_err(), "{line:?} should not parse");
+        }
+    }
+}

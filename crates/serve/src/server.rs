@@ -1,0 +1,325 @@
+//! Transports: one service object, two ways to reach it.
+//!
+//! [`EstimationService`] owns the graph (for resolving query terms) and the
+//! micro-batcher; [`EstimationService::handle_line`] is the whole per-line
+//! state machine — parse, admit (or shed), or answer control requests
+//! directly. [`serve_stream`] runs a session over any `BufRead`/`Write`
+//! pair (the pipe mode is exactly `stdin`/`stdout`), and [`serve_tcp`]
+//! accepts connections and runs one session thread per client over the same
+//! code path, so both modes behave identically by construction.
+
+use crate::batcher::{BatchConfig, Job, MicroBatcher};
+use crate::latency::StatsSnapshot;
+use crate::protocol::{Reply, Request};
+use lmkg::CardinalityEstimator;
+use lmkg_store::{sparql, KnowledgeGraph};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::{mpsc, Arc};
+
+/// What [`EstimationService::handle_line`] decided about the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// Keep reading lines.
+    Continue,
+    /// The client asked to end the session (`QUIT`).
+    Quit,
+}
+
+/// The serving core shared by every transport: parses request lines against
+/// the graph's dictionaries and routes them into the micro-batcher.
+pub struct EstimationService {
+    graph: Arc<KnowledgeGraph>,
+    batcher: MicroBatcher,
+}
+
+impl EstimationService {
+    /// Builds the service and starts the batcher's worker threads.
+    pub fn new(graph: Arc<KnowledgeGraph>, estimator: Box<dyn CardinalityEstimator + Send>, cfg: BatchConfig) -> Self {
+        Self {
+            graph,
+            batcher: MicroBatcher::start(estimator, cfg),
+        }
+    }
+
+    /// The graph queries are resolved against.
+    pub fn graph(&self) -> &KnowledgeGraph {
+        &self.graph
+    }
+
+    /// A point-in-time serving summary (the `STATS` reply body).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.batcher.stats().snapshot()
+    }
+
+    /// Shuts the batcher down and hands the estimator back.
+    pub fn into_estimator(self) -> Box<dyn CardinalityEstimator + Send> {
+        self.batcher.shutdown()
+    }
+
+    /// Processes one raw input line. Estimate replies arrive on `out`
+    /// asynchronously (from the batcher workers); error, overload, and
+    /// stats replies are sent on `out` before this returns. Blank lines and
+    /// `#` comments are ignored.
+    pub fn handle_line(&self, line: &str, out: &mpsc::Sender<Reply>) -> LineOutcome {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return LineOutcome::Continue;
+        }
+        let request = match Request::parse(line) {
+            Ok(request) => request,
+            Err(e) => {
+                let _ = out.send(Reply::Error {
+                    id: "-".into(),
+                    message: e.message,
+                });
+                return LineOutcome::Continue;
+            }
+        };
+        match request {
+            Request::Quit => LineOutcome::Quit,
+            Request::Stats { id } => {
+                let _ = out.send(Reply::Stats {
+                    id,
+                    snapshot: self.stats(),
+                });
+                LineOutcome::Continue
+            }
+            Request::Estimate { id, sparql } => {
+                match sparql::parse(&sparql, &self.graph) {
+                    Ok(parsed) => {
+                        let job = Job::new(id, parsed.query, out.clone());
+                        if let Err(job) = self.batcher.submit(job) {
+                            let _ = out.send(Reply::Overloaded {
+                                id: job.id,
+                                depth: self.batcher.queue_depth(),
+                            });
+                        }
+                    }
+                    Err(e) => {
+                        let _ = out.send(Reply::Error { id, message: e.message });
+                    }
+                }
+                LineOutcome::Continue
+            }
+        }
+    }
+}
+
+/// Runs one session: reads request lines from `reader` until EOF or `QUIT`,
+/// writes reply lines to `writer` as they complete (a writer thread drains
+/// the reply channel, so slow clients never block the batcher workers).
+/// Returns the writer once every admitted request has been answered — tests
+/// recover their output buffer through it.
+pub fn serve_stream<R, W>(svc: &EstimationService, reader: R, writer: W) -> W
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel::<Reply>();
+    let writer_thread = std::thread::Builder::new()
+        .name("lmkg-serve-writer".into())
+        .spawn(move || {
+            let mut writer = writer;
+            for reply in rx {
+                // Line-buffered on purpose: each reply is flushed so an
+                // interactive client sees it immediately.
+                if writeln!(writer, "{reply}").and_then(|()| writer.flush()).is_err() {
+                    break; // client hung up; drain silently
+                }
+            }
+            writer
+        })
+        .expect("spawn writer thread");
+
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            // The bytes up to the newline are already consumed, so a
+            // non-UTF-8 line is just one malformed request — reply ERR and
+            // keep the session alive, like any other garbage input.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let _ = tx.send(Reply::Error {
+                    id: "-".into(),
+                    message: "request line is not valid UTF-8".into(),
+                });
+                continue;
+            }
+            Err(_) => break, // transport failure: end the session
+        };
+        if svc.handle_line(&line, &tx) == LineOutcome::Quit {
+            break;
+        }
+    }
+    // Close our sender; in-flight jobs hold clones, so the writer exits
+    // exactly when the last outstanding reply has been written.
+    drop(tx);
+    writer_thread.join().expect("writer thread panicked")
+}
+
+/// Accepts TCP connections and serves each on its own thread. With
+/// `max_conns = Some(n)` the accept loop returns after `n` connections
+/// (tests use 1); `None` accepts forever.
+pub fn serve_tcp(svc: &Arc<EstimationService>, listener: TcpListener, max_conns: Option<usize>) -> std::io::Result<()> {
+    for (accepted, stream) in listener.incoming().enumerate() {
+        let stream = stream?;
+        let _ = stream.set_nodelay(true); // one-line replies; don't batch in the kernel
+        let svc = Arc::clone(svc);
+        std::thread::Builder::new()
+            .name("lmkg-serve-session".into())
+            .spawn(move || {
+                let reader = match stream.try_clone() {
+                    Ok(read_half) => BufReader::new(read_half),
+                    Err(_) => return,
+                };
+                serve_stream(&svc, reader, stream);
+            })
+            .expect("spawn session thread");
+        if max_conns.is_some_and(|max| accepted + 1 >= max) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg::GraphSummary;
+    use lmkg_store::GraphBuilder;
+
+    fn service(cfg: BatchConfig) -> EstimationService {
+        let mut b = GraphBuilder::new();
+        b.add(":shining", ":hasAuthor", ":StephenKing");
+        b.add(":it", ":hasAuthor", ":StephenKing");
+        b.add(":StephenKing", ":bornIn", ":USA");
+        let graph = Arc::new(b.build());
+        let summary = GraphSummary::build(&graph);
+        EstimationService::new(graph, Box::new(summary), cfg)
+    }
+
+    #[test]
+    fn handle_line_answers_estimates_errors_and_stats() {
+        let svc = service(BatchConfig::default().per_request());
+        let (tx, rx) = mpsc::channel();
+
+        // Blank lines and comments are ignored without replies.
+        assert_eq!(svc.handle_line("", &tx), LineOutcome::Continue);
+        assert_eq!(svc.handle_line("   # warmup file header", &tx), LineOutcome::Continue);
+
+        svc.handle_line("EST q1 SELECT * WHERE { ?x :hasAuthor ?y . }", &tx);
+        match rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap() {
+            Reply::Estimate { id, estimate, .. } => {
+                assert_eq!(id, "q1");
+                assert!(estimate >= 1.0);
+            }
+            other => panic!("expected an estimate, got {other:?}"),
+        }
+
+        // Unknown term → structured ERR carrying the request id.
+        svc.handle_line("EST q2 SELECT * WHERE { ?x :hasAuthor :Nobody . }", &tx);
+        match rx.recv().unwrap() {
+            Reply::Error { id, message } => {
+                assert_eq!(id, "q2");
+                assert!(message.contains("unknown node term"));
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
+
+        // Malformed line → ERR with the placeholder id.
+        svc.handle_line("ESTIMATE q3 whatever", &tx);
+        match rx.recv().unwrap() {
+            Reply::Error { id, .. } => assert_eq!(id, "-"),
+            other => panic!("expected ERR, got {other:?}"),
+        }
+
+        svc.handle_line("STATS s1", &tx);
+        match rx.recv().unwrap() {
+            Reply::Stats { id, snapshot } => {
+                assert_eq!(id, "s1");
+                assert_eq!(snapshot.served, 1);
+            }
+            other => panic!("expected STATS, got {other:?}"),
+        }
+
+        assert_eq!(svc.handle_line("QUIT", &tx), LineOutcome::Quit);
+    }
+
+    #[test]
+    fn serve_stream_session_end_to_end() {
+        let svc = service(BatchConfig::default());
+        let input = "\
+# a tiny session
+EST a SELECT * WHERE { ?x :hasAuthor :StephenKing . }
+EST b SELECT * WHERE { ?x :hasAuthor ?a . ?a :bornIn :USA . }
+garbage line
+STATS s
+QUIT
+EST never SELECT * WHERE { ?x :hasAuthor ?y . }
+";
+        let out = serve_stream(&svc, input.as_bytes(), Vec::new());
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Estimate replies may be reordered relative to the direct ERR/STATS
+        // replies; QUIT stops the session before the final request.
+        assert_eq!(lines.len(), 4, "unexpected session transcript: {text}");
+        assert!(lines.iter().any(|l| l.starts_with("OK a ")));
+        assert!(lines.iter().any(|l| l.starts_with("OK b ")));
+        assert!(lines.iter().any(|l| l.starts_with("ERR - ")));
+        assert!(lines.iter().any(|l| l.starts_with("STATS s ")));
+        assert!(!text.contains("never"));
+    }
+
+    #[test]
+    fn non_utf8_line_gets_err_without_killing_the_session() {
+        let svc = service(BatchConfig::default());
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"EST a SELECT * WHERE { ?x :hasAuthor :StephenKing . }\n");
+        input.extend_from_slice(b"\xe9\xff not utf-8\n");
+        input.extend_from_slice(b"EST b SELECT * WHERE { ?x :bornIn :USA . }\n");
+        input.extend_from_slice(b"QUIT\n");
+        let out = serve_stream(&svc, input.as_slice(), Vec::new());
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "unexpected transcript: {text}");
+        assert!(lines.iter().any(|l| l.starts_with("OK a ")));
+        assert!(l_starts(&lines, "ERR - ") == 1, "one ERR for the bad line: {text}");
+        // The request *after* the bad bytes was still served.
+        assert!(
+            lines.iter().any(|l| l.starts_with("OK b ")),
+            "session must survive: {text}"
+        );
+    }
+
+    fn l_starts(lines: &[&str], prefix: &str) -> usize {
+        lines.iter().filter(|l| l.starts_with(prefix)).count()
+    }
+
+    #[test]
+    fn serve_tcp_round_trip() {
+        use std::io::{BufRead as _, Write as _};
+        use std::net::TcpStream;
+
+        let svc = Arc::new(service(BatchConfig::default()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn({
+            let svc = Arc::clone(&svc);
+            move || serve_tcp(&svc, listener, Some(1)).unwrap()
+        });
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .write_all(b"EST t1 SELECT * WHERE { ?x :hasAuthor :StephenKing . }\nQUIT\n")
+            .unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("OK t1 "), "unexpected reply {reply:?}");
+        // After QUIT the server closes the connection.
+        let mut rest = String::new();
+        reader.read_line(&mut rest).unwrap();
+        assert!(rest.is_empty());
+        server.join().unwrap();
+    }
+}

@@ -113,6 +113,36 @@ pub fn parse(input: &str, graph: &KnowledgeGraph) -> Result<ParsedQuery, SparqlE
     })
 }
 
+/// Renders a query back into `SELECT * WHERE { … }` text, resolving bound
+/// terms against the graph's dictionaries and naming variables `?v<id>`.
+///
+/// This is the inverse of [`parse`] and the wire form the `lmkg-serve`
+/// protocol and load generator exchange. Re-parsing the output yields a
+/// query equal to the input whenever the input's variable ids are dense and
+/// in first-occurrence order (true for every query `lmkg-data` generates);
+/// otherwise the round trip is the same query up to variable renumbering.
+pub fn format_query(query: &Query, graph: &KnowledgeGraph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("SELECT * WHERE {");
+    for t in &query.triples {
+        let s = match t.s {
+            NodeTerm::Var(v) => format!("?v{}", v.0),
+            NodeTerm::Bound(n) => graph.nodes().resolve(n.0).to_string(),
+        };
+        let p = match t.p {
+            PredTerm::Var(v) => format!("?v{}", v.0),
+            PredTerm::Bound(pr) => graph.preds().resolve(pr.0).to_string(),
+        };
+        let o = match t.o {
+            NodeTerm::Var(v) => format!("?v{}", v.0),
+            NodeTerm::Bound(n) => graph.nodes().resolve(n.0).to_string(),
+        };
+        let _ = write!(out, " {s} {p} {o} .");
+    }
+    out.push_str(" }");
+    out
+}
+
 fn tokenize(input: &str) -> Result<Vec<String>, SparqlError> {
     let mut tokens = Vec::new();
     let mut chars = input.chars().peekable();
@@ -368,6 +398,30 @@ mod tests {
         let g = graph();
         let p = parse("SELECT * WHERE { :shining ?p ?o . }", &g).unwrap();
         assert_eq!(matcher::count(&g, &p.query), 3);
+    }
+
+    #[test]
+    fn format_query_round_trips() {
+        let g = graph();
+        for text in [
+            "SELECT ?x WHERE { ?x :hasAuthor :StephenKing ; :genre :Horror . }",
+            "SELECT ?x ?y WHERE { ?x :hasAuthor ?y . ?y :bornIn :USA . }",
+            "SELECT * WHERE { :shining ?p ?o . }",
+            "SELECT ?b WHERE { ?b rdf:type :Book . }",
+        ] {
+            let parsed = parse(text, &g).unwrap();
+            let rendered = format_query(&parsed.query, &g);
+            let reparsed = parse(&rendered, &g).unwrap();
+            assert_eq!(reparsed.query, parsed.query, "round trip failed for {rendered:?}");
+        }
+    }
+
+    #[test]
+    fn format_query_uses_dictionary_names() {
+        let g = graph();
+        let p = parse("SELECT * WHERE { ?x :genre :Horror . }", &g).unwrap();
+        let rendered = format_query(&p.query, &g);
+        assert_eq!(rendered, "SELECT * WHERE { ?v0 :genre :Horror . }");
     }
 
     #[test]
