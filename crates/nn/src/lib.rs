@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod embedding;
+pub mod gemm;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -55,3 +56,24 @@ pub use layers::{Dense, Dropout, Layer, MaskedDense, Param, Relu, Sequential, Si
 pub use made::{Made, MadeConfig};
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use tensor::Matrix;
+
+/// Deterministic input generation shared by the kernel tests, the committed
+/// kernel-parity fixture, and the GEMM benches. Not part of the supported
+/// API surface — only public so those consumers use one generator instead of
+/// drifting copies (the parity fixture depends on this exact sequence).
+#[doc(hidden)]
+pub mod test_support {
+    use crate::Matrix;
+
+    /// A `rows×cols` matrix of values in [-0.5, 0.5] from a splitmix-seeded
+    /// LCG, fully determined by `(rows, cols, seed)`.
+    pub fn seeded_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+    }
+}

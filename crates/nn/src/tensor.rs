@@ -1,17 +1,24 @@
 //! Dense row-major `f32` matrices and the handful of BLAS-like kernels the
 //! models need. Batches are rows; features are columns.
 //!
-//! The three matmul variants cover a full MLP training step without explicit
+//! The matmul variants cover a full MLP training step without explicit
 //! transposes:
-//! * [`Matrix::matmul`]    — `C = A·B`      (forward pass),
-//! * [`Matrix::matmul_nt`] — `C = A·Bᵀ`     (input gradient: `dX = dY·Wᵀ`),
-//! * [`Matrix::matmul_tn`] — `C = Aᵀ·B`     (weight gradient: `dW = Xᵀ·dY`).
+//! * [`Matrix::matmul`]      — `C = A·B`            (forward pass),
+//! * [`Matrix::matmul_nt`]   — `C = A·Bᵀ`           (input gradient: `dX = dY·Wᵀ`),
+//! * [`Matrix::matmul_tn`]   — `C = Aᵀ·B`           (weight gradient: `dW = Xᵀ·dY`),
+//! * [`Matrix::matmul_cols`] — `C = A·B[:, lo..hi]` (autoregressive sampler).
 //!
-//! Large multiplications split output rows across OS threads sized from
+//! All four are strided views into one blocked, packed GEMM core
+//! ([`crate::gemm`]) with a runtime-dispatched AVX2+FMA microkernel and a
+//! scalar fallback (override with `LMKG_FORCE_SCALAR=1`). Large
+//! multiplications split output rows across OS threads sized from
 //! [`std::thread::available_parallelism`]; small ones stay single-threaded
 //! because thread spawn/join overhead dominates below
-//! [`DEFAULT_PARALLEL_FLOP_THRESHOLD`].
+//! [`DEFAULT_PARALLEL_FLOP_THRESHOLD`]. Results are bitwise-identical
+//! regardless of kernel tiling, batch shape, column slicing, and thread
+//! count (see the determinism contract in [`crate::gemm`]).
 
+use crate::gemm::{self, Kernel, MatRef};
 use std::sync::OnceLock;
 
 /// Default minimum work size (`m·k·n` multiply-adds) before a matmul is
@@ -262,104 +269,26 @@ impl Matrix {
 
     /// `C = self · other`; `self` is `m×k`, `other` is `k×n`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul inner dimensions must agree");
-        let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        let threads = thread_budget(m * k * n, m);
-        if threads > 1 {
-            let chunk = m.div_ceil(threads);
-            std::thread::scope(|s| {
-                let mut rest = out.data.as_mut_slice();
-                let mut row0 = 0usize;
-                while row0 + chunk < m {
-                    let (head, tail) = rest.split_at_mut(chunk * n);
-                    rest = tail;
-                    let a_part = &self.data[row0 * k..(row0 + chunk) * k];
-                    s.spawn(move || matmul_rows(a_part, k, &other.data, n, head));
-                    row0 += chunk;
-                }
-                matmul_rows(&self.data[row0 * k..], k, &other.data, n, rest);
-            });
-        } else {
-            matmul_rows(&self.data, k, &other.data, n, &mut out.data);
-        }
-        out
+        matmul_dispatch(gemm::active_kernel(), self, other, true)
     }
 
     /// `C = self · otherᵀ`; `self` is `m×k`, `other` is `n×k`.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_nt inner dimensions must agree");
-        let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Matrix::zeros(m, n);
-        let threads = thread_budget(m * k * n, m);
-        if threads > 1 {
-            let chunk = m.div_ceil(threads);
-            std::thread::scope(|s| {
-                let mut rest = out.data.as_mut_slice();
-                let mut row0 = 0usize;
-                while row0 + chunk < m {
-                    let (head, tail) = rest.split_at_mut(chunk * n);
-                    rest = tail;
-                    let a_part = &self.data[row0 * k..(row0 + chunk) * k];
-                    s.spawn(move || matmul_nt_rows(a_part, k, &other.data, n, head));
-                    row0 += chunk;
-                }
-                matmul_nt_rows(&self.data[row0 * k..], k, &other.data, n, rest);
-            });
-        } else {
-            matmul_nt_rows(&self.data, k, &other.data, n, &mut out.data);
-        }
-        out
+        matmul_nt_dispatch(gemm::active_kernel(), self, other, true)
     }
 
     /// `C = selfᵀ · other`; `self` is `b×m`, `other` is `b×n`.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "matmul_tn batch dimensions must agree");
-        let (b, m, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        let threads = thread_budget(b * m * n, m);
-        if threads > 1 {
-            let chunk = m.div_ceil(threads);
-            std::thread::scope(|s| {
-                let mut rest = out.data.as_mut_slice();
-                let mut i_lo = 0usize;
-                while i_lo + chunk < m {
-                    let (head, tail) = rest.split_at_mut(chunk * n);
-                    rest = tail;
-                    let (lo, hi) = (i_lo, i_lo + chunk);
-                    s.spawn(move || matmul_tn_cols(&self.data, b, m, &other.data, n, lo, hi, head));
-                    i_lo += chunk;
-                }
-                matmul_tn_cols(&self.data, b, m, &other.data, n, i_lo, m, rest);
-            });
-        } else {
-            matmul_tn_cols(&self.data, b, m, &other.data, n, 0, m, &mut out.data);
-        }
-        out
+        matmul_tn_dispatch(gemm::active_kernel(), self, other, true)
     }
 
     /// `C = self · other[:, lo..hi]` — matmul against a column slice of
     /// `other`, avoiding computation of unneeded output columns. Used by the
     /// autoregressive sampler, which needs one logit segment per step.
+    /// Bitwise equal to the corresponding column slice of the full
+    /// [`Matrix::matmul`] product, and threaded by the same budget.
     pub fn matmul_cols(&self, other: &Matrix, lo: usize, hi: usize) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul inner dimensions must agree");
-        assert!(lo <= hi && hi <= other.cols, "column slice out of range");
-        let (m, n) = (self.rows, hi - lo);
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (kk, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * other.cols + lo..kk * other.cols + hi];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ik * bv;
-                }
-            }
-        }
-        out
+        matmul_cols_dispatch(gemm::active_kernel(), self, other, lo, hi, true)
     }
 
     /// Transposed copy.
@@ -380,92 +309,89 @@ fn fill_rows(out: &mut [f32], row0: usize, cols: usize, f: &(impl Fn(usize, usiz
     }
 }
 
-/// Rows per register tile in [`matmul_rows`]. Four output rows share each
-/// streamed `b` row: their accumulators (4 × n floats) stay L1-resident
-/// while `b` traffic drops 4×, which is what makes one batched multiply
-/// beat the same FLOPs issued as per-row multiplies on a single core.
-const ROW_TILE: usize = 4;
-
-/// `out[i] = a_rows[i] · b` with the classic i-k-j order so the `j` loop
-/// vectorizes; `out` must be zeroed.
-///
-/// Multi-row inputs go through a [`ROW_TILE`]-row register tile. Each output
-/// row still accumulates over `kk` in ascending order exactly as the
-/// single-row path does, so results are bitwise-identical regardless of
-/// batch shape — the batched estimation path relies on that.
-fn matmul_rows(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
-    let m = a.len() / k;
-    let tiles = m / ROW_TILE;
-    for tile in 0..tiles {
-        let i0 = tile * ROW_TILE;
-        let a_tile = &a[i0 * k..(i0 + ROW_TILE) * k];
-        let out_tile = &mut out[i0 * n..(i0 + ROW_TILE) * n];
-        let (out0, rest) = out_tile.split_at_mut(n);
-        let (out1, rest) = rest.split_at_mut(n);
-        let (out2, out3) = rest.split_at_mut(n);
-        let mut rows = [out0, out1, out2, out3];
-        for kk in 0..k {
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (t, out_row) in rows.iter_mut().enumerate() {
-                let a_ik = a_tile[t * k + kk];
-                if a_ik == 0.0 {
-                    continue; // one-hot / binary inputs are mostly zeros
-                }
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ik * bv;
-                }
-            }
-        }
-    }
-    for i in tiles * ROW_TILE..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (kk, &a_ik) in a_row.iter().enumerate() {
-            if a_ik == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += a_ik * bv;
-            }
-        }
-    }
+/// `C = A·B` through the blocked core with an explicit kernel and optional
+/// threading — shared by [`Matrix::matmul`] and the bench/parity surface
+/// [`crate::gemm::matmul_with_kernel`].
+pub(crate) fn matmul_dispatch(kernel: Kernel, a: &Matrix, b: &Matrix, parallel: bool) -> Matrix {
+    assert_eq!(a.cols, b.rows, "matmul inner dimensions must agree");
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let mut out = Matrix::zeros(m, n);
+    let av = MatRef::new(&a.data, 0, k, 1, m, k);
+    let bv = MatRef::new(&b.data, 0, n, 1, k, n);
+    let threads = if parallel { thread_budget(m * k * n, m) } else { 1 };
+    gemm_threaded(kernel, av, bv, &mut out.data, threads);
+    out
 }
 
-/// `out[i][j] = a_rows[i] · b_rows[j]` (dot products of rows).
-fn matmul_nt_rows(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
-    let m = a.len() / k;
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            *o = acc;
-        }
-    }
+/// `C = A·Bᵀ` with an explicit kernel; see [`Matrix::matmul_nt`].
+pub(crate) fn matmul_nt_dispatch(kernel: Kernel, a: &Matrix, b: &Matrix, parallel: bool) -> Matrix {
+    assert_eq!(a.cols, b.cols, "matmul_nt inner dimensions must agree");
+    let (m, k, n) = (a.rows, a.cols, b.rows);
+    let mut out = Matrix::zeros(m, n);
+    let av = MatRef::new(&a.data, 0, k, 1, m, k);
+    // `Bᵀ` without a copy: element (kk, j) of Bᵀ is b[j*k + kk].
+    let bv = MatRef::new(&b.data, 0, 1, k, k, n);
+    let threads = if parallel { thread_budget(m * k * n, m) } else { 1 };
+    gemm_threaded(kernel, av, bv, &mut out.data, threads);
+    out
 }
 
-/// `out[i][j] = Σ_b a[b][i] · b[b][j]` for `i ∈ [i_lo, i_hi)`; `out` holds
-/// rows `i_lo..i_hi` and must be zeroed.
-#[allow(clippy::too_many_arguments)]
-fn matmul_tn_cols(a: &[f32], batch: usize, m: usize, b: &[f32], n: usize, i_lo: usize, i_hi: usize, out: &mut [f32]) {
-    for bb in 0..batch {
-        let b_row = &b[bb * n..(bb + 1) * n];
-        let a_row = &a[bb * m..(bb + 1) * m];
-        for i in i_lo..i_hi {
-            let a_bi = a_row[i];
-            if a_bi == 0.0 {
-                continue;
+/// `C = Aᵀ·B` with an explicit kernel; see [`Matrix::matmul_tn`].
+pub(crate) fn matmul_tn_dispatch(kernel: Kernel, a: &Matrix, b: &Matrix, parallel: bool) -> Matrix {
+    assert_eq!(a.rows, b.rows, "matmul_tn batch dimensions must agree");
+    let (batch, m, n) = (a.rows, a.cols, b.cols);
+    let mut out = Matrix::zeros(m, n);
+    // `Aᵀ` without a copy: element (i, kk) of Aᵀ is a[kk*m + i].
+    let av = MatRef::new(&a.data, 0, 1, m, m, batch);
+    let bv = MatRef::new(&b.data, 0, n, 1, batch, n);
+    let threads = if parallel { thread_budget(batch * m * n, m) } else { 1 };
+    gemm_threaded(kernel, av, bv, &mut out.data, threads);
+    out
+}
+
+/// `C = A·B[:, lo..hi]` with an explicit kernel; see [`Matrix::matmul_cols`].
+pub(crate) fn matmul_cols_dispatch(
+    kernel: Kernel,
+    a: &Matrix,
+    b: &Matrix,
+    lo: usize,
+    hi: usize,
+    parallel: bool,
+) -> Matrix {
+    assert_eq!(a.cols, b.rows, "matmul inner dimensions must agree");
+    assert!(lo <= hi && hi <= b.cols, "column slice out of range");
+    let (m, k, n) = (a.rows, a.cols, hi - lo);
+    let mut out = Matrix::zeros(m, n);
+    let av = MatRef::new(&a.data, 0, k, 1, m, k);
+    // The slice is a column-offset view: element (kk, j) is b[kk*cols + lo + j].
+    let bv = MatRef::new(&b.data, lo, b.cols, 1, k, n);
+    let threads = if parallel { thread_budget(m * k * n, m) } else { 1 };
+    gemm_threaded(kernel, av, bv, &mut out.data, threads);
+    out
+}
+
+/// Splits the output rows of `c = a·b` into contiguous chunks, one scoped
+/// thread each, and runs the blocked core on every chunk. Each output
+/// element is produced by exactly one thread with the same ascending-`k`
+/// accumulation order, so the thread count never changes results.
+fn gemm_threaded(kernel: Kernel, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], threads: usize) {
+    let (m, n) = (a.rows(), b.cols());
+    if threads > 1 {
+        let chunk = m.div_ceil(threads);
+        std::thread::scope(|s| {
+            let mut rest = out;
+            let mut row0 = 0usize;
+            while row0 + chunk < m {
+                let (head, tail) = rest.split_at_mut(chunk * n);
+                rest = tail;
+                let a_part = a.row_window(row0, chunk);
+                s.spawn(move || gemm::gemm_serial(kernel, a_part, b, head));
+                row0 += chunk;
             }
-            let out_row = &mut out[(i - i_lo) * n..(i - i_lo + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += a_bi * bv;
-            }
-        }
+            gemm::gemm_serial(kernel, a.row_window(row0, m - row0), b, rest);
+        });
+    } else {
+        gemm::gemm_serial(kernel, a, b, out);
     }
 }
 
@@ -493,15 +419,7 @@ mod tests {
             && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| (x - y).abs() <= tol)
     }
 
-    fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
-        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-        Matrix::from_fn(rows, cols, |_, _| {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
-        })
-    }
+    use crate::test_support::seeded_matrix as test_matrix;
 
     #[test]
     fn matmul_matches_naive() {
@@ -609,6 +527,46 @@ mod tests {
             thread_budget(threshold * 1000, 3) <= 3,
             "budget must not exceed row count"
         );
+    }
+
+    #[test]
+    fn matmul_cols_slice_is_bitwise_equal_to_full_product_columns() {
+        // Large enough that the sliced work alone (512·256·64 ≈ 8.4 M
+        // multiply-adds) crosses the parallel threshold, so on multi-core
+        // machines the sliced path runs threaded — the seed implementation
+        // ignored `thread_budget` entirely. Bitwise equality with the full
+        // product's column slice is the GEMM core's determinism contract.
+        let a = test_matrix(512, 256, 21);
+        let b = test_matrix(256, 256, 22);
+        let (lo, hi) = (97, 161);
+        assert!(a.rows() * a.cols() * (hi - lo) > parallel_flop_threshold());
+        let sliced = a.matmul_cols(&b, lo, hi);
+        let full = a.matmul(&b);
+        assert_eq!((sliced.rows(), sliced.cols()), (a.rows(), hi - lo));
+        for i in 0..a.rows() {
+            assert_eq!(
+                sliced.row(i),
+                &full.row(i)[lo..hi],
+                "row {i} diverged from the full product"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_cols_edge_slices() {
+        let a = test_matrix(5, 11, 23);
+        let b = test_matrix(11, 19, 24);
+        let full = a.matmul(&b);
+        // Empty slice.
+        let empty = a.matmul_cols(&b, 7, 7);
+        assert_eq!((empty.rows(), empty.cols()), (5, 0));
+        // Full-width slice equals the plain product bitwise.
+        assert_eq!(a.matmul_cols(&b, 0, 19), full);
+        // Last column alone.
+        let last = a.matmul_cols(&b, 18, 19);
+        for i in 0..5 {
+            assert_eq!(last.get(i, 0), full.get(i, 18));
+        }
     }
 
     #[test]

@@ -9,6 +9,39 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+// Shapes are proptest-driven; the data comes from the shared seeded LCG so
+// dynamic sizes don't need size-coupled vec strategies.
+use lmkg_nn::test_support::seeded_matrix;
+
+/// Naive i-j-k triple loop in f64 — the reference the blocked kernels are
+/// checked against within a `k`-ulp-scaled tolerance.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f64;
+            for k in 0..a.cols() {
+                acc += f64::from(a.get(i, k)) * f64::from(b.get(k, j));
+            }
+            c.set(i, j, acc as f32);
+        }
+    }
+    c
+}
+
+/// `|x - y| ≤ (k+4)·ε·max(1, |x|, |y|)` — 1 ulp of headroom per accumulation
+/// step, covering FMA-vs-two-roundings divergence for any reduction depth.
+fn within_ulp_scaled(got: &Matrix, want: &Matrix, k: usize) -> Result<(), String> {
+    let tol = f32::EPSILON * (k as f32 + 4.0);
+    for (i, (x, y)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        let scale = 1.0f32.max(x.abs()).max(y.abs());
+        if (x - y).abs() > tol * scale {
+            return Err(format!("element {i}: {x} vs {y} exceeds {tol:e}·{scale}"));
+        }
+    }
+    Ok(())
+}
+
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-2.0f32..2.0, rows * cols).prop_map(move |v| Matrix::from_vec(rows, cols, v))
 }
@@ -45,6 +78,44 @@ proptest! {
         let tn = a.matmul_tn(&c);
         let explicit = a.transpose().matmul(&c);
         prop_assert!(approx_eq(&tn, &explicit, 1e-4));
+    }
+
+    /// The blocked GEMM core matches the naive triple loop on ragged shapes
+    /// (m, k, n deliberately not multiples of the MR/NR tile sizes; k ranges
+    /// past KC=256 so the k-block resume path — reloading the partial C tile
+    /// into accumulators — gets genuine block-boundary coverage).
+    #[test]
+    fn blocked_matmul_matches_naive_on_ragged_shapes(m in 1usize..23, k in 1usize..600,
+                                                     n in 1usize..39, seed in 0u64..1000) {
+        let a = seeded_matrix(m, k, seed);
+        let b = seeded_matrix(k, n, seed.wrapping_add(1));
+        let nn = within_ulp_scaled(&a.matmul(&b), &naive_matmul(&a, &b), k);
+        prop_assert!(nn.is_ok(), "matmul {}x{}x{}: {:?}", m, k, n, nn);
+        // The fused transpose variants against explicit transposes.
+        let bt = seeded_matrix(n, k, seed.wrapping_add(2));
+        let nt = within_ulp_scaled(&a.matmul_nt(&bt), &naive_matmul(&a, &bt.transpose()), k);
+        prop_assert!(nt.is_ok(), "matmul_nt {}x{}x{}: {:?}", m, k, n, nt);
+        let c = seeded_matrix(m, n, seed.wrapping_add(3));
+        let tn = within_ulp_scaled(&a.matmul_tn(&c), &naive_matmul(&a.transpose(), &c), m);
+        prop_assert!(tn.is_ok(), "matmul_tn {}x{}x{}: {:?}", m, k, n, tn);
+    }
+
+    /// `matmul_cols` is bitwise equal to the column slice of the full
+    /// product for every lo/hi, including empty and full-width slices —
+    /// the GEMM core's determinism contract for the sampler's fast path.
+    #[test]
+    fn matmul_cols_slice_is_bitwise_exact(m in 1usize..14, k in 1usize..30, n in 1usize..40,
+                                          lo_w in 0usize..40, width in 0usize..40, seed in 0u64..1000) {
+        let a = seeded_matrix(m, k, seed);
+        let b = seeded_matrix(k, n, seed.wrapping_add(7));
+        let lo = lo_w % n;
+        let hi = (lo + width % (n - lo + 1)).min(n);
+        let sliced = a.matmul_cols(&b, lo, hi);
+        let full = a.matmul(&b);
+        prop_assert_eq!((sliced.rows(), sliced.cols()), (m, hi - lo));
+        for i in 0..m {
+            prop_assert_eq!(sliced.row(i), &full.row(i)[lo..hi], "row {} of slice {}..{}", i, lo, hi);
+        }
     }
 
     /// Softmax output is a probability vector.
