@@ -2,8 +2,23 @@
 //! under partial bindings, uniform candidate sampling straight from the CSR
 //! indexes, and binding management.
 
-use lmkg_store::{KnowledgeGraph, NodeId, NodeTerm, PredId, PredTerm, Triple, TriplePattern, VarId};
-use rand::Rng;
+use lmkg_store::{KnowledgeGraph, NodeId, NodeTerm, PredId, PredTerm, Query, Triple, TriplePattern, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG stream driving one query's sampling, derived from the
+/// estimator's stored seed and the query's structural fingerprint.
+///
+/// Deriving per call — instead of advancing one shared RNG — is what makes
+/// the sampling baselines `&self`: an estimate never depends on how many
+/// estimates preceded it, so the same (seed, query) pair always reproduces
+/// the same walks, from any thread, in any order.
+pub fn derived_rng(seed: u64, query: &Query) -> StdRng {
+    use std::hash::{Hash, Hasher};
+    let mut h = lmkg_store::fxhash::FxHasher::default();
+    query.hash(&mut h);
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ h.finish())
+}
 
 /// A pattern with variables resolved against current bindings.
 #[derive(Debug, Clone, Copy)]

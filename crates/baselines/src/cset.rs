@@ -214,7 +214,7 @@ impl CardinalityEstimator for CharacteristicSets {
         "cset"
     }
 
-    fn estimate(&mut self, query: &Query) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         let est = match query.shape() {
             QueryShape::Star => self.estimate_star(query),
             QueryShape::Chain => self.estimate_chain(query),
@@ -295,7 +295,7 @@ mod tests {
     #[test]
     fn bound_object_applies_selectivity() {
         let g = graph();
-        let mut cs = CharacteristicSets::build(&g);
+        let cs = CharacteristicSets::build(&g);
         let genre = PredId(g.preds().get("genre").unwrap());
         let horror = NodeId(g.nodes().get("horror").unwrap());
         let author = PredId(g.preds().get("author").unwrap());
@@ -315,7 +315,7 @@ mod tests {
         b.add("b", "knows", "c");
         b.add("c", "likes", "d");
         let g = b.build();
-        let mut cs = CharacteristicSets::build(&g);
+        let cs = CharacteristicSets::build(&g);
         let knows = PredTerm::Bound(PredId(g.preds().get("knows").unwrap()));
         let likes = PredTerm::Bound(PredId(g.preds().get("likes").unwrap()));
         let q = Query::new(vec![
@@ -335,7 +335,7 @@ mod tests {
     #[test]
     fn estimate_floors_at_one() {
         let g = graph();
-        let mut cs = CharacteristicSets::build(&g);
+        let cs = CharacteristicSets::build(&g);
         let genre = PredTerm::Bound(PredId(g.preds().get("genre").unwrap()));
         // Stars demanding genre twice from single-genre books underestimate,
         // but stay ≥ 1.

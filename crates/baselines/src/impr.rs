@@ -16,10 +16,11 @@
 //! and the local count is exact via the store's counting oracle on the
 //! anchored query.
 
+use crate::common;
 use lmkg::CardinalityEstimator;
 use lmkg_store::{counter, KnowledgeGraph, NodeId, NodeTerm, Query, QueryShape};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// IMPR configuration.
 #[derive(Debug, Clone)]
@@ -45,11 +46,12 @@ impl Default for ImprConfig {
     }
 }
 
-/// The IMPR estimator.
+/// The IMPR estimator. No mutable walk state — each estimate derives its
+/// RNG from the stored seed and the query (see [`common::derived_rng`]), so
+/// estimation is `&self` and deterministic per query.
 pub struct Impr<'g> {
     graph: &'g KnowledgeGraph,
     cfg: ImprConfig,
-    rng: StdRng,
     /// 2|E| — the normalizing constant of the degree-proportional stationary
     /// distribution on the undirected view.
     two_m: f64,
@@ -60,7 +62,6 @@ impl<'g> Impr<'g> {
     pub fn new(graph: &'g KnowledgeGraph, cfg: ImprConfig) -> Self {
         Self {
             graph,
-            rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             two_m: 2.0 * graph.num_triples() as f64,
         }
@@ -71,14 +72,14 @@ impl<'g> Impr<'g> {
     }
 
     /// One step of the undirected random walk.
-    fn step(&mut self, v: NodeId) -> NodeId {
+    fn step(&self, v: NodeId, rng: &mut StdRng) -> NodeId {
         let out = self.graph.out_degree(v);
         let inc = self.graph.in_degree(v);
         let total = out + inc;
         if total == 0 {
             return v;
         }
-        let idx = self.rng.gen_range(0..total);
+        let idx = rng.gen_range(0..total);
         if idx < out {
             self.graph.out_edges(v)[idx].1
         } else {
@@ -114,7 +115,7 @@ impl<'g> Impr<'g> {
     }
 
     /// Full estimate.
-    pub fn estimate_query(&mut self, query: &Query) -> f64 {
+    pub fn estimate_query(&self, query: &Query) -> f64 {
         if query.triples.is_empty() {
             return 0.0;
         }
@@ -127,14 +128,15 @@ impl<'g> Impr<'g> {
         if n == 0 {
             return 0.0;
         }
+        let mut rng = common::derived_rng(self.cfg.seed, query);
         let total_samples = self.cfg.runs * self.cfg.samples_per_run;
         let mut sum = 0.0f64;
         let mut taken = 0usize;
         'runs: for _ in 0..self.cfg.runs {
             // Fresh start per run; burn in to approach stationarity.
-            let mut v = NodeId(self.rng.gen_range(0..n as u32));
+            let mut v = NodeId(rng.gen_range(0..n as u32));
             for _ in 0..self.cfg.burn_in {
-                v = self.step(v);
+                v = self.step(v, &mut rng);
             }
             for _ in 0..self.cfg.samples_per_run {
                 let deg = self.total_degree(v);
@@ -144,10 +146,10 @@ impl<'g> Impr<'g> {
                     taken += 1;
                 } else {
                     // Isolated node: resample a start.
-                    v = NodeId(self.rng.gen_range(0..n as u32));
+                    v = NodeId(rng.gen_range(0..n as u32));
                     continue;
                 }
-                v = self.step(v);
+                v = self.step(v, &mut rng);
                 if taken >= total_samples {
                     break 'runs;
                 }
@@ -166,7 +168,7 @@ impl CardinalityEstimator for Impr<'_> {
         "impr"
     }
 
-    fn estimate(&mut self, query: &Query) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         // Anchored counting requires the anchor's matches to be rooted at the
         // star center / chain start, which holds for the supported shapes.
         match query.shape() {
@@ -217,7 +219,7 @@ mod tests {
             TriplePattern::new(v(0), r, v(2)),
         ]);
         let exact = counter::cardinality(&g, &q) as f64; // 12
-        let mut impr = Impr::new(&g, cfg());
+        let impr = Impr::new(&g, cfg());
         let est = impr.estimate_query(&q);
         let qerr = (est / exact).max(exact / est);
         assert!(qerr < 2.5, "estimate {est} vs exact {exact}");
@@ -229,7 +231,7 @@ mod tests {
         let p = PredTerm::Bound(PredId(g.preds().get("p").unwrap()));
         let s0 = NodeId(g.nodes().get("s0").unwrap());
         let q = Query::new(vec![TriplePattern::new(NodeTerm::Bound(s0), p, v(0))]);
-        let mut impr = Impr::new(&g, cfg());
+        let impr = Impr::new(&g, cfg());
         assert_eq!(impr.estimate_query(&q), 1.0);
     }
 
@@ -248,7 +250,7 @@ mod tests {
         let g = graph();
         let p = PredTerm::Bound(PredId(g.preds().get("p").unwrap()));
         let q = Query::new(vec![TriplePattern::new(v(0), p, v(1))]);
-        let mut impr = Impr::new(&g, cfg());
+        let impr = Impr::new(&g, cfg());
         let est = impr.estimate(&q);
         assert!(est >= 1.0 && est.is_finite());
     }

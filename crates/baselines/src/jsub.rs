@@ -12,8 +12,6 @@
 use crate::common::{self};
 use lmkg::CardinalityEstimator;
 use lmkg_store::{KnowledgeGraph, Query};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// JSUB configuration.
 #[derive(Debug, Clone)]
@@ -36,11 +34,13 @@ impl Default for JsubConfig {
     }
 }
 
-/// The JSUB estimator.
+/// The JSUB estimator. Holds no mutable walk state: each estimate derives
+/// its RNG from the stored seed and the query (see
+/// [`common::derived_rng`]), so estimation is `&self`, deterministic per
+/// query, and safe to share across threads.
 pub struct Jsub<'g> {
     graph: &'g KnowledgeGraph,
     cfg: JsubConfig,
-    rng: StdRng,
     /// Per predicate: max objects per (s, p) — forward join bound.
     max_fanout_fwd: Vec<u64>,
     /// Per predicate: max subjects per (p, o) — backward join bound.
@@ -84,7 +84,6 @@ impl<'g> Jsub<'g> {
         }
         Self {
             graph,
-            rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             max_fanout_fwd,
             max_fanout_bwd,
@@ -112,7 +111,8 @@ impl<'g> Jsub<'g> {
     }
 
     /// Full estimate.
-    pub fn estimate_query(&mut self, query: &Query) -> f64 {
+    pub fn estimate_query(&self, query: &Query) -> f64 {
+        let mut rng = common::derived_rng(self.cfg.seed, query);
         let order = common::walk_order(self.graph, &query.triples);
         let mut bindings: Vec<Option<u32>> = vec![None; query.var_table_size()];
         let total_walks = self.cfg.runs * self.cfg.walks_per_run;
@@ -129,7 +129,7 @@ impl<'g> Jsub<'g> {
                     alive = false;
                     break;
                 }
-                let t = common::sample_candidate(self.graph, r, &mut self.rng).expect("count > 0");
+                let t = common::sample_candidate(self.graph, r, &mut rng).expect("count > 0");
                 if common::try_bind(pat, t, &mut bindings).is_none() {
                     alive = false;
                     break;
@@ -155,7 +155,7 @@ impl CardinalityEstimator for Jsub<'_> {
         "jsub"
     }
 
-    fn estimate(&mut self, query: &Query) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         self.estimate_query(query).max(1.0)
     }
 
@@ -194,7 +194,7 @@ mod tests {
             TriplePattern::new(v(1), qp, v(2)),
         ]);
         let exact = counter::cardinality(&g, &q) as f64;
-        let mut jsub = Jsub::new(
+        let jsub = Jsub::new(
             &g,
             JsubConfig {
                 runs: 30,
@@ -222,7 +222,7 @@ mod tests {
         let g = graph();
         let p = PredTerm::Bound(PredId(g.preds().get("p").unwrap()));
         let q = Query::new(vec![TriplePattern::new(v(0), p, v(1))]);
-        let mut jsub = Jsub::new(&g, JsubConfig::default());
+        let jsub = Jsub::new(&g, JsubConfig::default());
         assert_eq!(jsub.estimate_query(&q), 8.0);
     }
 
@@ -236,7 +236,7 @@ mod tests {
             TriplePattern::new(v(0), p, v(1)),
             TriplePattern::new(v(1), p, v(2)),
         ]);
-        let mut jsub = Jsub::new(&g, JsubConfig::default());
+        let jsub = Jsub::new(&g, JsubConfig::default());
         assert_eq!(jsub.estimate_query(&q), 0.0);
         assert_eq!(jsub.estimate(&q), 1.0);
     }

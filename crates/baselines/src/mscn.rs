@@ -18,6 +18,7 @@ use lmkg_nn::layers::{Dense, Layer, Param, Relu, Sequential, Sigmoid};
 use lmkg_nn::loss;
 use lmkg_nn::optimizer::{Adam, Optimizer};
 use lmkg_nn::tensor::Matrix;
+use lmkg_nn::workspace::Workspace;
 use lmkg_store::{KnowledgeGraph, Query, Triple};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -63,6 +64,10 @@ impl Layer for MscnNet {
         unimplemented!("MSCN uses custom set wiring; see Mscn::forward_queries")
     }
 
+    fn forward_infer(&self, _x: &Matrix, _ws: &mut Workspace) -> Matrix {
+        unimplemented!("MSCN uses custom set wiring; see Mscn::predict")
+    }
+
     fn backward(&mut self, _g: &Matrix) -> Matrix {
         unimplemented!("MSCN uses custom set wiring; see Mscn::backward_queries")
     }
@@ -70,6 +75,11 @@ impl Layer for MscnNet {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.set_mlp.visit_params(f);
         self.out_mlp.visit_params(f);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        self.set_mlp.visit_params_ref(f);
+        self.out_mlp.visit_params_ref(f);
     }
 }
 
@@ -181,6 +191,19 @@ impl Mscn {
         self.net.set_mlp.backward(&grad_elements);
     }
 
+    /// Shared-read (`&self`) counterpart of [`Mscn::forward_queries`]: the
+    /// same set wiring through the workspace-backed inference path, bitwise
+    /// identical to the eval-mode training forward.
+    fn forward_queries_infer(&self, queries: &[&Query], ws: &mut Workspace) -> (Matrix, Vec<usize>) {
+        let (elements, counts) = self.encode_batch(queries);
+        let embedded = self.net.set_mlp.forward_infer(&elements, ws);
+        let pooled = mean_pool(&embedded, &counts);
+        ws.recycle(embedded);
+        ws.recycle(elements);
+        let pred = self.net.out_mlp.forward_infer(&pooled, ws);
+        (pred, counts)
+    }
+
     /// Trains on the same labeled queries as LMKG-S.
     pub fn train(&mut self, data: &[LabeledQuery]) -> Vec<f32> {
         assert!(!data.is_empty());
@@ -214,15 +237,16 @@ impl Mscn {
         losses
     }
 
-    /// Predicts the cardinality of a query.
-    pub fn predict(&mut self, query: &Query) -> f64 {
+    /// Predicts the cardinality of a query via
+    /// [`Mscn::forward_queries_infer`].
+    pub fn predict(&self, query: &Query) -> f64 {
         let scaler = *self.scaler.as_ref().expect("model is untrained");
-        let (pred, _) = self.forward_queries(&[query], false);
+        let (pred, _) = self.forward_queries_infer(&[query], &mut Workspace::new());
         scaler.unscale(pred.get(0, 0)).max(1.0)
     }
 
-    /// Parameter count.
-    pub fn param_count(&mut self) -> usize {
+    /// Parameter count (read-only walk).
+    pub fn param_count(&self) -> usize {
         self.net.param_count()
     }
 }
@@ -274,16 +298,12 @@ impl CardinalityEstimator for Mscn {
         }
     }
 
-    fn estimate(&mut self, query: &Query) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         self.predict(query)
     }
 
     fn memory_bytes(&self) -> usize {
-        // Parameter count needs &mut; reconstruct from the architecture.
-        let in_w = 6 + self.cfg.samples;
-        let h = self.cfg.hidden;
-        let params = in_w * h + h + h * h + h + h * h + h + h + 1;
-        params * std::mem::size_of::<f32>() + self.samples.len() * std::mem::size_of::<Triple>()
+        self.param_count() * std::mem::size_of::<f32>() + self.samples.len() * std::mem::size_of::<Triple>()
     }
 }
 

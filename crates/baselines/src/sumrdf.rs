@@ -265,7 +265,7 @@ impl CardinalityEstimator for SumRdf {
         "sumrdf"
     }
 
-    fn estimate(&mut self, query: &Query) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         self.estimate_query(query).max(1.0)
     }
 
@@ -365,7 +365,7 @@ mod tests {
     #[test]
     fn zero_for_impossible_pattern() {
         let g = graph();
-        let mut s = SumRdf::build(&g, SumRdfConfig::default());
+        let s = SumRdf::build(&g, SumRdfConfig::default());
         let qp = PredTerm::Bound(PredId(g.preds().get("q").unwrap()));
         // z q ?x — z has no outgoing q edge.
         let z = NodeId(g.nodes().get("z").unwrap());

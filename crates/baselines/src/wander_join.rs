@@ -13,7 +13,6 @@ use crate::common::{self, Resolved};
 use lmkg::CardinalityEstimator;
 use lmkg_store::{KnowledgeGraph, Query};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// WanderJoin configuration.
 #[derive(Debug, Clone)]
@@ -38,22 +37,22 @@ impl Default for WanderJoinConfig {
 
 /// The WanderJoin estimator. Holds a graph reference: sampling baselines
 /// draw directly from the data (which is why Table II credits them no
-/// summary memory).
+/// summary memory). No mutable walk state — each estimate derives its RNG
+/// from the stored seed and the query (see [`common::derived_rng`]), so
+/// estimation is `&self` and deterministic per query.
 pub struct WanderJoin<'g> {
     graph: &'g KnowledgeGraph,
     cfg: WanderJoinConfig,
-    rng: StdRng,
 }
 
 impl<'g> WanderJoin<'g> {
     /// Creates the estimator.
     pub fn new(graph: &'g KnowledgeGraph, cfg: WanderJoinConfig) -> Self {
-        let rng = StdRng::seed_from_u64(cfg.seed);
-        Self { graph, cfg, rng }
+        Self { graph, cfg }
     }
 
     /// One random walk; returns the HT estimate (0 on failure).
-    fn walk(&mut self, query: &Query, order: &[usize], bindings: &mut [Option<u32>]) -> f64 {
+    fn walk(&self, query: &Query, order: &[usize], bindings: &mut [Option<u32>], rng: &mut StdRng) -> f64 {
         bindings.iter_mut().for_each(|b| *b = None);
         let mut weight = 1.0f64;
         for &idx in order {
@@ -63,7 +62,7 @@ impl<'g> WanderJoin<'g> {
             if count == 0 {
                 return 0.0;
             }
-            let t = common::sample_candidate(self.graph, r, &mut self.rng).expect("count > 0");
+            let t = common::sample_candidate(self.graph, r, rng).expect("count > 0");
             // Repeated-variable patterns can reject the sampled triple; that
             // is a failed walk (probability mass accounted by `count`).
             if common::try_bind(pat, t, bindings).is_none() {
@@ -75,13 +74,14 @@ impl<'g> WanderJoin<'g> {
     }
 
     /// Full estimate: mean walk weight over all runs.
-    pub fn estimate_query(&mut self, query: &Query) -> f64 {
+    pub fn estimate_query(&self, query: &Query) -> f64 {
+        let mut rng = common::derived_rng(self.cfg.seed, query);
         let order = common::walk_order(self.graph, &query.triples);
         let mut bindings = vec![None; query.var_table_size()];
         let total_walks = self.cfg.runs * self.cfg.walks_per_run;
         let mut sum = 0.0f64;
         for _ in 0..total_walks {
-            sum += self.walk(query, &order, &mut bindings);
+            sum += self.walk(query, &order, &mut bindings, &mut rng);
         }
         sum / total_walks.max(1) as f64
     }
@@ -92,7 +92,7 @@ impl CardinalityEstimator for WanderJoin<'_> {
         "wj"
     }
 
-    fn estimate(&mut self, query: &Query) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         self.estimate_query(query).max(1.0)
     }
 
@@ -142,7 +142,7 @@ mod tests {
             TriplePattern::new(v(1), q_pred, v(2)),
         ]);
         let exact = counter::cardinality(&g, &q) as f64;
-        let mut wj = WanderJoin::new(&g, cfg());
+        let wj = WanderJoin::new(&g, cfg());
         let est = wj.estimate_query(&q);
         let qerr = (est / exact).max(exact / est);
         assert!(qerr < 1.3, "estimate {est} vs exact {exact}");
@@ -153,7 +153,7 @@ mod tests {
         let g = graph();
         let p = PredTerm::Bound(PredId(g.preds().get("p").unwrap()));
         let q = Query::new(vec![TriplePattern::new(v(0), p, v(1))]);
-        let mut wj = WanderJoin::new(&g, cfg());
+        let wj = WanderJoin::new(&g, cfg());
         // A single pattern's walk weight is always the exact count.
         assert_eq!(wj.estimate_query(&q), 10.0);
     }
@@ -165,7 +165,7 @@ mod tests {
         // end q ?x — no matches.
         let end = lmkg_store::NodeId(g.nodes().get("end").unwrap());
         let q = Query::new(vec![TriplePattern::new(NodeTerm::Bound(end), p, v(0))]);
-        let mut wj = WanderJoin::new(&g, cfg());
+        let wj = WanderJoin::new(&g, cfg());
         assert_eq!(wj.estimate_query(&q), 0.0);
         assert_eq!(wj.estimate(&q), 1.0);
     }
@@ -193,7 +193,7 @@ mod tests {
             TriplePattern::new(v(0), q_pred, v(2)),
         ]);
         let exact = counter::cardinality(&g, &q) as f64;
-        let mut wj = WanderJoin::new(&g, cfg());
+        let wj = WanderJoin::new(&g, cfg());
         let est = wj.estimate_query(&q);
         let qerr = (est / exact).max(exact / est);
         assert!(qerr < 1.3, "estimate {est} vs exact {exact}");

@@ -42,7 +42,7 @@ fn bench_estimators(c: &mut Criterion) {
     }
 
     // CSET.
-    let mut cset = CharacteristicSets::build(&g);
+    let cset = CharacteristicSets::build(&g);
     for (label, queries) in [("star2", &stars), ("chain3", &chains)] {
         group.bench_with_input(BenchmarkId::new("cset", label), queries, |b, qs| {
             b.iter(|| {
@@ -54,7 +54,7 @@ fn bench_estimators(c: &mut Criterion) {
     }
 
     // SUMRDF.
-    let mut sumrdf = SumRdf::build(&g, SumRdfConfig::default());
+    let sumrdf = SumRdf::build(&g, SumRdfConfig::default());
     for (label, queries) in [("star2", &stars), ("chain3", &chains)] {
         group.bench_with_input(BenchmarkId::new("sumrdf", label), queries, |b, qs| {
             b.iter(|| {
@@ -66,7 +66,7 @@ fn bench_estimators(c: &mut Criterion) {
     }
 
     // WanderJoin (30 runs × 50 walks, the G-CARE protocol).
-    let mut wj = WanderJoin::new(
+    let wj = WanderJoin::new(
         &g,
         WanderJoinConfig {
             runs: 30,

@@ -80,7 +80,7 @@ fn bench_serving_modes(_c: &mut Criterion) {
         u_config: Default::default(),
         workload_seed: 5,
     };
-    let estimator = Box::new(Lmkg::build(&g, &cfg));
+    let estimator = Arc::new(Lmkg::build(&g, &cfg));
 
     let loadgen_cfg = LoadgenConfig {
         qps: 0.0, // auto-calibrate: offer 2x the direct per-query service rate
@@ -90,17 +90,26 @@ fn bench_serving_modes(_c: &mut Criterion) {
             window: Duration::from_millis(2),
             max_batch: 64,
             queue_depth: 1024,
-            workers: 2,
+            // 4 workers: with the estimator lock gone, the saturated
+            // comparison against the 1-worker run below measures how far
+            // concurrent forwards scale on this machine's cores.
+            workers: 4,
         },
     };
-    let (report, _estimator) = loadgen::compare(&g, estimator, &queries, &loadgen_cfg);
+    let report = loadgen::compare(&g, estimator, &queries, &loadgen_cfg);
 
     println!("{}", report.per_request);
     println!("{}", report.micro_batched);
+    println!("{}", report.saturated_1w);
+    println!("{}", report.saturated_multi);
     println!(
         "serve_latency: micro-batched vs per-request throughput gain {:.2}x at {:.0} offered qps \
          on {} core(s)",
         report.throughput_gain, report.offered_qps, report.available_parallelism
+    );
+    println!(
+        "serve_latency: worker scaling ({} workers / 1 worker, concurrent forwards) {:.2}x",
+        report.workers, report.worker_scaling
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, report.to_json()).expect("write BENCH_serve.json");

@@ -70,7 +70,7 @@ fn main() {
     for shape in [QueryShape::Star, QueryShape::Chain] {
         let mut per_strategy: Vec<(String, GroupedQErrors)> = Vec::new();
         for (name, grouping) in strategies {
-            let mut lmkg = Lmkg::build(&g, &mk_cfg(grouping));
+            let lmkg = Lmkg::build(&g, &mk_cfg(grouping));
             let mut grouped = GroupedQErrors::new();
             for (cell_shape, queries) in eval_cells.iter().filter(|(s, _)| *s == shape) {
                 let _ = cell_shape;

@@ -89,8 +89,8 @@ impl SizeRoutedLmkgS {
             .map(|(idx, _)| idx)
     }
 
-    fn route(&mut self, size: usize) -> Option<&mut LmkgS> {
-        self.route_idx(size).map(|idx| &mut self.models[idx].1)
+    fn route(&self, size: usize) -> Option<&LmkgS> {
+        self.route_idx(size).map(|idx| &self.models[idx].1)
     }
 }
 
@@ -99,7 +99,7 @@ impl CardinalityEstimator for SizeRoutedLmkgS {
         "LMKG-S"
     }
 
-    fn estimate(&mut self, query: &Query) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         match self.route(query.size()) {
             Some(model) => model.predict(query).unwrap_or(1.0),
             None => 1.0,
@@ -108,7 +108,7 @@ impl CardinalityEstimator for SizeRoutedLmkgS {
 
     /// Batched override: the slice is grouped by routed model (smallest
     /// capacity that fits each query) and every group runs one forward.
-    fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
         let mut out = vec![1.0f64; queries.len()];
         // Group query indices by the model `route` would pick.
         let mut grouped: Vec<Vec<usize>> = vec![Vec::new(); self.models.len()];
@@ -187,7 +187,7 @@ impl CardinalityEstimator for TypeSizeRoutedLmkgU {
         "LMKG-U"
     }
 
-    fn estimate(&mut self, query: &Query) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         match self.route_idx(query) {
             Some(idx) => self.models[idx].1.estimate_query(query).unwrap_or(1.0),
             None => 1.0,
@@ -196,7 +196,7 @@ impl CardinalityEstimator for TypeSizeRoutedLmkgU {
 
     /// Batched override: the slice is grouped by the (type, size) model
     /// that covers it; every group runs one batched sampling pass.
-    fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
         let mut out = vec![1.0f64; queries.len()];
         let mut grouped: Vec<Vec<usize>> = vec![Vec::new(); self.models.len()];
         for (i, q) in queries.iter().enumerate() {
@@ -312,7 +312,7 @@ mod tests {
         cfg.train_queries = 120;
         cfg.s_epochs = 2;
         let pools = TrainPools::generate(&g, &cfg);
-        let mut s = SizeRoutedLmkgS::train(&g, &cfg, &pools);
+        let s = SizeRoutedLmkgS::train(&g, &cfg, &pools);
         assert!(s.route(2).is_some());
         assert!(s.route(3).is_some());
         assert!(s.route(4).is_none());
@@ -336,11 +336,11 @@ mod tests {
         }
 
         let pools = TrainPools::generate(&g, &cfg);
-        let mut s = SizeRoutedLmkgS::train(&g, &cfg, &pools);
+        let s = SizeRoutedLmkgS::train(&g, &cfg, &pools);
         let looped: Vec<f64> = queries.iter().map(|q| s.estimate(q)).collect();
         assert_eq!(s.estimate_batch(&queries), looped, "LMKG-S routing parity");
 
-        let mut u = TypeSizeRoutedLmkgU::train(&g, &cfg).expect("domain fits");
+        let u = TypeSizeRoutedLmkgU::train(&g, &cfg).expect("domain fits");
         let looped: Vec<f64> = queries.iter().map(|q| u.estimate(q)).collect();
         assert_eq!(u.estimate_batch(&queries), looped, "LMKG-U routing parity");
     }

@@ -52,7 +52,7 @@ pub fn fmt(v: f64) -> String {
 /// milliseconds. Batched overrides return exactly what the per-query loop
 /// would, so accuracy numbers are unchanged while learned-model timings
 /// reflect one forward per batch.
-pub fn measure(est: &mut dyn CardinalityEstimator, queries: &[LabeledQuery]) -> (QErrorStats, f64) {
+pub fn measure(est: &dyn CardinalityEstimator, queries: &[LabeledQuery]) -> (QErrorStats, f64) {
     let workload: Vec<_> = queries.iter().map(|lq| lq.query.clone()).collect();
     let start = Instant::now();
     let estimates = est.estimate_batch(&workload);
@@ -67,7 +67,7 @@ pub fn measure(est: &mut dyn CardinalityEstimator, queries: &[LabeledQuery]) -> 
 
 /// Like [`measure`], but through the per-query loop — the reference point
 /// batched evaluation is compared against.
-pub fn measure_per_query(est: &mut dyn CardinalityEstimator, queries: &[LabeledQuery]) -> (QErrorStats, f64) {
+pub fn measure_per_query(est: &dyn CardinalityEstimator, queries: &[LabeledQuery]) -> (QErrorStats, f64) {
     let mut pairs = Vec::with_capacity(queries.len());
     let start = Instant::now();
     for lq in queries {
@@ -79,7 +79,7 @@ pub fn measure_per_query(est: &mut dyn CardinalityEstimator, queries: &[LabeledQ
 }
 
 /// Accuracy only (no timing).
-pub fn accuracy(est: &mut dyn CardinalityEstimator, queries: &[LabeledQuery]) -> QErrorStats {
+pub fn accuracy(est: &dyn CardinalityEstimator, queries: &[LabeledQuery]) -> QErrorStats {
     measure(est, queries).0
 }
 
@@ -105,8 +105,8 @@ mod tests {
         let mut cfg = WorkloadConfig::test_default(QueryShape::Star, 2, 3);
         cfg.count = 20;
         let queries = workload::generate(&g, &cfg);
-        let mut exact = ExactEstimator::new(&g);
-        let (stats, ms) = measure(&mut exact, &queries);
+        let exact = ExactEstimator::new(&g);
+        let (stats, ms) = measure(&exact, &queries);
         assert_eq!(stats.mean, 1.0);
         assert!(ms >= 0.0);
     }
@@ -117,9 +117,9 @@ mod tests {
         let mut cfg = WorkloadConfig::test_default(QueryShape::Star, 2, 3);
         cfg.count = 20;
         let queries = workload::generate(&g, &cfg);
-        let mut exact = ExactEstimator::new(&g);
-        let (batched, _) = measure(&mut exact, &queries);
-        let (looped, _) = measure_per_query(&mut exact, &queries);
+        let exact = ExactEstimator::new(&g);
+        let (batched, _) = measure(&exact, &queries);
+        let (looped, _) = measure_per_query(&exact, &queries);
         assert_eq!(batched.mean, looped.mean);
         assert_eq!(batched.median, looped.median);
     }

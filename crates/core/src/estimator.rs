@@ -1,12 +1,18 @@
 //! The estimator interface shared by LMKG models and all baselines.
 
 use lmkg_store::{counter, KnowledgeGraph, Query};
+use std::sync::Arc;
 
 /// A cardinality estimator.
 ///
-/// `estimate` takes `&mut self` because both the learned models (forward
-/// passes through layer caches) and the sampling baselines (RNG state)
-/// mutate internal state during estimation.
+/// Estimation takes `&self`: a trained model is **frozen** — forward passes
+/// thread per-call scratch buffers instead of mutating layer caches, and the
+/// sampling baselines derive a per-query RNG from a stored seed instead of
+/// advancing shared RNG state. Estimators that are also `Send + Sync` (all
+/// of the in-tree ones) can therefore be shared behind one `Arc` by any
+/// number of threads running estimates concurrently — the shape the serving
+/// layer relies on. Mutation (training, buffer fills) stays on inherent
+/// `&mut self` methods of the concrete types.
 pub trait CardinalityEstimator {
     /// Human-readable estimator name (used in experiment tables).
     fn name(&self) -> &str;
@@ -14,7 +20,7 @@ pub trait CardinalityEstimator {
     /// Estimates the cardinality of `query`. Estimates are floored at 1.0 —
     /// every query in our workloads has at least one match, and a floor
     /// keeps q-errors finite for all estimators (G-CARE does the same).
-    fn estimate(&mut self, query: &Query) -> f64;
+    fn estimate(&self, query: &Query) -> f64;
 
     /// Estimates a whole workload slice, returning one estimate per query
     /// in order.
@@ -26,7 +32,7 @@ pub trait CardinalityEstimator {
     /// comes from. Overrides must return exactly the estimates the looped
     /// default would (the cross-crate parity suite enforces this for the
     /// deterministic estimators).
-    fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
         queries.iter().map(|q| self.estimate(q)).collect()
     }
 
@@ -36,18 +42,40 @@ pub trait CardinalityEstimator {
 }
 
 /// Boxed estimators forward the whole trait, so heterogeneous estimators can
-/// be held behind `Box<dyn CardinalityEstimator + Send>` — the form the
-/// serving layer's worker threads own — without losing the batched override.
+/// be held behind `Box<dyn CardinalityEstimator>` without losing the batched
+/// override.
 impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for Box<T> {
     fn name(&self) -> &str {
         (**self).name()
     }
 
-    fn estimate(&mut self, query: &Query) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         (**self).estimate(query)
     }
 
-    fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
+        (**self).estimate_batch(queries)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+}
+
+/// `Arc`-shared estimators forward the whole trait too — the form the
+/// serving layer's worker threads hold (`Arc<dyn CardinalityEstimator +
+/// Send + Sync>`), each running `estimate_batch` concurrently on one frozen
+/// model. Possible at all because estimation takes `&self`.
+impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for Arc<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        (**self).estimate(query)
+    }
+
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
         (**self).estimate_batch(queries)
     }
 
@@ -73,7 +101,7 @@ impl CardinalityEstimator for ExactEstimator<'_> {
         "exact"
     }
 
-    fn estimate(&mut self, query: &Query) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         (counter::cardinality(self.graph, query) as f64).max(1.0)
     }
 
@@ -88,8 +116,7 @@ mod tests {
     use crate::metrics::q_error;
     use lmkg_store::{GraphBuilder, NodeTerm, PredTerm, TriplePattern, VarId};
 
-    #[test]
-    fn boxed_estimator_forwards_the_trait() {
+    fn one_triple_fixture() -> (KnowledgeGraph, Query) {
         let mut b = GraphBuilder::new();
         b.add("a", "p", "b");
         let g = b.build();
@@ -98,13 +125,35 @@ mod tests {
             PredTerm::Bound(lmkg_store::PredId(0)),
             NodeTerm::Var(VarId(1)),
         )]);
-        let mut direct = ExactEstimator::new(&g);
+        (g, q)
+    }
+
+    #[test]
+    fn boxed_estimator_forwards_the_trait() {
+        let (g, q) = one_triple_fixture();
+        let direct = ExactEstimator::new(&g);
         let expected = direct.estimate(&q);
-        let mut boxed: Box<dyn CardinalityEstimator + '_> = Box::new(ExactEstimator::new(&g));
+        let boxed: Box<dyn CardinalityEstimator + '_> = Box::new(ExactEstimator::new(&g));
         assert_eq!(boxed.name(), "exact");
         assert_eq!(boxed.estimate(&q), expected);
         assert_eq!(boxed.estimate_batch(std::slice::from_ref(&q)), vec![expected]);
         assert!(boxed.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn arc_estimator_forwards_the_trait() {
+        let (g, q) = one_triple_fixture();
+        let direct = ExactEstimator::new(&g);
+        let expected = direct.estimate(&q);
+        let shared: Arc<dyn CardinalityEstimator + '_> = Arc::new(ExactEstimator::new(&g));
+        assert_eq!(shared.name(), "exact");
+        assert_eq!(shared.estimate(&q), expected);
+        assert_eq!(shared.estimate_batch(std::slice::from_ref(&q)), vec![expected]);
+        assert!(shared.memory_bytes() > 0);
+        // Two handles to one frozen estimator answer identically — the
+        // property the concurrent serving path is built on.
+        let clone = Arc::clone(&shared);
+        assert_eq!(clone.estimate(&q).to_bits(), shared.estimate(&q).to_bits());
     }
 
     #[test]
@@ -118,7 +167,7 @@ mod tests {
             PredTerm::Bound(lmkg_store::PredId(0)),
             NodeTerm::Var(VarId(1)),
         )]);
-        let mut est = ExactEstimator::new(&g);
+        let est = ExactEstimator::new(&g);
         assert_eq!(est.name(), "exact");
         assert_eq!(q_error(est.estimate(&q), 2), 1.0);
         assert!(est.memory_bytes() > 0);

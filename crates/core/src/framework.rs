@@ -257,8 +257,10 @@ impl Lmkg {
     }
 
     /// Execution phase (Fig. 1, bottom): route to a model when one covers
-    /// the query's type and size, otherwise decompose and combine.
-    pub fn estimate_query(&mut self, query: &Query) -> f64 {
+    /// the query's type and size, otherwise decompose and combine. Shared
+    /// (`&self`) access: any number of threads can estimate over one `Lmkg`
+    /// concurrently.
+    pub fn estimate_query(&self, query: &Query) -> f64 {
         if let Some(est) = self.try_direct(query) {
             return est;
         }
@@ -299,7 +301,7 @@ impl Lmkg {
     /// so even a fully uncovered workload runs one forward per model, not
     /// one per sub-query. Results are identical to looping
     /// [`Lmkg::estimate_query`].
-    pub fn estimate_query_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+    pub fn estimate_query_batch(&self, queries: &[Query]) -> Vec<f64> {
         let refs: Vec<&Query> = queries.iter().collect();
         let mut out = self.route_batch(&refs);
 
@@ -340,10 +342,10 @@ impl Lmkg {
     /// query rejected by one model (encoder or shape/size mismatch) stays
     /// eligible for later entries — the same fall-through [`Lmkg::try_direct`]
     /// performs per query. `None` means no model answered.
-    fn route_batch(&mut self, queries: &[&Query]) -> Vec<Option<f64>> {
+    fn route_batch(&self, queries: &[&Query]) -> Vec<Option<f64>> {
         let mut out: Vec<Option<f64>> = vec![None; queries.len()];
         let mut remaining: Vec<usize> = (0..queries.len()).collect();
-        for (key, entry) in &mut self.entries {
+        for (key, entry) in &self.entries {
             if remaining.is_empty() {
                 break;
             }
@@ -382,10 +384,10 @@ impl Lmkg {
     }
 
     /// Attempts to answer with a single model.
-    fn try_direct(&mut self, query: &Query) -> Option<f64> {
+    fn try_direct(&self, query: &Query) -> Option<f64> {
         let shape = query.shape();
         let size = query.size();
-        for (key, entry) in &mut self.entries {
+        for (key, entry) in &self.entries {
             match entry {
                 ModelEntry::S(model) => {
                     if key.matches(shape, size, false) {
@@ -406,14 +408,13 @@ impl Lmkg {
         None
     }
 
-    /// Total memory of all models plus the summary (Table II). Named
-    /// distinctly from `CardinalityEstimator::memory_bytes` because parameter
-    /// walking needs `&mut self`, and Rust's autoref order would otherwise
-    /// silently pick the trait method.
-    pub fn total_memory_bytes(&mut self) -> usize {
+    /// Total memory of all models plus the summary (Table II). Parameter
+    /// walking is a read-only traversal, so this — like the trait's
+    /// `memory_bytes`, which now reports the same total — takes `&self`.
+    pub fn total_memory_bytes(&self) -> usize {
         let models: usize = self
             .entries
-            .iter_mut()
+            .iter()
             .map(|(_, e)| match e {
                 ModelEntry::S(m) => m.memory_bytes(),
                 ModelEntry::U(m) => m.memory_bytes(),
@@ -428,13 +429,13 @@ impl CardinalityEstimator for Lmkg {
         "LMKG"
     }
 
-    fn estimate(&mut self, query: &Query) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         self.estimate_query(query).max(1.0)
     }
 
     /// Batched override: groups the slice by covering model and dispatches
     /// one batched forward per model via [`Lmkg::estimate_query_batch`].
-    fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
         self.estimate_query_batch(queries)
             .into_iter()
             .map(|est| est.max(1.0))
@@ -442,9 +443,7 @@ impl CardinalityEstimator for Lmkg {
     }
 
     fn memory_bytes(&self) -> usize {
-        // Trait takes &self; parameter counts need &mut. Report summary-only
-        // here; callers needing exact totals use `Lmkg::memory_bytes`.
-        self.summary.memory_bytes()
+        self.total_memory_bytes()
     }
 }
 
@@ -616,7 +615,7 @@ mod tests {
     fn estimates_covered_queries_reasonably() {
         let g = Dataset::LubmLike.generate(Scale::Ci, 1);
         let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize);
-        let mut lmkg = Lmkg::build(&g, &cfg);
+        let lmkg = Lmkg::build(&g, &cfg);
         let wl = WorkloadConfig::test_default(QueryShape::Star, 2, 99);
         let test = workload::generate(&g, &wl);
         let pairs: Vec<(f64, u64)> = test
@@ -632,7 +631,7 @@ mod tests {
     fn uncovered_size_is_decomposed() {
         let g = Dataset::LubmLike.generate(Scale::Ci, 1);
         let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize); // only size 2
-        let mut lmkg = Lmkg::build(&g, &cfg);
+        let lmkg = Lmkg::build(&g, &cfg);
         // Star of size 4 → decomposed into two size-2 stars.
         let q = Query::new(
             (0..4)
@@ -653,7 +652,7 @@ mod tests {
     fn composite_query_is_decomposed() {
         let g = Dataset::LubmLike.generate(Scale::Ci, 1);
         let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize);
-        let mut lmkg = Lmkg::build(&g, &cfg);
+        let lmkg = Lmkg::build(&g, &cfg);
         // star(2) at ?0 + chain edge from ?1: shape Other.
         let q = Query::new(vec![
             TriplePattern::new(
@@ -681,7 +680,7 @@ mod tests {
     fn unsupervised_framework_routes_by_exact_size() {
         let g = Dataset::LubmLike.generate(Scale::Ci, 1);
         let cfg = quick_cfg(ModelType::Unsupervised, Grouping::Specialized);
-        let mut lmkg = Lmkg::build(&g, &cfg);
+        let lmkg = Lmkg::build(&g, &cfg);
         assert_eq!(lmkg.model_count(), 2); // star-2, chain-2
         let wl = WorkloadConfig::test_default(QueryShape::Star, 2, 5);
         let test = workload::generate(&g, &wl);
@@ -694,7 +693,7 @@ mod tests {
         let g = Dataset::LubmLike.generate(Scale::Ci, 1);
         let mut cfg = quick_cfg(ModelType::Unsupervised, Grouping::Specialized);
         cfg.u_config.max_node_domain = 2; // force the YAGO path
-        let mut lmkg = Lmkg::build(&g, &cfg);
+        let lmkg = Lmkg::build(&g, &cfg);
         assert_eq!(lmkg.model_count(), 0);
         // Still answers via the statistics fallback.
         let wl = WorkloadConfig::test_default(QueryShape::Star, 2, 5);
@@ -707,7 +706,7 @@ mod tests {
         let g = Dataset::LubmLike.generate(Scale::Ci, 1);
         let mut cfg = quick_cfg(ModelType::Supervised, Grouping::BySize);
         cfg.sizes = vec![2, 3];
-        let mut lmkg = Lmkg::build(&g, &cfg);
+        let lmkg = Lmkg::build(&g, &cfg);
 
         // Covered sizes, an uncovered size (decomposition), and a composite
         // shape (decomposition) all mixed into one batch.
@@ -740,7 +739,7 @@ mod tests {
     fn batched_decomposition_matches_per_query_bitwise() {
         let g = Dataset::LubmLike.generate(Scale::Ci, 1);
         let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize); // covers size 2 only
-        let mut lmkg = Lmkg::build(&g, &cfg);
+        let lmkg = Lmkg::build(&g, &cfg);
 
         // A batch dominated by queries no model covers: size-4 and size-6
         // stars (decomposed into covered size-2 stars), plus an `Other`-shaped
@@ -795,8 +794,8 @@ mod tests {
         let g = Dataset::LubmLike.generate(Scale::Ci, 1);
         let mut cfg = quick_cfg(ModelType::Supervised, Grouping::Specialized);
         cfg.sizes = vec![2, 3];
-        let mut a = Lmkg::build(&g, &cfg);
-        let mut b = Lmkg::build(&g, &cfg);
+        let a = Lmkg::build(&g, &cfg);
+        let b = Lmkg::build(&g, &cfg);
         assert_eq!(a.model_count(), b.model_count());
         let wl = WorkloadConfig::test_default(QueryShape::Star, 2, 23);
         let queries: Vec<Query> = workload::generate(&g, &wl)
@@ -817,7 +816,7 @@ mod tests {
     fn memory_accounting() {
         let g = Dataset::LubmLike.generate(Scale::Ci, 1);
         let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize);
-        let mut lmkg = Lmkg::build(&g, &cfg);
+        let lmkg = Lmkg::build(&g, &cfg);
         let mb = lmkg.total_memory_bytes();
         assert!(mb > 1000, "memory {mb}, models {}", lmkg.model_count());
     }

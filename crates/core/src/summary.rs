@@ -169,7 +169,7 @@ impl crate::estimator::CardinalityEstimator for GraphSummary {
         "summary"
     }
 
-    fn estimate(&mut self, query: &Query) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         self.estimate_query_independent(query)
     }
 
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn summary_implements_the_estimator_trait() {
         use crate::estimator::CardinalityEstimator;
-        let mut s = GraphSummary::build(&graph());
+        let s = GraphSummary::build(&graph());
         let q = Query::new(vec![TriplePattern::new(v(0), PredTerm::Bound(PredId(0)), v(1))]);
         let expected = s.estimate_query_independent(&q);
         assert_eq!(s.name(), "summary");

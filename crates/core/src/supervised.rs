@@ -11,6 +11,7 @@ use lmkg_encoder::{CardinalityScaler, EncodeError, PatternBoundEncoder, RowEncod
 use lmkg_nn::layers::{Dense, Dropout, Layer, Relu, Sequential, Sigmoid};
 use lmkg_nn::optimizer::{Adam, Optimizer};
 use lmkg_nn::tensor::Matrix;
+use lmkg_nn::workspace::Workspace;
 use lmkg_nn::{loss, serialize};
 use lmkg_store::Query;
 use rand::rngs::StdRng;
@@ -121,6 +122,10 @@ pub struct EpochStats {
 }
 
 /// The supervised LMKG estimator.
+///
+/// Built (`&mut self`) once, then frozen: every prediction entry point takes
+/// `&self` and runs the network through the shared-read inference path, so a
+/// trained `LmkgS` behind an `Arc` serves concurrent estimates without locks.
 pub struct LmkgS {
     encoder: QueryEncoder,
     model: Sequential,
@@ -128,8 +133,6 @@ pub struct LmkgS {
     cfg: LmkgSConfig,
     outliers: OutlierBuffer,
     rng: StdRng,
-    /// Parameter count, fixed at construction (architecture is static).
-    cached_param_count: usize,
 }
 
 impl LmkgS {
@@ -151,7 +154,6 @@ impl LmkgS {
         model.push(Dense::new_xavier(&mut rng, fan_in, 1));
         model.push(Sigmoid::new());
         let outliers = OutlierBuffer::new(cfg.outlier_buffer);
-        let cached_param_count = model.param_count();
         Self {
             encoder,
             model,
@@ -159,7 +161,6 @@ impl LmkgS {
             cfg,
             outliers,
             rng,
-            cached_param_count,
         }
     }
 
@@ -255,8 +256,16 @@ impl LmkgS {
         }
     }
 
-    /// Predicts the cardinality of a query. Errors if the encoder rejects it.
-    pub fn predict(&mut self, query: &Query) -> Result<f64, EncodeError> {
+    /// Predicts the cardinality of a query. Errors if the encoder rejects
+    /// it. Allocates a one-shot [`Workspace`]; callers with a hot loop use
+    /// [`LmkgS::predict_with`] to reuse one.
+    pub fn predict(&self, query: &Query) -> Result<f64, EncodeError> {
+        self.predict_with(query, &mut Workspace::new())
+    }
+
+    /// [`LmkgS::predict`] with a caller-provided workspace — the shared-read
+    /// hot path: `&self` model access plus per-caller scratch buffers.
+    pub fn predict_with(&self, query: &Query, ws: &mut Workspace) -> Result<f64, EncodeError> {
         if let Some(card) = self.outliers.lookup(query) {
             return Ok(card as f64);
         }
@@ -264,8 +273,11 @@ impl LmkgS {
         let mut buf = vec![0.0f32; self.encoder.width()];
         self.encoder.encode(query, &mut buf)?;
         let x = Matrix::from_vec(1, buf.len(), buf);
-        let y = self.model.forward(&x, false);
-        Ok(scaler.unscale(y.get(0, 0)).max(1.0))
+        let y = self.model.forward_infer(&x, ws);
+        let out = scaler.unscale(y.get(0, 0)).max(1.0);
+        ws.recycle(y);
+        ws.recycle(x);
+        Ok(out)
     }
 
     /// Predicts a whole batch with **one** network forward: queries are
@@ -274,7 +286,8 @@ impl LmkgS {
     /// the network exactly as in [`LmkgS::predict`], and per-query encoder
     /// rejections surface as per-query errors. Row-independent kernels make
     /// the results bitwise-identical to looping `predict`.
-    pub fn predict_batch(&mut self, queries: &[&Query]) -> Vec<Result<f64, EncodeError>> {
+    pub fn predict_batch(&self, queries: &[&Query]) -> Vec<Result<f64, EncodeError>> {
+        let mut ws = Workspace::new();
         let scaler = *self.scaler.as_ref().expect("model is untrained");
         let w = self.encoder.width();
         // Outlier-buffer hits are answered exactly; the rest go to the net.
@@ -311,27 +324,29 @@ impl LmkgS {
         for chunk in accepted.chunks(micro_batch) {
             let x = Matrix::from_vec(chunk.len(), w, rows[done * w..(done + chunk.len()) * w].to_vec());
             done += chunk.len();
-            let y = self.model.forward(&x, false);
+            let y = self.model.forward_infer(&x, &mut ws);
             for (row, &i) in chunk.iter().enumerate() {
                 results[i] = Some(Ok(scaler.unscale(y.get(row, 0)).max(1.0)));
             }
+            ws.recycle(y);
+            ws.recycle(x);
         }
         results.into_iter().map(|r| r.expect("every query resolved")).collect()
     }
 
-    /// Scalar parameter count.
-    pub fn param_count(&mut self) -> usize {
+    /// Scalar parameter count (read-only walk).
+    pub fn param_count(&self) -> usize {
         self.model.param_count()
     }
 
     /// Model size in bytes (parameters + outlier buffer).
-    pub fn memory_bytes(&mut self) -> usize {
+    pub fn memory_bytes(&self) -> usize {
         self.model.param_count() * std::mem::size_of::<f32>() + self.outliers.memory_bytes()
     }
 
     /// Serializes the parameters (not the scaler/config) to a writer.
-    pub fn save_params<W: io::Write>(&mut self, w: &mut W) -> io::Result<()> {
-        serialize::save_params(&mut self.model, w)
+    pub fn save_params<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        serialize::save_params(&self.model, w)
     }
 
     /// Restores parameters from a reader (architecture must match); the
@@ -353,13 +368,13 @@ impl crate::estimator::CardinalityEstimator for LmkgS {
 
     /// Estimates via [`LmkgS::predict`]; queries the encoder rejects (wrong
     /// topology/size for this specific model) report the neutral estimate 1.
-    fn estimate(&mut self, query: &Query) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         self.predict(query).unwrap_or(1.0)
     }
 
     /// Batched override: one forward pass per batch via
     /// [`LmkgS::predict_batch`].
-    fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
         let refs: Vec<&Query> = queries.iter().collect();
         self.predict_batch(&refs)
             .into_iter()
@@ -368,7 +383,7 @@ impl crate::estimator::CardinalityEstimator for LmkgS {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.cached_param_count * std::mem::size_of::<f32>() + self.outliers.memory_bytes()
+        LmkgS::memory_bytes(self)
     }
 }
 
@@ -575,7 +590,7 @@ mod tests {
     fn memory_accounting_positive() {
         let (g, _) = small_setup();
         let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
-        let mut model = LmkgS::new(enc, quick_cfg());
+        let model = LmkgS::new(enc, quick_cfg());
         assert!(model.memory_bytes() > 1000);
         assert!(model.param_count() > 0);
     }

@@ -13,6 +13,7 @@
 use lmkg_data::sampler::{ChainSampler, SamplingStrategy, StarSampler};
 use lmkg_nn::loss;
 use lmkg_nn::optimizer::{Adam, Optimizer};
+use lmkg_nn::workspace::Workspace;
 use lmkg_nn::{Made, MadeConfig};
 use lmkg_store::{counter, KnowledgeGraph, Query, QueryShape, VarId};
 use rand::rngs::StdRng;
@@ -118,6 +119,12 @@ impl Default for LmkgUConfig {
 
 /// The unsupervised LMKG estimator for one `(shape, size)` pair — the
 /// paper's LMKG-U grouping ("query size and type grouping", §VIII-B).
+///
+/// Trained (`&mut self`) once, then frozen: every estimation entry point
+/// takes `&self` — the MADE forwards run through the shared-read inference
+/// path with per-call workspaces, and the particle RNG is derived per query
+/// (never shared state) — so a trained `LmkgU` behind an `Arc` serves
+/// concurrent estimates without locks.
 pub struct LmkgU {
     made: Made,
     shape: QueryShape,
@@ -126,8 +133,6 @@ pub struct LmkgU {
     segments: Vec<usize>,
     cfg: LmkgUConfig,
     rng: StdRng,
-    /// Parameter count, fixed at construction (architecture is static).
-    cached_param_count: usize,
 }
 
 impl LmkgU {
@@ -159,8 +164,7 @@ impl LmkgU {
             embed_dim: cfg.embed_dim,
         };
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut made = Made::new(&mut rng, made_cfg);
-        let cached_param_count = made.param_count();
+        let made = Made::new(&mut rng, made_cfg);
         let segments = made.segments().to_vec();
         let n_total = match shape {
             QueryShape::Star => counter::star_tuple_total(graph, k),
@@ -175,7 +179,6 @@ impl LmkgU {
             segments,
             cfg,
             rng,
-            cached_param_count,
         })
     }
 
@@ -262,8 +265,9 @@ impl LmkgU {
     }
 
     /// Mean negative log-likelihood of `tuples` under the current model.
-    pub fn nll(&mut self, tuples: &[Vec<usize>]) -> f32 {
-        let logits = self.made.forward_ids(tuples, false);
+    pub fn nll(&self, tuples: &[Vec<usize>]) -> f32 {
+        let mut ws = Workspace::new();
+        let logits = self.made.forward_ids_infer(tuples, &mut ws);
         loss::segmented_cross_entropy(&logits, &self.segments, tuples).0
     }
 
@@ -351,7 +355,7 @@ impl LmkgU {
 
     /// Estimates the cardinality of `query` via likelihood-weighted forward
     /// sampling (§VI-B).
-    pub fn estimate_query(&mut self, query: &Query) -> Result<f64, LmkgUError> {
+    pub fn estimate_query(&self, query: &Query) -> Result<f64, LmkgUError> {
         let bounds = self.query_bounds(query)?;
         Ok(self.estimate_bounds(&bounds))
     }
@@ -363,7 +367,7 @@ impl LmkgU {
     /// [`LmkgU::estimate_query`], because particle RNG streams are derived
     /// per query (see [`LmkgU::particle_rng`]) and the network kernels are
     /// row-independent.
-    pub fn estimate_query_batch(&mut self, queries: &[&Query]) -> Vec<Result<f64, LmkgUError>> {
+    pub fn estimate_query_batch(&self, queries: &[&Query]) -> Vec<Result<f64, LmkgUError>> {
         let parsed: Vec<Result<Vec<Option<usize>>, LmkgUError>> =
             queries.iter().map(|q| self.query_bounds(q)).collect();
         let accepted: Vec<Vec<Option<usize>>> = parsed.iter().filter_map(|r| r.as_ref().ok().cloned()).collect();
@@ -394,7 +398,7 @@ impl LmkgU {
     }
 
     /// Core progressive-sampling estimator over per-position bound values.
-    pub fn estimate_bounds(&mut self, bounds: &[Option<usize>]) -> f64 {
+    pub fn estimate_bounds(&self, bounds: &[Option<usize>]) -> f64 {
         assert_eq!(bounds.len(), self.segments.len());
         let Some(last_bound) = bounds.iter().rposition(Option::is_some) else {
             // No bound term: the query matches every tuple.
@@ -402,6 +406,7 @@ impl LmkgU {
         };
         let particles = self.cfg.particles.max(1);
         let mut rng = self.particle_rng(bounds);
+        let mut ws = Workspace::new();
         let mut ids = vec![vec![0usize; self.segments.len()]; particles];
         let mut log_w = vec![0.0f64; particles];
 
@@ -409,7 +414,7 @@ impl LmkgU {
             // Only the current position's logit segment is needed — the
             // sliced forward avoids materializing the full (huge) output
             // layer at every autoregressive step.
-            let logits = self.made.forward_ids_segment(&ids, pos);
+            let logits = self.made.forward_ids_segment(&ids, pos, &mut ws);
             match bounds[pos] {
                 Some(b) => {
                     for (r, ids_row) in ids.iter_mut().enumerate() {
@@ -423,6 +428,7 @@ impl LmkgU {
                     }
                 }
             }
+            ws.recycle(logits);
         }
 
         let mean_w: f64 = log_w.iter().map(|&lw| lw.exp()).sum::<f64>() / particles as f64;
@@ -432,7 +438,7 @@ impl LmkgU {
     /// Batched [`LmkgU::estimate_bounds`]: all queries' particles share one
     /// ids matrix, so every autoregressive position costs a single sliced
     /// forward for the whole batch.
-    pub fn estimate_bounds_batch(&mut self, bounds_list: &[Vec<Option<usize>>]) -> Vec<f64> {
+    pub fn estimate_bounds_batch(&self, bounds_list: &[Vec<Option<usize>>]) -> Vec<f64> {
         let positions = self.segments.len();
         let particles = self.cfg.particles.max(1);
         let mut out = vec![0.0f64; bounds_list.len()];
@@ -455,6 +461,7 @@ impl LmkgU {
         }
 
         let max_last = *last_bounds.iter().max().expect("non-empty active set");
+        let mut ws = Workspace::new();
         let mut rngs: Vec<StdRng> = active.iter().map(|&i| self.particle_rng(&bounds_list[i])).collect();
         let mut ids = vec![vec![0usize; positions]; active.len() * particles];
         let mut log_w = vec![0.0f64; active.len() * particles];
@@ -469,13 +476,13 @@ impl LmkgU {
             let logits = if live.len() == active.len() {
                 // Homogeneous batch: everyone is live, forward in place
                 // without copying any rows.
-                self.made.forward_ids_segment(&ids, pos)
+                self.made.forward_ids_segment(&ids, pos, &mut ws)
             } else {
                 let live_ids: Vec<Vec<usize>> = live
                     .iter()
                     .flat_map(|&qi| ids[qi * particles..(qi + 1) * particles].iter().cloned())
                     .collect();
-                self.made.forward_ids_segment(&live_ids, pos)
+                self.made.forward_ids_segment(&live_ids, pos, &mut ws)
             };
             let compacted = live.len() != active.len();
             for (slot, &qi) in live.iter().enumerate() {
@@ -495,6 +502,7 @@ impl LmkgU {
                     }
                 }
             }
+            ws.recycle(logits);
         }
 
         for (qi, &i) in active.iter().enumerate() {
@@ -505,13 +513,13 @@ impl LmkgU {
         out
     }
 
-    /// Scalar parameter count.
-    pub fn param_count(&mut self) -> usize {
+    /// Scalar parameter count (read-only walk).
+    pub fn param_count(&self) -> usize {
         self.made.param_count()
     }
 
     /// Model size in bytes.
-    pub fn memory_bytes(&mut self) -> usize {
+    pub fn memory_bytes(&self) -> usize {
         self.made.memory_bytes()
     }
 }
@@ -524,13 +532,13 @@ impl crate::estimator::CardinalityEstimator for LmkgU {
     /// Estimates via [`LmkgU::estimate_query`]; queries this model cannot
     /// answer (wrong type/size, unsupported variable pattern) report the
     /// neutral estimate 1.
-    fn estimate(&mut self, query: &Query) -> f64 {
+    fn estimate(&self, query: &Query) -> f64 {
         self.estimate_query(query).unwrap_or(1.0)
     }
 
     /// Batched override: one sliced forward per autoregressive position for
     /// the whole batch via [`LmkgU::estimate_query_batch`].
-    fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
         let refs: Vec<&Query> = queries.iter().collect();
         self.estimate_query_batch(&refs)
             .into_iter()
@@ -539,7 +547,7 @@ impl crate::estimator::CardinalityEstimator for LmkgU {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.cached_param_count * std::mem::size_of::<f32>()
+        LmkgU::memory_bytes(self)
     }
 }
 
@@ -643,7 +651,7 @@ mod tests {
 
     #[test]
     fn estimates_fully_unbound_query_as_n_total() {
-        let (_, mut m) = trained_star_model(2);
+        let (_, m) = trained_star_model(2);
         let q = Query::new(vec![
             TriplePattern::new(v(0), PredTerm::Var(VarId(5)), v(1)),
             TriplePattern::new(v(0), PredTerm::Var(VarId(6)), v(2)),
@@ -654,7 +662,7 @@ mod tests {
 
     #[test]
     fn estimates_star_query_close_to_exact() {
-        let (g, mut m) = trained_star_model(2);
+        let (g, m) = trained_star_model(2);
         let has_author = PredId(g.preds().get("hasAuthor").unwrap());
         let genre = PredId(g.preds().get("genre").unwrap());
         let horror = NodeId(g.nodes().get("horror").unwrap());
@@ -672,7 +680,7 @@ mod tests {
 
     #[test]
     fn estimates_bound_only_query() {
-        let (g, mut m) = trained_star_model(2);
+        let (g, m) = trained_star_model(2);
         let has_author = PredId(g.preds().get("hasAuthor").unwrap());
         let genre = PredId(g.preds().get("genre").unwrap());
         let horror = NodeId(g.nodes().get("horror").unwrap());
@@ -718,7 +726,7 @@ mod tests {
 
     #[test]
     fn shape_and_size_mismatches_error() {
-        let (_, mut m) = trained_star_model(2);
+        let (_, m) = trained_star_model(2);
         // Chain query against star model.
         let chain = Query::new(vec![
             TriplePattern::new(v(0), p(0), v(1)),
@@ -736,7 +744,7 @@ mod tests {
 
     #[test]
     fn repeated_object_variable_unsupported() {
-        let (_, mut m) = trained_star_model(2);
+        let (_, m) = trained_star_model(2);
         let q = Query::new(vec![
             TriplePattern::new(v(0), p(0), v(1)),
             TriplePattern::new(v(0), p(1), v(1)),
@@ -752,8 +760,8 @@ mod tests {
             m.train(&g);
             m
         };
-        let mut a = build();
-        let mut b = build();
+        let a = build();
+        let b = build();
         let has_author = PredId(g.preds().get("hasAuthor").unwrap());
         let q = Query::new(vec![
             TriplePattern::new(v(0), PredTerm::Bound(has_author), v(1)),
@@ -764,7 +772,7 @@ mod tests {
 
     #[test]
     fn batch_estimates_match_per_query_bitwise() {
-        let (g, mut m) = trained_star_model(2);
+        let (g, m) = trained_star_model(2);
         let has_author = PredId(g.preds().get("hasAuthor").unwrap());
         let genre = PredId(g.preds().get("genre").unwrap());
         let horror = NodeId(g.nodes().get("horror").unwrap());

@@ -56,6 +56,12 @@ impl Embedding {
         &mut self.table
     }
 
+    /// Read-only access to the underlying parameter (for `&self` parameter
+    /// walks).
+    pub fn param(&self) -> &Param {
+        &self.table
+    }
+
     /// Read-only access to the table values.
     pub fn values(&self) -> &Matrix {
         &self.table.value

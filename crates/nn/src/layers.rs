@@ -6,6 +6,7 @@
 
 use crate::init;
 use crate::tensor::Matrix;
+use crate::workspace::Workspace;
 use rand::Rng;
 
 /// A trainable parameter: value plus gradient accumulator of identical shape.
@@ -48,6 +49,22 @@ pub trait Layer {
         self.forward(&x, train)
     }
 
+    /// Inference-only forward over **shared** layer state: no activation is
+    /// cached, so any number of threads may run `forward_infer` on one model
+    /// concurrently. Output buffers come from the caller's [`Workspace`];
+    /// results are bitwise identical to `forward(x, false)`.
+    fn forward_infer(&self, x: &Matrix, ws: &mut Workspace) -> Matrix;
+
+    /// Like [`Layer::forward_infer`] but takes ownership of the input,
+    /// letting in-place layers (activations, eval-mode dropout) reuse it as
+    /// the output. The default recycles the input into the workspace after a
+    /// borrowed forward. Numerically identical to [`Layer::forward_infer`].
+    fn forward_infer_owned(&self, x: Matrix, ws: &mut Workspace) -> Matrix {
+        let y = self.forward_infer(&x, ws);
+        ws.recycle(x);
+        y
+    }
+
     /// Propagates `grad_out` backwards, accumulating parameter gradients and
     /// returning the gradient with respect to the layer input. Must be called
     /// after a `forward(train=true)`.
@@ -56,15 +73,20 @@ pub trait Layer {
     /// Visits all trainable parameters in a stable order.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
 
+    /// Visits all trainable parameters read-only, in the same stable order
+    /// as [`Layer::visit_params`] — the shared-access walk behind `&self`
+    /// parameter counting and memory accounting.
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param));
+
     /// Zeroes all parameter gradients.
     fn zero_grads(&mut self) {
         self.visit_params(&mut |p| p.grad.fill(0.0));
     }
 
     /// Total number of scalar parameters.
-    fn param_count(&mut self) -> usize {
+    fn param_count(&self) -> usize {
         let mut n = 0;
-        self.visit_params(&mut |p| n += p.len());
+        self.visit_params_ref(&mut |p| n += p.len());
         n
     }
 }
@@ -116,6 +138,12 @@ impl Layer for Dense {
         y
     }
 
+    fn forward_infer(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let mut y = ws.matmul(x, &self.w.value);
+        y.add_row_vector(self.b.value.as_slice());
+        y
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let x = self.cached_input.take().expect("backward without forward(train)");
         self.w.grad.add_assign(&x.matmul_tn(grad_out));
@@ -127,6 +155,11 @@ impl Layer for Dense {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.w);
         f(&mut self.b);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.w);
+        f(&self.b);
     }
 }
 
@@ -175,6 +208,14 @@ impl MaskedDense {
         y
     }
 
+    /// Workspace-backed [`MaskedDense::forward_columns`]: same computation,
+    /// same bits, output drawn from the caller's buffer pool.
+    pub fn forward_columns_infer(&self, x: &Matrix, lo: usize, hi: usize, ws: &mut Workspace) -> Matrix {
+        let mut y = ws.matmul_cols(x, &self.w.value, lo, hi);
+        y.add_row_vector(&self.b.value.as_slice()[lo..hi]);
+        y
+    }
+
     /// Maximum |weight| over masked-out connections. Zero as long as the
     /// masking invariant holds (diagnostic for tests).
     pub fn mask_violation(&self) -> f32 {
@@ -204,6 +245,12 @@ impl Layer for MaskedDense {
         y
     }
 
+    fn forward_infer(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let mut y = ws.matmul(x, &self.w.value);
+        y.add_row_vector(self.b.value.as_slice());
+        y
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let x = self.cached_input.take().expect("backward without forward(train)");
         let mut wg = x.matmul_tn(grad_out);
@@ -217,6 +264,11 @@ impl Layer for MaskedDense {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.w);
         f(&mut self.b);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.w);
+        f(&self.b);
     }
 }
 
@@ -250,12 +302,27 @@ impl Layer for Relu {
         x
     }
 
+    fn forward_infer(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let mut y = ws.take(x.rows(), x.cols());
+        for (o, &v) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *o = v.max(0.0);
+        }
+        y
+    }
+
+    fn forward_infer_owned(&self, mut x: Matrix, _ws: &mut Workspace) -> Matrix {
+        x.as_mut_slice().iter_mut().for_each(|v| *v = v.max(0.0));
+        x
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let mask = self.cached_output_mask.take().expect("backward without forward(train)");
         grad_out.zip_map(&mask, |g, m| g * m)
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
 }
 
 /// Logistic sigmoid.
@@ -288,12 +355,27 @@ impl Layer for Sigmoid {
         x
     }
 
+    fn forward_infer(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let mut y = ws.take(x.rows(), x.cols());
+        for (o, &v) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *o = 1.0 / (1.0 + (-v).exp());
+        }
+        y
+    }
+
+    fn forward_infer_owned(&self, mut x: Matrix, _ws: &mut Workspace) -> Matrix {
+        x.as_mut_slice().iter_mut().for_each(|v| *v = 1.0 / (1.0 + (-*v).exp()));
+        x
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let y = self.cached_output.take().expect("backward without forward(train)");
         grad_out.zip_map(&y, |g, s| g * s * (1.0 - s))
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
 }
 
 /// Inverted dropout: scales surviving activations by `1/(1-p)` at train time,
@@ -352,6 +434,17 @@ impl Layer for Dropout {
         self.forward(&x, train)
     }
 
+    fn forward_infer(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        // Inverted dropout is the identity at inference.
+        let mut y = ws.take(x.rows(), x.cols());
+        y.as_mut_slice().copy_from_slice(x.as_slice());
+        y
+    }
+
+    fn forward_infer_owned(&self, x: Matrix, _ws: &mut Workspace) -> Matrix {
+        x
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         match self.cached_mask.take() {
             Some(mask) => grad_out.zip_map(&mask, |g, m| g * m),
@@ -360,12 +453,14 @@ impl Layer for Dropout {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
 }
 
 /// A sequential stack of layers.
 #[derive(Default)]
 pub struct Sequential {
-    layers: Vec<Box<dyn Layer + Send>>,
+    layers: Vec<Box<dyn Layer + Send + Sync>>,
 }
 
 impl Sequential {
@@ -374,8 +469,10 @@ impl Sequential {
         Self::default()
     }
 
-    /// Appends a layer.
-    pub fn push(&mut self, layer: impl Layer + Send + 'static) -> &mut Self {
+    /// Appends a layer. `Sync` is required so whole models can be shared
+    /// behind `Arc` by concurrent inference threads (all layers in this
+    /// crate are plain data and qualify).
+    pub fn push(&mut self, layer: impl Layer + Send + Sync + 'static) -> &mut Self {
         self.layers.push(Box::new(layer));
         self
     }
@@ -412,6 +509,26 @@ impl Layer for Sequential {
         h
     }
 
+    fn forward_infer(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let (first, rest) = match self.layers.split_first() {
+            Some(split) => split,
+            None => return x.clone(),
+        };
+        let mut h = first.forward_infer(x, ws);
+        for layer in rest {
+            h = layer.forward_infer_owned(h, ws);
+        }
+        h
+    }
+
+    fn forward_infer_owned(&self, x: Matrix, ws: &mut Workspace) -> Matrix {
+        let mut h = x;
+        for layer in &self.layers {
+            h = layer.forward_infer_owned(h, ws);
+        }
+        h
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let mut g = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -423,6 +540,12 @@ impl Layer for Sequential {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         for layer in &mut self.layers {
             layer.visit_params(f);
+        }
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        for layer in &self.layers {
+            layer.visit_params_ref(f);
         }
     }
 }
@@ -518,6 +641,33 @@ mod tests {
         assert_eq!((y.rows(), y.cols()), (2, 1));
         assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
         assert!(model.param_count() > 0);
+    }
+
+    /// The `&self` inference path must reproduce `forward(x, false)`
+    /// bitwise, with and without a warmed workspace pool, and the read-only
+    /// parameter walk must agree with the mutable one.
+    #[test]
+    fn forward_infer_matches_eval_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut model = Sequential::new();
+        model.push(Dense::new_he(&mut rng, 6, 16));
+        model.push(Relu::new());
+        model.push(Dropout::new(0.25, 9));
+        model.push(Dense::new_xavier(&mut rng, 16, 3));
+        model.push(Sigmoid::new());
+
+        let x = crate::test_support::seeded_matrix(5, 6, 31);
+        let expected = model.forward(&x, false);
+        let mut ws = Workspace::new();
+        let cold = model.forward_infer(&x, &mut ws);
+        assert_eq!(cold, expected);
+        ws.recycle(cold);
+        let warm = model.forward_infer(&x, &mut ws);
+        assert_eq!(warm, expected, "recycled buffers must not change results");
+
+        let mut mutable_count = 0;
+        model.visit_params(&mut |p| mutable_count += p.len());
+        assert_eq!(model.param_count(), mutable_count);
     }
 
     #[test]

@@ -51,11 +51,13 @@ pub mod made;
 pub mod optimizer;
 pub mod serialize;
 pub mod tensor;
+pub mod workspace;
 
 pub use layers::{Dense, Dropout, Layer, MaskedDense, Param, Relu, Sequential, Sigmoid};
 pub use made::{Made, MadeConfig};
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use tensor::Matrix;
+pub use workspace::Workspace;
 
 /// Deterministic input generation shared by the kernel tests, the committed
 /// kernel-parity fixture, and the GEMM benches. Not part of the supported

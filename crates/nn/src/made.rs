@@ -18,6 +18,7 @@
 use crate::embedding::Embedding;
 use crate::layers::{Layer, MaskedDense, Param, Relu};
 use crate::tensor::Matrix;
+use crate::workspace::Workspace;
 use rand::Rng;
 
 /// Configuration of a [`Made`] network.
@@ -75,6 +76,15 @@ impl ResBlock {
         self.out_relu.forward(&c, train)
     }
 
+    fn forward_infer(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let a = self.l1.forward_infer(x, ws);
+        let b = self.r1.forward_infer_owned(a, ws);
+        let mut c = self.l2.forward_infer(&b, ws);
+        ws.recycle(b);
+        c.add_assign(x);
+        self.out_relu.forward_infer_owned(c, ws)
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let ds = self.out_relu.backward(grad_out);
         let db = self.l2.backward(&ds);
@@ -87,6 +97,11 @@ impl ResBlock {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.l1.visit_params(f);
         self.l2.visit_params(f);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        self.l1.visit_params_ref(f);
+        self.l2.visit_params_ref(f);
     }
 }
 
@@ -197,12 +212,13 @@ impl Made {
         &self.segments
     }
 
-    /// Encodes a batch of id tuples into the network input matrix.
-    fn encode_input(&self, batch_ids: &[Vec<usize>]) -> Matrix {
+    /// Encodes a batch of id tuples into the network input matrix, drawing
+    /// the buffer from `ws`.
+    fn encode_input(&self, batch_ids: &[Vec<usize>], ws: &mut Workspace) -> Matrix {
         let k = self.cfg.positions();
         if self.cfg.embed_dim > 0 {
             let dim = self.cfg.embed_dim;
-            let mut x = Matrix::zeros(batch_ids.len(), k * dim);
+            let mut x = ws.take(batch_ids.len(), k * dim);
             for (r, ids) in batch_ids.iter().enumerate() {
                 debug_assert_eq!(ids.len(), k);
                 let row = x.row_mut(r);
@@ -214,7 +230,7 @@ impl Made {
             x
         } else {
             let width: usize = self.segments.iter().sum();
-            let mut x = Matrix::zeros(batch_ids.len(), width);
+            let mut x = ws.take(batch_ids.len(), width);
             for (r, ids) in batch_ids.iter().enumerate() {
                 let row = x.row_mut(r);
                 let mut offset = 0;
@@ -232,7 +248,8 @@ impl Made {
     /// hold any placeholder id — the autoregressive masks guarantee they
     /// cannot influence earlier segments.
     pub fn forward_ids(&mut self, batch_ids: &[Vec<usize>], train: bool) -> Matrix {
-        let x = self.encode_input(batch_ids);
+        let mut ws = Workspace::new();
+        let x = self.encode_input(batch_ids, &mut ws);
         if train {
             self.cached_ids = Some(batch_ids.to_vec());
         }
@@ -244,20 +261,44 @@ impl Made {
         self.output_layer.forward(&h, train)
     }
 
+    /// Inference-only full forward over **shared** model state: no caching,
+    /// buffers from the caller's [`Workspace`], safe to run from any number
+    /// of threads concurrently. Bitwise identical to
+    /// `forward_ids(batch_ids, false)`.
+    pub fn forward_ids_infer(&self, batch_ids: &[Vec<usize>], ws: &mut Workspace) -> Matrix {
+        let h = self.hidden_infer(batch_ids, ws);
+        let out = self.output_layer.forward_infer(&h, ws);
+        ws.recycle(h);
+        out
+    }
+
     /// Inference-only forward returning just the logit segment of one
     /// position (`batch × segments[pos]`). Runs the hidden stack once and a
     /// column-sliced output layer — the fast path of the likelihood-weighted
     /// sampler, which needs exactly one segment per autoregressive step.
-    pub fn forward_ids_segment(&mut self, batch_ids: &[Vec<usize>], pos: usize) -> Matrix {
-        let x = self.encode_input(batch_ids);
-        let mut h = self.input_layer.forward(&x, false);
-        h = self.input_relu.forward(&h, false);
-        for b in &mut self.blocks {
-            h = b.forward(&h, false);
-        }
+    /// Shared-state (`&self`) like [`Made::forward_ids_infer`].
+    pub fn forward_ids_segment(&self, batch_ids: &[Vec<usize>], pos: usize, ws: &mut Workspace) -> Matrix {
+        let h = self.hidden_infer(batch_ids, ws);
         let lo: usize = self.segments[..pos].iter().sum();
         let hi = lo + self.segments[pos];
-        self.output_layer.forward_columns(&h, lo, hi)
+        let out = self.output_layer.forward_columns_infer(&h, lo, hi, ws);
+        ws.recycle(h);
+        out
+    }
+
+    /// The shared hidden stack of the inference paths: encode → input layer
+    /// → ReLU → residual blocks.
+    fn hidden_infer(&self, batch_ids: &[Vec<usize>], ws: &mut Workspace) -> Matrix {
+        let x = self.encode_input(batch_ids, ws);
+        let mut h = self.input_layer.forward_infer(&x, ws);
+        ws.recycle(x);
+        h = self.input_relu.forward_infer_owned(h, ws);
+        for b in &self.blocks {
+            let next = b.forward_infer(&h, ws);
+            ws.recycle(h);
+            h = next;
+        }
+        h
     }
 
     /// Backward pass from logit gradients; accumulates gradients in all
@@ -285,15 +326,15 @@ impl Made {
         }
     }
 
-    /// Total scalar parameter count.
-    pub fn param_count(&mut self) -> usize {
+    /// Total scalar parameter count (read-only walk).
+    pub fn param_count(&self) -> usize {
         let mut n = 0;
-        self.visit_params(&mut |p| n += p.len());
+        self.visit_params_ref(&mut |p| n += p.len());
         n
     }
 
     /// Model size in bytes (f32 parameters).
-    pub fn memory_bytes(&mut self) -> usize {
+    pub fn memory_bytes(&self) -> usize {
         self.param_count() * std::mem::size_of::<f32>()
     }
 
@@ -316,6 +357,10 @@ impl Layer for Made {
         unimplemented!("Made consumes id tuples; use forward_ids")
     }
 
+    fn forward_infer(&self, _x: &Matrix, _ws: &mut Workspace) -> Matrix {
+        unimplemented!("Made consumes id tuples; use forward_ids_infer")
+    }
+
     fn backward(&mut self, _grad_out: &Matrix) -> Matrix {
         unimplemented!("Made consumes id tuples; use backward_ids")
     }
@@ -329,6 +374,17 @@ impl Layer for Made {
             b.visit_params(f);
         }
         self.output_layer.visit_params(f);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        for e in &self.embeddings {
+            f(e.param());
+        }
+        self.input_layer.visit_params_ref(f);
+        for b in &self.blocks {
+            b.visit_params_ref(f);
+        }
+        self.output_layer.visit_params_ref(f);
     }
 }
 
@@ -519,17 +575,21 @@ mod tests {
     }
 
     /// The sliced segment forward must agree exactly with the corresponding
-    /// slice of the full forward pass.
+    /// slice of the full forward pass — and the shared-state (`&self`)
+    /// inference forwards must reproduce the training-path eval forward
+    /// bitwise.
     #[test]
     fn segment_forward_matches_full_forward() {
         let mut rng = StdRng::seed_from_u64(21);
         let mut made = Made::new(&mut rng, tiny_cfg(4));
         let batch = vec![vec![0usize, 2, 1], vec![3, 0, 2]];
         let full = made.forward_ids(&batch, false);
+        let mut ws = Workspace::new();
+        assert_eq!(made.forward_ids_infer(&batch, &mut ws), full);
         let mut offset = 0;
         for pos in 0..made.segments().len() {
             let width = made.segments()[pos];
-            let sliced = made.forward_ids_segment(&batch, pos);
+            let sliced = made.forward_ids_segment(&batch, pos, &mut ws);
             assert_eq!((sliced.rows(), sliced.cols()), (2, width));
             for r in 0..2 {
                 assert_eq!(sliced.row(r), &full.row(r)[offset..offset + width], "pos {pos} row {r}");
@@ -559,7 +619,7 @@ mod tests {
     #[test]
     fn param_count_positive_and_memory() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut made = Made::new(&mut rng, tiny_cfg(4));
+        let made = Made::new(&mut rng, tiny_cfg(4));
         let n = made.param_count();
         assert!(n > 0);
         assert_eq!(made.memory_bytes(), n * 4);

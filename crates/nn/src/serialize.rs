@@ -16,10 +16,11 @@ use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"LMKGNN1\0";
 
-/// Serializes all parameters of `model` to `writer`.
-pub fn save_params<W: Write>(model: &mut dyn Layer, writer: &mut W) -> io::Result<()> {
+/// Serializes all parameters of `model` to `writer`. Saving is a read-only
+/// walk, so it works on a shared (frozen, possibly `Arc`-held) model.
+pub fn save_params<W: Write>(model: &dyn Layer, writer: &mut W) -> io::Result<()> {
     let mut params: Vec<Matrix> = Vec::new();
-    model.visit_params(&mut |p| params.push(p.value.clone()));
+    model.visit_params_ref(&mut |p| params.push(p.value.clone()));
     writer.write_all(MAGIC)?;
     writer.write_all(&(params.len() as u32).to_le_bytes())?;
     for m in &params {
@@ -127,7 +128,7 @@ mod tests {
         assert_ne!(ya, b.forward(&x, false));
 
         let mut buf = Vec::new();
-        save_params(&mut a, &mut buf).unwrap();
+        save_params(&a, &mut buf).unwrap();
         load_params(&mut b, &mut buf.as_slice()).unwrap();
         assert_eq!(ya, b.forward(&x, false));
     }
@@ -142,9 +143,9 @@ mod tests {
 
     #[test]
     fn rejects_architecture_mismatch() {
-        let mut a = model(1);
+        let a = model(1);
         let mut buf = Vec::new();
-        save_params(&mut a, &mut buf).unwrap();
+        save_params(&a, &mut buf).unwrap();
 
         let mut rng = StdRng::seed_from_u64(0);
         let mut other = Sequential::new();
@@ -156,9 +157,9 @@ mod tests {
 
     #[test]
     fn rejects_truncated_file() {
-        let mut a = model(1);
+        let a = model(1);
         let mut buf = Vec::new();
-        save_params(&mut a, &mut buf).unwrap();
+        save_params(&a, &mut buf).unwrap();
         buf.truncate(buf.len() / 2);
         let mut b = model(2);
         assert!(load_params(&mut b, &mut buf.as_slice()).is_err());

@@ -291,6 +291,12 @@ impl Matrix {
         matmul_cols_dispatch(gemm::active_kernel(), self, other, lo, hi, true)
     }
 
+    /// Consumes the matrix, returning its row-major buffer (workspace
+    /// recycling).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
         Matrix::from_fn_par(self.cols, self.rows, |r, c| self.get(c, r))
@@ -313,14 +319,31 @@ fn fill_rows(out: &mut [f32], row0: usize, cols: usize, f: &(impl Fn(usize, usiz
 /// threading — shared by [`Matrix::matmul`] and the bench/parity surface
 /// [`crate::gemm::matmul_with_kernel`].
 pub(crate) fn matmul_dispatch(kernel: Kernel, a: &Matrix, b: &Matrix, parallel: bool) -> Matrix {
+    let mut out = Matrix::zeros(a.rows, b.cols);
+    matmul_dispatch_into(kernel, a, b, &mut out, parallel);
+    out
+}
+
+/// `out += A·B` into a caller-provided (zeroed) output — the allocation-free
+/// entry point behind [`crate::workspace::Workspace::matmul`].
+pub(crate) fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    matmul_dispatch_into(gemm::active_kernel(), a, b, out, true);
+}
+
+/// `out += A·B[:, lo..hi]` into a caller-provided (zeroed) output — behind
+/// [`crate::workspace::Workspace::matmul_cols`].
+pub(crate) fn matmul_cols_into(a: &Matrix, b: &Matrix, lo: usize, hi: usize, out: &mut Matrix) {
+    matmul_cols_dispatch_into(gemm::active_kernel(), a, b, lo, hi, out, true);
+}
+
+fn matmul_dispatch_into(kernel: Kernel, a: &Matrix, b: &Matrix, out: &mut Matrix, parallel: bool) {
     assert_eq!(a.cols, b.rows, "matmul inner dimensions must agree");
     let (m, k, n) = (a.rows, a.cols, b.cols);
-    let mut out = Matrix::zeros(m, n);
+    assert_eq!((out.rows, out.cols), (m, n), "output shape must be m × n");
     let av = MatRef::new(&a.data, 0, k, 1, m, k);
     let bv = MatRef::new(&b.data, 0, n, 1, k, n);
     let threads = if parallel { thread_budget(m * k * n, m) } else { 1 };
     gemm_threaded(kernel, av, bv, &mut out.data, threads);
-    out
 }
 
 /// `C = A·Bᵀ` with an explicit kernel; see [`Matrix::matmul_nt`].
@@ -358,16 +381,30 @@ pub(crate) fn matmul_cols_dispatch(
     hi: usize,
     parallel: bool,
 ) -> Matrix {
+    assert!(lo <= hi && hi <= b.cols, "column slice out of range");
+    let mut out = Matrix::zeros(a.rows, hi - lo);
+    matmul_cols_dispatch_into(kernel, a, b, lo, hi, &mut out, parallel);
+    out
+}
+
+fn matmul_cols_dispatch_into(
+    kernel: Kernel,
+    a: &Matrix,
+    b: &Matrix,
+    lo: usize,
+    hi: usize,
+    out: &mut Matrix,
+    parallel: bool,
+) {
     assert_eq!(a.cols, b.rows, "matmul inner dimensions must agree");
     assert!(lo <= hi && hi <= b.cols, "column slice out of range");
     let (m, k, n) = (a.rows, a.cols, hi - lo);
-    let mut out = Matrix::zeros(m, n);
+    assert_eq!((out.rows, out.cols), (m, n), "output shape must be m × (hi-lo)");
     let av = MatRef::new(&a.data, 0, k, 1, m, k);
     // The slice is a column-offset view: element (kk, j) is b[kk*cols + lo + j].
     let bv = MatRef::new(&b.data, lo, b.cols, 1, k, n);
     let threads = if parallel { thread_budget(m * k * n, m) } else { 1 };
     gemm_threaded(kernel, av, bv, &mut out.data, threads);
-    out
 }
 
 /// Splits the output rows of `c = a·b` into contiguous chunks, one scoped

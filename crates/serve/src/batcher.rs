@@ -11,11 +11,15 @@
 //! the amortization comes from — one routing pass, one encode pass, one
 //! network forward per covering model, instead of one of each per request.
 //!
-//! With more than one worker, queue collection and estimation pipeline: one
-//! worker can be inside `estimate_batch` while another is already collecting
-//! the next batch. The estimator itself is behind a mutex (estimation takes
-//! `&mut`), so estimation never runs concurrently — correctness does not
-//! depend on the worker count.
+//! With more than one worker, collection and estimation overlap **and**
+//! estimation itself runs concurrently: estimation takes `&self` over a
+//! frozen model, so every worker holds a clone of one
+//! `Arc<dyn CardinalityEstimator + Send + Sync>` and runs its own
+//! `estimate_batch` forward with no lock in between. The shared handle is a
+//! [`ModelHandle`] — a swappable slot — so a retraining loop can publish a
+//! new model atomically while traffic keeps flowing; workers pick it up at
+//! their next batch. Per-query results are bitwise independent of the
+//! worker count (the concurrency-parity suite enforces this).
 //!
 //! `BatchConfig::per_request()` degenerates the same machinery into
 //! classical one-request-per-forward serving (window 0, batch 1), which is
@@ -27,7 +31,7 @@ use lmkg::CardinalityEstimator;
 use lmkg_store::Query;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -61,12 +65,17 @@ impl Default for BatchConfig {
 }
 
 impl BatchConfig {
-    /// The per-request baseline: no coalescing, one forward per request.
-    /// Queue depth and workers are kept, so a comparison against the
-    /// micro-batched configuration isolates exactly the batching effect.
+    /// The per-request baseline: no coalescing, one forward per request,
+    /// **one** worker — classical serving. Forcing a single worker matters
+    /// now that the estimator lock is gone: with N workers the "baseline"
+    /// would run N concurrent single-query forwards and stop measuring
+    /// one-request-per-forward serving. Queue depth is kept, so a
+    /// comparison against the micro-batched configuration isolates the
+    /// batching + concurrency effect.
     pub fn per_request(mut self) -> Self {
         self.window = Duration::ZERO;
         self.max_batch = 1;
+        self.workers = 1;
         self
     }
 }
@@ -143,45 +152,78 @@ impl ServeStats {
     }
 }
 
-type BoxedEstimator = Box<dyn CardinalityEstimator + Send>;
+/// The form every served model takes: frozen, `&self`-estimating, shareable.
+pub type SharedEstimator = Arc<dyn CardinalityEstimator + Send + Sync>;
+
+/// The swappable model slot all workers read from.
+///
+/// `current()` is a read-lock plus an `Arc` clone — effectively free next to
+/// a network forward, and never held across one. `swap()` atomically
+/// publishes a replacement model: in-flight batches finish on the model they
+/// already cloned, subsequent batches see the new one. This is the seam the
+/// workload-shift retraining loop plugs into — train off to the side, then
+/// `swap` under live traffic.
+pub struct ModelHandle {
+    slot: RwLock<SharedEstimator>,
+}
+
+impl ModelHandle {
+    /// Wraps an estimator in a swappable slot.
+    pub fn new(estimator: SharedEstimator) -> Self {
+        Self {
+            slot: RwLock::new(estimator),
+        }
+    }
+
+    /// The currently published model.
+    pub fn current(&self) -> SharedEstimator {
+        Arc::clone(&self.slot.read().expect("model slot lock"))
+    }
+
+    /// Atomically publishes `estimator`, returning the model it replaced.
+    pub fn swap(&self, estimator: SharedEstimator) -> SharedEstimator {
+        std::mem::replace(&mut *self.slot.write().expect("model slot lock"), estimator)
+    }
+}
 
 /// The micro-batcher: bounded queue + coalescing worker threads over one
-/// shared estimator. Dropping it (or calling [`MicroBatcher::shutdown`])
-/// closes the queue and joins the workers after they drain it.
+/// shared, swappable estimator. Dropping it (or calling
+/// [`MicroBatcher::shutdown`]) closes the queue and joins the workers after
+/// they drain it.
 pub struct MicroBatcher {
     tx: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
-    estimator: Option<Arc<Mutex<BoxedEstimator>>>,
+    handle: Arc<ModelHandle>,
     stats: Arc<ServeStats>,
     queue_depth: usize,
 }
 
 impl MicroBatcher {
     /// Spawns the worker threads and returns the running batcher.
-    pub fn start(estimator: BoxedEstimator, cfg: BatchConfig) -> Self {
+    pub fn start(estimator: SharedEstimator, cfg: BatchConfig) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         assert!(cfg.queue_depth >= 1, "queue_depth must be at least 1");
         assert!(cfg.workers >= 1, "at least one worker is required");
         let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
-        let estimator = Arc::new(Mutex::new(estimator));
+        let handle = Arc::new(ModelHandle::new(estimator));
         let stats = Arc::new(ServeStats::new());
         let workers = (0..cfg.workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
-                let estimator = Arc::clone(&estimator);
+                let handle = Arc::clone(&handle);
                 let stats = Arc::clone(&stats);
                 let (window, max_batch) = (cfg.window, cfg.max_batch);
                 std::thread::Builder::new()
                     .name(format!("lmkg-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &estimator, &stats, window, max_batch))
+                    .spawn(move || worker_loop(&rx, &handle, &stats, window, max_batch))
                     .expect("spawn worker thread")
             })
             .collect();
         Self {
             tx: Some(tx),
             workers,
-            estimator: Some(estimator),
+            handle,
             stats,
             queue_depth: cfg.queue_depth,
         }
@@ -216,17 +258,23 @@ impl MicroBatcher {
         Arc::clone(&self.stats)
     }
 
+    /// The swappable model slot (for live model publication).
+    pub fn model(&self) -> Arc<ModelHandle> {
+        Arc::clone(&self.handle)
+    }
+
+    /// Atomically publishes a new model for subsequent batches, returning
+    /// the one it replaced. Convenience over [`MicroBatcher::model`].
+    pub fn swap_model(&self, estimator: SharedEstimator) -> SharedEstimator {
+        self.handle.swap(estimator)
+    }
+
     /// Closes the queue, drains it, joins the workers, and hands the
     /// estimator back — so a caller can run several serving configurations
     /// over one (expensively trained) model, as the load generator does.
-    pub fn shutdown(mut self) -> BoxedEstimator {
+    pub fn shutdown(mut self) -> SharedEstimator {
         self.finish();
-        let estimator = self.estimator.take().expect("estimator still owned");
-        Arc::try_unwrap(estimator)
-            .ok()
-            .expect("workers joined, no estimator handles remain")
-            .into_inner()
-            .expect("estimator lock not poisoned")
+        self.handle.current()
     }
 
     fn finish(&mut self) {
@@ -247,7 +295,7 @@ impl Drop for MicroBatcher {
 /// batched forward, reply per job. Returns when the queue closes and drains.
 fn worker_loop(
     rx: &Mutex<Receiver<Job>>,
-    estimator: &Mutex<BoxedEstimator>,
+    handle: &ModelHandle,
     stats: &ServeStats,
     window: Duration,
     max_batch: usize,
@@ -284,7 +332,11 @@ fn worker_loop(
             .into_iter()
             .map(|job| ((job.id, job.submitted, job.out), job.query))
             .unzip();
-        let estimates = estimator.lock().expect("estimator lock").estimate_batch(&queries);
+        // Clone the current model handle and run the forward on it with no
+        // lock held: workers estimate concurrently, and a model swapped in
+        // mid-collection is picked up at the next batch.
+        let estimator = handle.current();
+        let estimates = estimator.estimate_batch(&queries);
         debug_assert_eq!(estimates.len(), queries.len());
         stats.note_batch(queries.len());
         for ((id, submitted, out), estimate) in metas.into_iter().zip(estimates) {
@@ -303,10 +355,14 @@ mod tests {
     use std::sync::mpsc::channel;
 
     /// A deterministic estimator that records every batch size it sees and
-    /// optionally sleeps per forward (to simulate model latency).
+    /// optionally sleeps per forward (to simulate model latency). Also
+    /// tracks how many forwards are in flight at once, to prove workers
+    /// really estimate concurrently now that the estimator lock is gone.
     struct RecordingEstimator {
         batches: Arc<Mutex<Vec<usize>>>,
         delay: Duration,
+        in_flight: std::sync::atomic::AtomicUsize,
+        max_in_flight: std::sync::atomic::AtomicUsize,
     }
 
     impl CardinalityEstimator for RecordingEstimator {
@@ -314,15 +370,18 @@ mod tests {
             "recording"
         }
 
-        fn estimate(&mut self, query: &Query) -> f64 {
+        fn estimate(&self, query: &Query) -> f64 {
             (query.size() * 10 + query.var_count()) as f64
         }
 
-        fn estimate_batch(&mut self, queries: &[Query]) -> Vec<f64> {
+        fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
+            let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            self.max_in_flight.fetch_max(now, Ordering::SeqCst);
             self.batches.lock().unwrap().push(queries.len());
             if !self.delay.is_zero() {
                 std::thread::sleep(self.delay);
             }
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
             queries.iter().map(|q| (q.size() * 10 + q.var_count()) as f64).collect()
         }
 
@@ -345,13 +404,15 @@ mod tests {
         )
     }
 
-    fn recording(delay: Duration) -> (BoxedEstimator, Arc<Mutex<Vec<usize>>>) {
+    fn recording(delay: Duration) -> (Arc<RecordingEstimator>, Arc<Mutex<Vec<usize>>>) {
         let batches = Arc::new(Mutex::new(Vec::new()));
         let est = RecordingEstimator {
             batches: Arc::clone(&batches),
             delay,
+            in_flight: std::sync::atomic::AtomicUsize::new(0),
+            max_in_flight: std::sync::atomic::AtomicUsize::new(0),
         };
-        (Box::new(est), batches)
+        (Arc::new(est), batches)
     }
 
     #[test]
@@ -462,8 +523,7 @@ mod tests {
     #[test]
     fn batched_replies_match_direct_estimate_batch() {
         let queries: Vec<Query> = (1..=20).map(|i| query(1 + i % 4)).collect();
-        let (est, _) = recording(Duration::ZERO);
-        let mut direct: BoxedEstimator = est;
+        let (direct, _) = recording(Duration::ZERO);
         let expected = direct.estimate_batch(&queries);
 
         let (est, _) = recording(Duration::ZERO);
@@ -505,7 +565,7 @@ mod tests {
         let (tx, rx) = channel();
         batcher.submit(Job::new("q".into(), query(2), tx)).unwrap();
         rx.recv_timeout(Duration::from_secs(5)).unwrap();
-        let mut est = batcher.shutdown();
+        let est = batcher.shutdown();
         assert_eq!(est.name(), "recording");
         // Still usable directly, and the serving pass recorded its batch.
         // query(2) = 2 triples over 3 distinct variables → 2*10 + 3.
@@ -513,11 +573,80 @@ mod tests {
         assert_eq!(*batches.lock().unwrap(), vec![1]);
     }
 
+    /// With the estimator lock gone, two workers must be able to sit inside
+    /// `estimate_batch` at the same time.
     #[test]
-    fn per_request_config_disables_coalescing() {
+    fn workers_run_forwards_concurrently() {
+        let (est, _) = recording(Duration::from_millis(250));
+        let probe = Arc::clone(&est);
+        let batcher = MicroBatcher::start(
+            est,
+            BatchConfig {
+                window: Duration::ZERO,
+                max_batch: 1,
+                queue_depth: 16,
+                workers: 2,
+            },
+        );
+        let (tx, rx) = channel();
+        for i in 0..4 {
+            batcher.submit(Job::new(format!("q{i}"), query(1), tx.clone())).unwrap();
+        }
+        for _ in 0..4 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert!(
+            probe.max_in_flight.load(Ordering::SeqCst) >= 2,
+            "two workers never overlapped inside estimate_batch"
+        );
+    }
+
+    /// A deterministic stand-in "retrained" model for the swap test.
+    struct ConstantEstimator(f64);
+
+    impl CardinalityEstimator for ConstantEstimator {
+        fn name(&self) -> &str {
+            "constant"
+        }
+
+        fn estimate(&self, _query: &Query) -> f64 {
+            self.0
+        }
+
+        fn memory_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    /// Publishing a new model through the handle redirects subsequent
+    /// batches without restarting the batcher — the retraining-loop seam.
+    #[test]
+    fn swap_model_takes_effect_for_subsequent_batches() {
+        let (est, _) = recording(Duration::ZERO);
+        let batcher = MicroBatcher::start(est, BatchConfig::default().per_request());
+        let (tx, rx) = channel();
+        batcher.submit(Job::new("before".into(), query(2), tx.clone())).unwrap();
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Reply::Estimate { estimate, .. } => assert_eq!(estimate, 23.0),
+            other => panic!("unexpected reply {other:?}"),
+        }
+
+        let old = batcher.swap_model(Arc::new(ConstantEstimator(77.0)));
+        assert_eq!(old.name(), "recording");
+        batcher.submit(Job::new("after".into(), query(2), tx.clone())).unwrap();
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Reply::Estimate { estimate, .. } => assert_eq!(estimate, 77.0),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(batcher.shutdown().name(), "constant");
+    }
+
+    #[test]
+    fn per_request_config_disables_coalescing_and_concurrency() {
         let cfg = BatchConfig::default().per_request();
         assert_eq!(cfg.max_batch, 1);
         assert_eq!(cfg.window, Duration::ZERO);
+        assert_eq!(cfg.workers, 1);
         assert_eq!(cfg.queue_depth, BatchConfig::default().queue_depth);
     }
 }

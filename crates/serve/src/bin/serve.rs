@@ -15,7 +15,6 @@
 
 use lmkg::framework::{Grouping, Lmkg, LmkgConfig, ModelType};
 use lmkg::supervised::LmkgSConfig;
-use lmkg::CardinalityEstimator;
 use lmkg_data::workload::{self, WorkloadConfig};
 use lmkg_data::{Dataset, Scale};
 use lmkg_serve::{loadgen, serve_stream, serve_tcp, BatchConfig, EstimationService, LoadgenConfig};
@@ -227,7 +226,7 @@ fn sample_workload(graph: &KnowledgeGraph, opts: &Options, count: usize) -> Vec<
     out
 }
 
-fn build_estimator(graph: &KnowledgeGraph, opts: &Options) -> Box<dyn CardinalityEstimator + Send> {
+fn build_estimator(graph: &KnowledgeGraph, opts: &Options) -> lmkg_serve::SharedEstimator {
     let cfg = LmkgConfig {
         model_type: ModelType::Supervised,
         grouping: Grouping::BySize,
@@ -246,7 +245,7 @@ fn build_estimator(graph: &KnowledgeGraph, opts: &Options) -> Box<dyn Cardinalit
         "serve: building LMKG-S (sizes {:?}, hidden {:?}, {} epochs, {} train queries/model) …",
         opts.sizes, opts.hidden, opts.epochs, opts.train_queries
     );
-    Box::new(Lmkg::build(graph, &cfg))
+    Arc::new(Lmkg::build(graph, &cfg))
 }
 
 fn main() {
@@ -302,12 +301,18 @@ fn main() {
                 cfg.requests,
                 queries.len()
             );
-            let (report, _estimator) = loadgen::compare(&graph, estimator, &queries, &cfg);
+            let report = loadgen::compare(&graph, estimator, &queries, &cfg);
             println!("{}", report.per_request);
             println!("{}", report.micro_batched);
+            println!("{}", report.saturated_1w);
+            println!("{}", report.saturated_multi);
             println!(
                 "throughput gain (micro-batched / per-request): {:.2}x at {:.0} offered qps",
                 report.throughput_gain, report.offered_qps
+            );
+            println!(
+                "worker scaling ({} workers / 1 worker, concurrent forwards): {:.2}x on {} core(s)",
+                report.workers, report.worker_scaling, report.available_parallelism
             );
             std::fs::write(&opts.json, report.to_json())
                 .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", opts.json)));

@@ -16,7 +16,10 @@
 //! * [`batcher`] — the micro-batcher: a bounded admission queue
 //!   (shed-on-overflow with a structured `OVERLOADED` reply) feeding worker
 //!   threads that coalesce arrivals within a configurable window / max batch
-//!   size into **single** `estimate_batch` forwards.
+//!   size into **single** `estimate_batch` forwards. Workers share one
+//!   frozen model behind an `Arc` (estimation takes `&self`) through a
+//!   swappable [`batcher::ModelHandle`], so forwards run concurrently and a
+//!   retraining loop can publish new models under live traffic.
 //! * [`server`] — transports: a stdin/stdout pipe mode and a TCP listener
 //!   mode, both speaking the same protocol through the same service object.
 //! * [`loadgen`] — a self-driving load generator that replays an `lmkg-data`
@@ -33,7 +36,7 @@
 //! b.add(":a", ":p", ":b");
 //! let graph = Arc::new(b.build());
 //! let summary = GraphSummary::build(&graph);
-//! let svc = EstimationService::new(graph, Box::new(summary), BatchConfig::default());
+//! let svc = EstimationService::new(graph, Arc::new(summary), BatchConfig::default());
 //! let (tx, rx) = mpsc::channel();
 //! svc.handle_line("EST q1 SELECT * WHERE { ?x :p ?y . }", &tx);
 //! let reply = rx.recv().unwrap();
@@ -48,7 +51,7 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
-pub use batcher::{BatchConfig, Job, MicroBatcher, ServeStats};
+pub use batcher::{BatchConfig, Job, MicroBatcher, ModelHandle, ServeStats, SharedEstimator};
 pub use latency::{percentile, SlidingWindow, StatsSnapshot};
 pub use loadgen::{ComparisonReport, LoadgenConfig, RunReport};
 pub use protocol::{ProtocolError, Reply, Request};

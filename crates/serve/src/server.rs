@@ -8,10 +8,9 @@
 //! accepts connections and runs one session thread per client over the same
 //! code path, so both modes behave identically by construction.
 
-use crate::batcher::{BatchConfig, Job, MicroBatcher};
+use crate::batcher::{BatchConfig, Job, MicroBatcher, ModelHandle, SharedEstimator};
 use crate::latency::StatsSnapshot;
 use crate::protocol::{Reply, Request};
-use lmkg::CardinalityEstimator;
 use lmkg_store::{sparql, KnowledgeGraph};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
@@ -34,8 +33,10 @@ pub struct EstimationService {
 }
 
 impl EstimationService {
-    /// Builds the service and starts the batcher's worker threads.
-    pub fn new(graph: Arc<KnowledgeGraph>, estimator: Box<dyn CardinalityEstimator + Send>, cfg: BatchConfig) -> Self {
+    /// Builds the service and starts the batcher's worker threads. The
+    /// estimator is a frozen, `Arc`-shared model: every worker runs its own
+    /// forwards on it concurrently, with no lock on the estimation path.
+    pub fn new(graph: Arc<KnowledgeGraph>, estimator: SharedEstimator, cfg: BatchConfig) -> Self {
         Self {
             graph,
             batcher: MicroBatcher::start(estimator, cfg),
@@ -52,8 +53,14 @@ impl EstimationService {
         self.batcher.stats().snapshot()
     }
 
+    /// The swappable model slot — the seam a retraining loop publishes new
+    /// models through, atomically, under live traffic.
+    pub fn model(&self) -> Arc<ModelHandle> {
+        self.batcher.model()
+    }
+
     /// Shuts the batcher down and hands the estimator back.
-    pub fn into_estimator(self) -> Box<dyn CardinalityEstimator + Send> {
+    pub fn into_estimator(self) -> SharedEstimator {
         self.batcher.shutdown()
     }
 
@@ -195,7 +202,7 @@ mod tests {
         b.add(":StephenKing", ":bornIn", ":USA");
         let graph = Arc::new(b.build());
         let summary = GraphSummary::build(&graph);
-        EstimationService::new(graph, Box::new(summary), cfg)
+        EstimationService::new(graph, Arc::new(summary), cfg)
     }
 
     #[test]

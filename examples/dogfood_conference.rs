@@ -43,7 +43,7 @@ fn main() {
     println!("  final training NLL: {:.3}", stats.last().expect("epochs > 0").loss);
 
     // Competitor: characteristic sets.
-    let mut cset = CharacteristicSets::build(&graph);
+    let cset = CharacteristicSets::build(&graph);
     println!("CSET summary: {} characteristic sets", cset.num_sets());
 
     // Evaluation workload: 2-star queries bucketed by result size.

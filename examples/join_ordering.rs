@@ -71,7 +71,7 @@ fn main() {
         workload_seed: 3,
     };
     println!("training LMKG-S…");
-    let mut lmkg = Lmkg::build(&graph, &cfg);
+    let lmkg = Lmkg::build(&graph, &cfg);
     let summary = GraphSummary::build(&graph);
 
     // Evaluation queries: 3-way stars from the test workload generator.

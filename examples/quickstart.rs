@@ -69,7 +69,7 @@ fn main() {
         "training LMKG-S ({} training queries per shape/size)…",
         cfg.queries_per_size
     );
-    let mut lmkg = Lmkg::build(&graph, &cfg);
+    let lmkg = Lmkg::build(&graph, &cfg);
     println!("framework holds {} model(s)", lmkg.model_count());
 
     // 3. Execution phase: the Fig. 2 query.

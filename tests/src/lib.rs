@@ -24,7 +24,7 @@ pub fn test_queries(graph: &KnowledgeGraph, shape: QueryShape, size: usize, coun
 }
 
 /// Runs an estimator over labeled queries and aggregates q-errors.
-pub fn evaluate(est: &mut dyn CardinalityEstimator, queries: &[LabeledQuery]) -> QErrorStats {
+pub fn evaluate(est: &dyn CardinalityEstimator, queries: &[LabeledQuery]) -> QErrorStats {
     let pairs: Vec<(f64, u64)> = queries
         .iter()
         .map(|lq| (est.estimate(&lq.query), lq.cardinality))

@@ -39,7 +39,7 @@ fn mixed_workload(graph: &KnowledgeGraph) -> Vec<Query> {
 ///
 /// The looped reference runs *first*, which also proves estimation does not
 /// depend on hidden call-order state (the derived-RNG contract of LMKG-U).
-fn assert_parity(est: &mut dyn CardinalityEstimator, queries: &[Query]) {
+fn assert_parity(est: &dyn CardinalityEstimator, queries: &[Query]) {
     let looped: Vec<f64> = queries.iter().map(|q| est.estimate(q)).collect();
     let batched = est.estimate_batch(queries);
     assert_eq!(batched.len(), queries.len());
@@ -67,7 +67,7 @@ fn lmkg_s_batch_parity() {
     );
     let train = test_queries(&g, QueryShape::Star, 2, 200);
     model.train(&train);
-    assert_parity(&mut model, &mixed_workload(&g));
+    assert_parity(&model, &mixed_workload(&g));
 }
 
 #[test]
@@ -90,7 +90,7 @@ fn lmkg_u_batch_parity() {
     )
     .expect("domain fits");
     model.train(&g);
-    assert_parity(&mut model, &mixed_workload(&g));
+    assert_parity(&model, &mixed_workload(&g));
 }
 
 #[test]
@@ -111,8 +111,8 @@ fn lmkg_framework_batch_parity() {
         u_config: LmkgUConfig::default(),
         workload_seed: 5,
     };
-    let mut lmkg = Lmkg::build(&g, &cfg);
-    assert_parity(&mut lmkg, &mixed_workload(&g));
+    let lmkg = Lmkg::build(&g, &cfg);
+    assert_parity(&lmkg, &mixed_workload(&g));
 
     // And the unsupervised framework configuration.
     cfg.model_type = ModelType::Unsupervised;
@@ -125,20 +125,20 @@ fn lmkg_framework_batch_parity() {
         particles: 32,
         ..Default::default()
     };
-    let mut lmkg_u = Lmkg::build(&g, &cfg);
-    assert_parity(&mut lmkg_u, &mixed_workload(&g));
+    let lmkg_u = Lmkg::build(&g, &cfg);
+    assert_parity(&lmkg_u, &mixed_workload(&g));
 }
 
 #[test]
 fn cset_baseline_batch_parity() {
     let g = small_lubm();
-    let mut cset = CharacteristicSets::build(&g);
-    assert_parity(&mut cset, &mixed_workload(&g));
+    let cset = CharacteristicSets::build(&g);
+    assert_parity(&cset, &mixed_workload(&g));
 }
 
 #[test]
 fn sumrdf_baseline_batch_parity() {
     let g = small_lubm();
-    let mut sumrdf = SumRdf::build(&g, SumRdfConfig::default());
-    assert_parity(&mut sumrdf, &mixed_workload(&g));
+    let sumrdf = SumRdf::build(&g, SumRdfConfig::default());
+    assert_parity(&sumrdf, &mixed_workload(&g));
 }

@@ -45,10 +45,10 @@ fn supervised_pipeline_beats_independence_baseline() {
         u_config: quick_u(),
         workload_seed: 5,
     };
-    let mut lmkg = Lmkg::build(&g, &cfg);
+    let lmkg = Lmkg::build(&g, &cfg);
     let queries = test_queries(&g, QueryShape::Star, 2, 200);
 
-    let lmkg_stats = evaluate(&mut lmkg, &queries);
+    let lmkg_stats = evaluate(&lmkg, &queries);
 
     // Independence baseline via the statistics block.
     let summary = GraphSummary::build(&g);
@@ -116,12 +116,12 @@ fn single_model_answers_both_topologies() {
         u_config: quick_u(),
         workload_seed: 9,
     };
-    let mut lmkg = Lmkg::build(&g, &cfg);
+    let lmkg = Lmkg::build(&g, &cfg);
     assert_eq!(lmkg.model_count(), 1);
     for shape in [QueryShape::Star, QueryShape::Chain] {
         for size in [2usize, 3] {
             let queries = test_queries(&g, shape, size, 40);
-            let stats = evaluate(&mut lmkg, &queries);
+            let stats = evaluate(&lmkg, &queries);
             assert!(stats.median.is_finite(), "{shape} size {size}");
         }
     }
@@ -143,11 +143,11 @@ fn specialized_beats_single_model_in_sample() {
         u_config: quick_u(),
         workload_seed: 13,
     };
-    let mut specialized = Lmkg::build(&g, &mk(Grouping::Specialized));
-    let mut single = Lmkg::build(&g, &mk(Grouping::Single));
+    let specialized = Lmkg::build(&g, &mk(Grouping::Specialized));
+    let single = Lmkg::build(&g, &mk(Grouping::Single));
     let queries = test_queries(&g, QueryShape::Star, 2, 150);
-    let spec_stats = evaluate(&mut specialized, &queries);
-    let single_stats = evaluate(&mut single, &queries);
+    let spec_stats = evaluate(&specialized, &queries);
+    let single_stats = evaluate(&single, &queries);
     assert!(
         spec_stats.geometric_mean <= single_stats.geometric_mean * 1.5,
         "specialized gmean {} vs single gmean {}",

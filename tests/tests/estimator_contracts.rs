@@ -125,7 +125,7 @@ fn sampling_estimators_are_deterministic_per_seed() {
     let g = small_lubm();
     let queries = test_queries(&g, QueryShape::Star, 2, 10);
     let run = |seed: u64| -> Vec<f64> {
-        let mut wj = WanderJoin::new(
+        let wj = WanderJoin::new(
             &g,
             WanderJoinConfig {
                 runs: 3,
@@ -154,7 +154,7 @@ fn jsub_upper_bounds_wander_join_on_average() {
     // estimate must not be below WanderJoin's.
     let g = small_lubm();
     let queries = test_queries(&g, QueryShape::Chain, 3, 40);
-    let mut wj = WanderJoin::new(
+    let wj = WanderJoin::new(
         &g,
         WanderJoinConfig {
             runs: 10,
@@ -162,7 +162,7 @@ fn jsub_upper_bounds_wander_join_on_average() {
             seed: 1,
         },
     );
-    let mut jsub = Jsub::new(
+    let jsub = Jsub::new(
         &g,
         JsubConfig {
             runs: 10,

@@ -53,7 +53,7 @@ proptest! {
         cfg.count = 3;
         let queries = workload::generate(&g, &cfg);
         prop_assume!(!queries.is_empty());
-        let mut wj = WanderJoin::new(&g, WanderJoinConfig { runs: 30, walks_per_run: 200, seed });
+        let wj = WanderJoin::new(&g, WanderJoinConfig { runs: 30, walks_per_run: 200, seed });
         for lq in &queries {
             prop_assume!(lq.cardinality >= 5); // tiny counts are all variance
             let est = wj.estimate_query(&lq.query);

@@ -9,6 +9,7 @@ use lmkg::supervised::LmkgSConfig;
 use lmkg::CardinalityEstimator;
 use lmkg_integration_tests::{small_lubm, test_queries};
 use lmkg_serve::{serve_stream, BatchConfig, EstimationService, Reply};
+
 use lmkg_store::{sparql, KnowledgeGraph, Query, QueryShape};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -50,7 +51,7 @@ fn served_workload(graph: &KnowledgeGraph) -> Vec<Query> {
 #[test]
 fn served_estimates_are_bitwise_identical_to_direct_estimate_batch() {
     let graph = Arc::new(small_lubm());
-    let mut lmkg = quick_lmkg(&graph);
+    let lmkg = quick_lmkg(&graph);
     let queries = served_workload(&graph);
     assert!(queries.len() >= 30, "workload too small: {}", queries.len());
 
@@ -67,7 +68,7 @@ fn served_estimates_are_bitwise_identical_to_direct_estimate_batch() {
 
     let svc = EstimationService::new(
         Arc::clone(&graph),
-        Box::new(lmkg),
+        Arc::new(lmkg),
         BatchConfig {
             window: Duration::from_millis(5),
             max_batch: 7, // deliberately not a divisor of the workload size
@@ -120,7 +121,7 @@ fn served_estimates_are_bitwise_identical_to_direct_estimate_batch() {
 fn malformed_and_overload_replies_are_structured() {
     let graph = Arc::new(small_lubm());
     let summary = lmkg::GraphSummary::build(&graph);
-    let svc = EstimationService::new(Arc::clone(&graph), Box::new(summary), BatchConfig::default());
+    let svc = EstimationService::new(Arc::clone(&graph), Arc::new(summary), BatchConfig::default());
 
     let input = "\
 EST
