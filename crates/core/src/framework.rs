@@ -10,6 +10,7 @@ use crate::unsupervised::{LmkgU, LmkgUConfig, LmkgUError};
 use lmkg_data::workload::{self, WorkloadConfig};
 use lmkg_encoder::SgEncoder;
 use lmkg_store::{KnowledgeGraph, Query, QueryShape};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which learned model family the framework instantiates.
@@ -85,6 +86,16 @@ impl LmkgConfig {
             ..Self::supervised_default()
         }
     }
+
+    /// Every `(shape, size)` cell this configuration trains for — the
+    /// baseline cell mix a [`crate::monitor::WorkloadMonitor`] compares live
+    /// traffic against.
+    pub fn cells(&self) -> Vec<(QueryShape, usize)> {
+        self.shapes
+            .iter()
+            .flat_map(|&shape| self.sizes.iter().map(move |&k| (shape, k)))
+            .collect()
+    }
 }
 
 /// Which queries a model answers.
@@ -113,6 +124,16 @@ impl ModelKey {
     }
 }
 
+/// Whether a training workload can be generated for a `(shape, size)` cell
+/// at all: `lmkg-data` generates star and chain patterns of ≥ 2 triples,
+/// while single triples and `Other` shapes stay on the
+/// decomposition/statistics path. [`Lmkg::extend`] skips untrainable cells,
+/// and the serving adapter filters retraining targets with this same
+/// predicate — one definition, so the two sides cannot drift.
+pub fn trainable_cell(cell: (QueryShape, usize)) -> bool {
+    matches!(cell.0, QueryShape::Star | QueryShape::Chain) && cell.1 >= 2
+}
+
 // The size gap between the two variants is irrelevant: a framework holds a
 // handful of entries, each wrapping megabytes of parameters either way.
 #[allow(clippy::large_enum_variant)]
@@ -123,9 +144,14 @@ enum ModelEntry {
 
 /// The LMKG framework: a compound of grouped learned models plus the
 /// statistics block used for decomposition fallbacks.
+///
+/// Models and the summary are held behind `Arc`s so that
+/// [`Lmkg::extend`] can produce a grown framework that *shares* the already
+/// trained entries with the original — the workload-shift loop trains only
+/// the missing cells while the original keeps serving traffic.
 pub struct Lmkg {
-    entries: Vec<(ModelKey, ModelEntry)>,
-    summary: GraphSummary,
+    entries: Vec<(ModelKey, Arc<ModelEntry>)>,
+    summary: Arc<GraphSummary>,
     max_covered_size: usize,
 }
 
@@ -134,7 +160,7 @@ impl Lmkg {
     /// training data, and trains every model (Fig. 1, top).
     pub fn build(graph: &KnowledgeGraph, cfg: &LmkgConfig) -> Self {
         assert!(!cfg.shapes.is_empty() && !cfg.sizes.is_empty());
-        let summary = GraphSummary::build(graph);
+        let summary = Arc::new(GraphSummary::build(graph));
         let max_size = *cfg.sizes.iter().max().expect("non-empty sizes");
         let mut entries = Vec::new();
 
@@ -186,7 +212,7 @@ impl Lmkg {
                     .collect();
                 let models = build_models_parallel("LMKG-S", jobs);
                 for (key, model) in keys.into_iter().zip(models) {
-                    entries.push((key, ModelEntry::S(model)));
+                    entries.push((key, Arc::new(ModelEntry::S(model))));
                 }
             }
             ModelType::Unsupervised => {
@@ -223,7 +249,7 @@ impl Lmkg {
                             min_size: k,
                             max_size: k,
                         };
-                        entries.push((key, ModelEntry::U(model)));
+                        entries.push((key, Arc::new(ModelEntry::U(model))));
                     }
                 }
             }
@@ -233,6 +259,102 @@ impl Lmkg {
             entries,
             summary,
             max_covered_size: max_size,
+        }
+    }
+
+    /// Incremental creation phase (paper §IV, Model choice: when the
+    /// workload changes, "a new model may be created"): trains models for
+    /// the given `(shape, size)` cells only and returns a framework that
+    /// covers them **in addition to** everything `self` covers.
+    ///
+    /// Existing model entries are reused by reference (`Arc` clones, no
+    /// retraining, no full rebuild); only the missing cells are trained, on
+    /// scoped threads like [`Lmkg::build`]. Cells already covered, cells
+    /// with untrainable shapes (workload generation supports star and
+    /// chain), and duplicates are skipped, so extending by an
+    /// already-covered workload is a cheap no-op.
+    ///
+    /// `self` is untouched — an `Arc<Lmkg>` serving live traffic keeps
+    /// answering on the old model set while this trains, and the result is
+    /// published atomically afterwards (the serving layer's
+    /// `ModelHandle::swap`). New entries are appended *after* the existing
+    /// ones, so every query the old set answered routes identically
+    /// (bitwise) in the extended set.
+    ///
+    /// Training is deterministic in `(graph, cfg, cell)`: extending two
+    /// clones of a framework by the same cells yields bitwise-identical
+    /// estimators, which is how the adaptation parity test pins the served
+    /// post-swap estimates.
+    pub fn extend(&self, graph: &KnowledgeGraph, cells: &[(QueryShape, usize)], cfg: &LmkgConfig) -> Self {
+        let mut wanted: Vec<(QueryShape, usize)> = Vec::new();
+        for &(shape, size) in cells {
+            if trainable_cell((shape, size)) && !self.covers(shape, size) && !wanted.contains(&(shape, size)) {
+                wanted.push((shape, size));
+            }
+        }
+        let mut entries = self.entries.clone();
+
+        if !wanted.is_empty() {
+            match cfg.model_type {
+                ModelType::Supervised => {
+                    let keys: Vec<ModelKey> = wanted
+                        .iter()
+                        .map(|&(shape, k)| ModelKey {
+                            shape: Some(shape),
+                            min_size: k,
+                            max_size: k,
+                        })
+                        .collect();
+                    let jobs: Vec<_> = keys
+                        .iter()
+                        .map(|&key| move || train_supervised(graph, cfg, key))
+                        .collect();
+                    let models = build_models_parallel("LMKG-S (extension)", jobs);
+                    for (key, model) in keys.into_iter().zip(models) {
+                        entries.push((key, Arc::new(ModelEntry::S(model))));
+                    }
+                }
+                ModelType::Unsupervised => {
+                    let jobs: Vec<_> = wanted
+                        .iter()
+                        .map(|&(shape, k)| {
+                            move || match LmkgU::new(graph, shape, k, cfg.u_config.clone()) {
+                                Ok(mut model) => {
+                                    model.train(graph);
+                                    Some(model)
+                                }
+                                Err(LmkgUError::DomainTooLarge { .. }) => None,
+                                Err(e) => panic!("LMKG-U construction failed: {e}"),
+                            }
+                        })
+                        .collect();
+                    let models = build_models_parallel("LMKG-U (extension)", jobs);
+                    for (&(shape, k), model) in wanted.iter().zip(models) {
+                        if let Some(model) = model {
+                            let key = ModelKey {
+                                shape: Some(shape),
+                                min_size: k,
+                                max_size: k,
+                            };
+                            entries.push((key, Arc::new(ModelEntry::U(model))));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Decomposition granularity grows only with models that actually
+        // exist: a skipped cell (LMKG-U domain guard) must not widen the
+        // decomposition target, or queries of that size would stop being
+        // split into covered parts.
+        let max_covered_size = entries[self.entries.len()..]
+            .iter()
+            .map(|(key, _)| key.max_size)
+            .fold(self.max_covered_size, usize::max);
+        Self {
+            entries,
+            summary: Arc::clone(&self.summary),
+            max_covered_size,
         }
     }
 
@@ -246,7 +368,7 @@ impl Lmkg {
     /// should be created.
     pub fn covers(&self, shape: QueryShape, size: usize) -> bool {
         self.entries.iter().any(|(key, entry)| {
-            let exact = matches!(entry, ModelEntry::U(_));
+            let exact = matches!(entry.as_ref(), ModelEntry::U(_));
             key.matches(shape, size, exact)
         })
     }
@@ -349,7 +471,7 @@ impl Lmkg {
             if remaining.is_empty() {
                 break;
             }
-            let exact = matches!(entry, ModelEntry::U(_));
+            let exact = matches!(entry.as_ref(), ModelEntry::U(_));
             let (candidates, rest): (Vec<usize>, Vec<usize>) = remaining
                 .iter()
                 .partition(|&&i| key.matches(queries[i].shape(), queries[i].size(), exact));
@@ -358,7 +480,7 @@ impl Lmkg {
             }
             let refs: Vec<&Query> = candidates.iter().map(|&i| queries[i]).collect();
             let mut failed: Vec<usize> = Vec::new();
-            match entry {
+            match entry.as_ref() {
                 ModelEntry::S(model) => {
                     for (&i, result) in candidates.iter().zip(model.predict_batch(&refs)) {
                         match result {
@@ -388,7 +510,7 @@ impl Lmkg {
         let shape = query.shape();
         let size = query.size();
         for (key, entry) in &self.entries {
-            match entry {
+            match entry.as_ref() {
                 ModelEntry::S(model) => {
                     if key.matches(shape, size, false) {
                         if let Ok(est) = model.predict(query) {
@@ -415,7 +537,7 @@ impl Lmkg {
         let models: usize = self
             .entries
             .iter()
-            .map(|(_, e)| match e {
+            .map(|(_, e)| match e.as_ref() {
                 ModelEntry::S(m) => m.memory_bytes(),
                 ModelEntry::U(m) => m.memory_bytes(),
             })
@@ -530,12 +652,17 @@ fn train_supervised(graph: &KnowledgeGraph, cfg: &LmkgConfig, key: ModelKey) -> 
         Some(s) => vec![s],
         None => cfg.shapes.clone(),
     };
-    let sizes: Vec<usize> = cfg
+    let mut sizes: Vec<usize> = cfg
         .sizes
         .iter()
         .copied()
         .filter(|&k| k >= key.min_size && k <= key.max_size)
         .collect();
+    if sizes.is_empty() {
+        // Extension keys (workload-shift retraining) target sizes outside
+        // `cfg.sizes`; train on the key's own size band.
+        sizes = vec![key.max_size];
+    }
     let cells = (shapes.len() * sizes.len()).max(1);
     let per_cell = (cfg.queries_per_size / cells).max(1);
     let mut data = Vec::new();
@@ -809,6 +936,143 @@ mod tests {
             ea.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
             eb.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
             "scoped-thread training must not change results run to run"
+        );
+    }
+
+    #[test]
+    fn extend_trains_only_the_missing_cells() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize); // covers size 2 only
+        let base = Lmkg::build(&g, &cfg);
+        assert!(!base.covers(QueryShape::Star, 4));
+
+        let extended = base.extend(&g, &[(QueryShape::Star, 4)], &cfg);
+        assert_eq!(extended.model_count(), base.model_count() + 1);
+        assert!(extended.covers(QueryShape::Star, 4));
+        assert!(
+            !extended.covers(QueryShape::Chain, 4),
+            "only the requested cell is trained"
+        );
+        // The original framework is untouched (still serving the old set).
+        assert!(!base.covers(QueryShape::Star, 4));
+
+        // Everything the base covered routes identically in the extension —
+        // the entries are shared, not retrained.
+        let wl = WorkloadConfig::test_default(QueryShape::Star, 2, 31);
+        let covered: Vec<Query> = workload::generate(&g, &wl)
+            .into_iter()
+            .take(12)
+            .map(|lq| lq.query)
+            .collect();
+        assert_eq!(
+            base.estimate_query_batch(&covered)
+                .iter()
+                .map(|e| e.to_bits())
+                .collect::<Vec<_>>(),
+            extended
+                .estimate_query_batch(&covered)
+                .iter()
+                .map(|e| e.to_bits())
+                .collect::<Vec<_>>(),
+        );
+
+        // The new cell now answers through a model, and deterministically:
+        // extending twice yields bitwise-identical estimators.
+        let wl4 = WorkloadConfig::test_default(QueryShape::Star, 4, 31);
+        let shifted: Vec<Query> = workload::generate(&g, &wl4)
+            .into_iter()
+            .take(8)
+            .map(|lq| lq.query)
+            .collect();
+        assert!(!shifted.is_empty());
+        let again = base.extend(&g, &[(QueryShape::Star, 4)], &cfg);
+        assert_eq!(
+            extended
+                .estimate_query_batch(&shifted)
+                .iter()
+                .map(|e| e.to_bits())
+                .collect::<Vec<_>>(),
+            again
+                .estimate_query_batch(&shifted)
+                .iter()
+                .map(|e| e.to_bits())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn extend_skips_covered_duplicate_and_untrainable_cells() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize);
+        let base = Lmkg::build(&g, &cfg);
+        let extended = base.extend(
+            &g,
+            &[
+                (QueryShape::Star, 2),  // already covered
+                (QueryShape::Other, 4), // untrainable shape
+                (QueryShape::Single, 1),
+                (QueryShape::Chain, 4), // the one real target…
+                (QueryShape::Chain, 4), // …listed twice
+            ],
+            &cfg,
+        );
+        assert_eq!(extended.model_count(), base.model_count() + 1);
+        assert!(extended.covers(QueryShape::Chain, 4));
+    }
+
+    #[test]
+    fn extend_unsupervised_respects_domain_guard() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let cfg = quick_cfg(ModelType::Unsupervised, Grouping::Specialized);
+        let base = Lmkg::build(&g, &cfg);
+        assert_eq!(base.model_count(), 2);
+        let extended = base.extend(&g, &[(QueryShape::Star, 3)], &cfg);
+        assert_eq!(extended.model_count(), 3);
+        assert!(extended.covers(QueryShape::Star, 3));
+
+        let mut guarded = cfg.clone();
+        guarded.u_config.max_node_domain = 2; // force the YAGO skip path
+        let skipped = base.extend(&g, &[(QueryShape::Chain, 3)], &guarded);
+        assert_eq!(
+            skipped.model_count(),
+            base.model_count(),
+            "guarded cell is skipped, not panicked"
+        );
+        // A skipped cell must leave the framework untouched — in particular
+        // the decomposition granularity: size-3+ queries still split exactly
+        // as the base splits them (bitwise), instead of decomposing against
+        // a phantom size-3 target no model serves.
+        let wl = WorkloadConfig::test_default(QueryShape::Chain, 3, 19);
+        let probes: Vec<Query> = workload::generate(&g, &wl)
+            .into_iter()
+            .take(6)
+            .map(|lq| lq.query)
+            .collect();
+        assert_eq!(
+            base.estimate_query_batch(&probes)
+                .iter()
+                .map(|e| e.to_bits())
+                .collect::<Vec<_>>(),
+            skipped
+                .estimate_query_batch(&probes)
+                .iter()
+                .map(|e| e.to_bits())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn config_cells_is_the_shape_size_product() {
+        let mut cfg = quick_cfg(ModelType::Supervised, Grouping::BySize);
+        cfg.sizes = vec![2, 3];
+        assert_eq!(
+            cfg.cells(),
+            vec![
+                (QueryShape::Star, 2),
+                (QueryShape::Star, 3),
+                (QueryShape::Chain, 2),
+                (QueryShape::Chain, 3),
+            ]
         );
     }
 

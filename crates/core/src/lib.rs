@@ -48,9 +48,9 @@ pub mod supervised;
 pub mod unsupervised;
 
 pub use estimator::{CardinalityEstimator, ExactEstimator};
-pub use framework::{Grouping, Lmkg, LmkgConfig, ModelKey, ModelType};
+pub use framework::{trainable_cell, Grouping, Lmkg, LmkgConfig, ModelKey, ModelType};
 pub use metrics::{q_error, GroupedQErrors, QErrorStats};
-pub use monitor::{DriftReport, WorkloadMonitor};
+pub use monitor::{Cell, DriftReport, WorkloadMonitor};
 pub use summary::GraphSummary;
 pub use supervised::{EpochStats, LmkgS, LmkgSConfig, LossKind, QueryEncoder};
 pub use unsupervised::{LmkgU, LmkgUConfig, LmkgUError};

@@ -12,7 +12,7 @@
 //!   covers (these fall back to decomposition, §IV's slow path).
 
 use lmkg_store::{Query, QueryShape};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// One workload cell.
 pub type Cell = (QueryShape, usize);
@@ -37,17 +37,24 @@ impl DriftReport {
 }
 
 /// Sliding-window workload monitor.
+///
+/// Cell counts are maintained incrementally as queries enter and leave the
+/// window, so [`WorkloadMonitor::report`] is O(distinct cells) — not
+/// O(window × cells) — and [`WorkloadMonitor::observe`] is O(1). This is the
+/// serving hot path: the batcher observes every admitted query, and the
+/// adapter thread pulls a report every tick.
 #[derive(Debug, Clone)]
 pub struct WorkloadMonitor {
     window: usize,
     recent: VecDeque<Cell>,
-    baseline: Vec<(Cell, f64)>,
+    counts: HashMap<Cell, usize>,
+    baseline: HashMap<Cell, f64>,
 }
 
 impl WorkloadMonitor {
     /// Creates a monitor with a sliding window of `window` queries and the
     /// baseline cell mix the models were trained for (uniform over the given
-    /// cells).
+    /// cells; a cell listed twice gets twice the share).
     pub fn new(window: usize, trained_cells: &[Cell]) -> Self {
         assert!(window >= 1);
         let share = if trained_cells.is_empty() {
@@ -55,19 +62,38 @@ impl WorkloadMonitor {
         } else {
             1.0 / trained_cells.len() as f64
         };
+        let mut baseline: HashMap<Cell, f64> = HashMap::new();
+        for &cell in trained_cells {
+            *baseline.entry(cell).or_insert(0.0) += share;
+        }
         Self {
             window,
             recent: VecDeque::with_capacity(window),
-            baseline: trained_cells.iter().map(|&c| (c, share)).collect(),
+            counts: HashMap::new(),
+            baseline,
         }
     }
 
     /// Records an executed query.
     pub fn observe(&mut self, query: &Query) {
+        self.observe_cell((query.shape(), query.size()));
+    }
+
+    /// Records an executed query by its `(shape, size)` cell — the form the
+    /// serving layer uses, where the cell is computed before the query is
+    /// moved into the admission queue.
+    pub fn observe_cell(&mut self, cell: Cell) {
         if self.recent.len() == self.window {
-            self.recent.pop_front();
+            let evicted = self.recent.pop_front().expect("window is non-empty");
+            match self.counts.get_mut(&evicted) {
+                Some(k) if *k > 1 => *k -= 1,
+                _ => {
+                    self.counts.remove(&evicted);
+                }
+            }
         }
-        self.recent.push_back((query.shape(), query.size()));
+        self.recent.push_back(cell);
+        *self.counts.entry(cell).or_insert(0) += 1;
     }
 
     /// Number of observed queries currently in the window.
@@ -75,41 +101,41 @@ impl WorkloadMonitor {
         self.recent.len()
     }
 
-    /// Evaluates drift; `covers` reports whether a model covers a cell.
+    /// Evaluates drift; `covers` reports whether a model covers a cell (it
+    /// is called once per *distinct* cell, not once per observed query).
     pub fn report(&self, covers: impl Fn(Cell) -> bool) -> DriftReport {
         let n = self.recent.len().max(1) as f64;
 
-        // Recent distribution over cells.
-        let mut counts: Vec<(Cell, usize)> = Vec::new();
-        for &cell in &self.recent {
-            match counts.iter_mut().find(|(c, _)| *c == cell) {
-                Some((_, k)) => *k += 1,
-                None => counts.push((cell, 1)),
-            }
-        }
-        counts.sort_by_key(|&(_, k)| std::cmp::Reverse(k));
+        // Recent distribution over cells, most frequent first. Ties break on
+        // the cell itself so the order is deterministic regardless of hash
+        // iteration order — the adapter picks retraining targets from the
+        // head of this list.
+        let mut dominant: Vec<(Cell, usize)> = self.counts.iter().map(|(&c, &k)| (c, k)).collect();
+        dominant.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
         // TV distance: ½ Σ |p(c) − q(c)| over the union of supports.
         let mut tv = 0.0f64;
-        let mut seen: Vec<Cell> = Vec::new();
-        for &(cell, k) in &counts {
+        for &(cell, k) in &dominant {
             let p = k as f64 / n;
-            let q = self.baseline.iter().find(|(c, _)| *c == cell).map_or(0.0, |(_, s)| *s);
+            let q = self.baseline.get(&cell).copied().unwrap_or(0.0);
             tv += (p - q).abs();
-            seen.push(cell);
         }
-        for &(cell, q) in &self.baseline {
-            if !seen.contains(&cell) {
+        for (cell, q) in &self.baseline {
+            if !self.counts.contains_key(cell) {
                 tv += q;
             }
         }
         tv *= 0.5;
 
-        let uncovered = self.recent.iter().filter(|&&c| !covers(c)).count() as f64 / n;
+        let uncovered: usize = dominant.iter().filter(|&&(c, _)| !covers(c)).map(|&(_, k)| k).sum();
         DriftReport {
             tv_distance: tv,
-            uncovered_share: if self.recent.is_empty() { 0.0 } else { uncovered },
-            dominant_cells: counts,
+            uncovered_share: if self.recent.is_empty() {
+                0.0
+            } else {
+                uncovered as f64 / n
+            },
+            dominant_cells: dominant,
         }
     }
 }
@@ -210,5 +236,62 @@ mod tests {
         let r = m.report(|_| true);
         assert_eq!(r.uncovered_share, 0.0);
         assert!(r.dominant_cells.is_empty());
+    }
+
+    #[test]
+    fn empty_trained_cells_baseline() {
+        // No models at all (e.g. the YAGO domain-guard path skipped every
+        // LMKG-U cell): the baseline is empty, so all recent mass is "new".
+        // TV = ½ Σ p(c) = ½, never NaN, and nothing panics.
+        let mut m = WorkloadMonitor::new(10, &[]);
+        let empty = m.report(|_| false);
+        assert_eq!(empty.tv_distance, 0.0);
+        assert_eq!(empty.uncovered_share, 0.0);
+        for _ in 0..10 {
+            m.observe(&star(3));
+        }
+        let r = m.report(|_| false);
+        assert!((r.tv_distance - 0.5).abs() < 1e-9, "tv {}", r.tv_distance);
+        assert_eq!(r.uncovered_share, 1.0);
+        assert!(r.tv_distance.is_finite() && r.uncovered_share.is_finite());
+        assert!(r.should_retrain(0.3, 0.2));
+    }
+
+    #[test]
+    fn dominant_cells_tie_break_is_deterministic() {
+        // Four cells, equal counts: order must be count-desc then cell-asc
+        // (QueryShape declares Star < Chain), independent of hash order.
+        let mut m = WorkloadMonitor::new(40, &trained());
+        for _ in 0..5 {
+            m.observe(&star(3));
+            m.observe(&chain(4));
+            m.observe(&star(2));
+            m.observe(&chain(2));
+        }
+        let r = m.report(|_| true);
+        let cells: Vec<Cell> = r.dominant_cells.iter().map(|&(c, _)| c).collect();
+        assert_eq!(
+            cells,
+            vec![
+                (QueryShape::Star, 2),
+                (QueryShape::Star, 3),
+                (QueryShape::Chain, 2),
+                (QueryShape::Chain, 4),
+            ]
+        );
+        assert!(r.dominant_cells.iter().all(|&(_, k)| k == 5));
+    }
+
+    #[test]
+    fn observe_cell_matches_observe() {
+        let mut by_query = WorkloadMonitor::new(5, &trained());
+        let mut by_cell = WorkloadMonitor::new(5, &trained());
+        for q in [star(2), star(5), chain(2), star(5), star(5), chain(3), star(2)] {
+            by_query.observe(&q);
+            by_cell.observe_cell((q.shape(), q.size()));
+        }
+        let a = by_query.report(|c| trained().contains(&c));
+        let b = by_cell.report(|c| trained().contains(&c));
+        assert_eq!(a, b);
     }
 }

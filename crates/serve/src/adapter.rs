@@ -1,0 +1,294 @@
+//! The online adaptation loop: monitor → retrain → swap, under live traffic.
+//!
+//! The paper's execution phase (§IV, Model choice) calls for exactly this:
+//! "If a change in the workload of queries is detected during the execution
+//! phase, a new model may be created". The pieces have existed separately —
+//! `WorkloadMonitor` detects the change, `Lmkg::extend` creates the missing
+//! models, `ModelHandle::swap` publishes atomically — and this module is the
+//! thread that closes the loop:
+//!
+//! 1. the batcher records every admitted query's `(shape, size)` cell into a
+//!    [`SharedMonitor`](crate::batcher::SharedMonitor);
+//! 2. the adapter thread wakes every [`AdapterConfig::interval`], pulls a
+//!    [`DriftReport`](lmkg::DriftReport), and records it in the serving
+//!    stats (`STATS … tv=… uncovered=…`);
+//! 3. when `should_retrain` fires, it trains models for the dominant
+//!    *uncovered* cells via [`Lmkg::extend`] — existing entries are reused
+//!    by reference, only the missing cells train, on scoped threads — while
+//!    the workers keep serving the old snapshot;
+//! 4. the extended framework is published with
+//!    [`ModelHandle::swap`](crate::batcher::ModelHandle::swap): in-flight
+//!    batches finish on the model they already resolved, the next batch sees
+//!    the new one. No request is dropped, no batch is torn.
+//!
+//! Training happens on the adapter thread (plus the scoped training threads
+//! `Lmkg::extend` spawns), never on a worker — the estimation path stays
+//! lock-free and swap-latency is one `RwLock` write for the pointer, not the
+//! training time.
+
+use crate::batcher::{BatchConfig, ModelHandle, ServeStats, SharedEstimator, SharedMonitor};
+use crate::server::EstimationService;
+use lmkg::framework::{trainable_cell, Lmkg, LmkgConfig};
+use lmkg::{Cell, WorkloadMonitor};
+use lmkg_store::KnowledgeGraph;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Knobs of the adaptation loop.
+#[derive(Debug, Clone)]
+pub struct AdapterConfig {
+    /// How often the adapter evaluates drift.
+    pub interval: Duration,
+    /// Sliding-window size of the workload monitor (observed queries).
+    pub window: usize,
+    /// Minimum observed queries before drift is evaluated at all — a cold
+    /// window says nothing about the workload.
+    pub min_observed: usize,
+    /// Total-variation threshold of `DriftReport::should_retrain`.
+    pub tv_threshold: f64,
+    /// Uncovered-share threshold of `DriftReport::should_retrain`.
+    pub uncovered_threshold: f64,
+    /// Hard cap on the total model count; cells beyond it are not trained.
+    pub max_models: usize,
+    /// At most this many new models per retrain event, taken from the head
+    /// of `dominant_cells` — the rest wait for the next tick, so one burst
+    /// of exotic queries cannot monopolize the adapter.
+    pub max_new_per_cycle: usize,
+}
+
+impl Default for AdapterConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(500),
+            window: 512,
+            min_observed: 64,
+            tv_threshold: 0.3,
+            uncovered_threshold: 0.2,
+            max_models: 32,
+            max_new_per_cycle: 4,
+        }
+    }
+}
+
+/// The background adaptation thread. Dropping it (or calling
+/// [`Adapter::stop`]) signals the loop and joins it — never mid-swap, since
+/// the stop flag is only checked between whole iterations.
+pub struct Adapter {
+    stop: Arc<AtomicBool>,
+    current: Arc<RwLock<Arc<Lmkg>>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Adapter {
+    /// Spawns the adaptation loop over a serving setup: `base` must be the
+    /// same framework the batcher's `handle` currently serves, `monitor`
+    /// the one its admission path observes into, `stats` its counter block
+    /// ([`crate::server::EstimationService::serve_stats`]). `build_cfg` is
+    /// the configuration the base was built with — extensions train with
+    /// its hyperparameters and budget.
+    pub fn start(
+        graph: Arc<KnowledgeGraph>,
+        base: Arc<Lmkg>,
+        build_cfg: LmkgConfig,
+        handle: Arc<ModelHandle>,
+        monitor: SharedMonitor,
+        stats: Arc<ServeStats>,
+        cfg: AdapterConfig,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let current = Arc::new(RwLock::new(Arc::clone(&base)));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let current = Arc::clone(&current);
+            std::thread::Builder::new()
+                .name("lmkg-serve-adapter".into())
+                .spawn(move || {
+                    adapter_loop(
+                        &graph, base, &build_cfg, &handle, &monitor, &stats, &cfg, &stop, &current,
+                    )
+                })
+                .expect("spawn adapter thread")
+        };
+        Self {
+            stop,
+            current,
+            thread: Some(thread),
+        }
+    }
+
+    /// The framework the adapter most recently published (the base until the
+    /// first retrain). Unlike `ModelHandle::current`, this is the concrete
+    /// `Lmkg`, so callers can ask `covers` questions.
+    pub fn current(&self) -> Arc<Lmkg> {
+        Arc::clone(&self.current.read().expect("adapter current lock"))
+    }
+
+    /// Signals the loop and joins the thread, returning the final published
+    /// framework.
+    pub fn stop(mut self) -> Arc<Lmkg> {
+        self.halt();
+        self.current()
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Adapter {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Builds the complete adaptive serving setup in one call: a workload
+/// monitor over `build_cfg`'s trained cells wired into the service's
+/// admission path, and the running adapter thread over the service's model
+/// handle and stats. The `serve` binary and the loadgen shift benchmark
+/// both go through here, so the wiring cannot diverge between them.
+pub fn adaptive_service(
+    graph: &Arc<KnowledgeGraph>,
+    base: &Arc<Lmkg>,
+    build_cfg: &LmkgConfig,
+    batch: BatchConfig,
+    cfg: AdapterConfig,
+) -> (EstimationService, Adapter) {
+    let monitor: SharedMonitor = Arc::new(Mutex::new(WorkloadMonitor::new(cfg.window, &build_cfg.cells())));
+    let svc = EstimationService::new_observed(
+        Arc::clone(graph),
+        Arc::clone(base) as SharedEstimator,
+        batch,
+        Some(Arc::clone(&monitor)),
+    );
+    let adapter = Adapter::start(
+        Arc::clone(graph),
+        Arc::clone(base),
+        build_cfg.clone(),
+        svc.model(),
+        monitor,
+        svc.serve_stats(),
+        cfg,
+    );
+    (svc, adapter)
+}
+
+#[allow(clippy::too_many_arguments)] // private loop body; the public surface is Adapter::start
+fn adapter_loop(
+    graph: &KnowledgeGraph,
+    base: Arc<Lmkg>,
+    build_cfg: &LmkgConfig,
+    handle: &ModelHandle,
+    monitor: &SharedMonitor,
+    stats: &ServeStats,
+    cfg: &AdapterConfig,
+    stop: &AtomicBool,
+    current_slot: &RwLock<Arc<Lmkg>>,
+) {
+    let mut current = base;
+    // Cells that were selected but yielded no model (e.g. the LMKG-U domain
+    // guard): never re-attempted, or a persistent exotic workload would make
+    // every tick a futile training run.
+    let mut failed: HashSet<Cell> = HashSet::new();
+
+    while !stop.load(Ordering::SeqCst) {
+        // Sleep in short slices so stop() never waits out a long interval.
+        let wake = Instant::now() + cfg.interval;
+        while Instant::now() < wake {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(cfg.interval.min(Duration::from_millis(20)));
+        }
+
+        let report = {
+            let m = monitor.lock().expect("workload monitor lock");
+            if m.observed() < cfg.min_observed {
+                continue;
+            }
+            let model = &current;
+            m.report(|(shape, size)| model.covers(shape, size))
+        };
+        stats.note_drift(report.tv_distance, report.uncovered_share);
+        if !report.should_retrain(cfg.tv_threshold, cfg.uncovered_threshold) {
+            continue;
+        }
+
+        let budget = cfg
+            .max_models
+            .saturating_sub(current.model_count())
+            .min(cfg.max_new_per_cycle);
+        let cells: Vec<Cell> = report
+            .dominant_cells
+            .iter()
+            .map(|&(cell, _)| cell)
+            .filter(|&cell| trainable_cell(cell) && !failed.contains(&cell) && !current.covers(cell.0, cell.1))
+            .take(budget)
+            .collect();
+        if cells.is_empty() {
+            // Drift without a trainable target (pure mix shift over covered
+            // cells, exotic shapes, or the model cap): nothing to create.
+            continue;
+        }
+
+        eprintln!(
+            "adapter: drift tv={:.3} uncovered={:.3} over {} queries — training {} model(s) for {:?}",
+            report.tv_distance,
+            report.uncovered_share,
+            report.dominant_cells.iter().map(|&(_, k)| k).sum::<usize>(),
+            cells.len(),
+            cells
+        );
+        let t0 = Instant::now();
+        let extended = Arc::new(current.extend(graph, &cells, build_cfg));
+        let added = extended.model_count().saturating_sub(current.model_count());
+        // Publish first, then bump the retrain counter: a SeqCst read of
+        // `retrains` therefore implies later batches resolve the new model.
+        handle.swap(Arc::clone(&extended) as SharedEstimator);
+        *current_slot.write().expect("adapter current lock") = Arc::clone(&extended);
+        stats.note_retrain(added);
+        for &(shape, size) in &cells {
+            if extended.covers(shape, size) {
+                eprintln!("adapter: cell ({shape}, {size}) now covered — direct model, no decomposition fallback");
+            } else {
+                failed.insert((shape, size));
+                eprintln!("adapter: cell ({shape}, {size}) could not be trained; keeping the fallback path");
+            }
+        }
+        eprintln!(
+            "adapter: published {} model(s) (+{added}) after {:.3}s of training, swap was atomic under live traffic",
+            extended.model_count(),
+            t0.elapsed().as_secs_f64()
+        );
+        current = extended;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmkg_store::QueryShape;
+
+    #[test]
+    fn trainable_filters_shapes_and_sizes() {
+        assert!(trainable_cell((QueryShape::Star, 2)));
+        assert!(trainable_cell((QueryShape::Chain, 8)));
+        assert!(!trainable_cell((QueryShape::Star, 1)));
+        assert!(!trainable_cell((QueryShape::Single, 1)));
+        assert!(!trainable_cell((QueryShape::Other, 4)));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = AdapterConfig::default();
+        assert!(cfg.interval > Duration::ZERO);
+        assert!(cfg.min_observed <= cfg.window);
+        assert!(cfg.max_new_per_cycle >= 1 && cfg.max_new_per_cycle <= cfg.max_models);
+        assert!(cfg.tv_threshold > 0.0 && cfg.uncovered_threshold > 0.0);
+    }
+}

@@ -27,7 +27,7 @@
 
 use crate::latency::{SlidingWindow, StatsSnapshot};
 use crate::protocol::Reply;
-use lmkg::CardinalityEstimator;
+use lmkg::{CardinalityEstimator, WorkloadMonitor};
 use lmkg_store::Query;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -111,6 +111,11 @@ pub struct ServeStats {
     served: AtomicU64,
     shed: AtomicU64,
     batches: AtomicU64,
+    retrains: AtomicU64,
+    models_added: AtomicU64,
+    // Last drift evaluation, stored as f64 bit patterns.
+    drift_tv_bits: AtomicU64,
+    drift_uncovered_bits: AtomicU64,
     window: Mutex<SlidingWindow>,
 }
 
@@ -120,6 +125,10 @@ impl ServeStats {
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            retrains: AtomicU64::new(0),
+            models_added: AtomicU64::new(0),
+            drift_tv_bits: AtomicU64::new(0.0f64.to_bits()),
+            drift_uncovered_bits: AtomicU64::new(0.0f64.to_bits()),
             window: Mutex::new(SlidingWindow::new(LATENCY_WINDOW)),
         }
     }
@@ -127,6 +136,23 @@ impl ServeStats {
     /// Counts one shed request.
     pub fn note_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the adapter's latest drift evaluation.
+    pub fn note_drift(&self, tv: f64, uncovered: f64) {
+        self.drift_tv_bits.store(tv.to_bits(), Ordering::Relaxed);
+        self.drift_uncovered_bits.store(uncovered.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Counts one retrain event that added `added` models.
+    ///
+    /// `SeqCst` on purpose: the adapter publishes the extended model
+    /// (`ModelHandle::swap`) *before* calling this, so any thread that reads
+    /// `retrains >= 1` from a snapshot is guaranteed that batches it submits
+    /// afterwards resolve the new model.
+    pub fn note_retrain(&self, added: usize) {
+        self.models_added.fetch_add(added as u64, Ordering::SeqCst);
+        self.retrains.fetch_add(1, Ordering::SeqCst);
     }
 
     fn note_batch(&self, size: usize) {
@@ -145,6 +171,10 @@ impl ServeStats {
             served: self.served.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            retrains: self.retrains.load(Ordering::SeqCst),
+            models_added: self.models_added.load(Ordering::SeqCst),
+            drift_tv: f64::from_bits(self.drift_tv_bits.load(Ordering::Relaxed)),
+            drift_uncovered: f64::from_bits(self.drift_uncovered_bits.load(Ordering::Relaxed)),
             p50_us,
             p95_us,
             p99_us,
@@ -154,6 +184,13 @@ impl ServeStats {
 
 /// The form every served model takes: frozen, `&self`-estimating, shareable.
 pub type SharedEstimator = Arc<dyn CardinalityEstimator + Send + Sync>;
+
+/// The workload monitor the batcher feeds and the adapter thread reads —
+/// the observation half of the workload-shift loop (paper §IV, Model
+/// choice). Admission pushes one `(shape, size)` cell under this mutex
+/// (O(1), never held across a forward); the adapter locks it once per tick
+/// to pull a drift report.
+pub type SharedMonitor = Arc<Mutex<WorkloadMonitor>>;
 
 /// The swappable model slot all workers read from.
 ///
@@ -195,12 +232,21 @@ pub struct MicroBatcher {
     workers: Vec<JoinHandle<()>>,
     handle: Arc<ModelHandle>,
     stats: Arc<ServeStats>,
+    monitor: Option<SharedMonitor>,
     queue_depth: usize,
 }
 
 impl MicroBatcher {
     /// Spawns the worker threads and returns the running batcher.
     pub fn start(estimator: SharedEstimator, cfg: BatchConfig) -> Self {
+        Self::start_observed(estimator, cfg, None)
+    }
+
+    /// Like [`MicroBatcher::start`], but every *admitted* query is also
+    /// recorded into `monitor` — shed requests are not, since they were
+    /// never served and retraining for a workload the queue rejects would
+    /// chase load, not drift.
+    pub fn start_observed(estimator: SharedEstimator, cfg: BatchConfig, monitor: Option<SharedMonitor>) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         assert!(cfg.queue_depth >= 1, "queue_depth must be at least 1");
         assert!(cfg.workers >= 1, "at least one worker is required");
@@ -225,6 +271,7 @@ impl MicroBatcher {
             workers,
             handle,
             stats,
+            monitor,
             queue_depth: cfg.queue_depth,
         }
     }
@@ -233,8 +280,16 @@ impl MicroBatcher {
     /// job is handed back so the caller can send the `OVERLOADED` reply.
     pub fn submit(&self, job: Job) -> Result<(), Job> {
         let tx = self.tx.as_ref().expect("batcher is running");
+        // Classify before the job moves into the queue; only admitted
+        // queries are observed.
+        let cell = self.monitor.as_ref().map(|_| (job.query.shape(), job.query.size()));
         match tx.try_send(job) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                if let (Some(monitor), Some(cell)) = (&self.monitor, cell) {
+                    monitor.lock().expect("workload monitor lock").observe_cell(cell);
+                }
+                Ok(())
+            }
             Err(TrySendError::Full(job)) => {
                 self.stats.note_shed();
                 Err(job)
@@ -352,6 +407,7 @@ fn worker_loop(
 mod tests {
     use super::*;
     use lmkg_store::{NodeTerm, PredTerm, TriplePattern, VarId};
+    use std::collections::HashMap;
     use std::sync::mpsc::channel;
 
     /// A deterministic estimator that records every batch size it sees and
@@ -639,6 +695,157 @@ mod tests {
             other => panic!("unexpected reply {other:?}"),
         }
         assert_eq!(batcher.shutdown().name(), "constant");
+    }
+
+    /// A swappable snapshot stand-in whose replies encode *which forward*
+    /// produced them: each `estimate_batch` call returns `tag + calls/1024`
+    /// for every query in the batch and logs `(value, batch size)`. Replies
+    /// from one forward therefore all carry one unique value, and a worker
+    /// that resolved `current()` more than once per batch (a torn batch)
+    /// would produce a reply multiset inconsistent with the log.
+    struct SnapshotEstimator {
+        tag: f64,
+        calls: AtomicU64,
+        log: Arc<Mutex<Vec<(u64, usize)>>>,
+    }
+
+    impl SnapshotEstimator {
+        fn new(tag: f64, log: Arc<Mutex<Vec<(u64, usize)>>>) -> Self {
+            Self {
+                tag,
+                calls: AtomicU64::new(0),
+                log,
+            }
+        }
+    }
+
+    impl CardinalityEstimator for SnapshotEstimator {
+        fn name(&self) -> &str {
+            "snapshot"
+        }
+
+        fn estimate(&self, _query: &Query) -> f64 {
+            unreachable!("batched path only")
+        }
+
+        fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
+            let call = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
+            let value = self.tag + call as f64 / 1024.0;
+            self.log.lock().unwrap().push((value.to_bits(), queries.len()));
+            vec![value; queries.len()]
+        }
+
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    /// Spamming `ModelHandle::swap` while workers serve a continuous stream
+    /// must never tear a batch: every reply batch is consistent with exactly
+    /// one model snapshot (each worker resolves `current()` once per batch),
+    /// and no reply is dropped.
+    #[test]
+    fn swap_spam_never_tears_a_batch() {
+        const JOBS: usize = 600;
+        const SWAPS: usize = 200;
+
+        let log: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let batcher = MicroBatcher::start(
+            Arc::new(SnapshotEstimator::new(0.0, Arc::clone(&log))),
+            BatchConfig {
+                window: Duration::from_micros(200),
+                max_batch: 8,
+                queue_depth: JOBS,
+                workers: 3,
+            },
+        );
+
+        // Swapper: publish a fresh snapshot (tags 1000, 2000, …) as fast as
+        // the workers can batch, while the submitter keeps the queue fed.
+        let handle = batcher.model();
+        let swapper = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                for i in 1..=SWAPS {
+                    handle.swap(Arc::new(SnapshotEstimator::new((i * 1000) as f64, Arc::clone(&log))));
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        let (tx, rx) = channel();
+        for i in 0..JOBS {
+            batcher
+                .submit(Job::new(format!("q{i}"), query(1 + i % 3), tx.clone()))
+                .unwrap();
+        }
+        let mut reply_counts: HashMap<u64, usize> = HashMap::new();
+        for _ in 0..JOBS {
+            match rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("no reply dropped during swaps")
+            {
+                Reply::Estimate { estimate, .. } => *reply_counts.entry(estimate.to_bits()).or_insert(0) += 1,
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        swapper.join().unwrap();
+        drop(batcher); // workers drain; the log is complete
+
+        // Every reply value identifies one logged forward, and the number of
+        // replies carrying it equals that forward's batch size — i.e. each
+        // reply batch came from exactly one snapshot, uncut.
+        let mut logged: HashMap<u64, usize> = HashMap::new();
+        for &(value, size) in log.lock().unwrap().iter() {
+            *logged.entry(value).or_insert(0) += size;
+        }
+        for (&value, &replies) in &reply_counts {
+            assert_eq!(
+                logged.get(&value),
+                Some(&replies),
+                "torn batch: value {} answered {replies} replies but the forward(s) served {:?}",
+                f64::from_bits(value),
+                logged.get(&value),
+            );
+        }
+        assert_eq!(reply_counts.values().sum::<usize>(), JOBS);
+    }
+
+    /// Admitted queries land in the shared monitor; shed ones do not.
+    #[test]
+    fn admission_observes_into_the_monitor() {
+        use lmkg::WorkloadMonitor;
+        use lmkg_store::QueryShape;
+
+        let monitor: SharedMonitor = Arc::new(Mutex::new(WorkloadMonitor::new(64, &[(QueryShape::Star, 2)])));
+        let (est, _) = recording(Duration::from_millis(150));
+        let batcher = MicroBatcher::start_observed(
+            est,
+            BatchConfig {
+                window: Duration::ZERO,
+                max_batch: 1,
+                queue_depth: 1,
+                workers: 1,
+            },
+            Some(Arc::clone(&monitor)),
+        );
+        let (tx, rx) = channel();
+        batcher.submit(Job::new("a".into(), query(2), tx.clone())).unwrap();
+        std::thread::sleep(Duration::from_millis(50)); // worker inside the forward
+        batcher.submit(Job::new("b".into(), query(4), tx.clone())).unwrap();
+        // Queue (depth 1) is now full; this one sheds and must not count.
+        let _ = batcher
+            .submit(Job::new("shed".into(), query(5), tx.clone()))
+            .expect_err("third concurrent job must shed");
+        for _ in 0..2 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let m = monitor.lock().unwrap();
+        assert_eq!(m.observed(), 2, "two admitted, one shed");
+        let report = m.report(|_| true);
+        let cells: Vec<_> = report.dominant_cells.iter().map(|&(c, _)| c).collect();
+        assert!(cells.contains(&(QueryShape::Star, 2)) && cells.contains(&(QueryShape::Star, 4)));
+        assert!(!cells.contains(&(QueryShape::Star, 5)), "shed query observed");
     }
 
     #[test]

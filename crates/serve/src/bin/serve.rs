@@ -15,10 +15,15 @@
 
 use lmkg::framework::{Grouping, Lmkg, LmkgConfig, ModelType};
 use lmkg::supervised::LmkgSConfig;
+
 use lmkg_data::workload::{self, WorkloadConfig};
 use lmkg_data::{Dataset, Scale};
-use lmkg_serve::{loadgen, serve_stream, serve_tcp, BatchConfig, EstimationService, LoadgenConfig};
+use lmkg_serve::{
+    loadgen, serve_stream, serve_tcp, Adapter, AdapterConfig, BatchConfig, EstimationService, LoadgenConfig,
+    ShiftConfig, ShutdownFlag,
+};
 use lmkg_store::{sparql, KnowledgeGraph, Query, QueryShape};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,16 +47,31 @@ Serving options (pipe, tcp, loadgen):
   --queue-depth N            admission queue bound              [1024]
   --workers N                batcher worker threads             [2]
 
+Adaptation options (pipe, tcp; the workload-shift loop):
+  --adapt                    enable the monitor->retrain->swap loop
+  --adapt-interval-ms N      drift check cadence                [500]
+  --adapt-window N           monitor sliding window, queries    [512]
+  --adapt-min-observed N     observations before drift counts   [64]
+  --adapt-tv T               total-variation retrain threshold  [0.3]
+  --adapt-uncovered T        uncovered-share retrain threshold  [0.2]
+  --adapt-max-models N       hard cap on total trained models   [32]
+
 Mode options:
   tcp:      --addr HOST:PORT     listen address    [127.0.0.1:7878]
+            (SIGINT/SIGTERM shut down gracefully: sessions drain, the
+             batcher flushes, the adapter joins)
   loadgen:  --qps N               offered load; 0 auto-calibrates  [0]
             --requests N          measured requests per run        [5000]
-            --json PATH           where the comparison lands       [BENCH_serve.json]
+            --json PATH           where the report lands           [BENCH_serve.json]
+            --workload PATH       replay queries from a file (EST lines or
+                                  bare SPARQL) instead of sampling
+            --shift-size N        also run the two-phase shifted-workload
+                                  adaptation benchmark onto star-N (0 = off) [0]
   sample:   --count N             request lines to print           [20]
 
 Protocol: 'EST <id> <sparql>' | 'STATS <id>' | 'QUIT' per line; replies are
 'OK <id> <estimate> us=<micros>' | 'ERR <id> <msg>' | 'OVERLOADED <id> depth=<n>'
-| 'STATS <id> served=... p50us=...'.
+| 'STATS <id> served=... retrains=... tv=... p50us=...'.
 ";
 
 struct Options {
@@ -69,6 +89,10 @@ struct Options {
     requests: usize,
     json: String,
     count: usize,
+    adapt: bool,
+    adapter: AdapterConfig,
+    workload: Option<String>,
+    shift_size: usize,
 }
 
 fn fail(message: &str) -> ! {
@@ -112,6 +136,10 @@ fn parse_options() -> Options {
         requests: 5000,
         json: "BENCH_serve.json".into(),
         count: 20,
+        adapt: false,
+        adapter: AdapterConfig::default(),
+        workload: None,
+        shift_size: 0,
     };
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().unwrap_or_else(|| fail(&format!("{flag} expects a value")));
@@ -188,6 +216,45 @@ fn parse_options() -> Options {
                     .parse()
                     .unwrap_or_else(|_| fail("--count expects an integer"))
             }
+            "--adapt" => opts.adapt = true,
+            "--adapt-interval-ms" => {
+                opts.adapter.interval = Duration::from_millis(
+                    value("--adapt-interval-ms")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--adapt-interval-ms expects an integer")),
+                )
+            }
+            "--adapt-window" => {
+                opts.adapter.window = value("--adapt-window")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--adapt-window expects an integer"))
+            }
+            "--adapt-min-observed" => {
+                opts.adapter.min_observed = value("--adapt-min-observed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--adapt-min-observed expects an integer"))
+            }
+            "--adapt-tv" => {
+                opts.adapter.tv_threshold = value("--adapt-tv")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--adapt-tv expects a number"))
+            }
+            "--adapt-uncovered" => {
+                opts.adapter.uncovered_threshold = value("--adapt-uncovered")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--adapt-uncovered expects a number"))
+            }
+            "--adapt-max-models" => {
+                opts.adapter.max_models = value("--adapt-max-models")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--adapt-max-models expects an integer"))
+            }
+            "--workload" => opts.workload = Some(value("--workload")),
+            "--shift-size" => {
+                opts.shift_size = value("--shift-size")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--shift-size expects an integer"))
+            }
             other => fail(&format!("unknown option {other:?}")),
         }
     }
@@ -226,7 +293,9 @@ fn sample_workload(graph: &KnowledgeGraph, opts: &Options, count: usize) -> Vec<
     out
 }
 
-fn build_estimator(graph: &KnowledgeGraph, opts: &Options) -> lmkg_serve::SharedEstimator {
+/// Builds the served framework plus the configuration it was built with —
+/// the adapter extends with the same hyperparameters and budget.
+fn build_lmkg(graph: &KnowledgeGraph, opts: &Options) -> (Arc<Lmkg>, LmkgConfig) {
     let cfg = LmkgConfig {
         model_type: ModelType::Supervised,
         grouping: Grouping::BySize,
@@ -245,8 +314,75 @@ fn build_estimator(graph: &KnowledgeGraph, opts: &Options) -> lmkg_serve::Shared
         "serve: building LMKG-S (sizes {:?}, hidden {:?}, {} epochs, {} train queries/model) …",
         opts.sizes, opts.hidden, opts.epochs, opts.train_queries
     );
-    Arc::new(Lmkg::build(graph, &cfg))
+    (Arc::new(Lmkg::build(graph, &cfg)), cfg)
 }
+
+/// An adaptive serving setup: the monitor the batcher observes into, the
+/// service, and the running adapter thread.
+fn adaptive_service(
+    graph: &Arc<KnowledgeGraph>,
+    base: &Arc<Lmkg>,
+    build_cfg: &LmkgConfig,
+    opts: &Options,
+) -> (EstimationService, Option<Adapter>) {
+    if !opts.adapt {
+        let svc = EstimationService::new(
+            Arc::clone(graph),
+            Arc::clone(base) as lmkg_serve::SharedEstimator,
+            opts.batch.clone(),
+        );
+        return (svc, None);
+    }
+    let (svc, adapter) =
+        lmkg_serve::adapter::adaptive_service(graph, base, build_cfg, opts.batch.clone(), opts.adapter.clone());
+    eprintln!(
+        "serve: adaptation on (interval {:?}, window {}, tv>{}, uncovered>{}, max {} models)",
+        opts.adapter.interval,
+        opts.adapter.window,
+        opts.adapter.tv_threshold,
+        opts.adapter.uncovered_threshold,
+        opts.adapter.max_models
+    );
+    (svc, Some(adapter))
+}
+
+/// SIGINT/SIGTERM handling for the TCP mode: the handler only flips an
+/// atomic; a watcher thread forwards it to the accept loop's shutdown flag.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers(flag: &ShutdownFlag) {
+    // `std` offers no signal API; registering the handler straight against
+    // libc (which std already links) keeps the container dependency-free.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+    let flag = flag.clone();
+    std::thread::Builder::new()
+        .name("lmkg-serve-signal-watcher".into())
+        .spawn(move || loop {
+            if SIGNALLED.load(Ordering::SeqCst) {
+                eprintln!("serve: signal received; draining sessions and shutting down …");
+                flag.trigger();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        })
+        .expect("spawn signal watcher");
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers(_flag: &ShutdownFlag) {}
 
 fn main() {
     let opts = parse_options();
@@ -265,31 +401,60 @@ fn main() {
             println!("STATS s0");
         }
         "pipe" => {
-            let svc = EstimationService::new(Arc::clone(&graph), build_estimator(&graph, &opts), opts.batch.clone());
+            let (base, build_cfg) = build_lmkg(&graph, &opts);
+            let (svc, adapter) = adaptive_service(&graph, &base, &build_cfg, &opts);
             eprintln!(
                 "serve: pipe mode ready (window {:?}, max_batch {}, queue {}, workers {})",
                 opts.batch.window, opts.batch.max_batch, opts.batch.queue_depth, opts.batch.workers
             );
             let stdin = std::io::stdin();
             serve_stream(&svc, stdin.lock(), std::io::stdout());
+            if let Some(adapter) = adapter {
+                let published = adapter.stop();
+                eprintln!(
+                    "serve: adapter joined with {} model(s) published",
+                    published.model_count()
+                );
+            }
             eprintln!("serve: shutdown stats: {}", svc.stats());
         }
         "tcp" => {
             let listener = std::net::TcpListener::bind(&opts.addr)
                 .unwrap_or_else(|e| fail(&format!("cannot bind {}: {e}", opts.addr)));
-            let svc = Arc::new(EstimationService::new(
-                Arc::clone(&graph),
-                build_estimator(&graph, &opts),
-                opts.batch.clone(),
-            ));
+            let (base, build_cfg) = build_lmkg(&graph, &opts);
+            let (svc, adapter) = adaptive_service(&graph, &base, &build_cfg, &opts);
+            let svc = Arc::new(svc);
+            let shutdown = ShutdownFlag::new();
+            install_signal_handlers(&shutdown);
             eprintln!("serve: listening on {}", opts.addr);
-            if let Err(e) = serve_tcp(&svc, listener, None) {
+            if let Err(e) = serve_tcp(&svc, listener, None, &shutdown) {
                 eprintln!("serve: accept loop failed: {e}");
             }
+            // Sessions have drained; now the adapter joins (never mid-swap)
+            // and dropping the service flushes the batcher workers.
+            if let Some(adapter) = adapter {
+                let published = adapter.stop();
+                eprintln!(
+                    "serve: adapter joined with {} model(s) published",
+                    published.model_count()
+                );
+            }
+            eprintln!("serve: shutdown stats: {}", svc.stats());
         }
         "loadgen" => {
-            let estimator = build_estimator(&graph, &opts);
-            let queries = sample_workload(&graph, &opts, 512);
+            let (base, build_cfg) = build_lmkg(&graph, &opts);
+            let queries = match &opts.workload {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| fail(&format!("cannot read workload {path}: {e}")));
+                    match loadgen::parse_workload(&text, &graph) {
+                        Ok(queries) if !queries.is_empty() => queries,
+                        Ok(_) => fail(&format!("workload {path} contains no queries")),
+                        Err(e) => fail(&format!("workload {path}, {e}")),
+                    }
+                }
+                None => sample_workload(&graph, &opts, 512),
+            };
             let cfg = LoadgenConfig {
                 qps: opts.qps,
                 requests: opts.requests,
@@ -301,7 +466,7 @@ fn main() {
                 cfg.requests,
                 queries.len()
             );
-            let report = loadgen::compare(&graph, estimator, &queries, &cfg);
+            let report = loadgen::compare(&graph, Arc::clone(&base) as lmkg_serve::SharedEstimator, &queries, &cfg);
             println!("{}", report.per_request);
             println!("{}", report.micro_batched);
             println!("{}", report.saturated_1w);
@@ -314,8 +479,61 @@ fn main() {
                 "worker scaling ({} workers / 1 worker, concurrent forwards): {:.2}x on {} core(s)",
                 report.workers, report.worker_scaling, report.available_parallelism
             );
-            std::fs::write(&opts.json, report.to_json())
-                .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", opts.json)));
+
+            let mut adaptation_json = "null".to_string();
+            if opts.shift_size > 0 {
+                if !lmkg::trainable_cell((QueryShape::Star, opts.shift_size)) {
+                    fail(&format!(
+                        "--shift-size {} is not trainable (star workloads need at least 2 triples)",
+                        opts.shift_size
+                    ));
+                }
+                if base.covers(QueryShape::Star, opts.shift_size) {
+                    fail(&format!(
+                        "--shift-size {} is already covered by the trained sizes {:?}; pick an uncovered size",
+                        opts.shift_size, opts.sizes
+                    ));
+                }
+                let shifted = loadgen::shifted_workload(&graph, opts.shift_size, 256, opts.seed ^ 0xad);
+                if shifted.is_empty() {
+                    fail("shifted workload generation produced no queries");
+                }
+                let shift_cfg = ShiftConfig {
+                    qps: opts.qps,
+                    requests: opts.requests.min(2000),
+                    batch: opts.batch.clone(),
+                    adapter: opts.adapter.clone(),
+                    ..ShiftConfig::default()
+                };
+                eprintln!(
+                    "serve: shifted-workload run — workload jumps to star-{} ({} distinct), adapter armed …",
+                    opts.shift_size,
+                    shifted.len()
+                );
+                let shift_report = loadgen::shift(&graph, base, &build_cfg, &queries, &shifted, &shift_cfg);
+                println!("{}", shift_report.baseline.run);
+                println!("{}", shift_report.shifted_pre.run);
+                println!("{}", shift_report.shifted_post.run);
+                println!(
+                    "adaptation: {} retrain(s), {} -> {} models, covered_after={}; \
+                     median q-error {:.2} (pre-swap decomposition) -> {:.2} (post-swap model)",
+                    shift_report.retrains,
+                    shift_report.models_before,
+                    shift_report.models_after,
+                    shift_report.covered_after,
+                    shift_report.shifted_pre.median_q_error,
+                    shift_report.shifted_post.median_q_error
+                );
+                adaptation_json = shift_report.to_json();
+            }
+
+            let json = format!(
+                "{{\n  \"benchmark\": \"lmkg-serve serving + workload-shift adaptation\",\n  \
+                 \"comparison\": {},\n  \"adaptation\": {}\n}}\n",
+                report.to_json().trim_end(),
+                adaptation_json
+            );
+            std::fs::write(&opts.json, json).unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", opts.json)));
             eprintln!("serve: wrote {}", opts.json);
         }
         _ => unreachable!("mode validated in parse_options"),

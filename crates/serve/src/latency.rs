@@ -79,6 +79,14 @@ pub struct StatsSnapshot {
     pub shed: u64,
     /// Batched forwards executed (`served / batches` = mean batch size).
     pub batches: u64,
+    /// Retrain events: times the adapter published an extended model set.
+    pub retrains: u64,
+    /// Models added across all retrain events.
+    pub models_added: u64,
+    /// Total-variation distance of the last drift evaluation (0 before one).
+    pub drift_tv: f64,
+    /// Uncovered-query share of the last drift evaluation (0 before one).
+    pub drift_uncovered: f64,
     /// Median latency over the window, microseconds.
     pub p50_us: f64,
     /// 95th-percentile latency over the window, microseconds.
@@ -91,8 +99,17 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "served={} shed={} batches={} p50us={} p95us={} p99us={}",
-            self.served, self.shed, self.batches, self.p50_us, self.p95_us, self.p99_us
+            "served={} shed={} batches={} retrains={} added={} tv={} uncovered={} p50us={} p95us={} p99us={}",
+            self.served,
+            self.shed,
+            self.batches,
+            self.retrains,
+            self.models_added,
+            self.drift_tv,
+            self.drift_uncovered,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us
         )
     }
 }
@@ -134,13 +151,17 @@ mod tests {
             served: 10,
             shed: 2,
             batches: 3,
+            retrains: 1,
+            models_added: 2,
+            drift_tv: 0.75,
+            drift_uncovered: 0.5,
             p50_us: 1.5,
             p95_us: 2.5,
             p99_us: 3.5,
         };
         assert_eq!(
             s.to_string(),
-            "served=10 shed=2 batches=3 p50us=1.5 p95us=2.5 p99us=3.5"
+            "served=10 shed=2 batches=3 retrains=1 added=2 tv=0.75 uncovered=0.5 p50us=1.5 p95us=2.5 p99us=3.5"
         );
     }
 }

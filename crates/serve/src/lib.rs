@@ -20,11 +20,24 @@
 //!   frozen model behind an `Arc` (estimation takes `&self`) through a
 //!   swappable [`batcher::ModelHandle`], so forwards run concurrently and a
 //!   retraining loop can publish new models under live traffic.
+//! * [`adapter`] — the online adaptation loop (paper §IV, Model choice):
+//!   the batcher observes every admitted query into a shared
+//!   `WorkloadMonitor`, a background [`adapter::Adapter`] thread pulls
+//!   drift reports, trains models for the dominant uncovered `(shape,
+//!   size)` cells via `Lmkg::extend` (only the missing cells; existing
+//!   entries are reused by reference), and publishes the extended
+//!   framework atomically through the `ModelHandle` while workers keep
+//!   serving the old snapshot.
 //! * [`server`] — transports: a stdin/stdout pipe mode and a TCP listener
 //!   mode, both speaking the same protocol through the same service object.
+//!   The TCP accept loop shuts down gracefully on a [`server::ShutdownFlag`]
+//!   (wired to SIGINT/SIGTERM by the `serve` binary): in-flight sessions
+//!   drain their replies before the loop returns.
 //! * [`loadgen`] — a self-driving load generator that replays an `lmkg-data`
 //!   workload at a target QPS through the full protocol path and writes a
-//!   micro-batched vs per-request comparison (`BENCH_serve.json`).
+//!   micro-batched vs per-request comparison plus a two-phase
+//!   shifted-workload adaptation run (before/after-swap q-error and
+//!   latency) to `BENCH_serve.json`.
 //!
 //! ```
 //! use lmkg::GraphSummary;
@@ -45,14 +58,16 @@
 
 #![warn(missing_docs)]
 
+pub mod adapter;
 pub mod batcher;
 pub mod latency;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
-pub use batcher::{BatchConfig, Job, MicroBatcher, ModelHandle, ServeStats, SharedEstimator};
+pub use adapter::{Adapter, AdapterConfig};
+pub use batcher::{BatchConfig, Job, MicroBatcher, ModelHandle, ServeStats, SharedEstimator, SharedMonitor};
 pub use latency::{percentile, SlidingWindow, StatsSnapshot};
-pub use loadgen::{ComparisonReport, LoadgenConfig, RunReport};
+pub use loadgen::{ComparisonReport, LoadgenConfig, RunReport, ShiftConfig, ShiftReport, WorkloadLineError};
 pub use protocol::{ProtocolError, Reply, Request};
-pub use server::{serve_stream, serve_tcp, EstimationService, LineOutcome};
+pub use server::{serve_stream, serve_tcp, EstimationService, LineOutcome, ShutdownFlag};

@@ -9,13 +9,24 @@
 //! calibrator measures the estimator's direct per-query latency and offers
 //! twice that service rate, so both serving modes run saturated and the
 //! achieved throughput *is* each mode's service rate.
+//!
+//! [`shift`] is the closed-loop **adaptation** benchmark: a covered
+//! baseline phase, then the workload jumps to an uncovered cell — served
+//! through the decomposition fallback until the [`crate::Adapter`] retrains
+//! and swaps — then the same shifted workload again on the published model.
+//! Before/after-swap q-error (against exact counts) and latency land in
+//! `BENCH_serve.json`. Workloads can also be replayed from files via
+//! [`parse_workload`], which reports malformed lines with their line number
+//! instead of panicking.
 
+use crate::adapter::AdapterConfig;
 use crate::batcher::{BatchConfig, SharedEstimator};
 use crate::latency::percentile;
 use crate::protocol::{Reply, Request};
 use crate::server::EstimationService;
-use lmkg::CardinalityEstimator;
-use lmkg_store::{sparql, KnowledgeGraph, Query};
+use lmkg::framework::{Lmkg, LmkgConfig};
+use lmkg::{q_error, CardinalityEstimator};
+use lmkg_store::{counter, sparql, KnowledgeGraph, Query, QueryShape};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -185,6 +196,18 @@ impl ComparisonReport {
 /// Replays pre-formatted request lines against a service at `qps`,
 /// collecting replies until every admitted request is answered.
 pub fn replay(svc: &EstimationService, lines: &[String], qps: f64, mode: &str) -> RunReport {
+    replay_with_estimates(svc, lines, qps, mode).0
+}
+
+/// Like [`replay`], but also returns each answered request's estimate keyed
+/// by its request index (`q<i>` ids) — the shifted-workload benchmark joins
+/// these against true cardinalities for q-errors.
+pub fn replay_with_estimates(
+    svc: &EstimationService,
+    lines: &[String],
+    qps: f64,
+    mode: &str,
+) -> (RunReport, Vec<(usize, f64)>) {
     assert!(qps > 0.0, "offered QPS must be positive");
     let (tx, rx) = mpsc::channel::<Reply>();
     let collector = std::thread::Builder::new()
@@ -192,18 +215,22 @@ pub fn replay(svc: &EstimationService, lines: &[String], qps: f64, mode: &str) -
         .spawn(move || {
             let (mut ok, mut shed, mut errors) = (0usize, 0usize, 0usize);
             let mut latencies: Vec<f64> = Vec::new();
+            let mut estimates: Vec<(usize, f64)> = Vec::new();
             for reply in rx {
                 match reply {
-                    Reply::Estimate { micros, .. } => {
+                    Reply::Estimate { id, estimate, micros } => {
                         ok += 1;
                         latencies.push(micros);
+                        if let Some(i) = id.strip_prefix('q').and_then(|t| t.parse().ok()) {
+                            estimates.push((i, estimate));
+                        }
                     }
                     Reply::Overloaded { .. } => shed += 1,
                     Reply::Error { .. } => errors += 1,
                     Reply::Stats { .. } => {}
                 }
             }
-            (ok, shed, errors, latencies)
+            (ok, shed, errors, latencies, estimates)
         })
         .expect("spawn collector thread");
 
@@ -217,10 +244,10 @@ pub fn replay(svc: &EstimationService, lines: &[String], qps: f64, mode: &str) -
         svc.handle_line(line, &tx);
     }
     drop(tx); // collector drains the in-flight tail, then exits
-    let (ok, shed, errors, mut latencies) = collector.join().expect("collector thread panicked");
+    let (ok, shed, errors, mut latencies, estimates) = collector.join().expect("collector thread panicked");
     let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
     latencies.sort_by(f64::total_cmp);
-    RunReport {
+    let report = RunReport {
         mode: mode.to_string(),
         offered_qps: qps,
         sent: lines.len(),
@@ -232,7 +259,8 @@ pub fn replay(svc: &EstimationService, lines: &[String], qps: f64, mode: &str) -
         p50_us: percentile(&latencies, 50.0),
         p95_us: percentile(&latencies, 95.0),
         p99_us: percentile(&latencies, 99.0),
-    }
+    };
+    (report, estimates)
 }
 
 /// Formats queries as `EST` request lines (ids `q0`, `q1`, …), cycling the
@@ -248,6 +276,56 @@ pub fn request_lines(queries: &[Query], graph: &KnowledgeGraph, count: usize) ->
             .to_string()
         })
         .collect()
+}
+
+/// A malformed line in a replayed workload file, with its 1-based line
+/// number — the load generator reports it instead of panicking mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadLineError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkloadLineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "workload line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for WorkloadLineError {}
+
+/// Parses a replayable workload from text: one query per line, either as a
+/// protocol request line (`EST <id> <sparql>`, as `serve sample` emits) or
+/// as bare SPARQL. Blank lines and `#` comments are skipped; `STATS`/`QUIT`
+/// lines from captured sessions are ignored. A malformed line is a proper
+/// [`WorkloadLineError`] carrying its line number — it must not take the
+/// load generator down.
+pub fn parse_workload(text: &str, graph: &KnowledgeGraph) -> Result<Vec<Query>, WorkloadLineError> {
+    let mut queries = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let sparql_text = match Request::parse(line) {
+            Ok(Request::Estimate { sparql, .. }) => sparql,
+            Ok(Request::Stats { .. } | Request::Quit) => continue,
+            // Not a request line: treat the whole line as bare SPARQL.
+            Err(_) => line.to_string(),
+        };
+        match sparql::parse(&sparql_text, graph) {
+            Ok(parsed) => queries.push(parsed.query),
+            Err(e) => {
+                return Err(WorkloadLineError {
+                    line: i + 1,
+                    message: e.message,
+                })
+            }
+        }
+    }
+    Ok(queries)
 }
 
 /// Measures the estimator's direct (no serving layer) per-query latency.
@@ -329,6 +407,210 @@ pub fn compare(
     }
 }
 
+/// Parameters of the two-phase shifted-workload run.
+#[derive(Debug, Clone)]
+pub struct ShiftConfig {
+    /// Offered load; `0.0` auto-calibrates like [`LoadgenConfig::qps`].
+    pub qps: f64,
+    /// Requests per phase.
+    pub requests: usize,
+    /// Serving configuration (the micro-batched one).
+    pub batch: BatchConfig,
+    /// Adaptation-loop knobs.
+    pub adapter: AdapterConfig,
+    /// How long to wait for the adapter's retrain + swap between the two
+    /// shifted phases before giving up (the report records `retrains = 0`).
+    pub swap_timeout: Duration,
+}
+
+impl Default for ShiftConfig {
+    fn default() -> Self {
+        Self {
+            qps: 0.0,
+            requests: 2000,
+            batch: BatchConfig::default(),
+            adapter: AdapterConfig {
+                interval: Duration::from_millis(200),
+                min_observed: 32,
+                ..AdapterConfig::default()
+            },
+            swap_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// One phase of the shifted-workload run: serving metrics plus estimation
+/// quality against exact cardinalities.
+#[derive(Debug, Clone)]
+pub struct ShiftPhase {
+    /// The serving run.
+    pub run: RunReport,
+    /// Median q-error of the answered requests.
+    pub median_q_error: f64,
+    /// 95th-percentile q-error of the answered requests.
+    pub p95_q_error: f64,
+}
+
+impl ShiftPhase {
+    fn json_object(&self) -> String {
+        format!(
+            "{{ \"run\": {}, \"median_q_error\": {:.3}, \"p95_q_error\": {:.3} }}",
+            self.run.json_object(),
+            self.median_q_error,
+            self.p95_q_error
+        )
+    }
+}
+
+/// The closed-loop adaptation benchmark: what the workload-shift loop buys,
+/// measured through the full serving path.
+#[derive(Debug, Clone)]
+pub struct ShiftReport {
+    /// The uncovered cell the workload shifted onto, e.g. `("star", 5)`.
+    pub cell: (String, usize),
+    /// Models before / after adaptation.
+    pub models_before: usize,
+    /// Models after adaptation.
+    pub models_after: usize,
+    /// Retrain events the adapter fired (0 = the swap never happened).
+    pub retrains: u64,
+    /// Whether the shifted cell was covered before (always false) / after.
+    pub covered_after: bool,
+    /// Seconds between the end of the pre-swap phase and the swap.
+    pub adapt_wait_s: f64,
+    /// The covered baseline workload (phase 0: direct model routing).
+    pub baseline: ShiftPhase,
+    /// The shifted workload before the swap (decomposition fallback).
+    pub shifted_pre: ShiftPhase,
+    /// The same shifted workload after the swap (direct model routing).
+    pub shifted_post: ShiftPhase,
+}
+
+impl ShiftReport {
+    /// Machine-readable form (the `"adaptation"` section of
+    /// `BENCH_serve.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"shift_cell\": [\"{}\", {}],\n    \"models_before\": {},\n    \"models_after\": {},\n    \
+             \"retrains\": {},\n    \"covered_after\": {},\n    \"adapt_wait_s\": {:.3},\n    \
+             \"baseline\": {},\n    \"shifted_pre_swap\": {},\n    \"shifted_post_swap\": {}\n  }}",
+            self.cell.0,
+            self.cell.1,
+            self.models_before,
+            self.models_after,
+            self.retrains,
+            self.covered_after,
+            self.adapt_wait_s,
+            self.baseline.json_object(),
+            self.shifted_pre.json_object(),
+            self.shifted_post.json_object()
+        )
+    }
+}
+
+/// Joins served estimates with exact cardinalities and summarizes q-error.
+/// `truths` holds one exact count per distinct query of the cycle the
+/// request lines were formatted from (request `i` replays query `i % len`).
+fn q_errors(truths: &[u64], estimates: &[(usize, f64)]) -> (f64, f64) {
+    let mut errors: Vec<f64> = estimates
+        .iter()
+        .map(|&(i, est)| q_error(est, truths[i % truths.len()]))
+        .collect();
+    errors.sort_by(f64::total_cmp);
+    (percentile(&errors, 50.0), percentile(&errors, 95.0))
+}
+
+/// Runs the two-phase shifted-workload benchmark over one live service:
+///
+/// 1. **baseline** — a workload over the cells `base` was built for;
+/// 2. **shifted (pre-swap)** — the workload jumps to `shifted` (an
+///    uncovered cell), which the service answers through the decomposition
+///    fallback while the monitor fills with the new mix;
+/// 3. the adapter detects the drift, trains the missing model off to the
+///    side, and publishes it with an atomic swap — this function only waits
+///    (up to `swap_timeout`) and records how long the adaptation took;
+/// 4. **shifted (post-swap)** — the same workload again, now routed through
+///    the freshly trained model.
+///
+/// Before/after-swap q-error (against exact counts) and latency land in the
+/// returned [`ShiftReport`].
+pub fn shift(
+    graph: &Arc<KnowledgeGraph>,
+    base: Arc<Lmkg>,
+    build_cfg: &LmkgConfig,
+    covered: &[Query],
+    shifted: &[Query],
+    cfg: &ShiftConfig,
+) -> ShiftReport {
+    assert!(!covered.is_empty() && !shifted.is_empty());
+    let cell = (shifted[0].shape(), shifted[0].size());
+    assert!(
+        !base.covers(cell.0, cell.1),
+        "the shifted workload must target an uncovered cell, got covered {cell:?}"
+    );
+    let models_before = base.model_count();
+
+    let (svc, adapter) =
+        crate::adapter::adaptive_service(graph, &base, build_cfg, cfg.batch.clone(), cfg.adapter.clone());
+
+    let qps = if cfg.qps > 0.0 {
+        cfg.qps
+    } else {
+        2.0 / calibrate(base.as_ref(), covered).max(1e-9)
+    };
+    // Exact counts once per distinct query; the pre- and post-swap phases
+    // replay the same shifted set, so the truths are shared.
+    let exact = |queries: &[Query]| -> Vec<u64> { queries.iter().map(|q| counter::cardinality(graph, q)).collect() };
+    let covered_truths = exact(covered);
+    let shifted_truths = exact(shifted);
+    let phase = |queries: &[Query], truths: &[u64], mode: &str| -> ShiftPhase {
+        let lines = request_lines(queries, graph, cfg.requests);
+        let (run, estimates) = replay_with_estimates(&svc, &lines, qps, mode);
+        let (median_q_error, p95_q_error) = q_errors(truths, &estimates);
+        ShiftPhase {
+            run,
+            median_q_error,
+            p95_q_error,
+        }
+    };
+
+    let baseline = phase(covered, &covered_truths, "baseline_covered");
+    let shifted_pre = phase(shifted, &shifted_truths, "shifted_pre_swap");
+
+    // Wait for the adapter to retrain and swap (it may already have fired
+    // mid-phase if training outpaced the replay).
+    let wait_start = Instant::now();
+    while svc.stats().retrains == 0 && wait_start.elapsed() < cfg.swap_timeout {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let adapt_wait_s = wait_start.elapsed().as_secs_f64();
+
+    let shifted_post = phase(shifted, &shifted_truths, "shifted_post_swap");
+
+    let retrains = svc.stats().retrains;
+    let current = adapter.stop();
+    ShiftReport {
+        cell: (cell.0.to_string(), cell.1),
+        models_before,
+        models_after: current.model_count(),
+        retrains,
+        covered_after: current.covers(cell.0, cell.1),
+        adapt_wait_s,
+        baseline,
+        shifted_pre,
+        shifted_post,
+    }
+}
+
+/// A star workload of the given size for the shifted phase, generated like
+/// the covered workloads but over a cell the model set does not know.
+pub fn shifted_workload(graph: &KnowledgeGraph, size: usize, count: usize, seed: u64) -> Vec<Query> {
+    use lmkg_data::workload::{self, WorkloadConfig};
+    let mut wl = WorkloadConfig::test_default(QueryShape::Star, size, seed);
+    wl.count = count;
+    workload::generate(graph, &wl).into_iter().map(|lq| lq.query).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,13 +627,46 @@ mod tests {
     }
 
     fn star_queries(graph: &KnowledgeGraph) -> Vec<Query> {
-        [
-            "SELECT * WHERE { ?x :p ?y . }",
-            "SELECT * WHERE { ?x :p ?y ; :q :hub . }",
-        ]
-        .iter()
-        .map(|text| sparql::parse(text, graph).unwrap().query)
-        .collect()
+        let text = "\
+SELECT * WHERE { ?x :p ?y . }
+SELECT * WHERE { ?x :p ?y ; :q :hub . }
+";
+        parse_workload(text, graph).expect("well-formed workload")
+    }
+
+    #[test]
+    fn parse_workload_accepts_requests_bare_sparql_and_noise() {
+        let graph = graph();
+        let text = "\
+# captured session header
+EST q0 SELECT * WHERE { ?x :p ?y . }
+
+SELECT * WHERE { ?x :q :hub . }
+STATS s0
+QUIT
+";
+        let queries = parse_workload(text, &graph).unwrap();
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[0].size(), 1);
+    }
+
+    #[test]
+    fn parse_workload_reports_the_offending_line_instead_of_panicking() {
+        let graph = graph();
+        let text = "\
+EST q0 SELECT * WHERE { ?x :p ?y . }
+# comment
+EST q1 SELECT * WHERE { ?x :nosuchpredicate ?y . }
+EST q2 SELECT * WHERE { ?x :p ?y . }
+";
+        let err = parse_workload(text, &graph).expect_err("bad predicate must not parse");
+        assert_eq!(err.line, 3, "1-based line number of the malformed line");
+        assert!(err.message.contains("nosuchpredicate"), "message: {}", err.message);
+        assert!(err.to_string().starts_with("workload line 3:"));
+
+        // Bare-SPARQL garbage is attributed the same way.
+        let err = parse_workload("SELECT * WHERE { ?x :p ?y . }\ntotal garbage\n", &graph).unwrap_err();
+        assert_eq!(err.line, 2);
     }
 
     #[test]

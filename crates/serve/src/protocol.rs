@@ -13,8 +13,14 @@
 //!           | "ERR" <id> <message>
 //!           | "OVERLOADED" <id> depth=<queue-depth>
 //!           | "STATS" <id> served=<n> shed=<n> batches=<n>
+//!                          retrains=<n> added=<n> tv=<f> uncovered=<f>
 //!                          p50us=<f> p95us=<f> p99us=<f>
 //! ```
+//!
+//! The `retrains`/`added`/`tv`/`uncovered` fields report the online
+//! adaptation loop (retrain events, models added, last drift evaluation);
+//! they are optional on the parse side (defaulting to zero) so transcripts
+//! from servers without an adapter still parse.
 //!
 //! `<id>` is any non-empty token without whitespace. Floats are rendered
 //! with Rust's shortest-round-trip formatting, so parsing an `OK` reply
@@ -220,6 +226,10 @@ impl Reply {
                 let mut served = None;
                 let mut shed = None;
                 let mut batches = None;
+                let mut retrains = None;
+                let mut added = None;
+                let mut tv = None;
+                let mut uncovered = None;
                 let mut p50 = None;
                 let mut p95 = None;
                 let mut p99 = None;
@@ -231,6 +241,10 @@ impl Reply {
                         "served" => served = value.parse().ok(),
                         "shed" => shed = value.parse().ok(),
                         "batches" => batches = value.parse().ok(),
+                        "retrains" => retrains = value.parse().ok(),
+                        "added" => added = value.parse().ok(),
+                        "tv" => tv = value.parse().ok(),
+                        "uncovered" => uncovered = value.parse().ok(),
                         "p50us" => p50 = value.parse().ok(),
                         "p95us" => p95 = value.parse().ok(),
                         "p99us" => p99 = value.parse().ok(),
@@ -245,6 +259,10 @@ impl Reply {
                                 served,
                                 shed,
                                 batches,
+                                retrains: retrains.unwrap_or(0),
+                                models_added: added.unwrap_or(0),
+                                drift_tv: tv.unwrap_or(0.0),
+                                drift_uncovered: uncovered.unwrap_or(0.0),
                                 p50_us,
                                 p95_us,
                                 p99_us,
@@ -331,6 +349,10 @@ mod tests {
                     served: 12,
                     shed: 3,
                     batches: 4,
+                    retrains: 2,
+                    models_added: 3,
+                    drift_tv: 0.875,
+                    drift_uncovered: 0.25,
                     p50_us: 10.5,
                     p95_us: 99.25,
                     p99_us: 150.0,
@@ -341,6 +363,21 @@ mod tests {
             let line = reply.to_string();
             assert_eq!(Reply::parse(&line).unwrap(), reply, "round trip of {line:?}");
         }
+    }
+
+    #[test]
+    fn stats_adaptation_fields_are_optional() {
+        // A transcript from a server without an adapter (or an older one)
+        // carries no retrains/added/tv/uncovered fields; they default to 0.
+        let reply = Reply::parse("STATS s served=5 shed=0 batches=2 p50us=1.5 p95us=2.5 p99us=3.5").unwrap();
+        let Reply::Stats { snapshot, .. } = reply else {
+            panic!("wrong variant");
+        };
+        assert_eq!(snapshot.retrains, 0);
+        assert_eq!(snapshot.models_added, 0);
+        assert_eq!(snapshot.drift_tv, 0.0);
+        assert_eq!(snapshot.drift_uncovered, 0.0);
+        assert_eq!(snapshot.served, 5);
     }
 
     #[test]

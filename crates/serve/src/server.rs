@@ -8,13 +8,16 @@
 //! accepts connections and runs one session thread per client over the same
 //! code path, so both modes behave identically by construction.
 
-use crate::batcher::{BatchConfig, Job, MicroBatcher, ModelHandle, SharedEstimator};
+use crate::batcher::{BatchConfig, Job, MicroBatcher, ModelHandle, ServeStats, SharedEstimator, SharedMonitor};
 use crate::latency::StatsSnapshot;
 use crate::protocol::{Reply, Request};
 use lmkg_store::{sparql, KnowledgeGraph};
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// What [`EstimationService::handle_line`] decided about the session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,9 +40,21 @@ impl EstimationService {
     /// estimator is a frozen, `Arc`-shared model: every worker runs its own
     /// forwards on it concurrently, with no lock on the estimation path.
     pub fn new(graph: Arc<KnowledgeGraph>, estimator: SharedEstimator, cfg: BatchConfig) -> Self {
+        Self::new_observed(graph, estimator, cfg, None)
+    }
+
+    /// Like [`EstimationService::new`], but admitted queries are also
+    /// recorded into `monitor` — the observation feed of the adaptation
+    /// loop ([`crate::adapter::Adapter`]).
+    pub fn new_observed(
+        graph: Arc<KnowledgeGraph>,
+        estimator: SharedEstimator,
+        cfg: BatchConfig,
+        monitor: Option<SharedMonitor>,
+    ) -> Self {
         Self {
             graph,
-            batcher: MicroBatcher::start(estimator, cfg),
+            batcher: MicroBatcher::start_observed(estimator, cfg, monitor),
         }
     }
 
@@ -51,6 +66,12 @@ impl EstimationService {
     /// A point-in-time serving summary (the `STATS` reply body).
     pub fn stats(&self) -> StatsSnapshot {
         self.batcher.stats().snapshot()
+    }
+
+    /// The live counter block itself (shared with the adapter, which
+    /// records drift evaluations and retrain events into it).
+    pub fn serve_stats(&self) -> Arc<ServeStats> {
+        self.batcher.stats()
     }
 
     /// The swappable model slot — the seam a retraining loop publishes new
@@ -164,29 +185,126 @@ where
     writer_thread.join().expect("writer thread panicked")
 }
 
+/// A cloneable signal that asks the TCP accept loop to shut down
+/// gracefully. The `serve` binary wires it to SIGINT/SIGTERM; tests trigger
+/// it directly.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A fresh, untriggered flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests shutdown. Idempotent; safe from any thread (the `serve`
+    /// binary's signal watcher calls it).
+    pub fn trigger(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_triggered(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// How often the accept loop polls for new connections, finished sessions,
+/// and the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
 /// Accepts TCP connections and serves each on its own thread. With
 /// `max_conns = Some(n)` the accept loop returns after `n` connections
-/// (tests use 1); `None` accepts forever.
-pub fn serve_tcp(svc: &Arc<EstimationService>, listener: TcpListener, max_conns: Option<usize>) -> std::io::Result<()> {
-    for (accepted, stream) in listener.incoming().enumerate() {
-        let stream = stream?;
-        let _ = stream.set_nodelay(true); // one-line replies; don't batch in the kernel
-        let svc = Arc::clone(svc);
-        std::thread::Builder::new()
-            .name("lmkg-serve-session".into())
-            .spawn(move || {
-                let reader = match stream.try_clone() {
-                    Ok(read_half) => BufReader::new(read_half),
-                    Err(_) => return,
-                };
-                serve_stream(&svc, reader, stream);
-            })
-            .expect("spawn session thread");
-        if max_conns.is_some_and(|max| accepted + 1 >= max) {
+/// (tests use 1); `None` accepts until `shutdown` triggers.
+///
+/// Shutdown is graceful: once `shutdown` fires, no new connection is
+/// accepted and every live session's read half is closed
+/// (`Shutdown::Read`), which reads like a client EOF — the session stops
+/// taking requests, every already-admitted job still gets its reply written,
+/// and the session thread exits. The loop joins all session threads before
+/// returning, so when this function is back the caller can run
+/// `Batcher::shutdown` (drop the service) and join the adapter without
+/// killing anything mid-swap.
+pub fn serve_tcp(
+    svc: &Arc<EstimationService>,
+    listener: TcpListener,
+    max_conns: Option<usize>,
+    shutdown: &ShutdownFlag,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut sessions: Vec<(JoinHandle<()>, TcpStream)> = Vec::new();
+    let mut accepted = 0usize;
+    let mut fatal: Option<std::io::Error> = None;
+    loop {
+        if shutdown.is_triggered() {
             break;
         }
+        // Reap sessions that ended on their own (QUIT / EOF) on every
+        // iteration — not just when idle — so sustained connection churn
+        // cannot accumulate dead handles and their control fds unboundedly.
+        sessions.retain(|(handle, _)| !handle.is_finished());
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The listener is non-blocking so the loop can watch the
+                // flag; sessions themselves block on reads as before.
+                if let Err(e) = stream.set_nonblocking(false) {
+                    // Same contract as any other fatal accept-loop error:
+                    // drain live sessions below, then propagate.
+                    fatal = Some(e);
+                    break;
+                }
+                let _ = stream.set_nodelay(true); // one-line replies; don't batch in the kernel
+                let control = stream.try_clone();
+                let svc = Arc::clone(svc);
+                let handle = std::thread::Builder::new()
+                    .name("lmkg-serve-session".into())
+                    .spawn(move || {
+                        let reader = match stream.try_clone() {
+                            Ok(read_half) => BufReader::new(read_half),
+                            Err(_) => return,
+                        };
+                        serve_stream(&svc, reader, stream);
+                    })
+                    .expect("spawn session thread");
+                match control {
+                    // Keep a handle on the socket so shutdown can drain it.
+                    Ok(control) => sessions.push((handle, control)),
+                    Err(_) => drop(handle), // session still runs; just not drainable early
+                }
+                accepted += 1;
+                if max_conns.is_some_and(|max| accepted >= max) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // A connection that died between arriving and being accepted is
+            // the peer's problem, not the listener's.
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => continue,
+            // Anything else (EMFILE, a dead listener, …) is fatal for the
+            // accept loop — but live sessions still drain below before the
+            // error propagates, exactly as on a shutdown signal.
+            Err(e) => {
+                fatal = Some(e);
+                break;
+            }
+        }
     }
-    Ok(())
+    if shutdown.is_triggered() || fatal.is_some() {
+        for (_, stream) in &sessions {
+            // EOF the request side; in-flight replies still flush.
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+    for (handle, _) in sessions {
+        let _ = handle.join();
+    }
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -312,7 +430,7 @@ EST never SELECT * WHERE { ?x :hasAuthor ?y . }
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn({
             let svc = Arc::clone(&svc);
-            move || serve_tcp(&svc, listener, Some(1)).unwrap()
+            move || serve_tcp(&svc, listener, Some(1), &ShutdownFlag::new()).unwrap()
         });
 
         let mut client = TcpStream::connect(addr).unwrap();
@@ -328,5 +446,60 @@ EST never SELECT * WHERE { ?x :hasAuthor ?y . }
         reader.read_line(&mut rest).unwrap();
         assert!(rest.is_empty());
         server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_shutdown_drains_in_flight_sessions() {
+        use std::io::{BufRead as _, Write as _};
+        use std::net::TcpStream;
+
+        // A slow estimator so the request is still in the batcher when
+        // shutdown triggers — the reply must arrive anyway.
+        struct SlowEstimator;
+        impl lmkg::CardinalityEstimator for SlowEstimator {
+            fn name(&self) -> &str {
+                "slow"
+            }
+            fn estimate(&self, _q: &lmkg_store::Query) -> f64 {
+                std::thread::sleep(std::time::Duration::from_millis(300));
+                42.0
+            }
+            fn memory_bytes(&self) -> usize {
+                0
+            }
+        }
+
+        let mut b = GraphBuilder::new();
+        b.add(":a", ":p", ":b");
+        let graph = Arc::new(b.build());
+        let svc = Arc::new(EstimationService::new(
+            Arc::clone(&graph),
+            Arc::new(SlowEstimator),
+            BatchConfig::default().per_request(),
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let flag = ShutdownFlag::new();
+        let server = std::thread::spawn({
+            let svc = Arc::clone(&svc);
+            let flag = flag.clone();
+            move || serve_tcp(&svc, listener, None, &flag).unwrap()
+        });
+
+        // No QUIT: the session would block on the open connection forever
+        // without the shutdown path closing its read half.
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"EST d1 SELECT * WHERE { ?x :p ?y . }\n").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(100)); // request admitted, forward running
+        flag.trigger();
+
+        // The in-flight request drains: its reply is written before the
+        // session closes, and the accept loop joins the session and returns.
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("OK d1 42 "), "in-flight reply must flush: {reply:?}");
+        server.join().unwrap();
+        assert_eq!(svc.stats().served, 1);
     }
 }

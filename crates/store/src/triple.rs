@@ -148,7 +148,11 @@ impl TriplePattern {
 }
 
 /// The topology class of a basic graph pattern (paper §V).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The derived ordering (declaration order: star < chain < single < other)
+/// exists so `(shape, size)` workload cells sort deterministically — the
+/// workload monitor tie-breaks equal-frequency cells by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum QueryShape {
     /// All triples share one central subject (subject star).
     Star,
