@@ -13,9 +13,16 @@
 //! than scalar on the 256×256×256 shape, the process exits nonzero — a
 //! blocked/packed SIMD path losing to its own fallback on the shape it is
 //! tiled for indicates a kernel regression, not runner noise.
+//!
+//! A second sweep covers the small-M regime (m ∈ {1, 2, 4, 8}) where
+//! `Matrix::matmul` routes to the pack-free GEMV path instead of the blocked
+//! core, writing a `small_m` table into the same JSON — and gating that GEMV
+//! is never slower than the blocked path at m = 1, the routing decision's
+//! whole justification.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lmkg_nn::gemm::{self, Kernel};
+use lmkg_nn::gemv;
 use lmkg_nn::test_support::seeded_matrix;
 use lmkg_nn::Matrix;
 use std::hint::black_box;
@@ -31,6 +38,15 @@ const SHAPES: &[(&str, usize, usize, usize)] = &[
     ("per-query-1x512x128", 1, 512, 128),
 ];
 
+/// Row counts of the small-M sweep — the window the pack-free GEMV path
+/// serves (`m <= GEMV_MAX_M`), which is exactly the per-query / micro-batch
+/// regime of the serving layer.
+const SMALL_M: &[usize] = &[1, 2, 4, 8];
+
+/// (k, n) of the small-M sweep: the serving dense layer (512→128) and a
+/// square mid-size layer.
+const SMALL_KN: &[(usize, usize)] = &[(512, 128), (256, 256)];
+
 fn bench_gemm_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_kernels");
     for &(label, m, k, n) in SHAPES {
@@ -43,6 +59,31 @@ fn bench_gemm_kernels(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    // The small-M sweep: pack-free GEMV vs the blocked/packed path on the
+    // same inputs and kernel — the routing decision `Matrix::matmul` makes
+    // automatically for m <= GEMV_MAX_M, measured explicitly.
+    let mut small = c.benchmark_group("gemm_small_m");
+    for &(k, n) in SMALL_KN {
+        for &m in SMALL_M {
+            let a = seeded_matrix(m, k, 1);
+            let b = seeded_matrix(k, n, 2);
+            for &kernel in gemm::available_kernels() {
+                let label = format!("{m}x{k}x{n}");
+                small.bench_with_input(
+                    BenchmarkId::new(format!("gemv-{}", kernel.name()), &label),
+                    &(&a, &b),
+                    |bch, (a, b)| bch.iter(|| black_box(gemv::matmul_gemv_with_kernel(kernel, a, b))),
+                );
+                small.bench_with_input(
+                    BenchmarkId::new(format!("blocked-{}", kernel.name()), &label),
+                    &(&a, &b),
+                    |bch, (a, b)| bch.iter(|| black_box(gemv::matmul_blocked_with_kernel(kernel, a, b))),
+                );
+            }
+        }
+    }
+    small.finish();
 
     // Direct measurement for the JSON artifact and the CI gate: best of
     // `REPS` runs each, which is robust to scheduler noise on shared
@@ -91,11 +132,64 @@ fn bench_gemm_kernels(c: &mut Criterion) {
         ));
     }
 
+    // Small-M table for the JSON artifact, plus the m=1 routing gate. These
+    // shapes finish in microseconds, so each sample is an inner loop of
+    // `INNER` calls; best of `REPS` samples as above.
+    const INNER: usize = 32;
+    let time_small = |f: &dyn Fn() -> Matrix| -> f64 {
+        (0..REPS)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..INNER {
+                    black_box(f());
+                }
+                start.elapsed().as_secs_f64() / INNER as f64
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut small_entries = Vec::new();
+    let mut gate_failures = Vec::new();
+    for &(k, n) in SMALL_KN {
+        for &m in SMALL_M {
+            let a = seeded_matrix(m, k, 1);
+            let b = seeded_matrix(k, n, 2);
+            for &kernel in gemm::available_kernels() {
+                let gemv_s = time_small(&|| gemv::matmul_gemv_with_kernel(kernel, &a, &b));
+                let blocked_s = time_small(&|| gemv::matmul_blocked_with_kernel(kernel, &a, &b));
+                let ratio = blocked_s / gemv_s;
+                println!(
+                    "small-m {m}x{k}x{n} [{}]: gemv {:.4} ms, blocked {:.4} ms, gemv is {ratio:.2}x",
+                    kernel.name(),
+                    gemv_s * 1e3,
+                    blocked_s * 1e3,
+                );
+                small_entries.push(format!(
+                    "    {{ \"m\": {m}, \"k\": {k}, \"n\": {n}, \"kernel\": \"{}\", \"gemv_ms\": {:.4}, \"blocked_ms\": {:.4}, \"blocked_over_gemv\": {ratio:.2} }}",
+                    kernel.name(),
+                    gemv_s * 1e3,
+                    blocked_s * 1e3,
+                ));
+                // The routing gate: at m = 1 the pack-free path must never
+                // lose to packing a full B for a single output row. 5%
+                // headroom absorbs timer noise on shared runners.
+                if m == 1 && gemv_s > blocked_s * 1.05 {
+                    gate_failures.push(format!(
+                        "1x{k}x{n} [{}]: gemv {:.4} ms > blocked {:.4} ms",
+                        kernel.name(),
+                        gemv_s * 1e3,
+                        blocked_s * 1e3
+                    ));
+                }
+            }
+        }
+    }
+
     let json = format!(
-        "{{\n  \"benchmark\": \"single-threaded GEMM microkernels, best of {REPS}\",\n  \"simd_kernel\": {},\n  \"available_parallelism\": {},\n  \"shapes\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"single-threaded GEMM microkernels, best of {REPS}\",\n  \"simd_kernel\": {},\n  \"available_parallelism\": {},\n  \"shapes\": [\n{}\n  ],\n  \"small_m\": [\n{}\n  ]\n}}\n",
         simd.map_or("null".into(), |k| format!("\"{}\"", k.name())),
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
-        entries.join(",\n")
+        entries.join(",\n"),
+        small_entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
     std::fs::write(path, &json).expect("write BENCH_gemm.json");
@@ -111,6 +205,11 @@ fn bench_gemm_kernels(c: &mut Criterion) {
             "SIMD GEMM slower than scalar on 256x256x256 ({speedup:.2}x) — kernel regression"
         );
     }
+    assert!(
+        gate_failures.is_empty(),
+        "GEMV slower than the blocked path at m=1 — small-M routing regression:\n{}",
+        gate_failures.join("\n")
+    );
 }
 
 criterion_group! {

@@ -5,10 +5,11 @@
 use crate::decompose;
 use crate::estimator::CardinalityEstimator;
 use crate::summary::GraphSummary;
-use crate::supervised::{LmkgS, LmkgSConfig, QueryEncoder};
-use crate::unsupervised::{LmkgU, LmkgUConfig, LmkgUError};
+use crate::supervised::{LmkgS, LmkgSConfig, QuantizedLmkgS, QueryEncoder};
+use crate::unsupervised::{LmkgU, LmkgUConfig, LmkgUError, QuantizedLmkgU};
 use lmkg_data::workload::{self, WorkloadConfig};
 use lmkg_encoder::SgEncoder;
+use lmkg_nn::quant::QuantMode;
 use lmkg_store::{KnowledgeGraph, Query, QueryShape};
 use std::sync::Arc;
 use std::time::Instant;
@@ -140,6 +141,15 @@ pub fn trainable_cell(cell: (QueryShape, usize)) -> bool {
 enum ModelEntry {
     S(LmkgS),
     U(LmkgU),
+    QuantS(QuantizedLmkgS),
+    QuantU(QuantizedLmkgU),
+}
+
+impl ModelEntry {
+    /// LMKG-U entries (f32 or quantized) answer exactly one query size.
+    fn exact_size_only(&self) -> bool {
+        matches!(self, ModelEntry::U(_) | ModelEntry::QuantU(_))
+    }
 }
 
 /// The LMKG framework: a compound of grouped learned models plus the
@@ -367,10 +377,9 @@ impl Lmkg {
     /// predicate the workload monitor (§IV) uses to decide when a new model
     /// should be created.
     pub fn covers(&self, shape: QueryShape, size: usize) -> bool {
-        self.entries.iter().any(|(key, entry)| {
-            let exact = matches!(entry.as_ref(), ModelEntry::U(_));
-            key.matches(shape, size, exact)
-        })
+        self.entries
+            .iter()
+            .any(|(key, entry)| key.matches(shape, size, entry.exact_size_only()))
     }
 
     /// The statistics block (exposed for diagnostics).
@@ -471,7 +480,7 @@ impl Lmkg {
             if remaining.is_empty() {
                 break;
             }
-            let exact = matches!(entry.as_ref(), ModelEntry::U(_));
+            let exact = entry.exact_size_only();
             let (candidates, rest): (Vec<usize>, Vec<usize>) = remaining
                 .iter()
                 .partition(|&&i| key.matches(queries[i].shape(), queries[i].size(), exact));
@@ -480,22 +489,26 @@ impl Lmkg {
             }
             let refs: Vec<&Query> = candidates.iter().map(|&i| queries[i]).collect();
             let mut failed: Vec<usize> = Vec::new();
-            match entry.as_ref() {
-                ModelEntry::S(model) => {
-                    for (&i, result) in candidates.iter().zip(model.predict_batch(&refs)) {
-                        match result {
-                            Ok(est) => out[i] = Some(est),
-                            Err(_) => failed.push(i),
-                        }
+            let mut fill = |results: Vec<Option<f64>>| {
+                for (&i, result) in candidates.iter().zip(results) {
+                    match result {
+                        Some(est) => out[i] = Some(est),
+                        None => failed.push(i),
                     }
                 }
+            };
+            match entry.as_ref() {
+                ModelEntry::S(model) => {
+                    fill(model.predict_batch(&refs).into_iter().map(Result::ok).collect());
+                }
+                ModelEntry::QuantS(model) => {
+                    fill(model.predict_batch(&refs).into_iter().map(Result::ok).collect());
+                }
                 ModelEntry::U(model) => {
-                    for (&i, result) in candidates.iter().zip(model.estimate_query_batch(&refs)) {
-                        match result {
-                            Ok(est) => out[i] = Some(est),
-                            Err(_) => failed.push(i),
-                        }
-                    }
+                    fill(model.estimate_query_batch(&refs).into_iter().map(Result::ok).collect());
+                }
+                ModelEntry::QuantU(model) => {
+                    fill(model.estimate_query_batch(&refs).into_iter().map(Result::ok).collect());
                 }
             }
             remaining = rest;
@@ -510,24 +523,50 @@ impl Lmkg {
         let shape = query.shape();
         let size = query.size();
         for (key, entry) in &self.entries {
-            match entry.as_ref() {
-                ModelEntry::S(model) => {
-                    if key.matches(shape, size, false) {
-                        if let Ok(est) = model.predict(query) {
-                            return Some(est);
-                        }
-                    }
-                }
-                ModelEntry::U(model) => {
-                    if key.matches(shape, size, true) {
-                        if let Ok(est) = model.estimate_query(query) {
-                            return Some(est);
-                        }
-                    }
-                }
+            if !key.matches(shape, size, entry.exact_size_only()) {
+                continue;
+            }
+            let answer = match entry.as_ref() {
+                ModelEntry::S(model) => model.predict(query).ok(),
+                ModelEntry::QuantS(model) => model.predict(query).ok(),
+                ModelEntry::U(model) => model.estimate_query(query).ok(),
+                ModelEntry::QuantU(model) => model.estimate_query(query).ok(),
+            };
+            if answer.is_some() {
+                return answer;
             }
         }
         None
+    }
+
+    /// A quantized view of the framework: every model entry is re-encoded at
+    /// `mode` (int8 per-channel or bf16 weights, f32 accumulation) and the
+    /// summary is shared. The original is untouched — the serving layer swaps
+    /// between the two `Lmkg`s atomically exactly like a retrain, and
+    /// [`Lmkg::total_memory_bytes`] of the result reports the genuinely
+    /// smaller footprint (the quantized entries own no f32 weights). Routing
+    /// metadata (keys, order, coverage) is carried over verbatim, so every
+    /// query routes to the same entry it would in the original.
+    pub fn quantized(&self, mode: QuantMode) -> Lmkg {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(key, entry)| {
+                let q = match entry.as_ref() {
+                    ModelEntry::S(model) => Arc::new(ModelEntry::QuantS(model.quantized(mode))),
+                    ModelEntry::U(model) => Arc::new(ModelEntry::QuantU(model.quantized(mode))),
+                    // Already quantized entries are shared as-is; re-encoding
+                    // quantized weights would only compound rounding.
+                    ModelEntry::QuantS(_) | ModelEntry::QuantU(_) => Arc::clone(entry),
+                };
+                (*key, q)
+            })
+            .collect();
+        Lmkg {
+            entries,
+            summary: Arc::clone(&self.summary),
+            max_covered_size: self.max_covered_size,
+        }
     }
 
     /// Total memory of all models plus the summary (Table II). Parameter
@@ -540,6 +579,8 @@ impl Lmkg {
             .map(|(_, e)| match e.as_ref() {
                 ModelEntry::S(m) => m.memory_bytes(),
                 ModelEntry::U(m) => m.memory_bytes(),
+                ModelEntry::QuantS(m) => m.memory_bytes(),
+                ModelEntry::QuantU(m) => m.memory_bytes(),
             })
             .sum();
         models + self.summary.memory_bytes()
@@ -1074,6 +1115,40 @@ mod tests {
                 (QueryShape::Chain, 3),
             ]
         );
+    }
+
+    /// `Lmkg::quantized` must preserve routing/coverage, keep estimates close
+    /// to the f32 framework on covered queries, and genuinely shrink the
+    /// reported model memory.
+    #[test]
+    fn quantized_framework_tracks_f32_and_shrinks() {
+        let g = Dataset::LubmLike.generate(Scale::Ci, 1);
+        let cfg = quick_cfg(ModelType::Supervised, Grouping::BySize);
+        let lmkg = Lmkg::build(&g, &cfg);
+        let q = lmkg.quantized(lmkg_nn::quant::QuantMode::Int8);
+
+        assert_eq!(q.model_count(), lmkg.model_count());
+        assert_eq!(q.covers(QueryShape::Star, 2), lmkg.covers(QueryShape::Star, 2));
+        assert!(
+            (q.total_memory_bytes() - q.summary().memory_bytes()) * 3
+                < lmkg.total_memory_bytes() - lmkg.summary().memory_bytes(),
+            "quantized models must report >3× smaller: {} vs {}",
+            q.total_memory_bytes(),
+            lmkg.total_memory_bytes()
+        );
+
+        let wl = WorkloadConfig::test_default(QueryShape::Star, 2, 99);
+        let test = workload::generate(&g, &wl);
+        for lq in test.iter().take(40) {
+            let f = lmkg.estimate_query(&lq.query);
+            let e = q.estimate_query(&lq.query);
+            let ratio = (e / f).max(f / e);
+            assert!(ratio < 1.15, "estimate {e} drifted {ratio}× from f32 {f}");
+        }
+
+        // Quantizing twice shares the already-quantized entries.
+        let again = q.quantized(lmkg_nn::quant::QuantMode::Int8);
+        assert_eq!(again.total_memory_bytes(), q.total_memory_bytes());
     }
 
     #[test]

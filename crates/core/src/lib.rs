@@ -49,8 +49,9 @@ pub mod unsupervised;
 
 pub use estimator::{CardinalityEstimator, ExactEstimator};
 pub use framework::{trainable_cell, Grouping, Lmkg, LmkgConfig, ModelKey, ModelType};
+pub use lmkg_nn::quant::QuantMode;
 pub use metrics::{q_error, GroupedQErrors, QErrorStats};
 pub use monitor::{Cell, DriftReport, WorkloadMonitor};
 pub use summary::GraphSummary;
-pub use supervised::{EpochStats, LmkgS, LmkgSConfig, LossKind, QueryEncoder};
-pub use unsupervised::{LmkgU, LmkgUConfig, LmkgUError};
+pub use supervised::{EpochStats, LmkgS, LmkgSConfig, LossKind, QuantizedLmkgS, QueryEncoder};
+pub use unsupervised::{LmkgU, LmkgUConfig, LmkgUError, QuantizedLmkgU};

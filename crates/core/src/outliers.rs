@@ -9,7 +9,9 @@ use lmkg_store::fxhash::FxHashMap;
 use lmkg_store::Query;
 
 /// Exact-answer side table for the highest-cardinality training queries.
-#[derive(Debug, Default)]
+/// `Clone` so a quantized snapshot of an estimator carries the same exact
+/// answers as its f32 original.
+#[derive(Debug, Default, Clone)]
 pub struct OutlierBuffer {
     capacity: usize,
     entries: FxHashMap<Query, u64>,

@@ -10,6 +10,7 @@ use lmkg_data::LabeledQuery;
 use lmkg_encoder::{CardinalityScaler, EncodeError, PatternBoundEncoder, RowEncoder, SgEncoder};
 use lmkg_nn::layers::{Dense, Dropout, Layer, Relu, Sequential, Sigmoid};
 use lmkg_nn::optimizer::{Adam, Optimizer};
+use lmkg_nn::quant::{QuantMode, QuantizedSequential};
 use lmkg_nn::tensor::Matrix;
 use lmkg_nn::workspace::Workspace;
 use lmkg_nn::{loss, serialize};
@@ -19,6 +20,7 @@ use rand::{Rng, SeedableRng};
 use std::io;
 
 /// Which featurization feeds the network (paper §V).
+#[derive(Clone)]
 pub enum QueryEncoder {
     /// The general SG-Encoding — one model can serve several topologies.
     Sg(SgEncoder),
@@ -266,18 +268,10 @@ impl LmkgS {
     /// [`LmkgS::predict`] with a caller-provided workspace — the shared-read
     /// hot path: `&self` model access plus per-caller scratch buffers.
     pub fn predict_with(&self, query: &Query, ws: &mut Workspace) -> Result<f64, EncodeError> {
-        if let Some(card) = self.outliers.lookup(query) {
-            return Ok(card as f64);
-        }
         let scaler = *self.scaler.as_ref().expect("model is untrained");
-        let mut buf = vec![0.0f32; self.encoder.width()];
-        self.encoder.encode(query, &mut buf)?;
-        let x = Matrix::from_vec(1, buf.len(), buf);
-        let y = self.model.forward_infer(&x, ws);
-        let out = scaler.unscale(y.get(0, 0)).max(1.0);
-        ws.recycle(y);
-        ws.recycle(x);
-        Ok(out)
+        predict_one(&self.encoder, &self.outliers, scaler, query, ws, |x, ws| {
+            self.model.forward_infer(x, ws)
+        })
     }
 
     /// Predicts a whole batch with **one** network forward: queries are
@@ -287,51 +281,25 @@ impl LmkgS {
     /// rejections surface as per-query errors. Row-independent kernels make
     /// the results bitwise-identical to looping `predict`.
     pub fn predict_batch(&self, queries: &[&Query]) -> Vec<Result<f64, EncodeError>> {
-        let mut ws = Workspace::new();
         let scaler = *self.scaler.as_ref().expect("model is untrained");
-        let w = self.encoder.width();
-        // Outlier-buffer hits are answered exactly; the rest go to the net.
-        let mut results: Vec<Option<Result<f64, EncodeError>>> = Vec::with_capacity(queries.len());
-        let mut candidates: Vec<usize> = Vec::with_capacity(queries.len());
-        for (i, q) in queries.iter().enumerate() {
-            match self.outliers.lookup(q) {
-                Some(card) => results.push(Some(Ok(card as f64))),
-                None => {
-                    results.push(None);
-                    candidates.push(i);
-                }
-            }
+        predict_many(&self.encoder, &self.outliers, scaler, queries, |x, ws| {
+            self.model.forward_infer(x, ws)
+        })
+    }
+
+    /// One-shot quantization of the trained estimator: the dense stack drops
+    /// to int8 (per-output-channel scales) or bf16 weights while the
+    /// encoder, scaler, and outlier buffer are carried over unchanged, so a
+    /// [`QuantizedLmkgS`] answers exactly the query set its f32 original
+    /// answers. Panics if the model is untrained.
+    pub fn quantized(&self, mode: QuantMode) -> QuantizedLmkgS {
+        let scaler = *self.scaler.as_ref().expect("model is untrained");
+        QuantizedLmkgS {
+            encoder: self.encoder.clone(),
+            model: self.model.quantized(mode),
+            scaler,
+            outliers: self.outliers.clone(),
         }
-        let mut rows = Vec::with_capacity(candidates.len() * w);
-        let statuses = self
-            .encoder
-            .encode_batch(candidates.iter().map(|&i| queries[i]), &mut rows);
-        let mut accepted: Vec<usize> = Vec::with_capacity(candidates.len());
-        for (&i, status) in candidates.iter().zip(statuses) {
-            match status {
-                Ok(()) => accepted.push(i),
-                Err(e) => results[i] = Some(Err(e)),
-            }
-        }
-        // Forward in micro-batches: large enough that a multi-core machine
-        // still crosses the matmul parallelism threshold, small enough that
-        // layer intermediates stay cache-resident instead of streaming
-        // through DRAM. Row-independent kernels keep every result
-        // bitwise-identical to any other chunking (including per-query).
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let micro_batch = 256 * cores;
-        let mut done = 0usize;
-        for chunk in accepted.chunks(micro_batch) {
-            let x = Matrix::from_vec(chunk.len(), w, rows[done * w..(done + chunk.len()) * w].to_vec());
-            done += chunk.len();
-            let y = self.model.forward_infer(&x, &mut ws);
-            for (row, &i) in chunk.iter().enumerate() {
-                results[i] = Some(Ok(scaler.unscale(y.get(row, 0)).max(1.0)));
-            }
-            ws.recycle(y);
-            ws.recycle(x);
-        }
-        results.into_iter().map(|r| r.expect("every query resolved")).collect()
     }
 
     /// Scalar parameter count (read-only walk).
@@ -358,6 +326,171 @@ impl LmkgS {
     /// Sets the scaler explicitly (for parameter-file restore).
     pub fn set_scaler(&mut self, scaler: CardinalityScaler) {
         self.scaler = Some(scaler);
+    }
+}
+
+/// The shared single-query prediction pipeline: outlier-buffer bypass →
+/// encode → one network forward (supplied by the caller) → unscale. Both
+/// the f32 and the quantized estimator route through here, so their
+/// non-network behavior (rejections, outlier hits, flooring) is identical
+/// by construction.
+fn predict_one<F>(
+    encoder: &QueryEncoder,
+    outliers: &OutlierBuffer,
+    scaler: CardinalityScaler,
+    query: &Query,
+    ws: &mut Workspace,
+    forward: F,
+) -> Result<f64, EncodeError>
+where
+    F: Fn(&Matrix, &mut Workspace) -> Matrix,
+{
+    if let Some(card) = outliers.lookup(query) {
+        return Ok(card as f64);
+    }
+    let mut buf = vec![0.0f32; encoder.width()];
+    encoder.encode(query, &mut buf)?;
+    let x = Matrix::from_vec(1, buf.len(), buf);
+    let y = forward(&x, ws);
+    let out = scaler.unscale(y.get(0, 0)).max(1.0);
+    ws.recycle(y);
+    ws.recycle(x);
+    Ok(out)
+}
+
+/// The shared batched prediction pipeline (see [`LmkgS::predict_batch`] for
+/// the contract); `forward` supplies the network, everything else is common.
+fn predict_many<F>(
+    encoder: &QueryEncoder,
+    outliers: &OutlierBuffer,
+    scaler: CardinalityScaler,
+    queries: &[&Query],
+    forward: F,
+) -> Vec<Result<f64, EncodeError>>
+where
+    F: Fn(&Matrix, &mut Workspace) -> Matrix,
+{
+    let mut ws = Workspace::new();
+    let w = encoder.width();
+    // Outlier-buffer hits are answered exactly; the rest go to the net.
+    let mut results: Vec<Option<Result<f64, EncodeError>>> = Vec::with_capacity(queries.len());
+    let mut candidates: Vec<usize> = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        match outliers.lookup(q) {
+            Some(card) => results.push(Some(Ok(card as f64))),
+            None => {
+                results.push(None);
+                candidates.push(i);
+            }
+        }
+    }
+    let mut rows = Vec::with_capacity(candidates.len() * w);
+    let statuses = encoder.encode_batch(candidates.iter().map(|&i| queries[i]), &mut rows);
+    let mut accepted: Vec<usize> = Vec::with_capacity(candidates.len());
+    for (&i, status) in candidates.iter().zip(statuses) {
+        match status {
+            Ok(()) => accepted.push(i),
+            Err(e) => results[i] = Some(Err(e)),
+        }
+    }
+    // Forward in micro-batches: large enough that a multi-core machine
+    // still crosses the matmul parallelism threshold, small enough that
+    // layer intermediates stay cache-resident instead of streaming
+    // through DRAM. Row-independent kernels keep every result
+    // bitwise-identical to any other chunking (including per-query).
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let micro_batch = 256 * cores;
+    let mut done = 0usize;
+    for chunk in accepted.chunks(micro_batch) {
+        let x = Matrix::from_vec(chunk.len(), w, rows[done * w..(done + chunk.len()) * w].to_vec());
+        done += chunk.len();
+        let y = forward(&x, &mut ws);
+        for (row, &i) in chunk.iter().enumerate() {
+            results[i] = Some(Ok(scaler.unscale(y.get(row, 0)).max(1.0)));
+        }
+        ws.recycle(y);
+        ws.recycle(x);
+    }
+    results.into_iter().map(|r| r.expect("every query resolved")).collect()
+}
+
+/// A frozen, quantized LMKG-S produced by [`LmkgS::quantized`]: the same
+/// encoder, scaler, and outlier buffer over an int8/bf16 dense stack with
+/// f32 accumulation. Owns no f32 weights, so
+/// [`QuantizedLmkgS::memory_bytes`] reports the true quantized footprint —
+/// the trade this struct exists to make honest. Shared-read like its
+/// original: every entry point takes `&self`.
+pub struct QuantizedLmkgS {
+    encoder: QueryEncoder,
+    model: QuantizedSequential,
+    scaler: CardinalityScaler,
+    outliers: OutlierBuffer,
+}
+
+impl QuantizedLmkgS {
+    /// The quantization mode this estimator was built with.
+    pub fn mode(&self) -> QuantMode {
+        self.model.mode()
+    }
+
+    /// The configured encoder.
+    pub fn encoder(&self) -> &QueryEncoder {
+        &self.encoder
+    }
+
+    /// Predicts the cardinality of a query (one-shot workspace).
+    pub fn predict(&self, query: &Query) -> Result<f64, EncodeError> {
+        self.predict_with(query, &mut Workspace::new())
+    }
+
+    /// [`QuantizedLmkgS::predict`] with a caller-provided workspace.
+    pub fn predict_with(&self, query: &Query, ws: &mut Workspace) -> Result<f64, EncodeError> {
+        predict_one(&self.encoder, &self.outliers, self.scaler, query, ws, |x, ws| {
+            self.model.forward_infer(x, ws)
+        })
+    }
+
+    /// Batched prediction; same pipeline as [`LmkgS::predict_batch`].
+    pub fn predict_batch(&self, queries: &[&Query]) -> Vec<Result<f64, EncodeError>> {
+        predict_many(&self.encoder, &self.outliers, self.scaler, queries, |x, ws| {
+            self.model.forward_infer(x, ws)
+        })
+    }
+
+    /// Scalar parameter count (weights, scales, biases).
+    pub fn param_count(&self) -> usize {
+        self.model.param_count()
+    }
+
+    /// Model size in bytes at the quantized representation, plus the
+    /// outlier buffer.
+    pub fn memory_bytes(&self) -> usize {
+        self.model.memory_bytes() + self.outliers.memory_bytes()
+    }
+}
+
+impl crate::estimator::CardinalityEstimator for QuantizedLmkgS {
+    fn name(&self) -> &str {
+        match self.mode() {
+            QuantMode::Int8 => "LMKG-S-int8",
+            QuantMode::Bf16 => "LMKG-S-bf16",
+        }
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        self.predict(query).unwrap_or(1.0)
+    }
+
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
+        let refs: Vec<&Query> = queries.iter().collect();
+        self.predict_batch(&refs)
+            .into_iter()
+            .map(|r| r.unwrap_or(1.0))
+            .collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        QuantizedLmkgS::memory_bytes(self)
     }
 }
 
@@ -593,5 +726,77 @@ mod tests {
         let model = LmkgS::new(enc, quick_cfg());
         assert!(model.memory_bytes() > 1000);
         assert!(model.param_count() > 0);
+    }
+
+    /// The q-error regression gate for quantized serving (CI-enforced): on a
+    /// deterministic trained fixture, the quantized estimator's median and
+    /// p95 q-error must stay within 10% of the f32 model's — quantization is
+    /// a memory trade, not an accuracy cliff. Int8 must also shrink the
+    /// model ≥ 3.5×, bf16 ≥ ~2×.
+    #[test]
+    fn quantized_q_error_within_ten_percent_of_f32() {
+        let (g, data) = small_setup();
+        let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
+        let mut model = LmkgS::new(enc, quick_cfg());
+        model.train(&data);
+
+        let eval = data.iter().take(200).collect::<Vec<_>>();
+        let stats_of = |pred: &dyn Fn(&Query) -> f64| {
+            let pairs: Vec<(f64, u64)> = eval.iter().map(|lq| (pred(&lq.query), lq.cardinality)).collect();
+            QErrorStats::from_pairs(pairs).unwrap()
+        };
+        let f32_stats = stats_of(&|q| model.predict(q).unwrap());
+        let f32_bytes = model.memory_bytes();
+
+        for mode in [QuantMode::Int8, QuantMode::Bf16] {
+            let q = model.quantized(mode);
+            let q_stats = stats_of(&|query| q.predict(query).unwrap());
+            assert!(
+                q_stats.median <= f32_stats.median * 1.10,
+                "{}: median {} vs f32 {}",
+                mode.name(),
+                q_stats.median,
+                f32_stats.median
+            );
+            assert!(
+                q_stats.p95 <= f32_stats.p95 * 1.10,
+                "{}: p95 {} vs f32 {}",
+                mode.name(),
+                q_stats.p95,
+                f32_stats.p95
+            );
+            let ratio_x10 = f32_bytes * 10 / q.memory_bytes();
+            match mode {
+                QuantMode::Int8 => assert!(ratio_x10 >= 35, "int8 reduction {}×/10 < 3.5×", ratio_x10),
+                QuantMode::Bf16 => assert!(ratio_x10 >= 19, "bf16 reduction {}×/10 < ~2×", ratio_x10),
+            }
+        }
+    }
+
+    /// The quantized estimator inherits the full non-network pipeline:
+    /// batches match a per-query loop bitwise, outlier hits stay exact, and
+    /// rejected queries report the neutral estimate.
+    #[test]
+    fn quantized_batch_matches_per_query_bitwise() {
+        let (g, data) = small_setup();
+        let enc = QueryEncoder::Sg(SgEncoder::capacity_for_size(g.num_nodes(), g.num_preds(), 2));
+        let mut cfg = quick_cfg();
+        cfg.epochs = 15;
+        cfg.outlier_buffer = 5;
+        let mut model = LmkgS::new(enc, cfg);
+        model.train(&data);
+        let q = model.quantized(QuantMode::Int8);
+
+        let mut queries: Vec<Query> = data.iter().take(40).map(|lq| lq.query.clone()).collect();
+        let big = workload::generate(&g, &WorkloadConfig::train_default(QueryShape::Star, 5, 1, 9));
+        queries.insert(17, big[0].query.clone());
+
+        let looped: Vec<f64> = queries.iter().map(|query| q.predict(query).unwrap_or(1.0)).collect();
+        use crate::estimator::CardinalityEstimator;
+        assert_eq!(q.estimate_batch(&queries), looped);
+        assert_eq!(q.name(), "LMKG-S-int8");
+        // Outlier hits bypass the network in both models identically.
+        let top = data.iter().max_by_key(|lq| lq.cardinality).unwrap();
+        assert_eq!(q.predict(&top.query).unwrap(), top.cardinality as f64);
     }
 }

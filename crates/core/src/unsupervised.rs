@@ -13,8 +13,10 @@
 use lmkg_data::sampler::{ChainSampler, SamplingStrategy, StarSampler};
 use lmkg_nn::loss;
 use lmkg_nn::optimizer::{Adam, Optimizer};
+use lmkg_nn::quant::QuantMode;
+use lmkg_nn::tensor::Matrix;
 use lmkg_nn::workspace::Workspace;
-use lmkg_nn::{Made, MadeConfig};
+use lmkg_nn::{Made, MadeConfig, QuantizedMade};
 use lmkg_store::{counter, KnowledgeGraph, Query, QueryShape, VarId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -273,86 +275,94 @@ impl LmkgU {
 
     /// Maps a query onto per-position bound values.
     fn query_bounds(&self, query: &Query) -> Result<Vec<Option<usize>>, LmkgUError> {
-        let actual = query.shape();
-        let compatible = actual == self.shape || (actual == QueryShape::Single && self.k == 1);
-        if !compatible {
-            return Err(LmkgUError::WrongShape {
-                expected: self.shape,
-                actual,
-            });
-        }
-        if query.size() != self.k {
-            return Err(LmkgUError::WrongSize {
-                expected: self.k,
-                actual: query.size(),
-            });
-        }
+        query_bounds_impl(self.shape, self.k, query)
+    }
+}
 
-        let positions = 2 * self.k + 1;
-        let mut bounds = vec![None; positions];
-        // Track variables: structural sharing (star center, chain links) is
-        // expected; any other reuse cannot be expressed by marginalization.
-        let mut seen_vars: Vec<VarId> = Vec::new();
-        let check_var = |v: VarId, structural: bool, seen: &mut Vec<VarId>| {
-            if seen.contains(&v) {
-                structural
-            } else {
-                seen.push(v);
-                true
-            }
-        };
-
-        match self.shape {
-            QueryShape::Star => {
-                let center = query.triples[0].s;
-                if let Some(v) = center.var() {
-                    check_var(v, true, &mut seen_vars);
-                }
-                bounds[0] = center.bound().map(|n| n.index());
-                for (i, t) in query.triples.iter().enumerate() {
-                    bounds[1 + 2 * i] = t.p.bound().map(|p| p.index());
-                    bounds[2 + 2 * i] = t.o.bound().map(|o| o.index());
-                    if let Some(v) = t.p.var() {
-                        if !check_var(v, false, &mut seen_vars) {
-                            return Err(LmkgUError::UnsupportedVariablePattern);
-                        }
-                    }
-                    if let Some(v) = t.o.var() {
-                        let is_center = center.var() == Some(v);
-                        if is_center || !check_var(v, false, &mut seen_vars) {
-                            return Err(LmkgUError::UnsupportedVariablePattern);
-                        }
-                    }
-                }
-            }
-            QueryShape::Chain => {
-                bounds[0] = query.triples[0].s.bound().map(|n| n.index());
-                if let Some(v) = query.triples[0].s.var() {
-                    check_var(v, true, &mut seen_vars);
-                }
-                for (i, t) in query.triples.iter().enumerate() {
-                    bounds[1 + 2 * i] = t.p.bound().map(|p| p.index());
-                    bounds[2 + 2 * i] = t.o.bound().map(|o| o.index());
-                    if let Some(v) = t.p.var() {
-                        if !check_var(v, false, &mut seen_vars) {
-                            return Err(LmkgUError::UnsupportedVariablePattern);
-                        }
-                    }
-                    if let Some(v) = t.o.var() {
-                        // The object var is structurally shared with the next
-                        // subject; it must not have been seen before.
-                        if seen_vars.contains(&v) {
-                            return Err(LmkgUError::UnsupportedVariablePattern);
-                        }
-                        seen_vars.push(v);
-                    }
-                }
-            }
-            _ => unreachable!(),
-        }
-        Ok(bounds)
+/// Maps a query onto per-position bound values for a `(shape, k)` model —
+/// shared by [`LmkgU`] and [`QuantizedLmkgU`].
+fn query_bounds_impl(shape: QueryShape, k: usize, query: &Query) -> Result<Vec<Option<usize>>, LmkgUError> {
+    let actual = query.shape();
+    let compatible = actual == shape || (actual == QueryShape::Single && k == 1);
+    if !compatible {
+        return Err(LmkgUError::WrongShape {
+            expected: shape,
+            actual,
+        });
+    }
+    if query.size() != k {
+        return Err(LmkgUError::WrongSize {
+            expected: k,
+            actual: query.size(),
+        });
     }
 
+    let positions = 2 * k + 1;
+    let mut bounds = vec![None; positions];
+    // Track variables: structural sharing (star center, chain links) is
+    // expected; any other reuse cannot be expressed by marginalization.
+    let mut seen_vars: Vec<VarId> = Vec::new();
+    let check_var = |v: VarId, structural: bool, seen: &mut Vec<VarId>| {
+        if seen.contains(&v) {
+            structural
+        } else {
+            seen.push(v);
+            true
+        }
+    };
+
+    match shape {
+        QueryShape::Star => {
+            let center = query.triples[0].s;
+            if let Some(v) = center.var() {
+                check_var(v, true, &mut seen_vars);
+            }
+            bounds[0] = center.bound().map(|n| n.index());
+            for (i, t) in query.triples.iter().enumerate() {
+                bounds[1 + 2 * i] = t.p.bound().map(|p| p.index());
+                bounds[2 + 2 * i] = t.o.bound().map(|o| o.index());
+                if let Some(v) = t.p.var() {
+                    if !check_var(v, false, &mut seen_vars) {
+                        return Err(LmkgUError::UnsupportedVariablePattern);
+                    }
+                }
+                if let Some(v) = t.o.var() {
+                    let is_center = center.var() == Some(v);
+                    if is_center || !check_var(v, false, &mut seen_vars) {
+                        return Err(LmkgUError::UnsupportedVariablePattern);
+                    }
+                }
+            }
+        }
+        QueryShape::Chain => {
+            bounds[0] = query.triples[0].s.bound().map(|n| n.index());
+            if let Some(v) = query.triples[0].s.var() {
+                check_var(v, true, &mut seen_vars);
+            }
+            for (i, t) in query.triples.iter().enumerate() {
+                bounds[1 + 2 * i] = t.p.bound().map(|p| p.index());
+                bounds[2 + 2 * i] = t.o.bound().map(|o| o.index());
+                if let Some(v) = t.p.var() {
+                    if !check_var(v, false, &mut seen_vars) {
+                        return Err(LmkgUError::UnsupportedVariablePattern);
+                    }
+                }
+                if let Some(v) = t.o.var() {
+                    // The object var is structurally shared with the next
+                    // subject; it must not have been seen before.
+                    if seen_vars.contains(&v) {
+                        return Err(LmkgUError::UnsupportedVariablePattern);
+                    }
+                    seen_vars.push(v);
+                }
+            }
+        }
+        _ => unreachable!(),
+    }
+    Ok(bounds)
+}
+
+impl LmkgU {
     /// Estimates the cardinality of `query` via likelihood-weighted forward
     /// sampling (§VI-B).
     pub fn estimate_query(&self, query: &Query) -> Result<f64, LmkgUError> {
@@ -365,7 +375,7 @@ impl LmkgU {
     /// of one forward per (query, position). Per-query results — including
     /// shape/size rejections — are identical to looping
     /// [`LmkgU::estimate_query`], because particle RNG streams are derived
-    /// per query (see [`LmkgU::particle_rng`]) and the network kernels are
+    /// per query (`particle_rng_impl`) and the network kernels are
     /// row-independent.
     pub fn estimate_query_batch(&self, queries: &[&Query]) -> Vec<Result<f64, LmkgUError>> {
         let parsed: Vec<Result<Vec<Option<usize>>, LmkgUError>> =
@@ -378,139 +388,30 @@ impl LmkgU {
             .collect()
     }
 
-    /// The RNG stream driving likelihood-weighted sampling for one query.
-    ///
-    /// Derived from the model seed and the query's bound pattern rather
-    /// than drawn from the shared training RNG, so that an estimate does
-    /// not depend on how many estimates preceded it — the property that
-    /// makes `estimate` reproducible and lets `estimate_batch` return
-    /// exactly what a per-query loop would.
-    fn particle_rng(&self, bounds: &[Option<usize>]) -> StdRng {
-        let mut h = self.cfg.seed ^ 0x517c_c1b7_2722_0a95;
-        for b in bounds {
-            let v = match b {
-                Some(x) => *x as u64 + 1,
-                None => 0,
-            };
-            h = (h ^ v).wrapping_mul(0x0000_0100_0000_01B3).rotate_left(17);
-        }
-        StdRng::seed_from_u64(h)
-    }
-
     /// Core progressive-sampling estimator over per-position bound values.
     pub fn estimate_bounds(&self, bounds: &[Option<usize>]) -> f64 {
-        assert_eq!(bounds.len(), self.segments.len());
-        let Some(last_bound) = bounds.iter().rposition(Option::is_some) else {
-            // No bound term: the query matches every tuple.
-            return self.n_total.max(1.0);
-        };
-        let particles = self.cfg.particles.max(1);
-        let mut rng = self.particle_rng(bounds);
-        let mut ws = Workspace::new();
-        let mut ids = vec![vec![0usize; self.segments.len()]; particles];
-        let mut log_w = vec![0.0f64; particles];
-
-        for pos in 0..=last_bound {
-            // Only the current position's logit segment is needed — the
-            // sliced forward avoids materializing the full (huge) output
-            // layer at every autoregressive step.
-            let logits = self.made.forward_ids_segment(&ids, pos, &mut ws);
-            match bounds[pos] {
-                Some(b) => {
-                    for (r, ids_row) in ids.iter_mut().enumerate() {
-                        log_w[r] += f64::from(log_softmax_at(logits.row(r), b));
-                        ids_row[pos] = b;
-                    }
-                }
-                None => {
-                    for (r, ids_row) in ids.iter_mut().enumerate() {
-                        ids_row[pos] = sample_categorical(logits.row(r), &mut rng);
-                    }
-                }
-            }
-            ws.recycle(logits);
-        }
-
-        let mean_w: f64 = log_w.iter().map(|&lw| lw.exp()).sum::<f64>() / particles as f64;
-        (mean_w * self.n_total).max(1.0)
+        estimate_bounds_impl(
+            &self.made,
+            &self.segments,
+            self.n_total,
+            self.cfg.particles,
+            self.cfg.seed,
+            bounds,
+        )
     }
 
     /// Batched [`LmkgU::estimate_bounds`]: all queries' particles share one
     /// ids matrix, so every autoregressive position costs a single sliced
     /// forward for the whole batch.
     pub fn estimate_bounds_batch(&self, bounds_list: &[Vec<Option<usize>>]) -> Vec<f64> {
-        let positions = self.segments.len();
-        let particles = self.cfg.particles.max(1);
-        let mut out = vec![0.0f64; bounds_list.len()];
-
-        // Fully-unbound queries short-circuit to the tuple-space total.
-        let mut active: Vec<usize> = Vec::new();
-        let mut last_bounds: Vec<usize> = Vec::new();
-        for (i, bounds) in bounds_list.iter().enumerate() {
-            assert_eq!(bounds.len(), positions);
-            match bounds.iter().rposition(Option::is_some) {
-                Some(lb) => {
-                    active.push(i);
-                    last_bounds.push(lb);
-                }
-                None => out[i] = self.n_total.max(1.0),
-            }
-        }
-        if active.is_empty() {
-            return out;
-        }
-
-        let max_last = *last_bounds.iter().max().expect("non-empty active set");
-        let mut ws = Workspace::new();
-        let mut rngs: Vec<StdRng> = active.iter().map(|&i| self.particle_rng(&bounds_list[i])).collect();
-        let mut ids = vec![vec![0usize; positions]; active.len() * particles];
-        let mut log_w = vec![0.0f64; active.len() * particles];
-
-        for pos in 0..=max_last {
-            // Queries past their last bound position draw nothing more —
-            // compact them out of the forward so a batch skewed toward
-            // short queries does not pay full-width forwards to the end.
-            // Per-row results are batch-shape independent (the parity
-            // property), so compaction cannot change any estimate.
-            let live: Vec<usize> = (0..active.len()).filter(|&qi| last_bounds[qi] >= pos).collect();
-            let logits = if live.len() == active.len() {
-                // Homogeneous batch: everyone is live, forward in place
-                // without copying any rows.
-                self.made.forward_ids_segment(&ids, pos, &mut ws)
-            } else {
-                let live_ids: Vec<Vec<usize>> = live
-                    .iter()
-                    .flat_map(|&qi| ids[qi * particles..(qi + 1) * particles].iter().cloned())
-                    .collect();
-                self.made.forward_ids_segment(&live_ids, pos, &mut ws)
-            };
-            let compacted = live.len() != active.len();
-            for (slot, &qi) in live.iter().enumerate() {
-                let row0 = qi * particles;
-                let logit0 = if compacted { slot * particles } else { row0 };
-                match bounds_list[active[qi]][pos] {
-                    Some(b) => {
-                        for (off, ids_row) in ids[row0..row0 + particles].iter_mut().enumerate() {
-                            log_w[row0 + off] += f64::from(log_softmax_at(logits.row(logit0 + off), b));
-                            ids_row[pos] = b;
-                        }
-                    }
-                    None => {
-                        for (off, ids_row) in ids[row0..row0 + particles].iter_mut().enumerate() {
-                            ids_row[pos] = sample_categorical(logits.row(logit0 + off), &mut rngs[qi]);
-                        }
-                    }
-                }
-            }
-            ws.recycle(logits);
-        }
-
-        for (qi, &i) in active.iter().enumerate() {
-            let row0 = qi * particles;
-            let mean_w: f64 = log_w[row0..row0 + particles].iter().map(|&lw| lw.exp()).sum::<f64>() / particles as f64;
-            out[i] = (mean_w * self.n_total).max(1.0);
-        }
-        out
+        estimate_bounds_batch_impl(
+            &self.made,
+            &self.segments,
+            self.n_total,
+            self.cfg.particles,
+            self.cfg.seed,
+            bounds_list,
+        )
     }
 
     /// Scalar parameter count (read-only walk).
@@ -521,6 +422,310 @@ impl LmkgU {
     /// Model size in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.made.memory_bytes()
+    }
+
+    /// One-shot quantization of the trained estimator: the ResMADE drops to
+    /// int8 (per-channel scales) or bf16 weights, the tuple-space total and
+    /// routing metadata carry over, and the whole likelihood-weighted
+    /// sampling core is shared with the f32 path — only the network forwards
+    /// differ.
+    pub fn quantized(&self, mode: QuantMode) -> QuantizedLmkgU {
+        QuantizedLmkgU {
+            made: self.made.quantized(mode),
+            shape: self.shape,
+            k: self.k,
+            n_total: self.n_total,
+            segments: self.segments.clone(),
+            particles: self.cfg.particles,
+            seed: self.cfg.seed,
+        }
+    }
+}
+
+/// The one network operation the likelihood-weighted sampler needs: a sliced
+/// logit-segment forward. Implemented by the f32 and quantized ResMADE so
+/// [`estimate_bounds_impl`]/[`estimate_bounds_batch_impl`] serve both.
+trait SegmentForward {
+    fn segment(&self, ids: &[Vec<usize>], pos: usize, ws: &mut Workspace) -> Matrix;
+}
+
+impl SegmentForward for Made {
+    fn segment(&self, ids: &[Vec<usize>], pos: usize, ws: &mut Workspace) -> Matrix {
+        self.forward_ids_segment(ids, pos, ws)
+    }
+}
+
+impl SegmentForward for QuantizedMade {
+    fn segment(&self, ids: &[Vec<usize>], pos: usize, ws: &mut Workspace) -> Matrix {
+        self.forward_ids_segment(ids, pos, ws)
+    }
+}
+
+/// The RNG stream driving likelihood-weighted sampling for one query.
+///
+/// Derived from the model seed and the query's bound pattern rather than
+/// drawn from the shared training RNG, so the stream is a function of
+/// `(seed, bounds)` only, never of call history — the property that makes
+/// `estimate` reproducible and lets `estimate_batch` return exactly what a
+/// per-query loop would.
+fn particle_rng_impl(seed: u64, bounds: &[Option<usize>]) -> StdRng {
+    let mut h = seed ^ 0x517c_c1b7_2722_0a95;
+    for b in bounds {
+        let v = match b {
+            Some(x) => *x as u64 + 1,
+            None => 0,
+        };
+        h = (h ^ v).wrapping_mul(0x0000_0100_0000_01B3).rotate_left(17);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// The progressive-sampling core behind [`LmkgU::estimate_bounds`], generic
+/// over the network.
+fn estimate_bounds_impl<M: SegmentForward>(
+    made: &M,
+    segments: &[usize],
+    n_total: f64,
+    particles: usize,
+    seed: u64,
+    bounds: &[Option<usize>],
+) -> f64 {
+    assert_eq!(bounds.len(), segments.len());
+    let Some(last_bound) = bounds.iter().rposition(Option::is_some) else {
+        // No bound term: the query matches every tuple.
+        return n_total.max(1.0);
+    };
+    let particles = particles.max(1);
+    let mut rng = particle_rng_impl(seed, bounds);
+    let mut ws = Workspace::new();
+    let mut ids = vec![vec![0usize; segments.len()]; particles];
+    let mut log_w = vec![0.0f64; particles];
+
+    for pos in 0..=last_bound {
+        // Only the current position's logit segment is needed — the
+        // sliced forward avoids materializing the full (huge) output
+        // layer at every autoregressive step.
+        let logits = made.segment(&ids, pos, &mut ws);
+        match bounds[pos] {
+            Some(b) => {
+                for (r, ids_row) in ids.iter_mut().enumerate() {
+                    log_w[r] += f64::from(log_softmax_at(logits.row(r), b));
+                    ids_row[pos] = b;
+                }
+            }
+            None => {
+                for (r, ids_row) in ids.iter_mut().enumerate() {
+                    ids_row[pos] = sample_categorical(logits.row(r), &mut rng);
+                }
+            }
+        }
+        ws.recycle(logits);
+    }
+
+    let mean_w: f64 = log_w.iter().map(|&lw| lw.exp()).sum::<f64>() / particles as f64;
+    (mean_w * n_total).max(1.0)
+}
+
+/// The batched progressive-sampling core behind
+/// [`LmkgU::estimate_bounds_batch`], generic over the network.
+fn estimate_bounds_batch_impl<M: SegmentForward>(
+    made: &M,
+    segments: &[usize],
+    n_total: f64,
+    particles: usize,
+    seed: u64,
+    bounds_list: &[Vec<Option<usize>>],
+) -> Vec<f64> {
+    let positions = segments.len();
+    let particles = particles.max(1);
+    let mut out = vec![0.0f64; bounds_list.len()];
+
+    // Fully-unbound queries short-circuit to the tuple-space total.
+    let mut active: Vec<usize> = Vec::new();
+    let mut last_bounds: Vec<usize> = Vec::new();
+    for (i, bounds) in bounds_list.iter().enumerate() {
+        assert_eq!(bounds.len(), positions);
+        match bounds.iter().rposition(Option::is_some) {
+            Some(lb) => {
+                active.push(i);
+                last_bounds.push(lb);
+            }
+            None => out[i] = n_total.max(1.0),
+        }
+    }
+    if active.is_empty() {
+        return out;
+    }
+
+    let max_last = *last_bounds.iter().max().expect("non-empty active set");
+    let mut ws = Workspace::new();
+    let mut rngs: Vec<StdRng> = active
+        .iter()
+        .map(|&i| particle_rng_impl(seed, &bounds_list[i]))
+        .collect();
+    let mut ids = vec![vec![0usize; positions]; active.len() * particles];
+    let mut log_w = vec![0.0f64; active.len() * particles];
+
+    for pos in 0..=max_last {
+        // Queries past their last bound position draw nothing more —
+        // compact them out of the forward so a batch skewed toward
+        // short queries does not pay full-width forwards to the end.
+        // Per-row results are batch-shape independent (the parity
+        // property), so compaction cannot change any estimate.
+        let live: Vec<usize> = (0..active.len()).filter(|&qi| last_bounds[qi] >= pos).collect();
+        let logits = if live.len() == active.len() {
+            // Homogeneous batch: everyone is live, forward in place
+            // without copying any rows.
+            made.segment(&ids, pos, &mut ws)
+        } else {
+            let live_ids: Vec<Vec<usize>> = live
+                .iter()
+                .flat_map(|&qi| ids[qi * particles..(qi + 1) * particles].iter().cloned())
+                .collect();
+            made.segment(&live_ids, pos, &mut ws)
+        };
+        let compacted = live.len() != active.len();
+        for (slot, &qi) in live.iter().enumerate() {
+            let row0 = qi * particles;
+            let logit0 = if compacted { slot * particles } else { row0 };
+            match bounds_list[active[qi]][pos] {
+                Some(b) => {
+                    for (off, ids_row) in ids[row0..row0 + particles].iter_mut().enumerate() {
+                        log_w[row0 + off] += f64::from(log_softmax_at(logits.row(logit0 + off), b));
+                        ids_row[pos] = b;
+                    }
+                }
+                None => {
+                    for (off, ids_row) in ids[row0..row0 + particles].iter_mut().enumerate() {
+                        ids_row[pos] = sample_categorical(logits.row(logit0 + off), &mut rngs[qi]);
+                    }
+                }
+            }
+        }
+        ws.recycle(logits);
+    }
+
+    for (qi, &i) in active.iter().enumerate() {
+        let row0 = qi * particles;
+        let mean_w: f64 = log_w[row0..row0 + particles].iter().map(|&lw| lw.exp()).sum::<f64>() / particles as f64;
+        out[i] = (mean_w * n_total).max(1.0);
+    }
+    out
+}
+
+/// A frozen, quantized LMKG-U produced by [`LmkgU::quantized`]: the same
+/// likelihood-weighted sampling core, particle RNG derivation, and routing
+/// metadata over an int8/bf16 ResMADE. Owns no f32 weights, so
+/// [`QuantizedLmkgU::memory_bytes`] reports the true quantized footprint.
+/// Shared-read (`&self`) like its original.
+pub struct QuantizedLmkgU {
+    made: QuantizedMade,
+    shape: QueryShape,
+    k: usize,
+    n_total: f64,
+    segments: Vec<usize>,
+    particles: usize,
+    seed: u64,
+}
+
+impl QuantizedLmkgU {
+    /// The quantization mode this estimator was built with.
+    pub fn mode(&self) -> QuantMode {
+        self.made.mode()
+    }
+
+    /// The tuple size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The model topology.
+    pub fn shape(&self) -> QueryShape {
+        self.shape
+    }
+
+    /// The tuple-space total `N` used to de-normalize densities.
+    pub fn n_total(&self) -> f64 {
+        self.n_total
+    }
+
+    /// Estimates the cardinality of `query`; see [`LmkgU::estimate_query`].
+    pub fn estimate_query(&self, query: &Query) -> Result<f64, LmkgUError> {
+        let bounds = query_bounds_impl(self.shape, self.k, query)?;
+        Ok(self.estimate_bounds(&bounds))
+    }
+
+    /// Batched estimation; see [`LmkgU::estimate_query_batch`].
+    pub fn estimate_query_batch(&self, queries: &[&Query]) -> Vec<Result<f64, LmkgUError>> {
+        let parsed: Vec<Result<Vec<Option<usize>>, LmkgUError>> = queries
+            .iter()
+            .map(|q| query_bounds_impl(self.shape, self.k, q))
+            .collect();
+        let accepted: Vec<Vec<Option<usize>>> = parsed.iter().filter_map(|r| r.as_ref().ok().cloned()).collect();
+        let mut estimates = self.estimate_bounds_batch(&accepted).into_iter();
+        parsed
+            .into_iter()
+            .map(|r| r.map(|_| estimates.next().expect("one estimate per accepted query")))
+            .collect()
+    }
+
+    /// Core progressive-sampling estimator over per-position bound values.
+    pub fn estimate_bounds(&self, bounds: &[Option<usize>]) -> f64 {
+        estimate_bounds_impl(
+            &self.made,
+            &self.segments,
+            self.n_total,
+            self.particles,
+            self.seed,
+            bounds,
+        )
+    }
+
+    /// Batched [`QuantizedLmkgU::estimate_bounds`].
+    pub fn estimate_bounds_batch(&self, bounds_list: &[Vec<Option<usize>>]) -> Vec<f64> {
+        estimate_bounds_batch_impl(
+            &self.made,
+            &self.segments,
+            self.n_total,
+            self.particles,
+            self.seed,
+            bounds_list,
+        )
+    }
+
+    /// Scalar parameter count (weights, scales, biases, embeddings).
+    pub fn param_count(&self) -> usize {
+        self.made.param_count()
+    }
+
+    /// Model size in bytes at the quantized representation.
+    pub fn memory_bytes(&self) -> usize {
+        self.made.memory_bytes()
+    }
+}
+
+impl crate::estimator::CardinalityEstimator for QuantizedLmkgU {
+    fn name(&self) -> &str {
+        match self.mode() {
+            QuantMode::Int8 => "LMKG-U-int8",
+            QuantMode::Bf16 => "LMKG-U-bf16",
+        }
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        self.estimate_query(query).unwrap_or(1.0)
+    }
+
+    fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
+        let refs: Vec<&Query> = queries.iter().collect();
+        self.estimate_query_batch(&refs)
+            .into_iter()
+            .map(|r| r.unwrap_or(1.0))
+            .collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        QuantizedLmkgU::memory_bytes(self)
     }
 }
 
@@ -809,6 +1014,56 @@ mod tests {
         let trait_batched = m.estimate_batch(&queries);
         assert_eq!(trait_batched[1], 1.0);
         assert_eq!(trait_batched[2], m.n_total());
+    }
+
+    /// Quantized LMKG-U must stay close to the f32 model on the fixture
+    /// workload (within 10% on the measured q-errors), keep batch/per-query
+    /// bitwise parity, and actually shrink.
+    #[test]
+    fn quantized_estimates_track_f32_with_parity_and_shrink() {
+        let (g, m) = trained_star_model(2);
+        let has_author = PredId(g.preds().get("hasAuthor").unwrap());
+        let genre = PredId(g.preds().get("genre").unwrap());
+        let horror = NodeId(g.nodes().get("horror").unwrap());
+        let queries = vec![
+            Query::new(vec![
+                TriplePattern::new(v(0), PredTerm::Bound(has_author), v(1)),
+                TriplePattern::new(v(0), PredTerm::Bound(genre), NodeTerm::Bound(horror)),
+            ]),
+            Query::new(vec![
+                TriplePattern::new(v(0), PredTerm::Bound(has_author), v(1)),
+                TriplePattern::new(v(0), PredTerm::Bound(genre), v(2)),
+            ]),
+            Query::new(vec![
+                TriplePattern::new(v(0), PredTerm::Var(VarId(5)), v(1)),
+                TriplePattern::new(v(0), PredTerm::Var(VarId(6)), v(2)),
+            ]),
+        ];
+
+        for mode in [QuantMode::Int8, QuantMode::Bf16] {
+            let q = m.quantized(mode);
+            assert_eq!(q.k(), m.k());
+            assert_eq!(q.n_total(), m.n_total());
+            for query in &queries {
+                let f = m.estimate_query(query).unwrap();
+                let e = q.estimate_query(query).unwrap();
+                let ratio = (e / f).max(f / e);
+                assert!(ratio < 1.10, "{mode:?}: estimate {e} drifted {ratio}× from f32 {f}");
+            }
+            // Batch = per-query loop, bitwise, including the unbound
+            // short-circuit (the trait collapses errors to 1.0).
+            let refs: Vec<&Query> = queries.iter().collect();
+            let batched = q.estimate_query_batch(&refs);
+            for (query, b) in queries.iter().zip(&batched) {
+                assert_eq!(&q.estimate_query(query), b);
+            }
+            assert_eq!(*batched[2].as_ref().unwrap(), q.n_total());
+            // Memory honesty: the quantized model is reported smaller.
+            match mode {
+                QuantMode::Int8 => assert!(q.memory_bytes() * 3 < m.memory_bytes()),
+                QuantMode::Bf16 => assert!(q.memory_bytes() * 2 <= m.memory_bytes() + m.param_count()),
+            }
+        }
     }
 
     #[test]

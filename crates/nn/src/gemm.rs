@@ -173,9 +173,24 @@ impl<'a> MatRef<'a> {
         self.cols
     }
 
+    /// Column stride ([`crate::gemv`] picks its inner loop by whether rows
+    /// of `B` are contiguous).
     #[inline]
-    fn at(&self, r: usize, c: usize) -> f32 {
+    pub(crate) fn cs(&self) -> usize {
+        self.cs
+    }
+
+    #[inline]
+    pub(crate) fn at(&self, r: usize, c: usize) -> f32 {
         self.data[self.off + r * self.rs + c * self.cs]
+    }
+
+    /// Row `r` as a contiguous slice. Only valid when `cs == 1`.
+    #[inline]
+    pub(crate) fn contiguous_row(&self, r: usize) -> &'a [f32] {
+        debug_assert_eq!(self.cs, 1, "contiguous_row requires unit column stride");
+        let start = self.off + r * self.rs;
+        &self.data[start..start + self.cols]
     }
 
     /// The sub-view of `nrows` rows starting at `r0`.

@@ -5,6 +5,7 @@
 //! so optimizers and serializers can walk a model without knowing its shape.
 
 use crate::init;
+use crate::quant::{QuantLayer, QuantMode, QuantizedDense, QuantizedSequential};
 use crate::tensor::Matrix;
 use crate::workspace::Workspace;
 use rand::Rng;
@@ -89,6 +90,14 @@ pub trait Layer {
         self.visit_params_ref(&mut |p| n += p.len());
         n
     }
+
+    /// The frozen-inference quantized form of this layer, or `None` when the
+    /// layer does not support post-training quantization. Every layer in
+    /// this crate implements it; the default exists for downstream custom
+    /// layers.
+    fn quantize_layer(&self, _mode: QuantMode) -> Option<QuantLayer> {
+        None
+    }
 }
 
 /// Fully connected layer `y = x·W + b`.
@@ -160,6 +169,14 @@ impl Layer for Dense {
     fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
         f(&self.w);
         f(&self.b);
+    }
+
+    fn quantize_layer(&self, mode: QuantMode) -> Option<QuantLayer> {
+        Some(QuantLayer::Dense(QuantizedDense::from_weights(
+            &self.w.value,
+            self.b.value.as_slice(),
+            mode,
+        )))
     }
 }
 
@@ -270,6 +287,17 @@ impl Layer for MaskedDense {
         f(&self.w);
         f(&self.b);
     }
+
+    /// The masking invariant `W = W ⊙ M` means masked-out weights are
+    /// exactly zero, which int8/bf16 both represent exactly — the quantized
+    /// layer preserves autoregressive connectivity with no mask of its own.
+    fn quantize_layer(&self, mode: QuantMode) -> Option<QuantLayer> {
+        Some(QuantLayer::Dense(QuantizedDense::from_weights(
+            &self.w.value,
+            self.b.value.as_slice(),
+            mode,
+        )))
+    }
 }
 
 /// Rectified linear unit.
@@ -303,7 +331,9 @@ impl Layer for Relu {
     }
 
     fn forward_infer(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
-        let mut y = ws.take(x.rows(), x.cols());
+        // Every element is written before any is read, so the pooled buffer
+        // can skip its zero fill.
+        let mut y = ws.take_full(x.rows(), x.cols());
         for (o, &v) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
             *o = v.max(0.0);
         }
@@ -323,6 +353,10 @@ impl Layer for Relu {
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
 
     fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
+
+    fn quantize_layer(&self, _mode: QuantMode) -> Option<QuantLayer> {
+        Some(QuantLayer::Relu)
+    }
 }
 
 /// Logistic sigmoid.
@@ -356,7 +390,7 @@ impl Layer for Sigmoid {
     }
 
     fn forward_infer(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
-        let mut y = ws.take(x.rows(), x.cols());
+        let mut y = ws.take_full(x.rows(), x.cols());
         for (o, &v) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
             *o = 1.0 / (1.0 + (-v).exp());
         }
@@ -376,6 +410,10 @@ impl Layer for Sigmoid {
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
 
     fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
+
+    fn quantize_layer(&self, _mode: QuantMode) -> Option<QuantLayer> {
+        Some(QuantLayer::Sigmoid)
+    }
 }
 
 /// Inverted dropout: scales surviving activations by `1/(1-p)` at train time,
@@ -435,8 +473,9 @@ impl Layer for Dropout {
     }
 
     fn forward_infer(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
-        // Inverted dropout is the identity at inference.
-        let mut y = ws.take(x.rows(), x.cols());
+        // Inverted dropout is the identity at inference; the copy overwrites
+        // the whole buffer, so no zero fill is needed.
+        let mut y = ws.take_full(x.rows(), x.cols());
         y.as_mut_slice().copy_from_slice(x.as_slice());
         y
     }
@@ -455,6 +494,12 @@ impl Layer for Dropout {
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
 
     fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
+
+    /// Inverted dropout is the identity at inference, so its quantized form
+    /// is the identity stage.
+    fn quantize_layer(&self, _mode: QuantMode) -> Option<QuantLayer> {
+        Some(QuantLayer::Identity)
+    }
 }
 
 /// A sequential stack of layers.
@@ -485,6 +530,23 @@ impl Sequential {
     /// Whether the stack is empty.
     pub fn is_empty(&self) -> bool {
         self.layers.is_empty()
+    }
+
+    /// One-shot post-training quantization of the frozen stack: every layer
+    /// is converted to its reduced-precision inference form (see
+    /// [`crate::quant`]). Panics if a layer does not support quantization —
+    /// all layers in this crate do.
+    pub fn quantized(&self, mode: QuantMode) -> QuantizedSequential {
+        let layers = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                l.quantize_layer(mode)
+                    .unwrap_or_else(|| panic!("layer {i} does not support quantization"))
+            })
+            .collect();
+        QuantizedSequential::from_layers(mode, layers)
     }
 }
 

@@ -44,18 +44,21 @@
 
 pub mod embedding;
 pub mod gemm;
+pub mod gemv;
 pub mod init;
 pub mod layers;
 pub mod loss;
 pub mod made;
 pub mod optimizer;
+pub mod quant;
 pub mod serialize;
 pub mod tensor;
 pub mod workspace;
 
 pub use layers::{Dense, Dropout, Layer, MaskedDense, Param, Relu, Sequential, Sigmoid};
-pub use made::{Made, MadeConfig};
+pub use made::{Made, MadeConfig, QuantizedMade};
 pub use optimizer::{Adam, Optimizer, Sgd};
+pub use quant::{QuantMode, QuantizedDense, QuantizedSequential};
 pub use tensor::Matrix;
 pub use workspace::Workspace;
 

@@ -17,6 +17,7 @@
 
 use crate::embedding::Embedding;
 use crate::layers::{Layer, MaskedDense, Param, Relu};
+use crate::quant::{QuantLayer, QuantMode, QuantizedDense, QuantizedEmbedding};
 use crate::tensor::Matrix;
 use crate::workspace::Workspace;
 use rand::Rng;
@@ -350,6 +351,168 @@ impl Made {
         }
         v
     }
+
+    /// One-shot quantization of the frozen model: every masked layer's
+    /// weights (masked entries are exactly zero, so they quantize to exactly
+    /// zero and the autoregressive property survives) and every embedding
+    /// table, at the given [`QuantMode`]. The result owns no f32 weights.
+    pub fn quantized(&self, mode: QuantMode) -> QuantizedMade {
+        let embeddings = self
+            .embeddings
+            .iter()
+            .map(|e| QuantizedEmbedding::from_table(e.values(), mode))
+            .collect();
+        QuantizedMade {
+            spaces: self.cfg.spaces.clone(),
+            embed_dim: self.cfg.embed_dim,
+            segments: self.segments.clone(),
+            embeddings,
+            input_layer: quantize_masked(&self.input_layer, mode),
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| (quantize_masked(&b.l1, mode), quantize_masked(&b.l2, mode)))
+                .collect(),
+            output_layer: quantize_masked(&self.output_layer, mode),
+            mode,
+        }
+    }
+}
+
+fn quantize_masked(layer: &MaskedDense, mode: QuantMode) -> QuantizedDense {
+    match layer.quantize_layer(mode) {
+        Some(QuantLayer::Dense(d)) => d,
+        _ => unreachable!("MaskedDense quantizes to a dense stage"),
+    }
+}
+
+fn relu_in_place(m: &mut Matrix) {
+    for v in m.as_mut_slice() {
+        *v = v.max(0.0);
+    }
+}
+
+/// A frozen, quantized ResMADE: the inference surface of [`Made`]
+/// (`forward_ids_infer` / `forward_ids_segment`) over int8 or bf16 weights
+/// with f32 accumulation. Built by [`Made::quantized`]; owns no f32 weights,
+/// so [`QuantizedMade::memory_bytes`] reports the true quantized footprint.
+pub struct QuantizedMade {
+    spaces: Vec<usize>,
+    embed_dim: usize,
+    segments: Vec<usize>,
+    embeddings: Vec<QuantizedEmbedding>,
+    input_layer: QuantizedDense,
+    blocks: Vec<(QuantizedDense, QuantizedDense)>,
+    output_layer: QuantizedDense,
+    mode: QuantMode,
+}
+
+impl QuantizedMade {
+    /// The quantization mode this model was built with.
+    pub fn mode(&self) -> QuantMode {
+        self.mode
+    }
+
+    /// Logit segment widths per position.
+    pub fn segments(&self) -> &[usize] {
+        &self.segments
+    }
+
+    /// Number of autoregressive positions.
+    pub fn positions(&self) -> usize {
+        self.spaces.len()
+    }
+
+    fn encode_input(&self, batch_ids: &[Vec<usize>], ws: &mut Workspace) -> Matrix {
+        let k = self.positions();
+        if self.embed_dim > 0 {
+            let dim = self.embed_dim;
+            // Every row is fully overwritten (the position blocks tile it),
+            // so the unspecified-contents buffer is safe here.
+            let mut x = ws.take_full(batch_ids.len(), k * dim);
+            for (r, ids) in batch_ids.iter().enumerate() {
+                debug_assert_eq!(ids.len(), k);
+                let row = x.row_mut(r);
+                for (pos, &id) in ids.iter().enumerate() {
+                    let table = &self.embeddings[self.spaces[pos]];
+                    table.lookup_into(id, &mut row[pos * dim..(pos + 1) * dim]);
+                }
+            }
+            x
+        } else {
+            // One-hot relies on the zeroed `take` contract.
+            let width: usize = self.segments.iter().sum();
+            let mut x = ws.take(batch_ids.len(), width);
+            for (r, ids) in batch_ids.iter().enumerate() {
+                let row = x.row_mut(r);
+                let mut offset = 0;
+                for (pos, &id) in ids.iter().enumerate() {
+                    row[offset + id] = 1.0;
+                    offset += self.segments[pos];
+                }
+            }
+            x
+        }
+    }
+
+    fn hidden_infer(&self, batch_ids: &[Vec<usize>], ws: &mut Workspace) -> Matrix {
+        let x = self.encode_input(batch_ids, ws);
+        let mut h = self.input_layer.forward_infer(&x, ws);
+        ws.recycle(x);
+        relu_in_place(&mut h);
+        for (l1, l2) in &self.blocks {
+            let mut a = l1.forward_infer(&h, ws);
+            relu_in_place(&mut a);
+            let mut c = l2.forward_infer(&a, ws);
+            ws.recycle(a);
+            c.add_assign(&h);
+            relu_in_place(&mut c);
+            ws.recycle(h);
+            h = c;
+        }
+        h
+    }
+
+    /// Full-logit inference forward (`batch × Σ segments`); the quantized
+    /// counterpart of [`Made::forward_ids_infer`]. Shared-state (`&self`),
+    /// buffers from the caller's [`Workspace`].
+    pub fn forward_ids_infer(&self, batch_ids: &[Vec<usize>], ws: &mut Workspace) -> Matrix {
+        let h = self.hidden_infer(batch_ids, ws);
+        let out = self.output_layer.forward_infer(&h, ws);
+        ws.recycle(h);
+        out
+    }
+
+    /// Single-segment inference forward (`batch × segments[pos]`); the
+    /// quantized counterpart of [`Made::forward_ids_segment`].
+    pub fn forward_ids_segment(&self, batch_ids: &[Vec<usize>], pos: usize, ws: &mut Workspace) -> Matrix {
+        let h = self.hidden_infer(batch_ids, ws);
+        let lo: usize = self.segments[..pos].iter().sum();
+        let hi = lo + self.segments[pos];
+        let out = self.output_layer.forward_columns_infer(&h, lo, hi, ws);
+        ws.recycle(h);
+        out
+    }
+
+    /// Total scalar parameter count (weights, scales, biases, embeddings).
+    pub fn param_count(&self) -> usize {
+        let mut n: usize = self.embeddings.iter().map(|e| e.param_count()).sum();
+        n += self.input_layer.param_count() + self.output_layer.param_count();
+        for (l1, l2) in &self.blocks {
+            n += l1.param_count() + l2.param_count();
+        }
+        n
+    }
+
+    /// Model size in bytes at the quantized representation.
+    pub fn memory_bytes(&self) -> usize {
+        let mut n: usize = self.embeddings.iter().map(|e| e.memory_bytes()).sum();
+        n += self.input_layer.memory_bytes() + self.output_layer.memory_bytes();
+        for (l1, l2) in &self.blocks {
+            n += l1.memory_bytes() + l2.memory_bytes();
+        }
+        n
+    }
 }
 
 impl Layer for Made {
@@ -623,6 +786,64 @@ mod tests {
         let n = made.param_count();
         assert!(n > 0);
         assert_eq!(made.memory_bytes(), n * 4);
+    }
+
+    /// Quantized inference must track the f32 model closely (it is not
+    /// bitwise — the analytic error bound is `scale/2` per weight — but on a
+    /// trained-scale random model the logit drift stays small) and the
+    /// quantized model's own segment forward must slice its full forward
+    /// bitwise.
+    #[test]
+    fn quantized_forward_tracks_f32_and_slices_consistently() {
+        for embed in [4usize, 0] {
+            let mut rng = StdRng::seed_from_u64(17);
+            let made = Made::new(&mut rng, tiny_cfg(embed));
+            let batch = vec![vec![0usize, 2, 1], vec![3, 0, 2], vec![1, 1, 3]];
+            let mut ws = Workspace::new();
+            let full_f32 = made.forward_ids_infer(&batch, &mut ws);
+
+            for mode in [QuantMode::Int8, QuantMode::Bf16] {
+                let q = made.quantized(mode);
+                assert_eq!(q.segments(), made.segments());
+                let full_q = q.forward_ids_infer(&batch, &mut ws);
+                assert_eq!((full_q.rows(), full_q.cols()), (full_f32.rows(), full_f32.cols()));
+                for (a, b) in full_f32.as_slice().iter().zip(full_q.as_slice()) {
+                    assert!((a - b).abs() < 0.05, "mode {mode:?} embed {embed}: {a} vs {b}");
+                }
+                let mut offset = 0;
+                for pos in 0..q.segments().len() {
+                    let width = q.segments()[pos];
+                    let sliced = q.forward_ids_segment(&batch, pos, &mut ws);
+                    for r in 0..batch.len() {
+                        assert_eq!(sliced.row(r), &full_q.row(r)[offset..offset + width]);
+                    }
+                    offset += width;
+                }
+            }
+        }
+    }
+
+    /// Int8 quantization must shrink the model ≥ 3.5×, bf16 ≥ 2×.
+    #[test]
+    fn quantized_memory_shrinks_by_mode_ratio() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = MadeConfig {
+            vocab_sizes: vec![64, 32],
+            spaces: vec![0, 1, 0],
+            hidden: 128,
+            blocks: 2,
+            embed_dim: 32,
+        };
+        let made = Made::new(&mut rng, cfg);
+        let f32_bytes = made.memory_bytes();
+        let int8 = made.quantized(QuantMode::Int8).memory_bytes();
+        let bf16 = made.quantized(QuantMode::Bf16).memory_bytes();
+        assert!(int8 * 7 <= f32_bytes * 2, "int8 {int8} vs f32 {f32_bytes}");
+        // bf16 halves the weights but keeps f32 biases, so allow that margin.
+        assert!(
+            bf16 * 2 <= f32_bytes + made.param_count(),
+            "bf16 {bf16} vs f32 {f32_bytes}"
+        );
     }
 
     #[test]

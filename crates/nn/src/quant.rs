@@ -1,0 +1,735 @@
+//! Post-training quantization for frozen models: int8 and bf16 weights with
+//! f32 accumulation.
+//!
+//! At serving time the models are memory-bound (see [`crate::gemv`]): the
+//! binding cost of an estimate is streaming the weight matrices. Shrinking
+//! the weights shrinks that traffic — and the resident model — by 4× (int8)
+//! or 2× (bf16). The transform is one-shot and offline: a trained, frozen
+//! `f32` model is walked once ([`crate::Sequential::quantized`],
+//! [`crate::Made::quantized`]) and the compact representation serves all
+//! subsequent inference. Training never sees quantized weights.
+//!
+//! Numerics:
+//!
+//! * **Int8** is symmetric per-output-channel: column `j` of a weight
+//!   matrix stores `q = round(w / scale_j)` clamped to `[-127, 127]` with
+//!   `scale_j = max|w[:, j]| / 127`, so every dequantized weight is within
+//!   `scale_j / 2` of the original (the analytic bound the proptests
+//!   enforce). The forward pass accumulates `Σ x·q` in f32 and applies the
+//!   scale once per output: `y_j = scale_j · Σ_k x_k q_kj + b_j`.
+//! * **Bf16** keeps the top 16 bits of the f32 representation
+//!   (round-to-nearest-even), a ~2⁻⁸ relative error per weight; the forward
+//!   pass widens each weight back to f32 and accumulates in f32.
+//!
+//! Unlike the GEMV/blocked split, quantized inference is **not** bitwise
+//! equal to f32 inference — it is gated on estimator q-error instead (the
+//! `quantized-parity` CI leg). Biases stay f32 in both modes: they are
+//! `O(width)` against `O(width²)` weights, and estimator accuracy is
+//! sensitive to output offsets.
+
+use crate::tensor::Matrix;
+use crate::workspace::Workspace;
+use std::io::{self, Read, Write};
+
+/// Which reduced-precision representation a quantized model uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuantMode {
+    /// Symmetric per-output-channel int8 weights (4× smaller than f32).
+    Int8,
+    /// Truncated-mantissa bf16 weights (2× smaller than f32).
+    Bf16,
+}
+
+impl QuantMode {
+    /// Stable human-readable name (flags, logs, bench artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantMode::Int8 => "int8",
+            QuantMode::Bf16 => "bf16",
+        }
+    }
+
+    /// Parses the [`QuantMode::name`] form (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "int8" => Some(QuantMode::Int8),
+            "bf16" => Some(QuantMode::Bf16),
+            _ => None,
+        }
+    }
+}
+
+/// Converts an `f32` to bf16 bits with round-to-nearest-even.
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Keep sign and a quiet payload so the value stays a NaN.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let round = 0x7FFF + ((bits >> 16) & 1);
+    ((bits.wrapping_add(round)) >> 16) as u16
+}
+
+/// Widens bf16 bits back to `f32` (exact).
+pub fn bf16_to_f32(h: u16) -> f32 {
+    f32::from_bits(u32::from(h) << 16)
+}
+
+/// The per-output-channel int8 scale for a weight column with maximum
+/// absolute value `amax` (1.0 when the column is all-zero, so `q = 0`
+/// round-trips exactly).
+pub fn int8_scale(amax: f32) -> f32 {
+    if amax == 0.0 {
+        1.0
+    } else {
+        amax / 127.0
+    }
+}
+
+/// Quantized weight storage of one dense layer (row-major `fan_in × fan_out`,
+/// matching the f32 layout).
+enum QuantWeights {
+    /// `q = round(w / scale_col)` with one scale per output column.
+    Int8 { q: Vec<i8>, scales: Vec<f32> },
+    /// bf16 bit patterns of the original weights.
+    Bf16 { h: Vec<u16> },
+}
+
+/// A frozen dense layer with reduced-precision weights and f32 bias —
+/// the quantized form of both [`crate::Dense`] and [`crate::MaskedDense`]
+/// (the connectivity mask is already baked into the weights: masked entries
+/// are exactly zero and quantize to exactly zero).
+pub struct QuantizedDense {
+    fan_in: usize,
+    fan_out: usize,
+    weights: QuantWeights,
+    bias: Vec<f32>,
+}
+
+impl QuantizedDense {
+    /// Quantizes a `fan_in × fan_out` weight matrix plus bias row.
+    pub fn from_weights(w: &Matrix, bias: &[f32], mode: QuantMode) -> Self {
+        let (fan_in, fan_out) = (w.rows(), w.cols());
+        assert_eq!(bias.len(), fan_out, "bias length must match fan_out");
+        let weights = match mode {
+            QuantMode::Int8 => {
+                let mut scales = vec![0.0f32; fan_out];
+                for r in 0..fan_in {
+                    for (s, &v) in scales.iter_mut().zip(w.row(r)) {
+                        *s = s.max(v.abs());
+                    }
+                }
+                for s in &mut scales {
+                    *s = int8_scale(*s);
+                }
+                let mut q = Vec::with_capacity(fan_in * fan_out);
+                for r in 0..fan_in {
+                    for (j, &v) in w.row(r).iter().enumerate() {
+                        q.push((v / scales[j]).round().clamp(-127.0, 127.0) as i8);
+                    }
+                }
+                QuantWeights::Int8 { q, scales }
+            }
+            QuantMode::Bf16 => QuantWeights::Bf16 {
+                h: w.as_slice().iter().map(|&v| f32_to_bf16(v)).collect(),
+            },
+        };
+        Self {
+            fan_in,
+            fan_out,
+            weights,
+            bias: bias.to_vec(),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// Output dimensionality.
+    pub fn fan_out(&self) -> usize {
+        self.fan_out
+    }
+
+    /// The quantization mode of this layer.
+    pub fn mode(&self) -> QuantMode {
+        match self.weights {
+            QuantWeights::Int8 { .. } => QuantMode::Int8,
+            QuantWeights::Bf16 { .. } => QuantMode::Bf16,
+        }
+    }
+
+    /// Per-output-channel scales (int8 mode only).
+    pub fn scales(&self) -> Option<&[f32]> {
+        match &self.weights {
+            QuantWeights::Int8 { scales, .. } => Some(scales),
+            QuantWeights::Bf16 { .. } => None,
+        }
+    }
+
+    /// The dequantized weight matrix `w' ≈ w` (test/diagnostic surface for
+    /// the analytic error bounds).
+    pub fn dequantized_weights(&self) -> Matrix {
+        match &self.weights {
+            QuantWeights::Int8 { q, scales } => Matrix::from_fn(self.fan_in, self.fan_out, |r, c| {
+                f32::from(q[r * self.fan_out + c]) * scales[c]
+            }),
+            QuantWeights::Bf16 { h } => {
+                Matrix::from_fn(self.fan_in, self.fan_out, |r, c| bf16_to_f32(h[r * self.fan_out + c]))
+            }
+        }
+    }
+
+    /// Actual bytes held by this layer (quantized weights + scales + f32
+    /// bias) — the honest number behind quantized `memory_bytes`.
+    pub fn memory_bytes(&self) -> usize {
+        let w = match &self.weights {
+            QuantWeights::Int8 { q, scales } => q.len() + scales.len() * 4,
+            QuantWeights::Bf16 { h } => h.len() * 2,
+        };
+        w + self.bias.len() * 4
+    }
+
+    /// Number of scalar parameters represented (weights + bias).
+    pub fn param_count(&self) -> usize {
+        self.fan_in * self.fan_out + self.bias.len()
+    }
+
+    /// `y = x·W' + b` into a workspace buffer; accumulation is f32.
+    pub fn forward_infer(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        self.forward_columns_infer(x, 0, self.fan_out, ws)
+    }
+
+    /// Column-sliced forward `y = x·W'[:, lo..hi] + b[lo..hi]` — the
+    /// quantized counterpart of
+    /// [`crate::MaskedDense::forward_columns_infer`], used by the
+    /// autoregressive sampler to evaluate one logit segment per step.
+    pub fn forward_columns_infer(&self, x: &Matrix, lo: usize, hi: usize, ws: &mut Workspace) -> Matrix {
+        assert_eq!(x.cols(), self.fan_in, "input width must match fan_in");
+        assert!(lo <= hi && hi <= self.fan_out, "column slice out of range");
+        let (m, n, width) = (x.rows(), self.fan_out, hi - lo);
+        let mut y = ws.take(m, width);
+        for r in 0..m {
+            let xrow = x.row(r);
+            let orow = y.row_mut(r);
+            match &self.weights {
+                QuantWeights::Int8 { q, scales } => {
+                    for (kk, &xv) in xrow.iter().enumerate() {
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        let wrow = &q[kk * n + lo..kk * n + hi];
+                        for (o, &qv) in orow.iter_mut().zip(wrow) {
+                            *o += xv * f32::from(qv);
+                        }
+                    }
+                    for ((o, &s), &b) in orow.iter_mut().zip(&scales[lo..hi]).zip(&self.bias[lo..hi]) {
+                        *o = *o * s + b;
+                    }
+                }
+                QuantWeights::Bf16 { h } => {
+                    for (kk, &xv) in xrow.iter().enumerate() {
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        let wrow = &h[kk * n + lo..kk * n + hi];
+                        for (o, &hv) in orow.iter_mut().zip(wrow) {
+                            *o += xv * bf16_to_f32(hv);
+                        }
+                    }
+                    for (o, &b) in orow.iter_mut().zip(&self.bias[lo..hi]) {
+                        *o += b;
+                    }
+                }
+            }
+        }
+        y
+    }
+}
+
+/// One stage of a [`QuantizedSequential`]: the quantized forms of the five
+/// layer kinds the f32 [`crate::Sequential`] models use.
+pub enum QuantLayer {
+    /// Quantized [`crate::Dense`] / [`crate::MaskedDense`].
+    Dense(QuantizedDense),
+    /// ReLU (parameter-free, unchanged by quantization).
+    Relu,
+    /// Logistic sigmoid (parameter-free).
+    Sigmoid,
+    /// Identity — the inference-time behavior of [`crate::Dropout`].
+    Identity,
+}
+
+impl QuantLayer {
+    fn forward_infer_owned(&self, x: Matrix, ws: &mut Workspace) -> Matrix {
+        match self {
+            QuantLayer::Dense(d) => {
+                let y = d.forward_infer(&x, ws);
+                ws.recycle(x);
+                y
+            }
+            QuantLayer::Relu => {
+                let mut x = x;
+                x.as_mut_slice().iter_mut().for_each(|v| *v = v.max(0.0));
+                x
+            }
+            QuantLayer::Sigmoid => {
+                let mut x = x;
+                x.as_mut_slice().iter_mut().for_each(|v| *v = 1.0 / (1.0 + (-*v).exp()));
+                x
+            }
+            QuantLayer::Identity => x,
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            QuantLayer::Dense(d) => d.memory_bytes(),
+            _ => 0,
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        match self {
+            QuantLayer::Dense(d) => d.param_count(),
+            _ => 0,
+        }
+    }
+}
+
+/// A frozen, quantized sequential model: the inference-only counterpart of
+/// [`crate::Sequential`], produced by [`crate::Sequential::quantized`].
+pub struct QuantizedSequential {
+    mode: QuantMode,
+    layers: Vec<QuantLayer>,
+}
+
+impl QuantizedSequential {
+    /// Assembles a model from already-quantized layers.
+    pub fn from_layers(mode: QuantMode, layers: Vec<QuantLayer>) -> Self {
+        Self { mode, layers }
+    }
+
+    /// The quantization mode.
+    pub fn mode(&self) -> QuantMode {
+        self.mode
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Shared-state inference forward, mirroring
+    /// [`crate::Layer::forward_infer`]: buffers from the caller's
+    /// [`Workspace`], safe from any number of threads concurrently.
+    pub fn forward_infer(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let mut h = match self.layers.first() {
+            Some(QuantLayer::Dense(d)) => d.forward_infer(x, ws),
+            Some(_) | None => {
+                let mut h = ws.take_full(x.rows(), x.cols());
+                h.as_mut_slice().copy_from_slice(x.as_slice());
+                if let Some(first) = self.layers.first() {
+                    h = first.forward_infer_owned(h, ws);
+                }
+                h
+            }
+        };
+        for layer in self.layers.iter().skip(1) {
+            h = layer.forward_infer_owned(h, ws);
+        }
+        h
+    }
+
+    /// Actual resident bytes of the quantized parameters.
+    pub fn memory_bytes(&self) -> usize {
+        self.layers.iter().map(QuantLayer::memory_bytes).sum()
+    }
+
+    /// Number of scalar parameters represented.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(QuantLayer::param_count).sum()
+    }
+
+    /// Serializes the model (self-describing; see [`QUANT_MAGIC`]).
+    pub fn save<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        writer.write_all(QUANT_MAGIC)?;
+        writer.write_all(&[match self.mode {
+            QuantMode::Int8 => 0u8,
+            QuantMode::Bf16 => 1u8,
+        }])?;
+        writer.write_all(&(self.layers.len() as u32).to_le_bytes())?;
+        for layer in &self.layers {
+            match layer {
+                QuantLayer::Dense(d) => {
+                    writer.write_all(&[0u8])?;
+                    writer.write_all(&(d.fan_in as u32).to_le_bytes())?;
+                    writer.write_all(&(d.fan_out as u32).to_le_bytes())?;
+                    match &d.weights {
+                        QuantWeights::Int8 { q, scales } => {
+                            let bytes: Vec<u8> = q.iter().map(|&v| v as u8).collect();
+                            writer.write_all(&bytes)?;
+                            for &s in scales {
+                                writer.write_all(&s.to_le_bytes())?;
+                            }
+                        }
+                        QuantWeights::Bf16 { h } => {
+                            for &v in h {
+                                writer.write_all(&v.to_le_bytes())?;
+                            }
+                        }
+                    }
+                    for &b in &d.bias {
+                        writer.write_all(&b.to_le_bytes())?;
+                    }
+                }
+                QuantLayer::Relu => writer.write_all(&[1u8])?,
+                QuantLayer::Sigmoid => writer.write_all(&[2u8])?,
+                QuantLayer::Identity => writer.write_all(&[3u8])?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores a model serialized by [`QuantizedSequential::save`].
+    pub fn load<R: Read>(reader: &mut R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != QUANT_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad magic: not an LMKG quantized-model file",
+            ));
+        }
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        let mode = match byte[0] {
+            0 => QuantMode::Int8,
+            1 => QuantMode::Bf16,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown quantization mode tag {other}"),
+                ))
+            }
+        };
+        let count = read_u32(reader)? as usize;
+        let mut layers = Vec::with_capacity(count);
+        for i in 0..count {
+            reader.read_exact(&mut byte)?;
+            match byte[0] {
+                0 => {
+                    let fan_in = read_u32(reader)? as usize;
+                    let fan_out = read_u32(reader)? as usize;
+                    let len = fan_in * fan_out;
+                    let weights = match mode {
+                        QuantMode::Int8 => {
+                            let mut bytes = vec![0u8; len];
+                            reader.read_exact(&mut bytes)?;
+                            let q = bytes.iter().map(|&v| v as i8).collect();
+                            let scales = read_f32s(reader, fan_out)?;
+                            QuantWeights::Int8 { q, scales }
+                        }
+                        QuantMode::Bf16 => {
+                            let mut h = vec![0u16; len];
+                            let mut buf = [0u8; 2];
+                            for v in &mut h {
+                                reader.read_exact(&mut buf)?;
+                                *v = u16::from_le_bytes(buf);
+                            }
+                            QuantWeights::Bf16 { h }
+                        }
+                    };
+                    let bias = read_f32s(reader, fan_out)?;
+                    layers.push(QuantLayer::Dense(QuantizedDense {
+                        fan_in,
+                        fan_out,
+                        weights,
+                        bias,
+                    }));
+                }
+                1 => layers.push(QuantLayer::Relu),
+                2 => layers.push(QuantLayer::Sigmoid),
+                3 => layers.push(QuantLayer::Identity),
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("layer {i}: unknown layer tag {other}"),
+                    ))
+                }
+            }
+        }
+        Ok(Self { mode, layers })
+    }
+}
+
+/// Magic prefix of the quantized-model format (parallel to the f32 format's
+/// `LMKGNN1\0` in [`crate::serialize`]).
+pub const QUANT_MAGIC: &[u8; 8] = b"LMKGQT1\0";
+
+fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_f32s<R: Read>(reader: &mut R, n: usize) -> io::Result<Vec<f32>> {
+    let mut out = vec![0.0f32; n];
+    let mut buf = [0u8; 4];
+    for v in &mut out {
+        reader.read_exact(&mut buf)?;
+        *v = f32::from_le_bytes(buf);
+    }
+    Ok(out)
+}
+
+/// A quantized embedding table (`vocab × dim`) with per-**row** int8 scales:
+/// each vocabulary entry is one lookup unit, so its scale travels with the
+/// row. The quantized form of [`crate::embedding::Embedding`].
+pub struct QuantizedEmbedding {
+    vocab: usize,
+    dim: usize,
+    table: QuantTable,
+}
+
+enum QuantTable {
+    Int8 { q: Vec<i8>, scales: Vec<f32> },
+    Bf16 { h: Vec<u16> },
+}
+
+impl QuantizedEmbedding {
+    /// Quantizes a `vocab × dim` table.
+    pub fn from_table(table: &Matrix, mode: QuantMode) -> Self {
+        let (vocab, dim) = (table.rows(), table.cols());
+        let t = match mode {
+            QuantMode::Int8 => {
+                let mut q = Vec::with_capacity(vocab * dim);
+                let mut scales = Vec::with_capacity(vocab);
+                for r in 0..vocab {
+                    let row = table.row(r);
+                    let amax = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                    let scale = int8_scale(amax);
+                    scales.push(scale);
+                    q.extend(row.iter().map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8));
+                }
+                QuantTable::Int8 { q, scales }
+            }
+            QuantMode::Bf16 => QuantTable::Bf16 {
+                h: table.as_slice().iter().map(|&v| f32_to_bf16(v)).collect(),
+            },
+        };
+        Self { vocab, dim, table: t }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Writes the dequantized embedding of `id` into `out` (length `dim`).
+    pub fn lookup_into(&self, id: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.dim);
+        match &self.table {
+            QuantTable::Int8 { q, scales } => {
+                let s = scales[id];
+                for (o, &v) in out.iter_mut().zip(&q[id * self.dim..(id + 1) * self.dim]) {
+                    *o = f32::from(v) * s;
+                }
+            }
+            QuantTable::Bf16 { h } => {
+                for (o, &v) in out.iter_mut().zip(&h[id * self.dim..(id + 1) * self.dim]) {
+                    *o = bf16_to_f32(v);
+                }
+            }
+        }
+    }
+
+    /// Actual bytes held by the table.
+    pub fn memory_bytes(&self) -> usize {
+        match &self.table {
+            QuantTable::Int8 { q, scales } => q.len() + scales.len() * 4,
+            QuantTable::Bf16 { h } => h.len() * 2,
+        }
+    }
+
+    /// Number of scalar parameters represented.
+    pub fn param_count(&self) -> usize {
+        self.vocab * self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Dropout, Layer, Relu, Sequential, Sigmoid};
+    use crate::test_support::seeded_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture_model() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut m = Sequential::new();
+        m.push(Dense::new_he(&mut rng, 12, 64));
+        m.push(Relu::new());
+        m.push(Dropout::new(0.1, 7));
+        m.push(Dense::new_he(&mut rng, 64, 64));
+        m.push(Relu::new());
+        m.push(Dense::new_xavier(&mut rng, 64, 1));
+        m.push(Sigmoid::new());
+        m
+    }
+
+    #[test]
+    fn bf16_roundtrip_is_exact_for_representable_values() {
+        for v in [0.0f32, -0.0, 1.0, -2.5, 0.15625, f32::INFINITY] {
+            assert_eq!(bf16_to_f32(f32_to_bf16(v)), v);
+        }
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn bf16_error_is_bounded_relative() {
+        let m = seeded_matrix(50, 40, 5);
+        for &v in m.as_slice() {
+            let back = bf16_to_f32(f32_to_bf16(v));
+            assert!((back - v).abs() <= v.abs() / 256.0, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn int8_dequantization_error_within_half_scale() {
+        let w = seeded_matrix(37, 23, 9);
+        let d = QuantizedDense::from_weights(&w, &[0.0; 23], QuantMode::Int8);
+        let scales = d.scales().unwrap();
+        let wq = d.dequantized_weights();
+        for r in 0..w.rows() {
+            for (c, &scale) in scales.iter().enumerate() {
+                let err = (w.get(r, c) - wq.get(r, c)).abs();
+                assert!(
+                    err <= scale / 2.0 + f32::EPSILON,
+                    "({r},{c}): err {err} vs scale/2 {}",
+                    scale / 2.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_columns_quantize_to_exact_zero() {
+        let mut w = seeded_matrix(8, 3, 1);
+        for r in 0..8 {
+            w.set(r, 1, 0.0);
+        }
+        let d = QuantizedDense::from_weights(&w, &[0.0; 3], QuantMode::Int8);
+        let wq = d.dequantized_weights();
+        for r in 0..8 {
+            assert_eq!(wq.get(r, 1), 0.0);
+        }
+        assert_eq!(d.scales().unwrap()[1], 1.0);
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_forward() {
+        let mut model = fixture_model();
+        let x = seeded_matrix(6, 12, 3);
+        let expected = model.forward(&x, false);
+        for mode in [QuantMode::Int8, QuantMode::Bf16] {
+            let q = model.quantized(mode);
+            let mut ws = Workspace::new();
+            let got = q.forward_infer(&x, &mut ws);
+            for (g, e) in got.as_slice().iter().zip(expected.as_slice()) {
+                assert!((g - e).abs() < 0.05, "{} mode: {g} vs {e}", mode.name());
+            }
+        }
+    }
+
+    /// Measured at serving-representative widths (fan_in ≥ 64). Narrower
+    /// layers keep their f32 biases and per-column scales, which dominate
+    /// below that and cap the achievable ratio — the analytic ratio for a
+    /// dense layer is `(4·fan_in + 4) / (fan_in + 8)`.
+    #[test]
+    fn memory_shrinks_by_mode_ratio() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut model = Sequential::new();
+        model.push(Dense::new_he(&mut rng, 64, 128));
+        model.push(Relu::new());
+        model.push(Dense::new_he(&mut rng, 128, 128));
+        model.push(Relu::new());
+        model.push(Dense::new_xavier(&mut rng, 128, 1));
+        model.push(Sigmoid::new());
+        let f32_bytes = model.param_count() * 4;
+        let int8 = model.quantized(QuantMode::Int8).memory_bytes();
+        let bf16 = model.quantized(QuantMode::Bf16).memory_bytes();
+        assert!(
+            int8 * 7 / 2 <= f32_bytes,
+            "int8 {int8} bytes must be ≥3.5× smaller than {f32_bytes}"
+        );
+        assert!(
+            bf16 * 2 <= f32_bytes + model.param_count(),
+            "bf16 {bf16} vs {f32_bytes}"
+        );
+        assert_eq!(model.quantized(QuantMode::Int8).param_count(), model.param_count());
+    }
+
+    #[test]
+    fn serialize_roundtrip_reproduces_outputs_bitwise() {
+        let mut model = fixture_model();
+        let x = seeded_matrix(4, 12, 8);
+        let _ = model.forward(&x, false);
+        for mode in [QuantMode::Int8, QuantMode::Bf16] {
+            let q = model.quantized(mode);
+            let mut ws = Workspace::new();
+            let expected = q.forward_infer(&x, &mut ws);
+            let mut buf = Vec::new();
+            q.save(&mut buf).unwrap();
+            let loaded = QuantizedSequential::load(&mut buf.as_slice()).unwrap();
+            assert_eq!(loaded.mode(), mode);
+            assert_eq!(loaded.len(), q.len());
+            assert_eq!(loaded.memory_bytes(), q.memory_bytes());
+            let got = loaded.forward_infer(&x, &mut ws);
+            assert_eq!(got, expected, "{} roundtrip must be bitwise", mode.name());
+        }
+    }
+
+    #[test]
+    fn load_rejects_bad_magic_and_bad_tags() {
+        assert!(QuantizedSequential::load(&mut b"NOTQUANT".as_slice()).is_err());
+        let mut buf = Vec::new();
+        fixture_model().quantized(QuantMode::Int8).save(&mut buf).unwrap();
+        buf[8] = 9; // invalid mode tag
+        assert!(QuantizedSequential::load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn quantized_embedding_lookup_matches_dequantized_table() {
+        let table = seeded_matrix(11, 16, 21);
+        for mode in [QuantMode::Int8, QuantMode::Bf16] {
+            let qe = QuantizedEmbedding::from_table(&table, mode);
+            assert_eq!((qe.vocab(), qe.dim()), (11, 16));
+            let mut buf = vec![0.0f32; 16];
+            for id in 0..11 {
+                qe.lookup_into(id, &mut buf);
+                let amax = table.row(id).iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                let bound = match mode {
+                    QuantMode::Int8 => int8_scale(amax) / 2.0 + f32::EPSILON,
+                    QuantMode::Bf16 => amax / 256.0,
+                };
+                for (got, &want) in buf.iter().zip(table.row(id)) {
+                    assert!((got - want).abs() <= bound, "id {id}: {got} vs {want}");
+                }
+            }
+            assert!(qe.memory_bytes() < 11 * 16 * 4);
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! count (see the determinism contract in [`crate::gemm`]).
 
 use crate::gemm::{self, Kernel, MatRef};
+use crate::gemv;
 use std::sync::OnceLock;
 
 /// Default minimum work size (`m·k·n` multiply-adds) before a matmul is
@@ -408,7 +409,7 @@ fn matmul_cols_dispatch_into(
 }
 
 /// Splits the output rows of `c = a·b` into contiguous chunks, one scoped
-/// thread each, and runs the blocked core on every chunk. Each output
+/// thread each, and runs the serial core on every chunk. Each output
 /// element is produced by exactly one thread with the same ascending-`k`
 /// accumulation order, so the thread count never changes results.
 fn gemm_threaded(kernel: Kernel, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], threads: usize) {
@@ -422,13 +423,86 @@ fn gemm_threaded(kernel: Kernel, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], 
                 let (head, tail) = rest.split_at_mut(chunk * n);
                 rest = tail;
                 let a_part = a.row_window(row0, chunk);
-                s.spawn(move || gemm::gemm_serial(kernel, a_part, b, head));
+                s.spawn(move || gemm_serial_auto(kernel, a_part, b, head));
                 row0 += chunk;
             }
-            gemm::gemm_serial(kernel, a.row_window(row0, m - row0), b, rest);
+            gemm_serial_auto(kernel, a.row_window(row0, m - row0), b, rest);
         });
     } else {
+        gemm_serial_auto(kernel, a, b, out);
+    }
+}
+
+/// Serial core selection: row windows of at most [`gemv::GEMV_MAX_M`] rows
+/// take the pack-free GEMV fast path, everything else the blocked packed
+/// core. The two are bitwise-equal (see [`crate::gemv`]), so this is purely
+/// a performance decision.
+fn gemm_serial_auto(kernel: Kernel, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32]) {
+    if a.rows() <= gemv::GEMV_MAX_M {
+        gemv::gemv_serial(kernel, a, b, out);
+    } else {
         gemm::gemm_serial(kernel, a, b, out);
+    }
+}
+
+/// `A·B` through an explicitly chosen serial core — the forced-path surface
+/// behind [`crate::gemv`]'s bench/parity entry points.
+pub(crate) fn matmul_forced(kernel: Kernel, a: &Matrix, b: &Matrix, use_gemv: bool) -> Matrix {
+    assert_eq!(a.cols, b.rows, "matmul inner dimensions must agree");
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let mut out = Matrix::zeros(m, n);
+    let av = MatRef::new(&a.data, 0, k, 1, m, k);
+    let bv = MatRef::new(&b.data, 0, n, 1, k, n);
+    run_forced(kernel, av, bv, &mut out.data, use_gemv);
+    out
+}
+
+/// `A·Bᵀ` through an explicitly chosen serial core.
+pub(crate) fn matmul_nt_forced(kernel: Kernel, a: &Matrix, b: &Matrix, use_gemv: bool) -> Matrix {
+    assert_eq!(a.cols, b.cols, "matmul_nt inner dimensions must agree");
+    let (m, k, n) = (a.rows, a.cols, b.rows);
+    let mut out = Matrix::zeros(m, n);
+    let av = MatRef::new(&a.data, 0, k, 1, m, k);
+    let bv = MatRef::new(&b.data, 0, 1, k, k, n);
+    run_forced(kernel, av, bv, &mut out.data, use_gemv);
+    out
+}
+
+/// `Aᵀ·B` through an explicitly chosen serial core.
+pub(crate) fn matmul_tn_forced(kernel: Kernel, a: &Matrix, b: &Matrix, use_gemv: bool) -> Matrix {
+    assert_eq!(a.rows, b.rows, "matmul_tn batch dimensions must agree");
+    let (batch, m, n) = (a.rows, a.cols, b.cols);
+    let mut out = Matrix::zeros(m, n);
+    let av = MatRef::new(&a.data, 0, 1, m, m, batch);
+    let bv = MatRef::new(&b.data, 0, n, 1, batch, n);
+    run_forced(kernel, av, bv, &mut out.data, use_gemv);
+    out
+}
+
+/// `A·B[:, lo..hi]` through an explicitly chosen serial core.
+pub(crate) fn matmul_cols_forced(
+    kernel: Kernel,
+    a: &Matrix,
+    b: &Matrix,
+    lo: usize,
+    hi: usize,
+    use_gemv: bool,
+) -> Matrix {
+    assert_eq!(a.cols, b.rows, "matmul inner dimensions must agree");
+    assert!(lo <= hi && hi <= b.cols, "column slice out of range");
+    let (m, k, n) = (a.rows, a.cols, hi - lo);
+    let mut out = Matrix::zeros(m, n);
+    let av = MatRef::new(&a.data, 0, k, 1, m, k);
+    let bv = MatRef::new(&b.data, lo, b.cols, 1, k, n);
+    run_forced(kernel, av, bv, &mut out.data, use_gemv);
+    out
+}
+
+fn run_forced(kernel: Kernel, av: MatRef<'_>, bv: MatRef<'_>, out: &mut [f32], use_gemv: bool) {
+    if use_gemv {
+        gemv::gemv_serial(kernel, av, bv, out);
+    } else {
+        gemm::gemm_serial(kernel, av, bv, out);
     }
 }
 

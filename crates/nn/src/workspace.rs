@@ -19,7 +19,12 @@
 //! * workspaces are *not* shared between threads; each concurrent caller
 //!   owns one (`Workspace` is `Send`, so it can move with its worker);
 //! * matrices handed out by [`Workspace::take`] are zeroed, matching the
-//!   accumulate-into-zeroed-output contract of the GEMM core.
+//!   accumulate-into-zeroed-output contract of the GEMM core;
+//! * matrices handed out by [`Workspace::take_full`] have **unspecified**
+//!   contents — stale data from earlier recycles included — and are only
+//!   for callers that overwrite every element before reading any
+//!   (elementwise activation outputs, input copies). GEMM outputs must
+//!   keep using [`Workspace::take`].
 
 use crate::tensor::{self, Matrix};
 
@@ -47,6 +52,18 @@ impl Workspace {
         let len = rows * cols;
         let mut buf = self.pool.pop().unwrap_or_default();
         buf.clear();
+        buf.resize(len, 0.0);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// A `rows × cols` matrix with **unspecified** contents, backed by a
+    /// pooled buffer when one is available. Skips the zero fill of
+    /// [`Workspace::take`], so it is only correct for callers that write
+    /// every element before reading any — the dense forward paths use it
+    /// for outputs they fully overwrite (activation maps, input copies).
+    pub fn take_full(&mut self, rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        let mut buf = self.pool.pop().unwrap_or_default();
         buf.resize(len, 0.0);
         Matrix::from_vec(rows, cols, buf)
     }

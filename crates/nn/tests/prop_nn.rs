@@ -2,9 +2,14 @@
 //! matmul kernels, loss-gradient invariants, and the MADE autoregressive
 //! property over randomized configurations.
 
+use lmkg_nn::gemm::available_kernels;
+use lmkg_nn::gemv;
+use lmkg_nn::layers::{Dense, Layer, Relu, Sequential, Sigmoid};
 use lmkg_nn::loss;
 use lmkg_nn::made::{Made, MadeConfig};
+use lmkg_nn::quant::int8_scale;
 use lmkg_nn::tensor::Matrix;
+use lmkg_nn::workspace::Workspace;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -184,6 +189,93 @@ proptest! {
                 offset += seg;
             }
         }
+    }
+
+    /// The dedicated small-M GEMV path is **bitwise** equal to the blocked
+    /// GEMM path on every kernel and every entry-point view, for all
+    /// m ≤ GEMV_MAX_M and ragged k/n (k past the 8-wide chunk tiles, n past
+    /// the register-blocked column strips).
+    #[test]
+    fn gemv_path_is_bitwise_equal_to_blocked(m in 1usize..=gemv::GEMV_MAX_M, k in 1usize..300,
+                                             n in 1usize..70, seed in 0u64..1000) {
+        let a = seeded_matrix(m, k, seed);
+        let b = seeded_matrix(k, n, seed.wrapping_add(1));
+        let bt = seeded_matrix(n, k, seed.wrapping_add(2));
+        let at = seeded_matrix(k, m, seed.wrapping_add(3));
+        let lo = (seed as usize) % n;
+        let hi = lo + (seed as usize >> 3) % (n - lo) + 1;
+        for &kernel in available_kernels() {
+            prop_assert_eq!(
+                gemv::matmul_gemv_with_kernel(kernel, &a, &b),
+                gemv::matmul_blocked_with_kernel(kernel, &a, &b),
+                "matmul {}x{}x{} on {}", m, k, n, kernel.name()
+            );
+            prop_assert_eq!(
+                gemv::matmul_nt_gemv_with_kernel(kernel, &a, &bt),
+                gemv::matmul_nt_blocked_with_kernel(kernel, &a, &bt),
+                "matmul_nt {}x{}x{} on {}", m, k, n, kernel.name()
+            );
+            prop_assert_eq!(
+                gemv::matmul_tn_gemv_with_kernel(kernel, &at, &b),
+                gemv::matmul_tn_blocked_with_kernel(kernel, &at, &b),
+                "matmul_tn {}x{}x{} on {}", m, k, n, kernel.name()
+            );
+            prop_assert_eq!(
+                gemv::matmul_cols_gemv_with_kernel(kernel, &a, &b, lo, hi),
+                gemv::matmul_cols_blocked_with_kernel(kernel, &a, &b, lo, hi),
+                "matmul_cols {}x{}x{} [{}..{}] on {}", m, k, n, lo, hi, kernel.name()
+            );
+        }
+    }
+
+    /// Symmetric int8 quantization reconstructs every weight within half a
+    /// quantization step: `|w - scale·q| ≤ scale/2`.
+    #[test]
+    fn int8_dequant_error_is_within_half_scale(ws in prop::collection::vec(-10.0f32..10.0, 1..64)) {
+        let amax = ws.iter().fold(0.0f32, |m, w| m.max(w.abs()));
+        let scale = int8_scale(amax);
+        prop_assert!(scale > 0.0);
+        for &w in &ws {
+            let q = (w / scale).round().clamp(-127.0, 127.0) as i8;
+            let err = (w - scale * f32::from(q)).abs();
+            prop_assert!(err <= scale / 2.0 + f32::EPSILON, "w {} q {} scale {} err {}", w, q, scale, err);
+        }
+    }
+
+    /// Workspace scratch carries no numeric state: a workspace whose pool is
+    /// poisoned with NaN-filled recycled buffers (which `take_full` hands
+    /// back unzeroed) still reproduces a fresh run bitwise, through both the
+    /// dense inference stack and the raw take/take_full surface.
+    #[test]
+    fn poisoned_workspace_inference_is_bitwise_clean(rows in 1usize..7, seed in 0u64..1000,
+                                                     poison_bufs in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = Sequential::new();
+        model.push(Dense::new_he(&mut rng, 9, 13));
+        model.push(Relu::new());
+        model.push(Dense::new_xavier(&mut rng, 13, 1));
+        model.push(Sigmoid::new());
+        let x = seeded_matrix(rows, 9, seed);
+
+        let mut fresh = Workspace::new();
+        let clean = model.forward_infer(&x, &mut fresh);
+
+        let mut poisoned = Workspace::new();
+        for i in 0..poison_bufs {
+            let junk = Matrix::from_vec(3, 5 + i, vec![f32::NAN; 3 * (5 + i)]);
+            poisoned.recycle(junk);
+        }
+        let got = model.forward_infer(&x, &mut poisoned);
+        prop_assert_eq!(got.as_slice(), clean.as_slice());
+
+        // take stays zeroed over a poisoned pool; take_full only promises
+        // shape, so every element must be writable without UB-level surprises.
+        let z = poisoned.take(2, 3);
+        prop_assert_eq!(z.as_slice(), &[0.0f32; 6][..]);
+        poisoned.recycle(z);
+        let mut f = poisoned.take_full(2, 3);
+        f.fill(1.5);
+        prop_assert_eq!(f.as_slice(), &[1.5f32; 6][..]);
     }
 
     /// Bias broadcast + column sums are adjoint.

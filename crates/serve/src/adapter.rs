@@ -29,7 +29,7 @@
 use crate::batcher::{BatchConfig, ModelHandle, ServeStats, SharedEstimator, SharedMonitor};
 use crate::server::EstimationService;
 use lmkg::framework::{trainable_cell, Lmkg, LmkgConfig};
-use lmkg::{Cell, WorkloadMonitor};
+use lmkg::{CardinalityEstimator, Cell, WorkloadMonitor};
 use lmkg_store::KnowledgeGraph;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -251,6 +251,7 @@ fn adapter_loop(
         // `retrains` therefore implies later batches resolve the new model.
         handle.swap(Arc::clone(&extended) as SharedEstimator);
         *current_slot.write().expect("adapter current lock") = Arc::clone(&extended);
+        stats.note_model_bytes(extended.memory_bytes() as u64);
         stats.note_retrain(added);
         for &(shape, size) in &cells {
             if extended.covers(shape, size) {

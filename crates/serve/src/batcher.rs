@@ -113,6 +113,7 @@ pub struct ServeStats {
     batches: AtomicU64,
     retrains: AtomicU64,
     models_added: AtomicU64,
+    model_bytes: AtomicU64,
     // Last drift evaluation, stored as f64 bit patterns.
     drift_tv_bits: AtomicU64,
     drift_uncovered_bits: AtomicU64,
@@ -127,6 +128,7 @@ impl ServeStats {
             batches: AtomicU64::new(0),
             retrains: AtomicU64::new(0),
             models_added: AtomicU64::new(0),
+            model_bytes: AtomicU64::new(0),
             drift_tv_bits: AtomicU64::new(0.0f64.to_bits()),
             drift_uncovered_bits: AtomicU64::new(0.0f64.to_bits()),
             window: Mutex::new(SlidingWindow::new(LATENCY_WINDOW)),
@@ -136,6 +138,14 @@ impl ServeStats {
     /// Counts one shed request.
     pub fn note_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the memory footprint of the currently published model. The
+    /// batcher sets it at startup and on [`MicroBatcher::swap_model`]; a
+    /// caller swapping through the raw [`ModelHandle`] (the adapter does)
+    /// refreshes it alongside.
+    pub fn note_model_bytes(&self, bytes: u64) {
+        self.model_bytes.store(bytes, Ordering::Relaxed);
     }
 
     /// Records the adapter's latest drift evaluation.
@@ -173,6 +183,7 @@ impl ServeStats {
             batches: self.batches.load(Ordering::Relaxed),
             retrains: self.retrains.load(Ordering::SeqCst),
             models_added: self.models_added.load(Ordering::SeqCst),
+            model_bytes: self.model_bytes.load(Ordering::Relaxed),
             drift_tv: f64::from_bits(self.drift_tv_bits.load(Ordering::Relaxed)),
             drift_uncovered: f64::from_bits(self.drift_uncovered_bits.load(Ordering::Relaxed)),
             p50_us,
@@ -252,8 +263,9 @@ impl MicroBatcher {
         assert!(cfg.workers >= 1, "at least one worker is required");
         let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
-        let handle = Arc::new(ModelHandle::new(estimator));
         let stats = Arc::new(ServeStats::new());
+        stats.note_model_bytes(estimator.memory_bytes() as u64);
+        let handle = Arc::new(ModelHandle::new(estimator));
         let workers = (0..cfg.workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
@@ -319,8 +331,10 @@ impl MicroBatcher {
     }
 
     /// Atomically publishes a new model for subsequent batches, returning
-    /// the one it replaced. Convenience over [`MicroBatcher::model`].
+    /// the one it replaced. Convenience over [`MicroBatcher::model`] that
+    /// also keeps the reported `model_bytes` current.
     pub fn swap_model(&self, estimator: SharedEstimator) -> SharedEstimator {
+        self.stats.note_model_bytes(estimator.memory_bytes() as u64);
         self.handle.swap(estimator)
     }
 

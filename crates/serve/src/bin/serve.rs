@@ -15,6 +15,7 @@
 
 use lmkg::framework::{Grouping, Lmkg, LmkgConfig, ModelType};
 use lmkg::supervised::LmkgSConfig;
+use lmkg::{CardinalityEstimator, QuantMode};
 
 use lmkg_data::workload::{self, WorkloadConfig};
 use lmkg_data::{Dataset, Scale};
@@ -40,6 +41,8 @@ Model options (shared by every mode):
   --hidden A,B,...           LMKG-S hidden widths         [256,256]
   --epochs N                 LMKG-S training epochs       [20]
   --train-queries N          training queries per model   [400]
+  --quantized int8|bf16      serve a quantized snapshot of the trained
+                             framework (smaller model, f32 accumulate)
 
 Serving options (pipe, tcp, loadgen):
   --window-us N              micro-batch window, microseconds   [2000]
@@ -93,6 +96,7 @@ struct Options {
     adapter: AdapterConfig,
     workload: Option<String>,
     shift_size: usize,
+    quantized: Option<QuantMode>,
 }
 
 fn fail(message: &str) -> ! {
@@ -140,6 +144,7 @@ fn parse_options() -> Options {
         adapter: AdapterConfig::default(),
         workload: None,
         shift_size: 0,
+        quantized: None,
     };
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().unwrap_or_else(|| fail(&format!("{flag} expects a value")));
@@ -249,6 +254,13 @@ fn parse_options() -> Options {
                     .parse()
                     .unwrap_or_else(|_| fail("--adapt-max-models expects an integer"))
             }
+            "--quantized" => {
+                let mode = value("--quantized");
+                opts.quantized = Some(
+                    QuantMode::parse(&mode)
+                        .unwrap_or_else(|| fail(&format!("--quantized expects int8 or bf16, got {mode:?}"))),
+                )
+            }
             "--workload" => opts.workload = Some(value("--workload")),
             "--shift-size" => {
                 opts.shift_size = value("--shift-size")
@@ -314,7 +326,19 @@ fn build_lmkg(graph: &KnowledgeGraph, opts: &Options) -> (Arc<Lmkg>, LmkgConfig)
         "serve: building LMKG-S (sizes {:?}, hidden {:?}, {} epochs, {} train queries/model) …",
         opts.sizes, opts.hidden, opts.epochs, opts.train_queries
     );
-    (Arc::new(Lmkg::build(graph, &cfg)), cfg)
+    let mut lmkg = Lmkg::build(graph, &cfg);
+    if let Some(mode) = opts.quantized {
+        let f32_bytes = lmkg.memory_bytes();
+        lmkg = lmkg.quantized(mode);
+        eprintln!(
+            "serve: quantized the framework to {} — model {} -> {} bytes ({:.2}x smaller)",
+            mode.name(),
+            f32_bytes,
+            lmkg.memory_bytes(),
+            f32_bytes as f64 / lmkg.memory_bytes().max(1) as f64
+        );
+    }
+    (Arc::new(lmkg), cfg)
 }
 
 /// An adaptive serving setup: the monitor the batcher observes into, the

@@ -83,6 +83,10 @@ pub struct StatsSnapshot {
     pub retrains: u64,
     /// Models added across all retrain events.
     pub models_added: u64,
+    /// Memory footprint of the currently published model, bytes — reflects
+    /// quantized deployments honestly (it shrinks when a quantized framework
+    /// is served) and follows adapter swaps.
+    pub model_bytes: u64,
     /// Total-variation distance of the last drift evaluation (0 before one).
     pub drift_tv: f64,
     /// Uncovered-query share of the last drift evaluation (0 before one).
@@ -99,12 +103,13 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "served={} shed={} batches={} retrains={} added={} tv={} uncovered={} p50us={} p95us={} p99us={}",
+            "served={} shed={} batches={} retrains={} added={} model={} tv={} uncovered={} p50us={} p95us={} p99us={}",
             self.served,
             self.shed,
             self.batches,
             self.retrains,
             self.models_added,
+            self.model_bytes,
             self.drift_tv,
             self.drift_uncovered,
             self.p50_us,
@@ -153,6 +158,7 @@ mod tests {
             batches: 3,
             retrains: 1,
             models_added: 2,
+            model_bytes: 4096,
             drift_tv: 0.75,
             drift_uncovered: 0.5,
             p50_us: 1.5,
@@ -161,7 +167,7 @@ mod tests {
         };
         assert_eq!(
             s.to_string(),
-            "served=10 shed=2 batches=3 retrains=1 added=2 tv=0.75 uncovered=0.5 p50us=1.5 p95us=2.5 p99us=3.5"
+            "served=10 shed=2 batches=3 retrains=1 added=2 model=4096 tv=0.75 uncovered=0.5 p50us=1.5 p95us=2.5 p99us=3.5"
         );
     }
 }

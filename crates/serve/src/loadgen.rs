@@ -142,6 +142,10 @@ pub struct ComparisonReport {
     pub workers: usize,
     /// Cores visible to the process.
     pub available_parallelism: usize,
+    /// Memory footprint of the served model, bytes — compare runs over an
+    /// f32 vs a quantized framework differ here (and ideally nowhere else
+    /// but latency).
+    pub model_bytes: usize,
     /// Offered load of the saturated worker-scaling pair, requests/second
     /// (deliberately far above capacity, so achieved = service rate).
     pub scaling_offered_qps: f64,
@@ -170,7 +174,7 @@ impl ComparisonReport {
              \"queries\": {},\n  \"offered_qps\": {:.1},\n  \"scaling_offered_qps\": {:.1},\n  \
              \"batch_window_us\": {},\n  \
              \"max_batch\": {},\n  \"queue_depth\": {},\n  \"workers\": {},\n  \
-             \"available_parallelism\": {},\n  \"per_request\": {},\n  \
+             \"available_parallelism\": {},\n  \"model_bytes\": {},\n  \"per_request\": {},\n  \
              \"micro_batched\": {},\n  \
              \"saturated_1w\": {},\n  \"saturated_multi\": {},\n  \
              \"throughput_gain\": {:.3},\n  \
@@ -183,6 +187,7 @@ impl ComparisonReport {
             self.queue_depth,
             self.workers,
             self.available_parallelism,
+            self.model_bytes,
             self.per_request.json_object(),
             self.micro_batched.json_object(),
             self.saturated_1w.json_object(),
@@ -398,6 +403,7 @@ pub fn compare(
         queue_depth: cfg.batch.queue_depth,
         workers: cfg.batch.workers,
         available_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        model_bytes: estimator.memory_bytes(),
         throughput_gain: micro_batched.achieved_qps / per_request.achieved_qps.max(1e-9),
         worker_scaling: saturated_multi.achieved_qps / saturated_1w.achieved_qps.max(1e-9),
         per_request,
@@ -714,6 +720,7 @@ EST q2 SELECT * WHERE { ?x :p ?y . }
         assert!(report.throughput_gain > 0.0);
         assert!(report.worker_scaling > 0.0);
         assert!(report.scaling_offered_qps > report.offered_qps);
+        assert_eq!(report.model_bytes, estimator.memory_bytes());
         assert_eq!(estimator.name(), "summary");
         // JSON is well-formed enough for jq-style tooling: key fields present.
         let json = report.to_json();
@@ -725,6 +732,7 @@ EST q2 SELECT * WHERE { ?x :p ?y . }
             "\"throughput_gain\"",
             "\"worker_scaling\"",
             "\"offered_qps\"",
+            "\"model_bytes\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

@@ -13,14 +13,16 @@
 //!           | "ERR" <id> <message>
 //!           | "OVERLOADED" <id> depth=<queue-depth>
 //!           | "STATS" <id> served=<n> shed=<n> batches=<n>
-//!                          retrains=<n> added=<n> tv=<f> uncovered=<f>
-//!                          p50us=<f> p95us=<f> p99us=<f>
+//!                          retrains=<n> added=<n> model=<bytes> tv=<f>
+//!                          uncovered=<f> p50us=<f> p95us=<f> p99us=<f>
 //! ```
 //!
 //! The `retrains`/`added`/`tv`/`uncovered` fields report the online
-//! adaptation loop (retrain events, models added, last drift evaluation);
-//! they are optional on the parse side (defaulting to zero) so transcripts
-//! from servers without an adapter still parse.
+//! adaptation loop (retrain events, models added, last drift evaluation)
+//! and `model` the published model's memory footprint in bytes (which
+//! shrinks when a `--quantized` framework is served and follows adapter
+//! swaps); all of them are optional on the parse side (defaulting to zero)
+//! so transcripts from older servers still parse.
 //!
 //! `<id>` is any non-empty token without whitespace. Floats are rendered
 //! with Rust's shortest-round-trip formatting, so parsing an `OK` reply
@@ -228,6 +230,7 @@ impl Reply {
                 let mut batches = None;
                 let mut retrains = None;
                 let mut added = None;
+                let mut model = None;
                 let mut tv = None;
                 let mut uncovered = None;
                 let mut p50 = None;
@@ -243,6 +246,7 @@ impl Reply {
                         "batches" => batches = value.parse().ok(),
                         "retrains" => retrains = value.parse().ok(),
                         "added" => added = value.parse().ok(),
+                        "model" => model = value.parse().ok(),
                         "tv" => tv = value.parse().ok(),
                         "uncovered" => uncovered = value.parse().ok(),
                         "p50us" => p50 = value.parse().ok(),
@@ -261,6 +265,7 @@ impl Reply {
                                 batches,
                                 retrains: retrains.unwrap_or(0),
                                 models_added: added.unwrap_or(0),
+                                model_bytes: model.unwrap_or(0),
                                 drift_tv: tv.unwrap_or(0.0),
                                 drift_uncovered: uncovered.unwrap_or(0.0),
                                 p50_us,
@@ -351,6 +356,7 @@ mod tests {
                     batches: 4,
                     retrains: 2,
                     models_added: 3,
+                    model_bytes: 123456,
                     drift_tv: 0.875,
                     drift_uncovered: 0.25,
                     p50_us: 10.5,
@@ -368,13 +374,15 @@ mod tests {
     #[test]
     fn stats_adaptation_fields_are_optional() {
         // A transcript from a server without an adapter (or an older one)
-        // carries no retrains/added/tv/uncovered fields; they default to 0.
+        // carries no retrains/added/model/tv/uncovered fields; they default
+        // to 0.
         let reply = Reply::parse("STATS s served=5 shed=0 batches=2 p50us=1.5 p95us=2.5 p99us=3.5").unwrap();
         let Reply::Stats { snapshot, .. } = reply else {
             panic!("wrong variant");
         };
         assert_eq!(snapshot.retrains, 0);
         assert_eq!(snapshot.models_added, 0);
+        assert_eq!(snapshot.model_bytes, 0);
         assert_eq!(snapshot.drift_tv, 0.0);
         assert_eq!(snapshot.drift_uncovered, 0.0);
         assert_eq!(snapshot.served, 5);
