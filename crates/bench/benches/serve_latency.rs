@@ -94,9 +94,15 @@ fn bench_serving_modes(_c: &mut Criterion) {
             // comparison against the 1-worker run below measures how far
             // concurrent forwards scale on this machine's cores.
             workers: 4,
+            obs: true,
         },
     };
-    let report = loadgen::compare(&g, estimator, &queries, &loadgen_cfg);
+    let report = loadgen::compare(
+        &g,
+        Arc::clone(&estimator) as lmkg_serve::SharedEstimator,
+        &queries,
+        &loadgen_cfg,
+    );
 
     println!("{}", report.per_request);
     println!("{}", report.micro_batched);
@@ -111,8 +117,26 @@ fn bench_serving_modes(_c: &mut Criterion) {
         "serve_latency: worker scaling ({} workers / 1 worker, concurrent forwards) {:.2}x",
         report.workers, report.worker_scaling
     );
+
+    // The observability A/B: the same saturated configuration with stage
+    // tracing on vs off, best-of-3 per side so one noisy round cannot fail
+    // the gate on its own.
+    let obs = loadgen::obs_overhead(&g, estimator, &queries, &loadgen_cfg, 3);
+    println!("{}", obs.instrumented);
+    println!("{}", obs.no_obs);
+    println!(
+        "serve_latency: observability overhead at saturation {:.2}% ({:.0} qps instrumented vs {:.0} qps without)",
+        obs.overhead_pct, obs.instrumented.achieved_qps, obs.no_obs.achieved_qps
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"lmkg-serve serving + observability overhead\",\n  \
+         \"comparison\": {},\n  \"observability\": {}\n}}\n",
+        report.to_json().trim_end(),
+        obs.to_json()
+    );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
-    std::fs::write(path, report.to_json()).expect("write BENCH_serve.json");
+    std::fs::write(path, json).expect("write BENCH_serve.json");
     println!("serve_latency: wrote {path}");
 
     // Like BENCH_batch.json, perf expectations are warnings, not asserts —
@@ -125,6 +149,18 @@ fn bench_serving_modes(_c: &mut Criterion) {
             report.throughput_gain
         );
     }
+    // The observability layer is a handful of relaxed atomic bumps and two
+    // clock reads per batch; if it costs more than 5% of saturated
+    // throughput (after best-of-3 smoothing on both sides), something on
+    // the hot path regressed. This one IS a hard gate.
+    assert!(
+        obs.overhead_pct <= 5.0,
+        "observability overhead {:.2}% exceeds the 5% budget \
+         ({:.0} qps instrumented vs {:.0} qps with --no-obs)",
+        obs.overhead_pct,
+        obs.instrumented.achieved_qps,
+        obs.no_obs.achieved_qps
+    );
 }
 
 criterion_group! {

@@ -50,6 +50,7 @@ pub mod layers;
 pub mod loss;
 pub mod made;
 pub mod optimizer;
+pub mod profile;
 pub mod quant;
 pub mod serialize;
 pub mod tensor;

@@ -438,7 +438,9 @@ fn gemm_threaded(kernel: Kernel, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], 
 /// core. The two are bitwise-equal (see [`crate::gemv`]), so this is purely
 /// a performance decision.
 fn gemm_serial_auto(kernel: Kernel, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32]) {
-    if a.rows() <= gemv::GEMV_MAX_M {
+    let use_gemv = a.rows() <= gemv::GEMV_MAX_M;
+    crate::profile::note_dispatch(use_gemv, kernel, a.rows(), a.cols(), b.cols());
+    if use_gemv {
         gemv::gemv_serial(kernel, a, b, out);
     } else {
         gemm::gemm_serial(kernel, a, b, out);

@@ -32,6 +32,10 @@ use crate::tensor::{self, Matrix};
 #[derive(Default)]
 pub struct Workspace {
     pool: Vec<Vec<f32>>,
+    /// Bytes ever allocated through this workspace's buffers (growth only —
+    /// recycling returns capacity, it never shrinks). Folded into the
+    /// process-wide high-water mark in [`crate::profile`].
+    bytes: u64,
 }
 
 impl Workspace {
@@ -51,8 +55,10 @@ impl Workspace {
     pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
         let len = rows * cols;
         let mut buf = self.pool.pop().unwrap_or_default();
+        let cap_before = buf.capacity();
         buf.clear();
         buf.resize(len, 0.0);
+        self.note_growth(cap_before, buf.capacity());
         Matrix::from_vec(rows, cols, buf)
     }
 
@@ -64,8 +70,21 @@ impl Workspace {
     pub fn take_full(&mut self, rows: usize, cols: usize) -> Matrix {
         let len = rows * cols;
         let mut buf = self.pool.pop().unwrap_or_default();
+        let cap_before = buf.capacity();
         buf.resize(len, 0.0);
+        self.note_growth(cap_before, buf.capacity());
         Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// Account buffer growth against this workspace and fold the footprint
+    /// into the process-wide high-water mark. One branch on the hot path;
+    /// the atomic is only touched when an allocation actually happened.
+    #[inline]
+    fn note_growth(&mut self, cap_before: usize, cap_after: usize) {
+        if cap_after > cap_before {
+            self.bytes += ((cap_after - cap_before) * std::mem::size_of::<f32>()) as u64;
+            crate::profile::note_workspace_bytes(self.bytes);
+        }
     }
 
     /// Returns a matrix's buffer to the pool for reuse.

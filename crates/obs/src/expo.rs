@@ -1,0 +1,232 @@
+//! Prometheus-style text exposition.
+//!
+//! [`Expo`] accumulates `# HELP` / `# TYPE` headers and sample lines into a
+//! single string. The dialect is the Prometheus text format with two
+//! deliberate extensions, both comment-prefixed so standard parsers skip
+//! them: a `# EVENTS <n>` header followed by `# EVENT <seq> <unix_ms>
+//! <level> <kind> <message>` lines for the structured event ring, and no
+//! trailing `# EOF` (the transport layer appends its own terminator).
+//!
+//! Histograms are rendered sparsely: only non-empty buckets get a
+//! `_bucket{le="..."}` line (cumulative, as the format requires), always
+//! followed by `le="+Inf"`, `_sum`, and `_count`.
+
+use crate::events::EventLog;
+use crate::hist::{bucket_bound, HistSnapshot, NUM_BUCKETS};
+
+/// A text exposition under construction.
+#[derive(Debug, Default)]
+pub struct Expo {
+    out: String,
+}
+
+impl Expo {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        Expo {
+            out: String::with_capacity(4096),
+        }
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    fn sample(&mut self, name: &str, labels: &str, value: &str) {
+        self.out.push_str(name);
+        self.out.push_str(labels);
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    /// Emit a counter with a single unlabeled sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.sample(name, "", &value.to_string());
+    }
+
+    /// Emit a counter family: one `# TYPE` header, one sample per
+    /// `(labels, value)` pair. Labels must be pre-formatted, e.g.
+    /// `{kind="shed"}`.
+    pub fn counter_family(&mut self, name: &str, help: &str, samples: &[(String, u64)]) {
+        self.header(name, help, "counter");
+        for (labels, value) in samples {
+            self.sample(name, labels, &value.to_string());
+        }
+    }
+
+    /// Emit a gauge with a single integer sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: i64) {
+        self.header(name, help, "gauge");
+        self.sample(name, "", &value.to_string());
+    }
+
+    /// Emit a gauge with a single floating-point sample.
+    pub fn gauge_f64(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.sample(name, "", &format!("{value}"));
+    }
+
+    /// Emit a histogram from a snapshot. `extra_label` is prepended inside
+    /// every label set (pass `""` for none, or e.g. `stage="forward",`).
+    pub fn histogram(&mut self, name: &str, help: &str, extra_label: &str, snap: &HistSnapshot) {
+        self.header(name, help, "histogram");
+        self.histogram_samples(name, extra_label, snap);
+    }
+
+    /// Emit only the sample lines of a histogram (for families sharing one
+    /// `# TYPE` header across label values — call [`Expo::histogram`] for
+    /// the first member and this for the rest).
+    pub fn histogram_samples(&mut self, name: &str, extra_label: &str, snap: &HistSnapshot) {
+        let mut cumulative = 0u64;
+        for i in 0..NUM_BUCKETS {
+            if snap.buckets[i] == 0 {
+                continue;
+            }
+            cumulative += snap.buckets[i];
+            let labels = format!("{{{}le=\"{}\"}}", extra_label, bucket_bound(i));
+            self.sample(&format!("{name}_bucket"), &labels, &cumulative.to_string());
+        }
+        let inf = format!("{{{}le=\"+Inf\"}}", extra_label);
+        self.sample(&format!("{name}_bucket"), &inf, &snap.count.to_string());
+        let plain = if extra_label.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", extra_label.trim_end_matches(','))
+        };
+        self.sample(&format!("{name}_sum"), &plain, &snap.sum.to_string());
+        self.sample(&format!("{name}_count"), &plain, &snap.count.to_string());
+    }
+
+    /// Emit the structured event section: per-kind and per-level counters
+    /// as real series, then the ring contents as `# EVENT` comment lines
+    /// (newlines inside messages are flattened to spaces so one event is
+    /// always one line).
+    pub fn events(&mut self, prefix: &str, log: &EventLog) {
+        let kind_samples: Vec<(String, u64)> = log
+            .kind_counts()
+            .iter()
+            .map(|(k, n)| (format!("{{kind=\"{k}\"}}"), *n))
+            .collect();
+        self.counter_family(
+            &format!("{prefix}_events_total"),
+            "Structured events recorded, by kind (including evicted ring entries)",
+            &kind_samples,
+        );
+        let level_samples: Vec<(String, u64)> = log
+            .level_counts()
+            .iter()
+            .map(|(l, n)| (format!("{{level=\"{}\"}}", l.name()), *n))
+            .collect();
+        self.counter_family(
+            &format!("{prefix}_events_by_level_total"),
+            "Structured events recorded, by severity level",
+            &level_samples,
+        );
+        let recent = log.recent();
+        self.out.push_str(&format!("# EVENTS {}\n", recent.len()));
+        for e in recent {
+            let msg = e.message.replace(['\n', '\r'], " ");
+            self.out.push_str(&format!(
+                "# EVENT {} {} {} {} {}\n",
+                e.seq,
+                e.unix_ms,
+                e.level.name(),
+                e.kind,
+                msg
+            ));
+        }
+    }
+
+    /// Append a raw, already-formatted line (must not contain newlines).
+    pub fn raw_line(&mut self, line: &str) {
+        self.out.push_str(line);
+        self.out.push('\n');
+    }
+
+    /// Finish and return the exposition text (no trailing terminator; the
+    /// transport appends its own `# EOF`).
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn counter_and_gauge_render() {
+        let mut e = Expo::new();
+        e.counter("t_total", "things", 7);
+        e.gauge("depth", "queue depth", -2);
+        let text = e.finish();
+        assert!(text.contains("# HELP t_total things\n"));
+        assert!(text.contains("# TYPE t_total counter\n"));
+        assert!(text.contains("\nt_total 7\n"));
+        assert!(text.contains("depth -2\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_sparse_buckets() {
+        let h = Histogram::new();
+        h.record(1.5);
+        h.record(1.5);
+        h.record(100.0);
+        let mut e = Expo::new();
+        e.histogram("lat_us", "latency", "stage=\"fwd\",", &h.snapshot());
+        let text = e.finish();
+        // Two non-empty buckets, cumulative counts.
+        let buckets: Vec<&str> = text.lines().filter(|l| l.starts_with("lat_us_bucket")).collect();
+        assert_eq!(buckets.len(), 3, "two sparse buckets + +Inf: {buckets:?}");
+        assert!(buckets[0].contains("stage=\"fwd\""));
+        assert!(buckets[0].ends_with(" 2"));
+        assert!(buckets[1].ends_with(" 3"));
+        assert!(buckets[2].contains("le=\"+Inf\"") && buckets[2].ends_with(" 3"));
+        assert!(text.contains("lat_us_count{stage=\"fwd\"} 3\n"));
+        // Per-sample truncation: 1.5 + 1.5 + 100.0 records as 1 + 1 + 100.
+        assert!(text.contains("lat_us_sum{stage=\"fwd\"} 102\n"));
+    }
+
+    #[test]
+    fn unlabeled_histogram_has_plain_sum_and_count() {
+        let h = Histogram::new();
+        h.record(3.0);
+        let mut e = Expo::new();
+        e.histogram("w", "w", "", &h.snapshot());
+        let text = e.finish();
+        assert!(text.contains("\nw_sum 3\n"));
+        assert!(text.contains("\nw_count 1\n"));
+    }
+
+    #[test]
+    fn events_section_renders_counters_and_ring() {
+        let log = EventLog::new(4, &["shed", "swap"]);
+        log.log(crate::events::Level::Info, "swap", "model swapped\nin 2 lines".into());
+        let mut e = Expo::new();
+        e.events("lmkg", &log);
+        let text = e.finish();
+        assert!(
+            text.contains("lmkg_events_total{kind=\"shed\"} 0\n"),
+            "zero-valued kinds still render"
+        );
+        assert!(text.contains("lmkg_events_total{kind=\"swap\"} 1\n"));
+        assert!(text.contains("lmkg_events_by_level_total{level=\"info\"} 1\n"));
+        assert!(text.contains("# EVENTS 1\n"));
+        let ev = text.lines().find(|l| l.starts_with("# EVENT ")).expect("event line");
+        assert!(
+            ev.contains("info swap model swapped in 2 lines"),
+            "newline flattened: {ev}"
+        );
+    }
+}

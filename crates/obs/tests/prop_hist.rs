@@ -1,0 +1,126 @@
+//! Property tests for the metrics core (ISSUE 7 satellite): percentile
+//! error bounds vs. exact sorted quantiles, merge equivalence, and
+//! concurrent-recorder count preservation.
+
+use lmkg_obs::{Histogram, ShardedHistogram, RELATIVE_ERROR_BOUND};
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile over a sorted sample, mirroring
+/// `HistSnapshot::percentile`'s rank convention.
+fn exact_percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram percentiles never under-estimate the exact quantile and
+    /// over-estimate it by at most one bucket's relative error.
+    #[test]
+    fn percentiles_within_bucket_relative_error(
+        values in proptest::collection::vec(1.000001f64..1e9, 1..200),
+        p in 0.0f64..=100.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = exact_percentile(&sorted, p);
+        let reported = h.snapshot().percentile(p);
+        prop_assert!(reported >= exact, "reported {reported} < exact {exact}");
+        prop_assert!(
+            reported <= exact * (1.0 + RELATIVE_ERROR_BOUND) * (1.0 + 1e-12),
+            "reported {reported} exceeds exact {exact} by more than the bound"
+        );
+    }
+
+    /// Recording a stream split across two histograms and merging is
+    /// identical (bucket-for-bucket) to recording the whole stream into one.
+    #[test]
+    fn merge_equals_single_recording(
+        values in proptest::collection::vec(0.0f64..1e9, 0..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(values.len());
+        let (left, right) = values.split_at(split);
+
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for &v in left {
+            a.record(v);
+        }
+        for &v in right {
+            b.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+
+        let single = Histogram::new();
+        for &v in &values {
+            single.record(v);
+        }
+        prop_assert_eq!(merged, single.snapshot());
+    }
+
+    /// Sharded recording preserves every sample regardless of which shard
+    /// each sample lands in, and the merged snapshot matches an unsharded
+    /// histogram fed the same stream.
+    #[test]
+    fn sharded_merge_matches_unsharded(
+        values in proptest::collection::vec(1.0f64..1e6, 0..150),
+        shards in 1usize..8,
+    ) {
+        let sh = ShardedHistogram::new(shards);
+        let single = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            sh.record(i, v);
+            single.record(v);
+        }
+        prop_assert_eq!(sh.count(), values.len() as u64);
+        prop_assert_eq!(sh.snapshot(), single.snapshot());
+    }
+}
+
+/// Concurrent recorders across threads never lose a sample: the merged
+/// count equals the number of records issued, both with per-thread shards
+/// and with all threads hammering one shared histogram.
+#[test]
+fn concurrent_recorder_counts_are_never_lost() {
+    use std::sync::Arc;
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 20_000;
+
+    let sharded = Arc::new(ShardedHistogram::new(THREADS));
+    let shared = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let sharded = Arc::clone(&sharded);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let v = 1.0 + ((t * PER_THREAD + i) % 1000) as f64;
+                    sharded.record(t, v);
+                    shared.record(v);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let expected = (THREADS * PER_THREAD) as u64;
+    assert_eq!(sharded.count(), expected, "sharded recorders lost samples");
+    assert_eq!(shared.count(), expected, "contended histogram lost samples");
+    let snap = sharded.snapshot();
+    assert_eq!(
+        snap.buckets.iter().sum::<u64>(),
+        expected,
+        "bucket totals drifted from count"
+    );
+}

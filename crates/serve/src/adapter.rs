@@ -30,6 +30,7 @@ use crate::batcher::{BatchConfig, ModelHandle, ServeStats, SharedEstimator, Shar
 use crate::server::EstimationService;
 use lmkg::framework::{trainable_cell, Lmkg, LmkgConfig};
 use lmkg::{CardinalityEstimator, Cell, WorkloadMonitor};
+use lmkg_obs::Level;
 use lmkg_store::KnowledgeGraph;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -236,16 +237,35 @@ fn adapter_loop(
             continue;
         }
 
-        eprintln!(
-            "adapter: drift tv={:.3} uncovered={:.3} over {} queries — training {} model(s) for {:?}",
-            report.tv_distance,
-            report.uncovered_share,
-            report.dominant_cells.iter().map(|&(_, k)| k).sum::<usize>(),
-            cells.len(),
-            cells
+        // The dominant cells with their observed query counts, e.g.
+        // `(star, 4)×37` — the drift event carries how much of the window
+        // each selected cell accounted for.
+        let cell_counts: Vec<String> = cells
+            .iter()
+            .map(|&(shape, size)| {
+                let observed = report
+                    .dominant_cells
+                    .iter()
+                    .find(|&&(cell, _)| cell == (shape, size))
+                    .map_or(0, |&(_, k)| k);
+                format!("({shape}, {size})\u{d7}{observed}")
+            })
+            .collect();
+        stats.event(
+            Level::Info,
+            "drift",
+            format!(
+                "adapter: drift tv={:.3} uncovered={:.3} over {} queries — training {} model(s) for [{}]",
+                report.tv_distance,
+                report.uncovered_share,
+                report.dominant_cells.iter().map(|&(_, k)| k).sum::<usize>(),
+                cells.len(),
+                cell_counts.join(", ")
+            ),
         );
         let t0 = Instant::now();
         let extended = Arc::new(current.extend(graph, &cells, build_cfg));
+        let train_time = t0.elapsed();
         let added = extended.model_count().saturating_sub(current.model_count());
         // Publish first, then bump the retrain counter: a SeqCst read of
         // `retrains` therefore implies later batches resolve the new model.
@@ -253,18 +273,39 @@ fn adapter_loop(
         *current_slot.write().expect("adapter current lock") = Arc::clone(&extended);
         stats.note_model_bytes(extended.memory_bytes() as u64);
         stats.note_retrain(added);
+        stats.note_retrain_duration(train_time);
+        stats.event(
+            Level::Info,
+            "swap",
+            format!(
+                "adapter: swapped in extended model of {} bytes under live traffic",
+                extended.memory_bytes()
+            ),
+        );
         for &(shape, size) in &cells {
             if extended.covers(shape, size) {
-                eprintln!("adapter: cell ({shape}, {size}) now covered — direct model, no decomposition fallback");
+                stats.event(
+                    Level::Info,
+                    "retrain",
+                    format!("adapter: cell ({shape}, {size}) now covered — direct model, no decomposition fallback"),
+                );
             } else {
                 failed.insert((shape, size));
-                eprintln!("adapter: cell ({shape}, {size}) could not be trained; keeping the fallback path");
+                stats.event(
+                    Level::Warn,
+                    "retrain",
+                    format!("adapter: cell ({shape}, {size}) could not be trained; keeping the fallback path"),
+                );
             }
         }
-        eprintln!(
-            "adapter: published {} model(s) (+{added}) after {:.3}s of training, swap was atomic under live traffic",
-            extended.model_count(),
-            t0.elapsed().as_secs_f64()
+        stats.event(
+            Level::Info,
+            "retrain",
+            format!(
+                "adapter: published {} model(s) (+{added}) after {:.3}s of training, swap was atomic under live traffic",
+                extended.model_count(),
+                train_time.as_secs_f64()
+            ),
         );
         current = extended;
     }

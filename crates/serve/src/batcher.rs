@@ -28,6 +28,7 @@
 use crate::latency::{SlidingWindow, StatsSnapshot};
 use crate::protocol::Reply;
 use lmkg::{CardinalityEstimator, WorkloadMonitor};
+use lmkg_obs::{Counter, EventLog, Gauge, HistSnapshot, Histogram, Level, ShardedHistogram};
 use lmkg_store::Query;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -37,6 +38,20 @@ use std::time::{Duration, Instant};
 
 /// Latency samples retained for the percentile reporter.
 const LATENCY_WINDOW: usize = 4096;
+
+/// Structured events kept in the recent-event ring for `METRICS`.
+const EVENT_RING_CAPACITY: usize = 256;
+
+/// Event kinds with dedicated counters: their `lmkg_events_total{kind=...}`
+/// series render even before the first occurrence, so dashboards and smoke
+/// tests can assert on them unconditionally.
+pub const EVENT_KINDS: &[&str] = &["shed", "swap", "retrain", "drift", "parse_error", "session", "shutdown"];
+
+/// The request pipeline stages measured by the batcher, in order: admission
+/// wait (submit → picked up by a worker), batch assembly (first job in hand
+/// → batch closed), forward (the batched `estimate_batch` call), and reply
+/// delivery (forward done → every reply handed to its session writer).
+pub const STAGE_NAMES: [&str; 4] = ["admission", "batch", "forward", "reply"];
 
 /// Micro-batching and admission-control knobs.
 #[derive(Debug, Clone)]
@@ -51,6 +66,11 @@ pub struct BatchConfig {
     /// Worker threads. More than one pipelines queue collection with
     /// estimation; estimation itself is serialized on the estimator lock.
     pub workers: usize,
+    /// Stage-level instrumentation (timers + histograms) on the hot path.
+    /// Counters, the latency window, and the event ring stay on regardless;
+    /// this only gates the per-batch `Instant::now()` calls and histogram
+    /// records. `false` is the `--no-obs` A/B baseline.
+    pub obs: bool,
 }
 
 impl Default for BatchConfig {
@@ -60,6 +80,7 @@ impl Default for BatchConfig {
             max_batch: 64,
             queue_depth: 1024,
             workers: 2,
+            obs: true,
         }
     }
 }
@@ -105,7 +126,9 @@ impl Job {
     }
 }
 
-/// Shared serving counters plus the sliding latency window.
+/// Shared serving counters, the sliding latency window, and the full
+/// observability surface: stage histograms, session/byte/parse counters,
+/// the queue-depth gauge, and the structured event ring.
 #[derive(Debug)]
 pub struct ServeStats {
     served: AtomicU64,
@@ -118,10 +141,25 @@ pub struct ServeStats {
     drift_tv_bits: AtomicU64,
     drift_uncovered_bits: AtomicU64,
     window: Mutex<SlidingWindow>,
+    /// Whether stage-level instrumentation is live (`BatchConfig::obs`).
+    obs: bool,
+    started: Instant,
+    pub(crate) parse_errors: Counter,
+    pub(crate) sessions: Counter,
+    pub(crate) sessions_active: Gauge,
+    pub(crate) bytes_in: Counter,
+    pub(crate) bytes_out: Counter,
+    pub(crate) queue_len: Gauge,
+    queue_capacity: AtomicU64,
+    /// Stage latencies, indexed like [`STAGE_NAMES`]; one shard per worker.
+    pub(crate) stages: [ShardedHistogram; 4],
+    pub(crate) batch_size: ShardedHistogram,
+    pub(crate) retrain_us: Histogram,
+    events: EventLog,
 }
 
 impl ServeStats {
-    fn new() -> Self {
+    fn new(obs: bool, workers: usize) -> Self {
         Self {
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -132,7 +170,88 @@ impl ServeStats {
             drift_tv_bits: AtomicU64::new(0.0f64.to_bits()),
             drift_uncovered_bits: AtomicU64::new(0.0f64.to_bits()),
             window: Mutex::new(SlidingWindow::new(LATENCY_WINDOW)),
+            obs,
+            started: Instant::now(),
+            parse_errors: Counter::new(),
+            sessions: Counter::new(),
+            sessions_active: Gauge::new(),
+            bytes_in: Counter::new(),
+            bytes_out: Counter::new(),
+            queue_len: Gauge::new(),
+            queue_capacity: AtomicU64::new(0),
+            stages: [
+                ShardedHistogram::new(workers),
+                ShardedHistogram::new(workers),
+                ShardedHistogram::new(workers),
+                ShardedHistogram::new(workers),
+            ],
+            batch_size: ShardedHistogram::new(workers),
+            retrain_us: Histogram::new(),
+            events: EventLog::new(EVENT_RING_CAPACITY, EVENT_KINDS),
         }
+    }
+
+    /// Whether stage-level instrumentation is recording.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs
+    }
+
+    /// Seconds since these stats were created (server start).
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Record a structured event: counted by kind and level, kept in the
+    /// recent-event ring for `METRICS`, and echoed to stderr when the
+    /// `LMKG_LOG` filter admits `level`.
+    pub fn event(&self, level: Level, kind: &'static str, message: String) {
+        self.events.log(level, kind, message);
+    }
+
+    /// The structured event ring.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Counts one protocol parse error and records it as a `parse_error`
+    /// event carrying the offending detail.
+    pub fn note_parse_error(&self, detail: &str) {
+        self.parse_errors.inc();
+        self.event(Level::Warn, "parse_error", format!("parse error: {detail}"));
+    }
+
+    /// Counts a session opening (total + active gauge).
+    pub fn note_session_start(&self) {
+        self.sessions.inc();
+        self.sessions_active.inc();
+    }
+
+    /// Counts a session closing.
+    pub fn note_session_end(&self) {
+        self.sessions_active.dec();
+    }
+
+    /// Records the duration of one adapter retrain cycle.
+    pub fn note_retrain_duration(&self, duration: Duration) {
+        self.retrain_us.record(duration.as_secs_f64() * 1e6);
+    }
+
+    /// The configured admission-queue capacity (0 until a batcher starts).
+    pub fn queue_capacity(&self) -> u64 {
+        self.queue_capacity.load(Ordering::Relaxed)
+    }
+
+    /// Current admission-queue depth. Transiently off by the number of jobs
+    /// between a worker's dequeue and its gauge decrement — a gauge, not an
+    /// invariant.
+    pub fn queue_len(&self) -> i64 {
+        self.queue_len.get()
+    }
+
+    /// The recent-window request-latency distribution as a mergeable
+    /// snapshot (for the exposition; `STATS` uses [`ServeStats::snapshot`]).
+    pub fn window_snapshot(&self) -> HistSnapshot {
+        self.window.lock().expect("latency window lock").snapshot()
     }
 
     /// Counts one shed request.
@@ -263,8 +382,9 @@ impl MicroBatcher {
         assert!(cfg.workers >= 1, "at least one worker is required");
         let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
-        let stats = Arc::new(ServeStats::new());
+        let stats = Arc::new(ServeStats::new(cfg.obs, cfg.workers));
         stats.note_model_bytes(estimator.memory_bytes() as u64);
+        stats.queue_capacity.store(cfg.queue_depth as u64, Ordering::Relaxed);
         let handle = Arc::new(ModelHandle::new(estimator));
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -274,7 +394,7 @@ impl MicroBatcher {
                 let (window, max_batch) = (cfg.window, cfg.max_batch);
                 std::thread::Builder::new()
                     .name(format!("lmkg-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &handle, &stats, window, max_batch))
+                    .spawn(move || worker_loop(&rx, &handle, &stats, window, max_batch, i))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -297,6 +417,7 @@ impl MicroBatcher {
         let cell = self.monitor.as_ref().map(|_| (job.query.shape(), job.query.size()));
         match tx.try_send(job) {
             Ok(()) => {
+                self.stats.queue_len.inc();
                 if let (Some(monitor), Some(cell)) = (&self.monitor, cell) {
                     monitor.lock().expect("workload monitor lock").observe_cell(cell);
                 }
@@ -304,6 +425,13 @@ impl MicroBatcher {
             }
             Err(TrySendError::Full(job)) => {
                 self.stats.note_shed();
+                if self.stats.obs {
+                    self.stats.event(
+                        Level::Debug,
+                        "shed",
+                        format!("shed: request {} rejected, queue full at {}", job.id, self.queue_depth),
+                    );
+                }
                 Err(job)
             }
             // Workers only exit once the queue closes, so this arm is
@@ -334,8 +462,12 @@ impl MicroBatcher {
     /// the one it replaced. Convenience over [`MicroBatcher::model`] that
     /// also keeps the reported `model_bytes` current.
     pub fn swap_model(&self, estimator: SharedEstimator) -> SharedEstimator {
-        self.stats.note_model_bytes(estimator.memory_bytes() as u64);
-        self.handle.swap(estimator)
+        let bytes = estimator.memory_bytes() as u64;
+        self.stats.note_model_bytes(bytes);
+        let old = self.handle.swap(estimator);
+        self.stats
+            .event(Level::Info, "swap", format!("swap: published model of {bytes} bytes"));
+        old
     }
 
     /// Closes the queue, drains it, joins the workers, and hands the
@@ -347,7 +479,18 @@ impl MicroBatcher {
     }
 
     fn finish(&mut self) {
-        self.tx.take(); // close the queue; workers drain and exit
+        if self.tx.take().is_some() {
+            // Queue closed; workers drain and exit.
+            let snapshot = self.stats.snapshot();
+            self.stats.event(
+                Level::Info,
+                "shutdown",
+                format!(
+                    "shutdown: batcher draining, served={} shed={}",
+                    snapshot.served, snapshot.shed
+                ),
+            );
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -362,22 +505,43 @@ impl Drop for MicroBatcher {
 
 /// One worker: collect a batch (flush-on-full / flush-on-window), run one
 /// batched forward, reply per job. Returns when the queue closes and drains.
+///
+/// With `stats.obs` on, the worker also laps a [`lmkg_obs::StageTimer`]-style
+/// breakdown into its own histogram shards: each job's admission wait on
+/// dequeue, then batch assembly / forward / reply delivery per batch. The
+/// four laps tile the request's life, so `admission + batch + forward +
+/// reply` ≈ the end-to-end latency the reply reports.
 fn worker_loop(
     rx: &Mutex<Receiver<Job>>,
     handle: &ModelHandle,
     stats: &ServeStats,
     window: Duration,
     max_batch: usize,
+    worker: usize,
 ) {
+    let obs = stats.obs;
+    let admission = stats.stages[0].shard(worker);
+    let assembly = stats.stages[1].shard(worker);
+    let forward = stats.stages[2].shard(worker);
+    let reply = stats.stages[3].shard(worker);
+    let batch_size = stats.batch_size.shard(worker);
     loop {
         let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
+        let mut timer: Option<lmkg_obs::StageTimer> = None;
         {
             // Hold the queue while collecting so one worker owns the open
             // batch; estimation below happens outside this lock, which is
             // what lets another worker collect meanwhile.
             let rx = rx.lock().expect("queue lock");
             match rx.recv() {
-                Ok(job) => batch.push(job),
+                Ok(job) => {
+                    if obs {
+                        admission.record(job.submitted.elapsed().as_secs_f64() * 1e6);
+                        timer = Some(lmkg_obs::StageTimer::start());
+                    }
+                    stats.queue_len.dec();
+                    batch.push(job);
+                }
                 Err(_) => return, // queue closed and empty
             }
             let deadline = Instant::now() + window;
@@ -387,11 +551,25 @@ fn worker_loop(
                     break;
                 }
                 match rx.recv_timeout(deadline - now) {
-                    Ok(job) => batch.push(job),
+                    Ok(job) => {
+                        if obs {
+                            admission.record(job.submitted.elapsed().as_secs_f64() * 1e6);
+                        }
+                        stats.queue_len.dec();
+                        batch.push(job);
+                    }
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
+        }
+
+        // Batch assembly ends here; its lap started at the first job's
+        // dequeue, so it includes the flush-on-window wait — the
+        // coalescing cost a latency budget actually cares about.
+        if let Some(t) = timer.as_mut() {
+            t.lap(assembly);
+            batch_size.record(batch.len() as f64);
         }
 
         // The jobs own their queries: split them out instead of cloning on
@@ -407,12 +585,18 @@ fn worker_loop(
         let estimator = handle.current();
         let estimates = estimator.estimate_batch(&queries);
         debug_assert_eq!(estimates.len(), queries.len());
+        if let Some(t) = timer.as_mut() {
+            t.lap(forward);
+        }
         stats.note_batch(queries.len());
         for ((id, submitted, out), estimate) in metas.into_iter().zip(estimates) {
             let micros = submitted.elapsed().as_secs_f64() * 1e6;
             stats.record_latency(micros);
             // A dead session (client hung up) is not an error for the server.
             let _ = out.send(Reply::Estimate { id, estimate, micros });
+        }
+        if let Some(t) = timer.as_mut() {
+            t.lap(reply);
         }
     }
 }
@@ -495,6 +679,7 @@ mod tests {
                 max_batch: 100,
                 queue_depth: 16,
                 workers: 1,
+                obs: true,
             },
         );
         let (tx, rx) = channel();
@@ -529,6 +714,7 @@ mod tests {
                 max_batch: 2,
                 queue_depth: 16,
                 workers: 1,
+                obs: true,
             },
         );
         let (tx, rx) = channel();
@@ -565,6 +751,7 @@ mod tests {
                 max_batch: 1,
                 queue_depth: 2,
                 workers: 1,
+                obs: true,
             },
         );
         let (tx, rx) = channel();
@@ -604,6 +791,7 @@ mod tests {
                 max_batch: 8,
                 queue_depth: 64,
                 workers: 2,
+                obs: true,
             },
         );
         let (tx, rx) = channel();
@@ -656,6 +844,7 @@ mod tests {
                 max_batch: 1,
                 queue_depth: 16,
                 workers: 2,
+                obs: true,
             },
         );
         let (tx, rx) = channel();
@@ -771,6 +960,7 @@ mod tests {
                 max_batch: 8,
                 queue_depth: JOBS,
                 workers: 3,
+                obs: true,
             },
         );
 
@@ -840,6 +1030,7 @@ mod tests {
                 max_batch: 1,
                 queue_depth: 1,
                 workers: 1,
+                obs: true,
             },
             Some(Arc::clone(&monitor)),
         );

@@ -49,6 +49,10 @@ Serving options (pipe, tcp, loadgen):
   --max-batch N              flush size                         [64]
   --queue-depth N            admission queue bound              [1024]
   --workers N                batcher worker threads             [2]
+  --no-obs                   disable stage-level latency tracing (counters,
+                             the latency window, and events stay on)
+  --metrics-every N          dump the METRICS exposition to stderr every
+                             N seconds (pipe, tcp; 0 = off)     [0]
 
 Adaptation options (pipe, tcp; the workload-shift loop):
   --adapt                    enable the monitor->retrain->swap loop
@@ -72,9 +76,11 @@ Mode options:
                                   adaptation benchmark onto star-N (0 = off) [0]
   sample:   --count N             request lines to print           [20]
 
-Protocol: 'EST <id> <sparql>' | 'STATS <id>' | 'QUIT' per line; replies are
-'OK <id> <estimate> us=<micros>' | 'ERR <id> <msg>' | 'OVERLOADED <id> depth=<n>'
-| 'STATS <id> served=... retrains=... tv=... p50us=...'.
+Protocol: 'EST <id> <sparql>' | 'STATS <id>' | 'METRICS <id>' | 'QUIT' per
+line; replies are 'OK <id> <estimate> us=<micros>' | 'ERR <id> <msg>' |
+'OVERLOADED <id> depth=<n>' | 'STATS <id> served=... retrains=... tv=...
+p50us=...' | a multi-line 'METRICS <id> lines=<n>' exposition ending in
+'# EOF'. LMKG_LOG=off|error|warn|info|debug filters event echo to stderr.
 ";
 
 struct Options {
@@ -97,6 +103,7 @@ struct Options {
     workload: Option<String>,
     shift_size: usize,
     quantized: Option<QuantMode>,
+    metrics_every: u64,
 }
 
 fn fail(message: &str) -> ! {
@@ -145,6 +152,7 @@ fn parse_options() -> Options {
         workload: None,
         shift_size: 0,
         quantized: None,
+        metrics_every: 0,
     };
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().unwrap_or_else(|| fail(&format!("{flag} expects a value")));
@@ -260,6 +268,12 @@ fn parse_options() -> Options {
                     QuantMode::parse(&mode)
                         .unwrap_or_else(|| fail(&format!("--quantized expects int8 or bf16, got {mode:?}"))),
                 )
+            }
+            "--no-obs" => opts.batch.obs = false,
+            "--metrics-every" => {
+                opts.metrics_every = value("--metrics-every")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--metrics-every expects an integer (seconds)"))
             }
             "--workload" => opts.workload = Some(value("--workload")),
             "--shift-size" => {
@@ -408,6 +422,23 @@ fn install_signal_handlers(flag: &ShutdownFlag) {
 #[cfg(not(unix))]
 fn install_signal_handlers(_flag: &ShutdownFlag) {}
 
+/// The `--metrics-every N` watcher: renders the full METRICS exposition to
+/// stderr every `every_s` seconds. Detached on purpose — it scrapes shared
+/// atomics only and dies with the process.
+fn start_metrics_dump(svc: &EstimationService, every_s: u64) {
+    if every_s == 0 {
+        return;
+    }
+    let stats = svc.serve_stats();
+    std::thread::Builder::new()
+        .name("lmkg-serve-metrics-dump".into())
+        .spawn(move || loop {
+            std::thread::sleep(Duration::from_secs(every_s));
+            eprintln!("{}# EOF", lmkg_serve::render_metrics(&stats));
+        })
+        .expect("spawn metrics dump thread");
+}
+
 fn main() {
     let opts = parse_options();
     eprintln!(
@@ -427,6 +458,7 @@ fn main() {
         "pipe" => {
             let (base, build_cfg) = build_lmkg(&graph, &opts);
             let (svc, adapter) = adaptive_service(&graph, &base, &build_cfg, &opts);
+            start_metrics_dump(&svc, opts.metrics_every);
             eprintln!(
                 "serve: pipe mode ready (window {:?}, max_batch {}, queue {}, workers {})",
                 opts.batch.window, opts.batch.max_batch, opts.batch.queue_depth, opts.batch.workers
@@ -447,6 +479,7 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("cannot bind {}: {e}", opts.addr)));
             let (base, build_cfg) = build_lmkg(&graph, &opts);
             let (svc, adapter) = adaptive_service(&graph, &base, &build_cfg, &opts);
+            start_metrics_dump(&svc, opts.metrics_every);
             let svc = Arc::new(svc);
             let shutdown = ShutdownFlag::new();
             install_signal_handlers(&shutdown);
@@ -504,6 +537,21 @@ fn main() {
                 report.workers, report.worker_scaling, report.available_parallelism
             );
 
+            eprintln!("serve: observability A/B — the saturated run with instrumentation on vs --no-obs …");
+            let obs = loadgen::obs_overhead(
+                &graph,
+                Arc::clone(&base) as lmkg_serve::SharedEstimator,
+                &queries,
+                &cfg,
+                3,
+            );
+            println!("{}", obs.instrumented);
+            println!("{}", obs.no_obs);
+            println!(
+                "observability overhead at saturation: {:.2}% ({:.0} qps instrumented vs {:.0} qps without)",
+                obs.overhead_pct, obs.instrumented.achieved_qps, obs.no_obs.achieved_qps
+            );
+
             let mut adaptation_json = "null".to_string();
             if opts.shift_size > 0 {
                 if !lmkg::trainable_cell((QueryShape::Star, opts.shift_size)) {
@@ -553,8 +601,9 @@ fn main() {
 
             let json = format!(
                 "{{\n  \"benchmark\": \"lmkg-serve serving + workload-shift adaptation\",\n  \
-                 \"comparison\": {},\n  \"adaptation\": {}\n}}\n",
+                 \"comparison\": {},\n  \"observability\": {},\n  \"adaptation\": {}\n}}\n",
                 report.to_json().trim_end(),
+                obs.to_json(),
                 adaptation_json
             );
             std::fs::write(&opts.json, json).unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", opts.json)));

@@ -1,0 +1,307 @@
+//! The `METRICS` exposition: every observable the serving stack records,
+//! rendered as Prometheus-style text.
+//!
+//! This is the composition point between the generic [`lmkg_obs`]
+//! primitives and LMKG's own series names. One call to [`render_metrics`]
+//! scrapes:
+//!
+//! - the request counters and the recent-window latency distribution
+//!   ([`ServeStats`]),
+//! - the four pipeline stage histograms (`admission`/`batch`/`forward`/
+//!   `reply`) and the batch-size distribution,
+//! - session, byte, and parse-error counters plus the queue-depth gauge,
+//! - the adapter's drift gauges and retrain-duration histogram,
+//! - `lmkg-nn`'s process-global profiling counters (kernel dispatches by
+//!   path and kernel, FLOPs, workspace high-water mark),
+//! - the structured event ring (per-kind counters, then `# EVENT` lines).
+//!
+//! The returned text has no trailing `# EOF`; the protocol layer's
+//! [`crate::protocol::Reply::Metrics`] appends the sentinel when framing.
+
+use crate::batcher::{ServeStats, STAGE_NAMES};
+use lmkg_obs::Expo;
+
+/// Render the full exposition for one server. All scrapes are snapshots —
+/// concurrent traffic keeps flowing while this walks the fixed bucket
+/// arrays.
+pub fn render_metrics(stats: &ServeStats) -> String {
+    let snapshot = stats.snapshot();
+    let mut e = Expo::new();
+
+    e.gauge_f64(
+        "lmkg_uptime_seconds",
+        "Seconds since the serving stats were created",
+        stats.uptime_seconds(),
+    );
+    e.counter(
+        "lmkg_requests_served_total",
+        "Requests answered with an estimate",
+        snapshot.served,
+    );
+    e.counter(
+        "lmkg_requests_shed_total",
+        "Requests shed by admission control",
+        snapshot.shed,
+    );
+    e.counter(
+        "lmkg_parse_errors_total",
+        "Request lines rejected by the protocol parser",
+        stats.parse_errors.get(),
+    );
+    e.counter("lmkg_batches_total", "Batched forwards executed", snapshot.batches);
+    e.counter(
+        "lmkg_sessions_total",
+        "Sessions opened since start",
+        stats.sessions.get(),
+    );
+    e.gauge(
+        "lmkg_sessions_active",
+        "Sessions currently open",
+        stats.sessions_active.get(),
+    );
+    e.counter(
+        "lmkg_bytes_read_total",
+        "Request bytes read from all transports",
+        stats.bytes_in.get(),
+    );
+    e.counter(
+        "lmkg_bytes_written_total",
+        "Reply bytes written to all transports",
+        stats.bytes_out.get(),
+    );
+
+    e.gauge(
+        "lmkg_queue_depth",
+        "Admitted jobs currently waiting in the bounded queue",
+        stats.queue_len(),
+    );
+    e.gauge(
+        "lmkg_queue_capacity",
+        "Configured admission-queue capacity",
+        stats.queue_capacity() as i64,
+    );
+
+    e.gauge(
+        "lmkg_model_bytes",
+        "Memory footprint of the currently published model",
+        snapshot.model_bytes as i64,
+    );
+    e.counter(
+        "lmkg_retrains_total",
+        "Adapter retrain events that published an extended model",
+        snapshot.retrains,
+    );
+    e.counter(
+        "lmkg_models_added_total",
+        "Models added across all retrain events",
+        snapshot.models_added,
+    );
+    e.gauge_f64(
+        "lmkg_drift_tv",
+        "Total-variation distance of the last drift evaluation",
+        snapshot.drift_tv,
+    );
+    e.gauge_f64(
+        "lmkg_drift_uncovered",
+        "Uncovered-query share of the last drift evaluation",
+        snapshot.drift_uncovered,
+    );
+
+    // Stage-level latency: one histogram family, one label value per stage.
+    for (i, stage) in STAGE_NAMES.iter().enumerate() {
+        let snap = stats.stages[i].snapshot();
+        let label = format!("stage=\"{stage}\",");
+        if i == 0 {
+            e.histogram(
+                "lmkg_stage_us",
+                "Per-stage request latency breakdown, microseconds (admission/batch/forward/reply laps tile the request's life)",
+                &label,
+                &snap,
+            );
+        } else {
+            e.histogram_samples("lmkg_stage_us", &label, &snap);
+        }
+    }
+    e.histogram(
+        "lmkg_batch_size",
+        "Requests coalesced per batched forward",
+        "",
+        &stats.batch_size.snapshot(),
+    );
+    e.histogram(
+        "lmkg_request_latency_window_us",
+        "Submit-to-reply latency of the most recent requests (sliding window), microseconds",
+        "",
+        &stats.window_snapshot(),
+    );
+    e.histogram(
+        "lmkg_retrain_duration_us",
+        "Wall-clock duration of adapter retrain cycles, microseconds",
+        "",
+        &stats.retrain_us.snapshot(),
+    );
+
+    // lmkg-nn's process-global profiling counters. Process-wide by design:
+    // training, adaptation, and serving all flow through the same GEMM core.
+    let profile = lmkg_nn::profile::snapshot();
+    let dispatch: Vec<(String, u64)> = profile
+        .dispatch_rows()
+        .iter()
+        .map(|(path, kernel, n)| (format!("{{path=\"{path}\",kernel=\"{kernel}\"}}"), *n))
+        .collect();
+    e.counter_family(
+        "lmkg_kernel_dispatch_total",
+        "Auto-dispatched serial matmuls by compute path (gemv fast path vs blocked packed core) and kernel",
+        &dispatch,
+    );
+    e.counter(
+        "lmkg_kernel_flops_total",
+        "Floating-point operations issued by auto-dispatched matmuls (2*m*k*n each)",
+        profile.flops,
+    );
+    e.gauge(
+        "lmkg_workspace_high_water_bytes",
+        "Largest buffer-pool footprint any single inference workspace has grown to",
+        profile.workspace_high_water_bytes as i64,
+    );
+    e.raw_line(&format!(
+        "# HELP lmkg_kernel_active The runtime-dispatched kernel ({})",
+        lmkg_nn::gemm::active_kernel().name()
+    ));
+
+    e.events("lmkg", stats.events());
+    e.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::{BatchConfig, Job, MicroBatcher};
+    use crate::protocol::Reply;
+    use lmkg::CardinalityEstimator;
+    use lmkg_store::{NodeTerm, PredTerm, Query, TriplePattern, VarId};
+    use std::sync::{mpsc, Arc};
+    use std::time::Duration;
+
+    struct One;
+    impl CardinalityEstimator for One {
+        fn name(&self) -> &str {
+            "one"
+        }
+        fn estimate(&self, _q: &Query) -> f64 {
+            1.0
+        }
+        fn memory_bytes(&self) -> usize {
+            64
+        }
+    }
+
+    fn tiny_query() -> Query {
+        Query::new(vec![TriplePattern::new(
+            NodeTerm::Var(VarId(0)),
+            PredTerm::Bound(lmkg_store::PredId(0)),
+            NodeTerm::Var(VarId(1)),
+        )])
+    }
+
+    /// Serve a few requests through an instrumented batcher and check the
+    /// exposition carries every series family.
+    #[test]
+    fn exposition_covers_all_series_families() {
+        let batcher = MicroBatcher::start(
+            Arc::new(One),
+            BatchConfig {
+                window: Duration::from_millis(1),
+                max_batch: 4,
+                queue_depth: 64,
+                workers: 2,
+                obs: true,
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        for i in 0..6 {
+            batcher
+                .submit(Job::new(format!("q{i}"), tiny_query(), tx.clone()))
+                .unwrap();
+        }
+        for _ in 0..6 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let stats = batcher.stats();
+        stats.note_parse_error("EST with no id");
+        stats.note_session_start();
+
+        let text = render_metrics(&stats);
+        for needle in [
+            "# TYPE lmkg_requests_served_total counter",
+            "lmkg_requests_served_total 6",
+            "lmkg_parse_errors_total 1",
+            "lmkg_sessions_active 1",
+            "lmkg_queue_capacity 64",
+            "lmkg_stage_us_bucket{stage=\"admission\",le=",
+            "lmkg_stage_us_count{stage=\"batch\"}",
+            "lmkg_stage_us_count{stage=\"forward\"} ",
+            "lmkg_stage_us_count{stage=\"reply\"} ",
+            "lmkg_batch_size_count ",
+            "lmkg_request_latency_window_us_count 6",
+            "lmkg_kernel_dispatch_total{path=\"gemv\",kernel=\"scalar\"}",
+            "lmkg_kernel_flops_total",
+            "lmkg_workspace_high_water_bytes",
+            "lmkg_events_total{kind=\"shed\"} 0",
+            "lmkg_events_total{kind=\"parse_error\"} 1",
+            "# EVENTS",
+        ] {
+            assert!(text.contains(needle), "exposition missing {needle:?}\n---\n{text}");
+        }
+        assert!(!text.contains("# EOF"), "the protocol layer owns the terminator");
+
+        // Every forward ran under obs: the four stage families all saw
+        // samples, and their counts agree where the pipeline implies it.
+        let forward_count: u64 = text
+            .lines()
+            .find(|l| l.starts_with("lmkg_stage_us_count{stage=\"forward\"}"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(forward_count >= 1, "forward stage recorded no batches");
+
+        // The exposition is parseable line-by-line: every non-comment line
+        // is `name{labels} value` with a numeric value.
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable sample value in {line:?}");
+        }
+
+        // A METRICS reply wraps this text with the framing header and EOF.
+        let reply = Reply::Metrics { id: "m".into(), text };
+        let wire = reply.to_string();
+        assert!(wire.starts_with("METRICS m lines="));
+        assert!(wire.ends_with("# EOF"));
+    }
+
+    /// With obs off, stage histograms stay empty but the exposition still
+    /// renders (counters, events, kernel profile).
+    #[test]
+    fn no_obs_exposition_has_empty_stages() {
+        let batcher = MicroBatcher::start(
+            Arc::new(One),
+            BatchConfig {
+                obs: false,
+                ..BatchConfig::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        batcher.submit(Job::new("q0".into(), tiny_query(), tx.clone())).unwrap();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let text = render_metrics(&batcher.stats());
+        assert!(text.contains("lmkg_requests_served_total 1"));
+        assert!(text.contains("lmkg_stage_us_count{stage=\"forward\"} 0"));
+        assert!(
+            text.contains("lmkg_request_latency_window_us_count 1"),
+            "the latency window is not gated by obs"
+        );
+    }
+}

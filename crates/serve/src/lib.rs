@@ -9,10 +9,15 @@
 //! The pieces, bottom-up:
 //!
 //! * [`protocol`] — the line-based wire protocol: `EST <id> <sparql>`
-//!   requests in, `OK/ERR/OVERLOADED/STATS` replies out. Requests and
-//!   replies round-trip through parse/format.
+//!   requests in, `OK/ERR/OVERLOADED/STATS` replies out, plus the framed
+//!   multi-line `METRICS` exposition. Requests and replies round-trip
+//!   through parse/format.
 //! * [`latency`] — a streaming latency reporter: p50/p95/p99 over a sliding
-//!   window, printable on demand (`STATS`) and at shutdown.
+//!   window of [`lmkg_obs`] log-bucket indices, printable on demand
+//!   (`STATS`) and at shutdown.
+//! * [`expose`] — the `METRICS` renderer: every counter, stage histogram,
+//!   kernel-profile reading, and structured event the stack records,
+//!   composed into one Prometheus-style text exposition.
 //! * [`batcher`] — the micro-batcher: a bounded admission queue
 //!   (shed-on-overflow with a structured `OVERLOADED` reply) feeding worker
 //!   threads that coalesce arrivals within a configurable window / max batch
@@ -60,14 +65,20 @@
 
 pub mod adapter;
 pub mod batcher;
+pub mod expose;
 pub mod latency;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
 pub use adapter::{Adapter, AdapterConfig};
-pub use batcher::{BatchConfig, Job, MicroBatcher, ModelHandle, ServeStats, SharedEstimator, SharedMonitor};
+pub use batcher::{
+    BatchConfig, Job, MicroBatcher, ModelHandle, ServeStats, SharedEstimator, SharedMonitor, EVENT_KINDS, STAGE_NAMES,
+};
+pub use expose::render_metrics;
 pub use latency::{percentile, SlidingWindow, StatsSnapshot};
-pub use loadgen::{ComparisonReport, LoadgenConfig, RunReport, ShiftConfig, ShiftReport, WorkloadLineError};
+pub use loadgen::{
+    ComparisonReport, LoadgenConfig, ObsOverheadReport, RunReport, ShiftConfig, ShiftReport, WorkloadLineError,
+};
 pub use protocol::{ProtocolError, Reply, Request};
 pub use server::{serve_stream, serve_tcp, EstimationService, LineOutcome, ShutdownFlag};

@@ -232,7 +232,7 @@ pub fn replay_with_estimates(
                     }
                     Reply::Overloaded { .. } => shed += 1,
                     Reply::Error { .. } => errors += 1,
-                    Reply::Stats { .. } => {}
+                    Reply::Stats { .. } | Reply::Metrics { .. } => {}
                 }
             }
             (ok, shed, errors, latencies, estimates)
@@ -303,8 +303,8 @@ impl std::error::Error for WorkloadLineError {}
 
 /// Parses a replayable workload from text: one query per line, either as a
 /// protocol request line (`EST <id> <sparql>`, as `serve sample` emits) or
-/// as bare SPARQL. Blank lines and `#` comments are skipped; `STATS`/`QUIT`
-/// lines from captured sessions are ignored. A malformed line is a proper
+/// as bare SPARQL. Blank lines and `#` comments are skipped;
+/// `STATS`/`METRICS`/`QUIT` lines from captured sessions are ignored. A malformed line is a proper
 /// [`WorkloadLineError`] carrying its line number — it must not take the
 /// load generator down.
 pub fn parse_workload(text: &str, graph: &KnowledgeGraph) -> Result<Vec<Query>, WorkloadLineError> {
@@ -316,7 +316,7 @@ pub fn parse_workload(text: &str, graph: &KnowledgeGraph) -> Result<Vec<Query>, 
         }
         let sparql_text = match Request::parse(line) {
             Ok(Request::Estimate { sparql, .. }) => sparql,
-            Ok(Request::Stats { .. } | Request::Quit) => continue,
+            Ok(Request::Stats { .. } | Request::Metrics { .. } | Request::Quit) => continue,
             // Not a request line: treat the whole line as bare SPARQL.
             Err(_) => line.to_string(),
         };
@@ -410,6 +410,79 @@ pub fn compare(
         micro_batched,
         saturated_1w,
         saturated_multi,
+    }
+}
+
+/// The observability A/B: the same saturated workload served with the full
+/// instrumentation on (`BatchConfig::obs`, the default) and off
+/// (`serve … --no-obs`).
+#[derive(Debug, Clone)]
+pub struct ObsOverheadReport {
+    /// Saturated run with stage tracing and histograms recording.
+    pub instrumented: RunReport,
+    /// The same saturated run with `obs: false`.
+    pub no_obs: RunReport,
+    /// Saturated throughput lost to instrumentation, percent:
+    /// `(1 − instrumented/no_obs) · 100`. Negative means run-to-run noise
+    /// favored the instrumented side.
+    pub overhead_pct: f64,
+}
+
+impl ObsOverheadReport {
+    /// Machine-readable form (the `"observability"` section of
+    /// `BENCH_serve.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"instrumented\": {},\n    \"no_obs\": {},\n    \"overhead_pct\": {:.2}\n  }}",
+            self.instrumented.json_object(),
+            self.no_obs.json_object(),
+            self.overhead_pct
+        )
+    }
+}
+
+/// Measures what the observability layer costs at saturation: the
+/// micro-batched configuration from `cfg`, offered far beyond capacity
+/// (like the worker-scaling pair in [`compare`]), once with `obs: true`
+/// and once with `obs: false` — best-of-`rounds` on achieved throughput
+/// per side, so scheduler noise does not masquerade as instrumentation
+/// cost.
+pub fn obs_overhead(
+    graph: &Arc<KnowledgeGraph>,
+    estimator: SharedEstimator,
+    queries: &[Query],
+    cfg: &LoadgenConfig,
+    rounds: usize,
+) -> ObsOverheadReport {
+    let rounds = rounds.max(1);
+    let calibrated_qps = 2.0 / calibrate(&estimator, queries).max(1e-9);
+    let offered_qps = if cfg.qps > 0.0 { cfg.qps } else { calibrated_qps };
+    let saturated_qps = (calibrated_qps * 8.0).max(offered_qps);
+    let lines = request_lines(queries, graph, cfg.requests);
+    let warmup_lines = request_lines(queries, graph, cfg.warmup.max(1));
+    let best = |obs: bool, mode: &str| -> RunReport {
+        let mut best: Option<RunReport> = None;
+        for _ in 0..rounds {
+            let batch = BatchConfig {
+                obs,
+                ..cfg.batch.clone()
+            };
+            let svc = EstimationService::new(Arc::clone(graph), Arc::clone(&estimator), batch);
+            let _ = replay(&svc, &warmup_lines, saturated_qps, "warmup");
+            let run = replay(&svc, &lines, saturated_qps, mode);
+            if best.as_ref().is_none_or(|b| run.achieved_qps > b.achieved_qps) {
+                best = Some(run);
+            }
+        }
+        best.expect("rounds >= 1")
+    };
+    let instrumented = best(true, "obs_on");
+    let no_obs = best(false, "obs_off");
+    let overhead_pct = (1.0 - instrumented.achieved_qps / no_obs.achieved_qps.max(1e-9)) * 100.0;
+    ObsOverheadReport {
+        instrumented,
+        no_obs,
+        overhead_pct,
     }
 }
 
@@ -707,6 +780,7 @@ EST q2 SELECT * WHERE { ?x :p ?y . }
                 max_batch: 16,
                 queue_depth: 256,
                 workers: 2,
+                obs: true,
             },
         };
         let estimator: SharedEstimator = Arc::new(GraphSummary::build(&graph));

@@ -8,6 +8,7 @@
 //! ```text
 //! request  := "EST" <id> <sparql>      estimate one SPARQL BGP
 //!           | "STATS" <id>             ask for the serving statistics
+//!           | "METRICS" <id>           ask for the full metrics exposition
 //!           | "QUIT"                   close the session
 //! reply    := "OK" <id> <estimate> us=<micros>
 //!           | "ERR" <id> <message>
@@ -15,7 +16,15 @@
 //!           | "STATS" <id> served=<n> shed=<n> batches=<n>
 //!                          retrains=<n> added=<n> model=<bytes> tv=<f>
 //!                          uncovered=<f> p50us=<f> p95us=<f> p99us=<f>
+//!           | "METRICS" <id> lines=<n>
+//!             <n lines of Prometheus-style exposition text,
+//!              the last of which is "# EOF">
 //! ```
+//!
+//! `METRICS` is the one multi-line reply: the header's `lines=<n>` field
+//! frames the body (so a client reads exactly `n` more lines), and the body
+//! independently ends with a `# EOF` sentinel for stream-oriented consumers.
+//! Every other reply remains a single line.
 //!
 //! The `retrains`/`added`/`tv`/`uncovered` fields report the online
 //! adaptation loop (retrain events, models added, last drift evaluation)
@@ -89,6 +98,12 @@ pub enum Request {
         /// Client-chosen reply-matching token.
         id: String,
     },
+    /// `METRICS <id>` — report the full metrics exposition (counters, stage
+    /// histograms, kernel-dispatch counters, recent events).
+    Metrics {
+        /// Client-chosen reply-matching token.
+        id: String,
+    },
     /// `QUIT` — end the session.
     Quit,
 }
@@ -119,6 +134,15 @@ impl Request {
                     err(format!("unexpected tokens after STATS id: {extra:?}"))
                 }
             }
+            "METRICS" => {
+                let (id, extra) = next_token(rest);
+                let id = parse_id(id, "METRICS")?;
+                if extra.trim_end().is_empty() {
+                    Ok(Request::Metrics { id })
+                } else {
+                    err(format!("unexpected tokens after METRICS id: {extra:?}"))
+                }
+            }
             "QUIT" => {
                 if rest.trim_end().is_empty() {
                     Ok(Request::Quit)
@@ -126,7 +150,9 @@ impl Request {
                     err(format!("unexpected tokens after QUIT: {rest:?}"))
                 }
             }
-            other => err(format!("unknown request verb {other:?} (expected EST, STATS, or QUIT)")),
+            other => err(format!(
+                "unknown request verb {other:?} (expected EST, STATS, METRICS, or QUIT)"
+            )),
         }
     }
 }
@@ -136,6 +162,7 @@ impl fmt::Display for Request {
         match self {
             Request::Estimate { id, sparql } => write!(f, "EST {id} {sparql}"),
             Request::Stats { id } => write!(f, "STATS {id}"),
+            Request::Metrics { id } => write!(f, "METRICS {id}"),
             Request::Quit => write!(f, "QUIT"),
         }
     }
@@ -176,6 +203,20 @@ pub enum Reply {
         id: String,
         /// The snapshot.
         snapshot: StatsSnapshot,
+    },
+    /// `METRICS <id> lines=<n>` followed by `n` lines of exposition text —
+    /// the one multi-line reply. `text` is the exposition body *without*
+    /// the terminating `# EOF` line; Display appends it (and the header's
+    /// `lines=` count includes it), so the wire form always ends with the
+    /// sentinel.
+    Metrics {
+        /// Echo of the request id.
+        id: String,
+        /// The Prometheus-style exposition body (no `# EOF`). Empty when
+        /// this value came from parsing a header line: the body travels on
+        /// subsequent lines, which the line-oriented parser does not
+        /// consume — clients read `lines=<n>` more lines themselves.
+        text: String,
     },
 }
 
@@ -277,6 +318,24 @@ impl Reply {
                     _ => err("STATS reply is missing fields"),
                 }
             }
+            "METRICS" => {
+                let id = parse_id(id_token, "METRICS")?;
+                let has_lines = rest
+                    .trim_end()
+                    .strip_prefix("lines=")
+                    .and_then(|t| t.parse::<u64>().ok())
+                    .is_some();
+                if !has_lines {
+                    return err("METRICS requires a lines=<n> field");
+                }
+                // The body is on subsequent lines; a line-oriented parser
+                // only sees the header. Callers consume `lines=<n>` more
+                // lines (ending in `# EOF`) themselves.
+                Ok(Reply::Metrics {
+                    id,
+                    text: String::new(),
+                })
+            }
             other => err(format!("unknown reply verb {other:?}")),
         }
     }
@@ -289,6 +348,16 @@ impl fmt::Display for Reply {
             Reply::Error { id, message } => write!(f, "ERR {id} {message}"),
             Reply::Overloaded { id, depth } => write!(f, "OVERLOADED {id} depth={depth}"),
             Reply::Stats { id, snapshot } => write!(f, "STATS {id} {snapshot}"),
+            Reply::Metrics { id, text } => {
+                let body = text.trim_end_matches('\n');
+                // lines= counts everything after the header, # EOF included.
+                let lines = if body.is_empty() { 1 } else { body.lines().count() + 1 };
+                if body.is_empty() {
+                    write!(f, "METRICS {id} lines={lines}\n# EOF")
+                } else {
+                    write!(f, "METRICS {id} lines={lines}\n{body}\n# EOF")
+                }
+            }
         }
     }
 }
@@ -305,6 +374,7 @@ mod tests {
                 sparql: "SELECT * WHERE { ?x :p ?y . ?y :q ?z . }".into(),
             },
             Request::Stats { id: "s1".into() },
+            Request::Metrics { id: "m1".into() },
             Request::Quit,
         ];
         for req in cases {
@@ -372,6 +442,38 @@ mod tests {
     }
 
     #[test]
+    fn metrics_reply_frames_its_body() {
+        let reply = Reply::Metrics {
+            id: "m1".into(),
+            text: "# HELP x y\n# TYPE x counter\nx 3\n".into(),
+        };
+        let wire = reply.to_string();
+        let mut lines = wire.lines();
+        // Header counts body lines + the # EOF sentinel.
+        assert_eq!(lines.next(), Some("METRICS m1 lines=4"));
+        assert_eq!(wire.lines().last(), Some("# EOF"));
+        assert_eq!(wire.lines().count(), 5);
+        assert!(!wire.ends_with('\n'), "transport's writeln! supplies the final newline");
+
+        // The header alone parses back into a (body-less) Metrics reply.
+        let parsed = Reply::parse("METRICS m1 lines=4").unwrap();
+        assert_eq!(
+            parsed,
+            Reply::Metrics {
+                id: "m1".into(),
+                text: String::new()
+            }
+        );
+
+        // Empty body still frames a lone # EOF.
+        let empty = Reply::Metrics {
+            id: "m2".into(),
+            text: String::new(),
+        };
+        assert_eq!(empty.to_string(), "METRICS m2 lines=1\n# EOF");
+    }
+
+    #[test]
     fn stats_adaptation_fields_are_optional() {
         // A transcript from a server without an adapter (or an older one)
         // carries no retrains/added/model/tv/uncovered fields; they default
@@ -430,6 +532,8 @@ mod tests {
             ("EST q1    ", "requires a SPARQL query"),
             ("STATS", "requires an id"),
             ("STATS s1 extra", "unexpected tokens"),
+            ("METRICS", "requires an id"),
+            ("METRICS m1 extra", "unexpected tokens"),
             ("QUIT now", "unexpected tokens"),
         ] {
             let e = Request::parse(line).unwrap_err();
@@ -453,6 +557,8 @@ mod tests {
             "ERR q1",
             "STATS s1 served=1",
             "STATS s1 bogus=2",
+            "METRICS m1",
+            "METRICS m1 lines=abc",
             "NOPE q1 1",
         ] {
             assert!(Reply::parse(line).is_err(), "{line:?} should not parse");

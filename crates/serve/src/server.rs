@@ -97,6 +97,7 @@ impl EstimationService {
         let request = match Request::parse(line) {
             Ok(request) => request,
             Err(e) => {
+                self.batcher.stats().note_parse_error(&e.message);
                 let _ = out.send(Reply::Error {
                     id: "-".into(),
                     message: e.message,
@@ -110,6 +111,13 @@ impl EstimationService {
                 let _ = out.send(Reply::Stats {
                     id,
                     snapshot: self.stats(),
+                });
+                LineOutcome::Continue
+            }
+            Request::Metrics { id } => {
+                let _ = out.send(Reply::Metrics {
+                    id,
+                    text: crate::expose::render_metrics(&self.batcher.stats()),
                 });
                 LineOutcome::Continue
             }
@@ -144,19 +152,30 @@ where
     R: BufRead,
     W: Write + Send + 'static,
 {
+    let stats = svc.serve_stats();
+    stats.note_session_start();
     let (tx, rx) = mpsc::channel::<Reply>();
     let writer_thread = std::thread::Builder::new()
         .name("lmkg-serve-writer".into())
-        .spawn(move || {
-            let mut writer = writer;
-            for reply in rx {
-                // Line-buffered on purpose: each reply is flushed so an
-                // interactive client sees it immediately.
-                if writeln!(writer, "{reply}").and_then(|()| writer.flush()).is_err() {
-                    break; // client hung up; drain silently
+        .spawn({
+            let stats = Arc::clone(&stats);
+            move || {
+                let mut writer = writer;
+                for reply in rx {
+                    // Line-buffered on purpose: each reply is flushed so an
+                    // interactive client sees it immediately.
+                    let line = reply.to_string();
+                    let sent = writer
+                        .write_all(line.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .and_then(|()| writer.flush());
+                    if sent.is_err() {
+                        break; // client hung up; drain silently
+                    }
+                    stats.bytes_out.add(line.len() as u64 + 1);
                 }
+                writer
             }
-            writer
         })
         .expect("spawn writer thread");
 
@@ -167,6 +186,7 @@ where
             // non-UTF-8 line is just one malformed request — reply ERR and
             // keep the session alive, like any other garbage input.
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                stats.note_parse_error("request line is not valid UTF-8");
                 let _ = tx.send(Reply::Error {
                     id: "-".into(),
                     message: "request line is not valid UTF-8".into(),
@@ -175,6 +195,7 @@ where
             }
             Err(_) => break, // transport failure: end the session
         };
+        stats.bytes_in.add(line.len() as u64 + 1);
         if svc.handle_line(&line, &tx) == LineOutcome::Quit {
             break;
         }
@@ -182,7 +203,9 @@ where
     // Close our sender; in-flight jobs hold clones, so the writer exits
     // exactly when the last outstanding reply has been written.
     drop(tx);
-    writer_thread.join().expect("writer thread panicked")
+    let writer = writer_thread.join().expect("writer thread panicked");
+    stats.note_session_end();
+    writer
 }
 
 /// A cloneable signal that asks the TCP accept loop to shut down

@@ -76,6 +76,7 @@ fn adapter_closes_the_workload_shift_loop_bitwise() {
             max_batch: 8,
             queue_depth: 8192,
             workers: 2,
+            obs: true,
         },
         Some(Arc::clone(&monitor)),
     );
