@@ -86,6 +86,7 @@ fn bench_serving_modes(_c: &mut Criterion) {
         qps: 0.0, // auto-calibrate: offer 2x the direct per-query service rate
         requests: 4000,
         warmup: 300,
+        tenant: None,
         batch: BatchConfig {
             window: Duration::from_millis(2),
             max_batch: 64,
@@ -121,7 +122,7 @@ fn bench_serving_modes(_c: &mut Criterion) {
     // The observability A/B: the same saturated configuration with stage
     // tracing on vs off, best-of-3 per side so one noisy round cannot fail
     // the gate on its own.
-    let obs = loadgen::obs_overhead(&g, estimator, &queries, &loadgen_cfg, 3);
+    let obs = loadgen::obs_overhead(&g, Arc::clone(&estimator) as _, &queries, &loadgen_cfg, 3);
     println!("{}", obs.instrumented);
     println!("{}", obs.no_obs);
     println!(
@@ -129,11 +130,25 @@ fn bench_serving_modes(_c: &mut Criterion) {
         obs.overhead_pct, obs.instrumented.achieved_qps, obs.no_obs.achieved_qps
     );
 
+    // Two tenants at equal offered load, the hot one behind a tiny
+    // admission quota: per-tenant achieved QPS and p95, plus the isolation
+    // verdict (the hot tenant sheds, the cool tenant never does).
+    let mt = loadgen::multi_tenant(&g, estimator, &queries, &loadgen_cfg);
+    println!("{}", mt.hot);
+    println!("{}", mt.cool);
+    println!(
+        "serve_latency: two tenants at {:.0} qps each (hot quota {}): quota isolation {}",
+        mt.offered_qps,
+        mt.hot_quota,
+        if mt.isolated { "held" } else { "VIOLATED" }
+    );
+
     let json = format!(
         "{{\n  \"benchmark\": \"lmkg-serve serving + observability overhead\",\n  \
-         \"comparison\": {},\n  \"observability\": {}\n}}\n",
+         \"comparison\": {},\n  \"observability\": {},\n  \"multi_tenant\": {}\n}}\n",
         report.to_json().trim_end(),
-        obs.to_json()
+        obs.to_json(),
+        mt.to_json()
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, json).expect("write BENCH_serve.json");
@@ -147,6 +162,21 @@ fn bench_serving_modes(_c: &mut Criterion) {
             "WARNING: micro-batched serving did not beat per-request serving \
              ({:.2}x) — investigate unless the runner was oversubscribed",
             report.throughput_gain
+        );
+    }
+    // Quota isolation is a correctness property, not a perf number: the
+    // cool tenant sits behind a quota its offered load can never fill, so
+    // any shed there means admission control leaked across namespaces.
+    assert_eq!(
+        mt.cool.shed, 0,
+        "cool tenant shed {} requests while the hot tenant was saturated — quota isolation violated",
+        mt.cool.shed
+    );
+    if !mt.isolated {
+        eprintln!(
+            "WARNING: hot tenant never shed under {:.0} qps at quota {} — \
+             the isolation verdict is vacuous this run",
+            mt.offered_qps, mt.hot_quota
         );
     }
     // The observability layer is a handful of relaxed atomic bumps and two

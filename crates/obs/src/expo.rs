@@ -48,10 +48,26 @@ impl Expo {
         self.out.push('\n');
     }
 
+    /// Formats a trailing-comma label prefix (e.g. `tenant="a",`) as a full
+    /// label set (`{tenant="a"}`), or nothing for the empty prefix.
+    fn braced(extra_label: &str) -> String {
+        if extra_label.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", extra_label.trim_end_matches(','))
+        }
+    }
+
     /// Emit a counter with a single unlabeled sample.
     pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.counter_with(name, help, "", value);
+    }
+
+    /// Emit a counter with a single sample under `extra_label` (a
+    /// trailing-comma prefix like `tenant="a",`, or `""` for none).
+    pub fn counter_with(&mut self, name: &str, help: &str, extra_label: &str, value: u64) {
         self.header(name, help, "counter");
-        self.sample(name, "", &value.to_string());
+        self.sample(name, &Self::braced(extra_label), &value.to_string());
     }
 
     /// Emit a counter family: one `# TYPE` header, one sample per
@@ -66,14 +82,26 @@ impl Expo {
 
     /// Emit a gauge with a single integer sample.
     pub fn gauge(&mut self, name: &str, help: &str, value: i64) {
+        self.gauge_with(name, help, "", value);
+    }
+
+    /// Emit a gauge with a single integer sample under `extra_label` (a
+    /// trailing-comma prefix like `tenant="a",`, or `""` for none).
+    pub fn gauge_with(&mut self, name: &str, help: &str, extra_label: &str, value: i64) {
         self.header(name, help, "gauge");
-        self.sample(name, "", &value.to_string());
+        self.sample(name, &Self::braced(extra_label), &value.to_string());
     }
 
     /// Emit a gauge with a single floating-point sample.
     pub fn gauge_f64(&mut self, name: &str, help: &str, value: f64) {
+        self.gauge_f64_with(name, help, "", value);
+    }
+
+    /// Emit a gauge with a single floating-point sample under `extra_label`
+    /// (a trailing-comma prefix like `tenant="a",`, or `""` for none).
+    pub fn gauge_f64_with(&mut self, name: &str, help: &str, extra_label: &str, value: f64) {
         self.header(name, help, "gauge");
-        self.sample(name, "", &format!("{value}"));
+        self.sample(name, &Self::braced(extra_label), &format!("{value}"));
     }
 
     /// Emit a histogram from a snapshot. `extra_label` is prepended inside
@@ -112,10 +140,17 @@ impl Expo {
     /// (newlines inside messages are flattened to spaces so one event is
     /// always one line).
     pub fn events(&mut self, prefix: &str, log: &EventLog) {
+        self.events_with(prefix, "", log);
+    }
+
+    /// Like [`Expo::events`], with `extra_label` (a trailing-comma prefix
+    /// like `tenant="a",`, or `""` for none) prepended inside every counter
+    /// label set — the per-tenant exposition routes through here.
+    pub fn events_with(&mut self, prefix: &str, extra_label: &str, log: &EventLog) {
         let kind_samples: Vec<(String, u64)> = log
             .kind_counts()
             .iter()
-            .map(|(k, n)| (format!("{{kind=\"{k}\"}}"), *n))
+            .map(|(k, n)| (format!("{{{extra_label}kind=\"{k}\"}}"), *n))
             .collect();
         self.counter_family(
             &format!("{prefix}_events_total"),
@@ -125,7 +160,7 @@ impl Expo {
         let level_samples: Vec<(String, u64)> = log
             .level_counts()
             .iter()
-            .map(|(l, n)| (format!("{{level=\"{}\"}}", l.name()), *n))
+            .map(|(l, n)| (format!("{{{}level=\"{}\"}}", extra_label, l.name()), *n))
             .collect();
         self.counter_family(
             &format!("{prefix}_events_by_level_total"),
@@ -207,6 +242,33 @@ mod tests {
         let text = e.finish();
         assert!(text.contains("\nw_sum 3\n"));
         assert!(text.contains("\nw_count 1\n"));
+    }
+
+    #[test]
+    fn labeled_singles_render_full_label_sets() {
+        let mut e = Expo::new();
+        e.counter_with("t_total", "things", "tenant=\"a\",", 7);
+        e.gauge_with("depth", "queue depth", "tenant=\"a\",", -2);
+        e.gauge_f64_with("tv", "drift", "tenant=\"a\",", 0.25);
+        let text = e.finish();
+        assert!(text.contains("\nt_total{tenant=\"a\"} 7\n"));
+        assert!(text.contains("\ndepth{tenant=\"a\"} -2\n"));
+        assert!(text.contains("\ntv{tenant=\"a\"} 0.25\n"));
+        // The empty prefix degenerates to the unlabeled form.
+        let mut e = Expo::new();
+        e.counter_with("t_total", "things", "", 7);
+        assert!(e.finish().contains("\nt_total 7\n"));
+    }
+
+    #[test]
+    fn events_with_prepends_the_extra_label() {
+        let log = EventLog::new(4, &["shed"]);
+        log.log(crate::events::Level::Info, "shed", "one".into());
+        let mut e = Expo::new();
+        e.events_with("lmkg", "tenant=\"b\",", &log);
+        let text = e.finish();
+        assert!(text.contains("lmkg_events_total{tenant=\"b\",kind=\"shed\"} 1\n"));
+        assert!(text.contains("lmkg_events_by_level_total{tenant=\"b\",level=\"info\"} 1\n"));
     }
 
     #[test]

@@ -21,13 +21,21 @@
 //!    batches finish on the model they already resolved, the next batch sees
 //!    the new one. No request is dropped, no batch is torn.
 //!
+//! One adapter thread serves *all* tenants of a multi-tenant service
+//! ([`Adapter::start_multi`]): each tick it walks the tenant list, evaluates
+//! each tenant's own monitor against that tenant's current framework, and
+//! swaps each tenant's [`ModelHandle`] independently — retraining tenant A
+//! never pauses serving (or adaptation bookkeeping) for tenant B, because
+//! the workers never block on the adapter in the first place.
+//!
 //! Training happens on the adapter thread (plus the scoped training threads
 //! `Lmkg::extend` spawns), never on a worker — the estimation path stays
 //! lock-free and swap-latency is one `RwLock` write for the pointer, not the
 //! training time.
 
 use crate::batcher::{BatchConfig, ModelHandle, ServeStats, SharedEstimator, SharedMonitor};
-use crate::server::EstimationService;
+use crate::protocol::DEFAULT_TENANT;
+use crate::server::{EstimationService, ServeBuilder, TenantSpec};
 use lmkg::framework::{trainable_cell, Lmkg, LmkgConfig};
 use lmkg::{CardinalityEstimator, Cell, WorkloadMonitor};
 use lmkg_obs::Level;
@@ -74,19 +82,62 @@ impl Default for AdapterConfig {
     }
 }
 
+/// Everything the adapter needs to run one tenant's adaptation loop:
+/// the tenant's graph, the framework its batcher currently serves,
+/// the configuration it was built with (extensions train with its
+/// hyperparameters and budget), and the tenant's serving seams — model
+/// handle, monitor, stats (see
+/// [`EstimationService::tenant_model`] et al.).
+pub struct TenantAdapterSpec {
+    /// The namespace this loop adapts (drives the event prefix: the
+    /// `default` tenant logs plain `adapter:` lines, others
+    /// `adapter[name]:`).
+    pub name: String,
+    /// The tenant's graph, queried when training extension models.
+    pub graph: Arc<KnowledgeGraph>,
+    /// The framework the tenant's batcher currently serves.
+    pub base: Arc<Lmkg>,
+    /// The configuration `base` was built with.
+    pub build_cfg: LmkgConfig,
+    /// The tenant's swappable model slot.
+    pub handle: Arc<ModelHandle>,
+    /// The monitor the tenant's admission path observes into.
+    pub monitor: SharedMonitor,
+    /// The tenant's counter block (drift gauges, retrain events).
+    pub stats: Arc<ServeStats>,
+}
+
+/// One tenant's mutable loop state, private to the adapter thread.
+struct TenantState {
+    spec: TenantAdapterSpec,
+    /// `"adapter:"` for the default tenant (pre-multi-tenant event format),
+    /// `"adapter[name]:"` otherwise.
+    prefix: String,
+    current: Arc<Lmkg>,
+    /// Cells that were selected but yielded no model (e.g. the LMKG-U
+    /// domain guard): never re-attempted, or a persistent exotic workload
+    /// would make every tick a futile training run.
+    failed: HashSet<Cell>,
+}
+
+/// The `(tenant name, most recently published framework)` slots the adapter
+/// thread writes and [`Adapter::current_for`] reads.
+type CurrentSlots = RwLock<Vec<(String, Arc<Lmkg>)>>;
+
 /// The background adaptation thread. Dropping it (or calling
 /// [`Adapter::stop`]) signals the loop and joins it — never mid-swap, since
-/// the stop flag is only checked between whole iterations.
+/// the stop flag is only checked between whole tenant iterations.
 pub struct Adapter {
     stop: Arc<AtomicBool>,
-    current: Arc<RwLock<Arc<Lmkg>>>,
+    current: Arc<CurrentSlots>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl Adapter {
-    /// Spawns the adaptation loop over a serving setup: `base` must be the
-    /// same framework the batcher's `handle` currently serves, `monitor`
-    /// the one its admission path observes into, `stats` its counter block
+    /// Spawns the adaptation loop over a single-tenant serving setup:
+    /// `base` must be the same framework the batcher's `handle` currently
+    /// serves, `monitor` the one its admission path observes into, `stats`
+    /// its counter block
     /// ([`crate::server::EstimationService::serve_stats`]). `build_cfg` is
     /// the configuration the base was built with — extensions train with
     /// its hyperparameters and budget.
@@ -99,18 +150,52 @@ impl Adapter {
         stats: Arc<ServeStats>,
         cfg: AdapterConfig,
     ) -> Self {
+        Self::start_multi(
+            vec![TenantAdapterSpec {
+                name: DEFAULT_TENANT.into(),
+                graph,
+                base,
+                build_cfg,
+                handle,
+                monitor,
+                stats,
+            }],
+            cfg,
+        )
+    }
+
+    /// Spawns one adaptation thread over many tenants. Each tick walks the
+    /// tenant list in order: every tenant's monitor is evaluated against
+    /// that tenant's current framework, and each tenant's `ModelHandle` is
+    /// swapped independently — live traffic on the other tenants keeps
+    /// flowing (and keeps being answered) while one tenant trains.
+    pub fn start_multi(specs: Vec<TenantAdapterSpec>, cfg: AdapterConfig) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
-        let current = Arc::new(RwLock::new(Arc::clone(&base)));
+        let current = Arc::new(RwLock::new(
+            specs
+                .iter()
+                .map(|s| (s.name.clone(), Arc::clone(&s.base)))
+                .collect::<Vec<_>>(),
+        ));
+        let mut tenants: Vec<TenantState> = specs
+            .into_iter()
+            .map(|spec| TenantState {
+                prefix: if spec.name == DEFAULT_TENANT {
+                    "adapter:".into()
+                } else {
+                    format!("adapter[{}]:", spec.name)
+                },
+                current: Arc::clone(&spec.base),
+                failed: HashSet::new(),
+                spec,
+            })
+            .collect();
         let thread = {
             let stop = Arc::clone(&stop);
             let current = Arc::clone(&current);
             std::thread::Builder::new()
                 .name("lmkg-serve-adapter".into())
-                .spawn(move || {
-                    adapter_loop(
-                        &graph, base, &build_cfg, &handle, &monitor, &stats, &cfg, &stop, &current,
-                    )
-                })
+                .spawn(move || adapter_loop(&mut tenants, &cfg, &stop, &current))
                 .expect("spawn adapter thread")
         };
         Self {
@@ -120,15 +205,27 @@ impl Adapter {
         }
     }
 
-    /// The framework the adapter most recently published (the base until the
-    /// first retrain). Unlike `ModelHandle::current`, this is the concrete
-    /// `Lmkg`, so callers can ask `covers` questions.
-    pub fn current(&self) -> Arc<Lmkg> {
-        Arc::clone(&self.current.read().expect("adapter current lock"))
+    /// The framework the adapter most recently published for `name` (the
+    /// tenant's base until its first retrain), or `None` for a tenant the
+    /// adapter does not drive. Unlike `ModelHandle::current`, this is the
+    /// concrete `Lmkg`, so callers can ask `covers` questions.
+    pub fn current_for(&self, name: &str) -> Option<Arc<Lmkg>> {
+        self.current
+            .read()
+            .expect("adapter current lock")
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, model)| Arc::clone(model))
     }
 
-    /// Signals the loop and joins the thread, returning the final published
-    /// framework.
+    /// The first tenant's most recently published framework — for a
+    /// single-tenant adapter, *the* framework.
+    pub fn current(&self) -> Arc<Lmkg> {
+        Arc::clone(&self.current.read().expect("adapter current lock")[0].1)
+    }
+
+    /// Signals the loop and joins the thread, returning the first tenant's
+    /// final published framework.
     pub fn stop(mut self) -> Arc<Lmkg> {
         self.halt();
         self.current()
@@ -161,12 +258,14 @@ pub fn adaptive_service(
     cfg: AdapterConfig,
 ) -> (EstimationService, Adapter) {
     let monitor: SharedMonitor = Arc::new(Mutex::new(WorkloadMonitor::new(cfg.window, &build_cfg.cells())));
-    let svc = EstimationService::new_observed(
-        Arc::clone(graph),
-        Arc::clone(base) as SharedEstimator,
-        batch,
-        Some(Arc::clone(&monitor)),
-    );
+    let svc = ServeBuilder::new()
+        .batch(batch)
+        .tenant(
+            TenantSpec::new(DEFAULT_TENANT, Arc::clone(graph), Arc::clone(base) as SharedEstimator)
+                .observed(Arc::clone(&monitor)),
+        )
+        .build()
+        .expect("a single default tenant always builds");
     let adapter = Adapter::start(
         Arc::clone(graph),
         Arc::clone(base),
@@ -179,24 +278,7 @@ pub fn adaptive_service(
     (svc, adapter)
 }
 
-#[allow(clippy::too_many_arguments)] // private loop body; the public surface is Adapter::start
-fn adapter_loop(
-    graph: &KnowledgeGraph,
-    base: Arc<Lmkg>,
-    build_cfg: &LmkgConfig,
-    handle: &ModelHandle,
-    monitor: &SharedMonitor,
-    stats: &ServeStats,
-    cfg: &AdapterConfig,
-    stop: &AtomicBool,
-    current_slot: &RwLock<Arc<Lmkg>>,
-) {
-    let mut current = base;
-    // Cells that were selected but yielded no model (e.g. the LMKG-U domain
-    // guard): never re-attempted, or a persistent exotic workload would make
-    // every tick a futile training run.
-    let mut failed: HashSet<Cell> = HashSet::new();
-
+fn adapter_loop(tenants: &mut [TenantState], cfg: &AdapterConfig, stop: &AtomicBool, current_slot: &CurrentSlots) {
     while !stop.load(Ordering::SeqCst) {
         // Sleep in short slices so stop() never waits out a long interval.
         let wake = Instant::now() + cfg.interval;
@@ -207,108 +289,122 @@ fn adapter_loop(
             std::thread::sleep(cfg.interval.min(Duration::from_millis(20)));
         }
 
-        let report = {
-            let m = monitor.lock().expect("workload monitor lock");
-            if m.observed() < cfg.min_observed {
-                continue;
+        for (idx, tenant) in tenants.iter_mut().enumerate() {
+            if stop.load(Ordering::SeqCst) {
+                return;
             }
-            let model = &current;
-            m.report(|(shape, size)| model.covers(shape, size))
-        };
-        stats.note_drift(report.tv_distance, report.uncovered_share);
-        if !report.should_retrain(cfg.tv_threshold, cfg.uncovered_threshold) {
-            continue;
+            tenant_tick(tenant, idx, cfg, current_slot);
         }
-
-        let budget = cfg
-            .max_models
-            .saturating_sub(current.model_count())
-            .min(cfg.max_new_per_cycle);
-        let cells: Vec<Cell> = report
-            .dominant_cells
-            .iter()
-            .map(|&(cell, _)| cell)
-            .filter(|&cell| trainable_cell(cell) && !failed.contains(&cell) && !current.covers(cell.0, cell.1))
-            .take(budget)
-            .collect();
-        if cells.is_empty() {
-            // Drift without a trainable target (pure mix shift over covered
-            // cells, exotic shapes, or the model cap): nothing to create.
-            continue;
-        }
-
-        // The dominant cells with their observed query counts, e.g.
-        // `(star, 4)×37` — the drift event carries how much of the window
-        // each selected cell accounted for.
-        let cell_counts: Vec<String> = cells
-            .iter()
-            .map(|&(shape, size)| {
-                let observed = report
-                    .dominant_cells
-                    .iter()
-                    .find(|&&(cell, _)| cell == (shape, size))
-                    .map_or(0, |&(_, k)| k);
-                format!("({shape}, {size})\u{d7}{observed}")
-            })
-            .collect();
-        stats.event(
-            Level::Info,
-            "drift",
-            format!(
-                "adapter: drift tv={:.3} uncovered={:.3} over {} queries — training {} model(s) for [{}]",
-                report.tv_distance,
-                report.uncovered_share,
-                report.dominant_cells.iter().map(|&(_, k)| k).sum::<usize>(),
-                cells.len(),
-                cell_counts.join(", ")
-            ),
-        );
-        let t0 = Instant::now();
-        let extended = Arc::new(current.extend(graph, &cells, build_cfg));
-        let train_time = t0.elapsed();
-        let added = extended.model_count().saturating_sub(current.model_count());
-        // Publish first, then bump the retrain counter: a SeqCst read of
-        // `retrains` therefore implies later batches resolve the new model.
-        handle.swap(Arc::clone(&extended) as SharedEstimator);
-        *current_slot.write().expect("adapter current lock") = Arc::clone(&extended);
-        stats.note_model_bytes(extended.memory_bytes() as u64);
-        stats.note_retrain(added);
-        stats.note_retrain_duration(train_time);
-        stats.event(
-            Level::Info,
-            "swap",
-            format!(
-                "adapter: swapped in extended model of {} bytes under live traffic",
-                extended.memory_bytes()
-            ),
-        );
-        for &(shape, size) in &cells {
-            if extended.covers(shape, size) {
-                stats.event(
-                    Level::Info,
-                    "retrain",
-                    format!("adapter: cell ({shape}, {size}) now covered — direct model, no decomposition fallback"),
-                );
-            } else {
-                failed.insert((shape, size));
-                stats.event(
-                    Level::Warn,
-                    "retrain",
-                    format!("adapter: cell ({shape}, {size}) could not be trained; keeping the fallback path"),
-                );
-            }
-        }
-        stats.event(
-            Level::Info,
-            "retrain",
-            format!(
-                "adapter: published {} model(s) (+{added}) after {:.3}s of training, swap was atomic under live traffic",
-                extended.model_count(),
-                train_time.as_secs_f64()
-            ),
-        );
-        current = extended;
     }
+}
+
+/// One tenant's drift-evaluate / retrain / swap iteration.
+fn tenant_tick(tenant: &mut TenantState, idx: usize, cfg: &AdapterConfig, current_slot: &CurrentSlots) {
+    let spec = &tenant.spec;
+    let prefix = &tenant.prefix;
+    let report = {
+        let m = spec.monitor.lock().expect("workload monitor lock");
+        if m.observed() < cfg.min_observed {
+            return;
+        }
+        let model = &tenant.current;
+        m.report(|(shape, size)| model.covers(shape, size))
+    };
+    spec.stats.note_drift(report.tv_distance, report.uncovered_share);
+    if !report.should_retrain(cfg.tv_threshold, cfg.uncovered_threshold) {
+        return;
+    }
+
+    let budget = cfg
+        .max_models
+        .saturating_sub(tenant.current.model_count())
+        .min(cfg.max_new_per_cycle);
+    let cells: Vec<Cell> = report
+        .dominant_cells
+        .iter()
+        .map(|&(cell, _)| cell)
+        .filter(|&cell| {
+            trainable_cell(cell) && !tenant.failed.contains(&cell) && !tenant.current.covers(cell.0, cell.1)
+        })
+        .take(budget)
+        .collect();
+    if cells.is_empty() {
+        // Drift without a trainable target (pure mix shift over covered
+        // cells, exotic shapes, or the model cap): nothing to create.
+        return;
+    }
+
+    // The dominant cells with their observed query counts, e.g.
+    // `(star, 4)×37` — the drift event carries how much of the window
+    // each selected cell accounted for.
+    let cell_counts: Vec<String> = cells
+        .iter()
+        .map(|&(shape, size)| {
+            let observed = report
+                .dominant_cells
+                .iter()
+                .find(|&&(cell, _)| cell == (shape, size))
+                .map_or(0, |&(_, k)| k);
+            format!("({shape}, {size})\u{d7}{observed}")
+        })
+        .collect();
+    spec.stats.event(
+        Level::Info,
+        "drift",
+        format!(
+            "{prefix} drift tv={:.3} uncovered={:.3} over {} queries — training {} model(s) for [{}]",
+            report.tv_distance,
+            report.uncovered_share,
+            report.dominant_cells.iter().map(|&(_, k)| k).sum::<usize>(),
+            cells.len(),
+            cell_counts.join(", ")
+        ),
+    );
+    let t0 = Instant::now();
+    let extended = Arc::new(tenant.current.extend(&spec.graph, &cells, &spec.build_cfg));
+    let train_time = t0.elapsed();
+    let added = extended.model_count().saturating_sub(tenant.current.model_count());
+    // Publish first, then bump the retrain counter: a SeqCst read of
+    // `retrains` therefore implies later batches resolve the new model.
+    spec.handle.swap(Arc::clone(&extended) as SharedEstimator);
+    current_slot.write().expect("adapter current lock")[idx].1 = Arc::clone(&extended);
+    spec.stats.note_model_bytes(extended.memory_bytes() as u64);
+    spec.stats.note_retrain(added);
+    spec.stats.note_retrain_duration(train_time);
+    spec.stats.event(
+        Level::Info,
+        "swap",
+        format!(
+            "{prefix} swapped in extended model of {} bytes under live traffic",
+            extended.memory_bytes()
+        ),
+    );
+    for &(shape, size) in &cells {
+        if extended.covers(shape, size) {
+            spec.stats.event(
+                Level::Info,
+                "retrain",
+                format!("{prefix} cell ({shape}, {size}) now covered — direct model, no decomposition fallback"),
+            );
+        } else {
+            tenant.failed.insert((shape, size));
+            spec.stats.event(
+                Level::Warn,
+                "retrain",
+                format!("{prefix} cell ({shape}, {size}) could not be trained; keeping the fallback path"),
+            );
+        }
+    }
+    spec.stats.event(
+        Level::Info,
+        "retrain",
+        format!(
+            "{prefix} published {} model(s) (+{added}) after {:.3}s of training, swap was atomic under live traffic",
+            extended.model_count(),
+            train_time.as_secs_f64()
+        ),
+    );
+    tenant.current = extended;
 }
 
 #[cfg(test)]

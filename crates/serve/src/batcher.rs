@@ -24,6 +24,13 @@
 //! `BatchConfig::per_request()` degenerates the same machinery into
 //! classical one-request-per-forward serving (window 0, batch 1), which is
 //! exactly what the load generator compares against.
+//!
+//! In a multi-tenant service every tenant owns one `MicroBatcher` — its own
+//! queue, workers, stats, and model handle — so batches are keyed by
+//! (tenant, window) *by construction*: a forward can never mix two tenants'
+//! models, a tenant's queue depth is its admission quota (a tenant at quota
+//! sheds its own requests without starving anyone else), and a retraining
+//! loop swaps each tenant's handle independently.
 
 use crate::latency::{SlidingWindow, StatsSnapshot};
 use crate::protocol::Reply;

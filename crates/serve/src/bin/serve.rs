@@ -1,4 +1,5 @@
-//! The `serve` binary: train an LMKG framework once, then serve estimates.
+//! The `serve` binary: train an LMKG framework once (or one per tenant),
+//! then serve estimates.
 //!
 //! ```text
 //! serve pipe    [model opts] [serve opts]          stdin/stdout protocol session
@@ -11,21 +12,25 @@
 //! `sample` and the serving modes share the model options (dataset, scale,
 //! seed), so sampled request lines always resolve against the same
 //! dictionaries the server loads — pipe a `sample` file straight into
-//! `pipe`, which is exactly what the CI smoke test does.
+//! `pipe`, which is exactly what the CI smoke test does. With repeated
+//! `--tenant NAME=DATASET[:SCALE[:SEED]]` flags one process serves several
+//! graphs at once (e.g. LUBM + SWDF), each under its own namespace; v2
+//! request lines address a namespace (`EST <tenant> <id> <sparql>`), v1
+//! lines route to the `default` tenant.
 
 use lmkg::framework::{Grouping, Lmkg, LmkgConfig, ModelType};
 use lmkg::supervised::LmkgSConfig;
-use lmkg::{CardinalityEstimator, QuantMode};
+use lmkg::{CardinalityEstimator, QuantMode, WorkloadMonitor};
 
 use lmkg_data::workload::{self, WorkloadConfig};
 use lmkg_data::{Dataset, Scale};
 use lmkg_serve::{
     loadgen, serve_stream, serve_tcp, Adapter, AdapterConfig, BatchConfig, EstimationService, LoadgenConfig,
-    ShiftConfig, ShutdownFlag,
+    ServeBuilder, SharedMonitor, ShiftConfig, ShutdownFlag, TenantAdapterSpec, TenantSpec, DEFAULT_TENANT,
 };
 use lmkg_store::{sparql, KnowledgeGraph, Query, QueryShape};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -43,6 +48,13 @@ Model options (shared by every mode):
   --train-queries N          training queries per model   [400]
   --quantized int8|bf16      serve a quantized snapshot of the trained
                              framework (smaller model, f32 accumulate)
+
+Multi-tenant options (pipe, tcp, sample; repeatable):
+  --tenant NAME=DATASET[:SCALE[:SEED]]
+                             serve DATASET under namespace NAME; repeat the
+                             flag for more tenants. Without --tenant the
+                             model options above serve as the single
+                             'default' tenant, exactly as before.
 
 Serving options (pipe, tcp, loadgen):
   --window-us N              micro-batch window, microseconds   [2000]
@@ -74,20 +86,39 @@ Mode options:
                                   bare SPARQL) instead of sampling
             --shift-size N        also run the two-phase shifted-workload
                                   adaptation benchmark onto star-N (0 = off) [0]
-  sample:   --count N             request lines to print           [20]
+            --tenant NAME         address the generated request lines to
+                                  namespace NAME (bare name, no '=')
+  sample:   --count N             request lines to print (per tenant) [20]
 
-Protocol: 'EST <id> <sparql>' | 'STATS <id>' | 'METRICS <id>' | 'QUIT' per
-line; replies are 'OK <id> <estimate> us=<micros>' | 'ERR <id> <msg>' |
+Protocol v2: 'EST [<tenant>] <id> <sparql>' | 'STATS [<tenant>] <id>' |
+'METRICS [<tenant>] <id>' | 'TENANTS <id>' | 'QUIT' per line; a line with
+no tenant token (the v1 grammar) routes to the 'default' tenant. Replies
+are 'OK <id> <estimate> us=<micros>' | 'ERR <id> code=<kebab-code> <msg>' |
 'OVERLOADED <id> depth=<n>' | 'STATS <id> served=... retrains=... tv=...
-p50us=...' | a multi-line 'METRICS <id> lines=<n>' exposition ending in
-'# EOF'. LMKG_LOG=off|error|warn|info|debug filters event echo to stderr.
+p50us=...' | 'TENANTS <id> <name> ...' | a multi-line 'METRICS <id>
+lines=<n>' exposition ending in '# EOF'. LMKG_LOG=off|error|warn|info|debug
+filters event echo to stderr.
 ";
+
+/// One `--tenant NAME=DATASET[:SCALE[:SEED]]` spec; scale/seed fall back
+/// to the shared model options when omitted.
+struct TenantCliSpec {
+    name: String,
+    dataset: Dataset,
+    scale: Option<Scale>,
+    seed: Option<u64>,
+}
 
 struct Options {
     mode: String,
     dataset: Dataset,
     scale: Scale,
     seed: u64,
+    /// `--tenant NAME=…` specs (pipe, tcp, sample). Empty = single
+    /// `default` tenant from the shared model options.
+    tenants: Vec<TenantCliSpec>,
+    /// `--tenant NAME` (loadgen): the namespace request lines address.
+    loadgen_tenant: Option<String>,
     sizes: Vec<usize>,
     hidden: Vec<usize>,
     epochs: usize,
@@ -121,6 +152,52 @@ fn parse_list(value: &str, flag: &str) -> Vec<usize> {
     out
 }
 
+fn parse_dataset(value: &str) -> Dataset {
+    match value {
+        "lubm" => Dataset::LubmLike,
+        "swdf" => Dataset::SwdfLike,
+        "yago" => Dataset::YagoLike,
+        other => fail(&format!("unknown dataset {other:?}")),
+    }
+}
+
+fn parse_scale(value: &str) -> Scale {
+    match value {
+        "ci" => Scale::Ci,
+        "default" => Scale::Default,
+        "paper" => Scale::Paper,
+        other => fail(&format!("unknown scale {other:?}")),
+    }
+}
+
+/// Parses a `NAME=DATASET[:SCALE[:SEED]]` tenant spec.
+fn parse_tenant_spec(value: &str) -> TenantCliSpec {
+    let (name, rest) = value
+        .split_once('=')
+        .unwrap_or_else(|| fail(&format!("--tenant expects NAME=DATASET[:SCALE[:SEED]], got {value:?}")));
+    if name.is_empty() || name.contains(char::is_whitespace) || name == "SELECT" {
+        fail(&format!(
+            "invalid tenant name {name:?} (must be non-empty, whitespace-free, and not \"SELECT\")"
+        ));
+    }
+    let mut parts = rest.split(':');
+    let dataset = parse_dataset(parts.next().unwrap_or_default());
+    let scale = parts.next().map(parse_scale);
+    let seed = parts.next().map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| fail(&format!("--tenant seed must be an integer, got {s:?}")))
+    });
+    if parts.next().is_some() {
+        fail(&format!("--tenant has trailing fields in {value:?}"));
+    }
+    TenantCliSpec {
+        name: name.to_string(),
+        dataset,
+        scale,
+        seed,
+    }
+}
+
 fn parse_options() -> Options {
     let mut args = std::env::args().skip(1);
     let mode = match args.next() {
@@ -137,6 +214,8 @@ fn parse_options() -> Options {
         dataset: Dataset::LubmLike,
         scale: Scale::Ci,
         seed: 42,
+        tenants: Vec::new(),
+        loadgen_tenant: None,
         sizes: vec![2, 3],
         hidden: vec![256, 256],
         epochs: 20,
@@ -157,20 +236,15 @@ fn parse_options() -> Options {
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().unwrap_or_else(|| fail(&format!("{flag} expects a value")));
         match flag.as_str() {
-            "--dataset" => {
-                opts.dataset = match value("--dataset").as_str() {
-                    "lubm" => Dataset::LubmLike,
-                    "swdf" => Dataset::SwdfLike,
-                    "yago" => Dataset::YagoLike,
-                    other => fail(&format!("unknown dataset {other:?}")),
-                }
-            }
-            "--scale" => {
-                opts.scale = match value("--scale").as_str() {
-                    "ci" => Scale::Ci,
-                    "default" => Scale::Default,
-                    "paper" => Scale::Paper,
-                    other => fail(&format!("unknown scale {other:?}")),
+            "--dataset" => opts.dataset = parse_dataset(&value("--dataset")),
+            "--scale" => opts.scale = parse_scale(&value("--scale")),
+            "--tenant" => {
+                let spec = value("--tenant");
+                if spec.contains('=') {
+                    opts.tenants.push(parse_tenant_spec(&spec));
+                } else {
+                    // A bare name is the loadgen target namespace.
+                    opts.loadgen_tenant = Some(spec);
                 }
             }
             "--seed" => {
@@ -355,26 +429,106 @@ fn build_lmkg(graph: &KnowledgeGraph, opts: &Options) -> (Arc<Lmkg>, LmkgConfig)
     (Arc::new(lmkg), cfg)
 }
 
-/// An adaptive serving setup: the monitor the batcher observes into, the
-/// service, and the running adapter thread.
-fn adaptive_service(
-    graph: &Arc<KnowledgeGraph>,
-    base: &Arc<Lmkg>,
-    build_cfg: &LmkgConfig,
-    opts: &Options,
-) -> (EstimationService, Option<Adapter>) {
-    if !opts.adapt {
-        let svc = EstimationService::new(
-            Arc::clone(graph),
-            Arc::clone(base) as lmkg_serve::SharedEstimator,
-            opts.batch.clone(),
+/// One tenant, materialized: its named graph plus the trained framework
+/// and the configuration it was built with.
+struct TenantRuntime {
+    name: String,
+    graph: Arc<KnowledgeGraph>,
+    base: Arc<Lmkg>,
+    build_cfg: LmkgConfig,
+}
+
+/// The named (tenant, graph) pairs this invocation serves: one per
+/// `--tenant` spec, or the shared model options as the single `default`
+/// tenant when no spec was given.
+fn tenant_graphs(opts: &Options) -> Vec<(String, Arc<KnowledgeGraph>)> {
+    if opts.tenants.is_empty() {
+        eprintln!(
+            "serve: generating {:?} graph at {:?} scale (seed {}) …",
+            opts.dataset, opts.scale, opts.seed
         );
+        return vec![(
+            DEFAULT_TENANT.to_string(),
+            Arc::new(opts.dataset.generate(opts.scale, opts.seed)),
+        )];
+    }
+    opts.tenants
+        .iter()
+        .map(|spec| {
+            let scale = spec.scale.unwrap_or(opts.scale);
+            let seed = spec.seed.unwrap_or(opts.seed);
+            eprintln!(
+                "serve: [{}] generating {:?} graph at {:?} scale (seed {}) …",
+                spec.name, spec.dataset, scale, seed
+            );
+            (spec.name.clone(), Arc::new(spec.dataset.generate(scale, seed)))
+        })
+        .collect()
+}
+
+/// Trains one framework per tenant (pipe and tcp modes).
+fn tenant_runtimes(opts: &Options) -> Vec<TenantRuntime> {
+    tenant_graphs(opts)
+        .into_iter()
+        .map(|(name, graph)| {
+            if name != DEFAULT_TENANT {
+                eprintln!("serve: [{name}] training …");
+            }
+            let (base, build_cfg) = build_lmkg(&graph, opts);
+            TenantRuntime {
+                name,
+                graph,
+                base,
+                build_cfg,
+            }
+        })
+        .collect()
+}
+
+/// Assembles the multi-tenant service (and, with `--adapt`, the one
+/// adapter thread that walks every tenant).
+fn build_service(runtimes: &[TenantRuntime], opts: &Options) -> (EstimationService, Option<Adapter>) {
+    let mut builder = ServeBuilder::new().batch(opts.batch.clone());
+    let mut monitors: Vec<SharedMonitor> = Vec::new();
+    for rt in runtimes {
+        let mut spec = TenantSpec::new(
+            rt.name.clone(),
+            Arc::clone(&rt.graph),
+            Arc::clone(&rt.base) as lmkg_serve::SharedEstimator,
+        );
+        if opts.adapt {
+            let monitor: SharedMonitor = Arc::new(Mutex::new(WorkloadMonitor::new(
+                opts.adapter.window,
+                &rt.build_cfg.cells(),
+            )));
+            monitors.push(Arc::clone(&monitor));
+            spec = spec.observed(monitor);
+        }
+        builder = builder.tenant(spec);
+    }
+    let svc = builder
+        .build()
+        .unwrap_or_else(|e| fail(&format!("invalid tenant set: {e}")));
+    if !opts.adapt {
         return (svc, None);
     }
-    let (svc, adapter) =
-        lmkg_serve::adapter::adaptive_service(graph, base, build_cfg, opts.batch.clone(), opts.adapter.clone());
+    let specs: Vec<TenantAdapterSpec> = runtimes
+        .iter()
+        .zip(monitors)
+        .map(|(rt, monitor)| TenantAdapterSpec {
+            name: rt.name.clone(),
+            graph: Arc::clone(&rt.graph),
+            base: Arc::clone(&rt.base),
+            build_cfg: rt.build_cfg.clone(),
+            handle: svc.tenant_model(&rt.name).expect("tenant just built"),
+            monitor,
+            stats: svc.tenant_serve_stats(&rt.name).expect("tenant just built"),
+        })
+        .collect();
+    let adapter = Adapter::start_multi(specs, opts.adapter.clone());
     eprintln!(
-        "serve: adaptation on (interval {:?}, window {}, tv>{}, uncovered>{}, max {} models)",
+        "serve: adaptation on for {} tenant(s) (interval {:?}, window {}, tv>{}, uncovered>{}, max {} models)",
+        runtimes.len(),
         opts.adapter.interval,
         opts.adapter.window,
         opts.adapter.tv_threshold,
@@ -441,27 +595,42 @@ fn start_metrics_dump(svc: &EstimationService, every_s: u64) {
 
 fn main() {
     let opts = parse_options();
-    eprintln!(
-        "serve: generating {:?} graph at {:?} scale (seed {}) …",
-        opts.dataset, opts.scale, opts.seed
-    );
-    let graph = Arc::new(opts.dataset.generate(opts.scale, opts.seed));
 
     match opts.mode.as_str() {
         "sample" => {
-            let queries = sample_workload(&graph, &opts, opts.count);
-            for (i, q) in queries.iter().enumerate() {
-                println!("EST q{i} {}", sparql::format_query(q, &graph));
+            // v1 output (no tenant tokens) without --tenant specs, so
+            // existing capture files and the serve-smoke CI stay valid;
+            // with specs, each tenant's lines address its namespace.
+            let tenants = tenant_graphs(&opts);
+            let v2 = !opts.tenants.is_empty();
+            for (name, graph) in &tenants {
+                let queries = sample_workload(graph, &opts, opts.count);
+                for (i, q) in queries.iter().enumerate() {
+                    if v2 {
+                        println!("EST {name} q{i} {}", sparql::format_query(q, graph));
+                    } else {
+                        println!("EST q{i} {}", sparql::format_query(q, graph));
+                    }
+                }
+                if v2 {
+                    println!("STATS {name} s_{name}");
+                }
             }
-            println!("STATS s0");
+            if !v2 {
+                println!("STATS s0");
+            }
         }
         "pipe" => {
-            let (base, build_cfg) = build_lmkg(&graph, &opts);
-            let (svc, adapter) = adaptive_service(&graph, &base, &build_cfg, &opts);
+            let runtimes = tenant_runtimes(&opts);
+            let (svc, adapter) = build_service(&runtimes, &opts);
             start_metrics_dump(&svc, opts.metrics_every);
             eprintln!(
-                "serve: pipe mode ready (window {:?}, max_batch {}, queue {}, workers {})",
-                opts.batch.window, opts.batch.max_batch, opts.batch.queue_depth, opts.batch.workers
+                "serve: pipe mode ready (tenants [{}]; window {:?}, max_batch {}, queue {}, workers {})",
+                svc.tenant_names().join(", "),
+                opts.batch.window,
+                opts.batch.max_batch,
+                opts.batch.queue_depth,
+                opts.batch.workers
             );
             let stdin = std::io::stdin();
             serve_stream(&svc, stdin.lock(), std::io::stdout());
@@ -477,13 +646,17 @@ fn main() {
         "tcp" => {
             let listener = std::net::TcpListener::bind(&opts.addr)
                 .unwrap_or_else(|e| fail(&format!("cannot bind {}: {e}", opts.addr)));
-            let (base, build_cfg) = build_lmkg(&graph, &opts);
-            let (svc, adapter) = adaptive_service(&graph, &base, &build_cfg, &opts);
+            let runtimes = tenant_runtimes(&opts);
+            let (svc, adapter) = build_service(&runtimes, &opts);
             start_metrics_dump(&svc, opts.metrics_every);
             let svc = Arc::new(svc);
             let shutdown = ShutdownFlag::new();
             install_signal_handlers(&shutdown);
-            eprintln!("serve: listening on {}", opts.addr);
+            eprintln!(
+                "serve: listening on {} (tenants [{}])",
+                opts.addr,
+                svc.tenant_names().join(", ")
+            );
             if let Err(e) = serve_tcp(&svc, listener, None, &shutdown) {
                 eprintln!("serve: accept loop failed: {e}");
             }
@@ -499,6 +672,11 @@ fn main() {
             eprintln!("serve: shutdown stats: {}", svc.stats());
         }
         "loadgen" => {
+            eprintln!(
+                "serve: generating {:?} graph at {:?} scale (seed {}) …",
+                opts.dataset, opts.scale, opts.seed
+            );
+            let graph = Arc::new(opts.dataset.generate(opts.scale, opts.seed));
             let (base, build_cfg) = build_lmkg(&graph, &opts);
             let queries = match &opts.workload {
                 Some(path) => {
@@ -517,11 +695,13 @@ fn main() {
                 requests: opts.requests,
                 warmup: 300,
                 batch: opts.batch.clone(),
+                tenant: opts.loadgen_tenant.clone(),
             };
             eprintln!(
-                "serve: load generator — {} requests per run over {} distinct queries …",
+                "serve: load generator — {} requests per run over {} distinct queries (tenant {}) …",
                 cfg.requests,
-                queries.len()
+                queries.len(),
+                cfg.tenant.as_deref().unwrap_or(DEFAULT_TENANT)
             );
             let report = loadgen::compare(&graph, Arc::clone(&base) as lmkg_serve::SharedEstimator, &queries, &cfg);
             println!("{}", report.per_request);
@@ -550,6 +730,15 @@ fn main() {
             println!(
                 "observability overhead at saturation: {:.2}% ({:.0} qps instrumented vs {:.0} qps without)",
                 obs.overhead_pct, obs.instrumented.achieved_qps, obs.no_obs.achieved_qps
+            );
+
+            eprintln!("serve: multi-tenant quota isolation — two tenants at equal saturating offered load …");
+            let mt = loadgen::multi_tenant(&graph, Arc::clone(&base) as lmkg_serve::SharedEstimator, &queries, &cfg);
+            println!("{}", mt.hot);
+            println!("{}", mt.cool);
+            println!(
+                "quota isolation: hot (quota {}) shed {}/{}; cool (quota {}) shed {}; isolated={}",
+                mt.hot_quota, mt.hot.shed, mt.hot.sent, mt.cool_quota, mt.cool.shed, mt.isolated
             );
 
             let mut adaptation_json = "null".to_string();
@@ -601,9 +790,10 @@ fn main() {
 
             let json = format!(
                 "{{\n  \"benchmark\": \"lmkg-serve serving + workload-shift adaptation\",\n  \
-                 \"comparison\": {},\n  \"observability\": {},\n  \"adaptation\": {}\n}}\n",
+                 \"comparison\": {},\n  \"observability\": {},\n  \"multi_tenant\": {},\n  \"adaptation\": {}\n}}\n",
                 report.to_json().trim_end(),
                 obs.to_json(),
+                mt.to_json(),
                 adaptation_json
             );
             std::fs::write(&opts.json, json).unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", opts.json)));

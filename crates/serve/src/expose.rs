@@ -21,96 +21,134 @@
 use crate::batcher::{ServeStats, STAGE_NAMES};
 use lmkg_obs::Expo;
 
-/// Render the full exposition for one server. All scrapes are snapshots —
-/// concurrent traffic keeps flowing while this walks the fixed bucket
-/// arrays.
+/// Render the unlabeled (v1) exposition for one server — the `default`
+/// tenant's view, byte-compatible with pre-v2 scrapers.
 pub fn render_metrics(stats: &ServeStats) -> String {
+    render_metrics_for(None, stats)
+}
+
+/// Render the exposition for one tenant's stats shard. With
+/// `tenant = Some(name)` every per-tenant series carries a
+/// `tenant="name"` label (what a v2 `METRICS <tenant> <id>` request
+/// scrapes); with `None` the series are unlabeled and the process-global
+/// kernel-profile section is appended — those counters are shared by every
+/// tenant (one GEMM core serves them all), so they only belong in the
+/// unlabeled exposition where they can't be misread as per-tenant.
+///
+/// All scrapes are snapshots — concurrent traffic keeps flowing while this
+/// walks the fixed bucket arrays.
+pub fn render_metrics_for(tenant: Option<&str>, stats: &ServeStats) -> String {
+    let scope = match tenant {
+        Some(name) => format!("tenant=\"{name}\","),
+        None => String::new(),
+    };
     let snapshot = stats.snapshot();
     let mut e = Expo::new();
 
-    e.gauge_f64(
+    e.gauge_f64_with(
         "lmkg_uptime_seconds",
         "Seconds since the serving stats were created",
+        &scope,
         stats.uptime_seconds(),
     );
-    e.counter(
+    e.counter_with(
         "lmkg_requests_served_total",
         "Requests answered with an estimate",
+        &scope,
         snapshot.served,
     );
-    e.counter(
+    e.counter_with(
         "lmkg_requests_shed_total",
         "Requests shed by admission control",
+        &scope,
         snapshot.shed,
     );
-    e.counter(
+    e.counter_with(
         "lmkg_parse_errors_total",
         "Request lines rejected by the protocol parser",
+        &scope,
         stats.parse_errors.get(),
     );
-    e.counter("lmkg_batches_total", "Batched forwards executed", snapshot.batches);
-    e.counter(
+    e.counter_with(
+        "lmkg_batches_total",
+        "Batched forwards executed",
+        &scope,
+        snapshot.batches,
+    );
+    e.counter_with(
         "lmkg_sessions_total",
         "Sessions opened since start",
+        &scope,
         stats.sessions.get(),
     );
-    e.gauge(
+    e.gauge_with(
         "lmkg_sessions_active",
         "Sessions currently open",
+        &scope,
         stats.sessions_active.get(),
     );
-    e.counter(
+    e.counter_with(
         "lmkg_bytes_read_total",
         "Request bytes read from all transports",
+        &scope,
         stats.bytes_in.get(),
     );
-    e.counter(
+    e.counter_with(
         "lmkg_bytes_written_total",
         "Reply bytes written to all transports",
+        &scope,
         stats.bytes_out.get(),
     );
 
-    e.gauge(
+    e.gauge_with(
         "lmkg_queue_depth",
         "Admitted jobs currently waiting in the bounded queue",
+        &scope,
         stats.queue_len(),
     );
-    e.gauge(
+    e.gauge_with(
         "lmkg_queue_capacity",
-        "Configured admission-queue capacity",
+        "Configured admission-queue capacity (the tenant's quota)",
+        &scope,
         stats.queue_capacity() as i64,
     );
 
-    e.gauge(
+    e.gauge_with(
         "lmkg_model_bytes",
         "Memory footprint of the currently published model",
+        &scope,
         snapshot.model_bytes as i64,
     );
-    e.counter(
+    e.counter_with(
         "lmkg_retrains_total",
         "Adapter retrain events that published an extended model",
+        &scope,
         snapshot.retrains,
     );
-    e.counter(
+    e.counter_with(
         "lmkg_models_added_total",
         "Models added across all retrain events",
+        &scope,
         snapshot.models_added,
     );
-    e.gauge_f64(
+    e.gauge_f64_with(
         "lmkg_drift_tv",
         "Total-variation distance of the last drift evaluation",
+        &scope,
         snapshot.drift_tv,
     );
-    e.gauge_f64(
+    e.gauge_f64_with(
         "lmkg_drift_uncovered",
         "Uncovered-query share of the last drift evaluation",
+        &scope,
         snapshot.drift_uncovered,
     );
 
-    // Stage-level latency: one histogram family, one label value per stage.
+    // Stage-level latency: one histogram family, one label value per stage
+    // (the tenant scope, when present, prefixes each stage label).
     for (i, stage) in STAGE_NAMES.iter().enumerate() {
         let snap = stats.stages[i].snapshot();
-        let label = format!("stage=\"{stage}\",");
+        let label = format!("{scope}stage=\"{stage}\",");
         if i == 0 {
             e.histogram(
                 "lmkg_stage_us",
@@ -125,51 +163,55 @@ pub fn render_metrics(stats: &ServeStats) -> String {
     e.histogram(
         "lmkg_batch_size",
         "Requests coalesced per batched forward",
-        "",
+        &scope,
         &stats.batch_size.snapshot(),
     );
     e.histogram(
         "lmkg_request_latency_window_us",
         "Submit-to-reply latency of the most recent requests (sliding window), microseconds",
-        "",
+        &scope,
         &stats.window_snapshot(),
     );
     e.histogram(
         "lmkg_retrain_duration_us",
         "Wall-clock duration of adapter retrain cycles, microseconds",
-        "",
+        &scope,
         &stats.retrain_us.snapshot(),
     );
 
-    // lmkg-nn's process-global profiling counters. Process-wide by design:
-    // training, adaptation, and serving all flow through the same GEMM core.
-    let profile = lmkg_nn::profile::snapshot();
-    let dispatch: Vec<(String, u64)> = profile
-        .dispatch_rows()
-        .iter()
-        .map(|(path, kernel, n)| (format!("{{path=\"{path}\",kernel=\"{kernel}\"}}"), *n))
-        .collect();
-    e.counter_family(
-        "lmkg_kernel_dispatch_total",
-        "Auto-dispatched serial matmuls by compute path (gemv fast path vs blocked packed core) and kernel",
-        &dispatch,
-    );
-    e.counter(
-        "lmkg_kernel_flops_total",
-        "Floating-point operations issued by auto-dispatched matmuls (2*m*k*n each)",
-        profile.flops,
-    );
-    e.gauge(
-        "lmkg_workspace_high_water_bytes",
-        "Largest buffer-pool footprint any single inference workspace has grown to",
-        profile.workspace_high_water_bytes as i64,
-    );
-    e.raw_line(&format!(
-        "# HELP lmkg_kernel_active The runtime-dispatched kernel ({})",
-        lmkg_nn::gemm::active_kernel().name()
-    ));
+    if tenant.is_none() {
+        // lmkg-nn's process-global profiling counters. Process-wide by
+        // design: training, adaptation, and serving for every tenant all
+        // flow through the same GEMM core — so these render only in the
+        // unlabeled exposition, never under a tenant label.
+        let profile = lmkg_nn::profile::snapshot();
+        let dispatch: Vec<(String, u64)> = profile
+            .dispatch_rows()
+            .iter()
+            .map(|(path, kernel, n)| (format!("{{path=\"{path}\",kernel=\"{kernel}\"}}"), *n))
+            .collect();
+        e.counter_family(
+            "lmkg_kernel_dispatch_total",
+            "Auto-dispatched serial matmuls by compute path (gemv fast path vs blocked packed core) and kernel",
+            &dispatch,
+        );
+        e.counter(
+            "lmkg_kernel_flops_total",
+            "Floating-point operations issued by auto-dispatched matmuls (2*m*k*n each)",
+            profile.flops,
+        );
+        e.gauge(
+            "lmkg_workspace_high_water_bytes",
+            "Largest buffer-pool footprint any single inference workspace has grown to",
+            profile.workspace_high_water_bytes as i64,
+        );
+        e.raw_line(&format!(
+            "# HELP lmkg_kernel_active The runtime-dispatched kernel ({})",
+            lmkg_nn::gemm::active_kernel().name()
+        ));
+    }
 
-    e.events("lmkg", stats.events());
+    e.events_with("lmkg", &scope, stats.events());
     e.finish()
 }
 
@@ -280,6 +322,56 @@ mod tests {
         let wire = reply.to_string();
         assert!(wire.starts_with("METRICS m lines="));
         assert!(wire.ends_with("# EOF"));
+    }
+
+    /// The per-tenant exposition labels every series with `tenant="…"` and
+    /// omits the process-global kernel-profile section (those counters are
+    /// shared across tenants).
+    #[test]
+    fn tenant_exposition_labels_every_series() {
+        let batcher = MicroBatcher::start(
+            Arc::new(One),
+            BatchConfig {
+                window: Duration::from_millis(1),
+                max_batch: 4,
+                queue_depth: 64,
+                workers: 1,
+                obs: true,
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        batcher.submit(Job::new("q0".into(), tiny_query(), tx.clone())).unwrap();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        let text = render_metrics_for(Some("lubm"), &batcher.stats());
+        for needle in [
+            "lmkg_requests_served_total{tenant=\"lubm\"} 1",
+            "lmkg_queue_capacity{tenant=\"lubm\"} 64",
+            "lmkg_stage_us_bucket{tenant=\"lubm\",stage=\"forward\",le=",
+            "lmkg_stage_us_count{tenant=\"lubm\",stage=\"reply\"}",
+            "lmkg_batch_size_count{tenant=\"lubm\"} 1",
+            "lmkg_request_latency_window_us_count{tenant=\"lubm\"} 1",
+            "lmkg_events_total{tenant=\"lubm\",kind=\"shed\"} 0",
+        ] {
+            assert!(
+                text.contains(needle),
+                "labeled exposition missing {needle:?}\n---\n{text}"
+            );
+        }
+        // Every real sample line (not a comment) carries the tenant label.
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            assert!(
+                line.contains("tenant=\"lubm\""),
+                "unlabeled sample in tenant exposition: {line:?}"
+            );
+        }
+        // Kernel profiling is process-global — unlabeled exposition only.
+        assert!(!text.contains("lmkg_kernel_dispatch_total"));
+        assert!(!text.contains("lmkg_kernel_active"));
+        assert!(render_metrics(&batcher.stats()).contains("lmkg_kernel_flops_total"));
     }
 
     /// With obs off, stage histograms stay empty but the exposition still

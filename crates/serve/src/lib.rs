@@ -1,30 +1,40 @@
 //! # lmkg-serve
 //!
-//! A long-lived estimation server on top of the batched inference contract
-//! (`CardinalityEstimator::estimate_batch`, PR 1): the paper's
-//! sub-millisecond learned estimates, exercised the way practical
+//! A long-lived, **multi-tenant** estimation server on top of the batched
+//! inference contract (`CardinalityEstimator::estimate_batch`, PR 1): the
+//! paper's sub-millisecond learned estimates, exercised the way practical
 //! deployments of learned estimators are evaluated — as an online service
-//! under load, with latency percentiles, not as an offline loop.
+//! under load, with latency percentiles, not as an offline loop. One
+//! process serves many knowledge graphs at once: each **tenant** is a
+//! namespace with its own graph, model set, batcher, stats, monitor, and
+//! admission quota, assembled through [`server::ServeBuilder`].
 //!
 //! The pieces, bottom-up:
 //!
-//! * [`protocol`] — the line-based wire protocol: `EST <id> <sparql>`
-//!   requests in, `OK/ERR/OVERLOADED/STATS` replies out, plus the framed
-//!   multi-line `METRICS` exposition. Requests and replies round-trip
-//!   through parse/format.
+//! * [`protocol`] — the line-based wire protocol, v2: namespace-routed
+//!   `EST <tenant> <id> <sparql>` / `STATS <tenant> <id>` /
+//!   `METRICS <tenant> <id>` requests plus a `TENANTS <id>` listing verb;
+//!   `OK`/`ERR code=<kebab-code>`/`OVERLOADED`/`STATS`/`TENANTS` replies
+//!   out, plus the framed multi-line `METRICS` exposition. v1 lines (no
+//!   tenant token) still parse and route to the `default` tenant. Requests
+//!   and replies round-trip through parse/format.
 //! * [`latency`] — a streaming latency reporter: p50/p95/p99 over a sliding
 //!   window of [`lmkg_obs`] log-bucket indices, printable on demand
 //!   (`STATS`) and at shutdown.
 //! * [`expose`] — the `METRICS` renderer: every counter, stage histogram,
 //!   kernel-profile reading, and structured event the stack records,
-//!   composed into one Prometheus-style text exposition.
+//!   composed into one Prometheus-style text exposition — unlabeled for v1
+//!   scrapes, `tenant="…"`-labeled when a namespace is addressed
+//!   ([`expose::render_metrics_for`]).
 //! * [`batcher`] — the micro-batcher: a bounded admission queue
 //!   (shed-on-overflow with a structured `OVERLOADED` reply) feeding worker
 //!   threads that coalesce arrivals within a configurable window / max batch
 //!   size into **single** `estimate_batch` forwards. Workers share one
 //!   frozen model behind an `Arc` (estimation takes `&self`) through a
 //!   swappable [`batcher::ModelHandle`], so forwards run concurrently and a
-//!   retraining loop can publish new models under live traffic.
+//!   retraining loop can publish new models under live traffic. Every
+//!   tenant owns its batcher, so batches are keyed by tenant by
+//!   construction — one forward never mixes models.
 //! * [`adapter`] — the online adaptation loop (paper §IV, Model choice):
 //!   the batcher observes every admitted query into a shared
 //!   `WorkloadMonitor`, a background [`adapter::Adapter`] thread pulls
@@ -32,21 +42,25 @@
 //!   size)` cells via `Lmkg::extend` (only the missing cells; existing
 //!   entries are reused by reference), and publishes the extended
 //!   framework atomically through the `ModelHandle` while workers keep
-//!   serving the old snapshot.
-//! * [`server`] — transports: a stdin/stdout pipe mode and a TCP listener
+//!   serving the old snapshot. One adapter thread walks all tenants
+//!   ([`adapter::Adapter::start_multi`]) and swaps each tenant's handle
+//!   independently.
+//! * [`server`] — [`server::ServeBuilder`] (tenants in, running service
+//!   out) and the transports: a stdin/stdout pipe mode and a TCP listener
 //!   mode, both speaking the same protocol through the same service object.
 //!   The TCP accept loop shuts down gracefully on a [`server::ShutdownFlag`]
 //!   (wired to SIGINT/SIGTERM by the `serve` binary): in-flight sessions
 //!   drain their replies before the loop returns.
 //! * [`loadgen`] — a self-driving load generator that replays an `lmkg-data`
-//!   workload at a target QPS through the full protocol path and writes a
-//!   micro-batched vs per-request comparison plus a two-phase
+//!   workload at a target QPS through the full protocol path (optionally
+//!   addressed to one namespace) and writes a micro-batched vs per-request
+//!   comparison, a two-tenant quota-isolation run, and a two-phase
 //!   shifted-workload adaptation run (before/after-swap q-error and
 //!   latency) to `BENCH_serve.json`.
 //!
 //! ```
 //! use lmkg::GraphSummary;
-//! use lmkg_serve::{BatchConfig, EstimationService};
+//! use lmkg_serve::{BatchConfig, ServeBuilder, TenantSpec};
 //! use lmkg_store::GraphBuilder;
 //! use std::sync::{mpsc, Arc};
 //!
@@ -54,11 +68,18 @@
 //! b.add(":a", ":p", ":b");
 //! let graph = Arc::new(b.build());
 //! let summary = GraphSummary::build(&graph);
-//! let svc = EstimationService::new(graph, Arc::new(summary), BatchConfig::default());
+//! let svc = ServeBuilder::new()
+//!     .batch(BatchConfig::default())
+//!     .tenant(TenantSpec::new("default", graph, Arc::new(summary)))
+//!     .build()
+//!     .unwrap();
 //! let (tx, rx) = mpsc::channel();
+//! // v1 (no tenant token) routes to the default tenant; v2 addresses it.
 //! svc.handle_line("EST q1 SELECT * WHERE { ?x :p ?y . }", &tx);
-//! let reply = rx.recv().unwrap();
-//! assert!(reply.to_string().starts_with("OK q1 "));
+//! svc.handle_line("EST default q2 SELECT * WHERE { ?x :p ?y . }", &tx);
+//! for expected in ["OK q1 ", "OK q2 "] {
+//!     assert!(rx.recv().unwrap().to_string().starts_with(expected));
+//! }
 //! ```
 
 #![warn(missing_docs)]
@@ -71,14 +92,17 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
-pub use adapter::{Adapter, AdapterConfig};
+pub use adapter::{Adapter, AdapterConfig, TenantAdapterSpec};
 pub use batcher::{
     BatchConfig, Job, MicroBatcher, ModelHandle, ServeStats, SharedEstimator, SharedMonitor, EVENT_KINDS, STAGE_NAMES,
 };
-pub use expose::render_metrics;
+pub use expose::{render_metrics, render_metrics_for};
 pub use latency::{percentile, SlidingWindow, StatsSnapshot};
 pub use loadgen::{
-    ComparisonReport, LoadgenConfig, ObsOverheadReport, RunReport, ShiftConfig, ShiftReport, WorkloadLineError,
+    ComparisonReport, LoadgenConfig, MultiTenantReport, ObsOverheadReport, RunReport, ShiftConfig, ShiftReport,
+    WorkloadLineError,
 };
-pub use protocol::{ProtocolError, Reply, Request};
-pub use server::{serve_stream, serve_tcp, EstimationService, LineOutcome, ShutdownFlag};
+pub use protocol::{ErrorCode, ProtocolError, Reply, Request, DEFAULT_TENANT};
+pub use server::{
+    serve_stream, serve_tcp, BuildError, EstimationService, LineOutcome, ServeBuilder, ShutdownFlag, TenantSpec,
+};

@@ -22,8 +22,8 @@
 use crate::adapter::AdapterConfig;
 use crate::batcher::{BatchConfig, SharedEstimator};
 use crate::latency::percentile;
-use crate::protocol::{Reply, Request};
-use crate::server::EstimationService;
+use crate::protocol::{Reply, Request, DEFAULT_TENANT};
+use crate::server::{EstimationService, ServeBuilder, TenantSpec};
 use lmkg::framework::{Lmkg, LmkgConfig};
 use lmkg::{q_error, CardinalityEstimator};
 use lmkg_store::{counter, sparql, KnowledgeGraph, Query, QueryShape};
@@ -43,6 +43,10 @@ pub struct LoadgenConfig {
     /// The micro-batched serving configuration; the per-request baseline is
     /// derived from it via [`BatchConfig::per_request`].
     pub batch: BatchConfig,
+    /// Namespace the generated request lines address (`serve loadgen
+    /// --tenant NAME`). `None` replays v1 lines against the `default`
+    /// tenant, exercising the back-compat path.
+    pub tenant: Option<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -52,6 +56,7 @@ impl Default for LoadgenConfig {
             requests: 5000,
             warmup: 300,
             batch: BatchConfig::default(),
+            tenant: None,
         }
     }
 }
@@ -232,7 +237,7 @@ pub fn replay_with_estimates(
                     }
                     Reply::Overloaded { .. } => shed += 1,
                     Reply::Error { .. } => errors += 1,
-                    Reply::Stats { .. } | Reply::Metrics { .. } => {}
+                    Reply::Stats { .. } | Reply::Metrics { .. } | Reply::Tenants { .. } => {}
                 }
             }
             (ok, shed, errors, latencies, estimates)
@@ -268,13 +273,21 @@ pub fn replay_with_estimates(
     (report, estimates)
 }
 
-/// Formats queries as `EST` request lines (ids `q0`, `q1`, …), cycling the
-/// slice until `count` lines exist.
+/// Formats queries as v1 `EST` request lines (ids `q0`, `q1`, …), cycling
+/// the slice until `count` lines exist.
 pub fn request_lines(queries: &[Query], graph: &KnowledgeGraph, count: usize) -> Vec<String> {
+    request_lines_for(None, queries, graph, count)
+}
+
+/// Like [`request_lines`], addressed to a namespace: with
+/// `tenant = Some(name)` every line is a v2 `EST <name> q<i> <sparql>`;
+/// with `None` the lines are v1 (no tenant token).
+pub fn request_lines_for(tenant: Option<&str>, queries: &[Query], graph: &KnowledgeGraph, count: usize) -> Vec<String> {
     assert!(!queries.is_empty(), "need at least one query to replay");
     (0..count)
         .map(|i| {
             Request::Estimate {
+                tenant: tenant.map(str::to_string),
                 id: format!("q{i}"),
                 sparql: sparql::format_query(&queries[i % queries.len()], graph),
             }
@@ -316,7 +329,7 @@ pub fn parse_workload(text: &str, graph: &KnowledgeGraph) -> Result<Vec<Query>, 
         }
         let sparql_text = match Request::parse(line) {
             Ok(Request::Estimate { sparql, .. }) => sparql,
-            Ok(Request::Stats { .. } | Request::Metrics { .. } | Request::Quit) => continue,
+            Ok(Request::Stats { .. } | Request::Metrics { .. } | Request::Tenants { .. } | Request::Quit) => continue,
             // Not a request line: treat the whole line as bare SPARQL.
             Err(_) => line.to_string(),
         };
@@ -331,6 +344,25 @@ pub fn parse_workload(text: &str, graph: &KnowledgeGraph) -> Result<Vec<Query>, 
         }
     }
     Ok(queries)
+}
+
+/// Builds a one-tenant service for a loadgen run, honoring the configured
+/// target namespace (`None` → the `default` tenant).
+fn single_tenant_service(
+    tenant: Option<&str>,
+    graph: &Arc<KnowledgeGraph>,
+    estimator: &SharedEstimator,
+    batch: BatchConfig,
+) -> EstimationService {
+    ServeBuilder::new()
+        .batch(batch)
+        .tenant(TenantSpec::new(
+            tenant.unwrap_or(DEFAULT_TENANT),
+            Arc::clone(graph),
+            Arc::clone(estimator),
+        ))
+        .build()
+        .expect("one valid tenant always builds")
 }
 
 /// Measures the estimator's direct (no serving layer) per-query latency.
@@ -362,11 +394,12 @@ pub fn compare(
     // actual service rate to be capacity-bound.
     let calibrated_qps = 2.0 / calibrate(&estimator, queries).max(1e-9);
     let offered_qps = if cfg.qps > 0.0 { cfg.qps } else { calibrated_qps };
-    let lines = request_lines(queries, graph, cfg.requests);
-    let warmup_lines = request_lines(queries, graph, cfg.warmup.max(1));
+    let tenant = cfg.tenant.as_deref();
+    let lines = request_lines_for(tenant, queries, graph, cfg.requests);
+    let warmup_lines = request_lines_for(tenant, queries, graph, cfg.warmup.max(1));
 
     let run = |batch: BatchConfig, mode: &str| -> RunReport {
-        let svc = EstimationService::new(Arc::clone(graph), Arc::clone(&estimator), batch);
+        let svc = single_tenant_service(tenant, graph, &estimator, batch);
         let _ = replay(&svc, &warmup_lines, offered_qps, "warmup");
         replay(&svc, &lines, offered_qps, mode)
     };
@@ -383,7 +416,7 @@ pub fn compare(
     // headline load cannot starve the saturation runs.
     let scaling_offered_qps = (calibrated_qps * 8.0).max(offered_qps);
     let saturated = |batch: BatchConfig, mode: &str| -> RunReport {
-        let svc = EstimationService::new(Arc::clone(graph), Arc::clone(&estimator), batch);
+        let svc = single_tenant_service(tenant, graph, &estimator, batch);
         let _ = replay(&svc, &warmup_lines, scaling_offered_qps, "warmup");
         replay(&svc, &lines, scaling_offered_qps, mode)
     };
@@ -458,8 +491,9 @@ pub fn obs_overhead(
     let calibrated_qps = 2.0 / calibrate(&estimator, queries).max(1e-9);
     let offered_qps = if cfg.qps > 0.0 { cfg.qps } else { calibrated_qps };
     let saturated_qps = (calibrated_qps * 8.0).max(offered_qps);
-    let lines = request_lines(queries, graph, cfg.requests);
-    let warmup_lines = request_lines(queries, graph, cfg.warmup.max(1));
+    let tenant = cfg.tenant.as_deref();
+    let lines = request_lines_for(tenant, queries, graph, cfg.requests);
+    let warmup_lines = request_lines_for(tenant, queries, graph, cfg.warmup.max(1));
     let best = |obs: bool, mode: &str| -> RunReport {
         let mut best: Option<RunReport> = None;
         for _ in 0..rounds {
@@ -467,7 +501,7 @@ pub fn obs_overhead(
                 obs,
                 ..cfg.batch.clone()
             };
-            let svc = EstimationService::new(Arc::clone(graph), Arc::clone(&estimator), batch);
+            let svc = single_tenant_service(tenant, graph, &estimator, batch);
             let _ = replay(&svc, &warmup_lines, saturated_qps, "warmup");
             let run = replay(&svc, &lines, saturated_qps, mode);
             if best.as_ref().is_none_or(|b| run.achieved_qps > b.achieved_qps) {
@@ -483,6 +517,88 @@ pub fn obs_overhead(
         instrumented,
         no_obs,
         overhead_pct,
+    }
+}
+
+/// The two-tenant quota-isolation benchmark: both tenants are offered the
+/// same saturating load concurrently; the `hot` tenant runs behind a tiny
+/// admission quota, the `cool` tenant behind an ample one.
+#[derive(Debug, Clone)]
+pub struct MultiTenantReport {
+    /// Offered load **per tenant**, requests/second (equal by design).
+    pub offered_qps: f64,
+    /// The hot tenant's admission quota (its queue depth).
+    pub hot_quota: usize,
+    /// The cool tenant's admission quota.
+    pub cool_quota: usize,
+    /// The quota-starved tenant's run.
+    pub hot: RunReport,
+    /// The amply-provisioned tenant's run, concurrent with `hot`.
+    pub cool: RunReport,
+    /// Quota isolation held: the hot tenant shed (its quota bound), the
+    /// cool tenant shed nothing (its neighbor's overload never reached it).
+    pub isolated: bool,
+}
+
+impl MultiTenantReport {
+    /// Machine-readable form (the `"multi_tenant"` section of
+    /// `BENCH_serve.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"offered_qps_per_tenant\": {:.1},\n    \"hot_quota\": {},\n    \"cool_quota\": {},\n    \
+             \"hot\": {},\n    \"cool\": {},\n    \"isolated\": {}\n  }}",
+            self.offered_qps,
+            self.hot_quota,
+            self.cool_quota,
+            self.hot.json_object(),
+            self.cool.json_object(),
+            self.isolated
+        )
+    }
+}
+
+/// Runs two tenants of one service concurrently at equal offered load. The
+/// `hot` tenant's quota is tiny (it must shed), the `cool` tenant's quota
+/// covers the whole run (it must not) — per-tenant achieved QPS and p95
+/// plus the isolation verdict land in the report. Both tenants share the
+/// same graph and frozen estimator, so any throughput or latency difference
+/// is the quota, not the model.
+pub fn multi_tenant(
+    graph: &Arc<KnowledgeGraph>,
+    estimator: SharedEstimator,
+    queries: &[Query],
+    cfg: &LoadgenConfig,
+) -> MultiTenantReport {
+    // Saturating like the worker-scaling pair in `compare`: the point is to
+    // drive the hot tenant's queue over its quota.
+    let calibrated_qps = 2.0 / calibrate(&estimator, queries).max(1e-9);
+    let offered_qps = (calibrated_qps * 8.0).max(cfg.qps);
+    let hot_quota = 4;
+    let cool_quota = cfg.requests.max(cfg.batch.queue_depth);
+    let svc = ServeBuilder::new()
+        .batch(cfg.batch.clone())
+        .tenant(TenantSpec::new("hot", Arc::clone(graph), Arc::clone(&estimator)).quota(hot_quota))
+        .tenant(TenantSpec::new("cool", Arc::clone(graph), Arc::clone(&estimator)).quota(cool_quota))
+        .build()
+        .expect("two distinct tenants always build");
+    let hot_lines = request_lines_for(Some("hot"), queries, graph, cfg.requests);
+    let cool_lines = request_lines_for(Some("cool"), queries, graph, cfg.requests);
+    for tenant in ["hot", "cool"] {
+        let warmup = request_lines_for(Some(tenant), queries, graph, cfg.warmup.max(1));
+        let _ = replay(&svc, &warmup, offered_qps, "warmup");
+    }
+    let (hot, cool) = std::thread::scope(|s| {
+        let hot = s.spawn(|| replay(&svc, &hot_lines, offered_qps, "hot"));
+        let cool = s.spawn(|| replay(&svc, &cool_lines, offered_qps, "cool"));
+        (hot.join().expect("hot replay"), cool.join().expect("cool replay"))
+    });
+    MultiTenantReport {
+        offered_qps,
+        hot_quota,
+        cool_quota,
+        isolated: hot.shed > 0 && cool.shed == 0,
+        hot,
+        cool,
     }
 }
 
@@ -752,9 +868,10 @@ EST q2 SELECT * WHERE { ?x :p ?y . }
     fn replay_answers_every_request() {
         let graph = graph();
         let queries = star_queries(&graph);
-        let svc = EstimationService::new(
-            Arc::clone(&graph),
-            Arc::new(GraphSummary::build(&graph)),
+        let svc = single_tenant_service(
+            None,
+            &graph,
+            &(Arc::new(GraphSummary::build(&graph)) as SharedEstimator),
             BatchConfig::default(),
         );
         let lines = request_lines(&queries, &graph, 200);
@@ -782,6 +899,7 @@ EST q2 SELECT * WHERE { ?x :p ?y . }
                 workers: 2,
                 obs: true,
             },
+            tenant: None,
         };
         let estimator: SharedEstimator = Arc::new(GraphSummary::build(&graph));
         let report = compare(&graph, Arc::clone(&estimator), &queries, &cfg);
@@ -807,6 +925,63 @@ EST q2 SELECT * WHERE { ?x :p ?y . }
             "\"worker_scaling\"",
             "\"offered_qps\"",
             "\"model_bytes\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn tenant_targeted_lines_are_v2_requests() {
+        let graph = graph();
+        let queries = star_queries(&graph);
+        let lines = request_lines_for(Some("lubm"), &queries, &graph, 2);
+        assert!(lines[0].starts_with("EST lubm q0 SELECT"), "{}", lines[0]);
+        // And they parse back as v2 requests addressed to that namespace.
+        match Request::parse(&lines[1]).unwrap() {
+            Request::Estimate { tenant, id, .. } => {
+                assert_eq!(tenant.as_deref(), Some("lubm"));
+                assert_eq!(id, "q1");
+            }
+            other => panic!("expected EST, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_tenant_answers_both_tenants_concurrently() {
+        let graph = graph();
+        let queries = star_queries(&graph);
+        let cfg = LoadgenConfig {
+            qps: 0.0,
+            requests: 200,
+            warmup: 20,
+            batch: BatchConfig {
+                window: Duration::from_micros(200),
+                max_batch: 8,
+                queue_depth: 64,
+                workers: 2,
+                obs: true,
+            },
+            tenant: None,
+        };
+        let estimator: SharedEstimator = Arc::new(GraphSummary::build(&graph));
+        let report = multi_tenant(&graph, estimator, &queries, &cfg);
+        assert_eq!(report.hot.sent, 200);
+        assert_eq!(report.cool.sent, 200);
+        // Every request is accounted for on both tenants; the cool tenant's
+        // quota covers the whole run, so it never sheds.
+        assert_eq!(report.hot.ok + report.hot.shed + report.hot.errors, 200);
+        assert_eq!(report.cool.errors, 0);
+        assert_eq!(report.cool.shed, 0, "ample quota must not shed");
+        assert_eq!(report.cool.ok, 200);
+        assert_eq!(report.hot_quota, 4);
+        assert!(report.cool_quota >= 200);
+        let json = report.to_json();
+        for needle in [
+            "\"offered_qps_per_tenant\"",
+            "\"hot_quota\": 4",
+            "\"hot\"",
+            "\"cool\"",
+            "\"isolated\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

@@ -1,25 +1,52 @@
-//! The line-based wire protocol both transports (pipe and TCP) speak.
+//! The line-based wire protocol both transports (pipe and TCP) speak —
+//! **protocol v2**, namespace-routed: every verb can carry a tenant token,
+//! and a v1 line without one routes to the `default` tenant.
 //!
 //! One request per line, one reply per line; requests carry a client-chosen
 //! id token so replies can be matched even though the micro-batcher may
-//! reorder completions. The grammar (whitespace-separated tokens, `<sparql>`
-//! and `<message>` run to end of line):
+//! reorder completions. The v2 grammar (whitespace-separated tokens,
+//! `<sparql>` and `<message>` run to end of line):
 //!
 //! ```text
-//! request  := "EST" <id> <sparql>      estimate one SPARQL BGP
-//!           | "STATS" <id>             ask for the serving statistics
-//!           | "METRICS" <id>           ask for the full metrics exposition
-//!           | "QUIT"                   close the session
+//! request  := "EST" [<tenant>] <id> <sparql>   estimate one SPARQL BGP
+//!           | "STATS" [<tenant>] <id>          serving statistics of one tenant
+//!           | "METRICS" [<tenant>] <id>        metrics exposition of one tenant
+//!           | "TENANTS" <id>                   list the served tenant namespaces
+//!           | "QUIT"                           close the session
 //! reply    := "OK" <id> <estimate> us=<micros>
-//!           | "ERR" <id> <message>
+//!           | "ERR" <id> code=<kebab-code> <message>
 //!           | "OVERLOADED" <id> depth=<queue-depth>
 //!           | "STATS" <id> served=<n> shed=<n> batches=<n>
 //!                          retrains=<n> added=<n> model=<bytes> tv=<f>
 //!                          uncovered=<f> p50us=<f> p95us=<f> p99us=<f>
+//!           | "TENANTS" <id> <name> ...
 //!           | "METRICS" <id> lines=<n>
 //!             <n lines of Prometheus-style exposition text,
 //!              the last of which is "# EOF">
 //! ```
+//!
+//! **v1 compatibility rule.** The tenant token is optional, and a line
+//! without one parses exactly as protocol v1 did and routes to the
+//! `default` tenant — every pre-v2 client, workload file, and transcript
+//! keeps working unchanged. Disambiguation is deterministic:
+//!
+//! * `STATS`/`METRICS` with **one** token after the verb is v1 (the token
+//!   is the id); with **two** tokens it is v2 (`<tenant> <id>`).
+//! * `EST`: the query text always begins with the keyword `SELECT`, so the
+//!   token *before* `SELECT` is the id and anything before that is the
+//!   tenant. `EST q1 SELECT …` is v1; `EST lubm q1 SELECT …` is v2.
+//!   Consequently neither a tenant name nor an id may be the literal token
+//!   `SELECT` ([`ServeBuilder`](crate::server::ServeBuilder) rejects such
+//!   tenant names at build time).
+//!
+//! Error replies carry a structured **error taxonomy**: `code=<kebab-code>`
+//! as the first message token, one of [`ErrorCode::Parse`] (malformed
+//! request line or SPARQL), [`ErrorCode::UnknownTenant`] (the tenant token
+//! names no served namespace), [`ErrorCode::Quota`] (the tenant's admission
+//! quota is zero — suspended), or [`ErrorCode::Internal`]. A v1 parser that
+//! treats everything after the id as the message still accepts the line —
+//! the code token simply folds into the message text — and parsing a legacy
+//! `ERR` line without a code yields [`Reply::Error`] with `code: None`.
 //!
 //! `METRICS` is the one multi-line reply: the header's `lines=<n>` field
 //! frames the body (so a client reads exactly `n` more lines), and the body
@@ -33,14 +60,18 @@
 //! swaps); all of them are optional on the parse side (defaulting to zero)
 //! so transcripts from older servers still parse.
 //!
-//! `<id>` is any non-empty token without whitespace. Floats are rendered
-//! with Rust's shortest-round-trip formatting, so parsing an `OK` reply
-//! recovers the estimate **bitwise** — the serving parity suite relies on
-//! this. Blank lines and `#` comments are skipped by the server before
-//! parsing, so a workload file can be annotated.
+//! `<id>` and `<tenant>` are any non-empty tokens without whitespace (and
+//! not `SELECT`). Floats are rendered with Rust's shortest-round-trip
+//! formatting, so parsing an `OK` reply recovers the estimate **bitwise** —
+//! the serving parity suite relies on this. Blank lines and `#` comments
+//! are skipped by the server before parsing, so a workload file can be
+//! annotated.
 
 use crate::latency::StatsSnapshot;
 use std::fmt;
+
+/// The tenant a v1 line (no tenant token) routes to.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// A malformed request or reply line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +87,51 @@ impl fmt::Display for ProtocolError {
 }
 
 impl std::error::Error for ProtocolError {}
+
+/// The structured error taxonomy carried by `ERR` replies as
+/// `code=<kebab-code>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request named a tenant the server does not serve.
+    UnknownTenant,
+    /// The request line or its SPARQL text did not parse.
+    Parse,
+    /// The tenant's admission quota is zero (suspended namespace). A
+    /// tenant *at* its quota sheds with `OVERLOADED` instead — `quota`
+    /// marks requests that can never be admitted, not transient pressure.
+    Quota,
+    /// An unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The kebab-case wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::UnknownTenant => "unknown-tenant",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Quota => "quota",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a kebab-case code token.
+    pub fn parse(token: &str) -> Option<ErrorCode> {
+        match token {
+            "unknown-tenant" => Some(ErrorCode::UnknownTenant),
+            "parse" => Some(ErrorCode::Parse),
+            "quota" => Some(ErrorCode::Quota),
+            "internal" => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 fn err<T>(message: impl Into<String>) -> Result<T, ProtocolError> {
     Err(ProtocolError {
@@ -83,24 +159,55 @@ fn parse_id(token: &str, what: &str) -> Result<String, ProtocolError> {
     }
 }
 
+/// Parses the `[<tenant>] <id>` prefix of a `STATS`/`METRICS` line: one
+/// token is a v1 id, two tokens are a v2 `<tenant> <id>` pair.
+fn parse_scope(rest: &str, what: &str) -> Result<(Option<String>, String), ProtocolError> {
+    let (first, after_first) = next_token(rest);
+    let (second, extra) = next_token(after_first);
+    if second.is_empty() {
+        Ok((None, parse_id(first, what)?))
+    } else if extra.trim_end().is_empty() {
+        Ok((Some(first.to_string()), parse_id(second, what)?))
+    } else {
+        err(format!("unexpected tokens after {what} tenant and id: {extra:?}"))
+    }
+}
+
 /// A client→server request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// `EST <id> <sparql>` — estimate the cardinality of a SPARQL BGP.
+    /// `EST [<tenant>] <id> <sparql>` — estimate the cardinality of a
+    /// SPARQL BGP against one tenant's graph and models.
     Estimate {
+        /// Target namespace; `None` is a v1 line routed to the
+        /// [`DEFAULT_TENANT`].
+        tenant: Option<String>,
         /// Client-chosen reply-matching token.
         id: String,
         /// The query text, `SELECT … WHERE { … }`.
         sparql: String,
     },
-    /// `STATS <id>` — report serving counters and latency percentiles.
+    /// `STATS [<tenant>] <id>` — report one tenant's serving counters and
+    /// latency percentiles.
     Stats {
+        /// Target namespace; `None` routes to the [`DEFAULT_TENANT`].
+        tenant: Option<String>,
         /// Client-chosen reply-matching token.
         id: String,
     },
-    /// `METRICS <id>` — report the full metrics exposition (counters, stage
-    /// histograms, kernel-dispatch counters, recent events).
+    /// `METRICS [<tenant>] <id>` — report one tenant's full metrics
+    /// exposition (counters, stage histograms, kernel-dispatch counters,
+    /// recent events). With an explicit tenant, every series carries a
+    /// `tenant="<name>"` label.
     Metrics {
+        /// Target namespace; `None` routes to the [`DEFAULT_TENANT`] and
+        /// renders the v1 (unlabeled) exposition.
+        tenant: Option<String>,
+        /// Client-chosen reply-matching token.
+        id: String,
+    },
+    /// `TENANTS <id>` — list the tenant namespaces this server serves.
+    Tenants {
         /// Client-chosen reply-matching token.
         id: String,
     },
@@ -114,33 +221,44 @@ impl Request {
         let (verb, rest) = next_token(line);
         match verb {
             "EST" => {
-                let (id, sparql) = next_token(rest);
-                let id = parse_id(id, "EST")?;
-                let sparql = sparql.trim_end();
-                if sparql.is_empty() {
-                    return err("EST requires a SPARQL query after the id");
+                // The query text always starts with SELECT; the token before
+                // it is the id, an earlier token is the tenant.
+                let (first, after_first) = next_token(rest);
+                let id = parse_id(first, "EST")?;
+                let (second, after_second) = next_token(after_first);
+                if second == "SELECT" {
+                    // v1: EST <id> SELECT …
+                    Ok(Request::Estimate {
+                        tenant: None,
+                        id,
+                        sparql: after_first.trim_end().to_string(),
+                    })
+                } else if next_token(after_second).0 == "SELECT" {
+                    // v2: EST <tenant> <id> SELECT …
+                    Ok(Request::Estimate {
+                        tenant: Some(id),
+                        id: second.to_string(),
+                        sparql: after_second.trim_end().to_string(),
+                    })
+                } else {
+                    err("EST requires a SPARQL query (SELECT …) after the id")
                 }
-                Ok(Request::Estimate {
-                    id,
-                    sparql: sparql.to_string(),
-                })
             }
             "STATS" => {
-                let (id, extra) = next_token(rest);
-                let id = parse_id(id, "STATS")?;
-                if extra.trim_end().is_empty() {
-                    Ok(Request::Stats { id })
-                } else {
-                    err(format!("unexpected tokens after STATS id: {extra:?}"))
-                }
+                let (tenant, id) = parse_scope(rest, "STATS")?;
+                Ok(Request::Stats { tenant, id })
             }
             "METRICS" => {
+                let (tenant, id) = parse_scope(rest, "METRICS")?;
+                Ok(Request::Metrics { tenant, id })
+            }
+            "TENANTS" => {
                 let (id, extra) = next_token(rest);
-                let id = parse_id(id, "METRICS")?;
+                let id = parse_id(id, "TENANTS")?;
                 if extra.trim_end().is_empty() {
-                    Ok(Request::Metrics { id })
+                    Ok(Request::Tenants { id })
                 } else {
-                    err(format!("unexpected tokens after METRICS id: {extra:?}"))
+                    err(format!("unexpected tokens after TENANTS id: {extra:?}"))
                 }
             }
             "QUIT" => {
@@ -151,18 +269,34 @@ impl Request {
                 }
             }
             other => err(format!(
-                "unknown request verb {other:?} (expected EST, STATS, METRICS, or QUIT)"
+                "unknown request verb {other:?} (expected EST, STATS, METRICS, TENANTS, or QUIT)"
             )),
+        }
+    }
+
+    /// The namespace this request targets ([`DEFAULT_TENANT`] for v1
+    /// lines); `None` for verbs without a tenant scope.
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            Request::Estimate { tenant, .. } | Request::Stats { tenant, .. } | Request::Metrics { tenant, .. } => {
+                Some(tenant.as_deref().unwrap_or(DEFAULT_TENANT))
+            }
+            Request::Tenants { .. } | Request::Quit => None,
         }
     }
 }
 
 impl fmt::Display for Request {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let scope = |tenant: &Option<String>| match tenant {
+            Some(t) => format!("{t} "),
+            None => String::new(),
+        };
         match self {
-            Request::Estimate { id, sparql } => write!(f, "EST {id} {sparql}"),
-            Request::Stats { id } => write!(f, "STATS {id}"),
-            Request::Metrics { id } => write!(f, "METRICS {id}"),
+            Request::Estimate { tenant, id, sparql } => write!(f, "EST {}{id} {sparql}", scope(tenant)),
+            Request::Stats { tenant, id } => write!(f, "STATS {}{id}", scope(tenant)),
+            Request::Metrics { tenant, id } => write!(f, "METRICS {}{id}", scope(tenant)),
+            Request::Tenants { id } => write!(f, "TENANTS {id}"),
             Request::Quit => write!(f, "QUIT"),
         }
     }
@@ -181,28 +315,40 @@ pub enum Reply {
         /// Submit→reply latency in microseconds.
         micros: f64,
     },
-    /// `ERR <id> <message>` — malformed line, parse failure, or internal
-    /// error; `id` is `-` when the line was too malformed to carry one.
+    /// `ERR <id> code=<kebab-code> <message>` — malformed line, unknown
+    /// tenant, suspended quota, or internal error; `id` is `-` when the
+    /// line was too malformed to carry one. The server always sends a
+    /// code; `code: None` only arises from parsing a pre-v2 transcript.
     Error {
         /// Echo of the request id, or `-`.
         id: String,
+        /// The structured error class (`None` on legacy lines without one).
+        code: Option<ErrorCode>,
         /// Human-readable description.
         message: String,
     },
     /// `OVERLOADED <id> depth=<n>` — admission control shed the request
-    /// because the bounded queue (depth `n`) was full.
+    /// because the tenant's bounded queue (its quota, depth `n`) was full.
     Overloaded {
         /// Echo of the request id.
         id: String,
         /// The configured queue depth that was exhausted.
         depth: usize,
     },
-    /// `STATS <id> …` — serving counters and latency percentiles.
+    /// `STATS <id> …` — serving counters and latency percentiles of the
+    /// addressed tenant.
     Stats {
         /// Echo of the request id.
         id: String,
         /// The snapshot.
         snapshot: StatsSnapshot,
+    },
+    /// `TENANTS <id> <name> …` — the served namespaces, sorted.
+    Tenants {
+        /// Echo of the request id.
+        id: String,
+        /// Tenant names, ascending.
+        names: Vec<String>,
     },
     /// `METRICS <id> lines=<n>` followed by `n` lines of exposition text —
     /// the one multi-line reply. `text` is the exposition body *without*
@@ -221,6 +367,16 @@ pub enum Reply {
 }
 
 impl Reply {
+    /// An `ERR` reply with a structured code (the only form the server
+    /// emits — every error site routes through here).
+    pub fn error(id: impl Into<String>, code: ErrorCode, message: impl Into<String>) -> Reply {
+        Reply::Error {
+            id: id.into(),
+            code: Some(code),
+            message: message.into(),
+        }
+    }
+
     /// Parses one reply line (the client side of the protocol; the load
     /// generator and tests use this to close the loop).
     pub fn parse(line: &str) -> Result<Reply, ProtocolError> {
@@ -247,11 +403,18 @@ impl Reply {
             }
             "ERR" => {
                 let id = parse_id(id_token, "ERR")?;
-                let message = rest.trim_end().to_string();
+                // `code=<kebab-code>` as the first message token is the v2
+                // taxonomy; a line without one is a legacy transcript and
+                // the whole rest is the message.
+                let (first, after_first) = next_token(rest);
+                let (code, message) = match first.strip_prefix("code=").and_then(ErrorCode::parse) {
+                    Some(code) => (Some(code), after_first.trim_end().to_string()),
+                    None => (None, rest.trim_end().to_string()),
+                };
                 if message.is_empty() {
                     return err("ERR requires a message");
                 }
-                Ok(Reply::Error { id, message })
+                Ok(Reply::Error { id, code, message })
             }
             "OVERLOADED" => {
                 let id = parse_id(id_token, "OVERLOADED")?;
@@ -318,6 +481,11 @@ impl Reply {
                     _ => err("STATS reply is missing fields"),
                 }
             }
+            "TENANTS" => {
+                let id = parse_id(id_token, "TENANTS")?;
+                let names: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
+                Ok(Reply::Tenants { id, names })
+            }
             "METRICS" => {
                 let id = parse_id(id_token, "METRICS")?;
                 let has_lines = rest
@@ -345,9 +513,19 @@ impl fmt::Display for Reply {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Reply::Estimate { id, estimate, micros } => write!(f, "OK {id} {estimate} us={micros}"),
-            Reply::Error { id, message } => write!(f, "ERR {id} {message}"),
+            Reply::Error { id, code, message } => match code {
+                Some(code) => write!(f, "ERR {id} code={code} {message}"),
+                None => write!(f, "ERR {id} {message}"),
+            },
             Reply::Overloaded { id, depth } => write!(f, "OVERLOADED {id} depth={depth}"),
             Reply::Stats { id, snapshot } => write!(f, "STATS {id} {snapshot}"),
+            Reply::Tenants { id, names } => {
+                write!(f, "TENANTS {id}")?;
+                for name in names {
+                    write!(f, " {name}")?;
+                }
+                Ok(())
+            }
             Reply::Metrics { id, text } => {
                 let body = text.trim_end_matches('\n');
                 // lines= counts everything after the header, # EOF included.
@@ -370,17 +548,68 @@ mod tests {
     fn request_round_trips() {
         let cases = [
             Request::Estimate {
+                tenant: None,
                 id: "q17".into(),
                 sparql: "SELECT * WHERE { ?x :p ?y . ?y :q ?z . }".into(),
             },
-            Request::Stats { id: "s1".into() },
-            Request::Metrics { id: "m1".into() },
+            Request::Estimate {
+                tenant: Some("lubm".into()),
+                id: "q17".into(),
+                sparql: "SELECT * WHERE { ?x :p ?y . }".into(),
+            },
+            Request::Stats {
+                tenant: None,
+                id: "s1".into(),
+            },
+            Request::Stats {
+                tenant: Some("swdf".into()),
+                id: "s1".into(),
+            },
+            Request::Metrics {
+                tenant: None,
+                id: "m1".into(),
+            },
+            Request::Metrics {
+                tenant: Some("yago-a".into()),
+                id: "m1".into(),
+            },
+            Request::Tenants { id: "t1".into() },
             Request::Quit,
         ];
         for req in cases {
             let line = req.to_string();
             assert_eq!(Request::parse(&line).unwrap(), req, "round trip of {line:?}");
         }
+    }
+
+    #[test]
+    fn v1_lines_route_to_the_default_tenant() {
+        for (line, expected_tenant) in [
+            ("EST q1 SELECT * WHERE { ?x :p ?y . }", DEFAULT_TENANT),
+            ("EST lubm q1 SELECT * WHERE { ?x :p ?y . }", "lubm"),
+            ("STATS s1", DEFAULT_TENANT),
+            ("STATS swdf s1", "swdf"),
+            ("METRICS m1", DEFAULT_TENANT),
+            ("METRICS swdf m1", "swdf"),
+        ] {
+            let req = Request::parse(line).unwrap();
+            assert_eq!(req.tenant(), Some(expected_tenant), "tenant routing of {line:?}");
+        }
+        assert_eq!(Request::parse("TENANTS t0").unwrap().tenant(), None);
+        assert_eq!(Request::parse("QUIT").unwrap().tenant(), None);
+    }
+
+    #[test]
+    fn v2_est_keeps_the_id_before_select() {
+        let req = Request::parse("EST lubm q3 SELECT * WHERE { ?x :p ?y . }").unwrap();
+        assert_eq!(
+            req,
+            Request::Estimate {
+                tenant: Some("lubm".into()),
+                id: "q3".into(),
+                sparql: "SELECT * WHERE { ?x :p ?y . }".into(),
+            }
+        );
     }
 
     #[test]
@@ -410,13 +639,21 @@ mod tests {
     #[test]
     fn reply_round_trips_all_variants() {
         let cases = [
-            Reply::Error {
-                id: "q1".into(),
-                message: "unknown node term \":Nobody\" (not in the graph's dictionary)".into(),
-            },
+            Reply::error(
+                "q1",
+                ErrorCode::Parse,
+                "unknown node term \":Nobody\" (not in the graph's dictionary)",
+            ),
+            Reply::error("q3", ErrorCode::UnknownTenant, "unknown tenant \"nope\""),
+            Reply::error("q4", ErrorCode::Quota, "tenant \"idle\" is suspended (quota 0)"),
+            Reply::error("q5", ErrorCode::Internal, "reply channel closed"),
             Reply::Overloaded {
                 id: "q2".into(),
                 depth: 1024,
+            },
+            Reply::Tenants {
+                id: "t1".into(),
+                names: vec!["default".into(), "lubm".into(), "swdf".into()],
             },
             Reply::Stats {
                 id: "s".into(),
@@ -439,6 +676,55 @@ mod tests {
             let line = reply.to_string();
             assert_eq!(Reply::parse(&line).unwrap(), reply, "round trip of {line:?}");
         }
+    }
+
+    #[test]
+    fn legacy_err_lines_without_codes_still_parse() {
+        // A transcript from a pre-v2 server has no code token.
+        let reply = Reply::parse("ERR q1 unknown node term \":Nobody\"").unwrap();
+        assert_eq!(
+            reply,
+            Reply::Error {
+                id: "q1".into(),
+                code: None,
+                message: "unknown node term \":Nobody\"".into(),
+            }
+        );
+        // And re-displays without inventing one.
+        assert_eq!(reply.to_string(), "ERR q1 unknown node term \":Nobody\"");
+
+        // A v1 parser that treats everything after the id as the message
+        // still sees the v2 line: the code token folds into the message.
+        let v2_line = Reply::error("q1", ErrorCode::Parse, "bad query").to_string();
+        assert_eq!(v2_line, "ERR q1 code=parse bad query");
+        let (verb, rest) = next_token(&v2_line);
+        let (id, v1_message) = next_token(rest);
+        assert_eq!((verb, id), ("ERR", "q1"));
+        assert_eq!(v1_message, "code=parse bad query");
+    }
+
+    #[test]
+    fn error_codes_round_trip_the_taxonomy() {
+        for code in [
+            ErrorCode::UnknownTenant,
+            ErrorCode::Parse,
+            ErrorCode::Quota,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+            assert!(
+                code.as_str().chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{code} is not kebab-case"
+            );
+        }
+        assert_eq!(ErrorCode::parse("no-such-code"), None);
+        // An unknown code token is legacy-folded into the message, not lost.
+        let reply = Reply::parse("ERR q1 code=future-code something new").unwrap();
+        let Reply::Error { code, message, .. } = reply else {
+            panic!("wrong variant");
+        };
+        assert_eq!(code, None);
+        assert_eq!(message, "code=future-code something new");
     }
 
     #[test]
@@ -497,13 +783,26 @@ mod tests {
         assert_eq!(
             req,
             Request::Estimate {
+                tenant: None,
+                id: "q1".into(),
+                sparql: "SELECT * WHERE { ?x :p ?y . }".into(),
+            }
+        );
+        let req = Request::parse("EST \t lubm \t q1   SELECT * WHERE { ?x :p ?y . }").unwrap();
+        assert_eq!(
+            req,
+            Request::Estimate {
+                tenant: Some("lubm".into()),
                 id: "q1".into(),
                 sparql: "SELECT * WHERE { ?x :p ?y . }".into(),
             }
         );
         assert_eq!(
             Request::parse("STATS   s1").unwrap(),
-            Request::Stats { id: "s1".into() }
+            Request::Stats {
+                tenant: None,
+                id: "s1".into()
+            }
         );
         let reply = Reply::parse("OK  q1   2.5 us=7").unwrap();
         assert_eq!(
@@ -530,10 +829,15 @@ mod tests {
             ("EST", "requires an id"),
             ("EST q1", "requires a SPARQL query"),
             ("EST q1    ", "requires a SPARQL query"),
+            // Neither the second nor the third token starts the query text.
+            ("EST q1 whatever", "requires a SPARQL query"),
+            ("EST t q1 whatever", "requires a SPARQL query"),
             ("STATS", "requires an id"),
-            ("STATS s1 extra", "unexpected tokens"),
+            ("STATS t s1 extra", "unexpected tokens"),
             ("METRICS", "requires an id"),
-            ("METRICS m1 extra", "unexpected tokens"),
+            ("METRICS t m1 extra", "unexpected tokens"),
+            ("TENANTS", "requires an id"),
+            ("TENANTS t0 extra", "unexpected tokens"),
             ("QUIT now", "unexpected tokens"),
         ] {
             let e = Request::parse(line).unwrap_err();
@@ -559,6 +863,7 @@ mod tests {
             "STATS s1 bogus=2",
             "METRICS m1",
             "METRICS m1 lines=abc",
+            "TENANTS",
             "NOPE q1 1",
         ] {
             assert!(Reply::parse(line).is_err(), "{line:?} should not parse");

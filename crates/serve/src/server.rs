@@ -1,17 +1,28 @@
-//! Transports: one service object, two ways to reach it.
+//! Transports and the tenant-routed serving core.
 //!
-//! [`EstimationService`] owns the graph (for resolving query terms) and the
-//! micro-batcher; [`EstimationService::handle_line`] is the whole per-line
-//! state machine — parse, admit (or shed), or answer control requests
-//! directly. [`serve_stream`] runs a session over any `BufRead`/`Write`
-//! pair (the pipe mode is exactly `stdin`/`stdout`), and [`serve_tcp`]
-//! accepts connections and runs one session thread per client over the same
-//! code path, so both modes behave identically by construction.
+//! [`ServeBuilder`] assembles an [`EstimationService`] out of
+//! [`TenantSpec`]s: each tenant is one namespace with its **own** graph,
+//! estimator behind a swappable [`ModelHandle`], micro-batcher (workers +
+//! bounded admission queue), [`ServeStats`], and optional workload monitor.
+//! Batches are keyed by tenant *by construction* — every tenant owns its
+//! batcher, so one `estimate_batch` forward can never mix models — and a
+//! tenant's admission quota is its queue depth: a tenant at quota sheds its
+//! own requests with `OVERLOADED` without starving anyone else.
+//!
+//! [`EstimationService::handle_line`] is the whole per-line state machine —
+//! parse, route to the addressed tenant (v1 lines go to the `default`
+//! namespace), admit (or shed), or answer control requests directly.
+//! [`serve_stream`] runs a session over any `BufRead`/`Write` pair (the pipe
+//! mode is exactly `stdin`/`stdout`), and [`serve_tcp`] accepts connections
+//! and runs one session thread per client over the same code path, so both
+//! modes behave identically by construction.
 
 use crate::batcher::{BatchConfig, Job, MicroBatcher, ModelHandle, ServeStats, SharedEstimator, SharedMonitor};
 use crate::latency::StatsSnapshot;
-use crate::protocol::{Reply, Request};
+use crate::protocol::{ErrorCode, Reply, Request, DEFAULT_TENANT};
 use lmkg_store::{sparql, KnowledgeGraph};
+use std::collections::HashMap;
+use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,67 +39,332 @@ pub enum LineOutcome {
     Quit,
 }
 
-/// The serving core shared by every transport: parses request lines against
-/// the graph's dictionaries and routes them into the micro-batcher.
-pub struct EstimationService {
+/// One namespace of a multi-tenant server: a graph, the estimator serving
+/// it, and the tenant's isolation knobs.
+pub struct TenantSpec {
+    /// The namespace token requests address this tenant by.
+    pub name: String,
+    /// The graph this tenant's queries resolve against.
+    pub graph: Arc<KnowledgeGraph>,
+    /// The tenant's frozen, `Arc`-shared estimator.
+    pub estimator: SharedEstimator,
+    /// Observation feed of this tenant's adaptation loop, if any.
+    pub monitor: Option<SharedMonitor>,
+    /// Admission quota: overrides [`BatchConfig::queue_depth`] for this
+    /// tenant. `Some(0)` suspends the namespace — estimates are refused
+    /// with `ERR code=quota` instead of queued.
+    pub quota: Option<usize>,
+}
+
+impl TenantSpec {
+    /// A tenant with the builder-wide batch configuration and no monitor.
+    pub fn new(name: impl Into<String>, graph: Arc<KnowledgeGraph>, estimator: SharedEstimator) -> Self {
+        Self {
+            name: name.into(),
+            graph,
+            estimator,
+            monitor: None,
+            quota: None,
+        }
+    }
+
+    /// Record admitted queries into `monitor` (the adaptation feed).
+    pub fn observed(mut self, monitor: SharedMonitor) -> Self {
+        self.monitor = Some(monitor);
+        self
+    }
+
+    /// Cap this tenant's admission queue at `quota` jobs (0 = suspended).
+    pub fn quota(mut self, quota: usize) -> Self {
+        self.quota = Some(quota);
+        self
+    }
+}
+
+/// Why [`ServeBuilder::build`] refused a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The builder had no tenants at all.
+    NoTenants,
+    /// Two tenants claimed the same namespace token.
+    DuplicateTenant(String),
+    /// A tenant name is empty, contains whitespace, or is the reserved
+    /// token `SELECT` (which would make `EST` lines ambiguous — the
+    /// protocol disambiguates v1/v2 by the leading query keyword).
+    InvalidTenantName(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoTenants => write!(f, "a service needs at least one tenant"),
+            BuildError::DuplicateTenant(name) => write!(f, "duplicate tenant name {name:?}"),
+            BuildError::InvalidTenantName(name) => write!(
+                f,
+                "invalid tenant name {name:?} (must be non-empty, whitespace-free, and not \"SELECT\")"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// The one way to construct an [`EstimationService`]: collect tenants, set
+/// the shared batch configuration, build. Replaces the old constructor zoo
+/// (`new` vs `new_observed` with positional config threading), which now
+/// delegates here.
+///
+/// ```
+/// # use lmkg::GraphSummary;
+/// # use lmkg_serve::{BatchConfig, ServeBuilder, TenantSpec};
+/// # use lmkg_store::GraphBuilder;
+/// # use std::sync::Arc;
+/// # let mut b = GraphBuilder::new();
+/// # b.add(":a", ":p", ":b");
+/// # let graph = Arc::new(b.build());
+/// # let summary: lmkg_serve::SharedEstimator = Arc::new(GraphSummary::build(&graph));
+/// let svc = ServeBuilder::new()
+///     .batch(BatchConfig::default())
+///     .tenant(TenantSpec::new("lubm", Arc::clone(&graph), Arc::clone(&summary)))
+///     .tenant(TenantSpec::new("swdf", graph, summary).quota(64))
+///     .build()
+///     .unwrap();
+/// assert_eq!(svc.tenant_names(), ["lubm", "swdf"]);
+/// ```
+#[derive(Default)]
+pub struct ServeBuilder {
+    batch: BatchConfig,
+    tenants: Vec<TenantSpec>,
+}
+
+impl ServeBuilder {
+    /// An empty builder with the default [`BatchConfig`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The batch configuration every tenant's batcher starts from (a
+    /// tenant's `quota` overrides its queue depth).
+    pub fn batch(mut self, cfg: BatchConfig) -> Self {
+        self.batch = cfg;
+        self
+    }
+
+    /// Adds one tenant namespace.
+    pub fn tenant(mut self, spec: TenantSpec) -> Self {
+        self.tenants.push(spec);
+        self
+    }
+
+    /// Validates the tenant set and starts every tenant's batcher workers.
+    pub fn build(self) -> Result<EstimationService, BuildError> {
+        if self.tenants.is_empty() {
+            return Err(BuildError::NoTenants);
+        }
+        let mut index = HashMap::with_capacity(self.tenants.len());
+        for (i, spec) in self.tenants.iter().enumerate() {
+            if spec.name.is_empty() || spec.name.contains(char::is_whitespace) || spec.name == "SELECT" {
+                return Err(BuildError::InvalidTenantName(spec.name.clone()));
+            }
+            if index.insert(spec.name.clone(), i).is_some() {
+                return Err(BuildError::DuplicateTenant(spec.name.clone()));
+            }
+        }
+        // v1 lines (no tenant token) route to the `default` namespace; a
+        // single-tenant service is its own default whatever its name, so
+        // pre-v2 clients work against it unchanged.
+        let default_idx = match index.get(DEFAULT_TENANT) {
+            Some(&i) => Some(i),
+            None if self.tenants.len() == 1 => Some(0),
+            None => None,
+        };
+        let batch = self.batch;
+        let tenants: Vec<TenantEntry> = self
+            .tenants
+            .into_iter()
+            .map(|spec| {
+                let suspended = spec.quota == Some(0);
+                let cfg = BatchConfig {
+                    // A suspended tenant still gets a (never-fed) batcher:
+                    // its stats surface stays live for STATS/METRICS.
+                    queue_depth: spec.quota.filter(|&q| q > 0).unwrap_or(batch.queue_depth),
+                    ..batch.clone()
+                };
+                TenantEntry {
+                    name: spec.name,
+                    graph: spec.graph,
+                    batcher: MicroBatcher::start_observed(spec.estimator, cfg, spec.monitor),
+                    suspended,
+                }
+            })
+            .collect();
+        Ok(EstimationService {
+            tenants,
+            index,
+            default_idx,
+        })
+    }
+}
+
+/// One running tenant: its graph plus its private batcher (workers, queue,
+/// stats, model handle).
+struct TenantEntry {
+    name: String,
     graph: Arc<KnowledgeGraph>,
     batcher: MicroBatcher,
+    suspended: bool,
+}
+
+/// The serving core shared by every transport: parses request lines, routes
+/// them to the addressed tenant, and feeds that tenant's micro-batcher.
+pub struct EstimationService {
+    tenants: Vec<TenantEntry>,
+    index: HashMap<String, usize>,
+    /// Where v1 lines (no tenant token) route: the tenant named `default`,
+    /// or the only tenant of a single-tenant service. `None` on a
+    /// multi-tenant service without a `default` namespace — v1 lines are
+    /// then refused with `ERR code=unknown-tenant`.
+    default_idx: Option<usize>,
+}
+
+impl fmt::Debug for EstimationService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EstimationService")
+            .field("tenants", &self.tenant_names())
+            .field("default", &self.default_idx.map(|i| self.tenants[i].name.as_str()))
+            .finish()
+    }
 }
 
 impl EstimationService {
-    /// Builds the service and starts the batcher's worker threads. The
-    /// estimator is a frozen, `Arc`-shared model: every worker runs its own
-    /// forwards on it concurrently, with no lock on the estimation path.
+    /// Builds a single-tenant service around the `default` namespace.
+    #[deprecated(note = "use ServeBuilder with a TenantSpec instead")]
     pub fn new(graph: Arc<KnowledgeGraph>, estimator: SharedEstimator, cfg: BatchConfig) -> Self {
-        Self::new_observed(graph, estimator, cfg, None)
+        ServeBuilder::new()
+            .batch(cfg)
+            .tenant(TenantSpec::new(DEFAULT_TENANT, graph, estimator))
+            .build()
+            .expect("a single default tenant always builds")
     }
 
-    /// Like [`EstimationService::new`], but admitted queries are also
-    /// recorded into `monitor` — the observation feed of the adaptation
-    /// loop ([`crate::adapter::Adapter`]).
+    /// Builds a single-tenant service whose admitted queries are recorded
+    /// into `monitor`.
+    #[deprecated(note = "use ServeBuilder with TenantSpec::observed instead")]
     pub fn new_observed(
         graph: Arc<KnowledgeGraph>,
         estimator: SharedEstimator,
         cfg: BatchConfig,
         monitor: Option<SharedMonitor>,
     ) -> Self {
-        Self {
-            graph,
-            batcher: MicroBatcher::start_observed(estimator, cfg, monitor),
+        let mut spec = TenantSpec::new(DEFAULT_TENANT, graph, estimator);
+        if let Some(monitor) = monitor {
+            spec = spec.observed(monitor);
         }
+        ServeBuilder::new()
+            .batch(cfg)
+            .tenant(spec)
+            .build()
+            .expect("a single default tenant always builds")
     }
 
-    /// The graph queries are resolved against.
+    /// The entry v1 lines route to, falling back to the first tenant for
+    /// transport-level accounting (sessions, bytes, malformed lines carry
+    /// no tenant token to attribute them better).
+    fn accounting_entry(&self) -> &TenantEntry {
+        &self.tenants[self.default_idx.unwrap_or(0)]
+    }
+
+    fn resolve(&self, tenant: Option<&str>) -> Result<&TenantEntry, Reply> {
+        let idx = match tenant {
+            Some(name) => self.index.get(name).copied(),
+            None => self.default_idx,
+        };
+        idx.map(|i| &self.tenants[i]).ok_or_else(|| {
+            let mut names = self.tenant_names();
+            names.truncate(8);
+            Reply::error(
+                "-",
+                ErrorCode::UnknownTenant,
+                match tenant {
+                    Some(name) => format!("unknown tenant {:?} (serving: {})", name, names.join(", ")),
+                    None => format!("no default tenant on this server; address one of: {}", names.join(", ")),
+                },
+            )
+        })
+    }
+
+    /// The served namespaces, sorted ascending (the `TENANTS` reply body).
+    pub fn tenant_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tenants.iter().map(|t| t.name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    /// One tenant's point-in-time serving summary.
+    pub fn tenant_stats(&self, name: &str) -> Option<StatsSnapshot> {
+        self.index
+            .get(name)
+            .map(|&i| self.tenants[i].batcher.stats().snapshot())
+    }
+
+    /// One tenant's live counter block.
+    pub fn tenant_serve_stats(&self, name: &str) -> Option<Arc<ServeStats>> {
+        self.index.get(name).map(|&i| self.tenants[i].batcher.stats())
+    }
+
+    /// One tenant's swappable model slot.
+    pub fn tenant_model(&self, name: &str) -> Option<Arc<ModelHandle>> {
+        self.index.get(name).map(|&i| self.tenants[i].batcher.model())
+    }
+
+    /// One tenant's graph.
+    pub fn tenant_graph(&self, name: &str) -> Option<Arc<KnowledgeGraph>> {
+        self.index.get(name).map(|&i| Arc::clone(&self.tenants[i].graph))
+    }
+
+    /// The default tenant's graph (see [`EstimationService::accounting_entry`]).
     pub fn graph(&self) -> &KnowledgeGraph {
-        &self.graph
+        &self.accounting_entry().graph
     }
 
-    /// A point-in-time serving summary (the `STATS` reply body).
+    /// The default tenant's point-in-time serving summary (the `STATS`
+    /// reply body of a v1 `STATS` line).
     pub fn stats(&self) -> StatsSnapshot {
-        self.batcher.stats().snapshot()
+        self.accounting_entry().batcher.stats().snapshot()
     }
 
-    /// The live counter block itself (shared with the adapter, which
-    /// records drift evaluations and retrain events into it).
+    /// The default tenant's live counter block (shared with its adapter,
+    /// which records drift evaluations and retrain events into it). Also
+    /// where transport-level accounting (sessions, bytes, malformed lines)
+    /// lands — those carry no tenant token.
     pub fn serve_stats(&self) -> Arc<ServeStats> {
-        self.batcher.stats()
+        self.accounting_entry().batcher.stats()
     }
 
-    /// The swappable model slot — the seam a retraining loop publishes new
-    /// models through, atomically, under live traffic.
+    /// The default tenant's swappable model slot — the seam a retraining
+    /// loop publishes new models through, atomically, under live traffic.
     pub fn model(&self) -> Arc<ModelHandle> {
-        self.batcher.model()
+        self.accounting_entry().batcher.model()
     }
 
-    /// Shuts the batcher down and hands the estimator back.
+    /// Shuts every tenant's batcher down and hands the default tenant's
+    /// estimator back.
     pub fn into_estimator(self) -> SharedEstimator {
-        self.batcher.shutdown()
+        let default_idx = self.default_idx.unwrap_or(0);
+        let mut result = None;
+        for (i, tenant) in self.tenants.into_iter().enumerate() {
+            let estimator = tenant.batcher.shutdown();
+            if i == default_idx {
+                result = Some(estimator);
+            }
+        }
+        result.expect("builder guarantees at least one tenant")
     }
 
     /// Processes one raw input line. Estimate replies arrive on `out`
-    /// asynchronously (from the batcher workers); error, overload, and
-    /// stats replies are sent on `out` before this returns. Blank lines and
-    /// `#` comments are ignored.
+    /// asynchronously (from the addressed tenant's batcher workers); error,
+    /// overload, stats, and tenant-listing replies are sent on `out` before
+    /// this returns. Blank lines and `#` comments are ignored.
     pub fn handle_line(&self, line: &str, out: &mpsc::Sender<Reply>) -> LineOutcome {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -97,48 +373,94 @@ impl EstimationService {
         let request = match Request::parse(line) {
             Ok(request) => request,
             Err(e) => {
-                self.batcher.stats().note_parse_error(&e.message);
-                let _ = out.send(Reply::Error {
-                    id: "-".into(),
-                    message: e.message,
-                });
+                self.accounting_entry().batcher.stats().note_parse_error(&e.message);
+                let _ = out.send(Reply::error("-", ErrorCode::Parse, e.message));
                 return LineOutcome::Continue;
             }
         };
         match request {
             Request::Quit => LineOutcome::Quit,
-            Request::Stats { id } => {
-                let _ = out.send(Reply::Stats {
+            Request::Tenants { id } => {
+                let _ = out.send(Reply::Tenants {
                     id,
-                    snapshot: self.stats(),
+                    names: self.tenant_names(),
                 });
                 LineOutcome::Continue
             }
-            Request::Metrics { id } => {
-                let _ = out.send(Reply::Metrics {
-                    id,
-                    text: crate::expose::render_metrics(&self.batcher.stats()),
-                });
+            Request::Stats { tenant, id } => {
+                match self.resolve(tenant.as_deref()) {
+                    Ok(entry) => {
+                        let _ = out.send(Reply::Stats {
+                            id,
+                            snapshot: entry.batcher.stats().snapshot(),
+                        });
+                    }
+                    Err(reply) => {
+                        let _ = out.send(with_id(reply, id));
+                    }
+                }
                 LineOutcome::Continue
             }
-            Request::Estimate { id, sparql } => {
-                match sparql::parse(&sparql, &self.graph) {
+            Request::Metrics { tenant, id } => {
+                // The exposition carries a tenant="…" label exactly when the
+                // request addressed a namespace explicitly; a v1 line gets
+                // the v1 (unlabeled) exposition, byte-compatible with pre-v2
+                // scrapers.
+                let label = tenant.as_deref();
+                match self.resolve(label) {
+                    Ok(entry) => {
+                        let _ = out.send(Reply::Metrics {
+                            id,
+                            text: crate::expose::render_metrics_for(label, &entry.batcher.stats()),
+                        });
+                    }
+                    Err(reply) => {
+                        let _ = out.send(with_id(reply, id));
+                    }
+                }
+                LineOutcome::Continue
+            }
+            Request::Estimate { tenant, id, sparql } => {
+                let entry = match self.resolve(tenant.as_deref()) {
+                    Ok(entry) => entry,
+                    Err(reply) => {
+                        let _ = out.send(with_id(reply, id));
+                        return LineOutcome::Continue;
+                    }
+                };
+                if entry.suspended {
+                    let _ = out.send(Reply::error(
+                        id,
+                        ErrorCode::Quota,
+                        format!("tenant {:?} is suspended (quota 0)", entry.name),
+                    ));
+                    return LineOutcome::Continue;
+                }
+                match sparql::parse(&sparql, &entry.graph) {
                     Ok(parsed) => {
                         let job = Job::new(id, parsed.query, out.clone());
-                        if let Err(job) = self.batcher.submit(job) {
+                        if let Err(job) = entry.batcher.submit(job) {
                             let _ = out.send(Reply::Overloaded {
                                 id: job.id,
-                                depth: self.batcher.queue_depth(),
+                                depth: entry.batcher.queue_depth(),
                             });
                         }
                     }
                     Err(e) => {
-                        let _ = out.send(Reply::Error { id, message: e.message });
+                        let _ = out.send(Reply::error(id, ErrorCode::Parse, e.message));
                     }
                 }
                 LineOutcome::Continue
             }
         }
+    }
+}
+
+/// Re-addresses a placeholder-id error reply to the request's real id.
+fn with_id(reply: Reply, id: String) -> Reply {
+    match reply {
+        Reply::Error { code, message, .. } => Reply::Error { id, code, message },
+        other => other,
     }
 }
 
@@ -187,10 +509,7 @@ where
             // keep the session alive, like any other garbage input.
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                 stats.note_parse_error("request line is not valid UTF-8");
-                let _ = tx.send(Reply::Error {
-                    id: "-".into(),
-                    message: "request line is not valid UTF-8".into(),
-                });
+                let _ = tx.send(Reply::error("-", ErrorCode::Parse, "request line is not valid UTF-8"));
                 continue;
             }
             Err(_) => break, // transport failure: end the session
@@ -336,14 +655,44 @@ mod tests {
     use lmkg::GraphSummary;
     use lmkg_store::GraphBuilder;
 
-    fn service(cfg: BatchConfig) -> EstimationService {
+    fn book_graph() -> Arc<KnowledgeGraph> {
         let mut b = GraphBuilder::new();
         b.add(":shining", ":hasAuthor", ":StephenKing");
         b.add(":it", ":hasAuthor", ":StephenKing");
         b.add(":StephenKing", ":bornIn", ":USA");
-        let graph = Arc::new(b.build());
+        Arc::new(b.build())
+    }
+
+    fn service(cfg: BatchConfig) -> EstimationService {
+        let graph = book_graph();
         let summary = GraphSummary::build(&graph);
-        EstimationService::new(graph, Arc::new(summary), cfg)
+        ServeBuilder::new()
+            .batch(cfg)
+            .tenant(TenantSpec::new(DEFAULT_TENANT, graph, Arc::new(summary)))
+            .build()
+            .unwrap()
+    }
+
+    /// A second graph with a disjoint vocabulary, so routing mix-ups
+    /// surface as unknown-term errors instead of silently wrong numbers.
+    fn city_graph() -> Arc<KnowledgeGraph> {
+        let mut b = GraphBuilder::new();
+        b.add(":berlin", ":locatedIn", ":germany");
+        b.add(":munich", ":locatedIn", ":germany");
+        Arc::new(b.build())
+    }
+
+    fn two_tenant_service(cfg: BatchConfig) -> EstimationService {
+        let books = book_graph();
+        let cities = city_graph();
+        let books_est: SharedEstimator = Arc::new(GraphSummary::build(&books));
+        let cities_est: SharedEstimator = Arc::new(GraphSummary::build(&cities));
+        ServeBuilder::new()
+            .batch(cfg)
+            .tenant(TenantSpec::new("books", books, books_est))
+            .tenant(TenantSpec::new("cities", cities, cities_est))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -364,11 +713,13 @@ mod tests {
             other => panic!("expected an estimate, got {other:?}"),
         }
 
-        // Unknown term → structured ERR carrying the request id.
+        // Unknown term → structured ERR carrying the request id and the
+        // parse code.
         svc.handle_line("EST q2 SELECT * WHERE { ?x :hasAuthor :Nobody . }", &tx);
         match rx.recv().unwrap() {
-            Reply::Error { id, message } => {
+            Reply::Error { id, code, message } => {
                 assert_eq!(id, "q2");
+                assert_eq!(code, Some(ErrorCode::Parse));
                 assert!(message.contains("unknown node term"));
             }
             other => panic!("expected ERR, got {other:?}"),
@@ -377,7 +728,10 @@ mod tests {
         // Malformed line → ERR with the placeholder id.
         svc.handle_line("ESTIMATE q3 whatever", &tx);
         match rx.recv().unwrap() {
-            Reply::Error { id, .. } => assert_eq!(id, "-"),
+            Reply::Error { id, code, .. } => {
+                assert_eq!(id, "-");
+                assert_eq!(code, Some(ErrorCode::Parse));
+            }
             other => panic!("expected ERR, got {other:?}"),
         }
 
@@ -391,6 +745,165 @@ mod tests {
         }
 
         assert_eq!(svc.handle_line("QUIT", &tx), LineOutcome::Quit);
+    }
+
+    #[test]
+    fn tenant_routing_resolves_terms_per_namespace() {
+        let svc = two_tenant_service(BatchConfig::default().per_request());
+        let (tx, rx) = mpsc::channel();
+
+        // Each tenant resolves its own vocabulary …
+        svc.handle_line("EST books q1 SELECT * WHERE { ?x :hasAuthor ?y . }", &tx);
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Reply::Estimate { id, estimate, .. } => {
+                assert_eq!(id, "q1");
+                assert!(estimate >= 1.0);
+            }
+            other => panic!("expected an estimate, got {other:?}"),
+        }
+        svc.handle_line("EST cities q2 SELECT * WHERE { ?x :locatedIn :germany . }", &tx);
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Reply::Estimate { id, .. } => assert_eq!(id, "q2"),
+            other => panic!("expected an estimate, got {other:?}"),
+        }
+
+        // … and a query routed to the wrong tenant fails term resolution.
+        svc.handle_line("EST cities q3 SELECT * WHERE { ?x :hasAuthor ?y . }", &tx);
+        match rx.recv().unwrap() {
+            Reply::Error { id, code, .. } => {
+                assert_eq!(id, "q3");
+                assert_eq!(code, Some(ErrorCode::Parse));
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
+
+        // Unknown namespaces are a structured error naming the live ones.
+        svc.handle_line("EST nope q4 SELECT * WHERE { ?x :p ?y . }", &tx);
+        match rx.recv().unwrap() {
+            Reply::Error { id, code, message } => {
+                assert_eq!(id, "q4");
+                assert_eq!(code, Some(ErrorCode::UnknownTenant));
+                assert!(message.contains("books") && message.contains("cities"), "{message}");
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
+
+        // Two tenants, neither named `default`: v1 lines have no home.
+        svc.handle_line("EST q5 SELECT * WHERE { ?x :hasAuthor ?y . }", &tx);
+        match rx.recv().unwrap() {
+            Reply::Error { id, code, message } => {
+                assert_eq!(id, "q5");
+                assert_eq!(code, Some(ErrorCode::UnknownTenant));
+                assert!(message.contains("no default tenant"), "{message}");
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
+
+        // TENANTS lists both, sorted.
+        svc.handle_line("TENANTS t0", &tx);
+        match rx.recv().unwrap() {
+            Reply::Tenants { id, names } => {
+                assert_eq!(id, "t0");
+                assert_eq!(names, ["books", "cities"]);
+            }
+            other => panic!("expected TENANTS, got {other:?}"),
+        }
+
+        // Per-tenant STATS count independently.
+        svc.handle_line("STATS books sb", &tx);
+        svc.handle_line("STATS cities sc", &tx);
+        for (expected_id, expected_served) in [("sb", 1), ("sc", 1)] {
+            match rx.recv().unwrap() {
+                Reply::Stats { id, snapshot } => {
+                    assert_eq!(id, expected_id);
+                    assert_eq!(snapshot.served, expected_served);
+                }
+                other => panic!("expected STATS, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_tenant_service_is_its_own_default_whatever_its_name() {
+        let graph = book_graph();
+        let est: SharedEstimator = Arc::new(GraphSummary::build(&graph));
+        let svc = ServeBuilder::new()
+            .batch(BatchConfig::default().per_request())
+            .tenant(TenantSpec::new("lubm", graph, est))
+            .build()
+            .unwrap();
+        let (tx, rx) = mpsc::channel();
+        // A v1 line routes to the only tenant even though it is not named
+        // `default` — pre-v2 clients keep working against any single-tenant
+        // server.
+        svc.handle_line("EST q1 SELECT * WHERE { ?x :hasAuthor ?y . }", &tx);
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Reply::Estimate { id, .. } => assert_eq!(id, "q1"),
+            other => panic!("expected an estimate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suspended_tenant_refuses_with_quota_code() {
+        let graph = book_graph();
+        let est: SharedEstimator = Arc::new(GraphSummary::build(&graph));
+        let svc = ServeBuilder::new()
+            .batch(BatchConfig::default().per_request())
+            .tenant(TenantSpec::new(DEFAULT_TENANT, Arc::clone(&graph), Arc::clone(&est)))
+            .tenant(TenantSpec::new("paused", graph, est).quota(0))
+            .build()
+            .unwrap();
+        let (tx, rx) = mpsc::channel();
+        svc.handle_line("EST paused q1 SELECT * WHERE { ?x :hasAuthor ?y . }", &tx);
+        match rx.recv().unwrap() {
+            Reply::Error { id, code, message } => {
+                assert_eq!(id, "q1");
+                assert_eq!(code, Some(ErrorCode::Quota));
+                assert!(message.contains("suspended"), "{message}");
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        // STATS on the suspended namespace still answers (nothing served).
+        svc.handle_line("STATS paused s1", &tx);
+        match rx.recv().unwrap() {
+            Reply::Stats { snapshot, .. } => assert_eq!(snapshot.served, 0),
+            other => panic!("expected STATS, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_tenant_sets() {
+        let graph = book_graph();
+        let est: SharedEstimator = Arc::new(GraphSummary::build(&graph));
+        assert_eq!(ServeBuilder::new().build().unwrap_err(), BuildError::NoTenants);
+        let dup = ServeBuilder::new()
+            .tenant(TenantSpec::new("a", Arc::clone(&graph), Arc::clone(&est)))
+            .tenant(TenantSpec::new("a", Arc::clone(&graph), Arc::clone(&est)))
+            .build()
+            .unwrap_err();
+        assert_eq!(dup, BuildError::DuplicateTenant("a".into()));
+        for bad in ["", "has space", "SELECT"] {
+            let err = ServeBuilder::new()
+                .tenant(TenantSpec::new(bad, Arc::clone(&graph), Arc::clone(&est)))
+                .build()
+                .unwrap_err();
+            assert_eq!(err, BuildError::InvalidTenantName(bad.into()), "name {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deprecated_constructors_still_build_a_default_tenant() {
+        #![allow(deprecated)]
+        let graph = book_graph();
+        let est: SharedEstimator = Arc::new(GraphSummary::build(&graph));
+        let svc = EstimationService::new(graph, est, BatchConfig::default().per_request());
+        assert_eq!(svc.tenant_names(), [DEFAULT_TENANT]);
+        let (tx, rx) = mpsc::channel();
+        svc.handle_line("EST q1 SELECT * WHERE { ?x :hasAuthor ?y . }", &tx);
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Reply::Estimate { id, .. } => assert_eq!(id, "q1"),
+            other => panic!("expected an estimate, got {other:?}"),
+        }
     }
 
     #[test]
@@ -413,7 +926,7 @@ EST never SELECT * WHERE { ?x :hasAuthor ?y . }
         assert_eq!(lines.len(), 4, "unexpected session transcript: {text}");
         assert!(lines.iter().any(|l| l.starts_with("OK a ")));
         assert!(lines.iter().any(|l| l.starts_with("OK b ")));
-        assert!(lines.iter().any(|l| l.starts_with("ERR - ")));
+        assert!(lines.iter().any(|l| l.starts_with("ERR - code=parse ")));
         assert!(lines.iter().any(|l| l.starts_with("STATS s ")));
         assert!(!text.contains("never"));
     }
@@ -495,11 +1008,17 @@ EST never SELECT * WHERE { ?x :hasAuthor ?y . }
         let mut b = GraphBuilder::new();
         b.add(":a", ":p", ":b");
         let graph = Arc::new(b.build());
-        let svc = Arc::new(EstimationService::new(
-            Arc::clone(&graph),
-            Arc::new(SlowEstimator),
-            BatchConfig::default().per_request(),
-        ));
+        let svc = Arc::new(
+            ServeBuilder::new()
+                .batch(BatchConfig::default().per_request())
+                .tenant(TenantSpec::new(
+                    DEFAULT_TENANT,
+                    Arc::clone(&graph),
+                    Arc::new(SlowEstimator),
+                ))
+                .build()
+                .unwrap(),
+        );
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let flag = ShutdownFlag::new();

@@ -16,7 +16,7 @@ use lmkg::framework::{Grouping, Lmkg, LmkgConfig, ModelType};
 use lmkg::supervised::LmkgSConfig;
 use lmkg::{CardinalityEstimator, WorkloadMonitor};
 use lmkg_integration_tests::{small_lubm, test_queries};
-use lmkg_serve::{Adapter, AdapterConfig, BatchConfig, EstimationService, Reply, SharedMonitor};
+use lmkg_serve::{Adapter, AdapterConfig, BatchConfig, Reply, ServeBuilder, SharedMonitor, TenantSpec, DEFAULT_TENANT};
 use lmkg_store::{sparql, Query, QueryShape};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -68,18 +68,24 @@ fn adapter_closes_the_workload_shift_loop_bitwise() {
     );
 
     let monitor: SharedMonitor = Arc::new(Mutex::new(WorkloadMonitor::new(64, &cfg.cells())));
-    let svc = EstimationService::new_observed(
-        Arc::clone(&graph),
-        Arc::clone(&base) as lmkg_serve::SharedEstimator,
-        BatchConfig {
+    let svc = ServeBuilder::new()
+        .batch(BatchConfig {
             window: Duration::from_millis(1),
             max_batch: 8,
             queue_depth: 8192,
             workers: 2,
             obs: true,
-        },
-        Some(Arc::clone(&monitor)),
-    );
+        })
+        .tenant(
+            TenantSpec::new(
+                DEFAULT_TENANT,
+                Arc::clone(&graph),
+                Arc::clone(&base) as lmkg_serve::SharedEstimator,
+            )
+            .observed(Arc::clone(&monitor)),
+        )
+        .build()
+        .unwrap();
     let adapter = Adapter::start(
         Arc::clone(&graph),
         Arc::clone(&base),

@@ -5,7 +5,10 @@
 
 use lmkg::GraphSummary;
 use lmkg_integration_tests::small_lubm;
-use lmkg_serve::{serve_stream, serve_tcp, BatchConfig, EstimationService, Reply, ShutdownFlag, STAGE_NAMES};
+use lmkg_serve::{
+    serve_stream, serve_tcp, BatchConfig, EstimationService, Reply, ServeBuilder, ShutdownFlag, TenantSpec,
+    DEFAULT_TENANT, STAGE_NAMES,
+};
 use lmkg_store::KnowledgeGraph;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -13,7 +16,11 @@ use std::sync::Arc;
 
 fn service(graph: Arc<KnowledgeGraph>) -> EstimationService {
     let summary = GraphSummary::build(&graph);
-    EstimationService::new(graph, Arc::new(summary), BatchConfig::default())
+    ServeBuilder::new()
+        .batch(BatchConfig::default())
+        .tenant(TenantSpec::new(DEFAULT_TENANT, graph, Arc::new(summary)))
+        .build()
+        .unwrap()
 }
 
 /// Extracts the framed METRICS body from a session transcript: the lines

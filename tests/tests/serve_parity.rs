@@ -8,7 +8,7 @@ use lmkg::framework::{Grouping, Lmkg, LmkgConfig, ModelType};
 use lmkg::supervised::LmkgSConfig;
 use lmkg::CardinalityEstimator;
 use lmkg_integration_tests::{small_lubm, test_queries};
-use lmkg_serve::{serve_stream, BatchConfig, EstimationService, Reply};
+use lmkg_serve::{serve_stream, BatchConfig, Reply, ServeBuilder, TenantSpec, DEFAULT_TENANT};
 
 use lmkg_store::{sparql, KnowledgeGraph, Query, QueryShape};
 use std::collections::HashMap;
@@ -66,17 +66,17 @@ fn served_estimates_are_bitwise_identical_to_direct_estimate_batch() {
     }
     input.push_str("STATS final\nQUIT\n");
 
-    let svc = EstimationService::new(
-        Arc::clone(&graph),
-        Arc::new(lmkg),
-        BatchConfig {
+    let svc = ServeBuilder::new()
+        .batch(BatchConfig {
             window: Duration::from_millis(5),
             max_batch: 7, // deliberately not a divisor of the workload size
             queue_depth: 4096,
             workers: 2,
             obs: true,
-        },
-    );
+        })
+        .tenant(TenantSpec::new(DEFAULT_TENANT, Arc::clone(&graph), Arc::new(lmkg)))
+        .build()
+        .unwrap();
     let out = serve_stream(&svc, input.as_bytes(), Vec::new());
     let transcript = String::from_utf8(out).expect("utf-8 replies");
 
@@ -122,7 +122,11 @@ fn served_estimates_are_bitwise_identical_to_direct_estimate_batch() {
 fn malformed_and_overload_replies_are_structured() {
     let graph = Arc::new(small_lubm());
     let summary = lmkg::GraphSummary::build(&graph);
-    let svc = EstimationService::new(Arc::clone(&graph), Arc::new(summary), BatchConfig::default());
+    let svc = ServeBuilder::new()
+        .batch(BatchConfig::default())
+        .tenant(TenantSpec::new(DEFAULT_TENANT, Arc::clone(&graph), Arc::new(summary)))
+        .build()
+        .unwrap();
 
     let input = "\
 EST
