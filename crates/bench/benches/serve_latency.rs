@@ -80,7 +80,9 @@ fn bench_serving_modes(_c: &mut Criterion) {
         u_config: Default::default(),
         workload_seed: 5,
     };
+    let t_train = std::time::Instant::now();
     let estimator = Arc::new(Lmkg::build(&g, &cfg));
+    let train_time = t_train.elapsed();
 
     let loadgen_cfg = LoadgenConfig {
         qps: 0.0, // auto-calibrate: offer 2x the direct per-query service rate
@@ -133,7 +135,7 @@ fn bench_serving_modes(_c: &mut Criterion) {
     // Two tenants at equal offered load, the hot one behind a tiny
     // admission quota: per-tenant achieved QPS and p95, plus the isolation
     // verdict (the hot tenant sheds, the cool tenant never does).
-    let mt = loadgen::multi_tenant(&g, estimator, &queries, &loadgen_cfg);
+    let mt = loadgen::multi_tenant(&g, Arc::clone(&estimator) as _, &queries, &loadgen_cfg);
     println!("{}", mt.hot);
     println!("{}", mt.cool);
     println!(
@@ -143,12 +145,33 @@ fn bench_serving_modes(_c: &mut Criterion) {
         if mt.isolated { "held" } else { "VIOLATED" }
     );
 
+    // Cold start: publish the trained set into a throwaway store, load the
+    // newest generation back, and replay the workload through both replicas
+    // — retrain-ms vs load-ms and the bitwise-parity verdict land in the
+    // report alongside the serving comparison.
+    let cold_dir = std::env::temp_dir().join(format!("lmkg-bench-coldstart-{}", std::process::id()));
+    let cold = loadgen::cold_start(
+        &g,
+        Arc::clone(&estimator),
+        train_time,
+        &queries,
+        &loadgen_cfg,
+        &cold_dir,
+    )
+    .expect("cold-start benchmark runs");
+    let _ = std::fs::remove_dir_all(&cold_dir);
+    println!(
+        "serve_latency: cold start — train {:.0}ms vs load {:.2}ms ({:.0}x faster), snapshot {} bytes, parity={}",
+        cold.train_ms, cold.load_ms, cold.speedup, cold.snapshot_bytes, cold.parity
+    );
+
     let json = format!(
         "{{\n  \"benchmark\": \"lmkg-serve serving + observability overhead\",\n  \
-         \"comparison\": {},\n  \"observability\": {},\n  \"multi_tenant\": {}\n}}\n",
+         \"comparison\": {},\n  \"observability\": {},\n  \"multi_tenant\": {},\n  \"cold_start\": {}\n}}\n",
         report.to_json().trim_end(),
         obs.to_json(),
-        mt.to_json()
+        mt.to_json(),
+        cold.to_json()
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, json).expect("write BENCH_serve.json");
@@ -177,6 +200,22 @@ fn bench_serving_modes(_c: &mut Criterion) {
             "WARNING: hot tenant never shed under {:.0} qps at quota {} — \
              the isolation verdict is vacuous this run",
             mt.offered_qps, mt.hot_quota
+        );
+    }
+    // Cold start is a correctness property, not a perf number: a reloaded
+    // replica answering even one request differently means the snapshot
+    // format lost information. The speedup, by contrast, is wall clock —
+    // warn rather than gate on shared runners.
+    assert!(
+        cold.parity,
+        "cold-started replica diverged from the trained one over {} requests",
+        cold.parity_requests
+    );
+    if cold.speedup < 10.0 {
+        eprintln!(
+            "WARNING: cold start only {:.1}x faster than retraining (train {:.0}ms, load {:.2}ms) — \
+             expected >= 10x unless the runner was oversubscribed",
+            cold.speedup, cold.train_ms, cold.load_ms
         );
     }
     // The observability layer is a handful of relaxed atomic bumps and two

@@ -138,7 +138,7 @@ pub fn trainable_cell(cell: (QueryShape, usize)) -> bool {
 // The size gap between the two variants is irrelevant: a framework holds a
 // handful of entries, each wrapping megabytes of parameters either way.
 #[allow(clippy::large_enum_variant)]
-enum ModelEntry {
+pub(crate) enum ModelEntry {
     S(LmkgS),
     U(LmkgU),
     QuantS(QuantizedLmkgS),
@@ -149,6 +149,16 @@ impl ModelEntry {
     /// LMKG-U entries (f32 or quantized) answer exactly one query size.
     fn exact_size_only(&self) -> bool {
         matches!(self, ModelEntry::U(_) | ModelEntry::QuantU(_))
+    }
+
+    /// Per-entry model size in bytes (the unit the eviction budget sums).
+    pub(crate) fn memory_bytes(&self) -> usize {
+        match self {
+            ModelEntry::S(m) => m.memory_bytes(),
+            ModelEntry::U(m) => m.memory_bytes(),
+            ModelEntry::QuantS(m) => m.memory_bytes(),
+            ModelEntry::QuantU(m) => m.memory_bytes(),
+        }
     }
 }
 
@@ -163,6 +173,16 @@ pub struct Lmkg {
     entries: Vec<(ModelKey, Arc<ModelEntry>)>,
     summary: Arc<GraphSummary>,
     max_covered_size: usize,
+}
+
+impl std::fmt::Debug for Lmkg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lmkg")
+            .field("models", &self.entries.len())
+            .field("max_covered_size", &self.max_covered_size)
+            .field("bytes", &self.total_memory_bytes())
+            .finish()
+    }
 }
 
 impl Lmkg {
@@ -366,6 +386,113 @@ impl Lmkg {
             summary: Arc::clone(&self.summary),
             max_covered_size,
         }
+    }
+
+    /// Reassembles a framework from snapshot parts (see `crate::snapshot`).
+    pub(crate) fn from_parts(
+        entries: Vec<(ModelKey, Arc<ModelEntry>)>,
+        summary: Arc<GraphSummary>,
+        max_covered_size: usize,
+    ) -> Self {
+        Self {
+            entries,
+            summary,
+            max_covered_size,
+        }
+    }
+
+    /// The model entries in routing order (snapshot persistence).
+    pub(crate) fn entries(&self) -> &[(ModelKey, Arc<ModelEntry>)] {
+        &self.entries
+    }
+
+    /// The largest query size decomposition targets.
+    pub fn max_covered_size(&self) -> usize {
+        self.max_covered_size
+    }
+
+    /// The `(key, bytes)` footprint of every model entry in routing order —
+    /// what the eviction policy ranks.
+    pub fn entry_sizes(&self) -> Vec<(ModelKey, usize)> {
+        self.entries.iter().map(|(key, e)| (*key, e.memory_bytes())).collect()
+    }
+
+    /// Memory-budgeted eviction (paper §IV: "an existing model may be
+    /// dropped"): returns a framework whose model set fits `budget_bytes`
+    /// (summary included) by dropping the entries least used by the observed
+    /// workload, plus the number of entries dropped.
+    ///
+    /// `usage` is the per-cell query count a `WorkloadMonitor` observed
+    /// (`DriftReport::cell_counts`-style pairs). Each entry's score is the
+    /// total count over the cells its key covers; entries are dropped in
+    /// ascending score order — the workload-dominant models go last. An entry
+    /// is **never** dropped while it is the last remaining cover for a cell
+    /// with nonzero observed count, so eviction may stop above budget rather
+    /// than uncover live traffic. Ties break toward the larger entry (frees
+    /// more per drop), then toward the later-added one (extension models
+    /// before the base set).
+    ///
+    /// Surviving entries are shared by `Arc` and keep their relative routing
+    /// order, so every query still answered routes to the same model and
+    /// estimates stay bitwise-identical. `self` is untouched; the caller
+    /// publishes the result atomically (`ModelHandle::swap`), exactly like a
+    /// retrain.
+    pub fn evict_to_budget(&self, budget_bytes: usize, usage: &[((QueryShape, usize), u64)]) -> (Lmkg, usize) {
+        let mut live: Vec<usize> = (0..self.entries.len()).collect();
+        let mut total = self.total_memory_bytes();
+        let score = |i: usize| -> u64 {
+            let (key, entry) = &self.entries[i];
+            usage
+                .iter()
+                .filter(|&&((shape, size), _)| key.matches(shape, size, entry.exact_size_only()))
+                .map(|&(_, count)| count)
+                .sum()
+        };
+        let mut evicted = 0usize;
+        while total > budget_bytes {
+            // An entry is removable unless some nonzero-count cell it covers
+            // would be left with no covering entry at all.
+            let removable = |i: usize| -> bool {
+                let (key, entry) = &self.entries[i];
+                usage
+                    .iter()
+                    .filter(|&&((shape, size), count)| count > 0 && key.matches(shape, size, entry.exact_size_only()))
+                    .all(|&((shape, size), _)| {
+                        live.iter().any(|&j| {
+                            j != i
+                                && self.entries[j]
+                                    .0
+                                    .matches(shape, size, self.entries[j].1.exact_size_only())
+                        })
+                    })
+            };
+            let Some(&victim) = live.iter().filter(|&&i| removable(i)).min_by(|&&a, &&b| {
+                score(a)
+                    .cmp(&score(b))
+                    .then(self.entries[b].1.memory_bytes().cmp(&self.entries[a].1.memory_bytes()))
+                    .then(b.cmp(&a))
+            }) else {
+                break; // Every remaining entry is the last cover for live traffic.
+            };
+            total -= self.entries[victim].1.memory_bytes();
+            live.retain(|&i| i != victim);
+            evicted += 1;
+        }
+        let entries = live
+            .iter()
+            .map(|&i| (self.entries[i].0, Arc::clone(&self.entries[i].1)))
+            .collect();
+        (
+            // The decomposition target is left unchanged: surviving-model
+            // routing stays bitwise-identical, and queries whose model was
+            // dropped decompose exactly as before (summary fallback).
+            Lmkg {
+                entries,
+                summary: Arc::clone(&self.summary),
+                max_covered_size: self.max_covered_size,
+            },
+            evicted,
+        )
     }
 
     /// Number of trained models.

@@ -43,6 +43,7 @@ pub mod framework;
 pub mod metrics;
 pub mod monitor;
 pub mod outliers;
+pub mod snapshot;
 pub mod summary;
 pub mod supervised;
 pub mod unsupervised;
@@ -52,6 +53,7 @@ pub use framework::{trainable_cell, Grouping, Lmkg, LmkgConfig, ModelKey, ModelT
 pub use lmkg_nn::quant::QuantMode;
 pub use metrics::{q_error, GroupedQErrors, QErrorStats};
 pub use monitor::{Cell, DriftReport, WorkloadMonitor};
+pub use snapshot::SnapshotError;
 pub use summary::GraphSummary;
 pub use supervised::{EpochStats, LmkgS, LmkgSConfig, LossKind, QuantizedLmkgS, QueryEncoder};
 pub use unsupervised::{LmkgU, LmkgUConfig, LmkgUError, QuantizedLmkgU};

@@ -39,6 +39,31 @@ impl OutlierBuffer {
         }
     }
 
+    /// Reassembles a buffer from snapshot parts (inverse of
+    /// [`OutlierBuffer::sorted_entries`]). Entries beyond `capacity` are
+    /// dropped, matching `fill`'s contract.
+    pub fn from_entries(capacity: usize, entries: Vec<(Query, u64)>) -> Self {
+        let mut map = FxHashMap::default();
+        for (q, card) in entries.into_iter().take(capacity) {
+            map.insert(q, card);
+        }
+        Self { capacity, entries: map }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// All entries in a deterministic order (cardinality descending, then
+    /// query ascending by term codes) — the order snapshots persist them in,
+    /// so saving the same buffer twice yields identical bytes.
+    pub fn sorted_entries(&self) -> Vec<(Query, u64)> {
+        let mut out: Vec<(Query, u64)> = self.entries.iter().map(|(q, &c)| (q.clone(), c)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| query_key(&a.0).cmp(&query_key(&b.0))));
+        out
+    }
+
     /// Exact cardinality if the query is buffered.
     pub fn lookup(&self, query: &Query) -> Option<u64> {
         self.entries.get(query).copied()
@@ -62,6 +87,30 @@ impl OutlierBuffer {
             .map(|q| q.triples.len() * std::mem::size_of::<lmkg_store::TriplePattern>() + 48)
             .sum()
     }
+}
+
+/// Total order over queries for deterministic snapshot output: each term maps
+/// to an integer (variables below bound ids), patterns compare pointwise.
+fn query_key(q: &Query) -> Vec<u64> {
+    fn node_key(t: lmkg_store::NodeTerm) -> u64 {
+        match t {
+            lmkg_store::NodeTerm::Var(v) => u64::from(v.0),
+            lmkg_store::NodeTerm::Bound(n) => (1u64 << 32) | u64::from(n.0),
+        }
+    }
+    fn pred_key(t: lmkg_store::PredTerm) -> u64 {
+        match t {
+            lmkg_store::PredTerm::Var(v) => u64::from(v.0),
+            lmkg_store::PredTerm::Bound(p) => (1u64 << 32) | u64::from(p.0),
+        }
+    }
+    let mut key = Vec::with_capacity(q.triples.len() * 3);
+    for t in &q.triples {
+        key.push(node_key(t.s));
+        key.push(pred_key(t.p));
+        key.push(node_key(t.o));
+    }
+    key
 }
 
 #[cfg(test)]

@@ -57,6 +57,44 @@ impl GraphSummary {
         }
     }
 
+    /// Reassembles a summary from snapshot parts. All three per-predicate
+    /// vectors must have length `num_preds`.
+    pub fn from_parts(
+        num_nodes: usize,
+        num_preds: usize,
+        num_triples: usize,
+        pred_counts: Vec<u64>,
+        pred_subjects: Vec<u64>,
+        pred_objects: Vec<u64>,
+    ) -> Self {
+        assert_eq!(pred_counts.len(), num_preds, "pred_counts length");
+        assert_eq!(pred_subjects.len(), num_preds, "pred_subjects length");
+        assert_eq!(pred_objects.len(), num_preds, "pred_objects length");
+        Self {
+            num_nodes,
+            num_preds,
+            num_triples,
+            pred_counts,
+            pred_subjects,
+            pred_objects,
+        }
+    }
+
+    /// Triples per predicate (snapshot persistence).
+    pub fn pred_counts(&self) -> &[u64] {
+        &self.pred_counts
+    }
+
+    /// Distinct subjects per predicate (snapshot persistence).
+    pub fn pred_subjects(&self) -> &[u64] {
+        &self.pred_subjects
+    }
+
+    /// Distinct objects per predicate (snapshot persistence).
+    pub fn pred_objects(&self) -> &[u64] {
+        &self.pred_objects
+    }
+
     /// Number of distinct nodes (the join-variable domain size).
     pub fn num_nodes(&self) -> usize {
         self.num_nodes

@@ -320,12 +320,28 @@ impl LmkgS {
     /// Restores parameters from a reader (architecture must match); the
     /// scaler must be re-fit or carried separately.
     pub fn load_params<R: io::Read>(&mut self, r: &mut R) -> io::Result<()> {
-        serialize::load_params(&mut self.model, r)
+        Ok(serialize::load_params(&mut self.model, r)?)
     }
 
     /// Sets the scaler explicitly (for parameter-file restore).
     pub fn set_scaler(&mut self, scaler: CardinalityScaler) {
         self.scaler = Some(scaler);
+    }
+
+    /// The hyperparameters this estimator was built with (snapshot restore
+    /// rebuilds the identical architecture from them).
+    pub fn config(&self) -> &LmkgSConfig {
+        &self.cfg
+    }
+
+    /// The outlier buffer (read-only; snapshots persist its exact entries).
+    pub fn outliers(&self) -> &OutlierBuffer {
+        &self.outliers
+    }
+
+    /// Replaces the outlier buffer wholesale (snapshot restore).
+    pub fn set_outliers(&mut self, outliers: OutlierBuffer) {
+        self.outliers = outliers;
     }
 }
 
@@ -428,9 +444,40 @@ pub struct QuantizedLmkgS {
 }
 
 impl QuantizedLmkgS {
+    /// Reassembles a quantized estimator from snapshot parts; the inverse of
+    /// taking `model()`/`scaler()`/`outliers()` apart for persistence.
+    pub fn from_parts(
+        encoder: QueryEncoder,
+        model: QuantizedSequential,
+        scaler: CardinalityScaler,
+        outliers: OutlierBuffer,
+    ) -> Self {
+        Self {
+            encoder,
+            model,
+            scaler,
+            outliers,
+        }
+    }
+
     /// The quantization mode this estimator was built with.
     pub fn mode(&self) -> QuantMode {
         self.model.mode()
+    }
+
+    /// The quantized network (snapshots persist it via its own format).
+    pub fn model(&self) -> &QuantizedSequential {
+        &self.model
+    }
+
+    /// The fitted scaler.
+    pub fn scaler(&self) -> CardinalityScaler {
+        self.scaler
+    }
+
+    /// The outlier buffer.
+    pub fn outliers(&self) -> &OutlierBuffer {
+        &self.outliers
     }
 
     /// The configured encoder.

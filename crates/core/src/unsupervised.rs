@@ -184,6 +184,71 @@ impl LmkgU {
         })
     }
 
+    /// Reassembles an estimator from snapshot parts: the architecture is
+    /// rebuilt deterministically from `cfg` exactly as [`LmkgU::new`] does
+    /// (same seed → same init → same parameter visitation order), with the
+    /// graph-dependent inputs (`vocab_sizes`, `n_total`) supplied explicitly
+    /// so no [`KnowledgeGraph`] is needed at load time. The caller restores
+    /// the trained weights afterwards via [`LmkgU::load_made_params`].
+    pub(crate) fn from_parts(
+        cfg: LmkgUConfig,
+        shape: QueryShape,
+        k: usize,
+        n_total: f64,
+        node_vocab: usize,
+        pred_vocab: usize,
+    ) -> Self {
+        let mut spaces = Vec::with_capacity(2 * k + 1);
+        spaces.push(0);
+        for _ in 0..k {
+            spaces.push(1);
+            spaces.push(0);
+        }
+        let made_cfg = MadeConfig {
+            vocab_sizes: vec![node_vocab.max(1), pred_vocab.max(1)],
+            spaces,
+            hidden: cfg.hidden,
+            blocks: cfg.blocks,
+            embed_dim: cfg.embed_dim,
+        };
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let made = Made::new(&mut rng, made_cfg);
+        let segments = made.segments().to_vec();
+        Self {
+            made,
+            shape,
+            k,
+            n_total,
+            segments,
+            cfg,
+            rng,
+        }
+    }
+
+    /// The hyperparameters this estimator was built with.
+    pub fn config(&self) -> &LmkgUConfig {
+        &self.cfg
+    }
+
+    /// The underlying ResMADE (snapshots persist its parameter walk).
+    pub(crate) fn made(&self) -> &Made {
+        &self.made
+    }
+
+    /// The node/predicate vocabulary sizes the ResMADE was built over.
+    pub(crate) fn vocab_sizes(&self) -> (usize, usize) {
+        let v = &self.made.config().vocab_sizes;
+        (v[0], v[1])
+    }
+
+    /// Restores the ResMADE parameters from a reader (snapshot restore).
+    pub(crate) fn load_made_params<R: std::io::Read>(
+        &mut self,
+        r: &mut R,
+    ) -> Result<(), lmkg_nn::serialize::LoadError> {
+        lmkg_nn::serialize::load_params(&mut self.made, r)
+    }
+
     /// The tuple size `k`.
     pub fn k(&self) -> usize {
         self.k
@@ -629,6 +694,43 @@ pub struct QuantizedLmkgU {
 }
 
 impl QuantizedLmkgU {
+    /// Reassembles a quantized estimator from snapshot parts (segments are
+    /// recovered from the quantized ResMADE itself).
+    pub(crate) fn from_parts(
+        made: QuantizedMade,
+        shape: QueryShape,
+        k: usize,
+        n_total: f64,
+        particles: usize,
+        seed: u64,
+    ) -> Self {
+        let segments = made.segments().to_vec();
+        Self {
+            made,
+            shape,
+            k,
+            n_total,
+            segments,
+            particles,
+            seed,
+        }
+    }
+
+    /// The quantized ResMADE (snapshots persist it via its own format).
+    pub(crate) fn made(&self) -> &QuantizedMade {
+        &self.made
+    }
+
+    /// Particle count for likelihood-weighted sampling.
+    pub(crate) fn particles(&self) -> usize {
+        self.particles
+    }
+
+    /// The particle-RNG seed.
+    pub(crate) fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The quantization mode this estimator was built with.
     pub fn mode(&self) -> QuantMode {
         self.made.mode()

@@ -59,6 +59,17 @@ impl SgEncoder {
         }
     }
 
+    /// Node-term domain size the codec was built over (snapshot persistence
+    /// rebuilds an identical encoder from these).
+    pub fn node_domain(&self) -> usize {
+        self.codec.node_domain
+    }
+
+    /// Predicate-term domain size the codec was built over.
+    pub fn pred_domain(&self) -> usize {
+        self.codec.pred_domain
+    }
+
     /// Width of the flattened `A` tensor.
     pub fn a_width(&self) -> usize {
         self.max_nodes * self.max_nodes * self.max_edges

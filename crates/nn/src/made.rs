@@ -513,7 +513,105 @@ impl QuantizedMade {
         }
         n
     }
+
+    /// Serializes the quantized ResMADE (self-describing; see
+    /// [`QUANT_MADE_MAGIC`]): mode, routing metadata, embedding tables, and
+    /// every quantized layer in forward order.
+    pub fn save<W: std::io::Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        writer.write_all(QUANT_MADE_MAGIC)?;
+        writer.write_all(&[match self.mode {
+            QuantMode::Int8 => 0u8,
+            QuantMode::Bf16 => 1u8,
+        }])?;
+        let write_usizes = |writer: &mut W, values: &[usize]| -> std::io::Result<()> {
+            writer.write_all(&(values.len() as u32).to_le_bytes())?;
+            for &v in values {
+                writer.write_all(&(v as u32).to_le_bytes())?;
+            }
+            Ok(())
+        };
+        write_usizes(writer, &self.spaces)?;
+        writer.write_all(&(self.embed_dim as u32).to_le_bytes())?;
+        write_usizes(writer, &self.segments)?;
+        writer.write_all(&(self.embeddings.len() as u32).to_le_bytes())?;
+        for e in &self.embeddings {
+            e.write_payload(writer)?;
+        }
+        self.input_layer.write_payload(writer)?;
+        writer.write_all(&(self.blocks.len() as u32).to_le_bytes())?;
+        for (l1, l2) in &self.blocks {
+            l1.write_payload(writer)?;
+            l2.write_payload(writer)?;
+        }
+        self.output_layer.write_payload(writer)
+    }
+
+    /// Restores a model serialized by [`QuantizedMade::save`]. Needs no
+    /// graph or RNG: the quantized representation is self-contained.
+    pub fn load<R: std::io::Read>(reader: &mut R) -> std::io::Result<Self> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != QUANT_MADE_MAGIC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "bad magic: not an LMKG quantized-MADE file",
+            ));
+        }
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        let mode = match byte[0] {
+            0 => QuantMode::Int8,
+            1 => QuantMode::Bf16,
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unknown quantization mode tag {other}"),
+                ))
+            }
+        };
+        let read_u32 = |reader: &mut R| -> std::io::Result<u32> {
+            let mut buf = [0u8; 4];
+            reader.read_exact(&mut buf)?;
+            Ok(u32::from_le_bytes(buf))
+        };
+        let read_usizes = |reader: &mut R| -> std::io::Result<Vec<usize>> {
+            let n = read_u32(reader)? as usize;
+            (0..n).map(|_| Ok(read_u32(reader)? as usize)).collect()
+        };
+        let spaces = read_usizes(reader)?;
+        let embed_dim = read_u32(reader)? as usize;
+        let segments = read_usizes(reader)?;
+        let n_embeddings = read_u32(reader)? as usize;
+        let embeddings = (0..n_embeddings)
+            .map(|_| QuantizedEmbedding::read_payload(reader, mode))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let input_layer = QuantizedDense::read_payload(reader, mode)?;
+        let n_blocks = read_u32(reader)? as usize;
+        let blocks = (0..n_blocks)
+            .map(|_| {
+                Ok((
+                    QuantizedDense::read_payload(reader, mode)?,
+                    QuantizedDense::read_payload(reader, mode)?,
+                ))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let output_layer = QuantizedDense::read_payload(reader, mode)?;
+        Ok(Self {
+            spaces,
+            embed_dim,
+            segments,
+            embeddings,
+            input_layer,
+            blocks,
+            output_layer,
+            mode,
+        })
+    }
 }
+
+/// Magic prefix of the quantized-ResMADE format (parallel to
+/// [`crate::quant::QUANT_MAGIC`] for sequential stacks).
+pub const QUANT_MADE_MAGIC: &[u8; 8] = b"LMKGQM1\0";
 
 impl Layer for Made {
     fn forward(&mut self, _x: &Matrix, _train: bool) -> Matrix {
@@ -844,6 +942,48 @@ mod tests {
             bf16 * 2 <= f32_bytes + made.param_count(),
             "bf16 {bf16} vs f32 {f32_bytes}"
         );
+    }
+
+    /// Serialized quantized ResMADEs must restore to bitwise-identical
+    /// forwards, in both modes and for both input encodings.
+    #[test]
+    fn quantized_made_save_load_roundtrips_bitwise() {
+        for embed in [4usize, 0] {
+            let mut rng = StdRng::seed_from_u64(33);
+            let made = Made::new(&mut rng, tiny_cfg(embed));
+            let batch = vec![vec![0usize, 2, 1], vec![3, 0, 2]];
+            let mut ws = Workspace::new();
+            for mode in [QuantMode::Int8, QuantMode::Bf16] {
+                let q = made.quantized(mode);
+                let expected = q.forward_ids_infer(&batch, &mut ws);
+                let mut buf = Vec::new();
+                q.save(&mut buf).unwrap();
+                let loaded = QuantizedMade::load(&mut buf.as_slice()).unwrap();
+                assert_eq!(loaded.mode(), mode);
+                assert_eq!(loaded.segments(), q.segments());
+                assert_eq!(loaded.memory_bytes(), q.memory_bytes());
+                let got = loaded.forward_ids_infer(&batch, &mut ws);
+                assert_eq!(got, expected, "mode {mode:?} embed {embed}");
+                for pos in 0..q.segments().len() {
+                    assert_eq!(
+                        loaded.forward_ids_segment(&batch, pos, &mut ws),
+                        q.forward_ids_segment(&batch, pos, &mut ws),
+                        "sliced forward at pos {pos}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_made_load_rejects_bad_magic_and_truncation() {
+        assert!(QuantizedMade::load(&mut b"NOTAMADE".as_slice()).is_err());
+        let mut rng = StdRng::seed_from_u64(33);
+        let made = Made::new(&mut rng, tiny_cfg(4));
+        let mut buf = Vec::new();
+        made.quantized(QuantMode::Int8).save(&mut buf).unwrap();
+        buf.truncate(buf.len() - 7);
+        assert!(QuantizedMade::load(&mut buf.as_slice()).is_err());
     }
 
     #[test]

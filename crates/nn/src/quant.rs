@@ -107,6 +107,52 @@ pub struct QuantizedDense {
 }
 
 impl QuantizedDense {
+    /// Serializes this layer's payload (shape, weights, scales, bias) —
+    /// shared by [`QuantizedSequential::save`] and `QuantizedMade::save`.
+    /// The [`QuantMode`] is carried by the container, not repeated per layer.
+    pub fn write_payload<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        writer.write_all(&(self.fan_in as u32).to_le_bytes())?;
+        writer.write_all(&(self.fan_out as u32).to_le_bytes())?;
+        match &self.weights {
+            QuantWeights::Int8 { q, scales } => {
+                let bytes: Vec<u8> = q.iter().map(|&v| v as u8).collect();
+                writer.write_all(&bytes)?;
+                crate::serialize::write_f32s(writer, scales)?;
+            }
+            QuantWeights::Bf16 { h } => write_u16s(writer, h)?,
+        }
+        crate::serialize::write_f32s(writer, &self.bias)
+    }
+
+    /// Restores a layer payload written by [`QuantizedDense::write_payload`]
+    /// at the given mode.
+    pub fn read_payload<R: Read>(reader: &mut R, mode: QuantMode) -> io::Result<Self> {
+        let fan_in = read_u32(reader)? as usize;
+        let fan_out = read_u32(reader)? as usize;
+        let len = fan_in * fan_out;
+        let weights = match mode {
+            QuantMode::Int8 => {
+                let mut bytes = vec![0u8; len];
+                reader.read_exact(&mut bytes)?;
+                let q = bytes.iter().map(|&v| v as i8).collect();
+                let scales = read_f32s(reader, fan_out)?;
+                QuantWeights::Int8 { q, scales }
+            }
+            QuantMode::Bf16 => {
+                let mut h = vec![0u16; len];
+                read_u16s(reader, &mut h)?;
+                QuantWeights::Bf16 { h }
+            }
+        };
+        let bias = read_f32s(reader, fan_out)?;
+        Ok(Self {
+            fan_in,
+            fan_out,
+            weights,
+            bias,
+        })
+    }
+
     /// Quantizes a `fan_in × fan_out` weight matrix plus bias row.
     pub fn from_weights(w: &Matrix, bias: &[f32], mode: QuantMode) -> Self {
         let (fan_in, fan_out) = (w.rows(), w.cols());
@@ -369,25 +415,7 @@ impl QuantizedSequential {
             match layer {
                 QuantLayer::Dense(d) => {
                     writer.write_all(&[0u8])?;
-                    writer.write_all(&(d.fan_in as u32).to_le_bytes())?;
-                    writer.write_all(&(d.fan_out as u32).to_le_bytes())?;
-                    match &d.weights {
-                        QuantWeights::Int8 { q, scales } => {
-                            let bytes: Vec<u8> = q.iter().map(|&v| v as u8).collect();
-                            writer.write_all(&bytes)?;
-                            for &s in scales {
-                                writer.write_all(&s.to_le_bytes())?;
-                            }
-                        }
-                        QuantWeights::Bf16 { h } => {
-                            for &v in h {
-                                writer.write_all(&v.to_le_bytes())?;
-                            }
-                        }
-                    }
-                    for &b in &d.bias {
-                        writer.write_all(&b.to_le_bytes())?;
-                    }
+                    d.write_payload(writer)?;
                 }
                 QuantLayer::Relu => writer.write_all(&[1u8])?,
                 QuantLayer::Sigmoid => writer.write_all(&[2u8])?,
@@ -424,36 +452,7 @@ impl QuantizedSequential {
         for i in 0..count {
             reader.read_exact(&mut byte)?;
             match byte[0] {
-                0 => {
-                    let fan_in = read_u32(reader)? as usize;
-                    let fan_out = read_u32(reader)? as usize;
-                    let len = fan_in * fan_out;
-                    let weights = match mode {
-                        QuantMode::Int8 => {
-                            let mut bytes = vec![0u8; len];
-                            reader.read_exact(&mut bytes)?;
-                            let q = bytes.iter().map(|&v| v as i8).collect();
-                            let scales = read_f32s(reader, fan_out)?;
-                            QuantWeights::Int8 { q, scales }
-                        }
-                        QuantMode::Bf16 => {
-                            let mut h = vec![0u16; len];
-                            let mut buf = [0u8; 2];
-                            for v in &mut h {
-                                reader.read_exact(&mut buf)?;
-                                *v = u16::from_le_bytes(buf);
-                            }
-                            QuantWeights::Bf16 { h }
-                        }
-                    };
-                    let bias = read_f32s(reader, fan_out)?;
-                    layers.push(QuantLayer::Dense(QuantizedDense {
-                        fan_in,
-                        fan_out,
-                        weights,
-                        bias,
-                    }));
-                }
+                0 => layers.push(QuantLayer::Dense(QuantizedDense::read_payload(reader, mode)?)),
                 1 => layers.push(QuantLayer::Relu),
                 2 => layers.push(QuantLayer::Sigmoid),
                 3 => layers.push(QuantLayer::Identity),
@@ -481,12 +480,25 @@ fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
 
 fn read_f32s<R: Read>(reader: &mut R, n: usize) -> io::Result<Vec<f32>> {
     let mut out = vec![0.0f32; n];
-    let mut buf = [0u8; 4];
-    for v in &mut out {
-        reader.read_exact(&mut buf)?;
-        *v = f32::from_le_bytes(buf);
-    }
+    crate::serialize::read_f32s(reader, &mut out)?;
     Ok(out)
+}
+
+fn write_u16s<W: Write>(writer: &mut W, values: &[u16]) -> io::Result<()> {
+    let mut bytes = Vec::with_capacity(values.len() * 2);
+    for &v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    writer.write_all(&bytes)
+}
+
+fn read_u16s<R: Read>(reader: &mut R, values: &mut [u16]) -> io::Result<()> {
+    let mut bytes = vec![0u8; values.len() * 2];
+    reader.read_exact(&mut bytes)?;
+    for (v, src) in values.iter_mut().zip(bytes.chunks_exact(2)) {
+        *v = u16::from_le_bytes(src.try_into().expect("2-byte chunk"));
+    }
+    Ok(())
 }
 
 /// A quantized embedding table (`vocab × dim`) with per-**row** int8 scales:
@@ -566,6 +578,45 @@ impl QuantizedEmbedding {
     /// Number of scalar parameters represented.
     pub fn param_count(&self) -> usize {
         self.vocab * self.dim
+    }
+
+    /// Serializes the table payload (shape + quantized rows + scales); the
+    /// [`QuantMode`] travels with the container, like
+    /// [`QuantizedDense::write_payload`].
+    pub fn write_payload<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        writer.write_all(&(self.vocab as u32).to_le_bytes())?;
+        writer.write_all(&(self.dim as u32).to_le_bytes())?;
+        match &self.table {
+            QuantTable::Int8 { q, scales } => {
+                let bytes: Vec<u8> = q.iter().map(|&v| v as u8).collect();
+                writer.write_all(&bytes)?;
+                crate::serialize::write_f32s(writer, scales)
+            }
+            QuantTable::Bf16 { h } => write_u16s(writer, h),
+        }
+    }
+
+    /// Restores a table payload written by
+    /// [`QuantizedEmbedding::write_payload`] at the given mode.
+    pub fn read_payload<R: Read>(reader: &mut R, mode: QuantMode) -> io::Result<Self> {
+        let vocab = read_u32(reader)? as usize;
+        let dim = read_u32(reader)? as usize;
+        let len = vocab * dim;
+        let table = match mode {
+            QuantMode::Int8 => {
+                let mut bytes = vec![0u8; len];
+                reader.read_exact(&mut bytes)?;
+                let q = bytes.iter().map(|&v| v as i8).collect();
+                let scales = read_f32s(reader, vocab)?;
+                QuantTable::Int8 { q, scales }
+            }
+            QuantMode::Bf16 => {
+                let mut h = vec![0u16; len];
+                read_u16s(reader, &mut h)?;
+                QuantTable::Bf16 { h }
+            }
+        };
+        Ok(Self { vocab, dim, table })
     }
 }
 

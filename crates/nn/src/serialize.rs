@@ -8,13 +8,117 @@
 //! ```
 //!
 //! Loading walks the model's parameters in the same stable visitation order
-//! used when saving, so the architecture must match exactly.
+//! used when saving, so the architecture must match exactly; any divergence
+//! is a typed [`LoadError`] naming the offending parameter index.
+//!
+//! Values travel in bulk: the writer converts whole parameter matrices into
+//! little-endian byte chunks and issues one `write_all` per chunk (a
+//! serving-sized model is a handful of writes, not one per scalar), and the
+//! reader mirrors that with chunked `read_exact` calls.
 
 use crate::layers::Layer;
 use crate::tensor::Matrix;
+use std::fmt;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"LMKGNN1\0";
+
+/// Scalars converted per buffered chunk: 16 Ki f32 = 64 KiB of I/O per call,
+/// large enough to amortize syscalls, small enough to stay cache-friendly.
+const CHUNK: usize = 16 * 1024;
+
+/// Why restoring parameters from a stream failed.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The underlying reader failed (including truncation mid-value).
+    Io(io::Error),
+    /// The stream does not begin with the `LMKGNN1\0` magic.
+    BadMagic,
+    /// Parameter `index`'s stored shape does not match the target model's —
+    /// the architectures have drifted.
+    ShapeMismatch {
+        /// Position in the stable parameter visitation order.
+        index: usize,
+        /// Shape recorded in the file, `(rows, cols)`.
+        file: (usize, usize),
+        /// Shape of the target model's parameter, `(rows, cols)`.
+        model: (usize, usize),
+    },
+    /// The file and the target model disagree on the number of parameters.
+    ParamCount {
+        /// Parameters recorded in the file.
+        file: usize,
+        /// Parameters the target model visits.
+        model: usize,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "read failed: {e}"),
+            LoadError::BadMagic => write!(f, "bad magic: not an LMKG parameter file"),
+            LoadError::ShapeMismatch { index, file, model } => write!(
+                f,
+                "param {index}: file {}×{} vs model {}×{}",
+                file.0, file.1, model.0, model.1
+            ),
+            LoadError::ParamCount { file, model } => {
+                write!(f, "file has {file} params, model has {model}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+impl From<LoadError> for io::Error {
+    fn from(e: LoadError) -> Self {
+        match e {
+            LoadError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// Writes `values` as little-endian f32 bytes in bulk chunks.
+pub(crate) fn write_f32s<W: Write>(writer: &mut W, values: &[f32]) -> io::Result<()> {
+    let mut buf = [0u8; CHUNK * 4];
+    for chunk in values.chunks(CHUNK) {
+        let bytes = &mut buf[..chunk.len() * 4];
+        for (dst, &v) in bytes.chunks_exact_mut(4).zip(chunk) {
+            dst.copy_from_slice(&v.to_le_bytes());
+        }
+        writer.write_all(bytes)?;
+    }
+    Ok(())
+}
+
+/// Fills `values` from little-endian f32 bytes in bulk chunks.
+pub(crate) fn read_f32s<R: Read>(reader: &mut R, values: &mut [f32]) -> io::Result<()> {
+    let mut buf = [0u8; CHUNK * 4];
+    for chunk in values.chunks_mut(CHUNK) {
+        let bytes = &mut buf[..chunk.len() * 4];
+        reader.read_exact(bytes)?;
+        for (v, src) in chunk.iter_mut().zip(bytes.chunks_exact(4)) {
+            *v = f32::from_le_bytes(src.try_into().expect("4-byte chunk"));
+        }
+    }
+    Ok(())
+}
 
 /// Serializes all parameters of `model` to `writer`. Saving is a read-only
 /// walk, so it works on a shared (frozen, possibly `Arc`-held) model.
@@ -26,23 +130,20 @@ pub fn save_params<W: Write>(model: &dyn Layer, writer: &mut W) -> io::Result<()
     for m in &params {
         writer.write_all(&(m.rows() as u32).to_le_bytes())?;
         writer.write_all(&(m.cols() as u32).to_le_bytes())?;
-        for &v in m.as_slice() {
-            writer.write_all(&v.to_le_bytes())?;
-        }
+        write_f32s(writer, m.as_slice())?;
     }
     Ok(())
 }
 
 /// Restores parameters into `model` (must have the exact same architecture
-/// as the model that was saved).
-pub fn load_params<R: Read>(model: &mut dyn Layer, reader: &mut R) -> io::Result<()> {
+/// as the model that was saved). Every stored shape is validated against the
+/// target parameter before anything is assigned, so architecture drift fails
+/// with a typed [`LoadError::ShapeMismatch`] instead of mis-assigning.
+pub fn load_params<R: Read>(model: &mut dyn Layer, reader: &mut R) -> Result<(), LoadError> {
     let mut magic = [0u8; 8];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bad magic: not an LMKG parameter file",
-        ));
+        return Err(LoadError::BadMagic);
     }
     let count = read_u32(reader)? as usize;
 
@@ -51,48 +152,37 @@ pub fn load_params<R: Read>(model: &mut dyn Layer, reader: &mut R) -> io::Result
         let rows = read_u32(reader)? as usize;
         let cols = read_u32(reader)? as usize;
         let mut data = vec![0.0f32; rows * cols];
-        let mut buf = [0u8; 4];
-        for v in &mut data {
-            reader.read_exact(&mut buf)?;
-            *v = f32::from_le_bytes(buf);
-        }
+        read_f32s(reader, &mut data)?;
         loaded.push(Matrix::from_vec(rows, cols, data));
     }
 
+    // Validate every shape against the target model before assigning any
+    // value, so a mismatch leaves the model untouched.
+    let mut shapes: Vec<(usize, usize)> = Vec::with_capacity(count);
+    model.visit_params_ref(&mut |p| shapes.push((p.value.rows(), p.value.cols())));
+    if shapes.len() != count {
+        return Err(LoadError::ParamCount {
+            file: count,
+            model: shapes.len(),
+        });
+    }
+    for (index, (m, &model_shape)) in loaded.iter().zip(&shapes).enumerate() {
+        if (m.rows(), m.cols()) != model_shape {
+            return Err(LoadError::ShapeMismatch {
+                index,
+                file: (m.rows(), m.cols()),
+                model: model_shape,
+            });
+        }
+    }
+
     let mut idx = 0usize;
-    let mut mismatch: Option<String> = None;
     model.visit_params(&mut |p| {
-        if mismatch.is_some() {
-            return;
-        }
-        match loaded.get(idx) {
-            None => mismatch = Some(format!("file has {count} params, model expects more")),
-            Some(m) => {
-                if (m.rows(), m.cols()) != (p.value.rows(), p.value.cols()) {
-                    mismatch = Some(format!(
-                        "param {idx}: file {}×{} vs model {}×{}",
-                        m.rows(),
-                        m.cols(),
-                        p.value.rows(),
-                        p.value.cols()
-                    ));
-                } else {
-                    p.value = m.clone();
-                    p.grad.fill(0.0);
-                }
-            }
-        }
+        p.value = loaded[idx].clone();
+        p.grad.fill(0.0);
         idx += 1;
     });
-    if let Some(msg) = mismatch {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
-    }
-    if idx != count {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("file has {count} params, model visited {idx}"),
-        ));
-    }
+    debug_assert_eq!(idx, count, "visit_params and visit_params_ref must agree");
     Ok(())
 }
 
@@ -134,15 +224,35 @@ mod tests {
     }
 
     #[test]
+    fn bulk_f32_io_roundtrips_bitwise_across_chunk_boundaries() {
+        // Lengths straddling the chunk size: empty, tiny, exactly one chunk,
+        // one chunk ± 1, and a multi-chunk run.
+        for len in [0usize, 1, 7, CHUNK - 1, CHUNK, CHUNK + 1, 2 * CHUNK + 3] {
+            let values: Vec<f32> = (0..len).map(|i| (i as f32).sin() * 1e3).collect();
+            let mut buf = Vec::new();
+            write_f32s(&mut buf, &values).unwrap();
+            assert_eq!(buf.len(), len * 4);
+            let mut back = vec![0.0f32; len];
+            read_f32s(&mut buf.as_slice(), &mut back).unwrap();
+            assert_eq!(
+                values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let mut m = model(1);
         let buf = b"NOTLMKG\0rest".to_vec();
         let err = load_params(&mut m, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, LoadError::BadMagic));
         assert!(err.to_string().contains("magic"));
     }
 
     #[test]
-    fn rejects_architecture_mismatch() {
+    fn rejects_architecture_mismatch_with_param_index() {
         let a = model(1);
         let mut buf = Vec::new();
         save_params(&a, &mut buf).unwrap();
@@ -151,8 +261,44 @@ mod tests {
         let mut other = Sequential::new();
         other.push(Dense::new_he(&mut rng, 3, 8)); // wrong fan-in
         other.push(Dense::new_he(&mut rng, 8, 2));
+        let before: Vec<Vec<f32>> = {
+            let mut v = Vec::new();
+            other.visit_params_ref(&mut |p| v.push(p.value.as_slice().to_vec()));
+            v
+        };
         let err = load_params(&mut other, &mut buf.as_slice()).unwrap_err();
+        match err {
+            LoadError::ShapeMismatch { index, file, model } => {
+                assert_eq!(index, 0);
+                assert_eq!(file, (4, 8));
+                assert_eq!(model, (3, 8));
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
         assert!(err.to_string().contains("param 0"));
+        // A failed load must not have assigned anything.
+        let mut after = Vec::new();
+        other.visit_params_ref(&mut |p| after.push(p.value.as_slice().to_vec()));
+        assert_eq!(before, after, "mismatched load must leave the model untouched");
+    }
+
+    #[test]
+    fn rejects_param_count_mismatch() {
+        let a = model(1);
+        let mut buf = Vec::new();
+        save_params(&a, &mut buf).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut fewer = Sequential::new();
+        fewer.push(Dense::new_he(&mut rng, 4, 8)); // one dense instead of two
+        let err = load_params(&mut fewer, &mut buf.as_slice()).unwrap_err();
+        match err {
+            LoadError::ParamCount { file, model } => {
+                assert_eq!(file, 4);
+                assert_eq!(model, 2);
+            }
+            other => panic!("expected ParamCount, got {other:?}"),
+        }
     }
 
     #[test]
@@ -162,6 +308,7 @@ mod tests {
         save_params(&a, &mut buf).unwrap();
         buf.truncate(buf.len() / 2);
         let mut b = model(2);
-        assert!(load_params(&mut b, &mut buf.as_slice()).is_err());
+        let err = load_params(&mut b, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
     }
 }

@@ -38,6 +38,7 @@ use crate::protocol::DEFAULT_TENANT;
 use crate::server::{EstimationService, ServeBuilder, TenantSpec};
 use lmkg::framework::{trainable_cell, Lmkg, LmkgConfig};
 use lmkg::{CardinalityEstimator, Cell, WorkloadMonitor};
+use lmkg_modelstore::ModelStore;
 use lmkg_obs::Level;
 use lmkg_store::KnowledgeGraph;
 use std::collections::HashSet;
@@ -105,6 +106,15 @@ pub struct TenantAdapterSpec {
     pub monitor: SharedMonitor,
     /// The tenant's counter block (drift gauges, retrain events).
     pub stats: Arc<ServeStats>,
+    /// Where retrained (and evicted) model sets are persisted after each
+    /// publish, so a restart cold-starts from the adapted state instead of
+    /// the cold base. `None` disables persistence.
+    pub store: Option<ModelStore>,
+    /// Upper bound on the published framework's `total_memory_bytes`.
+    /// After every publish — and on every tick, in case retraining pushed
+    /// past it — the adapter evicts least-used covered cells until the set
+    /// fits (see [`Lmkg::evict_to_budget`]). `None` disables eviction.
+    pub memory_budget: Option<usize>,
 }
 
 /// One tenant's mutable loop state, private to the adapter thread.
@@ -159,6 +169,8 @@ impl Adapter {
                 handle,
                 monitor,
                 stats,
+                store: None,
+                memory_budget: None,
             }],
             cfg,
         )
@@ -298,21 +310,33 @@ fn adapter_loop(tenants: &mut [TenantState], cfg: &AdapterConfig, stop: &AtomicB
     }
 }
 
-/// One tenant's drift-evaluate / retrain / swap iteration.
+/// One tenant's adaptation iteration: drift-evaluate / retrain / swap, then
+/// budget enforcement (eviction), then persistence — whatever was published
+/// this tick (by either stage) is snapshotted to the tenant's model store.
 fn tenant_tick(tenant: &mut TenantState, idx: usize, cfg: &AdapterConfig, current_slot: &CurrentSlots) {
+    let retrained = maybe_retrain(tenant, idx, cfg, current_slot);
+    let evicted = enforce_budget(tenant, idx, current_slot);
+    if retrained || evicted {
+        persist(tenant);
+    }
+}
+
+/// The drift-evaluate / retrain / swap stage. Returns whether a new
+/// framework was published.
+fn maybe_retrain(tenant: &mut TenantState, idx: usize, cfg: &AdapterConfig, current_slot: &CurrentSlots) -> bool {
     let spec = &tenant.spec;
     let prefix = &tenant.prefix;
     let report = {
         let m = spec.monitor.lock().expect("workload monitor lock");
         if m.observed() < cfg.min_observed {
-            return;
+            return false;
         }
         let model = &tenant.current;
         m.report(|(shape, size)| model.covers(shape, size))
     };
     spec.stats.note_drift(report.tv_distance, report.uncovered_share);
     if !report.should_retrain(cfg.tv_threshold, cfg.uncovered_threshold) {
-        return;
+        return false;
     }
 
     let budget = cfg
@@ -331,7 +355,7 @@ fn tenant_tick(tenant: &mut TenantState, idx: usize, cfg: &AdapterConfig, curren
     if cells.is_empty() {
         // Drift without a trainable target (pure mix shift over covered
         // cells, exotic shapes, or the model cap): nothing to create.
-        return;
+        return false;
     }
 
     // The dominant cells with their observed query counts, e.g.
@@ -405,6 +429,91 @@ fn tenant_tick(tenant: &mut TenantState, idx: usize, cfg: &AdapterConfig, curren
         ),
     );
     tenant.current = extended;
+    true
+}
+
+/// The memory-budget stage: when the published framework exceeds the
+/// tenant's budget (a retrain just grew it, or the budget was set below the
+/// base at startup), evict least-used covered cells until it fits and
+/// publish the smaller set through the same atomic swap. Eviction never
+/// uncovers a cell the current window observed (the fallback stays covered
+/// for live traffic — see [`Lmkg::evict_to_budget`]), so it can legitimately
+/// stop above budget under a workload that needs everything. Returns whether
+/// a smaller framework was published.
+fn enforce_budget(tenant: &mut TenantState, idx: usize, current_slot: &CurrentSlots) -> bool {
+    let spec = &tenant.spec;
+    let prefix = &tenant.prefix;
+    let Some(budget) = spec.memory_budget else {
+        return false;
+    };
+    if tenant.current.total_memory_bytes() <= budget {
+        return false;
+    }
+    // Usage = the monitor's full per-cell counts (not just uncovered cells):
+    // the victim order is workload share, and observed cells are pinned.
+    let usage: Vec<(Cell, u64)> = {
+        let m = spec.monitor.lock().expect("workload monitor lock");
+        m.report(|_| true)
+            .dominant_cells
+            .iter()
+            .map(|&(cell, count)| (cell, count as u64))
+            .collect()
+    };
+    let (smaller, dropped) = tenant.current.evict_to_budget(budget, &usage);
+    if dropped == 0 {
+        // Everything left is the last cover of a live cell: respect the
+        // workload over the budget rather than uncover live traffic.
+        return false;
+    }
+    let smaller = Arc::new(smaller);
+    spec.handle.swap(Arc::clone(&smaller) as SharedEstimator);
+    current_slot.write().expect("adapter current lock")[idx].1 = Arc::clone(&smaller);
+    spec.stats.note_model_bytes(smaller.memory_bytes() as u64);
+    spec.stats.note_evicted(dropped);
+    spec.stats.event(
+        Level::Info,
+        "evict",
+        format!(
+            "{prefix} evicted {dropped} model(s) — {} bytes now within the {budget}-byte budget ({} model(s) kept)",
+            smaller.total_memory_bytes(),
+            smaller.model_count()
+        ),
+    );
+    tenant.current = smaller;
+    true
+}
+
+/// The persistence stage: snapshot whatever `tenant.current` now is into the
+/// tenant's model store, so a restart cold-starts from the adapted state.
+/// Failure is an event, never a panic — serving continues on the in-memory
+/// set and the next publish retries.
+fn persist(tenant: &TenantState) {
+    let spec = &tenant.spec;
+    let prefix = &tenant.prefix;
+    let Some(store) = &spec.store else {
+        return;
+    };
+    match store.publish(&tenant.current) {
+        Ok(generation) => {
+            spec.stats.note_generation(generation);
+            spec.stats.event(
+                Level::Info,
+                "save",
+                format!(
+                    "{prefix} persisted {} model(s) as generation {generation} in {}",
+                    tenant.current.model_count(),
+                    store.dir().display()
+                ),
+            );
+        }
+        Err(err) => {
+            spec.stats.event(
+                Level::Warn,
+                "save",
+                format!("{prefix} snapshot publish failed ({err}); serving continues on the in-memory set"),
+            );
+        }
+    }
 }
 
 #[cfg(test)]

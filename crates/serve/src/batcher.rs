@@ -52,7 +52,18 @@ const EVENT_RING_CAPACITY: usize = 256;
 /// Event kinds with dedicated counters: their `lmkg_events_total{kind=...}`
 /// series render even before the first occurrence, so dashboards and smoke
 /// tests can assert on them unconditionally.
-pub const EVENT_KINDS: &[&str] = &["shed", "swap", "retrain", "drift", "parse_error", "session", "shutdown"];
+pub const EVENT_KINDS: &[&str] = &[
+    "shed",
+    "swap",
+    "retrain",
+    "drift",
+    "parse_error",
+    "session",
+    "shutdown",
+    "evict",
+    "save",
+    "load",
+];
 
 /// The request pipeline stages measured by the batcher, in order: admission
 /// wait (submit → picked up by a worker), batch assembly (first job in hand
@@ -143,6 +154,8 @@ pub struct ServeStats {
     batches: AtomicU64,
     retrains: AtomicU64,
     models_added: AtomicU64,
+    models_evicted: AtomicU64,
+    snapshot_generation: AtomicU64,
     model_bytes: AtomicU64,
     // Last drift evaluation, stored as f64 bit patterns.
     drift_tv_bits: AtomicU64,
@@ -173,6 +186,8 @@ impl ServeStats {
             batches: AtomicU64::new(0),
             retrains: AtomicU64::new(0),
             models_added: AtomicU64::new(0),
+            models_evicted: AtomicU64::new(0),
+            snapshot_generation: AtomicU64::new(0),
             model_bytes: AtomicU64::new(0),
             drift_tv_bits: AtomicU64::new(0.0f64.to_bits()),
             drift_uncovered_bits: AtomicU64::new(0.0f64.to_bits()),
@@ -291,6 +306,19 @@ impl ServeStats {
         self.retrains.fetch_add(1, Ordering::SeqCst);
     }
 
+    /// Counts models dropped by a budget-eviction pass. Relaxed is enough:
+    /// the evicted set is published through `ModelHandle::swap` first, and
+    /// nothing orders itself on this counter.
+    pub fn note_evicted(&self, dropped: usize) {
+        self.models_evicted.fetch_add(dropped as u64, Ordering::Relaxed);
+    }
+
+    /// Records the generation of the snapshot most recently published to
+    /// (or cold-started from) the tenant's model store.
+    pub fn note_generation(&self, generation: u64) {
+        self.snapshot_generation.store(generation, Ordering::Relaxed);
+    }
+
     fn note_batch(&self, size: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.served.fetch_add(size as u64, Ordering::Relaxed);
@@ -309,6 +337,8 @@ impl ServeStats {
             batches: self.batches.load(Ordering::Relaxed),
             retrains: self.retrains.load(Ordering::SeqCst),
             models_added: self.models_added.load(Ordering::SeqCst),
+            evicted: self.models_evicted.load(Ordering::Relaxed),
+            generation: self.snapshot_generation.load(Ordering::Relaxed),
             model_bytes: self.model_bytes.load(Ordering::Relaxed),
             drift_tv: f64::from_bits(self.drift_tv_bits.load(Ordering::Relaxed)),
             drift_uncovered: f64::from_bits(self.drift_uncovered_bits.load(Ordering::Relaxed)),

@@ -24,6 +24,8 @@ use lmkg::{CardinalityEstimator, QuantMode, WorkloadMonitor};
 
 use lmkg_data::workload::{self, WorkloadConfig};
 use lmkg_data::{Dataset, Scale};
+use lmkg_modelstore::ModelStore;
+use lmkg_obs::Level;
 use lmkg_serve::{
     loadgen, serve_stream, serve_tcp, Adapter, AdapterConfig, BatchConfig, EstimationService, LoadgenConfig,
     ServeBuilder, SharedMonitor, ShiftConfig, ShutdownFlag, TenantAdapterSpec, TenantSpec, DEFAULT_TENANT,
@@ -31,7 +33,7 @@ use lmkg_serve::{
 use lmkg_store::{sparql, KnowledgeGraph, Query, QueryShape};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 serve — micro-batching LMKG estimation server
@@ -65,6 +67,19 @@ Serving options (pipe, tcp, loadgen):
                              the latency window, and events stay on)
   --metrics-every N          dump the METRICS exposition to stderr every
                              N seconds (pipe, tcp; 0 = off)     [0]
+
+Model lifecycle options (pipe, tcp, loadgen):
+  --model-dir DIR            versioned snapshot store: cold-start from the
+                             newest on-disk generation when one exists
+                             (skipping training entirely), else train once
+                             and publish generation 1. With --adapt every
+                             retrain/evict publishes a new generation.
+                             Multi-tenant runs store under DIR/<tenant>.
+  --memory-budget BYTES      cap the served framework's memory: evict
+                             least-used covered models until it fits,
+                             never uncovering a cell with live traffic
+                             (enforced at startup and, with --adapt, on
+                             every adapter tick)
 
 Adaptation options (pipe, tcp; the workload-shift loop):
   --adapt                    enable the monitor->retrain->swap loop
@@ -135,6 +150,11 @@ struct Options {
     shift_size: usize,
     quantized: Option<QuantMode>,
     metrics_every: u64,
+    /// `--model-dir DIR`: root of the versioned snapshot store (per-tenant
+    /// subdirectories in multi-tenant runs).
+    model_dir: Option<std::path::PathBuf>,
+    /// `--memory-budget BYTES`: eviction threshold for the served set.
+    memory_budget: Option<usize>,
 }
 
 fn fail(message: &str) -> ! {
@@ -232,6 +252,8 @@ fn parse_options() -> Options {
         shift_size: 0,
         quantized: None,
         metrics_every: 0,
+        model_dir: None,
+        memory_budget: None,
     };
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().unwrap_or_else(|| fail(&format!("{flag} expects a value")));
@@ -349,6 +371,14 @@ fn parse_options() -> Options {
                     .parse()
                     .unwrap_or_else(|_| fail("--metrics-every expects an integer (seconds)"))
             }
+            "--model-dir" => opts.model_dir = Some(value("--model-dir").into()),
+            "--memory-budget" => {
+                opts.memory_budget = Some(
+                    value("--memory-budget")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--memory-budget expects a byte count")),
+                )
+            }
             "--workload" => opts.workload = Some(value("--workload")),
             "--shift-size" => {
                 opts.shift_size = value("--shift-size")
@@ -393,10 +423,11 @@ fn sample_workload(graph: &KnowledgeGraph, opts: &Options, count: usize) -> Vec<
     out
 }
 
-/// Builds the served framework plus the configuration it was built with —
-/// the adapter extends with the same hyperparameters and budget.
-fn build_lmkg(graph: &KnowledgeGraph, opts: &Options) -> (Arc<Lmkg>, LmkgConfig) {
-    let cfg = LmkgConfig {
+/// The framework configuration the CLI options describe — shared by the
+/// train path and the cold-start path (the adapter extends a loaded
+/// snapshot with these hyperparameters too).
+fn lmkg_config(opts: &Options) -> LmkgConfig {
+    LmkgConfig {
         model_type: ModelType::Supervised,
         grouping: Grouping::BySize,
         shapes: vec![QueryShape::Star, QueryShape::Chain],
@@ -409,7 +440,13 @@ fn build_lmkg(graph: &KnowledgeGraph, opts: &Options) -> (Arc<Lmkg>, LmkgConfig)
         },
         u_config: Default::default(),
         workload_seed: opts.seed,
-    };
+    }
+}
+
+/// Builds the served framework plus the configuration it was built with —
+/// the adapter extends with the same hyperparameters and budget.
+fn build_lmkg(graph: &KnowledgeGraph, opts: &Options) -> (Arc<Lmkg>, LmkgConfig) {
+    let cfg = lmkg_config(opts);
     eprintln!(
         "serve: building LMKG-S (sizes {:?}, hidden {:?}, {} epochs, {} train queries/model) …",
         opts.sizes, opts.hidden, opts.epochs, opts.train_queries
@@ -429,13 +466,25 @@ fn build_lmkg(graph: &KnowledgeGraph, opts: &Options) -> (Arc<Lmkg>, LmkgConfig)
     (Arc::new(lmkg), cfg)
 }
 
-/// One tenant, materialized: its named graph plus the trained framework
-/// and the configuration it was built with.
+/// One tenant, materialized: its named graph plus the trained (or
+/// cold-started) framework, the configuration it was built with, and its
+/// slice of the model store.
 struct TenantRuntime {
     name: String,
     graph: Arc<KnowledgeGraph>,
     base: Arc<Lmkg>,
     build_cfg: LmkgConfig,
+    /// The tenant's snapshot store (`--model-dir`, per-tenant subdirectory
+    /// in multi-tenant runs).
+    store: Option<ModelStore>,
+    /// The generation `base` corresponds to on disk: loaded at cold-start,
+    /// or published right after training. `None` without `--model-dir`.
+    generation: Option<u64>,
+    /// Whether `base` was loaded from a snapshot instead of trained.
+    cold_started: bool,
+    /// Models dropped by the startup budget pass, so `STATS … evicted=`
+    /// counts them alongside the adapter's runtime evictions.
+    startup_evicted: usize,
 }
 
 /// The named (tenant, graph) pairs this invocation serves: one per
@@ -466,20 +515,102 @@ fn tenant_graphs(opts: &Options) -> Vec<(String, Arc<KnowledgeGraph>)> {
         .collect()
 }
 
-/// Trains one framework per tenant (pipe and tcp modes).
+/// Opens the snapshot store for one tenant: `--model-dir` itself for a
+/// single-tenant run, `--model-dir/<tenant>` when several tenants share
+/// the root (each tenant's generations must not clobber another's).
+fn tenant_store(opts: &Options, name: &str) -> Option<ModelStore> {
+    let root = opts.model_dir.as_ref()?;
+    let dir = if opts.tenants.is_empty() {
+        root.clone()
+    } else {
+        root.join(name)
+    };
+    match ModelStore::open(&dir) {
+        Ok(store) => Some(store),
+        Err(e) => fail(&format!("cannot open model store {}: {e}", dir.display())),
+    }
+}
+
+/// Materializes one framework per tenant (pipe and tcp modes): cold-start
+/// from the newest store generation when one exists, train (and publish
+/// generation 1) otherwise, then enforce the memory budget once up front.
 fn tenant_runtimes(opts: &Options) -> Vec<TenantRuntime> {
     tenant_graphs(opts)
         .into_iter()
         .map(|(name, graph)| {
-            if name != DEFAULT_TENANT {
-                eprintln!("serve: [{name}] training …");
+            let store = tenant_store(opts, &name);
+            let mut generation = None;
+            let mut cold_started = false;
+            let (mut base, build_cfg) = match &store {
+                Some(store) => match store.load_latest() {
+                    Ok((model, gen)) => {
+                        eprintln!(
+                            "serve: [{name}] cold-start — loaded generation {gen} from {} ({} model(s), {} bytes); training skipped",
+                            store.dir().display(),
+                            model.model_count(),
+                            model.total_memory_bytes()
+                        );
+                        generation = Some(gen);
+                        cold_started = true;
+                        (Arc::new(model), lmkg_config(opts))
+                    }
+                    Err(lmkg_modelstore::StoreError::NoSnapshot) => {
+                        if name != DEFAULT_TENANT {
+                            eprintln!("serve: [{name}] training …");
+                        }
+                        build_lmkg(&graph, opts)
+                    }
+                    Err(e) => fail(&format!(
+                        "model store {} is unreadable: {e} (remove the directory to retrain)",
+                        store.dir().display()
+                    )),
+                },
+                None => {
+                    if name != DEFAULT_TENANT {
+                        eprintln!("serve: [{name}] training …");
+                    }
+                    build_lmkg(&graph, opts)
+                }
+            };
+            // Startup budget enforcement: without traffic yet there is no
+            // usage signal, so eviction is purely size-ordered — the
+            // adapter refines the choice later with live workload counts.
+            let mut startup_evicted = 0;
+            if let Some(budget) = opts.memory_budget {
+                if base.total_memory_bytes() > budget {
+                    let (smaller, dropped) = base.evict_to_budget(budget, &[]);
+                    eprintln!(
+                        "serve: [{name}] evicted {dropped} model(s) at startup — {} of {} bytes budget used",
+                        smaller.total_memory_bytes(),
+                        budget
+                    );
+                    base = Arc::new(smaller);
+                    startup_evicted = dropped;
+                }
             }
-            let (base, build_cfg) = build_lmkg(&graph, opts);
+            // Publish the freshly trained (and possibly trimmed) set so the
+            // next start cold-starts; a loaded snapshot is already on disk.
+            if let (Some(store), false) = (&store, cold_started) {
+                match store.publish(&base) {
+                    Ok(gen) => {
+                        eprintln!(
+                            "serve: [{name}] published generation {gen} to {}",
+                            store.dir().display()
+                        );
+                        generation = Some(gen);
+                    }
+                    Err(e) => eprintln!("serve: [{name}] snapshot publish failed ({e}); serving continues"),
+                }
+            }
             TenantRuntime {
                 name,
                 graph,
                 base,
                 build_cfg,
+                store,
+                generation,
+                cold_started,
+                startup_evicted,
             }
         })
         .collect()
@@ -496,6 +627,12 @@ fn build_service(runtimes: &[TenantRuntime], opts: &Options) -> (EstimationServi
             Arc::clone(&rt.graph),
             Arc::clone(&rt.base) as lmkg_serve::SharedEstimator,
         );
+        if let Some(store) = &rt.store {
+            spec = spec.model_dir(store.dir());
+        }
+        if let Some(budget) = opts.memory_budget {
+            spec = spec.memory_budget(budget);
+        }
         if opts.adapt {
             let monitor: SharedMonitor = Arc::new(Mutex::new(WorkloadMonitor::new(
                 opts.adapter.window,
@@ -509,6 +646,37 @@ fn build_service(runtimes: &[TenantRuntime], opts: &Options) -> (EstimationServi
     let svc = builder
         .build()
         .unwrap_or_else(|e| fail(&format!("invalid tenant set: {e}")));
+    // Surface the startup lifecycle in the per-tenant stats: the store
+    // generation backing the served set (`STATS … gen=`) plus a load/save
+    // event matching how it got there.
+    for rt in runtimes {
+        if rt.startup_evicted > 0 {
+            let stats = svc.tenant_serve_stats(&rt.name).expect("tenant just built");
+            stats.note_evicted(rt.startup_evicted);
+        }
+        if let Some(gen) = rt.generation {
+            let stats = svc.tenant_serve_stats(&rt.name).expect("tenant just built");
+            stats.note_generation(gen);
+            if rt.cold_started {
+                stats.event(
+                    Level::Info,
+                    "load",
+                    format!(
+                        "cold-started [{}] from snapshot generation {gen} ({} model(s), {} bytes) — no training",
+                        rt.name,
+                        rt.base.model_count(),
+                        rt.base.total_memory_bytes()
+                    ),
+                );
+            } else {
+                stats.event(
+                    Level::Info,
+                    "save",
+                    format!("published [{}] as snapshot generation {gen} after training", rt.name),
+                );
+            }
+        }
+    }
     if !opts.adapt {
         return (svc, None);
     }
@@ -523,6 +691,8 @@ fn build_service(runtimes: &[TenantRuntime], opts: &Options) -> (EstimationServi
             handle: svc.tenant_model(&rt.name).expect("tenant just built"),
             monitor,
             stats: svc.tenant_serve_stats(&rt.name).expect("tenant just built"),
+            store: rt.store.clone(),
+            memory_budget: opts.memory_budget,
         })
         .collect();
     let adapter = Adapter::start_multi(specs, opts.adapter.clone());
@@ -677,7 +847,9 @@ fn main() {
                 opts.dataset, opts.scale, opts.seed
             );
             let graph = Arc::new(opts.dataset.generate(opts.scale, opts.seed));
+            let t_train = Instant::now();
             let (base, build_cfg) = build_lmkg(&graph, &opts);
+            let train_time = t_train.elapsed();
             let queries = match &opts.workload {
                 Some(path) => {
                     let text = std::fs::read_to_string(path)
@@ -741,6 +913,33 @@ fn main() {
                 mt.hot_quota, mt.hot.shed, mt.hot.sent, mt.cool_quota, mt.cool.shed, mt.isolated
             );
 
+            eprintln!("serve: cold-start — publish the trained set, reload it, replay for bitwise parity …");
+            let cold_dir = opts
+                .model_dir
+                .clone()
+                .unwrap_or_else(|| std::env::temp_dir().join(format!("lmkg-coldstart-{}", std::process::id())));
+            let cold_start_json =
+                match loadgen::cold_start(&graph, Arc::clone(&base), train_time, &queries, &cfg, &cold_dir) {
+                    Ok(cs) => {
+                        println!(
+                            "cold start: train {:.0}ms vs load {:.2}ms ({:.0}x faster); snapshot {} bytes \
+                             (generation {}); parity={} over {} request(s)",
+                            cs.train_ms,
+                            cs.load_ms,
+                            cs.speedup,
+                            cs.snapshot_bytes,
+                            cs.generation,
+                            cs.parity,
+                            cs.parity_requests
+                        );
+                        cs.to_json()
+                    }
+                    Err(e) => {
+                        eprintln!("serve: cold-start benchmark failed: {e}");
+                        "null".to_string()
+                    }
+                };
+
             let mut adaptation_json = "null".to_string();
             if opts.shift_size > 0 {
                 if !lmkg::trainable_cell((QueryShape::Star, opts.shift_size)) {
@@ -790,10 +989,12 @@ fn main() {
 
             let json = format!(
                 "{{\n  \"benchmark\": \"lmkg-serve serving + workload-shift adaptation\",\n  \
-                 \"comparison\": {},\n  \"observability\": {},\n  \"multi_tenant\": {},\n  \"adaptation\": {}\n}}\n",
+                 \"comparison\": {},\n  \"observability\": {},\n  \"multi_tenant\": {},\n  \
+                 \"cold_start\": {},\n  \"adaptation\": {}\n}}\n",
                 report.to_json().trim_end(),
                 obs.to_json(),
                 mt.to_json(),
+                cold_start_json,
                 adaptation_json
             );
             std::fs::write(&opts.json, json).unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", opts.json)));

@@ -135,6 +135,11 @@ pub struct StatsSnapshot {
     pub retrains: u64,
     /// Models added across all retrain events.
     pub models_added: u64,
+    /// Models evicted to stay under the tenant's memory budget.
+    pub evicted: u64,
+    /// Generation of the last model-store snapshot published for this
+    /// tenant (0 when the tenant has no store, or before the first publish).
+    pub generation: u64,
     /// Memory footprint of the currently published model, bytes — reflects
     /// quantized deployments honestly (it shrinks when a quantized framework
     /// is served) and follows adapter swaps.
@@ -157,12 +162,14 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "served={} shed={} batches={} retrains={} added={} model={} tv={} uncovered={} p50us={} p95us={} p99us={}",
+            "served={} shed={} batches={} retrains={} added={} evicted={} gen={} model={} tv={} uncovered={} p50us={} p95us={} p99us={}",
             self.served,
             self.shed,
             self.batches,
             self.retrains,
             self.models_added,
+            self.evicted,
+            self.generation,
             self.model_bytes,
             self.drift_tv,
             self.drift_uncovered,
@@ -255,6 +262,8 @@ mod tests {
             batches: 3,
             retrains: 1,
             models_added: 2,
+            evicted: 4,
+            generation: 6,
             model_bytes: 4096,
             drift_tv: 0.75,
             drift_uncovered: 0.5,
@@ -264,7 +273,7 @@ mod tests {
         };
         assert_eq!(
             s.to_string(),
-            "served=10 shed=2 batches=3 retrains=1 added=2 model=4096 tv=0.75 uncovered=0.5 p50us=1.5 p95us=2.5 p99us=3.5"
+            "served=10 shed=2 batches=3 retrains=1 added=2 evicted=4 gen=6 model=4096 tv=0.75 uncovered=0.5 p50us=1.5 p95us=2.5 p99us=3.5"
         );
     }
 }

@@ -26,6 +26,7 @@ use crate::protocol::{Reply, Request, DEFAULT_TENANT};
 use crate::server::{EstimationService, ServeBuilder, TenantSpec};
 use lmkg::framework::{Lmkg, LmkgConfig};
 use lmkg::{q_error, CardinalityEstimator};
+use lmkg_modelstore::{ModelStore, StoreError};
 use lmkg_store::{counter, sparql, KnowledgeGraph, Query, QueryShape};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -795,6 +796,113 @@ pub fn shift(
         shifted_pre,
         shifted_post,
     }
+}
+
+/// The cold-start benchmark: what restarting from a model-store snapshot
+/// buys over retraining from scratch, and whether the restarted replica is
+/// the *same* replica (bitwise-identical estimates through the full serving
+/// path).
+#[derive(Debug, Clone)]
+pub struct ColdStartReport {
+    /// Wall-clock of training the framework from scratch, milliseconds.
+    pub train_ms: f64,
+    /// Wall-clock of publishing the snapshot (serialize + fsync + rename +
+    /// manifest), milliseconds.
+    pub save_ms: f64,
+    /// Wall-clock of loading the newest generation back (read + checksum +
+    /// decode + rebuild), milliseconds.
+    pub load_ms: f64,
+    /// `train_ms / load_ms` — how much faster a restart reaches serving.
+    pub speedup: f64,
+    /// The generation the benchmark published and reloaded.
+    pub generation: u64,
+    /// Serialized size of the model-set snapshot, bytes.
+    pub snapshot_bytes: usize,
+    /// Requests replayed through each replica for the parity check.
+    pub parity_requests: usize,
+    /// Whether every replayed estimate from the reloaded replica was
+    /// bitwise identical to the trained one's.
+    pub parity: bool,
+}
+
+impl ColdStartReport {
+    /// Machine-readable form (the `"cold_start"` section of
+    /// `BENCH_serve.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"train_ms\": {:.1},\n    \"save_ms\": {:.2},\n    \"load_ms\": {:.2},\n    \
+             \"speedup\": {:.1},\n    \"generation\": {},\n    \"snapshot_bytes\": {},\n    \
+             \"parity_requests\": {},\n    \"parity\": {}\n  }}",
+            self.train_ms,
+            self.save_ms,
+            self.load_ms,
+            self.speedup,
+            self.generation,
+            self.snapshot_bytes,
+            self.parity_requests,
+            self.parity
+        )
+    }
+}
+
+/// Measures the cold-start path against retraining: publishes the trained
+/// `base` (whose training took `train_time`) into a store at `dir`, loads
+/// the newest generation back, and replays the same request lines through a
+/// service over each replica, comparing every estimate bitwise. The replay
+/// queue is widened to the line count so shedding cannot desynchronize the
+/// two reply sets.
+pub fn cold_start(
+    graph: &Arc<KnowledgeGraph>,
+    base: Arc<Lmkg>,
+    train_time: Duration,
+    queries: &[Query],
+    cfg: &LoadgenConfig,
+    dir: &std::path::Path,
+) -> Result<ColdStartReport, StoreError> {
+    let store = ModelStore::open(dir)?;
+    let snapshot_bytes = base.save_to_vec()?.len();
+
+    let t = Instant::now();
+    let generation = store.publish(&base)?;
+    let save_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let (loaded, loaded_gen) = store.load_latest()?;
+    let load_ms = t.elapsed().as_secs_f64() * 1e3;
+    debug_assert_eq!(loaded_gen, generation);
+
+    let tenant = cfg.tenant.as_deref();
+    let lines = request_lines_for(tenant, queries, graph, queries.len());
+    let batch = BatchConfig {
+        queue_depth: cfg.batch.queue_depth.max(lines.len()),
+        ..cfg.batch.clone()
+    };
+    let replies = |estimator: SharedEstimator| -> Vec<(usize, f64)> {
+        let svc = single_tenant_service(tenant, graph, &estimator, batch.clone());
+        let (_, mut estimates) = replay_with_estimates(&svc, &lines, 20_000.0, "cold_start_parity");
+        estimates.sort_by_key(|&(i, _)| i);
+        estimates
+    };
+    let trained = replies(Arc::clone(&base) as SharedEstimator);
+    let restarted = replies(Arc::new(loaded) as SharedEstimator);
+    let parity = trained.len() == lines.len()
+        && trained.len() == restarted.len()
+        && trained
+            .iter()
+            .zip(&restarted)
+            .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+
+    let train_ms = train_time.as_secs_f64() * 1e3;
+    Ok(ColdStartReport {
+        train_ms,
+        save_ms,
+        load_ms,
+        speedup: train_ms / load_ms.max(1e-9),
+        generation,
+        snapshot_bytes,
+        parity_requests: lines.len(),
+        parity,
+    })
 }
 
 /// A star workload of the given size for the shifted phase, generated like

@@ -434,6 +434,8 @@ impl Reply {
                 let mut batches = None;
                 let mut retrains = None;
                 let mut added = None;
+                let mut evicted = None;
+                let mut gen = None;
                 let mut model = None;
                 let mut tv = None;
                 let mut uncovered = None;
@@ -450,6 +452,8 @@ impl Reply {
                         "batches" => batches = value.parse().ok(),
                         "retrains" => retrains = value.parse().ok(),
                         "added" => added = value.parse().ok(),
+                        "evicted" => evicted = value.parse().ok(),
+                        "gen" => gen = value.parse().ok(),
                         "model" => model = value.parse().ok(),
                         "tv" => tv = value.parse().ok(),
                         "uncovered" => uncovered = value.parse().ok(),
@@ -469,6 +473,8 @@ impl Reply {
                                 batches,
                                 retrains: retrains.unwrap_or(0),
                                 models_added: added.unwrap_or(0),
+                                evicted: evicted.unwrap_or(0),
+                                generation: gen.unwrap_or(0),
                                 model_bytes: model.unwrap_or(0),
                                 drift_tv: tv.unwrap_or(0.0),
                                 drift_uncovered: uncovered.unwrap_or(0.0),
@@ -663,6 +669,8 @@ mod tests {
                     batches: 4,
                     retrains: 2,
                     models_added: 3,
+                    evicted: 1,
+                    generation: 5,
                     model_bytes: 123456,
                     drift_tv: 0.875,
                     drift_uncovered: 0.25,

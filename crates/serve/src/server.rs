@@ -54,6 +54,16 @@ pub struct TenantSpec {
     /// tenant. `Some(0)` suspends the namespace — estimates are refused
     /// with `ERR code=quota` instead of queued.
     pub quota: Option<usize>,
+    /// The tenant's model-store directory. The service itself never touches
+    /// it — the lifecycle wiring (the `serve` binary's cold-start path and
+    /// the adapter's persist-after-swap) reads it through
+    /// [`EstimationService::tenant_model_dir`], so the directory travels
+    /// with the tenant instead of a side channel.
+    pub model_dir: Option<std::path::PathBuf>,
+    /// Memory budget in bytes for this tenant's model set. `None` means
+    /// unbounded; the adapter's eviction pass reads it through
+    /// [`EstimationService::tenant_memory_budget`].
+    pub memory_budget: Option<usize>,
 }
 
 impl TenantSpec {
@@ -65,6 +75,8 @@ impl TenantSpec {
             estimator,
             monitor: None,
             quota: None,
+            model_dir: None,
+            memory_budget: None,
         }
     }
 
@@ -77,6 +89,19 @@ impl TenantSpec {
     /// Cap this tenant's admission queue at `quota` jobs (0 = suspended).
     pub fn quota(mut self, quota: usize) -> Self {
         self.quota = Some(quota);
+        self
+    }
+
+    /// Persist this tenant's model set under `dir` (a
+    /// `lmkg-modelstore`-managed directory of checksummed generations).
+    pub fn model_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.model_dir = Some(dir.into());
+        self
+    }
+
+    /// Evict least-used models when the tenant's set exceeds `bytes`.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 }
@@ -195,6 +220,8 @@ impl ServeBuilder {
                     graph: spec.graph,
                     batcher: MicroBatcher::start_observed(spec.estimator, cfg, spec.monitor),
                     suspended,
+                    model_dir: spec.model_dir,
+                    memory_budget: spec.memory_budget,
                 }
             })
             .collect();
@@ -213,6 +240,8 @@ struct TenantEntry {
     graph: Arc<KnowledgeGraph>,
     batcher: MicroBatcher,
     suspended: bool,
+    model_dir: Option<std::path::PathBuf>,
+    memory_budget: Option<usize>,
 }
 
 /// The serving core shared by every transport: parses request lines, routes
@@ -274,6 +303,9 @@ impl EstimationService {
         &self.tenants[self.default_idx.unwrap_or(0)]
     }
 
+    // The Err side carries a ready-to-send Reply; it is built once per
+    // unknown-tenant line, never on the per-request hot path.
+    #[allow(clippy::result_large_err)]
     fn resolve(&self, tenant: Option<&str>) -> Result<&TenantEntry, Reply> {
         let idx = match tenant {
             Some(name) => self.index.get(name).copied(),
@@ -320,6 +352,16 @@ impl EstimationService {
     /// One tenant's graph.
     pub fn tenant_graph(&self, name: &str) -> Option<Arc<KnowledgeGraph>> {
         self.index.get(name).map(|&i| Arc::clone(&self.tenants[i].graph))
+    }
+
+    /// One tenant's model-store directory, if it persists snapshots.
+    pub fn tenant_model_dir(&self, name: &str) -> Option<std::path::PathBuf> {
+        self.index.get(name).and_then(|&i| self.tenants[i].model_dir.clone())
+    }
+
+    /// One tenant's model memory budget in bytes, if bounded.
+    pub fn tenant_memory_budget(&self, name: &str) -> Option<usize> {
+        self.index.get(name).and_then(|&i| self.tenants[i].memory_budget)
     }
 
     /// The default tenant's graph (see [`EstimationService::accounting_entry`]).

@@ -1,0 +1,311 @@
+//! The model lifecycle, end to end: versioned snapshots, cold-start
+//! serving, and memory-budgeted eviction under live traffic.
+//!
+//! * cold start is **bitwise** — a replica restarted from a store snapshot
+//!   answers the full serving path with exactly the bits the trained
+//!   replica produced, and reaches serving far faster than retraining;
+//! * eviction converges below the budget, keeps the workload-dominant cell
+//!   covered (its estimates never change bits, so no batch was torn while
+//!   the smaller set was swapped in), and the evicted set is persisted;
+//! * corruption fuzzing: flipping any byte of a store file is a typed
+//!   error, truncating a snapshot stream at any point is a typed error —
+//!   never a panic, never a silently different model.
+
+use lmkg::framework::{Grouping, Lmkg, LmkgConfig, ModelType};
+use lmkg::supervised::LmkgSConfig;
+use lmkg::{CardinalityEstimator, QuantMode, WorkloadMonitor};
+use lmkg_integration_tests::{small_lubm, test_queries};
+use lmkg_modelstore::ModelStore;
+use lmkg_serve::{
+    loadgen, Adapter, AdapterConfig, BatchConfig, LoadgenConfig, Reply, ServeBuilder, SharedEstimator, SharedMonitor,
+    TenantAdapterSpec, TenantSpec, DEFAULT_TENANT,
+};
+use lmkg_store::{sparql, KnowledgeGraph, Query, QueryShape};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A unique throwaway store directory per call.
+fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "lmkg-lifecycle-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A deliberately small supervised configuration — fast to train, slow
+/// enough that loading must beat it by a wide margin.
+fn small_config() -> LmkgConfig {
+    LmkgConfig {
+        model_type: ModelType::Supervised,
+        grouping: Grouping::BySize,
+        shapes: vec![QueryShape::Star, QueryShape::Chain],
+        sizes: vec![2],
+        queries_per_size: 150,
+        s_config: LmkgSConfig {
+            hidden: vec![32],
+            epochs: 6,
+            ..Default::default()
+        },
+        u_config: Default::default(),
+        workload_seed: 3,
+    }
+}
+
+/// One tiny trained framework, shared by the fuzzing properties (training
+/// per proptest case would dominate the suite).
+fn fuzz_model() -> Arc<Lmkg> {
+    static MODEL: OnceLock<Arc<Lmkg>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        let graph = small_lubm();
+        let cfg = LmkgConfig {
+            queries_per_size: 100,
+            s_config: LmkgSConfig {
+                hidden: vec![16],
+                epochs: 2,
+                ..Default::default()
+            },
+            ..small_config()
+        };
+        Arc::new(Lmkg::build(&graph, &cfg))
+    }))
+}
+
+fn star2_queries(graph: &KnowledgeGraph, count: usize) -> Vec<Query> {
+    test_queries(graph, QueryShape::Star, 2, count)
+        .into_iter()
+        .map(|lq| lq.query)
+        .collect()
+}
+
+#[test]
+fn cold_start_is_bitwise_and_at_least_ten_times_faster_than_training() {
+    let graph = Arc::new(small_lubm());
+    let cfg = small_config();
+    let t0 = Instant::now();
+    let base = Arc::new(Lmkg::build(&graph, &cfg));
+    let train_time = t0.elapsed();
+
+    let queries = star2_queries(&graph, 24);
+    assert!(queries.len() >= 8, "workload too small: {}", queries.len());
+    let dir = temp_store_dir("coldstart");
+    let report = loadgen::cold_start(
+        &graph,
+        Arc::clone(&base),
+        train_time,
+        &queries,
+        &LoadgenConfig::default(),
+        &dir,
+    )
+    .expect("cold-start benchmark runs");
+
+    assert!(report.parity, "restarted replica must answer bitwise identically");
+    assert_eq!(report.parity_requests, queries.len());
+    assert_eq!(report.generation, 1, "first publish into an empty store");
+    assert!(report.snapshot_bytes > 0);
+    assert!(
+        report.speedup >= 10.0,
+        "loading must beat retraining by >= 10x, got {:.1}x (train {:.0}ms, load {:.2}ms)",
+        report.speedup,
+        report.train_ms,
+        report.load_ms
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quantized_set_cold_starts_bitwise_through_the_store() {
+    let graph = Arc::new(small_lubm());
+    let base = Lmkg::build(&graph, &small_config()).quantized(QuantMode::Int8);
+    let dir = temp_store_dir("quantized");
+    let store = ModelStore::open(&dir).expect("store opens");
+    let generation = store.publish(&base).expect("publish succeeds");
+    let (loaded, loaded_gen) = store.load_latest().expect("reload succeeds");
+    assert_eq!(loaded_gen, generation);
+    assert_eq!(
+        loaded.memory_bytes(),
+        base.memory_bytes(),
+        "quantized footprint survives"
+    );
+    for q in star2_queries(&graph, 16) {
+        assert_eq!(
+            base.estimate(&q).to_bits(),
+            loaded.estimate(&q).to_bits(),
+            "quantized estimates must survive the store bitwise"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The evict-swap discipline under live traffic: a four-model set serving a
+/// star-2-only workload is squeezed under a budget that forces drops. The
+/// dominant cell must stay covered, every reply during the transition must
+/// be bitwise the base model's answer (survivor routing is unchanged, so a
+/// torn batch is the only way to get different bits), the eviction must be
+/// exactly the deterministic `evict_to_budget` result, and the smaller set
+/// must land in the store as generation 1.
+#[test]
+fn adapter_evicts_to_budget_and_persists_without_tearing_a_batch() {
+    let graph = Arc::new(small_lubm());
+    let cfg = LmkgConfig {
+        grouping: Grouping::Specialized,
+        sizes: vec![2, 3],
+        ..small_config()
+    };
+    let base = Arc::new(Lmkg::build(&graph, &cfg));
+    assert!(base.model_count() >= 4, "specialized 2x2 grid expected");
+    let budget = base.total_memory_bytes() - 1;
+    let usage = [((QueryShape::Star, 2usize), 1u64)];
+    let (expected, expected_dropped) = base.evict_to_budget(budget, &usage);
+    assert!(expected_dropped >= 1, "the budget must force at least one drop");
+    assert!(expected.covers(QueryShape::Star, 2), "the live cell must survive");
+
+    let queries = star2_queries(&graph, 10);
+    assert!(queries.len() >= 4);
+    let lines: Vec<String> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| format!("EST q{i} {}", sparql::format_query(q, &graph)))
+        .collect();
+    let expected_bits: Vec<u64> = queries.iter().map(|q| base.estimate(q).to_bits()).collect();
+
+    let monitor: SharedMonitor = Arc::new(Mutex::new(WorkloadMonitor::new(256, &cfg.cells())));
+    let svc = ServeBuilder::new()
+        .batch(BatchConfig {
+            window: Duration::from_micros(200),
+            max_batch: 8,
+            queue_depth: 1024,
+            workers: 2,
+            obs: true,
+        })
+        .tenant(
+            TenantSpec::new(DEFAULT_TENANT, Arc::clone(&graph), Arc::clone(&base) as SharedEstimator)
+                .observed(Arc::clone(&monitor))
+                .memory_budget(budget),
+        )
+        .build()
+        .expect("one tenant builds");
+
+    // Fill the monitor with the star-2 workload *before* the adapter runs,
+    // so its first budget pass already knows which cell is live.
+    let (tx, rx) = mpsc::channel::<Reply>();
+    let check_replies = |round: &str| {
+        for line in &lines {
+            svc.handle_line(line, &tx);
+        }
+        for _ in &lines {
+            match rx.recv_timeout(Duration::from_secs(20)).expect("reply arrives") {
+                Reply::Estimate { id, estimate, .. } => {
+                    let i: usize = id.strip_prefix('q').unwrap().parse().unwrap();
+                    assert_eq!(
+                        estimate.to_bits(),
+                        expected_bits[i],
+                        "{round}: reply for q{i} must be the base model's bits — a different \
+                         value means the evict-swap tore a batch or uncovered the live cell"
+                    );
+                }
+                other => panic!("{round}: unexpected reply {other:?}"),
+            }
+        }
+    };
+    check_replies("warmup");
+
+    let dir = temp_store_dir("evict");
+    let store = ModelStore::open(&dir).expect("store opens");
+    let adapter = Adapter::start_multi(
+        vec![TenantAdapterSpec {
+            name: DEFAULT_TENANT.into(),
+            graph: Arc::clone(&graph),
+            base: Arc::clone(&base),
+            build_cfg: cfg.clone(),
+            handle: svc.model(),
+            monitor,
+            stats: svc.serve_stats(),
+            store: Some(store.clone()),
+            memory_budget: Some(budget),
+        }],
+        AdapterConfig {
+            interval: Duration::from_millis(20),
+            min_observed: 16,
+            ..AdapterConfig::default()
+        },
+    );
+
+    // Keep traffic flowing while the adapter evicts and swaps; every reply
+    // must keep the base bits throughout the transition.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while svc.stats().evicted == 0 {
+        assert!(Instant::now() < deadline, "adapter never evicted under budget pressure");
+        check_replies("during-evict");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    check_replies("post-evict");
+
+    let published = adapter.stop();
+    assert_eq!(
+        published.model_count(),
+        expected.model_count(),
+        "the adapter must publish exactly the deterministic eviction result"
+    );
+    assert!(
+        published.total_memory_bytes() <= budget,
+        "published set fits the budget"
+    );
+    assert!(published.covers(QueryShape::Star, 2), "live cell stays covered");
+    for (q, &bits) in queries.iter().zip(&expected_bits) {
+        assert_eq!(published.estimate(q).to_bits(), bits, "survivor routing is unchanged");
+    }
+
+    let stats = svc.stats();
+    assert!(stats.evicted as usize >= expected_dropped);
+    assert!(stats.generation >= 1, "the evicted set must have been persisted");
+    let (reloaded, generation) = store.load_latest().expect("persisted generation loads");
+    assert_eq!(generation, stats.generation);
+    assert_eq!(reloaded.model_count(), published.model_count());
+    for (q, &bits) in queries.iter().zip(&expected_bits) {
+        assert_eq!(reloaded.estimate(q).to_bits(), bits, "restart serves the same bits");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Flipping any single byte of a published store file must surface as a
+    /// typed error on load — the CRC (or a header check) catches it; it
+    /// never panics and never yields a silently different model.
+    #[test]
+    fn store_rejects_any_single_byte_corruption(offset in 0usize..1_000_000, flip in 1u8..255) {
+        let model = fuzz_model();
+        let dir = temp_store_dir("fuzz-corrupt");
+        let store = ModelStore::open(&dir).expect("store opens");
+        let generation = store.publish(&model).expect("publish succeeds");
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|e| e == "lmkg"))
+            .expect("snapshot file exists");
+        let mut bytes = std::fs::read(&file).unwrap();
+        let at = offset % bytes.len();
+        bytes[at] ^= flip;
+        std::fs::write(&file, &bytes).unwrap();
+        let err = store.load_generation(generation).expect_err("corruption must be detected");
+        // Any typed error is acceptable; formatting it must not panic.
+        let _ = err.to_string();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Truncating a raw model-set snapshot stream at any point must be a
+    /// typed `SnapshotError`, never a panic and never a successful load.
+    #[test]
+    fn snapshot_rejects_any_truncation(frac in 0.0f64..1.0) {
+        static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+        let bytes = BYTES.get_or_init(|| fuzz_model().save_to_vec().expect("serializes"));
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        let err = Lmkg::load(&mut &bytes[..cut]).expect_err("truncation must be detected");
+        let _ = err.to_string();
+    }
+}

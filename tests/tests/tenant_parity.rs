@@ -320,6 +320,8 @@ fn adapter_swaps_one_tenant_under_live_traffic_on_the_other() {
                 handle: svc.tenant_model("a").unwrap(),
                 monitor: mon_a,
                 stats: svc.tenant_serve_stats("a").unwrap(),
+                store: None,
+                memory_budget: None,
             },
             TenantAdapterSpec {
                 name: "b".into(),
@@ -329,6 +331,8 @@ fn adapter_swaps_one_tenant_under_live_traffic_on_the_other() {
                 handle: svc.tenant_model("b").unwrap(),
                 monitor: mon_b,
                 stats: svc.tenant_serve_stats("b").unwrap(),
+                store: None,
+                memory_budget: None,
             },
         ],
         AdapterConfig {
