@@ -21,6 +21,10 @@
 //! assert!(queries.iter().all(|q| q.cardinality >= 1));
 //! ```
 
+// No unsafe anywhere in this crate — enforced so the lmkg-xtask L1 lint
+// and the sanitizer jobs only ever have the nn kernels and the serve
+// signal shim to reason about.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dataset;

@@ -40,6 +40,10 @@
 //! assert!(y.get(0, 0) > 0.8 && y.get(1, 0) < 0.2);
 //! ```
 
+// The AVX2 kernels are the only unsafe in the workspace's compute core;
+// every unsafe block must carry its pointer-validity / feature-detection
+// argument (the lmkg-xtask L1 lint enforces the same repo-wide).
+#![deny(clippy::undocumented_unsafe_blocks)]
 #![warn(missing_docs)]
 
 pub mod embedding;

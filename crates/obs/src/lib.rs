@@ -25,6 +25,10 @@
 //! crate composes these primitives into its own registry and decides what
 //! the series are called.
 
+// No unsafe anywhere in this crate — enforced so the lmkg-xtask L1 lint
+// and the sanitizer jobs only ever have the nn kernels and the serve
+// signal shim to reason about.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod events;

@@ -39,7 +39,7 @@ use lmkg_obs::{Counter, EventLog, Gauge, HistSnapshot, Histogram, Level, Sharded
 use lmkg_store::Query;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -273,7 +273,10 @@ impl ServeStats {
     /// The recent-window request-latency distribution as a mergeable
     /// snapshot (for the exposition; `STATS` uses [`ServeStats::snapshot`]).
     pub fn window_snapshot(&self) -> HistSnapshot {
-        self.window.lock().expect("latency window lock").snapshot()
+        // Poisoned-lock recovery: the window is a ring of bucket indices,
+        // valid after any partial update, and losing one sample to a
+        // panicking recorder must not wedge every later scrape.
+        self.window.lock().unwrap_or_else(PoisonError::into_inner).snapshot()
     }
 
     /// Counts one shed request.
@@ -325,12 +328,17 @@ impl ServeStats {
     }
 
     fn record_latency(&self, micros: f64) {
-        self.window.lock().expect("latency window lock").record(micros);
+        // Same recovery as `window_snapshot`: the ring tolerates a lost
+        // sample, a poisoned mutex must not take the stats surface down.
+        self.window
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(micros);
     }
 
     /// A point-in-time summary (counters + window percentiles).
     pub fn snapshot(&self) -> StatsSnapshot {
-        let (p50_us, p95_us, p99_us) = self.window.lock().expect("latency window lock").percentiles();
+        let (p50_us, p95_us, p99_us) = self.window.lock().unwrap_or_else(PoisonError::into_inner).percentiles();
         StatsSnapshot {
             served: self.served.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
@@ -380,13 +388,22 @@ impl ModelHandle {
     }
 
     /// The currently published model.
+    ///
+    /// Poisoned-lock recovery on both accessors: the slot holds a bare
+    /// `Arc` that is replaced in one assignment, so it is never torn —
+    /// if an adapter thread panics mid-swap the slot still holds a whole
+    /// model, and serving must keep estimating rather than propagate the
+    /// panic into every worker.
     pub fn current(&self) -> SharedEstimator {
-        Arc::clone(&self.slot.read().expect("model slot lock"))
+        Arc::clone(&self.slot.read().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Atomically publishes `estimator`, returning the model it replaced.
     pub fn swap(&self, estimator: SharedEstimator) -> SharedEstimator {
-        std::mem::replace(&mut *self.slot.write().expect("model slot lock"), estimator)
+        std::mem::replace(
+            &mut *self.slot.write().unwrap_or_else(PoisonError::into_inner),
+            estimator,
+        )
     }
 }
 
@@ -448,7 +465,14 @@ impl MicroBatcher {
     /// Admits a job, or sheds it when the bounded queue is full. The shed
     /// job is handed back so the caller can send the `OVERLOADED` reply.
     pub fn submit(&self, job: Job) -> Result<(), Job> {
-        let tx = self.tx.as_ref().expect("batcher is running");
+        // `tx` is only `None` mid-shutdown, and `shutdown` consumes the
+        // batcher — so this arm is unreachable today. Shed instead of
+        // panicking so a future shared-ownership refactor degrades to an
+        // `OVERLOADED` reply, not a crashed session.
+        let Some(tx) = self.tx.as_ref() else {
+            self.stats.note_shed();
+            return Err(job);
+        };
         // Classify before the job moves into the queue; only admitted
         // queries are observed.
         let cell = self.monitor.as_ref().map(|_| (job.query.shape(), job.query.size()));
@@ -456,7 +480,12 @@ impl MicroBatcher {
             Ok(()) => {
                 self.stats.queue_len.inc();
                 if let (Some(monitor), Some(cell)) = (&self.monitor, cell) {
-                    monitor.lock().expect("workload monitor lock").observe_cell(cell);
+                    // Counter increments can't tear; a panicked observer
+                    // must not stop drift tracking for good.
+                    monitor
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .observe_cell(cell);
                 }
                 Ok(())
             }
@@ -569,7 +598,10 @@ fn worker_loop(
             // Hold the queue while collecting so one worker owns the open
             // batch; estimation below happens outside this lock, which is
             // what lets another worker collect meanwhile.
-            let rx = rx.lock().expect("queue lock");
+            // If a sibling worker panicked while holding the queue, the
+            // channel itself is still intact — keep draining it instead
+            // of cascading the panic through every worker.
+            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
             match rx.recv() {
                 Ok(job) => {
                     if obs {

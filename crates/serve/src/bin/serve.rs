@@ -725,6 +725,10 @@ fn install_signal_handlers(flag: &ShutdownFlag) {
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: `signal` is the libc function std itself links; the handler
+    // is `extern "C"`, never unwinds, and only performs an async-signal-
+    // safe atomic store into `SIGNALLED` — no allocation, locking, or
+    // Rust runtime use inside the handler.
     unsafe {
         signal(SIGINT, on_signal);
         signal(SIGTERM, on_signal);

@@ -53,8 +53,9 @@ impl SlidingWindow {
     /// lookup, one ring push, two array updates.
     pub fn record(&mut self, micros: f64) {
         if self.ring.len() == self.cap {
-            let evicted = self.ring.pop_front().expect("full ring has a front");
-            self.counts[evicted as usize] -= 1;
+            if let Some(evicted) = self.ring.pop_front() {
+                self.counts[evicted as usize] -= 1;
+            }
         }
         let idx = bucket_index(micros) as u16;
         self.ring.push_back(idx);

@@ -89,6 +89,7 @@ pub mod batcher;
 pub mod expose;
 pub mod latency;
 pub mod loadgen;
+pub mod metrics_registry;
 pub mod protocol;
 pub mod server;
 
@@ -102,6 +103,7 @@ pub use loadgen::{
     ComparisonReport, LoadgenConfig, MultiTenantReport, ObsOverheadReport, RunReport, ShiftConfig, ShiftReport,
     WorkloadLineError,
 };
+pub use metrics_registry::{MetricDef, MetricKind, REGISTRY};
 pub use protocol::{ErrorCode, ProtocolError, Reply, Request, DEFAULT_TENANT};
 pub use server::{
     serve_stream, serve_tcp, BuildError, EstimationService, LineOutcome, ServeBuilder, ShutdownFlag, TenantSpec,

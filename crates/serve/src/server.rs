@@ -396,11 +396,20 @@ impl EstimationService {
         let mut result = None;
         for (i, tenant) in self.tenants.into_iter().enumerate() {
             let estimator = tenant.batcher.shutdown();
-            if i == default_idx {
+            // Keep the first estimator as a fallback so this never
+            // panics: `ServeBuilder::build` rejects zero tenants, and the
+            // default (when set) overwrites the fallback on its turn.
+            if i == default_idx || result.is_none() {
                 result = Some(estimator);
             }
         }
-        result.expect("builder guarantees at least one tenant")
+        match result {
+            Some(estimator) => estimator,
+            // Unreachable by the builder invariant; a zero-tenant service
+            // has no model to hand back, so fail the caller loudly with a
+            // typed message rather than a bare unwrap.
+            None => unreachable!("ServeBuilder::build rejects zero tenants"),
+        }
     }
 
     /// Processes one raw input line. Estimate replies arrive on `out`
@@ -639,17 +648,34 @@ pub fn serve_tcp(
                 }
                 let _ = stream.set_nodelay(true); // one-line replies; don't batch in the kernel
                 let control = stream.try_clone();
-                let svc = Arc::clone(svc);
-                let handle = std::thread::Builder::new()
+                let session_svc = Arc::clone(svc);
+                let spawned = std::thread::Builder::new()
                     .name("lmkg-serve-session".into())
                     .spawn(move || {
                         let reader = match stream.try_clone() {
                             Ok(read_half) => BufReader::new(read_half),
                             Err(_) => return,
                         };
-                        serve_stream(&svc, reader, stream);
-                    })
-                    .expect("spawn session thread");
+                        serve_stream(&session_svc, reader, stream);
+                    });
+                let handle = match spawned {
+                    Ok(handle) => handle,
+                    Err(e) => {
+                        // Thread exhaustion must not kill the accept loop:
+                        // dropping the closure closes this one connection
+                        // (the stream moved into it), every live session
+                        // keeps running, and the next accept retries.
+                        if let Ok(control) = &control {
+                            let _ = control.shutdown(Shutdown::Both);
+                        }
+                        svc.serve_stats().event(
+                            lmkg_obs::Level::Warn,
+                            "session",
+                            format!("refused: cannot spawn session thread: {e}"),
+                        );
+                        continue;
+                    }
+                };
                 match control {
                     // Keep a handle on the socket so shutdown can drain it.
                     Ok(control) => sessions.push((handle, control)),

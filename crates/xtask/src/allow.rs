@@ -1,0 +1,232 @@
+//! Parser for `crates/xtask/allow.toml` — the justification-required
+//! allowlist for L2 (hot-path unwraps) and L5 (atomic orderings).
+//!
+//! Hand-rolled TOML subset (array-of-tables headers, string and integer
+//! values, `#` comments) so the tool stays dependency-free. Every entry
+//! must carry a non-empty `justification`; the lint driver additionally
+//! fails on entries that no longer match anything, which is what makes
+//! the allowlist shrink-only.
+
+/// One `[[unwrap]]` entry: allows a single L2 finding identified by its
+/// file and a stable substring of the offending source line.
+#[derive(Debug, Clone)]
+pub struct UnwrapAllow {
+    pub file: String,
+    pub line_contains: String,
+    pub justification: String,
+    /// Line in allow.toml, for error reporting.
+    pub decl_line: usize,
+}
+
+/// One `[[ordering]]` entry: allows up to `max` explicit atomic-ordering
+/// uses in one file, with a justification naming the synchronization
+/// argument.
+#[derive(Debug, Clone)]
+pub struct OrderingAllow {
+    pub file: String,
+    pub max: usize,
+    pub justification: String,
+    pub decl_line: usize,
+}
+
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub unwraps: Vec<UnwrapAllow>,
+    pub orderings: Vec<OrderingAllow>,
+}
+
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+enum Section {
+    None,
+    Unwrap,
+    Ordering,
+}
+
+/// Unescapes a double-quoted TOML string (only `\\` and `\"` occur here).
+fn parse_string(raw: &str, line: usize) -> Result<String, ParseError> {
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected a double-quoted string, got {raw}"),
+        })?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                other => {
+                    return Err(ParseError {
+                        line,
+                        message: format!("unsupported escape \\{}", other.unwrap_or(' ')),
+                    })
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+pub fn parse(text: &str) -> Result<Allowlist, ParseError> {
+    let mut list = Allowlist::default();
+    let mut section = Section::None;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line {
+            "[[unwrap]]" => {
+                section = Section::Unwrap;
+                list.unwraps.push(UnwrapAllow {
+                    file: String::new(),
+                    line_contains: String::new(),
+                    justification: String::new(),
+                    decl_line: lineno,
+                });
+                continue;
+            }
+            "[[ordering]]" => {
+                section = Section::Ordering;
+                list.orderings.push(OrderingAllow {
+                    file: String::new(),
+                    max: 0,
+                    justification: String::new(),
+                    decl_line: lineno,
+                });
+                continue;
+            }
+            _ => {}
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| ParseError {
+            line: lineno,
+            message: format!("expected `key = value`, got {line:?}"),
+        })?;
+        let key = key.trim();
+        let value = value.trim();
+        match (&section, key) {
+            (Section::Unwrap, "file") => list.unwraps.last_mut().unwrap().file = parse_string(value, lineno)?,
+            (Section::Unwrap, "line_contains") => {
+                list.unwraps.last_mut().unwrap().line_contains = parse_string(value, lineno)?
+            }
+            (Section::Unwrap, "justification") => {
+                list.unwraps.last_mut().unwrap().justification = parse_string(value, lineno)?
+            }
+            (Section::Ordering, "file") => list.orderings.last_mut().unwrap().file = parse_string(value, lineno)?,
+            (Section::Ordering, "max") => {
+                list.orderings.last_mut().unwrap().max = value.parse().map_err(|_| ParseError {
+                    line: lineno,
+                    message: format!("expected an integer for max, got {value}"),
+                })?
+            }
+            (Section::Ordering, "justification") => {
+                list.orderings.last_mut().unwrap().justification = parse_string(value, lineno)?
+            }
+            (Section::None, _) => {
+                return Err(ParseError {
+                    line: lineno,
+                    message: "key outside of a [[unwrap]] or [[ordering]] table".into(),
+                })
+            }
+            (_, other) => {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("unknown key {other:?}"),
+                })
+            }
+        }
+    }
+    // Completeness: every entry must be fully specified with a real
+    // justification — an empty one defeats the policy.
+    for e in &list.unwraps {
+        if e.file.is_empty() || e.line_contains.is_empty() {
+            return Err(ParseError {
+                line: e.decl_line,
+                message: "[[unwrap]] needs both `file` and `line_contains`".into(),
+            });
+        }
+        if e.justification.trim().is_empty() {
+            return Err(ParseError {
+                line: e.decl_line,
+                message: format!("[[unwrap]] for {} has no justification", e.file),
+            });
+        }
+    }
+    for e in &list.orderings {
+        if e.file.is_empty() || e.max == 0 {
+            return Err(ParseError {
+                line: e.decl_line,
+                message: "[[ordering]] needs both `file` and a nonzero `max`".into(),
+            });
+        }
+        if e.justification.trim().is_empty() {
+            return Err(ParseError {
+                line: e.decl_line,
+                message: format!("[[ordering]] for {} has no justification", e.file),
+            });
+        }
+    }
+    Ok(list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_table_kinds() {
+        let text = r#"
+# comment
+[[unwrap]]
+file = "crates/serve/src/server.rs"
+line_contains = "expect(\"spawn writer thread\")"
+justification = "startup-only; resource exhaustion is fatal by design"
+
+[[ordering]]
+file = "crates/obs/src/hist.rs"
+max = 10
+justification = "relaxed fetch-adds; merge does not need inter-counter order"
+"#;
+        let list = parse(text).unwrap();
+        assert_eq!(list.unwraps.len(), 1);
+        assert_eq!(list.unwraps[0].line_contains, r#"expect("spawn writer thread")"#);
+        assert_eq!(list.orderings.len(), 1);
+        assert_eq!(list.orderings[0].max, 10);
+    }
+
+    #[test]
+    fn empty_justification_is_rejected() {
+        let text = "[[unwrap]]\nfile = \"a.rs\"\nline_contains = \"x\"\njustification = \"  \"\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.message.contains("no justification"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        let err = parse("[[ordering]]\nfile = \"a.rs\"\njustification = \"j\"\n").unwrap_err();
+        assert!(err.message.contains("nonzero `max`"), "{err}");
+    }
+
+    #[test]
+    fn stray_key_is_rejected() {
+        let err = parse("file = \"a.rs\"\n").unwrap_err();
+        assert!(err.message.contains("outside"), "{err}");
+    }
+}

@@ -7,7 +7,7 @@ use lmkg::GraphSummary;
 use lmkg_integration_tests::small_lubm;
 use lmkg_serve::{
     serve_stream, serve_tcp, BatchConfig, EstimationService, Reply, ServeBuilder, ShutdownFlag, TenantSpec,
-    DEFAULT_TENANT, STAGE_NAMES,
+    DEFAULT_TENANT, REGISTRY, STAGE_NAMES,
 };
 use lmkg_store::KnowledgeGraph;
 use std::io::{BufRead, BufReader, Write};
@@ -155,4 +155,55 @@ fn metrics_over_tcp_matches_the_pipe_surface() {
         .and_then(|v| v.parse().ok())
         .unwrap();
     assert!(bytes_in > 0.0, "request bytes not accounted:\n{text}");
+}
+
+/// The registry ↔ live-surface contract: every series family in a real
+/// `METRICS` scrape is declared in `lmkg_serve::REGISTRY` with the right
+/// exposition kind, and every registered family shows up in the scrape.
+/// (`lmkg-xtask check` L4 enforces the renderer ↔ registry direction
+/// statically; this closes the loop against the running code.)
+#[test]
+fn live_scrape_families_match_the_registry_exactly() {
+    let svc = service(Arc::new(small_lubm()));
+    // One estimate first so conditional families (stage timings, batch
+    // sizes) have samples; the global (un-namespaced) scrape also carries
+    // the process-wide kernel-profile block.
+    let input = "EST q0 SELECT * WHERE { ?x ?p ?y . }\nMETRICS reg\nQUIT\n";
+    let out = serve_stream(&svc, input.as_bytes(), Vec::new());
+    let transcript = String::from_utf8(out).unwrap();
+    let body = extract_metrics_body(&transcript, "reg");
+
+    // Scraped families: `# TYPE <name> <kind>` for sampled families plus
+    // `# HELP <name> …` for help-only info families.
+    let mut scraped: std::collections::BTreeMap<&str, Option<&str>> = std::collections::BTreeMap::new();
+    for line in &body {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = (parts.next().unwrap(), parts.next().unwrap());
+            scraped.insert(name, Some(kind));
+        } else if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap();
+            scraped.entry(name).or_insert(None);
+        }
+    }
+
+    for def in REGISTRY {
+        let kind = scraped
+            .get(def.name)
+            .unwrap_or_else(|| panic!("registered family {} missing from the live scrape", def.name));
+        match def.kind.type_keyword() {
+            Some(expected) => assert_eq!(*kind, Some(expected), "family {} exposes the wrong kind", def.name),
+            // Info families render help-only.
+            None => assert_eq!(*kind, None, "info family {} grew samples", def.name),
+        }
+    }
+    for name in scraped.keys() {
+        assert!(
+            REGISTRY.iter().any(|d| d.name == *name),
+            "live scrape carries unregistered family {name} — add it to metrics_registry.rs"
+        );
+    }
+    // Guard the guard: the registry covers the full surface, so an
+    // accidentally-emptied scrape can't vacuously pass.
+    assert!(scraped.len() >= 26, "suspiciously small scrape: {scraped:?}");
 }
